@@ -1,0 +1,45 @@
+//! Experiment F2 — the translation-validation pipeline of Figure 2:
+//! per-program validation latency across all passes, measured with
+//! Criterion over a fixed set of generated programs.
+
+use bench::sample_programs;
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use gauntlet_core::Gauntlet;
+use p4_gen::GeneratorConfig;
+use p4c::Compiler;
+
+fn bench_translation_validation(c: &mut Criterion) {
+    let programs = sample_programs(4, GeneratorConfig::tiny(), 42);
+    let compiler = Compiler::reference();
+    let compiled: Vec<_> =
+        programs.iter().map(|p| compiler.compile(p).expect("compiles")).collect();
+    let gauntlet = Gauntlet::default();
+
+    let mut group = c.benchmark_group("fig2_translation_validation");
+    group.sample_size(10);
+    group.bench_function("validate_all_passes_per_program", |b| {
+        b.iter_batched(
+            || compiled.clone(),
+            |results| {
+                let mut reports = 0;
+                for result in &results {
+                    reports += gauntlet.validate_translation(result).len();
+                }
+                assert_eq!(reports, 0, "reference compiler must validate cleanly");
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("compile_with_snapshots", |b| {
+        b.iter(|| {
+            for program in &programs {
+                let result = compiler.compile(program).expect("compiles");
+                std::hint::black_box(result.snapshots.len());
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_translation_validation);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Experiment F3 — Figure 3's symbolic table encoding: formula construction
+//! cost and size as the number of table actions grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use p4_ir::builder;
+use p4_ir::{
+    ActionDecl, ActionRef, Block, Declaration, Expr, KeyElement, MatchKind, Statement, TableDecl,
+};
+use p4_symbolic::interpret_program;
+use smt::TermManager;
+use std::rc::Rc;
+
+/// Builds a program whose ingress applies one table with `actions` actions
+/// and `keys` exact keys.
+fn table_program(actions: usize, keys: usize) -> p4_ir::Program {
+    let fields = ["a", "b", "c"];
+    let mut locals = vec![Declaration::Action(builder::no_action())];
+    let mut refs = Vec::new();
+    for index in 0..actions {
+        let name = format!("set_{index}");
+        locals.push(Declaration::Action(ActionDecl {
+            name: name.clone(),
+            params: vec![],
+            body: Block::new(vec![Statement::assign(
+                Expr::dotted(&["hdr", "h", "b"]),
+                Expr::uint(index as u128, 8),
+            )]),
+        }));
+        refs.push(ActionRef::new(name));
+    }
+    refs.push(ActionRef::new("NoAction"));
+    locals.push(Declaration::Table(TableDecl {
+        name: "t".into(),
+        keys: (0..keys)
+            .map(|k| KeyElement {
+                expr: Expr::dotted(&["hdr", "h", fields[k % fields.len()]]),
+                match_kind: MatchKind::Exact,
+            })
+            .collect(),
+        actions: refs,
+        default_action: ActionRef::new("NoAction"),
+    }));
+    builder::v1model_program(locals, Block::new(vec![Statement::call(vec!["t", "apply"], vec![])]))
+}
+
+fn bench_table_encoding(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3_table_encoding");
+    group.sample_size(20);
+    for actions in [1usize, 4, 8] {
+        let program = table_program(actions, 2);
+        group.bench_with_input(BenchmarkId::new("interpret_actions", actions), &program, |b, p| {
+            b.iter(|| {
+                let tm = Rc::new(TermManager::new());
+                let semantics = interpret_program(&tm, p).expect("interprets");
+                std::hint::black_box(tm.term_count());
+                std::hint::black_box(semantics.blocks.len());
+            })
+        });
+    }
+    // Print the formula-size series (the figure's qualitative content).
+    println!("formula size (term count) vs number of table actions:");
+    for actions in [1usize, 2, 4, 8, 16] {
+        let program = table_program(actions, 2);
+        let tm = Rc::new(TermManager::new());
+        let _ = interpret_program(&tm, &program).expect("interprets");
+        println!("  actions = {actions:>2}  terms = {}", tm.term_count());
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table_encoding);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Experiment §5.2/§6.2 — solver scaling: equivalence-query latency as a
+//! function of operand width and expression depth.  The paper argues that
+//! generated programs are small enough that formula size never needed
+//! optimisation; this bench quantifies where our bit-blasting solver stands.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use smt::{Solver, Sort, TermManager, TermRef};
+
+/// Builds a pair of structurally different but equivalent expressions over a
+/// `width`-bit variable, `depth` operations deep, and returns the
+/// equivalence query (UNSAT expected).
+fn equivalence_query(width: u32, depth: u32) -> (TermManager, TermRef) {
+    let tm = TermManager::new();
+    let x = tm.var("x", Sort::BitVec(width));
+    let mut a = x.clone();
+    let mut b = x.clone();
+    for i in 0..depth {
+        let k = tm.bv_const(u128::from(i) + 1, width);
+        // a := (a + k) ^ k ; b is the same computation written differently.
+        a = tm.bv_xor(tm.bv_add(a, k.clone()), k.clone());
+        b = tm.bv_xor(k.clone(), tm.bv_add(k, b));
+    }
+    let query = tm.neq(a, b);
+    (tm, query)
+}
+
+fn bench_solver(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solver_scaling");
+    group.sample_size(10);
+    for width in [8u32, 16, 32] {
+        group.bench_with_input(BenchmarkId::new("equivalence_width", width), &width, |b, &w| {
+            b.iter(|| {
+                let (_tm, query) = equivalence_query(w, 3);
+                let mut solver = Solver::new();
+                solver.assert(query);
+                assert!(!solver.check().is_sat(), "expressions are equivalent");
+            })
+        });
+    }
+    for depth in [1u32, 3, 6] {
+        group.bench_with_input(BenchmarkId::new("equivalence_depth", depth), &depth, |b, &d| {
+            b.iter(|| {
+                let (_tm, query) = equivalence_query(8, d);
+                let mut solver = Solver::new();
+                solver.assert(query);
+                assert!(!solver.check().is_sat());
+            })
+        });
+    }
+    group.finish();
+
+    // Print the scaling series for EXPERIMENTS.md.
+    println!("solver statistics for the width sweep (depth 3):");
+    for width in [8u32, 16, 32, 48] {
+        let (_tm, query) = equivalence_query(width, 3);
+        let mut solver = Solver::new();
+        solver.assert(query);
+        let start = std::time::Instant::now();
+        let result = solver.check();
+        let stats = solver.stats();
+        println!(
+            "  width {width:>2}: {:?} in {:>6.1?} ms, {} vars, {} clauses, {} conflicts",
+            if result.is_sat() { "SAT" } else { "UNSAT" },
+            start.elapsed().as_secs_f64() * 1000.0,
+            stats.sat_variables,
+            stats.sat_clauses,
+            stats.conflicts
+        );
+    }
+}
+
+criterion_group!(benches, bench_solver);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Experiment T3 — reproduces the paper's Table 3 (distribution of bugs over
+//! the compiler areas: front end / mid end / back end).
+
+use gauntlet_core::{render_table3, run_campaign, CampaignConfig, CompilerArea};
+
+fn main() {
+    let config = CampaignConfig {
+        random_programs_per_bug: 0,
+        max_tests: 6,
+        check_false_alarms: false,
+        ..CampaignConfig::default()
+    };
+    let report = run_campaign(&config);
+    println!("{}", render_table3(&report));
+    // Shape check against the paper: the front end dominates the shared
+    // infrastructure counts, and back ends contribute a large share.
+    let front = report.area_count(CompilerArea::FrontEnd);
+    let mid = report.area_count(CompilerArea::MidEnd);
+    let back = report.area_count(CompilerArea::BackEnd);
+    println!("shape check: front({front}) >= mid({mid}), back({back}) > 0");
+    assert!(front >= mid);
+    assert!(back > 0);
+}

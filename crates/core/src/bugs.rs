@@ -1,0 +1,202 @@
+//! Bug report types and de-duplication.
+//!
+//! Gauntlet classifies findings the way the paper does (§2.1): *crash bugs*
+//! (abnormal termination of a pass, including incorrect rejections of valid
+//! programs), *semantic bugs* (the compiled program's behaviour differs from
+//! the input program's), plus the auxiliary *invalid transformation*
+//! category (§7.2) for emitted intermediate programs that no longer parse.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// The kind of bug a finding represents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BugKind {
+    /// The compiler crashed (assertion violation / panic).
+    Crash,
+    /// The compiler rejected a valid program with an error message.
+    Rejection,
+    /// The compiled program behaves differently from the input program.
+    Semantic,
+    /// An intermediate program emitted by the compiler no longer re-parses.
+    InvalidTransformation,
+}
+
+impl BugKind {
+    /// The paper's two headline categories fold rejections of valid programs
+    /// into the crash count (they are detected the same way: no oracle
+    /// needed beyond "the input was valid").
+    pub fn is_crash_like(self) -> bool {
+        matches!(self, BugKind::Crash | BugKind::Rejection)
+    }
+}
+
+/// Which compiler/back end platform a bug was found in (Table 2's columns).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Platform {
+    P4c,
+    Bmv2,
+    Tofino,
+}
+
+impl std::fmt::Display for Platform {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Platform::P4c => write!(f, "P4C"),
+            Platform::Bmv2 => write!(f, "BMv2"),
+            Platform::Tofino => write!(f, "Tofino"),
+        }
+    }
+}
+
+/// Where in the compiler the bug lives (Table 3's rows).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum CompilerArea {
+    FrontEnd,
+    MidEnd,
+    BackEnd,
+}
+
+impl std::fmt::Display for CompilerArea {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CompilerArea::FrontEnd => write!(f, "Front End"),
+            CompilerArea::MidEnd => write!(f, "Mid End"),
+            CompilerArea::BackEnd => write!(f, "Back End"),
+        }
+    }
+}
+
+/// Which of Gauntlet's techniques produced the finding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Technique {
+    RandomGeneration,
+    TranslationValidation,
+    SymbolicExecution,
+}
+
+/// One finding.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BugReport {
+    pub kind: BugKind,
+    pub platform: Platform,
+    pub area: CompilerArea,
+    pub technique: Technique,
+    /// The pass (or back-end stage) the bug is attributed to, when known.
+    pub pass: Option<String>,
+    /// Human-readable description / crash message / counterexample summary.
+    pub message: String,
+}
+
+impl BugReport {
+    /// The key used to consider two findings "the same bug": same kind, same
+    /// platform, same pass, and the same leading line of the message — the
+    /// same rule the authors used with P4C's distinct assertion messages
+    /// (§7.3).
+    pub fn dedup_key(&self) -> String {
+        let first_line = self.message.lines().next().unwrap_or("");
+        format!(
+            "{:?}|{:?}|{}|{}",
+            self.kind,
+            self.platform,
+            self.pass.as_deref().unwrap_or("-"),
+            first_line
+        )
+    }
+}
+
+/// A de-duplicating collection of findings.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct BugDatabase {
+    bugs: BTreeMap<String, BugReport>,
+    /// How many raw findings mapped onto each distinct bug.
+    duplicates: BTreeMap<String, usize>,
+}
+
+impl BugDatabase {
+    pub fn new() -> BugDatabase {
+        BugDatabase::default()
+    }
+
+    /// Records a finding; returns true if it is a new distinct bug.
+    pub fn record(&mut self, report: BugReport) -> bool {
+        let key = report.dedup_key();
+        let new = !self.bugs.contains_key(&key);
+        *self.duplicates.entry(key.clone()).or_insert(0) += 1;
+        self.bugs.entry(key).or_insert(report);
+        new
+    }
+
+    pub fn len(&self) -> usize {
+        self.bugs.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.bugs.is_empty()
+    }
+
+    pub fn reports(&self) -> impl Iterator<Item = &BugReport> {
+        self.bugs.values()
+    }
+
+    /// Count of distinct bugs by (platform, crash-like vs semantic).
+    pub fn count_by_platform(&self) -> BTreeMap<(Platform, bool), usize> {
+        let mut counts = BTreeMap::new();
+        for report in self.bugs.values() {
+            *counts.entry((report.platform, report.kind.is_crash_like())).or_insert(0) += 1;
+        }
+        counts
+    }
+
+    /// Count of distinct bugs by compiler area.
+    pub fn count_by_area(&self) -> BTreeMap<CompilerArea, usize> {
+        let mut counts = BTreeMap::new();
+        for report in self.bugs.values() {
+            *counts.entry(report.area).or_insert(0) += 1;
+        }
+        counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(kind: BugKind, pass: &str, message: &str) -> BugReport {
+        BugReport {
+            kind,
+            platform: Platform::P4c,
+            area: CompilerArea::FrontEnd,
+            technique: Technique::TranslationValidation,
+            pass: Some(pass.into()),
+            message: message.into(),
+        }
+    }
+
+    #[test]
+    fn duplicate_findings_collapse() {
+        let mut db = BugDatabase::new();
+        assert!(db.record(report(BugKind::Crash, "SimplifyDefUse", "assertion failed: x")));
+        assert!(!db.record(report(BugKind::Crash, "SimplifyDefUse", "assertion failed: x")));
+        assert!(db.record(report(BugKind::Crash, "Predication", "assertion failed: x")));
+        assert!(db.record(report(BugKind::Semantic, "SimplifyDefUse", "assertion failed: x")));
+        assert_eq!(db.len(), 3);
+    }
+
+    #[test]
+    fn platform_and_area_counts() {
+        let mut db = BugDatabase::new();
+        db.record(report(BugKind::Crash, "A", "m1"));
+        db.record(report(BugKind::Semantic, "B", "m2"));
+        let by_platform = db.count_by_platform();
+        assert_eq!(by_platform.get(&(Platform::P4c, true)), Some(&1));
+        assert_eq!(by_platform.get(&(Platform::P4c, false)), Some(&1));
+        assert_eq!(db.count_by_area().get(&CompilerArea::FrontEnd), Some(&2));
+    }
+
+    #[test]
+    fn rejections_count_as_crash_like() {
+        assert!(BugKind::Rejection.is_crash_like());
+        assert!(!BugKind::Semantic.is_crash_like());
+    }
+}

@@ -1,0 +1,30 @@
+//! # gauntlet-core — the Gauntlet compiler bug-finding pipeline
+//!
+//! This crate is the paper's primary contribution assembled from the
+//! substrate crates: random program generation (`p4-gen`), the nanopass
+//! compiler under test (`p4c`), symbolic interpretation / translation
+//! validation / test-case generation (`p4-symbolic` over the `smt` solver),
+//! and the simulated back ends (`targets`).
+//!
+//! * [`pipeline`] — the three detection techniques (crash detection,
+//!   translation validation, symbolic-execution testing) glued into one
+//!   [`Gauntlet`] tool (paper Figures 2 and 4);
+//! * [`bugs`] — finding classification and de-duplication (crash vs
+//!   semantic vs invalid transformation; platform; compiler area);
+//! * [`inject`] — the seeded-bug catalogue with Figure-5-style trigger
+//!   programs, replacing the real 2020-era compiler bugs the paper found;
+//! * [`campaign`] — the evaluation campaign that regenerates the shape of
+//!   the paper's Tables 2 and 3;
+//! * [`report`] — text rendering of the campaign results.
+
+pub mod bugs;
+pub mod campaign;
+pub mod inject;
+pub mod pipeline;
+pub mod report;
+
+pub use bugs::{BugDatabase, BugKind, BugReport, CompilerArea, Platform, Technique};
+pub use campaign::{run_campaign, CampaignConfig, CampaignReport, SeededBugOutcome};
+pub use inject::SeededBug;
+pub use pipeline::{Gauntlet, GauntletOptions, ProgramOutcome};
+pub use report::{render_detection_matrix, render_table2, render_table3};

@@ -1,0 +1,336 @@
+//! The Gauntlet pipeline: the three techniques glued together.
+//!
+//! * crash detection — compile a (random) program and catch abnormal
+//!   termination (paper §4, Figure 2 left side);
+//! * translation validation — re-parse and symbolically compare the program
+//!   emitted after every modifying pass, pinpointing the faulty pass
+//!   (paper §5, Figure 2);
+//! * symbolic-execution testing — generate input/output tests from the
+//!   input program's semantics and replay them on a black-box back end
+//!   (paper §6, Figure 4).
+
+use crate::bugs::{BugKind, BugReport, CompilerArea, Platform, Technique};
+use p4_ir::Program;
+use p4_symbolic::{check_equivalence, generate_tests, Equivalence, EquivalenceError, TestGenOptions};
+use p4c::{CompileError, CompileResult, Compiler, PassArea};
+use targets::{run_ptf, run_stf, Bmv2Target, TofinoBackend, TofinoError};
+
+/// The result of putting one program through one platform's pipeline.
+#[derive(Debug, Clone, Default)]
+pub struct ProgramOutcome {
+    pub reports: Vec<BugReport>,
+    /// True when the program compiled and every check passed.
+    pub clean: bool,
+}
+
+impl ProgramOutcome {
+    fn with_reports(reports: Vec<BugReport>) -> ProgramOutcome {
+        ProgramOutcome { clean: reports.is_empty(), reports }
+    }
+}
+
+fn area_of(pass_area: PassArea) -> CompilerArea {
+    match pass_area {
+        PassArea::FrontEnd => CompilerArea::FrontEnd,
+        PassArea::MidEnd => CompilerArea::MidEnd,
+        PassArea::BackEnd => CompilerArea::BackEnd,
+    }
+}
+
+/// Looks up the area of a pass by name in the reference pipeline (used when
+/// a semantic bug is attributed to a pass).
+fn area_of_pass(pass_name: &str) -> CompilerArea {
+    for pass in p4c::passes::default_pipeline() {
+        if pass.name() == pass_name {
+            return area_of(pass.area());
+        }
+    }
+    CompilerArea::FrontEnd
+}
+
+/// Options for a Gauntlet run.
+#[derive(Debug, Clone)]
+pub struct GauntletOptions {
+    /// Maximum tests generated per program for black-box back ends.
+    pub max_tests: usize,
+}
+
+impl Default for GauntletOptions {
+    fn default() -> Self {
+        GauntletOptions { max_tests: 8 }
+    }
+}
+
+/// The Gauntlet tool.
+#[derive(Debug, Default)]
+pub struct Gauntlet {
+    pub options: GauntletOptions,
+}
+
+impl Gauntlet {
+    pub fn new(options: GauntletOptions) -> Gauntlet {
+        Gauntlet { options }
+    }
+
+    /// Technique 1 + 2 against an open compiler (P4C): compile, report
+    /// crashes, then translation-validate every pass.
+    pub fn check_open_compiler(&self, compiler: &Compiler, program: &Program) -> ProgramOutcome {
+        match compiler.compile(program) {
+            Err(CompileError::Crash { pass, area, message }) => {
+                ProgramOutcome::with_reports(vec![BugReport {
+                    kind: BugKind::Crash,
+                    platform: Platform::P4c,
+                    area: area_of(area),
+                    technique: Technique::RandomGeneration,
+                    pass: Some(pass),
+                    message,
+                }])
+            }
+            Err(CompileError::Rejected { pass, diagnostics }) => {
+                // The program was validated by the reference checker before
+                // generation, so a rejection means the compiler incorrectly
+                // refuses a valid program.
+                ProgramOutcome::with_reports(vec![BugReport {
+                    kind: BugKind::Rejection,
+                    platform: Platform::P4c,
+                    area: area_of_pass(&pass),
+                    technique: Technique::RandomGeneration,
+                    pass: Some(pass),
+                    message: diagnostics.join("; "),
+                }])
+            }
+            Ok(result) => {
+                ProgramOutcome::with_reports(self.validate_translation(&result))
+            }
+        }
+    }
+
+    /// Translation validation over the per-pass snapshots of a successful
+    /// compilation (paper §5.2).
+    pub fn validate_translation(&self, result: &CompileResult) -> Vec<BugReport> {
+        let mut reports = Vec::new();
+        for (before, after) in result.pass_pairs() {
+            // Re-parse the emitted program; a parse failure is an invalid
+            // transformation (§7.2).
+            if let Err(error) = p4_parser::parse_program(&after.printed) {
+                reports.push(BugReport {
+                    kind: BugKind::InvalidTransformation,
+                    platform: Platform::P4c,
+                    area: area_of(after.area),
+                    technique: Technique::TranslationValidation,
+                    pass: Some(after.pass_name.clone()),
+                    message: format!("emitted program no longer parses: {error}"),
+                });
+                continue;
+            }
+            match check_equivalence(&before.program, &after.program) {
+                Ok(Equivalence::Equal) => {}
+                Ok(Equivalence::NotEqual(counterexample)) => {
+                    reports.push(BugReport {
+                        kind: BugKind::Semantic,
+                        platform: Platform::P4c,
+                        area: area_of(after.area),
+                        technique: Technique::TranslationValidation,
+                        pass: Some(after.pass_name.clone()),
+                        message: format!("{counterexample}"),
+                    });
+                }
+                Ok(_) => {}
+                Err(EquivalenceError::StructureMismatch { block, detail }) => {
+                    reports.push(BugReport {
+                        kind: BugKind::InvalidTransformation,
+                        platform: Platform::P4c,
+                        area: area_of(after.area),
+                        technique: Technique::TranslationValidation,
+                        pass: Some(after.pass_name.clone()),
+                        message: format!("structure mismatch in `{block}`: {detail}"),
+                    });
+                }
+                Err(EquivalenceError::Interpreter(_)) => {
+                    // The interpreter cannot handle this program: skip, as the
+                    // paper does for unsupported constructs (§8).
+                }
+            }
+        }
+        reports
+    }
+
+    /// Technique 3 against the BMv2 back end: compile with the shared
+    /// front/mid end, then replay generated tests on the (possibly seeded)
+    /// target.
+    pub fn check_bmv2(&self, compiler: &Compiler, program: &Program, target_bug: Option<targets::BackEndBugClass>) -> ProgramOutcome {
+        let compiled = match compiler.compile(program) {
+            Ok(result) => result.program,
+            Err(_) => return ProgramOutcome::with_reports(Vec::new()),
+        };
+        let options = TestGenOptions { max_tests: self.options.max_tests, ..TestGenOptions::default() };
+        let tests = match generate_tests(program, &options) {
+            Ok(tests) => tests,
+            Err(_) => return ProgramOutcome::with_reports(Vec::new()),
+        };
+        let target = match target_bug {
+            Some(bug) => Bmv2Target::with_bug(compiled, bug),
+            None => Bmv2Target::new(compiled),
+        };
+        let report = run_stf(&target, &tests);
+        let mut reports = Vec::new();
+        if report.found_semantic_bug() {
+            let first = &report.mismatches[0];
+            reports.push(BugReport {
+                kind: BugKind::Semantic,
+                platform: Platform::Bmv2,
+                area: CompilerArea::BackEnd,
+                technique: Technique::SymbolicExecution,
+                pass: None,
+                message: format!(
+                    "STF mismatch on `{}`: expected {:?}, observed {:?} ({} of {} tests failed)",
+                    first.field,
+                    first.expected,
+                    first.actual,
+                    report.mismatches.len(),
+                    report.total
+                ),
+            });
+        }
+        ProgramOutcome::with_reports(reports)
+    }
+
+    /// Technique 3 against the closed-source Tofino back end.
+    pub fn check_tofino(&self, backend: &TofinoBackend, program: &Program) -> ProgramOutcome {
+        let binary = match backend.compile(program) {
+            Ok(binary) => binary,
+            Err(TofinoError::Crash { pass, message }) => {
+                return ProgramOutcome::with_reports(vec![BugReport {
+                    kind: BugKind::Crash,
+                    platform: Platform::Tofino,
+                    area: CompilerArea::BackEnd,
+                    technique: Technique::RandomGeneration,
+                    pass: Some(pass),
+                    message,
+                }]);
+            }
+            Err(TofinoError::Rejected { .. }) => {
+                // Target restriction: the program is simply outside the
+                // back end's supported subset — not a bug.
+                return ProgramOutcome::with_reports(Vec::new());
+            }
+        };
+        let options = TestGenOptions { max_tests: self.options.max_tests, ..TestGenOptions::default() };
+        let tests = match generate_tests(program, &options) {
+            Ok(tests) => tests,
+            Err(_) => return ProgramOutcome::with_reports(Vec::new()),
+        };
+        let report = run_ptf(&binary, &tests);
+        let mut reports = Vec::new();
+        if report.found_semantic_bug() {
+            let first = &report.mismatches[0];
+            reports.push(BugReport {
+                kind: BugKind::Semantic,
+                platform: Platform::Tofino,
+                area: CompilerArea::BackEnd,
+                technique: Technique::SymbolicExecution,
+                pass: None,
+                message: format!(
+                    "PTF mismatch on `{}`: expected {:?}, observed {:?} ({} of {} tests failed)",
+                    first.field,
+                    first.expected,
+                    first.actual,
+                    report.mismatches.len(),
+                    report.total
+                ),
+            });
+        }
+        ProgramOutcome::with_reports(reports)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p4_ir::builder;
+    use p4c::FrontEndBugClass;
+
+    #[test]
+    fn reference_compiler_is_clean_on_the_skeleton_programs() {
+        let gauntlet = Gauntlet::default();
+        let compiler = Compiler::reference();
+        for program in [builder::trivial_program(), {
+            let (locals, apply) = builder::figure3_table_control();
+            builder::v1model_program(locals, apply)
+        }] {
+            let outcome = gauntlet.check_open_compiler(&compiler, &program);
+            assert!(outcome.clean, "false alarm: {:#?}", outcome.reports);
+        }
+    }
+
+    #[test]
+    fn seeded_defuse_bug_is_reported_as_a_semantic_bug_in_the_right_pass() {
+        let gauntlet = Gauntlet::default();
+        let mut compiler = Compiler::reference();
+        compiler.replace_pass(FrontEndBugClass::DefUseDropsParameterWrites.faulty_pass());
+        let outcome = gauntlet.check_open_compiler(&compiler, &builder::trivial_program());
+        assert!(!outcome.clean);
+        let report = &outcome.reports[0];
+        assert_eq!(report.kind, BugKind::Semantic);
+        assert_eq!(report.pass.as_deref(), Some("SimplifyDefUse"));
+    }
+
+    #[test]
+    fn bmv2_backend_bug_is_reported_via_stf() {
+        use p4_ir::{Block, Expr, Statement};
+        let program = builder::v1model_program(
+            vec![],
+            Block::new(vec![
+                Statement::assign(Expr::dotted(&["hdr", "h", "a"]), Expr::uint(1, 8)),
+                Statement::Exit,
+                Statement::assign(Expr::dotted(&["hdr", "h", "a"]), Expr::uint(2, 8)),
+            ]),
+        );
+        let gauntlet = Gauntlet::default();
+        let compiler = Compiler::reference();
+        let clean = gauntlet.check_bmv2(&compiler, &program, None);
+        assert!(clean.clean);
+        let buggy =
+            gauntlet.check_bmv2(&compiler, &program, Some(targets::BackEndBugClass::Bmv2ExitIgnored));
+        assert!(!buggy.clean);
+        assert_eq!(buggy.reports[0].platform, Platform::Bmv2);
+    }
+
+    #[test]
+    fn tofino_crash_and_semantic_bugs_are_reported() {
+        use p4_ir::{BinOp, Block, Expr, Statement};
+        let gauntlet = Gauntlet::default();
+        // Semantic: saturating add lowered to wrapping add.
+        let program = builder::tna_program(
+            vec![],
+            Block::new(vec![Statement::assign(
+                Expr::dotted(&["hdr", "h", "a"]),
+                Expr::binary(BinOp::SatAdd, Expr::dotted(&["hdr", "h", "b"]), Expr::uint(255, 8)),
+            )]),
+        );
+        let clean = gauntlet.check_tofino(&TofinoBackend::new(), &program);
+        assert!(clean.clean, "false alarm: {:#?}", clean.reports);
+        let buggy = gauntlet.check_tofino(
+            &TofinoBackend::with_bug(targets::BackEndBugClass::TofinoSaturationWraps),
+            &program,
+        );
+        assert!(!buggy.clean);
+        assert_eq!(buggy.reports[0].kind, BugKind::Semantic);
+
+        // Crash: slice lowering assertion.
+        let slice_program = builder::tna_program(
+            vec![],
+            Block::new(vec![Statement::Assign {
+                lhs: Expr::slice(Expr::dotted(&["hdr", "h", "a"]), 3, 0),
+                rhs: Expr::uint(1, 4),
+            }]),
+        );
+        let crash = gauntlet.check_tofino(
+            &TofinoBackend::with_bug(targets::BackEndBugClass::TofinoSliceLoweringCrash),
+            &slice_program,
+        );
+        assert!(!crash.clean);
+        assert_eq!(crash.reports[0].kind, BugKind::Crash);
+        assert_eq!(crash.reports[0].platform, Platform::Tofino);
+    }
+}

@@ -1,0 +1,126 @@
+//! Rendering campaign results in the shape of the paper's tables.
+
+use crate::bugs::{CompilerArea, Platform};
+use crate::campaign::CampaignReport;
+use std::fmt::Write;
+
+/// Renders the Table 2 analogue: detected bugs per platform, split into
+/// crash and semantic bugs.
+pub fn render_table2(report: &CampaignReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Table 2 (reproduction): distinct seeded bugs detected");
+    let _ = writeln!(out, "{:<12} {:>8} {:>10} {:>8}", "Bug Type", "P4C", "BMv2", "Tofino");
+    let platforms = [Platform::P4c, Platform::Bmv2, Platform::Tofino];
+    for (label, crash_like) in [("Crash", true), ("Semantic", false)] {
+        let mut row = format!("{label:<12}");
+        for platform in platforms {
+            let (crash, semantic) = report.platform_counts(platform);
+            let value = if crash_like { crash } else { semantic };
+            let _ = write!(row, " {value:>8}");
+        }
+        let _ = writeln!(out, "{row}");
+    }
+    let total: usize = report.total_detected;
+    let _ = writeln!(out, "{:<12} {total:>8}", "Total");
+    out
+}
+
+/// Renders the Table 3 analogue: detected bugs by compiler area.
+pub fn render_table3(report: &CampaignReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Table 3 (reproduction): distinct seeded bugs by compiler area");
+    let _ = writeln!(out, "{:<12} {:>8}", "Location", "Bugs");
+    for area in [CompilerArea::FrontEnd, CompilerArea::MidEnd, CompilerArea::BackEnd] {
+        let _ = writeln!(out, "{:<12} {:>8}", area.to_string(), report.area_count(area));
+    }
+    let _ = writeln!(out, "{:<12} {:>8}", "Total", report.total_detected);
+    out
+}
+
+/// Renders the per-class detection table (which class, which technique
+/// family, detected or not).
+pub fn render_detection_matrix(report: &CampaignReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<36} {:>8} {:>10} {:>10} {:>10}",
+        "Seeded bug class", "Platform", "Area", "Kind", "Detected"
+    );
+    for outcome in &report.outcomes {
+        let _ = writeln!(
+            out,
+            "{:<36} {:>8} {:>10} {:>10} {:>10}",
+            outcome.bug,
+            outcome.platform.to_string(),
+            outcome.area.to_string(),
+            if outcome.crash_class { "crash" } else { "semantic" },
+            if outcome.detected {
+                format!("yes ({}/{})", outcome.detecting_programs, outcome.programs_run)
+            } else {
+                "NO".to_string()
+            }
+        );
+    }
+    let _ = writeln!(out, "False alarms on the correct pipeline: {}", report.false_alarms);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::SeededBugOutcome;
+    use std::collections::BTreeMap;
+
+    fn sample_report() -> CampaignReport {
+        let mut by_platform = BTreeMap::new();
+        by_platform.insert("P4C/crash".to_string(), 3);
+        by_platform.insert("P4C/semantic".to_string(), 7);
+        by_platform.insert("BMv2/semantic".to_string(), 2);
+        by_platform.insert("Tofino/crash".to_string(), 1);
+        by_platform.insert("Tofino/semantic".to_string(), 3);
+        let mut by_area = BTreeMap::new();
+        by_area.insert("Front End".to_string(), 8);
+        by_area.insert("Mid End".to_string(), 2);
+        by_area.insert("Back End".to_string(), 6);
+        CampaignReport {
+            outcomes: vec![SeededBugOutcome {
+                bug: "ExitSkipsCopyOut".into(),
+                platform: Platform::P4c,
+                area: CompilerArea::FrontEnd,
+                crash_class: false,
+                detected: true,
+                detecting_programs: 1,
+                programs_run: 1,
+            }],
+            by_platform,
+            by_area,
+            false_alarms: 0,
+            total_detected: 16,
+        }
+    }
+
+    #[test]
+    fn table2_contains_platform_columns() {
+        let text = render_table2(&sample_report());
+        assert!(text.contains("P4C"));
+        assert!(text.contains("Tofino"));
+        assert!(text.contains("Crash"));
+        assert!(text.contains("Semantic"));
+    }
+
+    #[test]
+    fn table3_lists_all_areas() {
+        let text = render_table3(&sample_report());
+        assert!(text.contains("Front End"));
+        assert!(text.contains("Mid End"));
+        assert!(text.contains("Back End"));
+        assert!(text.contains("16"));
+    }
+
+    #[test]
+    fn detection_matrix_mentions_each_class() {
+        let text = render_detection_matrix(&sample_report());
+        assert!(text.contains("ExitSkipsCopyOut"));
+        assert!(text.contains("yes (1/1)"));
+    }
+}

@@ -1,0 +1,18 @@
+//! # p4-check — type checker and semantic checks for the P4-16 subset
+//!
+//! The checker enforces the static rules that make a program "type correct"
+//! and "statically conforming" (levels 4–5 of McKeeman's taxonomy, paper
+//! Table 1): every name resolves, expressions are well-typed, assignments
+//! target writable l-values, arguments bound to `out`/`inout` parameters are
+//! writable l-values, tables reference declared actions, and the package
+//! instantiation matches the architecture's block signatures.
+//!
+//! Gauntlet's random program generator promises to emit only programs that
+//! pass this checker (paper §4.2: a generated program rejected by the parser
+//! or type checker is a bug in the generator, not the compiler); the
+//! property tests in `p4-gen` enforce exactly that contract against this
+//! implementation.
+
+pub mod typecheck;
+
+pub use typecheck::{check_program, CheckError, CheckErrorKind, CheckOptions};

@@ -1,0 +1,179 @@
+//! Generator configuration: sizes, probabilities, and feature toggles.
+//!
+//! The paper emphasises that the amount of randomly generated code is
+//! user-configurable so programs stay "small and targeted" (§4.1), and that
+//! the generator is steered by adjusting the probability of each AST node
+//! kind.  `GeneratorConfig` captures exactly those knobs.
+
+use serde::{Deserialize, Serialize};
+
+/// Relative weights for statement kinds in generated bodies.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StatementWeights {
+    pub assignment: u32,
+    pub slice_assignment: u32,
+    pub if_statement: u32,
+    pub declaration: u32,
+    pub table_apply: u32,
+    pub action_call: u32,
+    pub function_call: u32,
+    pub set_validity: u32,
+    pub exit: u32,
+}
+
+impl Default for StatementWeights {
+    fn default() -> Self {
+        StatementWeights {
+            assignment: 40,
+            slice_assignment: 8,
+            if_statement: 18,
+            declaration: 12,
+            table_apply: 10,
+            action_call: 8,
+            function_call: 6,
+            set_validity: 5,
+            exit: 2,
+        }
+    }
+}
+
+/// Relative weights for expression kinds.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExpressionWeights {
+    pub literal: u32,
+    pub variable: u32,
+    pub arithmetic: u32,
+    pub bitwise: u32,
+    pub shift: u32,
+    pub comparison_ternary: u32,
+    pub slice: u32,
+    pub cast: u32,
+    pub saturating: u32,
+}
+
+impl Default for ExpressionWeights {
+    fn default() -> Self {
+        ExpressionWeights {
+            literal: 22,
+            variable: 30,
+            arithmetic: 16,
+            bitwise: 12,
+            shift: 6,
+            comparison_ternary: 6,
+            slice: 4,
+            cast: 6,
+            saturating: 3,
+        }
+    }
+}
+
+/// Top-level generator configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GeneratorConfig {
+    /// Target architecture (`"v1model"` or `"tna"`).
+    pub architecture: String,
+    /// Number of statements in the ingress apply block.
+    pub max_apply_statements: usize,
+    /// Number of statements per generated action body.
+    pub max_action_statements: usize,
+    /// Maximum expression tree depth.
+    pub max_expression_depth: usize,
+    /// Number of extra actions to declare (besides `NoAction`).
+    pub max_actions: usize,
+    /// Number of tables to declare.
+    pub max_tables: usize,
+    /// Number of helper functions to declare.
+    pub max_functions: usize,
+    /// Maximum nesting depth of `if` statements.
+    pub max_if_depth: usize,
+    pub statements: StatementWeights,
+    pub expressions: ExpressionWeights,
+    /// Generate `exit` statements (needed to exercise the Figure-5f family).
+    pub allow_exit: bool,
+    /// Generate `1 << x`-style expressions with unsized literals (the
+    /// Figure-5b type-inference crash trigger).
+    pub allow_unsized_shift: bool,
+    /// Generate slices of casts (the Figure-5c strength-reduction trigger).
+    pub allow_const_slices: bool,
+    /// Generate calls to actions/functions with `inout` arguments (the
+    /// copy-in/copy-out bug family).
+    pub allow_inout_calls: bool,
+    /// Generate header validity manipulation (`setValid`/`setInvalid`).
+    pub allow_validity_ops: bool,
+}
+
+impl Default for GeneratorConfig {
+    fn default() -> Self {
+        GeneratorConfig {
+            architecture: "v1model".into(),
+            max_apply_statements: 8,
+            max_action_statements: 4,
+            max_expression_depth: 3,
+            max_actions: 3,
+            max_tables: 2,
+            max_functions: 2,
+            max_if_depth: 2,
+            statements: StatementWeights::default(),
+            expressions: ExpressionWeights::default(),
+            allow_exit: true,
+            allow_unsized_shift: true,
+            allow_const_slices: true,
+            allow_inout_calls: true,
+            allow_validity_ops: true,
+        }
+    }
+}
+
+impl GeneratorConfig {
+    /// A configuration restricted to what the (simulated) Tofino back end
+    /// supports: narrower operands, no multiplications, no variable shifts.
+    pub fn tofino() -> GeneratorConfig {
+        GeneratorConfig {
+            architecture: "tna".into(),
+            allow_unsized_shift: false,
+            ..GeneratorConfig::default()
+        }
+    }
+
+    /// A small configuration for fast smoke tests.
+    pub fn tiny() -> GeneratorConfig {
+        GeneratorConfig {
+            max_apply_statements: 3,
+            max_action_statements: 2,
+            max_expression_depth: 2,
+            max_actions: 1,
+            max_tables: 1,
+            max_functions: 1,
+            max_if_depth: 1,
+            ..GeneratorConfig::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_reasonable() {
+        let config = GeneratorConfig::default();
+        assert_eq!(config.architecture, "v1model");
+        assert!(config.max_apply_statements > 0);
+        assert!(config.statements.assignment > 0);
+    }
+
+    #[test]
+    fn tofino_config_targets_tna() {
+        let config = GeneratorConfig::tofino();
+        assert_eq!(config.architecture, "tna");
+        assert!(!config.allow_unsized_shift);
+    }
+
+    #[test]
+    fn config_roundtrips_through_serde() {
+        let config = GeneratorConfig::default();
+        let json = serde_json::to_string(&config).unwrap();
+        let back: GeneratorConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.max_apply_statements, config.max_apply_statements);
+    }
+}

@@ -1,0 +1,721 @@
+//! The random program generator (paper §4).
+//!
+//! Programs are grown as ASTs: the generator keeps a scope of typed
+//! l-values (header fields, metadata fields, declared locals, callable
+//! parameters) and probabilistically picks which statement or expression
+//! node to add next, always producing well-typed code.  A program rejected
+//! by the parser or the type checker is a generator bug, not a compiler bug
+//! (§4.2) — the property tests in this crate enforce that contract.
+
+use crate::config::GeneratorConfig;
+use p4_ir::builder::{self, SkeletonOptions};
+use p4_ir::{
+    ActionDecl, ActionRef, Architecture, BinOp, Block, Declaration, Direction, Expr,
+    FunctionDecl, KeyElement, MatchKind, Param, Program, Statement, TableDecl, Type, UnOp,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A writable l-value the generator may reference, with its bit width.
+#[derive(Debug, Clone)]
+struct LValue {
+    /// Dotted path, e.g. `["hdr", "h", "a"]`.
+    path: Vec<String>,
+    width: u32,
+    /// Whether the value may be written (header/metadata fields and locals
+    /// are writable; function `in` parameters are not).
+    writable: bool,
+}
+
+impl LValue {
+    fn expr(&self) -> Expr {
+        let parts: Vec<&str> = self.path.iter().map(String::as_str).collect();
+        Expr::dotted(&parts)
+    }
+}
+
+/// The random program generator.
+pub struct RandomProgramGenerator {
+    config: GeneratorConfig,
+    rng: StdRng,
+    restrictions: p4_ir::TargetRestrictions,
+    counter: u32,
+}
+
+impl RandomProgramGenerator {
+    pub fn new(config: GeneratorConfig, seed: u64) -> RandomProgramGenerator {
+        let restrictions = Architecture::by_name(&config.architecture)
+            .map(|a| a.restrictions)
+            .unwrap_or_default();
+        RandomProgramGenerator { config, rng: StdRng::seed_from_u64(seed), restrictions, counter: 0 }
+    }
+
+    /// Generates one complete, well-typed program.
+    pub fn generate(&mut self) -> Program {
+        self.counter = 0;
+        let functions = self.generate_functions();
+        let (actions, action_names) = self.generate_actions();
+        let tables = self.generate_tables(&action_names);
+        let table_names: Vec<String> = tables.iter().map(|t| t.name.clone()).collect();
+        let direct_actions: Vec<ActionDecl> =
+            actions.iter().filter(|a| !a.params.is_empty()).cloned().collect();
+        let function_decls: Vec<FunctionDecl> = functions.clone();
+
+        let mut locals: Vec<Declaration> = Vec::new();
+        locals.push(Declaration::Action(builder::no_action()));
+        locals.extend(actions.into_iter().map(Declaration::Action));
+        locals.extend(tables.into_iter().map(Declaration::Table));
+
+        let mut scope = self.base_lvalues();
+        let apply = self.generate_block(
+            self.config.max_apply_statements,
+            &mut scope,
+            &table_names,
+            &direct_actions,
+            &function_decls,
+            self.config.max_if_depth,
+            true,
+        );
+
+        let options = SkeletonOptions { architecture: self.config.architecture.clone() };
+        let mut program = builder::program_with_ingress(&options, locals, apply);
+        for function in functions {
+            program.declarations.insert(0, Declaration::Function(function));
+        }
+        program
+    }
+
+    fn fresh(&mut self, prefix: &str) -> String {
+        let name = format!("{prefix}{}", self.counter);
+        self.counter += 1;
+        name
+    }
+
+    fn pick(&mut self, upper: usize) -> usize {
+        self.rng.gen_range(0..upper.max(1))
+    }
+
+    fn chance(&mut self, percent: u32) -> bool {
+        self.rng.gen_range(0..100) < percent
+    }
+
+    // ---- scope ------------------------------------------------------------
+
+    /// The header/metadata fields every generated program can use.
+    fn base_lvalues(&self) -> Vec<LValue> {
+        let mut lvalues = vec![
+            LValue { path: dotted(&["hdr", "eth", "dst_addr"]), width: 48, writable: true },
+            LValue { path: dotted(&["hdr", "eth", "src_addr"]), width: 48, writable: true },
+            LValue { path: dotted(&["hdr", "eth", "eth_type"]), width: 16, writable: true },
+            LValue { path: dotted(&["hdr", "h", "a"]), width: 8, writable: true },
+            LValue { path: dotted(&["hdr", "h", "b"]), width: 8, writable: true },
+            LValue { path: dotted(&["hdr", "h", "c"]), width: 8, writable: true },
+            LValue { path: dotted(&["meta", "tmp"]), width: 16, writable: true },
+            LValue { path: dotted(&["meta", "flag"]), width: 8, writable: true },
+        ];
+        if self.config.architecture == "v1model" {
+            lvalues.push(LValue {
+                path: dotted(&["standard_metadata", "egress_spec"]),
+                width: 9,
+                writable: true,
+            });
+        } else {
+            lvalues.push(LValue {
+                path: dotted(&["ig_intr_md", "ucast_egress_port"]),
+                width: 9,
+                writable: true,
+            });
+        }
+        // Respect the target's operand-width restriction.
+        let max_width = self.restrictions.max_operand_width;
+        lvalues.retain(|lv| lv.width <= max_width);
+        lvalues
+    }
+
+    // ---- top-level callables -------------------------------------------------
+
+    fn generate_functions(&mut self) -> Vec<FunctionDecl> {
+        let count = self.pick(self.config.max_functions + 1);
+        (0..count).map(|_| self.generate_function()).collect()
+    }
+
+    fn generate_function(&mut self) -> FunctionDecl {
+        let name = self.fresh("fun_");
+        let width = 8;
+        let direction = if self.config.allow_inout_calls && self.chance(50) {
+            Direction::InOut
+        } else {
+            Direction::In
+        };
+        let param = Param::new(direction, "x", Type::bits(width));
+        let mut scope = vec![LValue {
+            path: vec!["x".into()],
+            width,
+            writable: direction == Direction::InOut,
+        }];
+        let mut statements = Vec::new();
+        if direction == Direction::InOut && self.chance(60) {
+            let value = self.generate_expression(width, &scope, self.config.max_expression_depth);
+            statements.push(Statement::assign(Expr::path("x"), value));
+        }
+        // Optional early return inside a conditional, to exercise the
+        // return-flag path of inlining.
+        if self.chance(40) {
+            let cond = self.generate_condition(&scope, 1);
+            let value = self.generate_expression(width, &scope, 1);
+            statements.push(Statement::if_then(
+                cond,
+                Statement::Block(Block::new(vec![Statement::Return(Some(value))])),
+            ));
+        }
+        let final_value = self.generate_expression(width, &scope, self.config.max_expression_depth);
+        statements.push(Statement::Return(Some(final_value)));
+        scope.clear();
+        FunctionDecl { name, return_type: Type::bits(width), params: vec![param], body: Block::new(statements) }
+    }
+
+    fn generate_actions(&mut self) -> (Vec<ActionDecl>, Vec<String>) {
+        let count = 1 + self.pick(self.config.max_actions);
+        let mut actions = Vec::new();
+        let mut table_action_names = Vec::new();
+        for index in 0..count {
+            let name = self.fresh("act_");
+            // Actions bound to tables carry either no parameters or a
+            // directionless (control-plane) parameter; directly invoked
+            // actions carry an `inout` parameter.
+            let direct = self.config.allow_inout_calls && index % 3 == 2;
+            let mut params = Vec::new();
+            let mut scope = self.base_lvalues();
+            if direct {
+                params.push(Param::new(Direction::InOut, "val", Type::bits(8)));
+                scope.push(LValue { path: vec!["val".into()], width: 8, writable: true });
+            } else if self.chance(50) {
+                params.push(Param::new(Direction::None, "port", Type::bits(8)));
+                scope.push(LValue { path: vec!["port".into()], width: 8, writable: false });
+            }
+            let statement_count = 1 + self.pick(self.config.max_action_statements);
+            let mut statements = Vec::new();
+            for _ in 0..statement_count {
+                statements.push(self.generate_action_statement(&scope));
+            }
+            if direct && self.config.allow_exit && self.chance(25) {
+                statements.push(Statement::Exit);
+            }
+            if !direct {
+                table_action_names.push(name.clone());
+            }
+            actions.push(ActionDecl { name, params, body: Block::new(statements) });
+        }
+        (actions, table_action_names)
+    }
+
+    /// Action bodies stick to assignments and simple conditionals so they
+    /// remain valid predication targets.
+    fn generate_action_statement(&mut self, scope: &[LValue]) -> Statement {
+        if self.chance(30) {
+            let cond = self.generate_condition(scope, 1);
+            let target = self.pick_writable(scope);
+            let value = self.generate_expression(target.width, scope, 1);
+            Statement::if_then(
+                cond,
+                Statement::Block(Block::new(vec![Statement::assign(target.expr(), value)])),
+            )
+        } else {
+            let target = self.pick_writable(scope);
+            let value =
+                self.generate_expression(target.width, scope, self.config.max_expression_depth);
+            Statement::assign(target.expr(), value)
+        }
+    }
+
+    fn generate_tables(&mut self, action_names: &[String]) -> Vec<TableDecl> {
+        let count = self.pick(self.config.max_tables + 1).min(self.restrictions.max_tables_per_control);
+        let mut tables = Vec::new();
+        let scope = self.base_lvalues();
+        for _ in 0..count {
+            let name = self.fresh("t_");
+            let key_count = 1 + self.pick(2);
+            let keys = (0..key_count)
+                .map(|_| {
+                    let lvalue = &scope[self.pick(scope.len())];
+                    KeyElement { expr: lvalue.expr(), match_kind: MatchKind::Exact }
+                })
+                .collect();
+            let mut actions: Vec<ActionRef> =
+                action_names.iter().map(|n| ActionRef::new(n.clone())).collect();
+            actions.push(ActionRef::new("NoAction"));
+            tables.push(TableDecl {
+                name,
+                keys,
+                actions,
+                default_action: ActionRef::new("NoAction"),
+            });
+        }
+        tables
+    }
+
+    // ---- statements ------------------------------------------------------------
+
+    #[allow(clippy::too_many_arguments)]
+    fn generate_block(
+        &mut self,
+        statement_count: usize,
+        scope: &mut Vec<LValue>,
+        tables: &[String],
+        direct_actions: &[ActionDecl],
+        functions: &[FunctionDecl],
+        if_depth: usize,
+        allow_exit: bool,
+    ) -> Block {
+        let mut statements = Vec::new();
+        let count = 1 + self.pick(statement_count.max(1));
+        for _ in 0..count {
+            let statement = self.generate_statement(
+                scope,
+                tables,
+                direct_actions,
+                functions,
+                if_depth,
+                allow_exit,
+            );
+            statements.push(statement);
+        }
+        Block::new(statements)
+    }
+
+    fn generate_statement(
+        &mut self,
+        scope: &mut Vec<LValue>,
+        tables: &[String],
+        direct_actions: &[ActionDecl],
+        functions: &[FunctionDecl],
+        if_depth: usize,
+        allow_exit: bool,
+    ) -> Statement {
+        let w = &self.config.statements;
+        let mut choices: Vec<(u32, u8)> = vec![
+            (w.assignment, 0),
+            (w.slice_assignment, 1),
+            (w.declaration, 3),
+            (w.set_validity, 7),
+        ];
+        if if_depth > 0 {
+            choices.push((w.if_statement, 2));
+        }
+        if !tables.is_empty() {
+            choices.push((w.table_apply, 4));
+        }
+        if !direct_actions.is_empty() {
+            choices.push((w.action_call, 5));
+        }
+        if !functions.is_empty() {
+            choices.push((w.function_call, 6));
+        }
+        if allow_exit && self.config.allow_exit {
+            choices.push((w.exit, 8));
+        }
+        match self.weighted_choice(&choices) {
+            0 => {
+                let target = self.pick_writable(scope);
+                let value =
+                    self.generate_expression(target.width, scope, self.config.max_expression_depth);
+                Statement::assign(target.expr(), value)
+            }
+            1 => {
+                // Slice assignment: pick a field wide enough to slice.
+                let candidates: Vec<LValue> = scope
+                    .iter()
+                    .filter(|lv| lv.writable && lv.width >= 8)
+                    .cloned()
+                    .collect();
+                if candidates.is_empty() {
+                    return Statement::Empty;
+                }
+                let target = candidates[self.pick(candidates.len())].clone();
+                let hi = self.rng.gen_range(1..target.width.min(16));
+                let lo = self.rng.gen_range(0..=hi.saturating_sub(1));
+                let width = hi - lo + 1;
+                let value = self.generate_expression(width, scope, 1);
+                Statement::Assign { lhs: Expr::slice(target.expr(), hi, lo), rhs: value }
+            }
+            2 => {
+                let cond = self.generate_condition(scope, self.config.max_expression_depth);
+                let mut then_scope = scope.clone();
+                let then_block = self.generate_block(
+                    2,
+                    &mut then_scope,
+                    tables,
+                    direct_actions,
+                    functions,
+                    if_depth - 1,
+                    allow_exit,
+                );
+                if self.chance(50) {
+                    let mut else_scope = scope.clone();
+                    let else_block = self.generate_block(
+                        2,
+                        &mut else_scope,
+                        tables,
+                        direct_actions,
+                        functions,
+                        if_depth - 1,
+                        allow_exit,
+                    );
+                    Statement::if_else(
+                        cond,
+                        Statement::Block(then_block),
+                        Statement::Block(else_block),
+                    )
+                } else {
+                    Statement::if_then(cond, Statement::Block(then_block))
+                }
+            }
+            3 => {
+                let width = *[8u32, 16, 8, 9][self.pick(4)..].first().expect("non-empty");
+                let name = self.fresh("var_");
+                let init = if self.chance(80) {
+                    Some(self.generate_expression(width, scope, self.config.max_expression_depth))
+                } else {
+                    None
+                };
+                scope.push(LValue { path: vec![name.clone()], width, writable: true });
+                Statement::Declare { name, ty: Type::bits(width), init }
+            }
+            4 => {
+                let table = &tables[self.pick(tables.len())];
+                Statement::call(vec![table.as_str(), "apply"], vec![])
+            }
+            5 => {
+                let action = &direct_actions[self.pick(direct_actions.len())];
+                let args: Vec<Expr> = action
+                    .params
+                    .iter()
+                    .map(|param| {
+                        let width = param.ty.width().unwrap_or(8);
+                        if param.direction.requires_lvalue() {
+                            self.pick_writable_of_width(scope, width).expr()
+                        } else {
+                            self.generate_expression(width, scope, 1)
+                        }
+                    })
+                    .collect();
+                Statement::Call(p4_ir::CallExpr::new(vec![action.name.clone()], args))
+            }
+            6 => {
+                let function = &functions[self.pick(functions.len())];
+                let width = function.return_type.width().unwrap_or(8);
+                let args: Vec<Expr> = function
+                    .params
+                    .iter()
+                    .map(|param| {
+                        let param_width = param.ty.width().unwrap_or(8);
+                        if param.direction.requires_lvalue() {
+                            self.pick_writable_of_width(scope, param_width).expr()
+                        } else {
+                            self.generate_expression(param_width, scope, 1)
+                        }
+                    })
+                    .collect();
+                let call = Expr::Call(Box::new(p4_ir::CallExpr::new(vec![function.name.clone()], args)));
+                let target = self.pick_writable_of_width(scope, width);
+                // Either assign the result directly or embed the call in a
+                // larger expression (exercising side-effect ordering).
+                if self.chance(50) {
+                    Statement::assign(target.expr(), call)
+                } else {
+                    let extra = self.generate_expression(width, scope, 1);
+                    Statement::assign(target.expr(), Expr::binary(BinOp::Add, call, extra))
+                }
+            }
+            7 => {
+                if !self.config.allow_validity_ops {
+                    return Statement::Empty;
+                }
+                let method = if self.chance(50) { "setValid" } else { "setInvalid" };
+                Statement::call(vec!["hdr", "h", method], vec![])
+            }
+            _ => Statement::Exit,
+        }
+    }
+
+    fn weighted_choice(&mut self, choices: &[(u32, u8)]) -> u8 {
+        let total: u32 = choices.iter().map(|(w, _)| *w).sum();
+        if total == 0 {
+            return 0;
+        }
+        let mut roll = self.rng.gen_range(0..total);
+        for (weight, tag) in choices {
+            if roll < *weight {
+                return *tag;
+            }
+            roll -= weight;
+        }
+        choices.last().map(|(_, t)| *t).unwrap_or(0)
+    }
+
+    fn pick_writable(&mut self, scope: &[LValue]) -> LValue {
+        let writable: Vec<&LValue> = scope.iter().filter(|lv| lv.writable).collect();
+        writable[self.pick(writable.len())].clone()
+    }
+
+    fn pick_writable_of_width(&mut self, scope: &[LValue], width: u32) -> LValue {
+        let candidates: Vec<&LValue> =
+            scope.iter().filter(|lv| lv.writable && lv.width == width).collect();
+        if candidates.is_empty() {
+            // Fall back to the custom header field of that width if present,
+            // otherwise any 8-bit field (the skeleton always has them).
+            return scope
+                .iter()
+                .filter(|lv| lv.writable)
+                .min_by_key(|lv| (lv.width as i64 - i64::from(width)).unsigned_abs())
+                .cloned()
+                .expect("scope always contains writable l-values");
+        }
+        candidates[self.pick(candidates.len())].clone()
+    }
+
+    // ---- expressions ---------------------------------------------------------------
+
+    fn generate_condition(&mut self, scope: &[LValue], depth: usize) -> Expr {
+        let lvalue = &scope[self.pick(scope.len())];
+        let width = lvalue.width;
+        let left = if depth > 1 {
+            self.generate_expression(width, scope, depth - 1)
+        } else {
+            lvalue.expr()
+        };
+        let right = self.generate_expression(width, scope, 1);
+        let op = [BinOp::Eq, BinOp::Ne, BinOp::Lt, BinOp::Le, BinOp::Gt, BinOp::Ge]
+            [self.pick(6)];
+        let comparison = Expr::binary(op, left, right);
+        let headers_in_scope = scope.iter().any(|lv| lv.path.first().map(String::as_str) == Some("hdr"));
+        if self.config.allow_validity_ops && headers_in_scope && self.chance(15) {
+            Expr::binary(
+                BinOp::And,
+                Expr::call(vec!["hdr", "h", "isValid"], vec![]),
+                comparison,
+            )
+        } else if self.chance(10) {
+            Expr::unary(UnOp::Not, comparison)
+        } else {
+            comparison
+        }
+    }
+
+    /// Generates an expression of exactly `width` bits.
+    fn generate_expression(&mut self, width: u32, scope: &[LValue], depth: usize) -> Expr {
+        if depth == 0 {
+            return self.generate_leaf(width, scope);
+        }
+        let w = &self.config.expressions;
+        let mut choices: Vec<(u32, u8)> = vec![
+            (w.literal, 0),
+            (w.variable, 1),
+            (w.arithmetic, 2),
+            (w.bitwise, 3),
+            (w.comparison_ternary, 5),
+            (w.cast, 7),
+        ];
+        if self.restrictions.allows_variable_shift || true {
+            choices.push((w.shift, 4));
+        }
+        if width >= 2 {
+            choices.push((w.slice, 6));
+        }
+        choices.push((w.saturating, 8));
+        match self.weighted_choice(&choices) {
+            0 => self.literal(width),
+            1 => self.generate_leaf(width, scope),
+            2 => {
+                let op = if self.restrictions.allows_multiplication && self.chance(25) {
+                    BinOp::Mul
+                } else if self.chance(50) {
+                    BinOp::Add
+                } else {
+                    BinOp::Sub
+                };
+                Expr::binary(
+                    op,
+                    self.generate_expression(width, scope, depth - 1),
+                    self.generate_expression(width, scope, depth - 1),
+                )
+            }
+            3 => {
+                let op = [BinOp::BitAnd, BinOp::BitOr, BinOp::BitXor][self.pick(3)];
+                Expr::binary(
+                    op,
+                    self.generate_expression(width, scope, depth - 1),
+                    self.generate_expression(width, scope, depth - 1),
+                )
+            }
+            4 => {
+                let op = if self.chance(50) { BinOp::Shl } else { BinOp::Shr };
+                let amount = if self.restrictions.allows_variable_shift && self.chance(30) {
+                    self.generate_leaf(width, scope)
+                } else {
+                    Expr::uint(u128::from(self.rng.gen_range(0..width.min(16))), width)
+                };
+                let base = if self.config.allow_unsized_shift && op == BinOp::Shl && self.chance(10)
+                {
+                    // The Figure-5b shape: an unsized literal shifted by a
+                    // run-time amount, wrapped in a cast to fix the width.
+                    return Expr::cast(
+                        Type::bits(width),
+                        Expr::binary(BinOp::Shl, Expr::int(1), self.generate_leaf(width, scope)),
+                    );
+                } else {
+                    self.generate_expression(width, scope, depth - 1)
+                };
+                Expr::binary(op, base, amount)
+            }
+            5 => {
+                let cond = self.generate_condition(scope, 1);
+                Expr::ternary(
+                    cond,
+                    self.generate_expression(width, scope, depth - 1),
+                    self.generate_expression(width, scope, depth - 1),
+                )
+            }
+            6 => {
+                // Slice of a wider value, or of a cast (Figure 5c's shape).
+                let wider: Vec<&LValue> = scope.iter().filter(|lv| lv.width > width).collect();
+                if !wider.is_empty() && self.chance(70) {
+                    let base = wider[self.pick(wider.len())].clone();
+                    let lo = self.rng.gen_range(0..=(base.width - width));
+                    Expr::slice(base.expr(), lo + width - 1, lo)
+                } else if self.config.allow_const_slices {
+                    let base_width = width * 2;
+                    let inner = self.generate_expression(base_width, scope, 0);
+                    Expr::slice(Expr::cast(Type::bits(base_width), inner), width - 1, 0)
+                } else {
+                    self.generate_leaf(width, scope)
+                }
+            }
+            7 => {
+                // Cast from a different width.
+                let source_width = [8u32, 16, 48, 9, 4][self.pick(5)];
+                let inner = self.generate_expression(
+                    source_width.min(self.restrictions.max_operand_width),
+                    scope,
+                    depth - 1,
+                );
+                Expr::cast(Type::bits(width), inner)
+            }
+            _ => {
+                let op = if self.chance(50) { BinOp::SatAdd } else { BinOp::SatSub };
+                Expr::binary(
+                    op,
+                    self.generate_expression(width, scope, depth - 1),
+                    self.generate_expression(width, scope, depth - 1),
+                )
+            }
+        }
+    }
+
+    fn generate_leaf(&mut self, width: u32, scope: &[LValue]) -> Expr {
+        let matching: Vec<&LValue> = scope.iter().filter(|lv| lv.width == width).collect();
+        if !matching.is_empty() && self.chance(70) {
+            return matching[self.pick(matching.len())].clone().expr();
+        }
+        // A cast of any in-scope value, or a literal.
+        if !scope.is_empty() && self.chance(40) {
+            let lvalue = &scope[self.pick(scope.len())];
+            return Expr::cast(Type::bits(width), lvalue.expr());
+        }
+        self.literal(width)
+    }
+
+    fn literal(&mut self, width: u32) -> Expr {
+        let max = p4_ir::max_unsigned(width.min(64));
+        let value = u128::from(self.rng.gen_range(0..=max.min(u128::from(u64::MAX)) as u64));
+        Expr::uint(value & p4_ir::max_unsigned(width), width)
+    }
+}
+
+fn dotted(parts: &[&str]) -> Vec<String> {
+    parts.iter().map(|s| s.to_string()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p4_check::check_program;
+    use p4_ir::print_program;
+
+    #[test]
+    fn generated_programs_type_check() {
+        for seed in 0..60 {
+            let mut generator = RandomProgramGenerator::new(GeneratorConfig::default(), seed);
+            let program = generator.generate();
+            let errors = check_program(&program);
+            assert!(
+                errors.is_empty(),
+                "seed {seed} produced an ill-typed program:\n{}\n{errors:#?}",
+                print_program(&program)
+            );
+        }
+    }
+
+    #[test]
+    fn generated_programs_roundtrip_through_the_printer_and_parser() {
+        for seed in 0..20 {
+            let mut generator = RandomProgramGenerator::new(GeneratorConfig::default(), seed);
+            let program = generator.generate();
+            let text = print_program(&program);
+            let reparsed = p4_parser::parse_program(&text)
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}\n{text}"));
+            assert_eq!(print_program(&reparsed), text, "seed {seed} does not round-trip");
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let a = RandomProgramGenerator::new(GeneratorConfig::default(), 42).generate();
+        let b = RandomProgramGenerator::new(GeneratorConfig::default(), 42).generate();
+        assert_eq!(print_program(&a), print_program(&b));
+        let c = RandomProgramGenerator::new(GeneratorConfig::default(), 43).generate();
+        assert_ne!(print_program(&a), print_program(&c));
+    }
+
+    #[test]
+    fn tofino_configuration_respects_target_restrictions() {
+        for seed in 0..20 {
+            let mut generator = RandomProgramGenerator::new(GeneratorConfig::tofino(), seed);
+            let program = generator.generate();
+            assert_eq!(program.architecture, "tna");
+            let text = print_program(&program);
+            // No references to the 48-bit MAC address fields in expressions
+            // (they exceed the 32-bit operand restriction).
+            assert!(!text.contains("dst_addr +"));
+            let errors = check_program(&program);
+            assert!(errors.is_empty(), "seed {seed}: {errors:#?}");
+        }
+    }
+
+    #[test]
+    fn programs_exercise_a_variety_of_constructs() {
+        let mut saw_table = false;
+        let mut saw_if = false;
+        let mut saw_call = false;
+        let mut saw_slice = false;
+        for seed in 0..40 {
+            let mut generator = RandomProgramGenerator::new(GeneratorConfig::default(), seed);
+            let text = print_program(&generator.generate());
+            saw_table |= text.contains(".apply()");
+            saw_if |= text.contains("if (");
+            saw_call |= text.contains("fun_") || text.contains("act_");
+            saw_slice |= text.contains("[");
+        }
+        assert!(saw_table, "no generated program applied a table");
+        assert!(saw_if, "no generated program branched");
+        assert!(saw_call, "no generated program called a function or action");
+        assert!(saw_slice, "no generated program used slices");
+    }
+
+    #[test]
+    fn generated_program_sizes_are_bounded() {
+        let mut generator = RandomProgramGenerator::new(GeneratorConfig::tiny(), 7);
+        let program = generator.generate();
+        assert!(program.size() < 400, "tiny config should produce small programs");
+    }
+}

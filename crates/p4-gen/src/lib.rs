@@ -1,0 +1,14 @@
+//! # p4-gen — random P4 program generation
+//!
+//! Gauntlet's first technique (paper §4): grow random, syntactically valid,
+//! well-typed programs that exercise as many language constructs — and
+//! therefore as many compiler passes — as possible.  The generator is
+//! configurable ([`GeneratorConfig`]) so programs stay small and targeted,
+//! and it can be specialised per back end (v1model vs the restricted TNA
+//! model), mirroring §4.2.
+
+pub mod config;
+pub mod generator;
+
+pub use config::{ExpressionWeights, GeneratorConfig, StatementWeights};
+pub use generator::RandomProgramGenerator;

@@ -1,0 +1,49 @@
+//! Property-based tests for the random program generator: for *any* seed the
+//! generated program must be well-typed, printable, re-parseable, and within
+//! the configured size bounds — the generator contract from paper §4.2.
+
+use p4_check::check_program;
+use p4_gen::{GeneratorConfig, RandomProgramGenerator};
+use p4_ir::print_program;
+use p4_parser::parse_program;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    #[test]
+    fn any_seed_produces_a_well_typed_program(seed in any::<u64>()) {
+        let mut generator = RandomProgramGenerator::new(GeneratorConfig::default(), seed);
+        let program = generator.generate();
+        let errors = check_program(&program);
+        prop_assert!(errors.is_empty(), "seed {seed}: {errors:#?}\n{}", print_program(&program));
+    }
+
+    #[test]
+    fn any_seed_round_trips_through_print_and_parse(seed in any::<u64>()) {
+        let mut generator = RandomProgramGenerator::new(GeneratorConfig::default(), seed);
+        let program = generator.generate();
+        let printed = print_program(&program);
+        let reparsed = parse_program(&printed)
+            .unwrap_or_else(|e| panic!("seed {seed}: {e}\n{printed}"));
+        prop_assert_eq!(print_program(&reparsed), printed);
+    }
+
+    #[test]
+    fn tiny_configuration_bounds_program_size(seed in any::<u64>()) {
+        let mut generator = RandomProgramGenerator::new(GeneratorConfig::tiny(), seed);
+        let program = generator.generate();
+        prop_assert!(program.size() < 600, "seed {seed}: size {}", program.size());
+    }
+
+    #[test]
+    fn tna_programs_respect_backend_restrictions(seed in any::<u64>()) {
+        let mut generator = RandomProgramGenerator::new(GeneratorConfig::tofino(), seed);
+        let program = generator.generate();
+        prop_assert_eq!(program.architecture.as_str(), "tna");
+        prop_assert!(check_program(&program).is_empty(), "seed {seed}");
+        // The TNA model forbids multiplication; the generator must not emit it.
+        let printed = print_program(&program);
+        prop_assert!(!printed.contains(" * "), "seed {seed} emitted a multiplication:\n{printed}");
+    }
+}

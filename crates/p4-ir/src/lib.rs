@@ -1,0 +1,31 @@
+//! # p4-ir — intermediate representation for the P4-16 subset
+//!
+//! This crate is the foundation of the Gauntlet reproduction: a typed AST /
+//! IR for a representative subset of P4-16, the target architecture models
+//! (v1model and a reduced TNA), a deterministic `ToP4` pretty printer, a
+//! visitor/mutator framework used by compiler passes, and builders for
+//! constructing complete skeleton programs.
+//!
+//! Every other crate in the workspace — the parser, type checker, nanopass
+//! compiler, symbolic interpreter, concrete targets, and the random program
+//! generator — operates on the types defined here, mirroring how the
+//! original Gauntlet is written against P4C's IR.
+
+pub mod arch;
+pub mod ast;
+pub mod builder;
+pub mod env;
+pub mod printer;
+pub mod types;
+pub mod visit;
+
+pub use arch::{Architecture, BlockKind, BlockSpec, TargetRestrictions};
+pub use ast::{
+    ActionDecl, ActionRef, BinOp, Block, CallExpr, ConstantDecl, ControlDecl, Declaration, Expr,
+    Field, FunctionDecl, HeaderDecl, KeyElement, PackageInstance, ParserDecl, ParserState,
+    Program, SelectCase, Statement, StructDecl, TableDecl, Transition, TypedefDecl, UnOp,
+};
+pub use env::{type_of, Aggregate, AggregateKind, Scope, TypeEnv};
+pub use printer::{print_expr, print_program, print_statement};
+pub use types::{max_unsigned, truncate, Direction, MatchKind, Param, Type};
+pub use visit::{Mutator, NodeCounter, Visitor};

@@ -1,0 +1,475 @@
+//! ToP4: pretty-prints the IR back into P4 source text.
+//!
+//! P4C maintains the invariant that every front- and mid-end pass emits a
+//! syntactically valid P4 program (paper §7.2, "Invalid transformations").
+//! Gauntlet re-parses the emitted program after every pass to catch
+//! violations of that invariant, so the printer and the parser must round
+//! trip.  The printer is deliberately deterministic: identical IR always
+//! prints to identical text, which the pass manager uses to detect whether
+//! a pass changed the program.
+
+use crate::ast::*;
+use crate::types::{Direction, Param, Type};
+use std::fmt::Write;
+
+/// Pretty-prints a whole program.
+pub fn print_program(program: &Program) -> String {
+    let mut p = Printer::new();
+    p.program(program);
+    p.out
+}
+
+/// Pretty-prints a single expression (used in error messages and tests).
+pub fn print_expr(expr: &Expr) -> String {
+    let mut p = Printer::new();
+    p.expr(expr);
+    p.out
+}
+
+/// Pretty-prints a single statement at indent level 0.
+pub fn print_statement(stmt: &Statement) -> String {
+    let mut p = Printer::new();
+    p.statement(stmt);
+    p.out
+}
+
+struct Printer {
+    out: String,
+    indent: usize,
+}
+
+impl Printer {
+    fn new() -> Printer {
+        Printer { out: String::new(), indent: 0 }
+    }
+
+    fn line(&mut self, text: &str) {
+        for _ in 0..self.indent {
+            self.out.push_str("    ");
+        }
+        self.out.push_str(text);
+        self.out.push('\n');
+    }
+
+    fn open(&mut self, text: &str) {
+        self.line(text);
+        self.indent += 1;
+    }
+
+    fn close(&mut self, text: &str) {
+        self.indent = self.indent.saturating_sub(1);
+        self.line(text);
+    }
+
+    fn program(&mut self, program: &Program) {
+        self.line(&format!("// architecture: {}", program.architecture));
+        self.line("#include <core.p4>");
+        self.line(&format!("#include <{}.p4>", program.architecture));
+        self.line("");
+        for decl in &program.declarations {
+            self.declaration(decl);
+            self.line("");
+        }
+        self.package(&program.package);
+    }
+
+    fn package(&mut self, pkg: &PackageInstance) {
+        if pkg.package.is_empty() {
+            return;
+        }
+        let args = pkg
+            .bindings
+            .iter()
+            .map(|(_, decl)| format!("{decl}()"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        self.line(&format!("{}({args}) main;", pkg.package));
+    }
+
+    fn declaration(&mut self, decl: &Declaration) {
+        match decl {
+            Declaration::Header(h) => {
+                self.open(&format!("header {} {{", h.name));
+                for field in &h.fields {
+                    self.line(&format!("{} {};", self.type_str(&field.ty), field.name));
+                }
+                self.close("}");
+            }
+            Declaration::Struct(s) => {
+                self.open(&format!("struct {} {{", s.name));
+                for field in &s.fields {
+                    self.line(&format!("{} {};", self.type_str(&field.ty), field.name));
+                }
+                self.close("}");
+            }
+            Declaration::Typedef(t) => {
+                self.line(&format!("typedef {} {};", self.type_str(&t.ty), t.name));
+            }
+            Declaration::Constant(c) => {
+                let mut value = String::new();
+                Self::expr_into(&mut value, &c.value);
+                self.line(&format!("const {} {} = {};", self.type_str(&c.ty), c.name, value));
+            }
+            Declaration::Action(a) => {
+                self.open(&format!("action {}({}) {{", a.name, self.params_str(&a.params)));
+                self.block_body(&a.body);
+                self.close("}");
+            }
+            Declaration::Function(f) => {
+                self.open(&format!(
+                    "{} {}({}) {{",
+                    self.type_str(&f.return_type),
+                    f.name,
+                    self.params_str(&f.params)
+                ));
+                self.block_body(&f.body);
+                self.close("}");
+            }
+            Declaration::Table(t) => self.table(t),
+            Declaration::Control(c) => {
+                self.open(&format!("control {}({}) {{", c.name, self.params_str(&c.params)));
+                for local in &c.locals {
+                    self.declaration(local);
+                }
+                self.open("apply {");
+                self.block_body(&c.apply);
+                self.close("}");
+                self.close("}");
+            }
+            Declaration::Parser(p) => {
+                self.open(&format!("parser {}({}) {{", p.name, self.params_str(&p.params)));
+                for local in &p.locals {
+                    self.declaration(local);
+                }
+                for state in &p.states {
+                    self.parser_state(state);
+                }
+                self.close("}");
+            }
+            Declaration::Variable { name, ty, init } => {
+                let ty_str = self.type_str(ty);
+                match init {
+                    Some(expr) => {
+                        let mut value = String::new();
+                        Self::expr_into(&mut value, expr);
+                        self.line(&format!("{ty_str} {name} = {value};"));
+                    }
+                    None => self.line(&format!("{ty_str} {name};")),
+                }
+            }
+        }
+    }
+
+    fn table(&mut self, t: &TableDecl) {
+        self.open(&format!("table {} {{", t.name));
+        if !t.keys.is_empty() {
+            self.open("key = {");
+            for key in &t.keys {
+                let mut expr = String::new();
+                Self::expr_into(&mut expr, &key.expr);
+                self.line(&format!("{expr} : {};", key.match_kind));
+            }
+            self.close("}");
+        }
+        self.open("actions = {");
+        for action in &t.actions {
+            self.line(&format!("{};", self.action_ref_str(action)));
+        }
+        self.close("}");
+        self.line(&format!("default_action = {};", self.action_ref_str(&t.default_action)));
+        self.close("}");
+    }
+
+    fn action_ref_str(&self, a: &ActionRef) -> String {
+        let mut args = String::new();
+        for (i, arg) in a.args.iter().enumerate() {
+            if i > 0 {
+                args.push_str(", ");
+            }
+            Self::expr_into(&mut args, arg);
+        }
+        format!("{}({args})", a.name)
+    }
+
+    fn parser_state(&mut self, state: &ParserState) {
+        self.open(&format!("state {} {{", state.name));
+        for stmt in &state.statements {
+            self.statement(stmt);
+        }
+        match &state.transition {
+            Transition::Direct(next) => self.line(&format!("transition {next};")),
+            Transition::Select { selector, cases } => {
+                let mut sel = String::new();
+                Self::expr_into(&mut sel, selector);
+                self.open(&format!("transition select({sel}) {{"));
+                for case in cases {
+                    match &case.value {
+                        Some(value) => {
+                            let mut v = String::new();
+                            Self::expr_into(&mut v, value);
+                            self.line(&format!("{v}: {};", case.next_state));
+                        }
+                        None => self.line(&format!("default: {};", case.next_state)),
+                    }
+                }
+                self.close("}");
+            }
+        }
+        self.close("}");
+    }
+
+    fn block_body(&mut self, block: &Block) {
+        for stmt in &block.statements {
+            self.statement(stmt);
+        }
+    }
+
+    fn statement(&mut self, stmt: &Statement) {
+        match stmt {
+            Statement::Assign { lhs, rhs } => {
+                let mut l = String::new();
+                let mut r = String::new();
+                Self::expr_into(&mut l, lhs);
+                Self::expr_into(&mut r, rhs);
+                self.line(&format!("{l} = {r};"));
+            }
+            Statement::Call(call) => {
+                let mut s = String::new();
+                Self::call_into(&mut s, call);
+                self.line(&format!("{s};"));
+            }
+            Statement::If { cond, then_branch, else_branch } => {
+                let mut c = String::new();
+                Self::expr_into(&mut c, cond);
+                self.open(&format!("if ({c}) {{"));
+                self.nested_statement(then_branch);
+                match else_branch {
+                    Some(else_stmt) => {
+                        self.close("} else {");
+                        self.indent += 1;
+                        self.nested_statement(else_stmt);
+                        self.close("}");
+                    }
+                    None => self.close("}"),
+                }
+            }
+            Statement::Block(block) => {
+                self.open("{");
+                self.block_body(block);
+                self.close("}");
+            }
+            Statement::Declare { name, ty, init } => {
+                let ty_str = self.type_str(ty);
+                match init {
+                    Some(expr) => {
+                        let mut value = String::new();
+                        Self::expr_into(&mut value, expr);
+                        self.line(&format!("{ty_str} {name} = {value};"));
+                    }
+                    None => self.line(&format!("{ty_str} {name};")),
+                }
+            }
+            Statement::Constant { name, ty, value } => {
+                let mut v = String::new();
+                Self::expr_into(&mut v, value);
+                self.line(&format!("const {} {name} = {v};", self.type_str(ty)));
+            }
+            Statement::Exit => self.line("exit;"),
+            Statement::Return(None) => self.line("return;"),
+            Statement::Return(Some(expr)) => {
+                let mut value = String::new();
+                Self::expr_into(&mut value, expr);
+                self.line(&format!("return {value};"));
+            }
+            Statement::Empty => self.line(";"),
+        }
+    }
+
+    /// Prints the body of an `if` branch: blocks are flattened so the output
+    /// matches the `{ ... }` we already opened.
+    fn nested_statement(&mut self, stmt: &Statement) {
+        match stmt {
+            Statement::Block(block) => self.block_body(block),
+            other => self.statement(other),
+        }
+    }
+
+    fn expr(&mut self, expr: &Expr) {
+        let mut s = String::new();
+        Self::expr_into(&mut s, expr);
+        self.out.push_str(&s);
+    }
+
+    fn type_str(&self, ty: &Type) -> String {
+        match ty {
+            Type::Packet => "packet_in".to_string(),
+            other => other.to_string(),
+        }
+    }
+
+    fn params_str(&self, params: &[Param]) -> String {
+        params
+            .iter()
+            .map(|p| {
+                let ty = self.type_str(&p.ty);
+                if p.direction == Direction::None {
+                    format!("{ty} {}", p.name)
+                } else {
+                    format!("{} {ty} {}", p.direction, p.name)
+                }
+            })
+            .collect::<Vec<_>>()
+            .join(", ")
+    }
+
+    fn call_into(out: &mut String, call: &CallExpr) {
+        out.push_str(&call.target.join("."));
+        out.push('(');
+        for (i, arg) in call.args.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            Self::expr_into(out, arg);
+        }
+        out.push(')');
+    }
+
+    /// Prints the base of a postfix operator (member access or slice).
+    /// Casts bind more loosely than postfix operators in P4, so a cast used
+    /// as a postfix base needs explicit parentheses to re-parse identically.
+    fn postfix_base_into(out: &mut String, base: &Expr) {
+        if matches!(base, Expr::Cast { .. }) {
+            out.push('(');
+            Self::expr_into(out, base);
+            out.push(')');
+        } else {
+            Self::expr_into(out, base);
+        }
+    }
+
+    fn expr_into(out: &mut String, expr: &Expr) {
+        match expr {
+            Expr::Bool(true) => out.push_str("true"),
+            Expr::Bool(false) => out.push_str("false"),
+            Expr::Int { value, width: Some(w), signed } => {
+                let prefix = if *signed { "s" } else { "w" };
+                let _ = write!(out, "{w}{prefix}{value}");
+            }
+            Expr::Int { value, width: None, .. } => {
+                let _ = write!(out, "{value}");
+            }
+            Expr::Path(name) => out.push_str(name),
+            Expr::Member { base, member } => {
+                Self::postfix_base_into(out, base);
+                out.push('.');
+                out.push_str(member);
+            }
+            Expr::Slice { base, hi, lo } => {
+                Self::postfix_base_into(out, base);
+                let _ = write!(out, "[{hi}:{lo}]");
+            }
+            Expr::Unary { op, operand } => {
+                let symbol = match op {
+                    UnOp::Not => "!",
+                    UnOp::BitNot => "~",
+                    UnOp::Neg => "-",
+                };
+                out.push_str(symbol);
+                out.push('(');
+                Self::expr_into(out, operand);
+                out.push(')');
+            }
+            Expr::Binary { op, left, right } => {
+                out.push('(');
+                Self::expr_into(out, left);
+                let _ = write!(out, " {} ", op.symbol());
+                Self::expr_into(out, right);
+                out.push(')');
+            }
+            Expr::Ternary { cond, then_expr, else_expr } => {
+                out.push('(');
+                Self::expr_into(out, cond);
+                out.push_str(" ? ");
+                Self::expr_into(out, then_expr);
+                out.push_str(" : ");
+                Self::expr_into(out, else_expr);
+                out.push(')');
+            }
+            Expr::Cast { ty, expr } => {
+                let _ = write!(out, "({ty})");
+                out.push('(');
+                Self::expr_into(out, expr);
+                out.push(')');
+            }
+            Expr::Call(call) => Self::call_into(out, call),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::MatchKind;
+
+    #[test]
+    fn prints_literals_with_width_prefix() {
+        assert_eq!(print_expr(&Expr::uint(2, 8)), "8w2");
+        assert_eq!(print_expr(&Expr::int(42)), "42");
+        assert_eq!(print_expr(&Expr::Bool(true)), "true");
+        assert_eq!(
+            print_expr(&Expr::Int { value: 3, width: Some(4), signed: true }),
+            "4s3"
+        );
+    }
+
+    #[test]
+    fn prints_nested_expressions_with_parens() {
+        let e = Expr::binary(
+            BinOp::Add,
+            Expr::binary(BinOp::Shl, Expr::uint(1, 8), Expr::dotted(&["h", "c"])),
+            Expr::uint(2, 8),
+        );
+        assert_eq!(print_expr(&e), "((8w1 << h.c) + 8w2)");
+    }
+
+    #[test]
+    fn prints_slice_and_cast() {
+        let e = Expr::cast(Type::bits(4), Expr::slice(Expr::dotted(&["h", "a"]), 7, 4));
+        assert_eq!(print_expr(&e), "(bit<4>)(h.a[7:4])");
+    }
+
+    #[test]
+    fn prints_if_else_statement() {
+        let stmt = Statement::if_else(
+            Expr::binary(BinOp::Ne, Expr::dotted(&["h", "a"]), Expr::uint(1, 8)),
+            Statement::assign(Expr::dotted(&["h", "b"]), Expr::uint(0, 8)),
+            Statement::Exit,
+        );
+        let text = print_statement(&stmt);
+        assert!(text.contains("if ((h.a != 8w1)) {"));
+        assert!(text.contains("} else {"));
+        assert!(text.contains("exit;"));
+    }
+
+    #[test]
+    fn prints_table_declaration() {
+        let table = TableDecl {
+            name: "t".into(),
+            keys: vec![KeyElement { expr: Expr::dotted(&["hdr", "a"]), match_kind: MatchKind::Exact }],
+            actions: vec![ActionRef::new("assign"), ActionRef::new("NoAction")],
+            default_action: ActionRef::new("NoAction"),
+        };
+        let mut printer = Printer::new();
+        printer.declaration(&Declaration::Table(table));
+        let text = printer.out;
+        assert!(text.contains("table t {"));
+        assert!(text.contains("hdr.a : exact;"));
+        assert!(text.contains("default_action = NoAction();"));
+    }
+
+    #[test]
+    fn printing_is_deterministic() {
+        let stmt = Statement::call(vec!["t", "apply"], vec![]);
+        assert_eq!(print_statement(&stmt), print_statement(&stmt));
+    }
+}

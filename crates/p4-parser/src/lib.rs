@@ -1,0 +1,12 @@
+//! # p4-parser — lexer and parser for the P4-16 subset
+//!
+//! Turns P4 source text into `p4-ir` programs.  Gauntlet uses this both for
+//! input programs and to re-parse the program emitted by the ToP4 printer
+//! after every compiler pass, which is how it catches "invalid
+//! transformation" bugs (paper §7.2).
+
+pub mod lexer;
+pub mod parser;
+
+pub use lexer::{lex, LexError, Pos, Spanned, Token};
+pub use parser::{parse_expression, parse_program, ParseError};

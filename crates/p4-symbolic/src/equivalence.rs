@@ -1,0 +1,292 @@
+//! Equivalence checking between two versions of a program — the core of
+//! translation validation (paper §5).
+//!
+//! Both programs are interpreted with the *same* term manager so that input
+//! variables (parameters, packet fields, symbolic table keys and action
+//! indices) with equal names denote the same unknowns.  For every
+//! programmable block we then ask the solver whether any assignment makes
+//! the two output tuples differ; a satisfying assignment is a counterexample
+//! packet / table configuration and the pair of differing outputs.
+
+use crate::interpreter::{interpret_program, InterpError, ProgramSemantics};
+use p4_ir::Program;
+use smt::{CheckResult, Model, Solver, TermManager, TermRef, Value};
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+/// The verdict of an equivalence check.
+#[derive(Debug, Clone)]
+pub enum Equivalence {
+    /// No input distinguishes the two programs.
+    Equal,
+    /// The programs differ; the payload says where and why.
+    NotEqual(Counterexample),
+}
+
+impl Equivalence {
+    pub fn is_equal(&self) -> bool {
+        matches!(self, Equivalence::Equal)
+    }
+}
+
+/// A concrete witness that two programs differ.
+#[derive(Debug, Clone)]
+pub struct Counterexample {
+    /// The architecture slot (e.g. `"ingress"`) where the difference lies.
+    pub block: String,
+    /// Input assignment (packet fields, metadata, table keys/actions) that
+    /// triggers the difference.
+    pub inputs: BTreeMap<String, Value>,
+    /// Outputs that differ: `(name, value before, value after)`.
+    pub differing_outputs: Vec<(String, Value, Value)>,
+}
+
+impl std::fmt::Display for Counterexample {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "semantic difference in block `{}`:", self.block)?;
+        for (name, before, after) in &self.differing_outputs {
+            writeln!(f, "  {name}: {before:?} -> {after:?}")?;
+        }
+        writeln!(f, "  under inputs:")?;
+        for (name, value) in &self.inputs {
+            writeln!(f, "    {name} = {value:?}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Errors: either program could not be interpreted (an interpreter
+/// limitation, not a compiler bug) or the block structure differs in a way
+/// that prevents comparison.
+#[derive(Debug, Clone)]
+pub enum EquivalenceError {
+    Interpreter(InterpError),
+    /// The two programs do not expose the same outputs for a block (e.g. a
+    /// pass changed a parameter list) — reported separately so Gauntlet can
+    /// flag it as an invalid transformation rather than a miscompilation.
+    StructureMismatch { block: String, detail: String },
+}
+
+impl std::fmt::Display for EquivalenceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EquivalenceError::Interpreter(e) => write!(f, "{e}"),
+            EquivalenceError::StructureMismatch { block, detail } => {
+                write!(f, "structure mismatch in block `{block}`: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EquivalenceError {}
+
+impl From<InterpError> for EquivalenceError {
+    fn from(e: InterpError) -> Self {
+        EquivalenceError::Interpreter(e)
+    }
+}
+
+/// Checks whether two programs are semantically equivalent, block by block.
+pub fn check_equivalence(before: &Program, after: &Program) -> Result<Equivalence, EquivalenceError> {
+    let tm = Rc::new(TermManager::new());
+    let semantics_before = interpret_program(&tm, before)?;
+    let semantics_after = interpret_program(&tm, after)?;
+    check_semantics_equivalence(&tm, &semantics_before, &semantics_after)
+}
+
+/// Equivalence over already-computed semantics (both must come from `tm`).
+pub fn check_semantics_equivalence(
+    tm: &Rc<TermManager>,
+    before: &ProgramSemantics,
+    after: &ProgramSemantics,
+) -> Result<Equivalence, EquivalenceError> {
+    for block_before in &before.blocks {
+        let Some(block_after) = after.block(&block_before.slot) else {
+            return Err(EquivalenceError::StructureMismatch {
+                block: block_before.slot.clone(),
+                detail: "block missing after the pass".into(),
+            });
+        };
+        // Pair up outputs by name.
+        let mut pairs: Vec<(String, TermRef, TermRef)> = Vec::new();
+        for (name, term_before) in &block_before.outputs {
+            match block_after.output(name) {
+                Some(term_after) => {
+                    pairs.push((name.clone(), term_before.clone(), term_after.clone()))
+                }
+                None => {
+                    return Err(EquivalenceError::StructureMismatch {
+                        block: block_before.slot.clone(),
+                        detail: format!("output `{name}` missing after the pass"),
+                    })
+                }
+            }
+        }
+        if pairs.is_empty() {
+            continue;
+        }
+        // The query: does any input make at least one output differ?
+        let mut disjuncts = Vec::with_capacity(pairs.len());
+        for (_, term_before, term_after) in &pairs {
+            if term_before.sort != term_after.sort {
+                return Err(EquivalenceError::StructureMismatch {
+                    block: block_before.slot.clone(),
+                    detail: "output widths differ".into(),
+                });
+            }
+            disjuncts.push(tm.neq(term_before.clone(), term_after.clone()));
+        }
+        let query = tm.or(disjuncts);
+        let mut solver = Solver::new();
+        match solver.check_with(&[query]) {
+            CheckResult::Unsat => continue,
+            CheckResult::Sat(model) => {
+                return Ok(Equivalence::NotEqual(build_counterexample(
+                    &block_before.slot,
+                    &model,
+                    &pairs,
+                    &block_before.inputs,
+                )));
+            }
+        }
+    }
+    Ok(Equivalence::Equal)
+}
+
+fn build_counterexample(
+    block: &str,
+    model: &Model,
+    pairs: &[(String, TermRef, TermRef)],
+    inputs: &[(String, u32)],
+) -> Counterexample {
+    let mut differing = Vec::new();
+    for (name, term_before, term_after) in pairs {
+        let value_before = model.eval(term_before);
+        let value_after = model.eval(term_after);
+        if value_before != value_after {
+            differing.push((name.clone(), value_before, value_after));
+        }
+    }
+    let mut input_values = BTreeMap::new();
+    // Record the model's choice for every declared block input; inputs the
+    // model does not mention default to zero (they were irrelevant).
+    for (name, width) in inputs {
+        let value = model
+            .get(name)
+            .cloned()
+            .unwrap_or_else(|| Value::bv(0, (*width).max(1)));
+        input_values.insert(name.clone(), value);
+    }
+    // Also include every other variable the model assigned (table keys,
+    // action indices, packet fields) — they are part of the trigger.
+    for (name, value) in model.bindings() {
+        if !name.starts_with("undef.") && !name.starts_with("extern") {
+            input_values.entry(name.clone()).or_insert_with(|| value.clone());
+        }
+    }
+    Counterexample { block: block.to_string(), inputs: input_values, differing_outputs: differing }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p4_ir::builder;
+    use p4_ir::{BinOp, Block, Expr, Statement};
+
+    #[test]
+    fn identical_programs_are_equivalent() {
+        let program = builder::trivial_program();
+        let result = check_equivalence(&program, &program.clone()).unwrap();
+        assert!(result.is_equal());
+    }
+
+    #[test]
+    fn semantically_equal_but_syntactically_different_programs_are_equivalent() {
+        // x + 0 vs x: strength reduction's rewrite is validated as correct.
+        let before = builder::v1model_program(
+            vec![],
+            Block::new(vec![Statement::assign(
+                Expr::dotted(&["hdr", "h", "a"]),
+                Expr::binary(BinOp::Add, Expr::dotted(&["hdr", "h", "b"]), Expr::uint(0, 8)),
+            )]),
+        );
+        let after = builder::v1model_program(
+            vec![],
+            Block::new(vec![Statement::assign(
+                Expr::dotted(&["hdr", "h", "a"]),
+                Expr::dotted(&["hdr", "h", "b"]),
+            )]),
+        );
+        assert!(check_equivalence(&before, &after).unwrap().is_equal());
+    }
+
+    #[test]
+    fn dropped_write_is_detected_with_counterexample() {
+        // The Figure-5a-style miscompilation: the write disappears.
+        let before = builder::trivial_program();
+        let after = builder::v1model_program(vec![], Block::empty());
+        match check_equivalence(&before, &after).unwrap() {
+            Equivalence::NotEqual(cex) => {
+                assert_eq!(cex.block, "ingress");
+                assert!(cex.differing_outputs.iter().any(|(name, _, _)| name == "hdr.h.a"));
+            }
+            Equivalence::Equal => panic!("must detect the dropped write"),
+        }
+    }
+
+    #[test]
+    fn branch_swap_is_detected() {
+        let before = builder::v1model_program(
+            vec![],
+            Block::new(vec![Statement::if_else(
+                Expr::binary(BinOp::Eq, Expr::dotted(&["hdr", "h", "a"]), Expr::uint(0, 8)),
+                Statement::assign(Expr::dotted(&["hdr", "h", "b"]), Expr::uint(1, 8)),
+                Statement::assign(Expr::dotted(&["hdr", "h", "b"]), Expr::uint(2, 8)),
+            )]),
+        );
+        let after = builder::v1model_program(
+            vec![],
+            Block::new(vec![Statement::if_else(
+                Expr::binary(BinOp::Eq, Expr::dotted(&["hdr", "h", "a"]), Expr::uint(0, 8)),
+                Statement::assign(Expr::dotted(&["hdr", "h", "b"]), Expr::uint(2, 8)),
+                Statement::assign(Expr::dotted(&["hdr", "h", "b"]), Expr::uint(1, 8)),
+            )]),
+        );
+        match check_equivalence(&before, &after).unwrap() {
+            Equivalence::NotEqual(cex) => {
+                // The counterexample fixes hdr.h.a to one side of the branch.
+                assert!(cex.inputs.contains_key("hdr.h.a"));
+                assert!(!cex.differing_outputs.is_empty());
+            }
+            Equivalence::Equal => panic!("swapped branches must be detected"),
+        }
+    }
+
+    #[test]
+    fn table_semantics_compare_equal_across_identical_programs() {
+        let (locals, apply) = builder::figure3_table_control();
+        let before = builder::v1model_program(locals.clone(), apply.clone());
+        let after = builder::v1model_program(locals, apply);
+        assert!(check_equivalence(&before, &after).unwrap().is_equal());
+    }
+
+    #[test]
+    fn wraparound_miscompilation_is_detected() {
+        // 250 + 10 folded without wraparound (260 is not representable).
+        let before = builder::v1model_program(
+            vec![],
+            Block::new(vec![Statement::assign(
+                Expr::dotted(&["hdr", "h", "a"]),
+                Expr::binary(BinOp::Add, Expr::uint(250, 8), Expr::dotted(&["hdr", "h", "b"])),
+            )]),
+        );
+        let after = builder::v1model_program(
+            vec![],
+            Block::new(vec![Statement::assign(
+                Expr::dotted(&["hdr", "h", "a"]),
+                Expr::binary(BinOp::Sub, Expr::uint(250, 8), Expr::dotted(&["hdr", "h", "b"])),
+            )]),
+        );
+        assert!(!check_equivalence(&before, &after).unwrap().is_equal());
+    }
+}

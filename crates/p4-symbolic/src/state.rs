@@ -1,0 +1,365 @@
+//! Symbolic state: the mapping from P4 variables to symbolic values.
+//!
+//! Scalars are SMT terms; structs and headers are nested maps of fields,
+//! with headers carrying an extra symbolic validity bit.  The interpreter
+//! merges whole states at control-flow joins with if-then-else terms, which
+//! is what produces the nested-ITE functional form the paper shows in
+//! Figure 3.
+
+use p4_ir::{Type, TypeEnv};
+use smt::{Sort, TermManager, TermRef};
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+/// A symbolic value: a scalar term or a nested aggregate.
+#[derive(Debug, Clone)]
+pub enum SymVal {
+    /// A `bit<N>` or `bool` value.
+    Scalar(TermRef),
+    /// A struct: field name → value.
+    Struct(BTreeMap<String, SymVal>),
+    /// A header: validity bit plus fields.
+    Header { valid: TermRef, fields: BTreeMap<String, SymVal> },
+}
+
+impl SymVal {
+    /// The scalar term, panicking on aggregates (callers check types first).
+    pub fn scalar(&self) -> &TermRef {
+        match self {
+            SymVal::Scalar(term) => term,
+            other => panic!("expected a scalar symbolic value, found {other:?}"),
+        }
+    }
+
+    /// Field lookup for aggregates.
+    pub fn field(&self, name: &str) -> Option<&SymVal> {
+        match self {
+            SymVal::Struct(fields) | SymVal::Header { fields, .. } => fields.get(name),
+            SymVal::Scalar(_) => None,
+        }
+    }
+
+    pub fn field_mut(&mut self, name: &str) -> Option<&mut SymVal> {
+        match self {
+            SymVal::Struct(fields) | SymVal::Header { fields, .. } => fields.get_mut(name),
+            SymVal::Scalar(_) => None,
+        }
+    }
+
+    /// Flattens the value into `(suffix, term)` pairs, including `$valid`
+    /// entries for headers.  `prefix` is prepended to every name.
+    pub fn flatten(&self, prefix: &str, out: &mut Vec<(String, TermRef)>) {
+        match self {
+            SymVal::Scalar(term) => out.push((prefix.to_string(), term.clone())),
+            SymVal::Struct(fields) => {
+                for (name, value) in fields {
+                    value.flatten(&format!("{prefix}.{name}"), out);
+                }
+            }
+            SymVal::Header { valid, fields } => {
+                out.push((format!("{prefix}.$valid"), valid.clone()));
+                for (name, value) in fields {
+                    value.flatten(&format!("{prefix}.{name}"), out);
+                }
+            }
+        }
+    }
+
+    /// Merges two structurally identical values with `ite(cond, a, b)`.
+    pub fn merge(tm: &TermManager, cond: &TermRef, a: &SymVal, b: &SymVal) -> SymVal {
+        match (a, b) {
+            (SymVal::Scalar(x), SymVal::Scalar(y)) => {
+                SymVal::Scalar(tm.ite(cond.clone(), x.clone(), y.clone()))
+            }
+            (SymVal::Struct(fa), SymVal::Struct(fb)) => {
+                let mut merged = BTreeMap::new();
+                for (name, value_a) in fa {
+                    let value_b = fb.get(name).unwrap_or(value_a);
+                    merged.insert(name.clone(), SymVal::merge(tm, cond, value_a, value_b));
+                }
+                SymVal::Struct(merged)
+            }
+            (
+                SymVal::Header { valid: va, fields: fa },
+                SymVal::Header { valid: vb, fields: fb },
+            ) => {
+                let mut merged = BTreeMap::new();
+                for (name, value_a) in fa {
+                    let value_b = fb.get(name).unwrap_or(value_a);
+                    merged.insert(name.clone(), SymVal::merge(tm, cond, value_a, value_b));
+                }
+                SymVal::Header {
+                    valid: tm.ite(cond.clone(), va.clone(), vb.clone()),
+                    fields: merged,
+                }
+            }
+            // Structurally different (should not happen for well-typed
+            // programs); prefer the then-side.
+            (a, _) => a.clone(),
+        }
+    }
+}
+
+/// Builds a symbolic value of the given type whose leaves are fresh
+/// variables named `prefix.<field>` (used for block inputs).
+pub fn symbolic_of_type(
+    tm: &TermManager,
+    env: &TypeEnv,
+    ty: &Type,
+    prefix: &str,
+    header_valid: Option<bool>,
+) -> SymVal {
+    let resolved = env.resolve(ty);
+    match &resolved {
+        Type::Bool => SymVal::Scalar(tm.var(prefix, Sort::Bool)),
+        Type::Bits { width, .. } => SymVal::Scalar(tm.var(prefix, Sort::BitVec(*width))),
+        Type::Header(name) => {
+            let mut fields = BTreeMap::new();
+            if let Some(agg) = env.aggregate(name) {
+                for field in &agg.fields {
+                    fields.insert(
+                        field.name.clone(),
+                        symbolic_of_type(tm, env, &field.ty, &format!("{prefix}.{}", field.name), header_valid),
+                    );
+                }
+            }
+            let valid = match header_valid {
+                Some(value) => tm.bool_const(value),
+                None => tm.var(format!("{prefix}.$valid"), Sort::Bool),
+            };
+            SymVal::Header { valid, fields }
+        }
+        Type::Struct(name) => {
+            let mut fields = BTreeMap::new();
+            if let Some(agg) = env.aggregate(name) {
+                for field in &agg.fields {
+                    fields.insert(
+                        field.name.clone(),
+                        symbolic_of_type(tm, env, &field.ty, &format!("{prefix}.{}", field.name), header_valid),
+                    );
+                }
+            }
+            SymVal::Struct(fields)
+        }
+        // Unresolvable / non-value types: a 1-bit placeholder.
+        _ => SymVal::Scalar(tm.var(prefix, Sort::BitVec(1))),
+    }
+}
+
+/// Builds an "undefined" value of the given type: every leaf is an
+/// unconstrained variable, headers are invalid.  Used for `out` parameters
+/// and undefined reads (paper §5.2, "Interpreting function calls").
+///
+/// Undefined leaves are named *deterministically* from `hint` (plus the
+/// field path and width) rather than with per-call fresh counters.  This
+/// mirrors the paper's decision to "provide our own semantics for undefined
+/// behavior": when the same structural position is undefined in the program
+/// before and after a pass, both sides see the *same* unknown, so an
+/// unchanged program always validates as equivalent, while a pass that makes
+/// a defined value undefined (or vice versa) is still flagged.
+pub fn undefined_of_type(tm: &TermManager, env: &TypeEnv, ty: &Type, hint: &str) -> SymVal {
+    let resolved = env.resolve(ty);
+    match &resolved {
+        Type::Bool => SymVal::Scalar(tm.var(format!("undef.{hint}.b"), Sort::Bool)),
+        Type::Bits { width, .. } => {
+            SymVal::Scalar(tm.var(format!("undef.{hint}.w{width}"), Sort::BitVec(*width)))
+        }
+        Type::Header(name) => {
+            let mut fields = BTreeMap::new();
+            if let Some(agg) = env.aggregate(name) {
+                for field in &agg.fields {
+                    fields.insert(
+                        field.name.clone(),
+                        undefined_of_type(tm, env, &field.ty, &format!("{hint}.{}", field.name)),
+                    );
+                }
+            }
+            SymVal::Header { valid: tm.bool_const(false), fields }
+        }
+        Type::Struct(name) => {
+            let mut fields = BTreeMap::new();
+            if let Some(agg) = env.aggregate(name) {
+                for field in &agg.fields {
+                    fields.insert(
+                        field.name.clone(),
+                        undefined_of_type(tm, env, &field.ty, &format!("{hint}.{}", field.name)),
+                    );
+                }
+            }
+            SymVal::Struct(fields)
+        }
+        _ => SymVal::Scalar(tm.var(format!("undef.{hint}.w1"), Sort::BitVec(1))),
+    }
+}
+
+/// The interpreter's mutable state: a stack of lexical scopes plus the
+/// control-flow flags.
+#[derive(Debug, Clone)]
+pub struct SymState {
+    scopes: Vec<BTreeMap<String, SymVal>>,
+    /// True on paths where `exit` has executed (terminates the whole block).
+    pub exited: TermRef,
+    /// True on paths where the current callable has returned.
+    pub returned: TermRef,
+    /// The value returned by the current callable, if any path returned one.
+    pub return_value: Option<SymVal>,
+}
+
+impl SymState {
+    pub fn new(tm: &TermManager) -> SymState {
+        SymState {
+            scopes: vec![BTreeMap::new()],
+            exited: tm.fls(),
+            returned: tm.fls(),
+            return_value: None,
+        }
+    }
+
+    pub fn push_scope(&mut self) {
+        self.scopes.push(BTreeMap::new());
+    }
+
+    pub fn pop_scope(&mut self) {
+        self.scopes.pop();
+        if self.scopes.is_empty() {
+            self.scopes.push(BTreeMap::new());
+        }
+    }
+
+    /// Declares a variable in the innermost scope.
+    pub fn declare(&mut self, name: impl Into<String>, value: SymVal) {
+        self.scopes
+            .last_mut()
+            .expect("state always has a scope")
+            .insert(name.into(), value);
+    }
+
+    /// Declares a variable in the outermost (global) scope.
+    pub fn declare_global(&mut self, name: impl Into<String>, value: SymVal) {
+        self.scopes
+            .first_mut()
+            .expect("state always has a scope")
+            .insert(name.into(), value);
+    }
+
+    pub fn lookup(&self, name: &str) -> Option<&SymVal> {
+        self.scopes.iter().rev().find_map(|scope| scope.get(name))
+    }
+
+    pub fn lookup_mut(&mut self, name: &str) -> Option<&mut SymVal> {
+        self.scopes.iter_mut().rev().find_map(|scope| scope.get_mut(name))
+    }
+
+    /// Merges two states produced from a common predecessor: every variable
+    /// present in either side is merged with `ite(cond, then, else)`.
+    pub fn merge(tm: &TermManager, cond: &TermRef, then_state: &SymState, else_state: &SymState) -> SymState {
+        let mut scopes = Vec::with_capacity(then_state.scopes.len());
+        for (depth, then_scope) in then_state.scopes.iter().enumerate() {
+            let else_scope = else_state.scopes.get(depth);
+            let mut merged = BTreeMap::new();
+            for (name, then_value) in then_scope {
+                let merged_value = match else_scope.and_then(|s| s.get(name)) {
+                    Some(else_value) => SymVal::merge(tm, cond, then_value, else_value),
+                    None => then_value.clone(),
+                };
+                merged.insert(name.clone(), merged_value);
+            }
+            // Variables only present on the else side (declared there) are
+            // dropped: they are out of scope after the join anyway.
+            scopes.push(merged);
+        }
+        let return_value = match (&then_state.return_value, &else_state.return_value) {
+            (Some(a), Some(b)) => Some(SymVal::merge(tm, cond, a, b)),
+            (Some(a), None) => Some(a.clone()),
+            (None, Some(b)) => Some(b.clone()),
+            (None, None) => None,
+        };
+        SymState {
+            scopes,
+            exited: tm.ite(cond.clone(), then_state.exited.clone(), else_state.exited.clone()),
+            returned: tm.ite(cond.clone(), then_state.returned.clone(), else_state.returned.clone()),
+            return_value,
+        }
+    }
+}
+
+/// Shared handle on the term manager used by one interpretation run.
+pub type SharedTm = Rc<TermManager>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p4_ir::builder;
+    use smt::TermKind;
+
+    fn setup() -> (TermManager, TypeEnv) {
+        let program = builder::trivial_program();
+        (TermManager::new(), TypeEnv::from_program(&program))
+    }
+
+    #[test]
+    fn symbolic_struct_flattens_with_validity_bits() {
+        let (tm, env) = setup();
+        let value = symbolic_of_type(&tm, &env, &Type::Named("headers_t".into()), "hdr", None);
+        let mut flat = Vec::new();
+        value.flatten("hdr", &mut flat);
+        let names: Vec<&str> = flat.iter().map(|(n, _)| n.as_str()).collect();
+        assert!(names.contains(&"hdr.eth.$valid"));
+        assert!(names.contains(&"hdr.eth.src_addr"));
+        assert!(names.contains(&"hdr.h.$valid"));
+        assert!(names.contains(&"hdr.h.a"));
+    }
+
+    #[test]
+    fn undefined_headers_start_invalid() {
+        let (tm, env) = setup();
+        let value = undefined_of_type(&tm, &env, &Type::Named("headers_t".into()), "hdr");
+        let eth = value.field("eth").unwrap();
+        match eth {
+            SymVal::Header { valid, .. } => {
+                assert!(matches!(valid.kind, TermKind::BoolConst(false)))
+            }
+            other => panic!("expected a header, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn scope_shadowing_and_restoration() {
+        let (tm, env) = setup();
+        let mut state = SymState::new(&tm);
+        let _ = env;
+        state.declare("x", SymVal::Scalar(tm.bv_const(1, 8)));
+        state.push_scope();
+        state.declare("x", SymVal::Scalar(tm.bv_const(2, 8)));
+        match state.lookup("x").unwrap() {
+            SymVal::Scalar(term) => assert!(format!("{term}").contains("8w2")),
+            _ => panic!(),
+        }
+        state.pop_scope();
+        match state.lookup("x").unwrap() {
+            SymVal::Scalar(term) => assert!(format!("{term}").contains("8w1")),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn merge_keeps_then_side_under_true_condition() {
+        let (tm, env) = setup();
+        let _ = env;
+        let mut a = SymState::new(&tm);
+        let mut b = SymState::new(&tm);
+        a.declare("x", SymVal::Scalar(tm.bv_const(1, 8)));
+        b.declare("x", SymVal::Scalar(tm.bv_const(2, 8)));
+        let merged = SymState::merge(&tm, &tm.tru(), &a, &b);
+        match merged.lookup("x").unwrap() {
+            SymVal::Scalar(term) => assert!(format!("{term}").contains("8w1")),
+            _ => panic!(),
+        }
+        let cond = tm.var("c", Sort::Bool);
+        let merged = SymState::merge(&tm, &cond, &a, &b);
+        match merged.lookup("x").unwrap() {
+            SymVal::Scalar(term) => assert_eq!(format!("{term}"), "(ite c 8w1 8w2)"),
+            _ => panic!(),
+        }
+    }
+}

@@ -1,0 +1,746 @@
+//! Faulty pass variants: the seeded-bug catalogue.
+//!
+//! The original Gauntlet found 78 previously unknown bugs in production
+//! compilers.  A reproduction obviously cannot re-discover bugs in the 2020
+//! p4c tree, so instead this module provides *faulty variants* of the
+//! reference passes, one per miscompilation class the paper describes in
+//! §7.2 and Figure 5.  The evaluation harness swaps a correct pass for a
+//! faulty one (via [`crate::Compiler::replace_pass`]) and measures whether
+//! Gauntlet's techniques detect the seeded bug — reproducing the *shape* of
+//! Tables 2 and 3 rather than their absolute counts.
+//!
+//! Every variant keeps the name of the pass it replaces so the rest of the
+//! pipeline (and translation validation's per-pass attribution) is
+//! unaffected.
+
+use crate::error::Diagnostic;
+use crate::pass::{Pass, PassArea};
+use crate::passes::inline::{InlineBehaviour, InlineFunctions, RemoveActionParameters};
+use crate::passes::util::collect_reads;
+use p4_ir::visit::{mutate_walk_expr, walk_expr};
+use p4_ir::{
+    BinOp, Block, Declaration, Expr, Mutator, Program, Statement, Visitor,
+};
+
+/// The catalogue of front-/mid-end bug classes (back-end bug classes live in
+/// the `targets` crate).  Each corresponds to a bug family from the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum FrontEndBugClass {
+    /// Figure 5a: `SimplifyDefUse` drops writes that are live through
+    /// `inout` parameters.
+    DefUseDropsParameterWrites,
+    /// Figure 5b: the type checker crashes trying to infer the width of a
+    /// shift of an unsized literal by a non-constant amount.
+    TypeInferenceShiftCrash,
+    /// Figure 5c: `StrengthReduction` mis-handles slices of constants and
+    /// makes the compiler reject a valid program.
+    StrengthReductionRejectsSlices,
+    /// `StrengthReduction` rewrites `x | ~0` to `x` instead of `~0`.
+    StrengthReductionOrIdentity,
+    /// `ConstantFolding` clamps overflowing additions instead of wrapping
+    /// them at the operand width.
+    ConstantFoldingNoWraparound,
+    /// Figure 5d: an assignment to a slice is deleted because a later call
+    /// is assumed to overwrite the whole variable.
+    SliceAssignmentDeleted,
+    /// Figure 5e-flavoured unsafe optimisation: a header-field copy is
+    /// propagated even though the source field was overwritten in between
+    /// (a stale value is used).
+    CopyPropagationStaleValue,
+    /// Figure 5f: copy-out is skipped when an inlined action exits.
+    ExitSkipsCopyOut,
+    /// Arguments are evaluated right-to-left instead of left-to-right.
+    ArgumentOrderReversed,
+    /// `InlineFunctions` crashes on function bodies containing `if`.
+    InlineCrashOnConditional,
+    /// `Predication` swaps the then/else values.
+    PredicationSwapsBranches,
+    /// `Predication` applies else-branch assignments unconditionally.
+    PredicationUnconditionalElse,
+}
+
+impl FrontEndBugClass {
+    /// All front-/mid-end bug classes.
+    pub fn all() -> Vec<FrontEndBugClass> {
+        use FrontEndBugClass::*;
+        vec![
+            DefUseDropsParameterWrites,
+            TypeInferenceShiftCrash,
+            StrengthReductionRejectsSlices,
+            StrengthReductionOrIdentity,
+            ConstantFoldingNoWraparound,
+            SliceAssignmentDeleted,
+            CopyPropagationStaleValue,
+            ExitSkipsCopyOut,
+            ArgumentOrderReversed,
+            InlineCrashOnConditional,
+            PredicationSwapsBranches,
+            PredicationUnconditionalElse,
+        ]
+    }
+
+    /// Whether the seeded defect manifests as a crash/rejection (true) or as
+    /// a miscompilation that needs semantic checking (false).
+    pub fn is_crash_class(self) -> bool {
+        matches!(
+            self,
+            FrontEndBugClass::TypeInferenceShiftCrash
+                | FrontEndBugClass::StrengthReductionRejectsSlices
+                | FrontEndBugClass::InlineCrashOnConditional
+        )
+    }
+
+    /// The compiler area the faulty pass lives in (for the Table 3
+    /// reproduction).
+    pub fn area(self) -> PassArea {
+        match self {
+            FrontEndBugClass::PredicationSwapsBranches
+            | FrontEndBugClass::PredicationUnconditionalElse
+            | FrontEndBugClass::CopyPropagationStaleValue => PassArea::MidEnd,
+            _ => PassArea::FrontEnd,
+        }
+    }
+
+    /// The name of the reference pass this class replaces.
+    pub fn replaces(self) -> &'static str {
+        match self {
+            FrontEndBugClass::DefUseDropsParameterWrites => "SimplifyDefUse",
+            FrontEndBugClass::TypeInferenceShiftCrash => "ConstantFolding",
+            FrontEndBugClass::StrengthReductionRejectsSlices
+            | FrontEndBugClass::StrengthReductionOrIdentity => "StrengthReduction",
+            FrontEndBugClass::ConstantFoldingNoWraparound => "ConstantFolding",
+            FrontEndBugClass::SliceAssignmentDeleted => "SimplifyDefUse",
+            FrontEndBugClass::CopyPropagationStaleValue => "LocalCopyPropagation",
+            FrontEndBugClass::ExitSkipsCopyOut
+            | FrontEndBugClass::ArgumentOrderReversed => "RemoveActionParameters",
+            FrontEndBugClass::InlineCrashOnConditional => "InlineFunctions",
+            FrontEndBugClass::PredicationSwapsBranches
+            | FrontEndBugClass::PredicationUnconditionalElse => "Predication",
+        }
+    }
+
+    /// Builds the faulty pass for this class.
+    pub fn faulty_pass(self) -> Box<dyn Pass> {
+        match self {
+            FrontEndBugClass::DefUseDropsParameterWrites => Box::new(FaultyDefUse),
+            FrontEndBugClass::TypeInferenceShiftCrash => Box::new(CrashingTypeInference),
+            FrontEndBugClass::StrengthReductionRejectsSlices => Box::new(RejectingStrengthReduction),
+            FrontEndBugClass::StrengthReductionOrIdentity => Box::new(WrongOrStrengthReduction),
+            FrontEndBugClass::ConstantFoldingNoWraparound => Box::new(NonWrappingConstantFolding),
+            FrontEndBugClass::SliceAssignmentDeleted => Box::new(SliceDeletingDefUse),
+            FrontEndBugClass::CopyPropagationStaleValue => Box::new(StaleCopyProp),
+            FrontEndBugClass::ExitSkipsCopyOut => Box::new(RemoveActionParameters {
+                behaviour: InlineBehaviour { copy_out_on_exit: false, ..InlineBehaviour::default() },
+            }),
+            FrontEndBugClass::ArgumentOrderReversed => Box::new(RemoveActionParameters {
+                behaviour: InlineBehaviour { left_to_right: false, ..InlineBehaviour::default() },
+            }),
+            FrontEndBugClass::InlineCrashOnConditional => Box::new(CrashingInlineFunctions),
+            FrontEndBugClass::PredicationSwapsBranches => Box::new(SwappedPredication),
+            FrontEndBugClass::PredicationUnconditionalElse => Box::new(UnconditionalElsePredication),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Figure 5a: def-use analysis drops final writes to inout parameters.
+// ---------------------------------------------------------------------------
+
+struct FaultyDefUse;
+
+impl Pass for FaultyDefUse {
+    fn name(&self) -> &str {
+        "SimplifyDefUse"
+    }
+
+    fn run(&self, program: &mut Program) -> Result<(), Diagnostic> {
+        for control in program.controls_mut() {
+            // Incorrectly treat *everything* not read later inside this
+            // control as dead, including inout parameters (which are live at
+            // exit through copy-out).
+            let statements = std::mem::take(&mut control.apply.statements);
+            let mut kept: Vec<Statement> = Vec::with_capacity(statements.len());
+            for (index, stmt) in statements.iter().enumerate() {
+                let dead = match stmt {
+                    Statement::Assign { lhs, rhs } if !rhs.has_call() => {
+                        match lhs.lvalue_root() {
+                            Some(root) => {
+                                let mut later_reads = Vec::new();
+                                for later in &statements[index + 1..] {
+                                    collect_reads(later, &mut later_reads);
+                                }
+                                !later_reads.contains(&root)
+                            }
+                            None => false,
+                        }
+                    }
+                    _ => false,
+                };
+                if !dead {
+                    kept.push(stmt.clone());
+                }
+            }
+            control.apply.statements = kept;
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Figure 5b: type inference crash on `(1 << x) + ...`.
+// ---------------------------------------------------------------------------
+
+struct CrashingTypeInference;
+
+struct ShiftFinder {
+    found: bool,
+}
+
+impl Visitor for ShiftFinder {
+    fn visit_expr(&mut self, expr: &Expr) {
+        if let Expr::Binary { op: BinOp::Shl, left, right } = expr {
+            let unsized_left = matches!(**left, Expr::Int { width: None, .. });
+            let non_const_right = !matches!(**right, Expr::Int { .. } | Expr::Bool(_));
+            if unsized_left && non_const_right {
+                self.found = true;
+            }
+        }
+        walk_expr(self, expr);
+    }
+}
+
+impl Pass for CrashingTypeInference {
+    fn name(&self) -> &str {
+        "ConstantFolding"
+    }
+
+    fn run(&self, program: &mut Program) -> Result<(), Diagnostic> {
+        let mut finder = ShiftFinder { found: false };
+        finder.visit_program(program);
+        assert!(
+            !finder.found,
+            "type inference failure: cannot compute width of a shift of an unsized literal"
+        );
+        // Otherwise behave like the real pass.
+        crate::passes::ConstantFolding.run(program)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Figure 5c: strength reduction rejects valid slices of constants.
+// ---------------------------------------------------------------------------
+
+struct RejectingStrengthReduction;
+
+struct ConstSliceFinder {
+    found: bool,
+}
+
+impl Visitor for ConstSliceFinder {
+    fn visit_expr(&mut self, expr: &Expr) {
+        if let Expr::Slice { base, .. } = expr {
+            // The real bug fired on slices the pass tried to "simplify":
+            // slices of literals and slices of casts.
+            if matches!(**base, Expr::Int { .. } | Expr::Cast { .. }) {
+                self.found = true;
+            }
+        }
+        walk_expr(self, expr);
+    }
+}
+
+impl Pass for RejectingStrengthReduction {
+    fn name(&self) -> &str {
+        "StrengthReduction"
+    }
+
+    fn run(&self, program: &mut Program) -> Result<(), Diagnostic> {
+        let mut finder = ConstSliceFinder { found: false };
+        finder.visit_program(program);
+        if finder.found {
+            return Err(Diagnostic::new(
+                "slice index is negative (internal strength-reduction error on a valid program)",
+            ));
+        }
+        crate::passes::StrengthReduction.run(program)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// StrengthReduction OR-identity bug: x | ~0 → x.
+// ---------------------------------------------------------------------------
+
+struct WrongOrStrengthReduction;
+
+struct WrongOrRewriter;
+
+impl Mutator for WrongOrRewriter {
+    fn mutate_expr(&mut self, expr: &mut Expr) {
+        mutate_walk_expr(self, expr);
+        if let Expr::Binary { op: BinOp::BitOr, left, right } = expr {
+            let all_ones = |e: &Expr| {
+                matches!(e, Expr::Int { value, width: Some(w), .. } if *value == p4_ir::max_unsigned(*w))
+            };
+            if all_ones(right) {
+                *expr = (**left).clone();
+            } else if all_ones(left) {
+                *expr = (**right).clone();
+            }
+        }
+    }
+}
+
+impl Pass for WrongOrStrengthReduction {
+    fn name(&self) -> &str {
+        "StrengthReduction"
+    }
+
+    fn run(&self, program: &mut Program) -> Result<(), Diagnostic> {
+        // The defective rewrite fires before the correct identities run, so
+        // `x | ~0` collapses to `x` instead of `~0`.
+        WrongOrRewriter.mutate_program(program);
+        crate::passes::StrengthReduction.run(program)?;
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ConstantFolding without wraparound.
+// ---------------------------------------------------------------------------
+
+struct NonWrappingConstantFolding;
+
+struct NonWrappingFolder;
+
+impl Mutator for NonWrappingFolder {
+    fn mutate_expr(&mut self, expr: &mut Expr) {
+        mutate_walk_expr(self, expr);
+        if let Expr::Binary { op: BinOp::Add, left, right } = expr {
+            if let (
+                Expr::Int { value: a, width: Some(w), .. },
+                Expr::Int { value: b, width: wb, .. },
+            ) = (&**left, &**right)
+            {
+                let width = *w;
+                if wb.is_none() || *wb == Some(width) {
+                    // The faulty fold clamps at the maximum instead of
+                    // wrapping modulo 2^width.
+                    let value = (a + b).min(p4_ir::max_unsigned(width));
+                    *expr = Expr::Int { value, width: Some(width), signed: false };
+                }
+            }
+        }
+    }
+}
+
+impl Pass for NonWrappingConstantFolding {
+    fn name(&self) -> &str {
+        "ConstantFolding"
+    }
+
+    fn run(&self, program: &mut Program) -> Result<(), Diagnostic> {
+        NonWrappingFolder.mutate_program(program);
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Figure 5d: slice assignment deleted because a later write to the same
+// variable is assumed to overwrite it completely.
+// ---------------------------------------------------------------------------
+
+struct SliceDeletingDefUse;
+
+impl SliceDeletingDefUse {
+    fn prune_block(block: &mut Block) {
+        let statements = std::mem::take(&mut block.statements);
+        let mut kept = Vec::with_capacity(statements.len());
+        for (index, stmt) in statements.iter().enumerate() {
+            let dead = match stmt {
+                Statement::Assign { lhs: Expr::Slice { base, .. }, .. } => {
+                    let root = base.lvalue_root();
+                    statements[index + 1..].iter().any(|later| match later {
+                        Statement::Assign { lhs, .. } => lhs.lvalue_root() == root,
+                        Statement::Call(call) => {
+                            call.args.iter().any(|arg| arg.lvalue_root() == root)
+                        }
+                        _ => false,
+                    })
+                }
+                _ => false,
+            };
+            if !dead {
+                kept.push(stmt.clone());
+            }
+        }
+        block.statements = kept;
+        for stmt in &mut block.statements {
+            if let Statement::Block(inner) = stmt {
+                Self::prune_block(inner);
+            }
+        }
+    }
+}
+
+impl Pass for SliceDeletingDefUse {
+    fn name(&self) -> &str {
+        "SimplifyDefUse"
+    }
+
+    fn run(&self, program: &mut Program) -> Result<(), Diagnostic> {
+        // First do the correct simplification, then the unsound deletion.
+        crate::passes::SimplifyDefUse.run(program)?;
+        for decl in &mut program.declarations {
+            if let Declaration::Control(control) = decl {
+                for local in &mut control.locals {
+                    if let Declaration::Action(action) = local {
+                        Self::prune_block(&mut action.body);
+                    }
+                }
+                Self::prune_block(&mut control.apply);
+            }
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Figure 5e-flavoured: copy propagation uses a stale header-field value.
+// ---------------------------------------------------------------------------
+
+struct StaleCopyProp;
+
+impl Pass for StaleCopyProp {
+    fn name(&self) -> &str {
+        "LocalCopyPropagation"
+    }
+
+    fn run(&self, program: &mut Program) -> Result<(), Diagnostic> {
+        crate::passes::LocalCopyPropagation.run(program)?;
+        for decl in &mut program.declarations {
+            if let Declaration::Control(control) = decl {
+                collapse_member_copies(&mut control.apply);
+                for local in &mut control.locals {
+                    if let Declaration::Action(action) = local {
+                        collapse_member_copies(&mut action.body);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Rewrites `m1 = <lit>; ...; m2 = m1;` into `...; m2 = <lit>;` using the
+/// *first* literal ever assigned to `m1` in the block, ignoring any
+/// intervening re-assignment of `m1` — so the propagated value can be stale.
+fn collapse_member_copies(block: &mut Block) {
+    for index in 1..block.statements.len() {
+        let Statement::Assign { lhs: use_lhs, rhs: use_rhs } = &block.statements[index] else {
+            continue;
+        };
+        if !matches!(use_rhs, Expr::Member { .. }) {
+            continue;
+        }
+        let source = use_rhs.clone();
+        let _ = use_lhs;
+        let mut first_literal = None;
+        for earlier in &block.statements[..index] {
+            if let Statement::Assign { lhs, rhs: Expr::Int { .. } } = earlier {
+                if *lhs == source && first_literal.is_none() {
+                    first_literal = Some(rhs_of(earlier));
+                }
+            }
+        }
+        if let Some(literal) = first_literal {
+            if let Statement::Assign { rhs, .. } = &mut block.statements[index] {
+                *rhs = literal;
+            }
+        }
+    }
+    for stmt in &mut block.statements {
+        match stmt {
+            Statement::Block(inner) => collapse_member_copies(inner),
+            Statement::If { then_branch, else_branch, .. } => {
+                if let Statement::Block(inner) = then_branch.as_mut() {
+                    collapse_member_copies(inner);
+                }
+                if let Some(else_stmt) = else_branch {
+                    if let Statement::Block(inner) = else_stmt.as_mut() {
+                        collapse_member_copies(inner);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// InlineFunctions crash on conditionals.
+// ---------------------------------------------------------------------------
+
+struct CrashingInlineFunctions;
+
+impl Pass for CrashingInlineFunctions {
+    fn name(&self) -> &str {
+        "InlineFunctions"
+    }
+
+    fn run(&self, program: &mut Program) -> Result<(), Diagnostic> {
+        for decl in &program.declarations {
+            if let Declaration::Function(function) = decl {
+                for stmt in &function.body.statements {
+                    assert!(
+                        !matches!(stmt, Statement::If { .. }),
+                        "InlineFunctions: unexpected conditional in function body of `{}`",
+                        function.name
+                    );
+                }
+            }
+        }
+        InlineFunctions::default().run(program)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Predication bugs.
+// ---------------------------------------------------------------------------
+
+struct SwappedPredication;
+
+impl Pass for SwappedPredication {
+    fn name(&self) -> &str {
+        "Predication"
+    }
+
+    fn run(&self, program: &mut Program) -> Result<(), Diagnostic> {
+        crate::passes::Predication.run(program)?;
+        // Swap every ternary produced in action bodies: c ? a : b  →  c ? b : a.
+        struct Swapper;
+        impl Mutator for Swapper {
+            fn mutate_expr(&mut self, expr: &mut Expr) {
+                mutate_walk_expr(self, expr);
+                if let Expr::Ternary { then_expr, else_expr, .. } = expr {
+                    std::mem::swap(then_expr, else_expr);
+                }
+            }
+        }
+        for decl in &mut program.declarations {
+            if let Declaration::Control(control) = decl {
+                for local in &mut control.locals {
+                    if let Declaration::Action(action) = local {
+                        for stmt in &mut action.body.statements {
+                            Swapper.mutate_statement(stmt);
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+struct UnconditionalElsePredication;
+
+impl Pass for UnconditionalElsePredication {
+    fn name(&self) -> &str {
+        "Predication"
+    }
+
+    fn run(&self, program: &mut Program) -> Result<(), Diagnostic> {
+        crate::passes::Predication.run(program)?;
+        // Degrade `x = c ? x : e` (the else-side predication) into `x = e`.
+        struct Degrade;
+        impl Mutator for Degrade {
+            fn mutate_statement(&mut self, stmt: &mut Statement) {
+                p4_ir::visit::mutate_walk_statement(self, stmt);
+                if let Statement::Assign { lhs, rhs } = stmt {
+                    if let Expr::Ternary { then_expr, else_expr, .. } = rhs {
+                        if **then_expr == *lhs {
+                            *rhs = (**else_expr).clone();
+                        }
+                    }
+                }
+            }
+        }
+        for decl in &mut program.declarations {
+            if let Declaration::Control(control) = decl {
+                for local in &mut control.locals {
+                    if let Declaration::Action(action) = local {
+                        for stmt in &mut action.body.statements {
+                            Degrade.mutate_statement(stmt);
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+fn rhs_of(stmt: &Statement) -> Expr {
+    match stmt {
+        Statement::Assign { rhs, .. } => rhs.clone(),
+        _ => unreachable!("rhs_of is only called on assignments"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pass::Compiler;
+    use crate::CompileError;
+    use p4_ir::builder;
+    use p4_ir::print_program;
+
+    fn seeded_compiler(class: FrontEndBugClass) -> Compiler {
+        let mut compiler = Compiler::reference();
+        assert!(compiler.replace_pass(class.faulty_pass()), "pass {} not found", class.replaces());
+        compiler
+    }
+
+    #[test]
+    fn every_class_replaces_an_existing_pass() {
+        for class in FrontEndBugClass::all() {
+            let mut compiler = Compiler::reference();
+            assert!(
+                compiler.replace_pass(class.faulty_pass()),
+                "{class:?} must replace pass {}",
+                class.replaces()
+            );
+        }
+    }
+
+    #[test]
+    fn defuse_bug_drops_final_header_write() {
+        let program = builder::trivial_program();
+        let compiler = seeded_compiler(FrontEndBugClass::DefUseDropsParameterWrites);
+        let result = compiler.compile(&program).unwrap();
+        let text = print_program(&result.program);
+        assert!(!text.contains("hdr.h.a = 8w1;"), "faulty def-use should drop the write:\n{text}");
+        // And the correct compiler keeps it.
+        let good = Compiler::reference().compile(&program).unwrap();
+        assert!(print_program(&good.program).contains("hdr.h.a = 8w1;"));
+    }
+
+    #[test]
+    fn type_inference_bug_crashes_on_figure5b() {
+        use p4_ir::{BinOp, Block, Expr, Statement};
+        // hdr.h.a = (bit<8>)((1 << hdr.h.c) + 8w2);
+        let program = builder::v1model_program(
+            vec![],
+            Block::new(vec![Statement::assign(
+                Expr::dotted(&["hdr", "h", "a"]),
+                Expr::binary(
+                    BinOp::Add,
+                    Expr::binary(BinOp::Shl, Expr::int(1), Expr::dotted(&["hdr", "h", "c"])),
+                    Expr::uint(2, 8),
+                ),
+            )]),
+        );
+        let compiler = seeded_compiler(FrontEndBugClass::TypeInferenceShiftCrash);
+        match compiler.compile(&program) {
+            Err(CompileError::Crash { pass, .. }) => assert_eq!(pass, "ConstantFolding"),
+            other => panic!("expected a crash, got {other:?}"),
+        }
+        // The reference compiler accepts the same program.
+        assert!(Compiler::reference().compile(&program).is_ok());
+    }
+
+    #[test]
+    fn strength_reduction_bug_rejects_figure5c() {
+        use p4_ir::{Block, Expr, Statement, Type};
+        // bool tmp = 1 != 8w2[7:0];  (modelled with a sized slice base)
+        let program = builder::v1model_program(
+            vec![],
+            Block::new(vec![
+                Statement::Declare {
+                    name: "tmp".into(),
+                    ty: Type::Bool,
+                    init: Some(Expr::binary(
+                        p4_ir::BinOp::Ne,
+                        Expr::uint(1, 8),
+                        Expr::slice(
+                            Expr::cast(Type::bits(8), Expr::dotted(&["hdr", "h", "b"])),
+                            7,
+                            0,
+                        ),
+                    )),
+                },
+                Statement::assign(
+                    Expr::dotted(&["hdr", "h", "a"]),
+                    Expr::ternary(Expr::path("tmp"), Expr::uint(1, 8), Expr::uint(0, 8)),
+                ),
+            ]),
+        );
+        let compiler = seeded_compiler(FrontEndBugClass::StrengthReductionRejectsSlices);
+        match compiler.compile(&program) {
+            Err(CompileError::Rejected { pass, .. }) => assert_eq!(pass, "StrengthReduction"),
+            other => panic!("expected a rejection, got {other:?}"),
+        }
+        assert!(Compiler::reference().compile(&program).is_ok());
+    }
+
+    #[test]
+    fn exit_bug_reorders_copy_out() {
+        use p4_ir::{ActionDecl, Block, Declaration, Direction, Expr, Param, Statement, Type};
+        let action = ActionDecl {
+            name: "a".into(),
+            params: vec![Param::new(Direction::InOut, "val", Type::bits(16))],
+            body: Block::new(vec![
+                Statement::assign(Expr::path("val"), Expr::uint(3, 16)),
+                Statement::Exit,
+            ]),
+        };
+        let program = builder::v1model_program(
+            vec![Declaration::Action(action)],
+            Block::new(vec![Statement::call(
+                vec!["a"],
+                vec![Expr::dotted(&["hdr", "eth", "eth_type"])],
+            )]),
+        );
+        let buggy = seeded_compiler(FrontEndBugClass::ExitSkipsCopyOut).compile(&program).unwrap();
+        let good = Compiler::reference().compile(&program).unwrap();
+        assert_ne!(print_program(&buggy.program), print_program(&good.program));
+    }
+
+    #[test]
+    fn predication_bugs_change_action_bodies() {
+        use p4_ir::{ActionDecl, BinOp, Block, Declaration, Expr, Statement};
+        let action = ActionDecl {
+            name: "act".into(),
+            params: vec![],
+            body: Block::new(vec![Statement::if_then(
+                Expr::binary(BinOp::Eq, Expr::dotted(&["hdr", "h", "a"]), Expr::uint(0, 8)),
+                Statement::Block(Block::new(vec![Statement::assign(
+                    Expr::dotted(&["hdr", "h", "b"]),
+                    Expr::uint(1, 8),
+                )])),
+            )]),
+        };
+        let mk_program = || {
+            builder::v1model_program(
+                vec![
+                    Declaration::Action(p4_ir::builder::no_action()),
+                    Declaration::Action(action.clone()),
+                    Declaration::Table(p4_ir::TableDecl {
+                        name: "t".into(),
+                        keys: vec![p4_ir::KeyElement {
+                            expr: Expr::dotted(&["hdr", "h", "a"]),
+                            match_kind: p4_ir::MatchKind::Exact,
+                        }],
+                        actions: vec![p4_ir::ActionRef::new("act"), p4_ir::ActionRef::new("NoAction")],
+                        default_action: p4_ir::ActionRef::new("NoAction"),
+                    }),
+                ],
+                Block::new(vec![Statement::call(vec!["t", "apply"], vec![])]),
+            )
+        };
+        let good = Compiler::reference().compile(&mk_program()).unwrap();
+        let swapped = seeded_compiler(FrontEndBugClass::PredicationSwapsBranches)
+            .compile(&mk_program())
+            .unwrap();
+        assert_ne!(print_program(&good.program), print_program(&swapped.program));
+    }
+}

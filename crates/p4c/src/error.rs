@@ -1,0 +1,93 @@
+//! Compiler error types.
+//!
+//! The driver distinguishes the outcomes Gauntlet cares about (paper §2.1):
+//! a *crash* (abnormal termination inside a pass — assertion violations in
+//! P4C), a *rejection* (a proper diagnostic such as a type error), and a
+//! successful compilation whose output may still be semantically wrong
+//! (which only translation validation or end-to-end testing can reveal).
+
+use crate::pass::PassArea;
+use std::fmt;
+
+/// A compiler diagnostic produced by a pass that rejected the program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    pub message: String,
+}
+
+impl Diagnostic {
+    pub fn new(message: impl Into<String>) -> Diagnostic {
+        Diagnostic { message: message.into() }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+/// Errors a compilation run can end with.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompileError {
+    /// A pass panicked (assertion violation / segfault analogue): a crash bug
+    /// candidate.
+    Crash { pass: String, area: PassArea, message: String },
+    /// A pass (or the up-front type checker) rejected the program with a
+    /// proper error message.  For well-formed generated programs this is
+    /// either expected behaviour or an "incorrectly rejects valid program"
+    /// bug, depending on the oracle.
+    Rejected { pass: String, diagnostics: Vec<String> },
+}
+
+impl CompileError {
+    pub fn is_crash(&self) -> bool {
+        matches!(self, CompileError::Crash { .. })
+    }
+
+    /// The pass the error is attributed to.
+    pub fn pass(&self) -> &str {
+        match self {
+            CompileError::Crash { pass, .. } | CompileError::Rejected { pass, .. } => pass,
+        }
+    }
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::Crash { pass, area, message } => {
+                write!(f, "compiler crash in {area} pass `{pass}`: {message}")
+            }
+            CompileError::Rejected { pass, diagnostics } => {
+                write!(f, "program rejected by `{pass}`: {}", diagnostics.join("; "))
+            }
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crash_classification() {
+        let crash = CompileError::Crash {
+            pass: "SimplifyDefUse".into(),
+            area: PassArea::FrontEnd,
+            message: "assertion failed".into(),
+        };
+        assert!(crash.is_crash());
+        assert_eq!(crash.pass(), "SimplifyDefUse");
+        assert!(crash.to_string().contains("SimplifyDefUse"));
+
+        let rejected = CompileError::Rejected {
+            pass: "TypeChecking".into(),
+            diagnostics: vec!["bad type".into()],
+        };
+        assert!(!rejected.is_crash());
+        assert!(rejected.to_string().contains("bad type"));
+    }
+}

@@ -1,0 +1,25 @@
+//! # p4c — a nanopass compiler for the P4-16 subset
+//!
+//! This crate is the reproduction's stand-in for the P4C front- and mid-end
+//! infrastructure that Gauntlet tests.  It provides:
+//!
+//! * a [`pass::Pass`] trait and [`Compiler`] driver that runs a pipeline of
+//!   passes, captures the program after every modifying pass (the `p4test`
+//!   behaviour translation validation consumes), and converts pass panics
+//!   into structured crash reports;
+//! * the reference pass catalogue in [`passes`] (constant folding, strength
+//!   reduction, side-effect ordering, function/action inlining with explicit
+//!   copy-in/copy-out, def-use simplification, copy propagation,
+//!   predication, block flattening);
+//! * a seeded-bug catalogue in [`buggy`] with one faulty pass variant per
+//!   miscompilation class described in the paper's §7.2 / Figure 5, used by
+//!   the evaluation harness to measure Gauntlet's detection ability.
+
+pub mod buggy;
+pub mod error;
+pub mod pass;
+pub mod passes;
+
+pub use buggy::FrontEndBugClass;
+pub use error::{CompileError, Diagnostic};
+pub use pass::{program_hash, CompileOptions, CompileResult, Compiler, Pass, PassArea, PassSnapshot};

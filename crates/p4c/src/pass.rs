@@ -1,0 +1,355 @@
+//! The nanopass framework: pass trait, pass manager, and compiler driver.
+//!
+//! P4C is structured as a long sequence of small ("nano") passes that each
+//! perform one analysis or transformation (paper §3, §7.3).  Gauntlet relies
+//! on two properties of that architecture, which this module reproduces:
+//!
+//! 1. the compiler can emit the transformed program after every pass
+//!    (`p4test`-style snapshots), which translation validation consumes; and
+//! 2. passes signal internal errors through assertions, which surface as
+//!    crash bugs with the offending pass attached.
+
+use crate::error::{CompileError, Diagnostic};
+use p4_ir::{print_program, Program};
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Which part of the compiler a pass belongs to.  Table 3 of the paper
+/// groups detected bugs by exactly these areas.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum PassArea {
+    FrontEnd,
+    MidEnd,
+    BackEnd,
+}
+
+impl std::fmt::Display for PassArea {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PassArea::FrontEnd => write!(f, "front end"),
+            PassArea::MidEnd => write!(f, "mid end"),
+            PassArea::BackEnd => write!(f, "back end"),
+        }
+    }
+}
+
+/// A compiler pass.
+pub trait Pass {
+    /// Stable pass name used in diagnostics and bug reports.
+    fn name(&self) -> &str;
+
+    /// The compiler area the pass belongs to.
+    fn area(&self) -> PassArea {
+        PassArea::FrontEnd
+    }
+
+    /// Transforms the program in place.  Returning an error models a
+    /// *rejected* program (a compiler diagnostic); panicking models an
+    /// internal assertion violation, which the driver reports as a crash
+    /// bug.
+    fn run(&self, program: &mut Program) -> Result<(), Diagnostic>;
+}
+
+/// The program snapshot taken after a pass that changed the program.
+#[derive(Debug, Clone)]
+pub struct PassSnapshot {
+    pub pass_name: String,
+    pub area: PassArea,
+    /// Index of the pass in the pipeline (0 = the input program).
+    pub pass_index: usize,
+    pub program: Program,
+    /// The ToP4-printed form of `program`.
+    pub printed: String,
+}
+
+/// The result of a successful compilation.
+#[derive(Debug, Clone)]
+pub struct CompileResult {
+    /// The input program plus one snapshot per pass that modified it.
+    pub snapshots: Vec<PassSnapshot>,
+    /// The fully transformed program.
+    pub program: Program,
+    /// Names of passes that ran but did not modify the program.
+    pub unchanged_passes: Vec<String>,
+}
+
+impl CompileResult {
+    /// Consecutive snapshot pairs `(before, after)` for translation
+    /// validation.
+    pub fn pass_pairs(&self) -> impl Iterator<Item = (&PassSnapshot, &PassSnapshot)> {
+        self.snapshots.windows(2).map(|w| (&w[0], &w[1]))
+    }
+}
+
+/// Options controlling a compiler run.
+#[derive(Debug, Clone)]
+pub struct CompileOptions {
+    /// Whether to capture a snapshot after every modifying pass
+    /// (the `p4test --top4` behaviour Gauntlet depends on).
+    pub emit_snapshots: bool,
+    /// Run the reference type checker on the input before any pass.
+    pub type_check_input: bool,
+}
+
+impl Default for CompileOptions {
+    fn default() -> Self {
+        CompileOptions { emit_snapshots: true, type_check_input: true }
+    }
+}
+
+/// A pipeline of passes plus the driver that runs them.
+pub struct Compiler {
+    passes: Vec<Box<dyn Pass>>,
+    options: CompileOptions,
+}
+
+impl Compiler {
+    /// An empty compiler with no passes (useful for tests).
+    pub fn empty() -> Compiler {
+        Compiler { passes: Vec::new(), options: CompileOptions::default() }
+    }
+
+    /// The reference pipeline: all front-end and mid-end passes in their
+    /// default order.
+    pub fn reference() -> Compiler {
+        let mut compiler = Compiler::empty();
+        for pass in crate::passes::default_pipeline() {
+            compiler.passes.push(pass);
+        }
+        compiler
+    }
+
+    /// Creates a compiler from an explicit pass list.
+    pub fn with_passes(passes: Vec<Box<dyn Pass>>) -> Compiler {
+        Compiler { passes, options: CompileOptions::default() }
+    }
+
+    pub fn options_mut(&mut self) -> &mut CompileOptions {
+        &mut self.options
+    }
+
+    /// Appends a pass to the pipeline.
+    pub fn add_pass(&mut self, pass: Box<dyn Pass>) -> &mut Self {
+        self.passes.push(pass);
+        self
+    }
+
+    /// Replaces the pass with the same name, returning whether a replacement
+    /// happened.  Used by the bug-injection framework to swap a correct pass
+    /// for a faulty variant.
+    pub fn replace_pass(&mut self, pass: Box<dyn Pass>) -> bool {
+        for slot in &mut self.passes {
+            if slot.name() == pass.name() {
+                *slot = pass;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Removes a pass by name (Different-Optimization-Levels style testing).
+    pub fn remove_pass(&mut self, name: &str) -> bool {
+        let before = self.passes.len();
+        self.passes.retain(|p| p.name() != name);
+        self.passes.len() != before
+    }
+
+    /// Pass names in pipeline order.
+    pub fn pass_names(&self) -> Vec<String> {
+        self.passes.iter().map(|p| p.name().to_string()).collect()
+    }
+
+    /// Runs the pipeline on `program`.
+    pub fn compile(&self, program: &Program) -> Result<CompileResult, CompileError> {
+        if self.options.type_check_input {
+            let errors = p4_check::check_program(program);
+            if !errors.is_empty() {
+                return Err(CompileError::Rejected {
+                    pass: "TypeChecking".into(),
+                    diagnostics: errors.iter().map(|e| e.to_string()).collect(),
+                });
+            }
+        }
+
+        let mut current = program.clone();
+        let mut snapshots = Vec::new();
+        let mut unchanged = Vec::new();
+        if self.options.emit_snapshots {
+            snapshots.push(PassSnapshot {
+                pass_name: "<input>".into(),
+                area: PassArea::FrontEnd,
+                pass_index: 0,
+                program: current.clone(),
+                printed: print_program(&current),
+            });
+        }
+        let mut last_hash = program_hash(&current);
+
+        for (index, pass) in self.passes.iter().enumerate() {
+            let mut working = current.clone();
+            let outcome = catch_unwind(AssertUnwindSafe(|| pass.run(&mut working).map(|_| working)));
+            match outcome {
+                Err(panic) => {
+                    return Err(CompileError::Crash {
+                        pass: pass.name().to_string(),
+                        area: pass.area(),
+                        message: panic_message(panic),
+                    });
+                }
+                Ok(Err(diagnostic)) => {
+                    return Err(CompileError::Rejected {
+                        pass: pass.name().to_string(),
+                        diagnostics: vec![diagnostic.message],
+                    });
+                }
+                Ok(Ok(transformed)) => {
+                    current = transformed;
+                    let hash = program_hash(&current);
+                    if hash != last_hash {
+                        last_hash = hash;
+                        if self.options.emit_snapshots {
+                            snapshots.push(PassSnapshot {
+                                pass_name: pass.name().to_string(),
+                                area: pass.area(),
+                                pass_index: index + 1,
+                                program: current.clone(),
+                                printed: print_program(&current),
+                            });
+                        }
+                    } else {
+                        unchanged.push(pass.name().to_string());
+                    }
+                }
+            }
+        }
+        Ok(CompileResult { snapshots, program: current, unchanged_passes: unchanged })
+    }
+}
+
+/// Structural hash of a program, used to detect whether a pass changed it
+/// (the paper ignores emitted programs whose hash equals the predecessor's,
+/// §5.2).
+pub fn program_hash(program: &Program) -> u64 {
+    let mut hasher = DefaultHasher::new();
+    program.hash(&mut hasher);
+    hasher.finish()
+}
+
+fn panic_message(panic: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(message) = panic.downcast_ref::<&str>() {
+        (*message).to_string()
+    } else if let Some(message) = panic.downcast_ref::<String>() {
+        message.clone()
+    } else {
+        "unknown panic".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p4_ir::builder;
+
+    struct NopPass;
+    impl Pass for NopPass {
+        fn name(&self) -> &str {
+            "Nop"
+        }
+        fn run(&self, _program: &mut Program) -> Result<(), Diagnostic> {
+            Ok(())
+        }
+    }
+
+    struct RenameControlPass;
+    impl Pass for RenameControlPass {
+        fn name(&self) -> &str {
+            "RenameControl"
+        }
+        fn run(&self, program: &mut Program) -> Result<(), Diagnostic> {
+            if let Some(control) = program.control_mut("ingress_impl") {
+                control.apply.statements.push(p4_ir::Statement::Empty);
+            }
+            Ok(())
+        }
+    }
+
+    struct PanickingPass;
+    impl Pass for PanickingPass {
+        fn name(&self) -> &str {
+            "Panicking"
+        }
+        fn run(&self, _program: &mut Program) -> Result<(), Diagnostic> {
+            panic!("compiler bug: invariant violated");
+        }
+    }
+
+    #[test]
+    fn unchanged_passes_produce_no_snapshots() {
+        let mut compiler = Compiler::empty();
+        compiler.add_pass(Box::new(NopPass));
+        let result = compiler.compile(&builder::trivial_program()).unwrap();
+        assert_eq!(result.snapshots.len(), 1); // just the input
+        assert_eq!(result.unchanged_passes, vec!["Nop"]);
+    }
+
+    #[test]
+    fn modifying_passes_are_snapshotted() {
+        let mut compiler = Compiler::empty();
+        compiler.add_pass(Box::new(RenameControlPass));
+        let result = compiler.compile(&builder::trivial_program()).unwrap();
+        assert_eq!(result.snapshots.len(), 2);
+        assert_eq!(result.snapshots[1].pass_name, "RenameControl");
+        assert_eq!(result.pass_pairs().count(), 1);
+    }
+
+    #[test]
+    fn panics_become_crash_errors() {
+        let mut compiler = Compiler::empty();
+        compiler.add_pass(Box::new(PanickingPass));
+        match compiler.compile(&builder::trivial_program()) {
+            Err(CompileError::Crash { pass, message, .. }) => {
+                assert_eq!(pass, "Panicking");
+                assert!(message.contains("invariant violated"));
+            }
+            other => panic!("expected a crash, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ill_typed_input_is_rejected_before_any_pass() {
+        let mut program = builder::trivial_program();
+        // Break the program: assign an unknown variable.
+        if let Some(control) = program.control_mut("ingress_impl") {
+            control.apply.statements.push(p4_ir::Statement::assign(
+                p4_ir::Expr::path("ghost"),
+                p4_ir::Expr::uint(1, 8),
+            ));
+        }
+        let compiler = Compiler::empty();
+        assert!(matches!(
+            compiler.compile(&program),
+            Err(CompileError::Rejected { pass, .. }) if pass == "TypeChecking"
+        ));
+    }
+
+    #[test]
+    fn replace_and_remove_passes() {
+        let mut compiler = Compiler::empty();
+        compiler.add_pass(Box::new(NopPass));
+        assert!(compiler.replace_pass(Box::new(NopPass)));
+        assert!(compiler.remove_pass("Nop"));
+        assert!(!compiler.remove_pass("Nop"));
+        assert!(!compiler.replace_pass(Box::new(NopPass)));
+    }
+
+    #[test]
+    fn program_hash_is_stable_and_sensitive() {
+        let a = builder::trivial_program();
+        let b = builder::trivial_program();
+        assert_eq!(program_hash(&a), program_hash(&b));
+        let mut c = builder::trivial_program();
+        c.control_mut("ingress_impl").unwrap().apply.statements.push(p4_ir::Statement::Exit);
+        assert_ne!(program_hash(&a), program_hash(&c));
+    }
+}

@@ -1,0 +1,271 @@
+//! Constant folding: evaluates compile-time-constant sub-expressions and
+//! prunes statically-decided branches.
+//!
+//! Widths follow P4-16 semantics: arithmetic on `bit<N>` wraps modulo 2^N,
+//! shifts by amounts ≥ N produce 0, and unsized integer literals adopt the
+//! width of the sized operand they are combined with.
+
+use crate::error::Diagnostic;
+use crate::pass::{Pass, PassArea};
+use p4_ir::visit::{mutate_walk_expr, mutate_walk_statement};
+use p4_ir::{truncate, BinOp, Expr, Mutator, Program, Statement, Type, UnOp};
+
+/// The constant-folding pass.
+#[derive(Debug, Default)]
+pub struct ConstantFolding;
+
+impl Pass for ConstantFolding {
+    fn name(&self) -> &str {
+        "ConstantFolding"
+    }
+
+    fn area(&self) -> PassArea {
+        PassArea::FrontEnd
+    }
+
+    fn run(&self, program: &mut Program) -> Result<(), Diagnostic> {
+        Folder.mutate_program(program);
+        Ok(())
+    }
+}
+
+struct Folder;
+
+/// A literal extracted from an expression, if it is a compile-time constant.
+#[derive(Debug, Clone, Copy)]
+enum Const {
+    Bool(bool),
+    Int { value: u128, width: Option<u32> },
+}
+
+fn as_const(expr: &Expr) -> Option<Const> {
+    match expr {
+        Expr::Bool(b) => Some(Const::Bool(*b)),
+        Expr::Int { value, width, .. } => Some(Const::Int { value: *value, width: *width }),
+        _ => None,
+    }
+}
+
+fn make_int(value: u128, width: Option<u32>) -> Expr {
+    match width {
+        Some(w) => Expr::uint(value, w),
+        None => Expr::int(value),
+    }
+}
+
+/// Unifies the widths of two literal operands: a sized literal imposes its
+/// width on an unsized one; two sized literals must already agree (the type
+/// checker enforces this), two unsized literals stay unsized.
+fn unify_widths(a: Option<u32>, b: Option<u32>) -> Option<u32> {
+    a.or(b)
+}
+
+impl Folder {
+    fn fold_binary(&self, op: BinOp, left: &Expr, right: &Expr) -> Option<Expr> {
+        let (lc, rc) = (as_const(left)?, as_const(right)?);
+        match (op, lc, rc) {
+            (BinOp::And, Const::Bool(a), Const::Bool(b)) => Some(Expr::Bool(a && b)),
+            (BinOp::Or, Const::Bool(a), Const::Bool(b)) => Some(Expr::Bool(a || b)),
+            (BinOp::Eq, Const::Bool(a), Const::Bool(b)) => Some(Expr::Bool(a == b)),
+            (BinOp::Ne, Const::Bool(a), Const::Bool(b)) => Some(Expr::Bool(a != b)),
+            (op, Const::Int { value: a, width: wa }, Const::Int { value: b, width: wb }) => {
+                let width = unify_widths(wa, wb);
+                let wrap = |v: u128| match width {
+                    Some(w) => truncate(v, w),
+                    None => v,
+                };
+                let max = width.map(p4_ir::max_unsigned).unwrap_or(u128::MAX);
+                match op {
+                    BinOp::Add => Some(make_int(wrap(a.wrapping_add(b)), width)),
+                    BinOp::Sub => Some(make_int(wrap(a.wrapping_sub(b)), width)),
+                    BinOp::Mul => Some(make_int(wrap(a.wrapping_mul(b)), width)),
+                    BinOp::SatAdd => Some(make_int(a.saturating_add(b).min(max), width)),
+                    BinOp::SatSub => Some(make_int(a.saturating_sub(b), width)),
+                    BinOp::BitAnd => Some(make_int(a & b, width)),
+                    BinOp::BitOr => Some(make_int(wrap(a | b), width)),
+                    BinOp::BitXor => Some(make_int(wrap(a ^ b), width)),
+                    BinOp::Shl => {
+                        let shifted = if b >= 128 { 0 } else { a.wrapping_shl(b as u32) };
+                        Some(make_int(wrap(shifted), width.or(wa)))
+                    }
+                    BinOp::Shr => {
+                        let shifted = if b >= 128 { 0 } else { a.wrapping_shr(b as u32) };
+                        Some(make_int(shifted, width.or(wa)))
+                    }
+                    BinOp::Concat => match (wa, wb) {
+                        (Some(w1), Some(w2)) => {
+                            Some(Expr::uint((a << w2) | truncate(b, w2), w1 + w2))
+                        }
+                        _ => None,
+                    },
+                    BinOp::Eq => Some(Expr::Bool(a == b)),
+                    BinOp::Ne => Some(Expr::Bool(a != b)),
+                    BinOp::Lt => Some(Expr::Bool(a < b)),
+                    BinOp::Le => Some(Expr::Bool(a <= b)),
+                    BinOp::Gt => Some(Expr::Bool(a > b)),
+                    BinOp::Ge => Some(Expr::Bool(a >= b)),
+                    BinOp::And | BinOp::Or => None,
+                }
+            }
+            _ => None,
+        }
+    }
+
+    fn fold_unary(&self, op: UnOp, operand: &Expr) -> Option<Expr> {
+        match (op, as_const(operand)?) {
+            (UnOp::Not, Const::Bool(b)) => Some(Expr::Bool(!b)),
+            (UnOp::BitNot, Const::Int { value, width: Some(w) }) => {
+                Some(Expr::uint(truncate(!value, w), w))
+            }
+            (UnOp::Neg, Const::Int { value, width: Some(w) }) => {
+                Some(Expr::uint(truncate(value.wrapping_neg(), w), w))
+            }
+            _ => None,
+        }
+    }
+
+    fn fold_cast(&self, ty: &Type, operand: &Expr) -> Option<Expr> {
+        match (ty, as_const(operand)?) {
+            (Type::Bits { width, .. }, Const::Int { value, .. }) => {
+                Some(Expr::uint(truncate(value, *width), *width))
+            }
+            (Type::Bits { width, .. }, Const::Bool(b)) => Some(Expr::uint(u128::from(b), *width)),
+            (Type::Bool, Const::Int { value, .. }) => Some(Expr::Bool(value != 0)),
+            (Type::Bool, Const::Bool(b)) => Some(Expr::Bool(b)),
+            _ => None,
+        }
+    }
+
+    fn fold_slice(&self, base: &Expr, hi: u32, lo: u32) -> Option<Expr> {
+        match as_const(base)? {
+            Const::Int { value, .. } if hi >= lo && hi < 128 => {
+                let width = hi - lo + 1;
+                Some(Expr::uint(truncate(value >> lo, width), width))
+            }
+            _ => None,
+        }
+    }
+}
+
+impl Mutator for Folder {
+    fn mutate_expr(&mut self, expr: &mut Expr) {
+        // Fold children first, then the node itself.
+        mutate_walk_expr(self, expr);
+        let folded = match expr {
+            Expr::Binary { op, left, right } => self.fold_binary(*op, left, right),
+            Expr::Unary { op, operand } => self.fold_unary(*op, operand),
+            Expr::Cast { ty, expr: inner } => self.fold_cast(ty, inner),
+            Expr::Slice { base, hi, lo } => self.fold_slice(base, *hi, *lo),
+            Expr::Ternary { cond, then_expr, else_expr } => match as_const(cond) {
+                Some(Const::Bool(true)) => Some((**then_expr).clone()),
+                Some(Const::Bool(false)) => Some((**else_expr).clone()),
+                _ => None,
+            },
+            _ => None,
+        };
+        if let Some(new_expr) = folded {
+            *expr = new_expr;
+        }
+    }
+
+    fn mutate_statement(&mut self, stmt: &mut Statement) {
+        mutate_walk_statement(self, stmt);
+        // Prune statically-decided if statements.
+        if let Statement::If { cond, then_branch, else_branch } = stmt {
+            match as_const(cond) {
+                Some(Const::Bool(true)) => *stmt = (**then_branch).clone(),
+                Some(Const::Bool(false)) => {
+                    *stmt = match else_branch {
+                        Some(else_stmt) => (**else_stmt).clone(),
+                        None => Statement::Empty,
+                    };
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p4_ir::builder;
+    use p4_ir::{print_program, Block};
+
+    fn fold_ingress(statements: Vec<Statement>) -> String {
+        let mut program = builder::v1model_program(vec![], Block::new(statements));
+        ConstantFolding.run(&mut program).unwrap();
+        print_program(&program)
+    }
+
+    #[test]
+    fn folds_arithmetic_with_wraparound() {
+        let text = fold_ingress(vec![Statement::assign(
+            Expr::dotted(&["hdr", "h", "a"]),
+            Expr::binary(BinOp::Add, Expr::uint(250, 8), Expr::uint(10, 8)),
+        )]);
+        assert!(text.contains("hdr.h.a = 8w4;"));
+    }
+
+    #[test]
+    fn folds_nested_expressions_and_shifts() {
+        let text = fold_ingress(vec![Statement::assign(
+            Expr::dotted(&["hdr", "h", "a"]),
+            Expr::binary(
+                BinOp::Shl,
+                Expr::binary(BinOp::BitOr, Expr::uint(1, 8), Expr::uint(2, 8)),
+                Expr::int(2),
+            ),
+        )]);
+        assert!(text.contains("hdr.h.a = 8w12;"));
+    }
+
+    #[test]
+    fn adapts_unsized_literals_to_sized_operands() {
+        let text = fold_ingress(vec![Statement::assign(
+            Expr::dotted(&["hdr", "h", "a"]),
+            Expr::binary(BinOp::Add, Expr::int(1), Expr::uint(2, 8)),
+        )]);
+        assert!(text.contains("hdr.h.a = 8w3;"));
+    }
+
+    #[test]
+    fn prunes_constant_branches() {
+        let text = fold_ingress(vec![Statement::if_else(
+            Expr::binary(BinOp::Lt, Expr::uint(1, 8), Expr::uint(2, 8)),
+            Statement::Block(Block::new(vec![Statement::assign(
+                Expr::dotted(&["hdr", "h", "a"]),
+                Expr::uint(1, 8),
+            )])),
+            Statement::Block(Block::new(vec![Statement::assign(
+                Expr::dotted(&["hdr", "h", "a"]),
+                Expr::uint(2, 8),
+            )])),
+        )]);
+        assert!(text.contains("hdr.h.a = 8w1;"));
+        assert!(!text.contains("8w2"));
+    }
+
+    #[test]
+    fn folds_casts_slices_and_ternaries() {
+        let text = fold_ingress(vec![Statement::assign(
+            Expr::dotted(&["hdr", "h", "a"]),
+            Expr::ternary(
+                Expr::Bool(true),
+                Expr::cast(Type::bits(8), Expr::uint(0x1ff, 16)),
+                Expr::slice(Expr::uint(0xab, 8), 3, 0),
+            ),
+        )]);
+        assert!(text.contains("hdr.h.a = 8w255;"));
+    }
+
+    #[test]
+    fn leaves_symbolic_expressions_alone() {
+        let text = fold_ingress(vec![Statement::assign(
+            Expr::dotted(&["hdr", "h", "a"]),
+            Expr::binary(BinOp::Add, Expr::dotted(&["hdr", "h", "b"]), Expr::uint(0, 8)),
+        )]);
+        // Folding does not do strength reduction; x + 0 stays.
+        assert!(text.contains("(hdr.h.b + 8w0)"));
+    }
+}

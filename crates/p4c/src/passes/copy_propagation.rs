@@ -1,0 +1,241 @@
+//! `LocalCopyPropagation`: within straight-line statement sequences,
+//! replaces reads of a variable by the value it was most recently assigned,
+//! when that value is a simple path or literal and nothing in between could
+//! have changed either side of the copy.
+
+use crate::error::Diagnostic;
+use crate::pass::{Pass, PassArea};
+use crate::passes::util::Substitution;
+use p4_ir::{Block, Declaration, Expr, Program, Statement};
+use std::collections::HashMap;
+
+/// The local copy-propagation pass.
+#[derive(Debug, Default)]
+pub struct LocalCopyPropagation;
+
+impl Pass for LocalCopyPropagation {
+    fn name(&self) -> &str {
+        "LocalCopyPropagation"
+    }
+
+    fn area(&self) -> PassArea {
+        PassArea::MidEnd
+    }
+
+    fn run(&self, program: &mut Program) -> Result<(), Diagnostic> {
+        for decl in &mut program.declarations {
+            match decl {
+                Declaration::Control(control) => {
+                    for local in &mut control.locals {
+                        if let Declaration::Action(action) = local {
+                            propagate_block(&mut action.body);
+                        }
+                    }
+                    propagate_block(&mut control.apply);
+                }
+                Declaration::Action(action) => propagate_block(&mut action.body),
+                Declaration::Function(function) => propagate_block(&mut function.body),
+                _ => {}
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A value that is safe to propagate: a literal, a plain variable, or a pure
+/// member chain (`hdr.h.a`).  Member chains are safe because the copy map is
+/// invalidated whenever anything rooted at the same variable is written and
+/// cleared across calls and branches.
+fn propagatable(expr: &Expr) -> bool {
+    match expr {
+        Expr::Int { width: Some(_), .. } | Expr::Bool(_) => true,
+        Expr::Path(_) | Expr::Member { .. } => expr.is_lvalue(),
+        _ => false,
+    }
+}
+
+fn propagate_block(block: &mut Block) {
+    // copies: variable name → replacement expression, valid at the current
+    // point in the straight-line sequence.
+    let mut copies: HashMap<String, Expr> = HashMap::new();
+    for stmt in &mut block.statements {
+        match stmt {
+            Statement::Assign { lhs, rhs } => {
+                substitute(rhs, &copies);
+                // Kill copies invalidated by this write, then record the new
+                // copy if applicable.  Copies are only recorded for whole
+                // plain variables; partial (slice/member) writes just
+                // invalidate.
+                if let Some(root) = lhs.lvalue_root().map(str::to_owned) {
+                    invalidate(&mut copies, &root);
+                    if let Expr::Path(name) = lhs {
+                        if propagatable(rhs) && rhs.lvalue_root() != Some(name.as_str()) {
+                            copies.insert(name.clone(), rhs.clone());
+                        }
+                    }
+                }
+            }
+            Statement::Declare { name, init, .. } => {
+                if let Some(init) = init {
+                    substitute(init, &copies);
+                    invalidate(&mut copies, name);
+                    if propagatable(init) {
+                        copies.insert(name.clone(), init.clone());
+                    }
+                } else {
+                    invalidate(&mut copies, name);
+                }
+            }
+            Statement::Constant { name, value, .. } => {
+                substitute(value, &copies);
+                invalidate(&mut copies, name);
+                if propagatable(value) {
+                    copies.insert(name.clone(), value.clone());
+                }
+            }
+            Statement::If { cond, then_branch, else_branch } => {
+                substitute(cond, &copies);
+                // Branches get their own (nested) propagation; the copy map
+                // is conservatively cleared afterwards because either branch
+                // may have written anything.
+                if let Statement::Block(inner) = then_branch.as_mut() {
+                    propagate_block(inner);
+                }
+                if let Some(else_stmt) = else_branch {
+                    if let Statement::Block(inner) = else_stmt.as_mut() {
+                        propagate_block(inner);
+                    }
+                }
+                copies.clear();
+            }
+            Statement::Block(inner) => {
+                propagate_block(inner);
+                copies.clear();
+            }
+            Statement::Call(call) => {
+                for arg in &mut call.args {
+                    substitute(arg, &copies);
+                }
+                // A call may modify any of its by-reference arguments and,
+                // for table applications, arbitrary state: drop all copies.
+                copies.clear();
+            }
+            Statement::Return(Some(expr)) => substitute(expr, &copies),
+            Statement::Exit | Statement::Return(None) | Statement::Empty => {}
+        }
+    }
+}
+
+fn substitute(expr: &mut Expr, copies: &HashMap<String, Expr>) {
+    if copies.is_empty() {
+        return;
+    }
+    let mut substitution = Substitution::new(copies.clone());
+    substitution.apply_expr(expr);
+}
+
+/// Removes every copy that mentions `name` on either side.
+fn invalidate(copies: &mut HashMap<String, Expr>, name: &str) {
+    copies.retain(|key, value| {
+        if key == name {
+            return false;
+        }
+        let mut paths = Vec::new();
+        value.collect_paths(&mut paths);
+        !paths.contains(&name)
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p4_ir::builder;
+    use p4_ir::{print_program, BinOp, Type};
+
+    fn run_on(statements: Vec<Statement>) -> String {
+        let mut program = builder::v1model_program(vec![], Block::new(statements));
+        LocalCopyPropagation.run(&mut program).unwrap();
+        print_program(&program)
+    }
+
+    #[test]
+    fn propagates_simple_copies() {
+        let text = run_on(vec![
+            Statement::Declare {
+                name: "x".into(),
+                ty: Type::bits(8),
+                init: Some(Expr::dotted(&["hdr", "h", "a"])),
+            },
+            Statement::assign(Expr::dotted(&["hdr", "h", "b"]), Expr::path("x")),
+        ]);
+        assert!(text.contains("hdr.h.b = hdr.h.a;"));
+    }
+
+    #[test]
+    fn does_not_propagate_past_redefinition_of_source() {
+        let text = run_on(vec![
+            Statement::Declare {
+                name: "x".into(),
+                ty: Type::bits(8),
+                init: Some(Expr::dotted(&["hdr", "h", "a"])),
+            },
+            Statement::assign(Expr::dotted(&["hdr", "h", "a"]), Expr::uint(0, 8)),
+            Statement::assign(Expr::dotted(&["hdr", "h", "b"]), Expr::path("x")),
+        ]);
+        // hdr.h.a changed between the copy and the use: x must not be
+        // replaced by hdr.h.a.
+        assert!(text.contains("hdr.h.b = x;"));
+    }
+
+    #[test]
+    fn does_not_propagate_across_calls() {
+        let (locals, _) = builder::figure3_table_control();
+        let mut program = builder::v1model_program(
+            locals,
+            Block::new(vec![
+                Statement::Declare {
+                    name: "x".into(),
+                    ty: Type::bits(8),
+                    init: Some(Expr::dotted(&["hdr", "h", "a"])),
+                },
+                Statement::call(vec!["t", "apply"], vec![]),
+                Statement::assign(Expr::dotted(&["hdr", "h", "b"]), Expr::path("x")),
+            ]),
+        );
+        LocalCopyPropagation.run(&mut program).unwrap();
+        let text = print_program(&program);
+        assert!(text.contains("hdr.h.b = x;"));
+    }
+
+    #[test]
+    fn propagates_literals_into_expressions() {
+        let text = run_on(vec![
+            Statement::Declare { name: "k".into(), ty: Type::bits(8), init: Some(Expr::uint(3, 8)) },
+            Statement::assign(
+                Expr::dotted(&["hdr", "h", "a"]),
+                Expr::binary(BinOp::Add, Expr::path("k"), Expr::dotted(&["hdr", "h", "b"])),
+            ),
+        ]);
+        assert!(text.contains("hdr.h.a = (8w3 + hdr.h.b);"));
+    }
+
+    #[test]
+    fn clears_copies_after_branches() {
+        let text = run_on(vec![
+            Statement::Declare {
+                name: "x".into(),
+                ty: Type::bits(8),
+                init: Some(Expr::dotted(&["hdr", "h", "a"])),
+            },
+            Statement::if_then(
+                Expr::binary(BinOp::Eq, Expr::dotted(&["hdr", "h", "c"]), Expr::uint(0, 8)),
+                Statement::Block(Block::new(vec![Statement::assign(
+                    Expr::dotted(&["hdr", "h", "a"]),
+                    Expr::uint(9, 8),
+                )])),
+            ),
+            Statement::assign(Expr::dotted(&["hdr", "h", "b"]), Expr::path("x")),
+        ]);
+        assert!(text.contains("hdr.h.b = x;"));
+    }
+}

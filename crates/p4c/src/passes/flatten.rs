@@ -1,0 +1,160 @@
+//! `FlattenBlocks`: splices nested blocks that declare nothing into their
+//! parent and drops empty statements.  Purely cosmetic for semantics, but it
+//! keeps the emitted intermediate programs small and is the kind of
+//! late-stage cleanup pass where invalid-transformation bugs hide (a spliced
+//! block that *did* declare something changes scoping).
+
+use crate::error::Diagnostic;
+use crate::pass::{Pass, PassArea};
+use p4_ir::{Block, Declaration, Program, Statement};
+
+/// The block-flattening pass.
+#[derive(Debug, Default)]
+pub struct FlattenBlocks;
+
+impl Pass for FlattenBlocks {
+    fn name(&self) -> &str {
+        "FlattenBlocks"
+    }
+
+    fn area(&self) -> PassArea {
+        PassArea::MidEnd
+    }
+
+    fn run(&self, program: &mut Program) -> Result<(), Diagnostic> {
+        for decl in &mut program.declarations {
+            match decl {
+                Declaration::Control(control) => {
+                    for local in &mut control.locals {
+                        if let Declaration::Action(action) = local {
+                            flatten_block(&mut action.body);
+                        }
+                    }
+                    flatten_block(&mut control.apply);
+                }
+                Declaration::Action(action) => flatten_block(&mut action.body),
+                Declaration::Function(function) => flatten_block(&mut function.body),
+                Declaration::Parser(parser) => {
+                    for state in &mut parser.states {
+                        let mut block = Block::new(std::mem::take(&mut state.statements));
+                        flatten_block(&mut block);
+                        state.statements = block.statements;
+                    }
+                }
+                _ => {}
+            }
+        }
+        Ok(())
+    }
+}
+
+/// True if splicing the block into its parent cannot change name resolution:
+/// it declares nothing at its own top level.
+fn safe_to_splice(block: &Block) -> bool {
+    !block
+        .statements
+        .iter()
+        .any(|s| matches!(s, Statement::Declare { .. } | Statement::Constant { .. }))
+}
+
+fn flatten_block(block: &mut Block) {
+    let mut rewritten = Vec::with_capacity(block.statements.len());
+    for stmt in block.statements.drain(..) {
+        flatten_statement(stmt, &mut rewritten);
+    }
+    block.statements = rewritten;
+}
+
+fn flatten_statement(stmt: Statement, out: &mut Vec<Statement>) {
+    match stmt {
+        Statement::Empty => {}
+        Statement::Block(mut inner) => {
+            flatten_block(&mut inner);
+            if safe_to_splice(&inner) {
+                out.extend(inner.statements);
+            } else {
+                out.push(Statement::Block(inner));
+            }
+        }
+        Statement::If { cond, mut then_branch, mut else_branch } => {
+            if let Statement::Block(inner) = then_branch.as_mut() {
+                flatten_block(inner);
+            }
+            if let Some(else_stmt) = else_branch.as_mut() {
+                if let Statement::Block(inner) = else_stmt.as_mut() {
+                    flatten_block(inner);
+                    // `else {}` is dropped entirely.
+                    if inner.statements.is_empty() {
+                        else_branch = None;
+                    }
+                }
+            }
+            out.push(Statement::If { cond, then_branch, else_branch });
+        }
+        other => out.push(other),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p4_ir::builder;
+    use p4_ir::{print_program, Expr, Type};
+
+    #[test]
+    fn splices_declaration_free_blocks() {
+        let mut program = builder::v1model_program(
+            vec![],
+            Block::new(vec![Statement::Block(Block::new(vec![
+                Statement::assign(Expr::dotted(&["hdr", "h", "a"]), Expr::uint(1, 8)),
+                Statement::Empty,
+                Statement::Block(Block::new(vec![Statement::assign(
+                    Expr::dotted(&["hdr", "h", "b"]),
+                    Expr::uint(2, 8),
+                )])),
+            ]))]),
+        );
+        FlattenBlocks.run(&mut program).unwrap();
+        let control = program.control("ingress_impl").unwrap();
+        assert_eq!(control.apply.statements.len(), 2);
+        assert!(control.apply.statements.iter().all(|s| matches!(s, Statement::Assign { .. })));
+    }
+
+    #[test]
+    fn keeps_blocks_with_declarations() {
+        let mut program = builder::v1model_program(
+            vec![],
+            Block::new(vec![Statement::Block(Block::new(vec![
+                Statement::Declare { name: "x".into(), ty: Type::bits(8), init: Some(Expr::uint(1, 8)) },
+                Statement::assign(Expr::dotted(&["hdr", "h", "a"]), Expr::path("x")),
+            ]))]),
+        );
+        FlattenBlocks.run(&mut program).unwrap();
+        let control = program.control("ingress_impl").unwrap();
+        assert_eq!(control.apply.statements.len(), 1);
+        assert!(matches!(control.apply.statements[0], Statement::Block(_)));
+    }
+
+    #[test]
+    fn drops_empty_else_branches_and_empty_statements() {
+        let mut program = builder::v1model_program(
+            vec![],
+            Block::new(vec![
+                Statement::Empty,
+                Statement::if_else(
+                    Expr::Bool(true),
+                    Statement::Block(Block::new(vec![Statement::assign(
+                        Expr::dotted(&["hdr", "h", "a"]),
+                        Expr::uint(1, 8),
+                    )])),
+                    Statement::Block(Block::empty()),
+                ),
+            ]),
+        );
+        FlattenBlocks.run(&mut program).unwrap();
+        let text = print_program(&program);
+        assert!(!text.contains("else"));
+        let control = program.control("ingress_impl").unwrap();
+        assert_eq!(control.apply.statements.len(), 1);
+    }
+}

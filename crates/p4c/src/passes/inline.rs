@@ -1,0 +1,703 @@
+//! Inlining passes: `InlineFunctions` and `RemoveActionParameters`.
+//!
+//! Both passes eliminate calls by splicing the callee's body into the call
+//! site while implementing the copy-in/copy-out calling convention
+//! explicitly:
+//!
+//! * parameters with `in`/`inout` direction become fresh temporaries
+//!   initialised from the argument expressions (left to right);
+//! * `out` parameters become fresh, uninitialised temporaries;
+//! * on normal completion *and* on `exit`, `inout`/`out` temporaries are
+//!   copied back into the argument l-values.
+//!
+//! The `exit` case is exactly the paper's Figure 5f / specification-change
+//! story: P4C's `RemoveActionParameters` pass moved an assignment after the
+//! `exit`, assuming `exit` skips copy-out; the clarified specification (and
+//! this implementation) performs copy-out first.  The faulty variant lives
+//! in `crate::buggy`.
+
+use crate::error::Diagnostic;
+use crate::pass::{Pass, PassArea};
+use crate::passes::util::{contains_return, NameGen, Substitution};
+use p4_ir::{
+    ActionDecl, Block, ControlDecl, Declaration, Direction, Expr, FunctionDecl, Param, Program,
+    Statement, Type,
+};
+use std::collections::HashMap;
+
+/// Behavioural knobs for the shared inliner, used by the bug-injection
+/// framework to recreate the miscompilation classes from the paper.
+#[derive(Debug, Clone, Copy)]
+pub struct InlineBehaviour {
+    /// Perform copy-out before an `exit` inside the inlined body (correct
+    /// behaviour).  The Figure 5f bug sets this to `false`.
+    pub copy_out_on_exit: bool,
+    /// Copy arguments back for `inout`/`out` parameters (correct behaviour).
+    /// Disabling models the "incorrect argument evaluation and side effect
+    /// ordering" family of bugs.
+    pub copy_out_on_return: bool,
+    /// Evaluate arguments left to right (correct).  When `false`, arguments
+    /// are evaluated right to left, which diverges whenever two arguments
+    /// alias or an argument expression has side effects.
+    pub left_to_right: bool,
+}
+
+impl Default for InlineBehaviour {
+    fn default() -> Self {
+        InlineBehaviour { copy_out_on_exit: true, copy_out_on_return: true, left_to_right: true }
+    }
+}
+
+/// `InlineFunctions`: replaces calls to top-level functions by their bodies.
+#[derive(Debug, Default)]
+pub struct InlineFunctions {
+    pub behaviour: InlineBehaviour,
+}
+
+impl Pass for InlineFunctions {
+    fn name(&self) -> &str {
+        "InlineFunctions"
+    }
+
+    fn area(&self) -> PassArea {
+        PassArea::FrontEnd
+    }
+
+    fn run(&self, program: &mut Program) -> Result<(), Diagnostic> {
+        let functions: HashMap<String, FunctionDecl> = program
+            .declarations
+            .iter()
+            .filter_map(|d| match d {
+                Declaration::Function(f) => Some((f.name.clone(), f.clone())),
+                _ => None,
+            })
+            .collect();
+        let mut inliner = Inliner::new(self.behaviour, "inl");
+        for decl in &mut program.declarations {
+            match decl {
+                Declaration::Control(control) => {
+                    for local in &mut control.locals {
+                        if let Declaration::Action(action) = local {
+                            inliner.inline_functions_in_block(&mut action.body, &functions);
+                        }
+                    }
+                    inliner.inline_functions_in_block(&mut control.apply, &functions);
+                }
+                Declaration::Action(action) => {
+                    inliner.inline_functions_in_block(&mut action.body, &functions)
+                }
+                _ => {}
+            }
+        }
+        // Functions are no longer referenced; drop them so back ends that do
+        // not understand function calls never see one (the paper reports a
+        // crash caused by `InlineFunctions` *not* fully inlining, §7.2).
+        program.declarations.retain(|d| !matches!(d, Declaration::Function(_)));
+        Ok(())
+    }
+}
+
+/// `RemoveActionParameters`: inlines *direct* action invocations from apply
+/// blocks, making the copy-in/copy-out explicit.  Actions bound to tables
+/// keep their parameters (those are control-plane provided).
+#[derive(Debug, Default)]
+pub struct RemoveActionParameters {
+    pub behaviour: InlineBehaviour,
+}
+
+impl Pass for RemoveActionParameters {
+    fn name(&self) -> &str {
+        "RemoveActionParameters"
+    }
+
+    fn area(&self) -> PassArea {
+        PassArea::FrontEnd
+    }
+
+    fn run(&self, program: &mut Program) -> Result<(), Diagnostic> {
+        let top_level_actions: HashMap<String, ActionDecl> = program
+            .declarations
+            .iter()
+            .filter_map(|d| match d {
+                Declaration::Action(a) => Some((a.name.clone(), a.clone())),
+                _ => None,
+            })
+            .collect();
+        let mut inliner = Inliner::new(self.behaviour, "rap");
+        for decl in &mut program.declarations {
+            if let Declaration::Control(control) = decl {
+                let mut actions = top_level_actions.clone();
+                for local in &control.locals {
+                    if let Declaration::Action(a) = local {
+                        actions.insert(a.name.clone(), a.clone());
+                    }
+                }
+                // Only actions with parameters and direct (non-table) calls
+                // are affected.
+                inliner.inline_actions_in_block(&mut control.apply, &actions);
+                prune_uncalled_parameterised_actions(control);
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Removes local actions that take directed parameters and are no longer
+/// referenced by any table or call (they were fully inlined).
+fn prune_uncalled_parameterised_actions(control: &mut ControlDecl) {
+    let mut referenced: Vec<String> = Vec::new();
+    for local in &control.locals {
+        if let Declaration::Table(table) = local {
+            referenced.extend(table.actions.iter().map(|a| a.name.clone()));
+            referenced.push(table.default_action.name.clone());
+        }
+    }
+    let mut called: Vec<&str> = Vec::new();
+    collect_called_names(&control.apply, &mut called);
+    control.locals.retain(|local| match local {
+        Declaration::Action(a) => {
+            let has_directed_params = a.params.iter().any(|p| p.direction != Direction::None);
+            !has_directed_params
+                || referenced.contains(&a.name)
+                || called.iter().any(|c| *c == a.name)
+        }
+        _ => true,
+    });
+}
+
+fn collect_called_names<'a>(block: &'a Block, out: &mut Vec<&'a str>) {
+    for stmt in &block.statements {
+        collect_called_in_statement(stmt, out);
+    }
+}
+
+fn collect_called_in_statement<'a>(stmt: &'a Statement, out: &mut Vec<&'a str>) {
+    match stmt {
+        Statement::Call(call) if call.target.len() == 1 => out.push(&call.target[0]),
+        Statement::Block(block) => collect_called_names(block, out),
+        Statement::If { then_branch, else_branch, .. } => {
+            collect_called_in_statement(then_branch, out);
+            if let Some(else_stmt) = else_branch {
+                collect_called_in_statement(else_stmt, out);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// The shared inlining engine.
+struct Inliner {
+    behaviour: InlineBehaviour,
+    names: NameGen,
+}
+
+impl Inliner {
+    fn new(behaviour: InlineBehaviour, prefix: &'static str) -> Inliner {
+        Inliner { behaviour, names: NameGen::new(prefix) }
+    }
+
+    // ---- function inlining ------------------------------------------------
+
+    fn inline_functions_in_block(&mut self, block: &mut Block, functions: &HashMap<String, FunctionDecl>) {
+        let mut rewritten = Vec::with_capacity(block.statements.len());
+        for stmt in block.statements.drain(..) {
+            self.inline_functions_in_statement(stmt, functions, &mut rewritten);
+        }
+        block.statements = rewritten;
+    }
+
+    fn inline_functions_in_statement(
+        &mut self,
+        stmt: Statement,
+        functions: &HashMap<String, FunctionDecl>,
+        out: &mut Vec<Statement>,
+    ) {
+        match stmt {
+            Statement::Declare { name, ty, init: Some(Expr::Call(call)) }
+                if functions.contains_key(&call.target.join(".")) =>
+            {
+                let function = &functions[&call.target.join(".")];
+                let result = self.expand_callable(
+                    &function.params,
+                    &function.body,
+                    Some(&function.return_type),
+                    &call.args,
+                    out,
+                );
+                out.push(Statement::Declare { name, ty, init: result.map(Expr::Path) });
+            }
+            Statement::Assign { lhs, rhs: Expr::Call(call) }
+                if functions.contains_key(&call.target.join(".")) =>
+            {
+                let function = &functions[&call.target.join(".")];
+                let result = self.expand_callable(
+                    &function.params,
+                    &function.body,
+                    Some(&function.return_type),
+                    &call.args,
+                    out,
+                );
+                if let Some(result) = result {
+                    out.push(Statement::Assign { lhs, rhs: Expr::Path(result) });
+                }
+            }
+            Statement::Call(call) if functions.contains_key(&call.target.join(".")) => {
+                let function = &functions[&call.target.join(".")];
+                self.expand_callable(&function.params, &function.body, None, &call.args, out);
+            }
+            Statement::Block(mut block) => {
+                self.inline_functions_in_block(&mut block, functions);
+                out.push(Statement::Block(block));
+            }
+            Statement::If { cond, then_branch, else_branch } => {
+                let mut then_stmts = Vec::new();
+                self.inline_functions_in_statement(*then_branch, functions, &mut then_stmts);
+                let else_branch = else_branch.map(|e| {
+                    let mut else_stmts = Vec::new();
+                    self.inline_functions_in_statement(*e, functions, &mut else_stmts);
+                    Box::new(Statement::Block(Block::new(else_stmts)))
+                });
+                out.push(Statement::If {
+                    cond,
+                    then_branch: Box::new(Statement::Block(Block::new(then_stmts))),
+                    else_branch,
+                });
+            }
+            other => out.push(other),
+        }
+    }
+
+    // ---- action inlining ----------------------------------------------------
+
+    fn inline_actions_in_block(&mut self, block: &mut Block, actions: &HashMap<String, ActionDecl>) {
+        let mut rewritten = Vec::with_capacity(block.statements.len());
+        for stmt in block.statements.drain(..) {
+            self.inline_actions_in_statement(stmt, actions, &mut rewritten);
+        }
+        block.statements = rewritten;
+    }
+
+    fn inline_actions_in_statement(
+        &mut self,
+        stmt: Statement,
+        actions: &HashMap<String, ActionDecl>,
+        out: &mut Vec<Statement>,
+    ) {
+        match stmt {
+            Statement::Call(call)
+                if call.target.len() == 1
+                    && actions.contains_key(&call.target[0])
+                    && !actions[&call.target[0]].params.is_empty() =>
+            {
+                let action = &actions[&call.target[0]];
+                self.expand_callable(&action.params, &action.body, None, &call.args, out);
+            }
+            Statement::Block(mut block) => {
+                self.inline_actions_in_block(&mut block, actions);
+                out.push(Statement::Block(block));
+            }
+            Statement::If { cond, then_branch, else_branch } => {
+                let mut then_stmts = Vec::new();
+                self.inline_actions_in_statement(*then_branch, actions, &mut then_stmts);
+                let else_branch = else_branch.map(|e| {
+                    let mut else_stmts = Vec::new();
+                    self.inline_actions_in_statement(*e, actions, &mut else_stmts);
+                    Box::new(Statement::Block(Block::new(else_stmts)))
+                });
+                out.push(Statement::If {
+                    cond,
+                    then_branch: Box::new(Statement::Block(Block::new(then_stmts))),
+                    else_branch,
+                });
+            }
+            other => out.push(other),
+        }
+    }
+
+    // ---- the core expansion --------------------------------------------------
+
+    /// Expands one call: emits copy-in declarations, the transformed body,
+    /// and copy-out assignments into `out`.  Returns the name of the
+    /// temporary holding the return value (for non-void callables).
+    fn expand_callable(
+        &mut self,
+        params: &[Param],
+        body: &Block,
+        return_type: Option<&Type>,
+        args: &[Expr],
+        out: &mut Vec<Statement>,
+    ) -> Option<String> {
+        assert_eq!(
+            params.len(),
+            args.len(),
+            "inliner invoked on a call with mismatched arity (type checking should have rejected it)"
+        );
+
+        // 1. Copy-in: fresh temporaries for every parameter.
+        let mut substitution_map: HashMap<String, Expr> = HashMap::new();
+        let mut copy_out: Vec<Statement> = Vec::new();
+        let order: Vec<usize> = if self.behaviour.left_to_right {
+            (0..params.len()).collect()
+        } else {
+            (0..params.len()).rev().collect()
+        };
+        for index in order {
+            let param = &params[index];
+            let arg = &args[index];
+            let tmp = self.names.fresh(&param.name);
+            match param.direction {
+                Direction::In | Direction::InOut | Direction::None => {
+                    out.push(Statement::Declare {
+                        name: tmp.clone(),
+                        ty: param.ty.clone(),
+                        init: Some(arg.clone()),
+                    });
+                }
+                Direction::Out => {
+                    out.push(Statement::Declare {
+                        name: tmp.clone(),
+                        ty: param.ty.clone(),
+                        init: None,
+                    });
+                }
+            }
+            if param.direction.copies_out() {
+                copy_out.push(Statement::Assign { lhs: arg.clone(), rhs: Expr::Path(tmp.clone()) });
+            }
+            substitution_map.insert(param.name.clone(), Expr::Path(tmp));
+        }
+
+        // 2. Rename body-local declarations to avoid capturing caller names.
+        let mut body = body.clone();
+        self.rename_locals(&mut body, &mut substitution_map);
+
+        // 3. Substitute parameters (and renamed locals) throughout the body.
+        let mut substitution = Substitution::new(substitution_map);
+        substitution.apply_block(&mut body);
+
+        // 4. Return-value plumbing.
+        let result_var = match return_type {
+            Some(ty) if *ty != Type::Void => {
+                let result = self.names.fresh("retval");
+                out.push(Statement::Declare { name: result.clone(), ty: ty.clone(), init: None });
+                Some(result)
+            }
+            _ => None,
+        };
+        let needs_flag = body_needs_return_flag(&body);
+        let flag_var = if needs_flag {
+            let flag = self.names.fresh("has_returned");
+            out.push(Statement::Declare {
+                name: flag.clone(),
+                ty: Type::Bool,
+                init: Some(Expr::Bool(false)),
+            });
+            Some(flag)
+        } else {
+            None
+        };
+
+        // 5. Transform the body: returns store the value / set the flag,
+        //    exits perform copy-out first (when behaving correctly).
+        let exit_copy_out = if self.behaviour.copy_out_on_exit { copy_out.clone() } else { Vec::new() };
+        let transformed =
+            self.transform_body(body, result_var.as_deref(), flag_var.as_deref(), &exit_copy_out);
+        out.extend(transformed.statements);
+
+        // 6. Copy-out on normal completion.
+        if self.behaviour.copy_out_on_return {
+            out.extend(copy_out);
+        }
+        result_var
+    }
+
+    /// Renames every `Declare`/`Constant` defined inside the body to a fresh
+    /// name, extending the substitution map.
+    fn rename_locals(&mut self, block: &mut Block, map: &mut HashMap<String, Expr>) {
+        for stmt in &mut block.statements {
+            self.rename_locals_in_statement(stmt, map);
+        }
+    }
+
+    fn rename_locals_in_statement(&mut self, stmt: &mut Statement, map: &mut HashMap<String, Expr>) {
+        match stmt {
+            Statement::Declare { name, .. } | Statement::Constant { name, .. } => {
+                let fresh = self.names.fresh(name);
+                map.insert(name.clone(), Expr::Path(fresh.clone()));
+                *name = fresh;
+            }
+            Statement::Block(block) => self.rename_locals(block, map),
+            Statement::If { then_branch, else_branch, .. } => {
+                self.rename_locals_in_statement(then_branch, map);
+                if let Some(else_stmt) = else_branch {
+                    self.rename_locals_in_statement(else_stmt, map);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Rewrites returns and exits inside an inlined body.
+    fn transform_body(
+        &mut self,
+        block: Block,
+        result_var: Option<&str>,
+        flag_var: Option<&str>,
+        exit_copy_out: &[Statement],
+    ) -> Block {
+        let mut out = Vec::with_capacity(block.statements.len());
+        let mut guarded = false;
+        for stmt in block.statements {
+            let transformed = self.transform_statement(stmt, result_var, flag_var, exit_copy_out);
+            let sets_flag = flag_var.is_some() && contains_return(&transformed);
+            if guarded {
+                // A previous statement may have returned: guard the rest.
+                let flag = flag_var.expect("guarded implies a flag exists");
+                out.push(Statement::If {
+                    cond: Expr::unary(p4_ir::UnOp::Not, Expr::path(flag)),
+                    then_branch: Box::new(Statement::Block(Block::new(vec![self
+                        .rewrite_returns(transformed, result_var, flag_var, exit_copy_out)]))),
+                    else_branch: None,
+                });
+                continue;
+            }
+            let rewritten = self.rewrite_returns(transformed, result_var, flag_var, exit_copy_out);
+            out.push(rewritten);
+            if sets_flag {
+                guarded = true;
+            }
+        }
+        Block::new(out)
+    }
+
+    fn transform_statement(
+        &mut self,
+        stmt: Statement,
+        _result_var: Option<&str>,
+        _flag_var: Option<&str>,
+        _exit_copy_out: &[Statement],
+    ) -> Statement {
+        stmt
+    }
+
+    /// Replaces `return`/`exit` statements inside `stmt`.
+    fn rewrite_returns(
+        &mut self,
+        stmt: Statement,
+        result_var: Option<&str>,
+        flag_var: Option<&str>,
+        exit_copy_out: &[Statement],
+    ) -> Statement {
+        match stmt {
+            Statement::Return(value) => {
+                let mut replacement = Vec::new();
+                if let (Some(result), Some(value)) = (result_var, value) {
+                    replacement.push(Statement::assign(Expr::path(result), value));
+                }
+                if let Some(flag) = flag_var {
+                    replacement.push(Statement::assign(Expr::path(flag), Expr::Bool(true)));
+                }
+                Statement::Block(Block::new(replacement))
+            }
+            Statement::Exit => {
+                let mut replacement = exit_copy_out.to_vec();
+                replacement.push(Statement::Exit);
+                Statement::Block(Block::new(replacement))
+            }
+            Statement::Block(block) => Statement::Block(
+                self.transform_body(block, result_var, flag_var, exit_copy_out),
+            ),
+            Statement::If { cond, then_branch, else_branch } => Statement::If {
+                cond,
+                then_branch: Box::new(self.rewrite_returns(
+                    *then_branch,
+                    result_var,
+                    flag_var,
+                    exit_copy_out,
+                )),
+                else_branch: else_branch.map(|e| {
+                    Box::new(self.rewrite_returns(*e, result_var, flag_var, exit_copy_out))
+                }),
+            },
+            other => other,
+        }
+    }
+}
+
+/// A body needs the `has_returned` guard flag when a `return` occurs
+/// anywhere other than as the final top-level statement.
+fn body_needs_return_flag(body: &Block) -> bool {
+    let count = body.statements.len();
+    for (index, stmt) in body.statements.iter().enumerate() {
+        if contains_return(stmt) {
+            let is_final_plain_return =
+                index + 1 == count && matches!(stmt, Statement::Return(_));
+            if !is_final_plain_return {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p4_ir::builder;
+    use p4_ir::{print_program, BinOp};
+
+    /// The paper's Figure 5a function: `bit<8> test(inout bit<8> x) { return x; }`.
+    fn figure5a_function() -> FunctionDecl {
+        FunctionDecl {
+            name: "test".into(),
+            return_type: Type::bits(8),
+            params: vec![Param::new(Direction::InOut, "x", Type::bits(8))],
+            body: Block::new(vec![Statement::Return(Some(Expr::path("x")))]),
+        }
+    }
+
+    #[test]
+    fn inlines_figure5a_and_preserves_inout_copy_out() {
+        let mut program = builder::v1model_program(
+            vec![],
+            Block::new(vec![Statement::Declare {
+                name: "r".into(),
+                ty: Type::bits(8),
+                init: Some(Expr::call(vec!["test"], vec![Expr::dotted(&["hdr", "h", "a"])])),
+            }]),
+        );
+        program.declarations.push(Declaration::Function(figure5a_function()));
+        InlineFunctions::default().run(&mut program).unwrap();
+        let text = print_program(&program);
+        // The function is gone, the copy-in / copy-out pattern remains.
+        assert!(!text.contains("bit<8> test("));
+        assert!(text.contains("bit<8> inl_x_0 = hdr.h.a;"));
+        assert!(text.contains("hdr.h.a = inl_x_0;"));
+        assert!(text.contains("bit<8> r = inl_retval_1;"));
+    }
+
+    #[test]
+    fn early_returns_are_guarded() {
+        let function = FunctionDecl {
+            name: "sel".into(),
+            return_type: Type::bits(8),
+            params: vec![Param::new(Direction::In, "x", Type::bits(8))],
+            body: Block::new(vec![
+                Statement::if_then(
+                    Expr::binary(BinOp::Eq, Expr::path("x"), Expr::uint(0, 8)),
+                    Statement::Block(Block::new(vec![Statement::Return(Some(Expr::uint(7, 8)))])),
+                ),
+                Statement::Return(Some(Expr::binary(BinOp::Add, Expr::path("x"), Expr::uint(1, 8)))),
+            ]),
+        };
+        let mut program = builder::v1model_program(
+            vec![],
+            Block::new(vec![Statement::Declare {
+                name: "r".into(),
+                ty: Type::bits(8),
+                init: Some(Expr::call(vec!["sel"], vec![Expr::dotted(&["hdr", "h", "a"])])),
+            }]),
+        );
+        program.declarations.push(Declaration::Function(function));
+        InlineFunctions::default().run(&mut program).unwrap();
+        let text = print_program(&program);
+        assert!(text.contains("has_returned"));
+        assert!(text.contains("if (!("));
+    }
+
+    #[test]
+    fn action_inlining_copies_out_before_exit() {
+        // Figure 5f: action a(inout bit<16> val) { val = 3; exit; }
+        let action = ActionDecl {
+            name: "a".into(),
+            params: vec![Param::new(Direction::InOut, "val", Type::bits(16))],
+            body: Block::new(vec![
+                Statement::assign(Expr::path("val"), Expr::uint(3, 16)),
+                Statement::Exit,
+            ]),
+        };
+        let mut program = builder::v1model_program(
+            vec![Declaration::Action(action)],
+            Block::new(vec![Statement::call(
+                vec!["a"],
+                vec![Expr::dotted(&["hdr", "eth", "eth_type"])],
+            )]),
+        );
+        RemoveActionParameters::default().run(&mut program).unwrap();
+        let text = print_program(&program);
+        // Copy-out of the inout argument must appear before the exit.
+        let copy_out_pos = text.find("hdr.eth.eth_type = rap_val_0;").expect("copy-out exists");
+        let exit_pos = text.find("exit;").expect("exit preserved");
+        assert!(copy_out_pos < exit_pos, "copy-out must precede exit:\n{text}");
+    }
+
+    #[test]
+    fn faulty_behaviour_skips_copy_out_on_exit() {
+        let action = ActionDecl {
+            name: "a".into(),
+            params: vec![Param::new(Direction::InOut, "val", Type::bits(16))],
+            body: Block::new(vec![
+                Statement::assign(Expr::path("val"), Expr::uint(3, 16)),
+                Statement::Exit,
+            ]),
+        };
+        let mut program = builder::v1model_program(
+            vec![Declaration::Action(action)],
+            Block::new(vec![Statement::call(
+                vec!["a"],
+                vec![Expr::dotted(&["hdr", "eth", "eth_type"])],
+            )]),
+        );
+        let pass = RemoveActionParameters {
+            behaviour: InlineBehaviour { copy_out_on_exit: false, ..InlineBehaviour::default() },
+        };
+        pass.run(&mut program).unwrap();
+        let text = print_program(&program);
+        let copy_out_pos = text.find("hdr.eth.eth_type = rap_val_0;").expect("copy-out exists");
+        let exit_pos = text.find("exit;").expect("exit preserved");
+        assert!(exit_pos < copy_out_pos, "the buggy variant copies out after exit:\n{text}");
+    }
+
+    #[test]
+    fn table_bound_actions_keep_their_parameters() {
+        let (locals, apply) = builder::figure3_table_control();
+        let mut program = builder::v1model_program(locals, apply);
+        RemoveActionParameters::default().run(&mut program).unwrap();
+        let control = program.control("ingress_impl").unwrap();
+        assert!(control
+            .locals
+            .iter()
+            .any(|d| matches!(d, Declaration::Action(a) if a.name == "assign")));
+    }
+
+    #[test]
+    fn local_declarations_are_renamed_to_avoid_capture() {
+        let function = FunctionDecl {
+            name: "f".into(),
+            return_type: Type::bits(8),
+            params: vec![Param::new(Direction::In, "x", Type::bits(8))],
+            body: Block::new(vec![
+                Statement::Declare { name: "tmp".into(), ty: Type::bits(8), init: Some(Expr::path("x")) },
+                Statement::Return(Some(Expr::path("tmp"))),
+            ]),
+        };
+        let mut program = builder::v1model_program(
+            vec![],
+            Block::new(vec![
+                Statement::Declare { name: "tmp".into(), ty: Type::bits(8), init: Some(Expr::uint(9, 8)) },
+                Statement::Declare {
+                    name: "r".into(),
+                    ty: Type::bits(8),
+                    init: Some(Expr::call(vec!["f"], vec![Expr::path("tmp")])),
+                },
+                Statement::assign(Expr::dotted(&["hdr", "h", "a"]), Expr::path("r")),
+            ]),
+        );
+        program.declarations.push(Declaration::Function(function));
+        InlineFunctions::default().run(&mut program).unwrap();
+        let text = print_program(&program);
+        // The function's local `tmp` must have been renamed.
+        assert!(text.contains("inl_tmp"));
+        assert_eq!(p4_check::check_program(&program), Vec::new());
+    }
+}

@@ -1,0 +1,73 @@
+//! The catalogue of front- and mid-end passes.
+//!
+//! The reference pipeline mirrors (a condensed version of) the P4C pass
+//! order: desugaring and normalisation first (side-effect ordering,
+//! inlining), then cleanup and optimisation (def-use simplification, copy
+//! propagation, constant folding, strength reduction), then target
+//! preparation (predication, block flattening).
+
+pub mod constant_folding;
+pub mod copy_propagation;
+pub mod flatten;
+pub mod inline;
+pub mod predication;
+pub mod side_effects;
+pub mod simplify_defuse;
+pub mod strength_reduction;
+pub mod util;
+
+pub use constant_folding::ConstantFolding;
+pub use copy_propagation::LocalCopyPropagation;
+pub use flatten::FlattenBlocks;
+pub use inline::{InlineBehaviour, InlineFunctions, RemoveActionParameters};
+pub use predication::Predication;
+pub use side_effects::SideEffectOrdering;
+pub use simplify_defuse::SimplifyDefUse;
+pub use strength_reduction::StrengthReduction;
+
+use crate::pass::Pass;
+
+/// The default front-end + mid-end pipeline, in order.
+pub fn default_pipeline() -> Vec<Box<dyn Pass>> {
+    vec![
+        Box::new(ConstantFolding),
+        Box::new(StrengthReduction),
+        Box::new(SideEffectOrdering),
+        Box::new(InlineFunctions::default()),
+        Box::new(RemoveActionParameters::default()),
+        Box::new(SimplifyDefUse),
+        Box::new(LocalCopyPropagation),
+        Box::new(Predication),
+        Box::new(FlattenBlocks),
+    ]
+}
+
+/// Names of the passes in [`default_pipeline`], in order.
+pub fn default_pass_names() -> Vec<&'static str> {
+    vec![
+        "ConstantFolding",
+        "StrengthReduction",
+        "SideEffectOrdering",
+        "InlineFunctions",
+        "RemoveActionParameters",
+        "SimplifyDefUse",
+        "LocalCopyPropagation",
+        "Predication",
+        "FlattenBlocks",
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_pipeline_matches_names() {
+        let pipeline = default_pipeline();
+        let names: Vec<&str> = default_pass_names();
+        assert_eq!(pipeline.len(), names.len());
+        for (pass, name) in pipeline.iter().zip(names) {
+            assert_eq!(pass.name(), name);
+        }
+    }
+}

@@ -1,0 +1,261 @@
+//! Side-effect ordering: hoists calls out of compound expressions into
+//! their own temporaries so that later passes (inlining in particular) only
+//! ever see calls in statement position or as the sole initializer of a
+//! declaration.
+//!
+//! P4-16's copy-in/copy-out calling convention makes argument evaluation and
+//! side-effect ordering subtle; the paper reports that "a significant
+//! portion of the semantic bugs we identified were caused by erroneous
+//! passes that perform incorrect argument evaluation and side effect
+//! ordering" (§5.2).  The correct ordering is strict left-to-right.
+
+use crate::error::Diagnostic;
+use crate::pass::{Pass, PassArea};
+use crate::passes::util::NameGen;
+use p4_ir::{Block, ControlDecl, Declaration, Expr, FunctionDecl, Program, Statement, Type};
+
+/// The side-effect-ordering pass.
+#[derive(Debug, Default)]
+pub struct SideEffectOrdering;
+
+impl Pass for SideEffectOrdering {
+    fn name(&self) -> &str {
+        "SideEffectOrdering"
+    }
+
+    fn area(&self) -> PassArea {
+        PassArea::FrontEnd
+    }
+
+    fn run(&self, program: &mut Program) -> Result<(), Diagnostic> {
+        let functions: Vec<FunctionDecl> = program
+            .declarations
+            .iter()
+            .filter_map(|d| match d {
+                Declaration::Function(f) => Some(f.clone()),
+                _ => None,
+            })
+            .collect();
+        let mut hoister = Hoister { functions, names: NameGen::new("seo") };
+        for decl in &mut program.declarations {
+            match decl {
+                Declaration::Control(control) => hoister.rewrite_control(control),
+                Declaration::Action(action) => hoister.rewrite_block(&mut action.body),
+                Declaration::Function(function) => hoister.rewrite_block(&mut function.body),
+                _ => {}
+            }
+        }
+        Ok(())
+    }
+}
+
+struct Hoister {
+    functions: Vec<FunctionDecl>,
+    names: NameGen,
+}
+
+impl Hoister {
+    fn rewrite_control(&mut self, control: &mut ControlDecl) {
+        for local in &mut control.locals {
+            if let Declaration::Action(action) = local {
+                self.rewrite_block(&mut action.body);
+            }
+        }
+        self.rewrite_block(&mut control.apply);
+    }
+
+    fn rewrite_block(&mut self, block: &mut Block) {
+        let mut rewritten = Vec::with_capacity(block.statements.len());
+        for stmt in block.statements.drain(..) {
+            self.rewrite_statement(stmt, &mut rewritten);
+        }
+        block.statements = rewritten;
+    }
+
+    fn rewrite_statement(&mut self, stmt: Statement, out: &mut Vec<Statement>) {
+        match stmt {
+            Statement::Assign { lhs, mut rhs } => {
+                // A bare call on the right-hand side stays put (inlining
+                // handles it); nested calls are hoisted.
+                if !matches!(rhs, Expr::Call(_)) {
+                    self.hoist_in_expr(&mut rhs, out);
+                }
+                out.push(Statement::Assign { lhs, rhs });
+            }
+            Statement::Call(mut call) => {
+                for arg in &mut call.args {
+                    self.hoist_in_expr(arg, out);
+                }
+                out.push(Statement::Call(call));
+            }
+            Statement::If { mut cond, then_branch, else_branch } => {
+                self.hoist_in_expr(&mut cond, out);
+                let mut then_block = Vec::new();
+                self.rewrite_statement(*then_branch, &mut then_block);
+                let else_stmt = else_branch.map(|else_branch| {
+                    let mut else_block = Vec::new();
+                    self.rewrite_statement(*else_branch, &mut else_block);
+                    Box::new(Statement::Block(Block::new(else_block)))
+                });
+                out.push(Statement::If {
+                    cond,
+                    then_branch: Box::new(Statement::Block(Block::new(then_block))),
+                    else_branch: else_stmt,
+                });
+            }
+            Statement::Block(mut block) => {
+                self.rewrite_block(&mut block);
+                out.push(Statement::Block(block));
+            }
+            Statement::Declare { name, ty, init } => {
+                let init = init.map(|mut init| {
+                    if !matches!(init, Expr::Call(_)) {
+                        self.hoist_in_expr(&mut init, out);
+                    }
+                    init
+                });
+                out.push(Statement::Declare { name, ty, init });
+            }
+            Statement::Return(expr) => {
+                let expr = expr.map(|mut e| {
+                    self.hoist_in_expr(&mut e, out);
+                    e
+                });
+                out.push(Statement::Return(expr));
+            }
+            other => out.push(other),
+        }
+    }
+
+    /// Replaces every user-function call nested inside `expr` by a fresh
+    /// temporary, emitting the hoisted declaration into `out` in
+    /// left-to-right evaluation order.
+    fn hoist_in_expr(&mut self, expr: &mut Expr, out: &mut Vec<Statement>) {
+        match expr {
+            Expr::Call(call) => {
+                // Recurse into arguments first (their calls happen earlier).
+                for arg in &mut call.args {
+                    self.hoist_in_expr(arg, out);
+                }
+                let name = call.target.join(".");
+                let Some(function) = self.functions.iter().find(|f| f.name == name) else {
+                    // Built-in methods (`isValid`) are pure; leave them.
+                    return;
+                };
+                let return_type = function.return_type.clone();
+                if return_type == Type::Void {
+                    return;
+                }
+                let tmp = self.names.fresh("tmp");
+                let call_expr = expr.clone();
+                out.push(Statement::Declare { name: tmp.clone(), ty: return_type, init: Some(call_expr) });
+                *expr = Expr::Path(tmp);
+            }
+            Expr::Member { base, .. } | Expr::Slice { base, .. } => self.hoist_in_expr(base, out),
+            Expr::Unary { operand, .. } => self.hoist_in_expr(operand, out),
+            Expr::Cast { expr: inner, .. } => self.hoist_in_expr(inner, out),
+            Expr::Binary { left, right, .. } => {
+                self.hoist_in_expr(left, out);
+                self.hoist_in_expr(right, out);
+            }
+            Expr::Ternary { cond, then_expr, else_expr } => {
+                self.hoist_in_expr(cond, out);
+                self.hoist_in_expr(then_expr, out);
+                self.hoist_in_expr(else_expr, out);
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p4_ir::builder;
+    use p4_ir::{print_program, BinOp, Direction, Param};
+
+    fn clamp_function() -> FunctionDecl {
+        FunctionDecl {
+            name: "clamp".into(),
+            return_type: Type::bits(8),
+            params: vec![Param::new(Direction::In, "x", Type::bits(8))],
+            body: Block::new(vec![Statement::Return(Some(Expr::path("x")))]),
+        }
+    }
+
+    #[test]
+    fn hoists_nested_calls_into_temporaries() {
+        let mut program = builder::v1model_program(
+            vec![],
+            Block::new(vec![Statement::assign(
+                Expr::dotted(&["hdr", "h", "a"]),
+                Expr::binary(
+                    BinOp::Add,
+                    Expr::call(vec!["clamp"], vec![Expr::dotted(&["hdr", "h", "b"])]),
+                    Expr::uint(1, 8),
+                ),
+            )]),
+        );
+        program.declarations.push(Declaration::Function(clamp_function()));
+        SideEffectOrdering.run(&mut program).unwrap();
+        let text = print_program(&program);
+        assert!(text.contains("bit<8> seo_tmp_0 = clamp(hdr.h.b);"));
+        assert!(text.contains("hdr.h.a = (seo_tmp_0 + 8w1);"));
+    }
+
+    #[test]
+    fn hoists_calls_in_if_conditions_before_the_branch() {
+        let mut program = builder::v1model_program(
+            vec![],
+            Block::new(vec![Statement::if_then(
+                Expr::binary(
+                    BinOp::Eq,
+                    Expr::call(vec!["clamp"], vec![Expr::dotted(&["hdr", "h", "b"])]),
+                    Expr::uint(0, 8),
+                ),
+                Statement::Block(Block::new(vec![Statement::Exit])),
+            )]),
+        );
+        program.declarations.push(Declaration::Function(clamp_function()));
+        SideEffectOrdering.run(&mut program).unwrap();
+        let text = print_program(&program);
+        let tmp_pos = text.find("seo_tmp_0 = clamp").unwrap();
+        let if_pos = text.find("if ((seo_tmp_0 == 8w0))").unwrap();
+        assert!(tmp_pos < if_pos);
+    }
+
+    #[test]
+    fn leaves_pure_builtin_calls_in_place() {
+        let mut program = builder::v1model_program(
+            vec![],
+            Block::new(vec![Statement::if_then(
+                Expr::call(vec!["hdr", "h", "isValid"], vec![]),
+                Statement::Block(Block::new(vec![Statement::assign(
+                    Expr::dotted(&["hdr", "h", "a"]),
+                    Expr::uint(1, 8),
+                )])),
+            )]),
+        );
+        SideEffectOrdering.run(&mut program).unwrap();
+        let text = print_program(&program);
+        assert!(text.contains("if (hdr.h.isValid()) {"));
+        assert!(!text.contains("seo_tmp"));
+    }
+
+    #[test]
+    fn direct_call_initializers_are_untouched() {
+        let mut program = builder::v1model_program(
+            vec![],
+            Block::new(vec![Statement::Declare {
+                name: "v".into(),
+                ty: Type::bits(8),
+                init: Some(Expr::call(vec!["clamp"], vec![Expr::uint(3, 8)])),
+            }]),
+        );
+        program.declarations.push(Declaration::Function(clamp_function()));
+        SideEffectOrdering.run(&mut program).unwrap();
+        let text = print_program(&program);
+        assert!(text.contains("bit<8> v = clamp(8w3);"));
+        assert!(!text.contains("seo_tmp"));
+    }
+}

@@ -1,0 +1,314 @@
+//! `SimplifyDefUse`: removes definitions that are never used.
+//!
+//! The correct pass must treat `inout`/`out` control parameters as live-out:
+//! the paper's Figure 5a bug was exactly this pass clearing variable
+//! definitions in the caller scope because of a `return` statement, even
+//! though `inout` parameters continue to exist (§7.2, "Snowball effects").
+//! The conservative rule implemented here only deletes assignments to, and
+//! declarations of, *local* variables that are never read anywhere in the
+//! enclosing control or callable.
+
+use crate::error::Diagnostic;
+use crate::pass::{Pass, PassArea};
+use crate::passes::util::collect_reads;
+use p4_ir::{Block, ControlDecl, Declaration, Expr, Program, Statement};
+use std::collections::HashSet;
+
+/// The dead-store / dead-declaration elimination pass.
+#[derive(Debug, Default)]
+pub struct SimplifyDefUse;
+
+impl Pass for SimplifyDefUse {
+    fn name(&self) -> &str {
+        "SimplifyDefUse"
+    }
+
+    fn area(&self) -> PassArea {
+        PassArea::FrontEnd
+    }
+
+    fn run(&self, program: &mut Program) -> Result<(), Diagnostic> {
+        for decl in &mut program.declarations {
+            match decl {
+                Declaration::Control(control) => simplify_control(control),
+                Declaration::Action(action) => simplify_body(&mut action.body, &[]),
+                Declaration::Function(function) => simplify_body(&mut function.body, &[]),
+                _ => {}
+            }
+        }
+        Ok(())
+    }
+}
+
+fn simplify_control(control: &mut ControlDecl) {
+    // Reads contributed by table keys keep the variables they mention alive.
+    let mut extra_reads: Vec<String> = Vec::new();
+    for local in &control.locals {
+        if let Declaration::Table(table) = local {
+            for key in &table.keys {
+                let mut paths = Vec::new();
+                key.expr.collect_paths(&mut paths);
+                extra_reads.extend(paths.iter().map(|s| s.to_string()));
+            }
+            for action_ref in table.actions.iter().chain([&table.default_action]) {
+                for arg in &action_ref.args {
+                    let mut paths = Vec::new();
+                    arg.collect_paths(&mut paths);
+                    extra_reads.extend(paths.iter().map(|s| s.to_string()));
+                }
+            }
+        }
+    }
+    for local in &mut control.locals {
+        if let Declaration::Action(action) = local {
+            simplify_body(&mut action.body, &extra_reads);
+        }
+    }
+    simplify_body(&mut control.apply, &extra_reads);
+
+    // Remove local variable declarations (in the control's declaration list)
+    // that are never referenced anywhere.
+    let mut referenced: HashSet<String> = extra_reads.iter().cloned().collect();
+    for stmt in &control.apply.statements {
+        let mut reads = Vec::new();
+        collect_reads(stmt, &mut reads);
+        referenced.extend(reads.iter().map(|s| s.to_string()));
+        collect_writes(stmt, &mut referenced);
+    }
+    for local in &control.locals {
+        if let Declaration::Action(action) = local {
+            for stmt in &action.body.statements {
+                let mut reads = Vec::new();
+                collect_reads(stmt, &mut reads);
+                referenced.extend(reads.iter().map(|s| s.to_string()));
+                collect_writes(stmt, &mut referenced);
+            }
+        }
+    }
+    control.locals.retain(|local| match local {
+        Declaration::Variable { name, .. } => referenced.contains(name),
+        _ => true,
+    });
+}
+
+/// Collects the root names of assignment targets (so that a variable that is
+/// only ever written is still recognised as "mentioned" when deciding
+/// whether to drop its declaration — dropping the declaration but keeping a
+/// write would produce an invalid program).
+fn collect_writes(stmt: &Statement, out: &mut HashSet<String>) {
+    match stmt {
+        Statement::Assign { lhs, .. } => {
+            if let Some(root) = lhs.lvalue_root() {
+                out.insert(root.to_string());
+            }
+        }
+        Statement::Block(block) => {
+            for s in &block.statements {
+                collect_writes(s, out);
+            }
+        }
+        Statement::If { then_branch, else_branch, .. } => {
+            collect_writes(then_branch, out);
+            if let Some(else_stmt) = else_branch {
+                collect_writes(else_stmt, out);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Removes dead stores to block-local variables inside one callable body.
+/// `extra_reads` lists names considered live for reasons outside the body
+/// (table keys, action arguments bound by tables).
+fn simplify_body(body: &mut Block, extra_reads: &[String]) {
+    // Names declared locally in this body (at any depth).  Only these may
+    // ever be considered dead; parameters and control-level names are
+    // always preserved.
+    let mut local_names = HashSet::new();
+    collect_local_declarations(body, &mut local_names);
+
+    // Every name read anywhere in the body.
+    let mut reads: Vec<&str> = Vec::new();
+    for stmt in &body.statements {
+        collect_reads(stmt, &mut reads);
+    }
+    let read_set: HashSet<String> = reads
+        .iter()
+        .map(|s| s.to_string())
+        .chain(extra_reads.iter().cloned())
+        .collect();
+
+    remove_dead_stores(body, &local_names, &read_set);
+}
+
+fn collect_local_declarations(block: &Block, out: &mut HashSet<String>) {
+    for stmt in &block.statements {
+        collect_local_declarations_in_statement(stmt, out);
+    }
+}
+
+fn collect_local_declarations_in_statement(stmt: &Statement, out: &mut HashSet<String>) {
+    match stmt {
+        Statement::Declare { name, .. } | Statement::Constant { name, .. } => {
+            out.insert(name.clone());
+        }
+        Statement::Block(block) => collect_local_declarations(block, out),
+        Statement::If { then_branch, else_branch, .. } => {
+            collect_local_declarations_in_statement(then_branch, out);
+            if let Some(else_stmt) = else_branch {
+                collect_local_declarations_in_statement(else_stmt, out);
+            }
+        }
+        _ => {}
+    }
+}
+
+fn remove_dead_stores(block: &mut Block, locals: &HashSet<String>, reads: &HashSet<String>) {
+    block.statements.retain(|stmt| !is_dead(stmt, locals, reads));
+    for stmt in &mut block.statements {
+        match stmt {
+            Statement::Block(inner) => remove_dead_stores(inner, locals, reads),
+            Statement::If { then_branch, else_branch, .. } => {
+                if let Statement::Block(inner) = then_branch.as_mut() {
+                    remove_dead_stores(inner, locals, reads);
+                }
+                if let Some(else_stmt) = else_branch {
+                    if let Statement::Block(inner) = else_stmt.as_mut() {
+                        remove_dead_stores(inner, locals, reads);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// A statement is dead when it only defines a local variable that is never
+/// read and the defining expression has no side effects (no calls).
+fn is_dead(stmt: &Statement, locals: &HashSet<String>, reads: &HashSet<String>) -> bool {
+    match stmt {
+        Statement::Assign { lhs, rhs } => match lhs.lvalue_root() {
+            Some(root) => {
+                locals.contains(root)
+                    && !reads.contains(root)
+                    && !rhs.has_call()
+                    // Writing through a slice reads the old value implicitly,
+                    // but if the variable is never read the whole store is
+                    // still dead.
+                    && matches!(lhs, Expr::Path(_) | Expr::Slice { .. } | Expr::Member { .. })
+            }
+            None => false,
+        },
+        Statement::Declare { name, init, .. } => {
+            locals.contains(name)
+                && !reads.contains(name)
+                && !init.as_ref().is_some_and(Expr::has_call)
+        }
+        Statement::Constant { name, .. } => locals.contains(name) && !reads.contains(name),
+        Statement::Empty => true,
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p4_ir::builder;
+    use p4_ir::{print_program, Type};
+
+    #[test]
+    fn removes_unread_locals_and_their_stores() {
+        let mut program = builder::v1model_program(
+            vec![],
+            Block::new(vec![
+                Statement::Declare { name: "dead".into(), ty: Type::bits(8), init: Some(Expr::uint(1, 8)) },
+                Statement::assign(Expr::path("dead"), Expr::uint(2, 8)),
+                Statement::assign(Expr::dotted(&["hdr", "h", "a"]), Expr::uint(3, 8)),
+            ]),
+        );
+        SimplifyDefUse.run(&mut program).unwrap();
+        let text = print_program(&program);
+        assert!(!text.contains("dead"));
+        assert!(text.contains("hdr.h.a = 8w3;"));
+    }
+
+    #[test]
+    fn keeps_locals_that_feed_parameters_or_headers() {
+        let mut program = builder::v1model_program(
+            vec![],
+            Block::new(vec![
+                Statement::Declare { name: "live".into(), ty: Type::bits(8), init: Some(Expr::uint(1, 8)) },
+                Statement::assign(Expr::dotted(&["hdr", "h", "a"]), Expr::path("live")),
+            ]),
+        );
+        SimplifyDefUse.run(&mut program).unwrap();
+        let text = print_program(&program);
+        assert!(text.contains("bit<8> live = 8w1;"));
+    }
+
+    #[test]
+    fn never_removes_writes_to_inout_parameters() {
+        // Figure 5a's lesson: hdr is an inout parameter; writes to it are
+        // always live even when nothing in this control reads them.
+        let mut program = builder::v1model_program(
+            vec![],
+            Block::new(vec![Statement::assign(Expr::dotted(&["hdr", "h", "a"]), Expr::uint(1, 8))]),
+        );
+        SimplifyDefUse.run(&mut program).unwrap();
+        let text = print_program(&program);
+        assert!(text.contains("hdr.h.a = 8w1;"));
+    }
+
+    #[test]
+    fn table_key_references_keep_variables_alive() {
+        use p4_ir::{ActionRef, KeyElement, MatchKind, TableDecl};
+        let table = TableDecl {
+            name: "t".into(),
+            keys: vec![KeyElement { expr: Expr::path("key_var"), match_kind: MatchKind::Exact }],
+            actions: vec![ActionRef::new("NoAction")],
+            default_action: ActionRef::new("NoAction"),
+        };
+        let mut program = builder::v1model_program(
+            vec![
+                Declaration::Variable { name: "key_var".into(), ty: Type::bits(8), init: Some(Expr::uint(0, 8)) },
+                Declaration::Table(table),
+            ],
+            Block::new(vec![
+                Statement::assign(Expr::path("key_var"), Expr::dotted(&["hdr", "h", "a"])),
+                Statement::call(vec!["t", "apply"], vec![]),
+            ]),
+        );
+        SimplifyDefUse.run(&mut program).unwrap();
+        let text = print_program(&program);
+        assert!(text.contains("key_var = hdr.h.a;"));
+        assert!(text.contains("bit<8> key_var"));
+    }
+
+    #[test]
+    fn removes_unreferenced_control_level_variables() {
+        let mut program = builder::v1model_program(
+            vec![Declaration::Variable { name: "unused".into(), ty: Type::bits(8), init: None }],
+            Block::new(vec![Statement::assign(Expr::dotted(&["hdr", "h", "a"]), Expr::uint(1, 8))]),
+        );
+        SimplifyDefUse.run(&mut program).unwrap();
+        let text = print_program(&program);
+        assert!(!text.contains("unused"));
+    }
+
+    #[test]
+    fn declarations_with_side_effecting_initializers_survive() {
+        let mut program = builder::v1model_program(
+            vec![],
+            Block::new(vec![Statement::Declare {
+                name: "unused".into(),
+                ty: Type::bits(8),
+                init: Some(Expr::call(vec!["f"], vec![])),
+            }]),
+        );
+        // Type checking would reject the unknown function; run the pass
+        // directly on the IR to check the conservative behaviour.
+        SimplifyDefUse.run(&mut program).unwrap();
+        let text = print_program(&program);
+        assert!(text.contains("unused"));
+    }
+}

@@ -1,0 +1,268 @@
+//! Strength reduction: replaces expensive operations by cheaper equivalent
+//! ones and removes algebraic identities.
+//!
+//! The paper's Figure 5c bug lives in exactly this pass: P4C's
+//! `StrengthReduction` was missing a safety check and computed a negative
+//! slice index.  The faulty variant in `crate::buggy` reproduces that shape;
+//! this is the correct implementation.
+
+use crate::error::Diagnostic;
+use crate::pass::{Pass, PassArea};
+use p4_ir::visit::mutate_walk_expr;
+use p4_ir::{BinOp, Expr, Mutator, Program, UnOp};
+
+/// The strength-reduction pass.
+#[derive(Debug, Default)]
+pub struct StrengthReduction;
+
+impl Pass for StrengthReduction {
+    fn name(&self) -> &str {
+        "StrengthReduction"
+    }
+
+    fn area(&self) -> PassArea {
+        PassArea::FrontEnd
+    }
+
+    fn run(&self, program: &mut Program) -> Result<(), Diagnostic> {
+        Reducer.mutate_program(program);
+        Ok(())
+    }
+}
+
+struct Reducer;
+
+fn int_const(expr: &Expr) -> Option<(u128, Option<u32>)> {
+    match expr {
+        Expr::Int { value, width, .. } => Some((*value, *width)),
+        _ => None,
+    }
+}
+
+fn is_zero(expr: &Expr) -> bool {
+    matches!(int_const(expr), Some((0, _)))
+}
+
+fn is_one(expr: &Expr) -> bool {
+    matches!(int_const(expr), Some((1, _)))
+}
+
+fn is_all_ones(expr: &Expr) -> bool {
+    matches!(int_const(expr), Some((v, Some(w))) if v == p4_ir::max_unsigned(w))
+}
+
+/// Width of an expression when it is statically evident (literals, casts,
+/// slices); `None` otherwise.  Strength reduction only needs widths to build
+/// replacement literals of the right size.
+fn evident_width(expr: &Expr) -> Option<u32> {
+    match expr {
+        Expr::Int { width, .. } => *width,
+        Expr::Cast { ty, .. } => ty.width(),
+        Expr::Slice { hi, lo, .. } => Some(hi - lo + 1),
+        Expr::Binary { op, left, right } if !op.is_comparison() && !op.is_logical() => {
+            evident_width(left).or(evident_width(right))
+        }
+        Expr::Unary { operand, .. } => evident_width(operand),
+        _ => None,
+    }
+}
+
+impl Reducer {
+    fn reduce(&self, expr: &Expr) -> Option<Expr> {
+        let Expr::Binary { op, left, right } = expr else {
+            return match expr {
+                // !!e → e and ~~e → e
+                Expr::Unary { op: outer, operand } => match (&**operand, outer) {
+                    (Expr::Unary { op: inner, operand: inner_operand }, _)
+                        if inner == outer && matches!(outer, UnOp::Not | UnOp::BitNot) =>
+                    {
+                        Some((**inner_operand).clone())
+                    }
+                    _ => None,
+                },
+                _ => None,
+            };
+        };
+        let width = evident_width(expr);
+        match op {
+            // x + 0 = x, 0 + x = x, x - 0 = x, x ^ 0 = x, x | 0 = x
+            BinOp::Add | BinOp::BitXor | BinOp::BitOr | BinOp::SatAdd if is_zero(left) => {
+                Some((**right).clone())
+            }
+            BinOp::Add | BinOp::Sub | BinOp::BitXor | BinOp::BitOr | BinOp::SatAdd
+            | BinOp::SatSub
+                if is_zero(right) =>
+            {
+                Some((**left).clone())
+            }
+            // x & 0 = 0, 0 & x = 0, x * 0 = 0, 0 * x = 0 — only when the
+            // result width is statically evident, so the replacement literal
+            // keeps the expression's type.
+            BinOp::BitAnd | BinOp::Mul if is_zero(right) && width.is_some() => {
+                Some(Expr::uint(0, width.expect("checked above")))
+            }
+            BinOp::BitAnd | BinOp::Mul if is_zero(left) && width.is_some() => {
+                Some(Expr::uint(0, width.expect("checked above")))
+            }
+            // x * 1 = x, 1 * x = x
+            BinOp::Mul if is_one(right) => Some((**left).clone()),
+            BinOp::Mul if is_one(left) => Some((**right).clone()),
+            // x * 2^k = x << k (the classic strength reduction)
+            BinOp::Mul => {
+                if let Some((value, _)) = int_const(right) {
+                    if value.is_power_of_two() {
+                        let shift = value.trailing_zeros();
+                        return Some(Expr::binary(
+                            BinOp::Shl,
+                            (**left).clone(),
+                            Expr::int(u128::from(shift)),
+                        ));
+                    }
+                }
+                None
+            }
+            // x & ~0 = x, x | ~0 = ~0
+            BinOp::BitAnd if is_all_ones(right) => Some((**left).clone()),
+            BinOp::BitAnd if is_all_ones(left) => Some((**right).clone()),
+            BinOp::BitOr if is_all_ones(right) => Some((**right).clone()),
+            BinOp::BitOr if is_all_ones(left) => Some((**left).clone()),
+            // x << 0 = x, x >> 0 = x
+            BinOp::Shl | BinOp::Shr if is_zero(right) => Some((**left).clone()),
+            // Shifts by a constant amount ≥ width produce zero.  This is the
+            // place where the missing safety check in P4C produced Figure 5c;
+            // the width must be known before rewriting.
+            BinOp::Shl | BinOp::Shr => {
+                let (amount, _) = int_const(right)?;
+                let w = width?;
+                if amount >= u128::from(w) {
+                    Some(Expr::uint(0, w))
+                } else {
+                    None
+                }
+            }
+            // Boolean identities.
+            BinOp::And => match (&**left, &**right) {
+                (Expr::Bool(true), other) | (other, Expr::Bool(true)) => Some(other.clone()),
+                (Expr::Bool(false), _) | (_, Expr::Bool(false)) => Some(Expr::Bool(false)),
+                _ => None,
+            },
+            BinOp::Or => match (&**left, &**right) {
+                (Expr::Bool(false), other) | (other, Expr::Bool(false)) => Some(other.clone()),
+                (Expr::Bool(true), _) | (_, Expr::Bool(true)) => Some(Expr::Bool(true)),
+                _ => None,
+            },
+            _ => None,
+        }
+    }
+}
+
+impl Mutator for Reducer {
+    fn mutate_expr(&mut self, expr: &mut Expr) {
+        mutate_walk_expr(self, expr);
+        if let Some(reduced) = self.reduce(expr) {
+            *expr = reduced;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p4_ir::builder;
+    use p4_ir::{print_program, Block, Statement};
+
+    fn reduce_ingress(rhs: Expr) -> String {
+        let mut program = builder::v1model_program(
+            vec![],
+            Block::new(vec![Statement::assign(Expr::dotted(&["hdr", "h", "a"]), rhs)]),
+        );
+        StrengthReduction.run(&mut program).unwrap();
+        print_program(&program)
+    }
+
+    #[test]
+    fn removes_additive_identity() {
+        let text = reduce_ingress(Expr::binary(
+            BinOp::Add,
+            Expr::dotted(&["hdr", "h", "b"]),
+            Expr::uint(0, 8),
+        ));
+        assert!(text.contains("hdr.h.a = hdr.h.b;"));
+    }
+
+    #[test]
+    fn multiplication_by_power_of_two_becomes_shift() {
+        let text = reduce_ingress(Expr::binary(
+            BinOp::Mul,
+            Expr::dotted(&["hdr", "h", "b"]),
+            Expr::uint(4, 8),
+        ));
+        assert!(text.contains("(hdr.h.b << 2)"));
+    }
+
+    #[test]
+    fn multiplication_by_zero_and_one() {
+        let by_zero = reduce_ingress(Expr::binary(
+            BinOp::Mul,
+            Expr::dotted(&["hdr", "h", "b"]),
+            Expr::uint(0, 8),
+        ));
+        assert!(by_zero.contains("hdr.h.a = 8w0;"));
+        let by_one = reduce_ingress(Expr::binary(
+            BinOp::Mul,
+            Expr::dotted(&["hdr", "h", "b"]),
+            Expr::uint(1, 8),
+        ));
+        assert!(by_one.contains("hdr.h.a = hdr.h.b;"));
+    }
+
+    #[test]
+    fn oversized_constant_shift_becomes_zero() {
+        let text = reduce_ingress(Expr::binary(
+            BinOp::Shl,
+            Expr::dotted(&["hdr", "h", "b"]),
+            Expr::uint(9, 8),
+        ));
+        // hdr.h.b is bit<8>, but strength reduction cannot see that width
+        // from the expression alone, so it must leave the shift in place
+        // rather than guess (the missing-check bug would rewrite it).
+        assert!(text.contains("<< 8w9") || text.contains("hdr.h.a = 8w0;"));
+    }
+
+    #[test]
+    fn oversized_shift_with_evident_width_is_zeroed() {
+        let text = reduce_ingress(Expr::binary(
+            BinOp::Shl,
+            Expr::cast(p4_ir::Type::bits(8), Expr::dotted(&["hdr", "h", "b"])),
+            Expr::uint(9, 8),
+        ));
+        assert!(text.contains("hdr.h.a = 8w0;"));
+    }
+
+    #[test]
+    fn boolean_identities() {
+        let mut program = builder::v1model_program(
+            vec![],
+            Block::new(vec![Statement::if_then(
+                Expr::binary(
+                    BinOp::And,
+                    Expr::Bool(true),
+                    Expr::binary(BinOp::Eq, Expr::dotted(&["hdr", "h", "a"]), Expr::uint(1, 8)),
+                ),
+                Statement::Block(Block::new(vec![Statement::Exit])),
+            )]),
+        );
+        StrengthReduction.run(&mut program).unwrap();
+        let text = print_program(&program);
+        assert!(text.contains("if ((hdr.h.a == 8w1)) {"));
+    }
+
+    #[test]
+    fn double_negation_is_removed() {
+        let text = reduce_ingress(Expr::unary(
+            UnOp::BitNot,
+            Expr::unary(UnOp::BitNot, Expr::dotted(&["hdr", "h", "b"])),
+        ));
+        assert!(text.contains("hdr.h.a = hdr.h.b;"));
+    }
+}

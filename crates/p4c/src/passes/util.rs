@@ -1,0 +1,246 @@
+//! Shared utilities for compiler passes: fresh-name generation, expression
+//! substitution, and small structural queries.
+
+use p4_ir::visit::{mutate_walk_expr, mutate_walk_statement};
+use p4_ir::{Block, Declaration, Expr, FunctionDecl, Mutator, Program, Statement};
+use std::collections::HashMap;
+
+/// Hands out fresh variable names with a pass-specific prefix.
+#[derive(Debug)]
+pub struct NameGen {
+    prefix: &'static str,
+    counter: u32,
+}
+
+impl NameGen {
+    pub fn new(prefix: &'static str) -> NameGen {
+        NameGen { prefix, counter: 0 }
+    }
+
+    pub fn fresh(&mut self, hint: &str) -> String {
+        let name = format!("{}_{}_{}", self.prefix, hint, self.counter);
+        self.counter += 1;
+        name
+    }
+}
+
+/// Substitutes path expressions by name: every `Expr::Path(name)` with a
+/// mapping is replaced by the mapped expression.  Used by inlining and copy
+/// propagation.
+pub struct Substitution {
+    map: HashMap<String, Expr>,
+}
+
+impl Substitution {
+    pub fn new(map: HashMap<String, Expr>) -> Substitution {
+        Substitution { map }
+    }
+
+    pub fn single(name: impl Into<String>, replacement: Expr) -> Substitution {
+        let mut map = HashMap::new();
+        map.insert(name.into(), replacement);
+        Substitution { map }
+    }
+
+    pub fn apply_expr(&mut self, expr: &mut Expr) {
+        self.mutate_expr(expr);
+    }
+
+    pub fn apply_statement(&mut self, stmt: &mut Statement) {
+        self.mutate_statement(stmt);
+    }
+
+    pub fn apply_block(&mut self, block: &mut Block) {
+        for stmt in &mut block.statements {
+            self.mutate_statement(stmt);
+        }
+    }
+}
+
+impl Mutator for Substitution {
+    fn mutate_expr(&mut self, expr: &mut Expr) {
+        if let Expr::Path(name) = expr {
+            if let Some(replacement) = self.map.get(name) {
+                *expr = replacement.clone();
+                return;
+            }
+        }
+        // Substitute the *root* of call targets too (e.g. a call like
+        // `param.setValid()` where `param` is being replaced by `hdr.h`).
+        if let Expr::Call(call) = expr {
+            self.rewrite_call_target(call);
+        }
+        mutate_walk_expr(self, expr);
+    }
+
+    fn mutate_statement(&mut self, stmt: &mut Statement) {
+        if let Statement::Call(call) = stmt {
+            self.rewrite_call_target(call);
+        }
+        mutate_walk_statement(self, stmt);
+    }
+}
+
+impl Substitution {
+    fn rewrite_call_target(&self, call: &mut p4_ir::CallExpr) {
+        if call.target.len() < 2 {
+            return;
+        }
+        let root = &call.target[0];
+        if let Some(Expr::Path(new_root)) = self.map.get(root) {
+            call.target[0] = new_root.clone();
+        } else if let Some(replacement) = self.map.get(root) {
+            // Replacing a call receiver with a member chain, e.g.
+            // `val.setValid()` where `val` ↦ `hdr.h`.
+            if let Some(mut parts) = lvalue_parts(replacement) {
+                parts.extend(call.target[1..].iter().cloned());
+                call.target = parts;
+            }
+        }
+    }
+}
+
+/// Decomposes a pure member chain (`hdr.h.a`) into its components.
+pub fn lvalue_parts(expr: &Expr) -> Option<Vec<String>> {
+    match expr {
+        Expr::Path(name) => Some(vec![name.clone()]),
+        Expr::Member { base, member } => {
+            let mut parts = lvalue_parts(base)?;
+            parts.push(member.clone());
+            Some(parts)
+        }
+        _ => None,
+    }
+}
+
+/// Looks up a top-level function declaration by name.
+pub fn find_function<'a>(program: &'a Program, name: &str) -> Option<&'a FunctionDecl> {
+    program.declarations.iter().find_map(|d| match d {
+        Declaration::Function(f) if f.name == name => Some(f),
+        _ => None,
+    })
+}
+
+/// True if the statement subtree contains a `return`.
+pub fn contains_return(stmt: &Statement) -> bool {
+    match stmt {
+        Statement::Return(_) => true,
+        Statement::Block(block) => block.statements.iter().any(contains_return),
+        Statement::If { then_branch, else_branch, .. } => {
+            contains_return(then_branch)
+                || else_branch.as_ref().is_some_and(|s| contains_return(s))
+        }
+        _ => false,
+    }
+}
+
+/// True if the statement subtree contains an `exit`.
+pub fn contains_exit(stmt: &Statement) -> bool {
+    match stmt {
+        Statement::Exit => true,
+        Statement::Block(block) => block.statements.iter().any(contains_exit),
+        Statement::If { then_branch, else_branch, .. } => {
+            contains_exit(then_branch) || else_branch.as_ref().is_some_and(|s| contains_exit(s))
+        }
+        _ => false,
+    }
+}
+
+/// Collects every path root *read* by the statement (conservatively treats
+/// all call arguments and call receivers as reads).
+pub fn collect_reads<'a>(stmt: &'a Statement, reads: &mut Vec<&'a str>) {
+    match stmt {
+        Statement::Assign { lhs, rhs } => {
+            rhs.collect_paths(reads);
+            // Reads embedded in the l-value (slice indices are constant, but
+            // member bases of the *read-modify-write* form still count when
+            // the assignment writes only part of the variable).
+            if let Expr::Slice { base, .. } = lhs {
+                base.collect_paths(reads);
+            }
+        }
+        Statement::Call(call) => {
+            if let Some(root) = call.target.first() {
+                reads.push(root);
+            }
+            for arg in &call.args {
+                arg.collect_paths(reads);
+            }
+        }
+        Statement::If { cond, then_branch, else_branch } => {
+            cond.collect_paths(reads);
+            collect_reads(then_branch, reads);
+            if let Some(else_stmt) = else_branch {
+                collect_reads(else_stmt, reads);
+            }
+        }
+        Statement::Block(block) => {
+            for s in &block.statements {
+                collect_reads(s, reads);
+            }
+        }
+        Statement::Declare { init: Some(init), .. } => init.collect_paths(reads),
+        Statement::Constant { value, .. } => value.collect_paths(reads),
+        Statement::Return(Some(expr)) => expr.collect_paths(reads),
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p4_ir::{print_statement, BinOp};
+
+    #[test]
+    fn substitution_replaces_paths_and_call_receivers() {
+        let mut stmt = Statement::Block(Block::new(vec![
+            Statement::assign(
+                Expr::path("x"),
+                Expr::binary(BinOp::Add, Expr::path("val"), Expr::uint(1, 8)),
+            ),
+            Statement::call(vec!["val", "setValid"], vec![]),
+        ]));
+        let mut subst = Substitution::single("val", Expr::dotted(&["hdr", "h"]));
+        subst.apply_statement(&mut stmt);
+        let text = print_statement(&stmt);
+        assert!(text.contains("(hdr.h + 8w1)"));
+        assert!(text.contains("hdr.h.setValid()"));
+    }
+
+    #[test]
+    fn name_gen_produces_unique_names() {
+        let mut gen = NameGen::new("seo");
+        let a = gen.fresh("tmp");
+        let b = gen.fresh("tmp");
+        assert_ne!(a, b);
+        assert!(a.starts_with("seo_tmp_"));
+    }
+
+    #[test]
+    fn detects_returns_and_exits() {
+        let with_return = Statement::if_then(
+            Expr::Bool(true),
+            Statement::Block(Block::new(vec![Statement::Return(None)])),
+        );
+        assert!(contains_return(&with_return));
+        assert!(!contains_exit(&with_return));
+        assert!(contains_exit(&Statement::Exit));
+    }
+
+    #[test]
+    fn collect_reads_sees_rhs_conditions_and_call_args() {
+        let stmt = Statement::Block(Block::new(vec![
+            Statement::assign(Expr::path("x"), Expr::path("y")),
+            Statement::if_then(
+                Expr::binary(BinOp::Eq, Expr::path("c"), Expr::uint(0, 8)),
+                Statement::call(vec!["f"], vec![Expr::path("z")]),
+            ),
+        ]));
+        let mut reads = Vec::new();
+        collect_reads(&stmt, &mut reads);
+        assert!(reads.contains(&"y"));
+        assert!(reads.contains(&"c"));
+        assert!(reads.contains(&"z"));
+        assert!(!reads.contains(&"x"));
+    }
+}

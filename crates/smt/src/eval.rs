@@ -1,0 +1,231 @@
+//! Concrete evaluation of terms under a variable assignment.
+//!
+//! Used to validate models returned by the SAT-based solver, by property
+//! tests that compare the solver against brute force, and by the concrete
+//! packet targets when they replay symbolic outputs.
+
+use crate::term::{TermKind, TermRef};
+use crate::value::BvValue;
+use std::collections::HashMap;
+
+/// A concrete value: either a boolean or a bit vector.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Value {
+    Bool(bool),
+    Bv(BvValue),
+}
+
+impl Value {
+    pub fn as_bool(&self) -> bool {
+        match self {
+            Value::Bool(b) => *b,
+            Value::Bv(v) => !v.is_zero(),
+        }
+    }
+
+    pub fn as_bv(&self) -> BvValue {
+        match self {
+            Value::Bool(b) => BvValue::from_u128(u128::from(*b), 1),
+            Value::Bv(v) => v.clone(),
+        }
+    }
+
+    pub fn bv(value: u128, width: u32) -> Value {
+        Value::Bv(BvValue::from_u128(value, width))
+    }
+}
+
+/// A mapping from variable name to concrete value.
+pub type Assignment = HashMap<String, Value>;
+
+/// Errors during evaluation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EvalError {
+    /// A variable had no value in the assignment.
+    UnboundVariable(String),
+}
+
+impl std::fmt::Display for EvalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EvalError::UnboundVariable(name) => write!(f, "unbound variable {name}"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+/// Evaluates `term` under `assignment`.  Unbound variables are an error so
+/// callers can distinguish "don't care" inputs from genuine bugs; use
+/// [`eval_with_default`] when unbound variables should default to zero.
+pub fn eval(term: &TermRef, assignment: &Assignment) -> Result<Value, EvalError> {
+    let mut cache: HashMap<u64, Value> = HashMap::new();
+    eval_inner(term, assignment, false, &mut cache)
+}
+
+/// Like [`eval`], but unbound variables evaluate to zero/false (the policy
+/// BMv2 applies to undefined values; paper §6.2).
+pub fn eval_with_default(term: &TermRef, assignment: &Assignment) -> Value {
+    let mut cache: HashMap<u64, Value> = HashMap::new();
+    eval_inner(term, assignment, true, &mut cache).expect("defaulting evaluation cannot fail")
+}
+
+fn eval_inner(
+    term: &TermRef,
+    assignment: &Assignment,
+    default_unbound: bool,
+    cache: &mut HashMap<u64, Value>,
+) -> Result<Value, EvalError> {
+    if let Some(value) = cache.get(&term.id) {
+        return Ok(value.clone());
+    }
+    let rec =
+        |t: &TermRef, cache: &mut HashMap<u64, Value>| eval_inner(t, assignment, default_unbound, cache);
+    let value = match &term.kind {
+        TermKind::BoolConst(b) => Value::Bool(*b),
+        TermKind::BvConst(v) => Value::Bv(v.clone()),
+        TermKind::Var(name) => match assignment.get(name) {
+            Some(value) => {
+                // Normalise widths: a model may store a narrower value.
+                match (&value, term.sort) {
+                    (Value::Bv(v), crate::term::Sort::BitVec(w)) if v.width() != w => {
+                        Value::Bv(v.resize(w))
+                    }
+                    _ => value.clone(),
+                }
+            }
+            None if default_unbound => match term.sort {
+                crate::term::Sort::Bool => Value::Bool(false),
+                crate::term::Sort::BitVec(w) => Value::Bv(BvValue::zero(w)),
+            },
+            None => return Err(EvalError::UnboundVariable(name.clone())),
+        },
+        TermKind::Not(a) => Value::Bool(!rec(a, cache)?.as_bool()),
+        TermKind::And(args) => {
+            let mut result = true;
+            for a in args {
+                result &= rec(a, cache)?.as_bool();
+            }
+            Value::Bool(result)
+        }
+        TermKind::Or(args) => {
+            let mut result = false;
+            for a in args {
+                result |= rec(a, cache)?.as_bool();
+            }
+            Value::Bool(result)
+        }
+        TermKind::Implies(a, b) => {
+            Value::Bool(!rec(a, cache)?.as_bool() || rec(b, cache)?.as_bool())
+        }
+        TermKind::Eq(a, b) => {
+            let (va, vb) = (rec(a, cache)?, rec(b, cache)?);
+            match (va, vb) {
+                (Value::Bool(x), Value::Bool(y)) => Value::Bool(x == y),
+                (x, y) => Value::Bool(x.as_bv() == y.as_bv()),
+            }
+        }
+        TermKind::Ite(c, t, e) => {
+            if rec(c, cache)?.as_bool() {
+                rec(t, cache)?
+            } else {
+                rec(e, cache)?
+            }
+        }
+        TermKind::BvAdd(a, b) => Value::Bv(rec(a, cache)?.as_bv().add(&rec(b, cache)?.as_bv())),
+        TermKind::BvSub(a, b) => Value::Bv(rec(a, cache)?.as_bv().sub(&rec(b, cache)?.as_bv())),
+        TermKind::BvMul(a, b) => Value::Bv(rec(a, cache)?.as_bv().mul(&rec(b, cache)?.as_bv())),
+        TermKind::BvAnd(a, b) => Value::Bv(rec(a, cache)?.as_bv().bitand(&rec(b, cache)?.as_bv())),
+        TermKind::BvOr(a, b) => Value::Bv(rec(a, cache)?.as_bv().bitor(&rec(b, cache)?.as_bv())),
+        TermKind::BvXor(a, b) => Value::Bv(rec(a, cache)?.as_bv().bitxor(&rec(b, cache)?.as_bv())),
+        TermKind::BvNot(a) => Value::Bv(rec(a, cache)?.as_bv().bitnot()),
+        TermKind::BvNeg(a) => Value::Bv(rec(a, cache)?.as_bv().neg()),
+        TermKind::BvShl(a, b) => {
+            let amount = rec(b, cache)?.as_bv().to_u128().min(1024) as u32;
+            Value::Bv(rec(a, cache)?.as_bv().shl(amount))
+        }
+        TermKind::BvLshr(a, b) => {
+            let amount = rec(b, cache)?.as_bv().to_u128().min(1024) as u32;
+            Value::Bv(rec(a, cache)?.as_bv().lshr(amount))
+        }
+        TermKind::BvUlt(a, b) => Value::Bool(rec(a, cache)?.as_bv().ult(&rec(b, cache)?.as_bv())),
+        TermKind::BvUle(a, b) => {
+            Value::Bool(!rec(b, cache)?.as_bv().ult(&rec(a, cache)?.as_bv()))
+        }
+        TermKind::BvSlt(a, b) => Value::Bool(rec(a, cache)?.as_bv().slt(&rec(b, cache)?.as_bv())),
+        TermKind::Concat(a, b) => Value::Bv(rec(a, cache)?.as_bv().concat(&rec(b, cache)?.as_bv())),
+        TermKind::Extract { hi, lo, arg } => Value::Bv(rec(arg, cache)?.as_bv().extract(*hi, *lo)),
+        TermKind::ZeroExtend { arg, width } => Value::Bv(rec(arg, cache)?.as_bv().resize(*width)),
+        TermKind::SignExtend { arg, width } => {
+            Value::Bv(rec(arg, cache)?.as_bv().sign_extend(*width))
+        }
+    };
+    cache.insert(term.id, value.clone());
+    Ok(value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::{Sort, TermManager};
+
+    #[test]
+    fn evaluates_arithmetic() {
+        let tm = TermManager::new();
+        let a = tm.var("a", Sort::BitVec(8));
+        let b = tm.var("b", Sort::BitVec(8));
+        let expr = tm.bv_add(tm.bv_mul(a.clone(), tm.bv_const(3, 8)), b.clone());
+        let mut env = Assignment::new();
+        env.insert("a".into(), Value::bv(10, 8));
+        env.insert("b".into(), Value::bv(5, 8));
+        assert_eq!(eval(&expr, &env).unwrap(), Value::bv(35, 8));
+    }
+
+    #[test]
+    fn evaluates_ite_and_comparison() {
+        let tm = TermManager::new();
+        let a = tm.var("a", Sort::BitVec(8));
+        let expr = tm.ite(
+            tm.bv_ult(a.clone(), tm.bv_const(10, 8)),
+            tm.bv_const(1, 8),
+            tm.bv_const(2, 8),
+        );
+        let mut env = Assignment::new();
+        env.insert("a".into(), Value::bv(3, 8));
+        assert_eq!(eval(&expr, &env).unwrap(), Value::bv(1, 8));
+        env.insert("a".into(), Value::bv(200, 8));
+        assert_eq!(eval(&expr, &env).unwrap(), Value::bv(2, 8));
+    }
+
+    #[test]
+    fn unbound_variable_is_an_error_or_defaults() {
+        let tm = TermManager::new();
+        let x = tm.var("x", Sort::BitVec(16));
+        let env = Assignment::new();
+        assert_eq!(eval(&x, &env), Err(EvalError::UnboundVariable("x".into())));
+        assert_eq!(eval_with_default(&x, &env), Value::bv(0, 16));
+    }
+
+    #[test]
+    fn width_mismatched_assignment_is_resized() {
+        let tm = TermManager::new();
+        let x = tm.var("x", Sort::BitVec(16));
+        let mut env = Assignment::new();
+        env.insert("x".into(), Value::bv(0xff, 8));
+        assert_eq!(eval(&x, &env).unwrap(), Value::bv(0xff, 16));
+    }
+
+    #[test]
+    fn boolean_connectives() {
+        let tm = TermManager::new();
+        let p = tm.var("p", Sort::Bool);
+        let q = tm.var("q", Sort::Bool);
+        let formula = tm.implies(p.clone(), tm.or2(q.clone(), tm.not(p.clone())));
+        let mut env = Assignment::new();
+        env.insert("p".into(), Value::Bool(true));
+        env.insert("q".into(), Value::Bool(false));
+        assert_eq!(eval(&formula, &env).unwrap(), Value::Bool(false));
+        env.insert("q".into(), Value::Bool(true));
+        assert_eq!(eval(&formula, &env).unwrap(), Value::Bool(true));
+    }
+}

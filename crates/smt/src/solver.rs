@@ -1,0 +1,261 @@
+//! Solver facade: the `Z3`-shaped API the rest of the workspace uses.
+//!
+//! A [`Solver`] accumulates boolean assertions (terms) and decides their
+//! conjunction by bit-blasting into the CDCL SAT core.  On SAT it returns a
+//! [`Model`] mapping every variable that occurred in the assertions to a
+//! concrete value; on UNSAT it reports unsatisfiability.  This is exactly
+//! the interface translation validation (§5) and test-case generation (§6)
+//! need.
+
+use crate::bitblast::{BitBlaster, Repr};
+use crate::eval::{eval_with_default, Assignment, Value};
+use crate::sat::{SatResult, SatSolver};
+use crate::term::TermRef;
+use crate::value::BvValue;
+use std::collections::HashMap;
+
+/// A satisfying assignment for the variables of a query.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Model {
+    values: HashMap<String, Value>,
+}
+
+impl Model {
+    pub fn new(values: HashMap<String, Value>) -> Model {
+        Model { values }
+    }
+
+    /// Value of a named variable, if it occurred in the query.
+    pub fn get(&self, name: &str) -> Option<&Value> {
+        self.values.get(name)
+    }
+
+    /// Bit-vector value of a named variable (booleans become 1-bit vectors).
+    pub fn get_bv(&self, name: &str) -> Option<BvValue> {
+        self.values.get(name).map(Value::as_bv)
+    }
+
+    /// Boolean value of a named variable.
+    pub fn get_bool(&self, name: &str) -> Option<bool> {
+        self.values.get(name).map(Value::as_bool)
+    }
+
+    /// Evaluates an arbitrary term under this model.  Variables absent from
+    /// the model default to zero (they were "don't care" in the query).
+    pub fn eval(&self, term: &TermRef) -> Value {
+        eval_with_default(term, &self.values)
+    }
+
+    /// All variable bindings.
+    pub fn bindings(&self) -> &HashMap<String, Value> {
+        &self.values
+    }
+
+    /// The model as an evaluation environment.
+    pub fn as_assignment(&self) -> Assignment {
+        self.values.clone()
+    }
+}
+
+/// Result of a [`Solver::check`] call.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CheckResult {
+    Sat(Model),
+    Unsat,
+}
+
+impl CheckResult {
+    pub fn is_sat(&self) -> bool {
+        matches!(self, CheckResult::Sat(_))
+    }
+
+    pub fn model(&self) -> Option<&Model> {
+        match self {
+            CheckResult::Sat(model) => Some(model),
+            CheckResult::Unsat => None,
+        }
+    }
+}
+
+/// Statistics from one `check` call, surfaced to the benchmark harness.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolverStats {
+    pub sat_variables: usize,
+    pub sat_clauses: usize,
+    pub conflicts: u64,
+    pub decisions: u64,
+    pub propagations: u64,
+}
+
+/// An accumulating solver over terms.
+#[derive(Debug, Default)]
+pub struct Solver {
+    assertions: Vec<TermRef>,
+    last_stats: SolverStats,
+}
+
+impl Solver {
+    pub fn new() -> Solver {
+        Solver::default()
+    }
+
+    /// Adds a boolean assertion.
+    pub fn assert(&mut self, term: TermRef) {
+        debug_assert!(term.sort.is_bool(), "assertions must be boolean terms");
+        self.assertions.push(term);
+    }
+
+    /// Number of assertions added so far.
+    pub fn len(&self) -> usize {
+        self.assertions.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.assertions.is_empty()
+    }
+
+    /// Removes all assertions.
+    pub fn reset(&mut self) {
+        self.assertions.clear();
+    }
+
+    /// Statistics of the most recent `check`/`check_with` call.
+    pub fn stats(&self) -> SolverStats {
+        self.last_stats
+    }
+
+    /// Decides the conjunction of all assertions.
+    pub fn check(&mut self) -> CheckResult {
+        self.check_with(&[])
+    }
+
+    /// Decides the conjunction of all assertions plus `extra` (which are not
+    /// retained), mirroring Z3's push/assert/check/pop idiom.
+    pub fn check_with(&mut self, extra: &[TermRef]) -> CheckResult {
+        let mut sat = SatSolver::new();
+        let mut blaster = BitBlaster::new(&mut sat);
+        for assertion in self.assertions.iter().chain(extra.iter()) {
+            blaster.assert(assertion);
+        }
+        let variables: Vec<(String, Repr)> =
+            blaster.variables().iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+        let result = sat.solve();
+        self.last_stats = SolverStats {
+            sat_variables: sat.num_vars(),
+            sat_clauses: sat.num_clauses(),
+            conflicts: sat.conflicts,
+            decisions: sat.decisions,
+            propagations: sat.propagations,
+        };
+        match result {
+            SatResult::Unsat => CheckResult::Unsat,
+            SatResult::Sat(assignment) => {
+                let mut values = HashMap::new();
+                for (name, repr) in variables {
+                    let value = match repr {
+                        Repr::Bool(lit) => {
+                            Value::Bool(assignment[lit.var() as usize] ^ lit.is_negated())
+                        }
+                        Repr::Bits(bits) => Value::Bv(BvValue::from_bits(
+                            bits.iter()
+                                .map(|l| assignment[l.var() as usize] ^ l.is_negated())
+                                .collect(),
+                        )),
+                    };
+                    values.insert(name, value);
+                }
+                CheckResult::Sat(Model::new(values))
+            }
+        }
+    }
+
+    /// Convenience: checks whether two terms of equal sort can differ.  This
+    /// is the core query of translation validation (§5.2): it is satisfiable
+    /// only if there is an input on which the two programs disagree.
+    pub fn check_distinct(&mut self, tm: &crate::term::TermManager, a: TermRef, b: TermRef) -> CheckResult {
+        let distinct = tm.neq(a, b);
+        self.check_with(&[distinct])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::{Sort, TermManager};
+
+    #[test]
+    fn sat_model_evaluates_assertions_true() {
+        let tm = TermManager::new();
+        let mut solver = Solver::new();
+        let x = tm.var("x", Sort::BitVec(8));
+        let y = tm.var("y", Sort::BitVec(8));
+        let a1 = tm.eq(tm.bv_add(x.clone(), y.clone()), tm.bv_const(10, 8));
+        let a2 = tm.bv_ult(x.clone(), y.clone());
+        solver.assert(a1.clone());
+        solver.assert(a2.clone());
+        match solver.check() {
+            CheckResult::Sat(model) => {
+                assert!(model.eval(&a1).as_bool());
+                assert!(model.eval(&a2).as_bool());
+                let xv = model.get_bv("x").unwrap().to_u128();
+                let yv = model.get_bv("y").unwrap().to_u128();
+                assert_eq!((xv + yv) % 256, 10);
+                assert!(xv < yv);
+            }
+            CheckResult::Unsat => panic!("satisfiable instance reported UNSAT"),
+        }
+    }
+
+    #[test]
+    fn unsat_conjunction() {
+        let tm = TermManager::new();
+        let mut solver = Solver::new();
+        let x = tm.var("x", Sort::BitVec(4));
+        solver.assert(tm.bv_ult(x.clone(), tm.bv_const(3, 4)));
+        solver.assert(tm.bv_ult(tm.bv_const(10, 4), x.clone()));
+        assert_eq!(solver.check(), CheckResult::Unsat);
+    }
+
+    #[test]
+    fn check_with_does_not_retain_extras() {
+        let tm = TermManager::new();
+        let mut solver = Solver::new();
+        let x = tm.var("x", Sort::BitVec(4));
+        solver.assert(tm.bv_ult(x.clone(), tm.bv_const(3, 4)));
+        let contradiction = tm.bv_ult(tm.bv_const(10, 4), x.clone());
+        assert_eq!(solver.check_with(&[contradiction]), CheckResult::Unsat);
+        // Without the extra assertion the instance is satisfiable again.
+        assert!(solver.check().is_sat());
+        assert!(solver.stats().sat_variables > 0);
+    }
+
+    #[test]
+    fn check_distinct_detects_semantic_difference() {
+        let tm = TermManager::new();
+        let mut solver = Solver::new();
+        let x = tm.var("x", Sort::BitVec(8));
+        // f(x) = x + 1 vs g(x) = x + 2 differ everywhere.
+        let f = tm.bv_add(x.clone(), tm.bv_const(1, 8));
+        let g = tm.bv_add(x.clone(), tm.bv_const(2, 8));
+        assert!(solver.check_distinct(&tm, f.clone(), g).is_sat());
+        // f vs f + 0 are equivalent.
+        let f2 = tm.bv_add(f.clone(), tm.bv_const(0, 8));
+        assert_eq!(solver.check_distinct(&tm, f, f2), CheckResult::Unsat);
+    }
+
+    #[test]
+    fn boolean_variables_in_models() {
+        let tm = TermManager::new();
+        let mut solver = Solver::new();
+        let p = tm.var("p", Sort::Bool);
+        let q = tm.var("q", Sort::Bool);
+        solver.assert(tm.and2(p.clone(), tm.not(q.clone())));
+        match solver.check() {
+            CheckResult::Sat(model) => {
+                assert_eq!(model.get_bool("p"), Some(true));
+                assert_eq!(model.get_bool("q"), Some(false));
+            }
+            CheckResult::Unsat => panic!("satisfiable"),
+        }
+    }
+}

@@ -1,0 +1,577 @@
+//! Term representation for the quantifier-free bit-vector logic (QF_BV)
+//! fragment Gauntlet needs.
+//!
+//! The paper encodes P4 program semantics as Z3 formulas (§5.2).  This crate
+//! plays the role of Z3 for the reproduction: terms are built through a
+//! [`TermManager`], which assigns unique ids (used for memoisation during
+//! bit-blasting and evaluation) and performs light constant folding.
+
+use crate::value::BvValue;
+use std::fmt;
+use std::rc::Rc;
+
+/// The sort (type) of a term.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Sort {
+    Bool,
+    BitVec(u32),
+}
+
+impl Sort {
+    pub fn width(self) -> u32 {
+        match self {
+            Sort::Bool => 1,
+            Sort::BitVec(w) => w,
+        }
+    }
+
+    pub fn is_bool(self) -> bool {
+        self == Sort::Bool
+    }
+}
+
+/// Reference-counted term handle.
+pub type TermRef = Rc<Term>;
+
+/// A term node.
+#[derive(Debug)]
+pub struct Term {
+    /// Unique id assigned by the manager; used as a memoisation key.
+    pub id: u64,
+    pub sort: Sort,
+    pub kind: TermKind,
+}
+
+/// Term constructors.  Saturating arithmetic and a few other P4 operators
+/// are desugared into this kernel language by the manager.
+#[derive(Debug)]
+pub enum TermKind {
+    BoolConst(bool),
+    BvConst(BvValue),
+    /// A free variable of the term's sort.
+    Var(String),
+
+    // Boolean connectives.
+    Not(TermRef),
+    And(Vec<TermRef>),
+    Or(Vec<TermRef>),
+    Implies(TermRef, TermRef),
+
+    /// Polymorphic equality (both operands share a sort).
+    Eq(TermRef, TermRef),
+    /// Polymorphic if-then-else (condition is Bool, branches share a sort).
+    Ite(TermRef, TermRef, TermRef),
+
+    // Bit-vector operations.
+    BvAdd(TermRef, TermRef),
+    BvSub(TermRef, TermRef),
+    BvMul(TermRef, TermRef),
+    BvAnd(TermRef, TermRef),
+    BvOr(TermRef, TermRef),
+    BvXor(TermRef, TermRef),
+    BvNot(TermRef),
+    BvNeg(TermRef),
+    BvShl(TermRef, TermRef),
+    BvLshr(TermRef, TermRef),
+    BvUlt(TermRef, TermRef),
+    BvUle(TermRef, TermRef),
+    BvSlt(TermRef, TermRef),
+    Concat(TermRef, TermRef),
+    Extract { hi: u32, lo: u32, arg: TermRef },
+    ZeroExtend { arg: TermRef, width: u32 },
+    SignExtend { arg: TermRef, width: u32 },
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            TermKind::BoolConst(b) => write!(f, "{b}"),
+            TermKind::BvConst(v) => write!(f, "{v}"),
+            TermKind::Var(name) => write!(f, "{name}"),
+            TermKind::Not(a) => write!(f, "(not {a})"),
+            TermKind::And(args) => {
+                write!(f, "(and")?;
+                for a in args {
+                    write!(f, " {a}")?;
+                }
+                write!(f, ")")
+            }
+            TermKind::Or(args) => {
+                write!(f, "(or")?;
+                for a in args {
+                    write!(f, " {a}")?;
+                }
+                write!(f, ")")
+            }
+            TermKind::Implies(a, b) => write!(f, "(=> {a} {b})"),
+            TermKind::Eq(a, b) => write!(f, "(= {a} {b})"),
+            TermKind::Ite(c, t, e) => write!(f, "(ite {c} {t} {e})"),
+            TermKind::BvAdd(a, b) => write!(f, "(bvadd {a} {b})"),
+            TermKind::BvSub(a, b) => write!(f, "(bvsub {a} {b})"),
+            TermKind::BvMul(a, b) => write!(f, "(bvmul {a} {b})"),
+            TermKind::BvAnd(a, b) => write!(f, "(bvand {a} {b})"),
+            TermKind::BvOr(a, b) => write!(f, "(bvor {a} {b})"),
+            TermKind::BvXor(a, b) => write!(f, "(bvxor {a} {b})"),
+            TermKind::BvNot(a) => write!(f, "(bvnot {a})"),
+            TermKind::BvNeg(a) => write!(f, "(bvneg {a})"),
+            TermKind::BvShl(a, b) => write!(f, "(bvshl {a} {b})"),
+            TermKind::BvLshr(a, b) => write!(f, "(bvlshr {a} {b})"),
+            TermKind::BvUlt(a, b) => write!(f, "(bvult {a} {b})"),
+            TermKind::BvUle(a, b) => write!(f, "(bvule {a} {b})"),
+            TermKind::BvSlt(a, b) => write!(f, "(bvslt {a} {b})"),
+            TermKind::Concat(a, b) => write!(f, "(concat {a} {b})"),
+            TermKind::Extract { hi, lo, arg } => write!(f, "((_ extract {hi} {lo}) {arg})"),
+            TermKind::ZeroExtend { arg, width } => write!(f, "((_ zero_extend_to {width}) {arg})"),
+            TermKind::SignExtend { arg, width } => write!(f, "((_ sign_extend_to {width}) {arg})"),
+        }
+    }
+}
+
+/// Creates terms and hands out fresh variable names.  All terms used in a
+/// single solver query must come from the same manager.
+#[derive(Debug, Default)]
+pub struct TermManager {
+    next_id: std::cell::Cell<u64>,
+    fresh_counter: std::cell::Cell<u64>,
+}
+
+impl TermManager {
+    pub fn new() -> TermManager {
+        TermManager::default()
+    }
+
+    fn mk(&self, sort: Sort, kind: TermKind) -> TermRef {
+        let id = self.next_id.get();
+        self.next_id.set(id + 1);
+        Rc::new(Term { id, sort, kind })
+    }
+
+    /// Number of terms created so far (a proxy for formula size).
+    pub fn term_count(&self) -> u64 {
+        self.next_id.get()
+    }
+
+    // ---- constants and variables -------------------------------------
+
+    pub fn bool_const(&self, value: bool) -> TermRef {
+        self.mk(Sort::Bool, TermKind::BoolConst(value))
+    }
+
+    pub fn tru(&self) -> TermRef {
+        self.bool_const(true)
+    }
+
+    pub fn fls(&self) -> TermRef {
+        self.bool_const(false)
+    }
+
+    pub fn bv_const(&self, value: u128, width: u32) -> TermRef {
+        self.bv_value(BvValue::from_u128(value, width))
+    }
+
+    pub fn bv_value(&self, value: BvValue) -> TermRef {
+        let width = value.width();
+        self.mk(Sort::BitVec(width), TermKind::BvConst(value))
+    }
+
+    pub fn var(&self, name: impl Into<String>, sort: Sort) -> TermRef {
+        self.mk(sort, TermKind::Var(name.into()))
+    }
+
+    /// A fresh variable with a unique name built from `prefix`.
+    pub fn fresh_var(&self, prefix: &str, sort: Sort) -> TermRef {
+        let n = self.fresh_counter.get();
+        self.fresh_counter.set(n + 1);
+        self.var(format!("{prefix}!{n}"), sort)
+    }
+
+    // ---- boolean connectives ------------------------------------------
+
+    pub fn not(&self, a: TermRef) -> TermRef {
+        debug_assert!(a.sort.is_bool());
+        match &a.kind {
+            TermKind::BoolConst(b) => self.bool_const(!b),
+            TermKind::Not(inner) => inner.clone(),
+            _ => self.mk(Sort::Bool, TermKind::Not(a)),
+        }
+    }
+
+    pub fn and(&self, args: Vec<TermRef>) -> TermRef {
+        let mut flat = Vec::new();
+        for a in args {
+            debug_assert!(a.sort.is_bool());
+            match &a.kind {
+                TermKind::BoolConst(false) => return self.fls(),
+                TermKind::BoolConst(true) => {}
+                _ => flat.push(a),
+            }
+        }
+        match flat.len() {
+            0 => self.tru(),
+            1 => flat.pop().expect("length checked"),
+            _ => self.mk(Sort::Bool, TermKind::And(flat)),
+        }
+    }
+
+    pub fn and2(&self, a: TermRef, b: TermRef) -> TermRef {
+        self.and(vec![a, b])
+    }
+
+    pub fn or(&self, args: Vec<TermRef>) -> TermRef {
+        let mut flat = Vec::new();
+        for a in args {
+            debug_assert!(a.sort.is_bool());
+            match &a.kind {
+                TermKind::BoolConst(true) => return self.tru(),
+                TermKind::BoolConst(false) => {}
+                _ => flat.push(a),
+            }
+        }
+        match flat.len() {
+            0 => self.fls(),
+            1 => flat.pop().expect("length checked"),
+            _ => self.mk(Sort::Bool, TermKind::Or(flat)),
+        }
+    }
+
+    pub fn or2(&self, a: TermRef, b: TermRef) -> TermRef {
+        self.or(vec![a, b])
+    }
+
+    pub fn implies(&self, a: TermRef, b: TermRef) -> TermRef {
+        match (&a.kind, &b.kind) {
+            (TermKind::BoolConst(false), _) | (_, TermKind::BoolConst(true)) => self.tru(),
+            (TermKind::BoolConst(true), _) => b,
+            (_, TermKind::BoolConst(false)) => self.not(a),
+            _ => self.mk(Sort::Bool, TermKind::Implies(a, b)),
+        }
+    }
+
+    pub fn xor(&self, a: TermRef, b: TermRef) -> TermRef {
+        // Desugar boolean xor as (a != b).
+        self.not(self.eq(a, b))
+    }
+
+    // ---- polymorphic --------------------------------------------------
+
+    pub fn eq(&self, a: TermRef, b: TermRef) -> TermRef {
+        debug_assert_eq!(a.sort, b.sort, "eq over mismatched sorts: {a} vs {b}");
+        if a.id == b.id {
+            return self.tru();
+        }
+        match (&a.kind, &b.kind) {
+            (TermKind::BoolConst(x), TermKind::BoolConst(y)) => self.bool_const(x == y),
+            (TermKind::BvConst(x), TermKind::BvConst(y)) => self.bool_const(x == y),
+            _ => self.mk(Sort::Bool, TermKind::Eq(a, b)),
+        }
+    }
+
+    pub fn neq(&self, a: TermRef, b: TermRef) -> TermRef {
+        self.not(self.eq(a, b))
+    }
+
+    pub fn ite(&self, cond: TermRef, then_t: TermRef, else_t: TermRef) -> TermRef {
+        debug_assert!(cond.sort.is_bool());
+        debug_assert_eq!(then_t.sort, else_t.sort, "ite branches must share a sort");
+        match &cond.kind {
+            TermKind::BoolConst(true) => then_t,
+            TermKind::BoolConst(false) => else_t,
+            _ => {
+                if then_t.id == else_t.id {
+                    then_t
+                } else {
+                    let sort = then_t.sort;
+                    self.mk(sort, TermKind::Ite(cond, then_t, else_t))
+                }
+            }
+        }
+    }
+
+    // ---- bit-vector operations ----------------------------------------
+
+    fn bv_binop(
+        &self,
+        a: TermRef,
+        b: TermRef,
+        fold: impl Fn(&BvValue, &BvValue) -> BvValue,
+        build: impl Fn(TermRef, TermRef) -> TermKind,
+    ) -> TermRef {
+        debug_assert_eq!(a.sort, b.sort, "bit-vector binop sorts differ: {a} vs {b}");
+        let sort = a.sort;
+        if let (TermKind::BvConst(x), TermKind::BvConst(y)) = (&a.kind, &b.kind) {
+            return self.bv_value(fold(x, y));
+        }
+        self.mk(sort, build(a, b))
+    }
+
+    fn bv_cmp(
+        &self,
+        a: TermRef,
+        b: TermRef,
+        fold: impl Fn(&BvValue, &BvValue) -> bool,
+        build: impl Fn(TermRef, TermRef) -> TermKind,
+    ) -> TermRef {
+        debug_assert_eq!(a.sort, b.sort, "comparison sorts differ");
+        if let (TermKind::BvConst(x), TermKind::BvConst(y)) = (&a.kind, &b.kind) {
+            return self.bool_const(fold(x, y));
+        }
+        self.mk(Sort::Bool, build(a, b))
+    }
+
+    pub fn bv_add(&self, a: TermRef, b: TermRef) -> TermRef {
+        self.bv_binop(a, b, BvValue::add, TermKind::BvAdd)
+    }
+
+    pub fn bv_sub(&self, a: TermRef, b: TermRef) -> TermRef {
+        self.bv_binop(a, b, BvValue::sub, TermKind::BvSub)
+    }
+
+    pub fn bv_mul(&self, a: TermRef, b: TermRef) -> TermRef {
+        self.bv_binop(a, b, BvValue::mul, TermKind::BvMul)
+    }
+
+    pub fn bv_and(&self, a: TermRef, b: TermRef) -> TermRef {
+        self.bv_binop(a, b, BvValue::bitand, TermKind::BvAnd)
+    }
+
+    pub fn bv_or(&self, a: TermRef, b: TermRef) -> TermRef {
+        self.bv_binop(a, b, BvValue::bitor, TermKind::BvOr)
+    }
+
+    pub fn bv_xor(&self, a: TermRef, b: TermRef) -> TermRef {
+        self.bv_binop(a, b, BvValue::bitxor, TermKind::BvXor)
+    }
+
+    pub fn bv_not(&self, a: TermRef) -> TermRef {
+        let sort = a.sort;
+        if let TermKind::BvConst(v) = &a.kind {
+            return self.bv_value(v.bitnot());
+        }
+        self.mk(sort, TermKind::BvNot(a))
+    }
+
+    pub fn bv_neg(&self, a: TermRef) -> TermRef {
+        let sort = a.sort;
+        if let TermKind::BvConst(v) = &a.kind {
+            return self.bv_value(v.neg());
+        }
+        self.mk(sort, TermKind::BvNeg(a))
+    }
+
+    pub fn bv_shl(&self, a: TermRef, b: TermRef) -> TermRef {
+        self.bv_binop(
+            a,
+            b,
+            |x, y| x.shl(y.to_u128().min(u128::from(u32::MAX)) as u32),
+            TermKind::BvShl,
+        )
+    }
+
+    pub fn bv_lshr(&self, a: TermRef, b: TermRef) -> TermRef {
+        self.bv_binop(
+            a,
+            b,
+            |x, y| x.lshr(y.to_u128().min(u128::from(u32::MAX)) as u32),
+            TermKind::BvLshr,
+        )
+    }
+
+    pub fn bv_ult(&self, a: TermRef, b: TermRef) -> TermRef {
+        self.bv_cmp(a, b, BvValue::ult, TermKind::BvUlt)
+    }
+
+    pub fn bv_ule(&self, a: TermRef, b: TermRef) -> TermRef {
+        self.bv_cmp(a, b, |x, y| !y.ult(x), TermKind::BvUle)
+    }
+
+    pub fn bv_ugt(&self, a: TermRef, b: TermRef) -> TermRef {
+        self.bv_ult(b, a)
+    }
+
+    pub fn bv_uge(&self, a: TermRef, b: TermRef) -> TermRef {
+        self.bv_ule(b, a)
+    }
+
+    pub fn bv_slt(&self, a: TermRef, b: TermRef) -> TermRef {
+        self.bv_cmp(a, b, BvValue::slt, TermKind::BvSlt)
+    }
+
+    /// Saturating add, desugared: `ite(ult(a + b, a), max, a + b)`.
+    pub fn bv_sat_add(&self, a: TermRef, b: TermRef) -> TermRef {
+        let width = a.sort.width();
+        let sum = self.bv_add(a.clone(), b);
+        let overflow = self.bv_ult(sum.clone(), a);
+        let max = self.bv_value(BvValue::from_u128(u128::MAX, width).resize(width));
+        let max = self.bv_not(self.bv_xor(max.clone(), max)); // all-ones of the right width
+        self.ite(overflow, max, sum)
+    }
+
+    /// Saturating subtract, desugared: `ite(ult(a, b), 0, a - b)`.
+    pub fn bv_sat_sub(&self, a: TermRef, b: TermRef) -> TermRef {
+        let width = a.sort.width();
+        let diff = self.bv_sub(a.clone(), b.clone());
+        let underflow = self.bv_ult(a, b);
+        let zero = self.bv_const(0, width);
+        self.ite(underflow, zero, diff)
+    }
+
+    pub fn concat(&self, hi: TermRef, lo: TermRef) -> TermRef {
+        let width = hi.sort.width() + lo.sort.width();
+        if let (TermKind::BvConst(h), TermKind::BvConst(l)) = (&hi.kind, &lo.kind) {
+            return self.bv_value(h.concat(l));
+        }
+        self.mk(Sort::BitVec(width), TermKind::Concat(hi, lo))
+    }
+
+    pub fn extract(&self, hi: u32, lo: u32, arg: TermRef) -> TermRef {
+        assert!(hi >= lo, "extract with hi < lo");
+        assert!(hi < arg.sort.width(), "extract out of range: [{hi}:{lo}] of {}", arg.sort.width());
+        let width = hi - lo + 1;
+        if width == arg.sort.width() {
+            return arg;
+        }
+        if let TermKind::BvConst(v) = &arg.kind {
+            return self.bv_value(v.extract(hi, lo));
+        }
+        self.mk(Sort::BitVec(width), TermKind::Extract { hi, lo, arg })
+    }
+
+    pub fn zero_extend(&self, arg: TermRef, width: u32) -> TermRef {
+        assert!(width >= arg.sort.width());
+        if width == arg.sort.width() {
+            return arg;
+        }
+        if let TermKind::BvConst(v) = &arg.kind {
+            return self.bv_value(v.resize(width));
+        }
+        self.mk(Sort::BitVec(width), TermKind::ZeroExtend { arg, width })
+    }
+
+    pub fn sign_extend(&self, arg: TermRef, width: u32) -> TermRef {
+        assert!(width >= arg.sort.width());
+        if width == arg.sort.width() {
+            return arg;
+        }
+        if let TermKind::BvConst(v) = &arg.kind {
+            return self.bv_value(v.sign_extend(width));
+        }
+        self.mk(Sort::BitVec(width), TermKind::SignExtend { arg, width })
+    }
+
+    /// Resizes a bit-vector term to `width`, zero-extending or truncating.
+    pub fn resize(&self, arg: TermRef, width: u32) -> TermRef {
+        let current = arg.sort.width();
+        if width == current {
+            arg
+        } else if width > current {
+            self.zero_extend(arg, width)
+        } else {
+            self.extract(width - 1, 0, arg)
+        }
+    }
+
+    /// Converts a boolean term to a 1-bit vector (true → 1).
+    pub fn bool_to_bv(&self, arg: TermRef) -> TermRef {
+        debug_assert!(arg.sort.is_bool());
+        self.ite(arg, self.bv_const(1, 1), self.bv_const(0, 1))
+    }
+
+    /// Converts a bit-vector term to a boolean (non-zero → true).
+    pub fn bv_to_bool(&self, arg: TermRef) -> TermRef {
+        let width = arg.sort.width();
+        let zero = self.bv_const(0, width);
+        self.neq(arg, zero)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_folding_arithmetic() {
+        let tm = TermManager::new();
+        let a = tm.bv_const(250, 8);
+        let b = tm.bv_const(10, 8);
+        let sum = tm.bv_add(a.clone(), b.clone());
+        assert!(matches!(&sum.kind, TermKind::BvConst(v) if v.to_u128() == 4));
+        let cmp = tm.bv_ult(a, b);
+        assert!(matches!(&cmp.kind, TermKind::BoolConst(false)));
+    }
+
+    #[test]
+    fn boolean_simplifications() {
+        let tm = TermManager::new();
+        let x = tm.var("x", Sort::Bool);
+        assert!(matches!(tm.and2(tm.fls(), x.clone()).kind, TermKind::BoolConst(false)));
+        assert!(matches!(tm.or2(tm.tru(), x.clone()).kind, TermKind::BoolConst(true)));
+        assert_eq!(tm.and2(tm.tru(), x.clone()).id, x.id);
+        let double_neg = tm.not(tm.not(x.clone()));
+        assert_eq!(double_neg.id, x.id);
+    }
+
+    #[test]
+    fn ite_simplifications() {
+        let tm = TermManager::new();
+        let a = tm.var("a", Sort::BitVec(8));
+        let b = tm.var("b", Sort::BitVec(8));
+        assert_eq!(tm.ite(tm.tru(), a.clone(), b.clone()).id, a.id);
+        assert_eq!(tm.ite(tm.fls(), a.clone(), b.clone()).id, b.id);
+        let c = tm.var("c", Sort::Bool);
+        assert_eq!(tm.ite(c, a.clone(), a.clone()).id, a.id);
+    }
+
+    #[test]
+    fn eq_reflexive_and_constant() {
+        let tm = TermManager::new();
+        let a = tm.var("a", Sort::BitVec(8));
+        assert!(matches!(tm.eq(a.clone(), a.clone()).kind, TermKind::BoolConst(true)));
+        let one = tm.bv_const(1, 8);
+        let two = tm.bv_const(2, 8);
+        assert!(matches!(tm.eq(one, two).kind, TermKind::BoolConst(false)));
+    }
+
+    #[test]
+    fn extract_concat_widths() {
+        let tm = TermManager::new();
+        let a = tm.var("a", Sort::BitVec(8));
+        let b = tm.var("b", Sort::BitVec(16));
+        let cat = tm.concat(a.clone(), b.clone());
+        assert_eq!(cat.sort, Sort::BitVec(24));
+        let ext = tm.extract(7, 4, a.clone());
+        assert_eq!(ext.sort, Sort::BitVec(4));
+        assert_eq!(tm.extract(7, 0, a.clone()).id, a.id);
+        assert_eq!(tm.resize(a.clone(), 16).sort, Sort::BitVec(16));
+        assert_eq!(tm.resize(b, 8).sort, Sort::BitVec(8));
+    }
+
+    #[test]
+    fn fresh_vars_are_distinct() {
+        let tm = TermManager::new();
+        let a = tm.fresh_var("undef", Sort::BitVec(8));
+        let b = tm.fresh_var("undef", Sort::BitVec(8));
+        match (&a.kind, &b.kind) {
+            (TermKind::Var(n1), TermKind::Var(n2)) => assert_ne!(n1, n2),
+            _ => panic!("fresh vars must be variables"),
+        }
+    }
+
+    #[test]
+    fn sat_arith_folds_to_expected_shape() {
+        let tm = TermManager::new();
+        let a = tm.bv_const(250, 8);
+        let b = tm.bv_const(10, 8);
+        let sat = tm.bv_sat_add(a, b);
+        assert!(matches!(&sat.kind, TermKind::BvConst(v) if v.to_u128() == 255));
+        let sat2 = tm.bv_sat_sub(tm.bv_const(3, 8), tm.bv_const(10, 8));
+        assert!(matches!(&sat2.kind, TermKind::BvConst(v) if v.to_u128() == 0));
+    }
+
+    #[test]
+    fn display_smtlib_like() {
+        let tm = TermManager::new();
+        let a = tm.var("a", Sort::BitVec(8));
+        let e = tm.bv_add(a.clone(), tm.bv_const(1, 8));
+        assert_eq!(format!("{e}"), "(bvadd a 8w1)");
+    }
+}

@@ -1,0 +1,303 @@
+//! Concrete bit-vector values of arbitrary width.
+//!
+//! Values are stored LSB-first as a vector of booleans.  Program-level bit
+//! widths in the P4 subset are small (≤ 128 for scalars, a few hundred for
+//! whole packets), so the simple representation is more than fast enough and
+//! keeps the arithmetic code obviously correct.
+
+use std::fmt;
+
+/// A concrete bit vector (LSB first).
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct BvValue {
+    bits: Vec<bool>,
+}
+
+impl BvValue {
+    /// A zero value of the given width.
+    pub fn zero(width: u32) -> BvValue {
+        BvValue { bits: vec![false; width as usize] }
+    }
+
+    /// Builds a value from the low `width` bits of `value`.
+    pub fn from_u128(value: u128, width: u32) -> BvValue {
+        let mut bits = Vec::with_capacity(width as usize);
+        for i in 0..width {
+            if i < 128 {
+                bits.push((value >> i) & 1 == 1);
+            } else {
+                bits.push(false);
+            }
+        }
+        BvValue { bits }
+    }
+
+    /// Builds a value from an explicit LSB-first bit vector.
+    pub fn from_bits(bits: Vec<bool>) -> BvValue {
+        BvValue { bits }
+    }
+
+    pub fn width(&self) -> u32 {
+        self.bits.len() as u32
+    }
+
+    pub fn bit(&self, i: u32) -> bool {
+        self.bits.get(i as usize).copied().unwrap_or(false)
+    }
+
+    pub fn bits(&self) -> &[bool] {
+        &self.bits
+    }
+
+    /// Interprets the value as an unsigned integer; panics if wider than
+    /// 128 bits and any high bit is set.
+    pub fn to_u128(&self) -> u128 {
+        let mut out = 0u128;
+        for (i, &bit) in self.bits.iter().enumerate() {
+            if bit {
+                assert!(i < 128, "BvValue::to_u128 on a value wider than 128 bits");
+                out |= 1u128 << i;
+            }
+        }
+        out
+    }
+
+    /// Interprets the value as a signed (two's complement) integer.
+    pub fn to_i128(&self) -> i128 {
+        if self.bits.is_empty() {
+            return 0;
+        }
+        let unsigned = self.to_u128();
+        let width = self.width();
+        if width < 128 && self.bit(width - 1) {
+            (unsigned as i128) - (1i128 << width)
+        } else {
+            unsigned as i128
+        }
+    }
+
+    /// True if every bit is zero.
+    pub fn is_zero(&self) -> bool {
+        self.bits.iter().all(|&b| !b)
+    }
+
+    /// Truncates or zero-extends to `width`.
+    pub fn resize(&self, width: u32) -> BvValue {
+        let mut bits = self.bits.clone();
+        bits.resize(width as usize, false);
+        BvValue { bits }
+    }
+
+    /// Sign-extends to `width` (which must be >= current width).
+    pub fn sign_extend(&self, width: u32) -> BvValue {
+        let sign = self.bits.last().copied().unwrap_or(false);
+        let mut bits = self.bits.clone();
+        bits.resize(width as usize, sign);
+        BvValue { bits }
+    }
+
+    /// Extracts bits `[hi:lo]` inclusive.
+    pub fn extract(&self, hi: u32, lo: u32) -> BvValue {
+        assert!(hi >= lo, "extract with hi < lo");
+        let bits = (lo..=hi).map(|i| self.bit(i)).collect();
+        BvValue { bits }
+    }
+
+    /// Concatenation: `self` provides the high bits, `low` the low bits
+    /// (matching SMT-LIB `concat hi lo`).
+    pub fn concat(&self, low: &BvValue) -> BvValue {
+        let mut bits = low.bits.clone();
+        bits.extend_from_slice(&self.bits);
+        BvValue { bits }
+    }
+
+    fn binary_wrapping<F>(&self, other: &BvValue, f: F) -> BvValue
+    where
+        F: Fn(u128, u128) -> u128,
+    {
+        let width = self.width().max(other.width());
+        assert!(width <= 128, "wide arithmetic must go through the bit-blaster");
+        let result = f(self.resize(width).to_u128(), other.resize(width).to_u128());
+        BvValue::from_u128(result, width)
+    }
+
+    pub fn add(&self, other: &BvValue) -> BvValue {
+        self.binary_wrapping(other, |a, b| a.wrapping_add(b))
+    }
+
+    pub fn sub(&self, other: &BvValue) -> BvValue {
+        self.binary_wrapping(other, |a, b| a.wrapping_sub(b))
+    }
+
+    pub fn mul(&self, other: &BvValue) -> BvValue {
+        self.binary_wrapping(other, |a, b| a.wrapping_mul(b))
+    }
+
+    pub fn sat_add(&self, other: &BvValue) -> BvValue {
+        let width = self.width().max(other.width());
+        let max = if width >= 128 { u128::MAX } else { (1u128 << width) - 1 };
+        self.binary_wrapping(other, |a, b| a.checked_add(b).map_or(max, |s| s.min(max)))
+    }
+
+    pub fn sat_sub(&self, other: &BvValue) -> BvValue {
+        self.binary_wrapping(other, |a, b| a.saturating_sub(b))
+    }
+
+    pub fn bitand(&self, other: &BvValue) -> BvValue {
+        let width = self.width().max(other.width());
+        let bits = (0..width).map(|i| self.bit(i) && other.bit(i)).collect();
+        BvValue { bits }
+    }
+
+    pub fn bitor(&self, other: &BvValue) -> BvValue {
+        let width = self.width().max(other.width());
+        let bits = (0..width).map(|i| self.bit(i) || other.bit(i)).collect();
+        BvValue { bits }
+    }
+
+    pub fn bitxor(&self, other: &BvValue) -> BvValue {
+        let width = self.width().max(other.width());
+        let bits = (0..width).map(|i| self.bit(i) ^ other.bit(i)).collect();
+        BvValue { bits }
+    }
+
+    pub fn bitnot(&self) -> BvValue {
+        BvValue { bits: self.bits.iter().map(|&b| !b).collect() }
+    }
+
+    pub fn neg(&self) -> BvValue {
+        BvValue::zero(self.width()).sub(self)
+    }
+
+    /// Logical left shift by `amount` bit positions.
+    pub fn shl(&self, amount: u32) -> BvValue {
+        let width = self.width();
+        let bits = (0..width)
+            .map(|i| if i >= amount { self.bit(i - amount) } else { false })
+            .collect();
+        BvValue { bits }
+    }
+
+    /// Logical right shift by `amount` bit positions.
+    pub fn lshr(&self, amount: u32) -> BvValue {
+        let width = self.width();
+        let bits = (0..width).map(|i| self.bit(i + amount)).collect();
+        BvValue { bits }
+    }
+
+    /// Unsigned less-than.
+    pub fn ult(&self, other: &BvValue) -> bool {
+        let width = self.width().max(other.width());
+        for i in (0..width).rev() {
+            let (a, b) = (self.bit(i), other.bit(i));
+            if a != b {
+                return b;
+            }
+        }
+        false
+    }
+
+    /// Signed less-than.
+    pub fn slt(&self, other: &BvValue) -> bool {
+        self.to_i128() < other.to_i128()
+    }
+}
+
+impl fmt::Debug for BvValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.width() <= 128 {
+            write!(f, "{}w{}", self.width(), self.to_u128())
+        } else {
+            write!(f, "{}w<wide>", self.width())
+        }
+    }
+}
+
+impl fmt::Display for BvValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_u128() {
+        let v = BvValue::from_u128(0xdead, 16);
+        assert_eq!(v.to_u128(), 0xdead);
+        assert_eq!(v.width(), 16);
+        assert_eq!(BvValue::from_u128(0x1ff, 8).to_u128(), 0xff);
+    }
+
+    #[test]
+    fn signed_interpretation() {
+        assert_eq!(BvValue::from_u128(0xff, 8).to_i128(), -1);
+        assert_eq!(BvValue::from_u128(0x7f, 8).to_i128(), 127);
+        assert_eq!(BvValue::from_u128(0x80, 8).to_i128(), -128);
+    }
+
+    #[test]
+    fn arithmetic_wraps() {
+        let a = BvValue::from_u128(250, 8);
+        let b = BvValue::from_u128(10, 8);
+        assert_eq!(a.add(&b).to_u128(), 4);
+        assert_eq!(b.sub(&a).to_u128(), 16);
+        assert_eq!(a.mul(&b).to_u128(), (250u32 * 10 % 256) as u128);
+    }
+
+    #[test]
+    fn saturating_arithmetic() {
+        let a = BvValue::from_u128(250, 8);
+        let b = BvValue::from_u128(10, 8);
+        assert_eq!(a.sat_add(&b).to_u128(), 255);
+        assert_eq!(b.sat_sub(&a).to_u128(), 0);
+    }
+
+    #[test]
+    fn shifts() {
+        let v = BvValue::from_u128(0b1011, 8);
+        assert_eq!(v.shl(2).to_u128(), 0b101100);
+        assert_eq!(v.lshr(1).to_u128(), 0b101);
+        assert_eq!(v.shl(9).to_u128(), 0);
+    }
+
+    #[test]
+    fn comparisons() {
+        let a = BvValue::from_u128(5, 8);
+        let b = BvValue::from_u128(200, 8);
+        assert!(a.ult(&b));
+        assert!(!b.ult(&a));
+        // 200 as int<8> is negative.
+        assert!(b.slt(&a));
+    }
+
+    #[test]
+    fn extract_and_concat() {
+        let v = BvValue::from_u128(0xabcd, 16);
+        assert_eq!(v.extract(15, 8).to_u128(), 0xab);
+        assert_eq!(v.extract(7, 0).to_u128(), 0xcd);
+        let hi = BvValue::from_u128(0xab, 8);
+        let lo = BvValue::from_u128(0xcd, 8);
+        assert_eq!(hi.concat(&lo).to_u128(), 0xabcd);
+    }
+
+    #[test]
+    fn wide_values() {
+        // 136-bit value: wider than u128, still representable bit-wise.
+        let mut bits = vec![false; 136];
+        bits[135] = true;
+        let v = BvValue::from_bits(bits);
+        assert_eq!(v.width(), 136);
+        assert_eq!(v.extract(135, 128).to_u128(), 0x80);
+        assert!(v.extract(127, 0).is_zero());
+    }
+
+    #[test]
+    fn negation_and_complement() {
+        let v = BvValue::from_u128(1, 8);
+        assert_eq!(v.neg().to_u128(), 0xff);
+        assert_eq!(v.bitnot().to_u128(), 0xfe);
+    }
+}

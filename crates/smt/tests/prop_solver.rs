@@ -1,0 +1,187 @@
+//! Property-based tests for the SMT stack: the solver must agree with brute
+//! force / the concrete evaluator on randomly generated formulas, and the
+//! bit-vector value type must satisfy the usual algebraic laws.
+
+use proptest::prelude::*;
+use smt::{eval, Assignment, BvValue, CheckResult, Solver, Sort, TermManager, TermRef, Value};
+
+// ---------------------------------------------------------------------------
+// BvValue algebraic laws.
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn addition_is_commutative_and_wraps(a in any::<u64>(), b in any::<u64>(), width in 1u32..64) {
+        let x = BvValue::from_u128(u128::from(a), width);
+        let y = BvValue::from_u128(u128::from(b), width);
+        prop_assert_eq!(x.add(&y), y.add(&x));
+        let modulus = 1u128 << width;
+        prop_assert_eq!(x.add(&y).to_u128(), (u128::from(a) % modulus + u128::from(b) % modulus) % modulus);
+    }
+
+    #[test]
+    fn subtraction_inverts_addition(a in any::<u64>(), b in any::<u64>(), width in 1u32..64) {
+        let x = BvValue::from_u128(u128::from(a), width);
+        let y = BvValue::from_u128(u128::from(b), width);
+        prop_assert_eq!(x.add(&y).sub(&y), x);
+    }
+
+    #[test]
+    fn complement_is_involutive_and_xor_self_is_zero(a in any::<u64>(), width in 1u32..64) {
+        let x = BvValue::from_u128(u128::from(a), width);
+        prop_assert_eq!(x.bitnot().bitnot(), x.clone());
+        prop_assert!(x.bitxor(&x).is_zero());
+    }
+
+    #[test]
+    fn concat_then_extract_recovers_parts(a in any::<u32>(), b in any::<u32>(), wa in 1u32..32, wb in 1u32..32) {
+        let hi = BvValue::from_u128(u128::from(a), wa);
+        let lo = BvValue::from_u128(u128::from(b), wb);
+        let cat = hi.concat(&lo);
+        prop_assert_eq!(cat.width(), wa + wb);
+        prop_assert_eq!(cat.extract(wa + wb - 1, wb), hi);
+        prop_assert_eq!(cat.extract(wb - 1, 0), lo);
+    }
+
+    #[test]
+    fn unsigned_comparison_matches_integers(a in any::<u32>(), b in any::<u32>(), width in 1u32..32) {
+        let mask = (1u64 << width) - 1;
+        let x = BvValue::from_u128(u128::from(u64::from(a) & mask), width);
+        let y = BvValue::from_u128(u128::from(u64::from(b) & mask), width);
+        prop_assert_eq!(x.ult(&y), (u64::from(a) & mask) < (u64::from(b) & mask));
+    }
+
+    #[test]
+    fn saturating_add_never_wraps(a in any::<u16>(), b in any::<u16>()) {
+        let x = BvValue::from_u128(u128::from(a), 16);
+        let y = BvValue::from_u128(u128::from(b), 16);
+        let sat = x.sat_add(&y).to_u128();
+        prop_assert_eq!(sat, (u128::from(a) + u128::from(b)).min(0xffff));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Solver vs. the term evaluator on random formulas over two 6-bit variables.
+// ---------------------------------------------------------------------------
+
+/// A tiny expression language we can both build as terms and evaluate by
+/// brute force over all assignments of two 6-bit variables.
+#[derive(Debug, Clone)]
+enum MiniExpr {
+    VarX,
+    VarY,
+    Const(u8),
+    Add(Box<MiniExpr>, Box<MiniExpr>),
+    Xor(Box<MiniExpr>, Box<MiniExpr>),
+    And(Box<MiniExpr>, Box<MiniExpr>),
+    Ite(Box<MiniExpr>, Box<MiniExpr>, Box<MiniExpr>),
+}
+
+const WIDTH: u32 = 6;
+
+fn mini_expr() -> impl Strategy<Value = MiniExpr> {
+    let leaf = prop_oneof![
+        Just(MiniExpr::VarX),
+        Just(MiniExpr::VarY),
+        (0u8..64).prop_map(MiniExpr::Const),
+    ];
+    leaf.prop_recursive(3, 24, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| MiniExpr::Add(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| MiniExpr::Xor(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| MiniExpr::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone(), inner).prop_map(|(c, a, b)| {
+                MiniExpr::Ite(Box::new(c), Box::new(a), Box::new(b))
+            }),
+        ]
+    })
+}
+
+fn to_term(tm: &TermManager, expr: &MiniExpr, x: &TermRef, y: &TermRef) -> TermRef {
+    match expr {
+        MiniExpr::VarX => x.clone(),
+        MiniExpr::VarY => y.clone(),
+        MiniExpr::Const(value) => tm.bv_const(u128::from(*value), WIDTH),
+        MiniExpr::Add(a, b) => tm.bv_add(to_term(tm, a, x, y), to_term(tm, b, x, y)),
+        MiniExpr::Xor(a, b) => tm.bv_xor(to_term(tm, a, x, y), to_term(tm, b, x, y)),
+        MiniExpr::And(a, b) => tm.bv_and(to_term(tm, a, x, y), to_term(tm, b, x, y)),
+        MiniExpr::Ite(c, a, b) => {
+            let cond = tm.neq(to_term(tm, c, x, y), tm.bv_const(0, WIDTH));
+            tm.ite(cond, to_term(tm, a, x, y), to_term(tm, b, x, y))
+        }
+    }
+}
+
+fn brute_eval(expr: &MiniExpr, x: u8, y: u8) -> u8 {
+    let mask = 0x3f;
+    match expr {
+        MiniExpr::VarX => x & mask,
+        MiniExpr::VarY => y & mask,
+        MiniExpr::Const(value) => value & mask,
+        MiniExpr::Add(a, b) => (brute_eval(a, x, y).wrapping_add(brute_eval(b, x, y))) & mask,
+        MiniExpr::Xor(a, b) => (brute_eval(a, x, y) ^ brute_eval(b, x, y)) & mask,
+        MiniExpr::And(a, b) => brute_eval(a, x, y) & brute_eval(b, x, y) & mask,
+        MiniExpr::Ite(c, a, b) => {
+            if brute_eval(c, x, y) != 0 {
+                brute_eval(a, x, y)
+            } else {
+                brute_eval(b, x, y)
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// `expr == target` is satisfiable exactly when brute force finds a
+    /// satisfying (x, y), and any model returned is correct.
+    #[test]
+    fn solver_agrees_with_brute_force(expr in mini_expr(), target in 0u8..64) {
+        let tm = TermManager::new();
+        let x = tm.var("x", Sort::BitVec(WIDTH));
+        let y = tm.var("y", Sort::BitVec(WIDTH));
+        let term = to_term(&tm, &expr, &x, &y);
+        let query = tm.eq(term.clone(), tm.bv_const(u128::from(target), WIDTH));
+
+        let mut brute_sat = false;
+        'outer: for xv in 0u8..64 {
+            for yv in 0u8..64 {
+                if brute_eval(&expr, xv, yv) == target {
+                    brute_sat = true;
+                    break 'outer;
+                }
+            }
+        }
+
+        let mut solver = Solver::new();
+        solver.assert(query.clone());
+        match solver.check() {
+            CheckResult::Sat(model) => {
+                prop_assert!(brute_sat, "solver found a model but brute force says UNSAT");
+                // Validate the model against the independent evaluator.
+                let mut env = Assignment::new();
+                env.insert("x".into(), Value::Bv(model.get_bv("x").unwrap_or_else(|| BvValue::zero(WIDTH))));
+                env.insert("y".into(), Value::Bv(model.get_bv("y").unwrap_or_else(|| BvValue::zero(WIDTH))));
+                let value = eval(&query, &env).expect("closed formula evaluates");
+                prop_assert!(value.as_bool(), "model does not satisfy the query");
+            }
+            CheckResult::Unsat => prop_assert!(!brute_sat, "solver reported UNSAT but a model exists"),
+        }
+    }
+
+    /// Constant folding in the term manager preserves semantics: evaluating
+    /// the folded term equals evaluating the unfolded structure.
+    #[test]
+    fn construction_time_folding_is_sound(expr in mini_expr(), xv in 0u8..64, yv in 0u8..64) {
+        let tm = TermManager::new();
+        let x = tm.var("x", Sort::BitVec(WIDTH));
+        let y = tm.var("y", Sort::BitVec(WIDTH));
+        let term = to_term(&tm, &expr, &x, &y);
+        let mut env = Assignment::new();
+        env.insert("x".into(), Value::bv(u128::from(xv), WIDTH));
+        env.insert("y".into(), Value::bv(u128::from(yv), WIDTH));
+        let evaluated = eval(&term, &env).expect("evaluates").as_bv().to_u128();
+        prop_assert_eq!(evaluated as u8, brute_eval(&expr, xv, yv));
+    }
+}

@@ -1,0 +1,116 @@
+//! Back-end bug classes.
+//!
+//! Table 3 of the paper attributes 32 of the 78 bugs to compiler back ends
+//! (4 in BMv2, 28 in the Tofino compiler).  These seeded defects model the
+//! corresponding families: wrong lowering of language constructs in the
+//! target's execution engine (semantic bugs, found by end-to-end testing)
+//! and crashes in back-end-specific lowering passes (crash bugs).
+
+use serde::{Deserialize, Serialize};
+
+/// Which back end a bug class belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Backend {
+    Bmv2,
+    Tofino,
+}
+
+/// The catalogue of seeded back-end defects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BackEndBugClass {
+    /// BMv2: `exit` statements are ignored by the execution engine, so
+    /// processing continues after an exit.
+    Bmv2ExitIgnored,
+    /// BMv2: an assignment to a bit slice overwrites the whole field
+    /// (the Figure-5d family seen from the target side).
+    Bmv2SliceWritesWholeField,
+    /// Tofino: the back-end lowering pass crashes on slice l-values.
+    TofinoSliceLoweringCrash,
+    /// Tofino: saturating arithmetic is lowered to wrapping arithmetic.
+    TofinoSaturationWraps,
+    /// Tofino: `exit` is ignored in the ingress pipeline.
+    TofinoExitIgnored,
+    /// Tofino: header validity is ignored when reading `isValid()`
+    /// (always reports `true`).
+    TofinoValidityAlwaysTrue,
+}
+
+impl BackEndBugClass {
+    pub fn all() -> Vec<BackEndBugClass> {
+        use BackEndBugClass::*;
+        vec![
+            Bmv2ExitIgnored,
+            Bmv2SliceWritesWholeField,
+            TofinoSliceLoweringCrash,
+            TofinoSaturationWraps,
+            TofinoExitIgnored,
+            TofinoValidityAlwaysTrue,
+        ]
+    }
+
+    pub fn backend(self) -> Backend {
+        match self {
+            BackEndBugClass::Bmv2ExitIgnored | BackEndBugClass::Bmv2SliceWritesWholeField => {
+                Backend::Bmv2
+            }
+            _ => Backend::Tofino,
+        }
+    }
+
+    /// Whether the defect manifests as a crash during back-end compilation
+    /// (true) or as a miscompilation visible only in packet behaviour.
+    pub fn is_crash_class(self) -> bool {
+        matches!(self, BackEndBugClass::TofinoSliceLoweringCrash)
+    }
+}
+
+/// Behaviour switches consumed by the concrete execution engine.  The
+/// correct target uses `ExecutionQuirks::default()`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecutionQuirks {
+    pub ignore_exit: bool,
+    pub slice_writes_whole_field: bool,
+    pub saturation_wraps: bool,
+    pub validity_always_true: bool,
+}
+
+impl ExecutionQuirks {
+    /// The quirks a seeded bug class induces at execution time.
+    pub fn for_bug(bug: Option<BackEndBugClass>) -> ExecutionQuirks {
+        let mut quirks = ExecutionQuirks::default();
+        match bug {
+            Some(BackEndBugClass::Bmv2ExitIgnored) | Some(BackEndBugClass::TofinoExitIgnored) => {
+                quirks.ignore_exit = true;
+            }
+            Some(BackEndBugClass::Bmv2SliceWritesWholeField) => {
+                quirks.slice_writes_whole_field = true;
+            }
+            Some(BackEndBugClass::TofinoSaturationWraps) => quirks.saturation_wraps = true,
+            Some(BackEndBugClass::TofinoValidityAlwaysTrue) => quirks.validity_always_true = true,
+            _ => {}
+        }
+        quirks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalogue_covers_both_backends() {
+        let all = BackEndBugClass::all();
+        assert!(all.iter().any(|b| b.backend() == Backend::Bmv2));
+        assert!(all.iter().any(|b| b.backend() == Backend::Tofino));
+        assert_eq!(all.iter().filter(|b| b.is_crash_class()).count(), 1);
+    }
+
+    #[test]
+    fn quirks_map_bug_classes_to_switches() {
+        assert!(ExecutionQuirks::for_bug(Some(BackEndBugClass::Bmv2ExitIgnored)).ignore_exit);
+        assert!(
+            ExecutionQuirks::for_bug(Some(BackEndBugClass::TofinoSaturationWraps)).saturation_wraps
+        );
+        assert_eq!(ExecutionQuirks::for_bug(None), ExecutionQuirks::default());
+    }
+}

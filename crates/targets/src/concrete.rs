@@ -1,0 +1,1005 @@
+//! Concrete execution engine shared by the simulated targets.
+//!
+//! This is the "switch" side of end-to-end testing: it executes the
+//! (compiled) program on concrete header/metadata values with a concrete
+//! table configuration and returns the final values of all `inout`/`out`
+//! parameters.  It is intentionally an independent implementation from the
+//! symbolic interpreter — agreement between the two on generated tests is
+//! exactly what Gauntlet's black-box technique checks.
+
+use crate::bugs::ExecutionQuirks;
+use p4_ir::{
+    ActionDecl, ActionRef, Architecture, BinOp, Block, BlockKind, CallExpr, ControlDecl,
+    Declaration, Direction, Expr, Param, Program, Statement, TableDecl, Type, TypeEnv, UnOp,
+};
+use smt::{BvValue, Value};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Policy for values the program reads without having written them
+/// (paper §6.2: BMv2 zero-initialises undefined values; other targets may
+/// use arbitrary data).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UndefinedPolicy {
+    /// Undefined scalars read as zero.
+    Zero,
+    /// Undefined scalars read as a repeating byte pattern.
+    Pattern(u8),
+}
+
+impl UndefinedPolicy {
+    fn scalar(&self, width: u32) -> Value {
+        match self {
+            UndefinedPolicy::Zero => Value::bv(0, width),
+            UndefinedPolicy::Pattern(byte) => {
+                let mut value = 0u128;
+                for _ in 0..16 {
+                    value = (value << 8) | u128::from(*byte);
+                }
+                Value::Bv(BvValue::from_u128(value, width))
+            }
+        }
+    }
+}
+
+/// Runtime table configuration, derived from the symbolic variables of a
+/// generated test case (`<control>.<table>_key_<i>`, `<control>.<table>_action`,
+/// `<control>.<table>.<action>.<param>`).
+#[derive(Debug, Clone, Default)]
+pub struct TableRuntime {
+    /// Raw configuration values keyed by symbolic variable name.
+    pub values: BTreeMap<String, Value>,
+}
+
+impl TableRuntime {
+    pub fn new(values: BTreeMap<String, Value>) -> TableRuntime {
+        TableRuntime { values }
+    }
+
+    fn key(&self, prefix: &str, index: usize) -> Option<&Value> {
+        self.values.get(&format!("{prefix}_key_{index}"))
+    }
+
+    fn action_index(&self, prefix: &str) -> u128 {
+        self.values
+            .get(&format!("{prefix}_action"))
+            .map(|v| v.as_bv().to_u128())
+            .unwrap_or(0)
+    }
+
+    fn action_arg(&self, prefix: &str, action: &str, param: &str) -> Option<&Value> {
+        self.values.get(&format!("{prefix}.{action}.{param}"))
+    }
+}
+
+/// Errors while executing a program concretely.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExecError {
+    pub message: String,
+}
+
+impl ExecError {
+    fn new(message: impl Into<String>) -> ExecError {
+        ExecError { message: message.into() }
+    }
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "target execution error: {}", self.message)
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// A concrete value mirroring the IR's type structure.
+#[derive(Debug, Clone, PartialEq)]
+enum CVal {
+    Scalar(Value),
+    Struct(BTreeMap<String, CVal>),
+    Header { valid: bool, fields: BTreeMap<String, CVal> },
+}
+
+impl CVal {
+    fn scalar(&self) -> Result<Value, ExecError> {
+        match self {
+            CVal::Scalar(value) => Ok(value.clone()),
+            _ => Err(ExecError::new("expected a scalar value")),
+        }
+    }
+
+    fn field_mut(&mut self, name: &str) -> Option<&mut CVal> {
+        match self {
+            CVal::Struct(fields) | CVal::Header { fields, .. } => fields.get_mut(name),
+            CVal::Scalar(_) => None,
+        }
+    }
+
+    fn field(&self, name: &str) -> Option<&CVal> {
+        match self {
+            CVal::Struct(fields) | CVal::Header { fields, .. } => fields.get(name),
+            CVal::Scalar(_) => None,
+        }
+    }
+
+    fn flatten(&self, prefix: &str, out: &mut BTreeMap<String, Value>) {
+        match self {
+            CVal::Scalar(value) => {
+                out.insert(prefix.to_string(), value.clone());
+            }
+            CVal::Struct(fields) => {
+                for (name, value) in fields {
+                    value.flatten(&format!("{prefix}.{name}"), out);
+                }
+            }
+            CVal::Header { valid, fields } => {
+                out.insert(format!("{prefix}.$valid"), Value::Bool(*valid));
+                for (name, value) in fields {
+                    value.flatten(&format!("{prefix}.{name}"), out);
+                }
+            }
+        }
+    }
+}
+
+/// Control-flow outcome of a statement.
+#[derive(Debug, Clone, PartialEq)]
+enum Flow {
+    Normal,
+    Exited,
+    Returned(Option<Value>),
+}
+
+/// Executes the control bound to `slot` on concrete inputs.  Returns the
+/// flattened final values of every `inout`/`out` parameter.
+pub fn execute_block(
+    program: &Program,
+    slot: &str,
+    inputs: &BTreeMap<String, Value>,
+    tables: &TableRuntime,
+    quirks: ExecutionQuirks,
+    policy: UndefinedPolicy,
+) -> Result<BTreeMap<String, Value>, ExecError> {
+    let architecture = Architecture::by_name(&program.architecture)
+        .ok_or_else(|| ExecError::new("unknown architecture"))?;
+    let spec = architecture
+        .block(slot)
+        .ok_or_else(|| ExecError::new(format!("no slot `{slot}`")))?;
+    if spec.kind == BlockKind::Parser {
+        return Err(ExecError::new("execute_block only runs match-action controls"));
+    }
+    let decl_name = program
+        .package
+        .binding(slot)
+        .ok_or_else(|| ExecError::new(format!("slot `{slot}` unbound")))?;
+    let control = program
+        .control(decl_name)
+        .ok_or_else(|| ExecError::new(format!("control `{decl_name}` missing")))?;
+    let env = TypeEnv::from_program(program);
+    let mut executor = Executor {
+        program,
+        env: &env,
+        quirks,
+        policy,
+        tables,
+        control_name: control.name.clone(),
+        local_actions: BTreeMap::new(),
+        local_tables: BTreeMap::new(),
+        scopes: vec![BTreeMap::new()],
+    };
+    executor.bind_globals()?;
+    executor.bind_params(&control.params, inputs);
+    executor.register_locals(control)?;
+    let flow = executor.exec_block(&control.apply)?;
+    let _ = flow;
+    let mut outputs = BTreeMap::new();
+    for param in &control.params {
+        if param.direction.copies_out() {
+            if let Some(value) = executor.lookup(&param.name) {
+                value.clone().flatten(&param.name, &mut outputs);
+            }
+        }
+    }
+    Ok(outputs)
+}
+
+struct Executor<'a> {
+    program: &'a Program,
+    env: &'a TypeEnv,
+    quirks: ExecutionQuirks,
+    policy: UndefinedPolicy,
+    tables: &'a TableRuntime,
+    control_name: String,
+    local_actions: BTreeMap<String, ActionDecl>,
+    local_tables: BTreeMap<String, TableDecl>,
+    scopes: Vec<BTreeMap<String, CVal>>,
+}
+
+type EResult<T> = Result<T, ExecError>;
+
+impl<'a> Executor<'a> {
+    // ---- setup -----------------------------------------------------------
+
+    fn bind_globals(&mut self) -> EResult<()> {
+        for decl in &self.program.declarations {
+            match decl {
+                Declaration::Constant(constant) => {
+                    let width = self.env.resolve(&constant.ty).width();
+                    let value = self.eval(&constant.value, width)?;
+                    self.scopes[0].insert(constant.name.clone(), CVal::Scalar(value));
+                }
+                Declaration::Variable { name, ty, init } => {
+                    let value = match init {
+                        Some(init) => CVal::Scalar(self.eval(init, self.env.resolve(ty).width())?),
+                        None => self.default_of_type(ty),
+                    };
+                    self.scopes[0].insert(name.clone(), value);
+                }
+                _ => {}
+            }
+        }
+        Ok(())
+    }
+
+    fn register_locals(&mut self, control: &ControlDecl) -> EResult<()> {
+        for local in &control.locals {
+            match local {
+                Declaration::Action(action) => {
+                    self.local_actions.insert(action.name.clone(), action.clone());
+                }
+                Declaration::Table(table) => {
+                    self.local_tables.insert(table.name.clone(), table.clone());
+                }
+                Declaration::Variable { name, ty, init } => {
+                    let value = match init {
+                        Some(init) => CVal::Scalar(self.eval(init, self.env.resolve(ty).width())?),
+                        None => self.default_of_type(ty),
+                    };
+                    self.declare(name.clone(), value);
+                }
+                Declaration::Constant(constant) => {
+                    let width = self.env.resolve(&constant.ty).width();
+                    let value = self.eval(&constant.value, width)?;
+                    self.declare(constant.name.clone(), CVal::Scalar(value));
+                }
+                _ => {}
+            }
+        }
+        Ok(())
+    }
+
+    fn bind_params(&mut self, params: &[Param], inputs: &BTreeMap<String, Value>) {
+        for param in params {
+            let resolved = self.env.resolve(&param.ty);
+            if resolved == Type::Packet {
+                continue;
+            }
+            let default_valid = param.direction.copies_in();
+            let value = self.build_from_inputs(&resolved, &param.name, inputs, default_valid);
+            self.declare(param.name.clone(), value);
+        }
+    }
+
+    fn build_from_inputs(
+        &self,
+        ty: &Type,
+        prefix: &str,
+        inputs: &BTreeMap<String, Value>,
+        default_valid: bool,
+    ) -> CVal {
+        match self.env.resolve(ty) {
+            Type::Bool => CVal::Scalar(
+                inputs.get(prefix).cloned().unwrap_or(Value::Bool(false)),
+            ),
+            Type::Bits { width, .. } => CVal::Scalar(
+                inputs
+                    .get(prefix)
+                    .map(|v| Value::Bv(v.as_bv().resize(width)))
+                    .unwrap_or_else(|| self.policy.scalar(width)),
+            ),
+            Type::Header(name) => {
+                let mut fields = BTreeMap::new();
+                if let Some(agg) = self.env.aggregate(&name) {
+                    for field in &agg.fields {
+                        fields.insert(
+                            field.name.clone(),
+                            self.build_from_inputs(
+                                &field.ty,
+                                &format!("{prefix}.{}", field.name),
+                                inputs,
+                                default_valid,
+                            ),
+                        );
+                    }
+                }
+                let valid = inputs
+                    .get(&format!("{prefix}.$valid"))
+                    .map(Value::as_bool)
+                    .unwrap_or(default_valid);
+                CVal::Header { valid, fields }
+            }
+            Type::Struct(name) => {
+                let mut fields = BTreeMap::new();
+                if let Some(agg) = self.env.aggregate(&name) {
+                    for field in &agg.fields {
+                        fields.insert(
+                            field.name.clone(),
+                            self.build_from_inputs(
+                                &field.ty,
+                                &format!("{prefix}.{}", field.name),
+                                inputs,
+                                default_valid,
+                            ),
+                        );
+                    }
+                }
+                CVal::Struct(fields)
+            }
+            _ => CVal::Scalar(self.policy.scalar(1)),
+        }
+    }
+
+    fn default_of_type(&self, ty: &Type) -> CVal {
+        match self.env.resolve(ty) {
+            Type::Bool => CVal::Scalar(Value::Bool(false)),
+            Type::Bits { width, .. } => CVal::Scalar(self.policy.scalar(width)),
+            Type::Header(name) => {
+                let mut fields = BTreeMap::new();
+                if let Some(agg) = self.env.aggregate(&name) {
+                    for field in &agg.fields {
+                        fields.insert(field.name.clone(), self.default_of_type(&field.ty));
+                    }
+                }
+                CVal::Header { valid: false, fields }
+            }
+            Type::Struct(name) => {
+                let mut fields = BTreeMap::new();
+                if let Some(agg) = self.env.aggregate(&name) {
+                    for field in &agg.fields {
+                        fields.insert(field.name.clone(), self.default_of_type(&field.ty));
+                    }
+                }
+                CVal::Struct(fields)
+            }
+            _ => CVal::Scalar(self.policy.scalar(1)),
+        }
+    }
+
+    // ---- scope helpers -----------------------------------------------------
+
+    fn declare(&mut self, name: String, value: CVal) {
+        self.scopes.last_mut().expect("scope").insert(name, value);
+    }
+
+    fn lookup(&self, name: &str) -> Option<&CVal> {
+        self.scopes.iter().rev().find_map(|s| s.get(name))
+    }
+
+    fn lookup_mut(&mut self, name: &str) -> Option<&mut CVal> {
+        self.scopes.iter_mut().rev().find_map(|s| s.get_mut(name))
+    }
+
+    // ---- statements ---------------------------------------------------------
+
+    fn exec_block(&mut self, block: &Block) -> EResult<Flow> {
+        self.scopes.push(BTreeMap::new());
+        let flow = self.exec_statements(&block.statements);
+        self.scopes.pop();
+        flow
+    }
+
+    fn exec_statements(&mut self, statements: &[Statement]) -> EResult<Flow> {
+        for stmt in statements {
+            match self.exec_statement(stmt)? {
+                Flow::Normal => {}
+                other => return Ok(other),
+            }
+        }
+        Ok(Flow::Normal)
+    }
+
+    fn exec_statement(&mut self, stmt: &Statement) -> EResult<Flow> {
+        match stmt {
+            Statement::Empty => Ok(Flow::Normal),
+            Statement::Exit => {
+                if self.quirks.ignore_exit {
+                    Ok(Flow::Normal)
+                } else {
+                    Ok(Flow::Exited)
+                }
+            }
+            Statement::Return(value) => {
+                let value = match value {
+                    Some(expr) => Some(self.eval(expr, None)?),
+                    None => None,
+                };
+                Ok(Flow::Returned(value))
+            }
+            Statement::Block(block) => self.exec_block(block),
+            Statement::Declare { name, ty, init } => {
+                let value = match init {
+                    Some(init) => CVal::Scalar(self.eval(init, self.env.resolve(ty).width())?),
+                    None => self.default_of_type(ty),
+                };
+                self.declare(name.clone(), value);
+                Ok(Flow::Normal)
+            }
+            Statement::Constant { name, ty, value } => {
+                let value = self.eval(value, self.env.resolve(ty).width())?;
+                self.declare(name.clone(), CVal::Scalar(value));
+                Ok(Flow::Normal)
+            }
+            Statement::Assign { lhs, rhs } => {
+                let width = self.lvalue_width(lhs);
+                let value = self.eval(rhs, width)?;
+                self.assign(lhs, value)?;
+                Ok(Flow::Normal)
+            }
+            Statement::If { cond, then_branch, else_branch } => {
+                if self.eval(cond, None)?.as_bool() {
+                    self.exec_statement(then_branch)
+                } else if let Some(else_branch) = else_branch {
+                    self.exec_statement(else_branch)
+                } else {
+                    Ok(Flow::Normal)
+                }
+            }
+            Statement::Call(call) => self.exec_call(call).map(|(flow, _)| flow),
+        }
+    }
+
+    // ---- calls -----------------------------------------------------------------
+
+    fn exec_call(&mut self, call: &CallExpr) -> EResult<(Flow, Option<Value>)> {
+        match call.method() {
+            "apply" => {
+                let table_name = call.receiver();
+                let table = self
+                    .local_tables
+                    .get(&table_name)
+                    .cloned()
+                    .ok_or_else(|| ExecError::new(format!("unknown table `{table_name}`")))?;
+                self.apply_table(&table).map(|flow| (flow, None))
+            }
+            "setValid" | "setInvalid" => {
+                let valid = call.method() == "setValid";
+                let receiver = receiver_expr(call);
+                let policy = self.policy;
+                if let Some(target) = self.resolve_lvalue(&receiver)? {
+                    if let CVal::Header { valid: v, fields } = target {
+                        *v = valid;
+                        if valid {
+                            // Fields become unspecified; use the target's
+                            // undefined-value policy.
+                            for field in fields.values_mut() {
+                                if let CVal::Scalar(value) = field {
+                                    let width = value.as_bv().width();
+                                    *value = policy.scalar(width);
+                                }
+                            }
+                        }
+                    }
+                }
+                Ok((Flow::Normal, None))
+            }
+            "isValid" => {
+                let receiver = receiver_expr(call);
+                let value = self.eval_lvalue(&receiver)?;
+                let valid = match value {
+                    CVal::Header { valid, .. } => valid || self.quirks.validity_always_true,
+                    _ => true,
+                };
+                Ok((Flow::Normal, Some(Value::Bool(valid))))
+            }
+            "emit" | "extract" | "mark_to_drop" => Ok((Flow::Normal, None)),
+            _ => {
+                let name = call.target.join(".");
+                if let Some(function) = self.program.declarations.iter().find_map(|d| match d {
+                    Declaration::Function(f) if f.name == name => Some(f.clone()),
+                    _ => None,
+                }) {
+                    return self.call_callable(
+                        &function.params,
+                        &function.body,
+                        &call.args,
+                        &BTreeMap::new(),
+                    );
+                }
+                if let Some(action) = self.find_action(&name).cloned() {
+                    return self.call_callable(&action.params, &action.body, &call.args, &BTreeMap::new());
+                }
+                // Unknown extern: leave state untouched, return zero.
+                Ok((Flow::Normal, Some(self.policy.scalar(32))))
+            }
+        }
+    }
+
+    fn find_action(&self, name: &str) -> Option<&ActionDecl> {
+        self.local_actions.get(name).or_else(|| {
+            self.program.declarations.iter().find_map(|d| match d {
+                Declaration::Action(a) if a.name == name => Some(a),
+                _ => None,
+            })
+        })
+    }
+
+    fn call_callable(
+        &mut self,
+        params: &[Param],
+        body: &Block,
+        args: &[Expr],
+        bound: &BTreeMap<String, Value>,
+    ) -> EResult<(Flow, Option<Value>)> {
+        let mut bindings: Vec<(Param, Option<Expr>, CVal)> = Vec::new();
+        for (index, param) in params.iter().enumerate() {
+            let width = self.env.resolve(&param.ty).width().unwrap_or(8);
+            let value = if let Some(value) = bound.get(&param.name) {
+                CVal::Scalar(Value::Bv(value.as_bv().resize(width)))
+            } else if let Some(arg) = args.get(index) {
+                if param.direction.copies_in() {
+                    CVal::Scalar(self.eval(arg, Some(width))?)
+                } else {
+                    self.default_of_type(&param.ty)
+                }
+            } else {
+                self.default_of_type(&param.ty)
+            };
+            let copy_back = if param.direction.copies_out() { args.get(index).cloned() } else { None };
+            bindings.push((param.clone(), copy_back, value));
+        }
+        self.scopes.push(BTreeMap::new());
+        for (param, _, value) in &bindings {
+            self.declare(param.name.clone(), value.clone());
+        }
+        let flow = self.exec_statements(&body.statements)?;
+        let mut final_values = Vec::new();
+        for (param, copy_back, _) in &bindings {
+            if copy_back.is_some() {
+                final_values.push(
+                    self.lookup(&param.name)
+                        .cloned()
+                        .ok_or_else(|| ExecError::new("parameter vanished"))?,
+                );
+            }
+        }
+        self.scopes.pop();
+        // Copy-out happens on normal completion, on return, and on exit (the
+        // clarified specification; Figure 5f).
+        let mut index = 0;
+        for (_, copy_back, _) in &bindings {
+            if let Some(arg) = copy_back {
+                let value = final_values[index].clone();
+                index += 1;
+                if let CVal::Scalar(scalar) = value {
+                    self.assign(arg, scalar)?;
+                }
+            }
+        }
+        match flow {
+            Flow::Exited => Ok((Flow::Exited, None)),
+            Flow::Returned(value) => Ok((Flow::Normal, value)),
+            Flow::Normal => Ok((Flow::Normal, None)),
+        }
+    }
+
+    fn apply_table(&mut self, table: &TableDecl) -> EResult<Flow> {
+        let prefix = format!("{}.{}", self.control_name, table.name);
+        // Does the installed entry match the packet?
+        let mut hit = !table.keys.is_empty();
+        for (index, key) in table.keys.iter().enumerate() {
+            let packet_value = self.eval(&key.expr, None)?.as_bv();
+            let entry_value = match self.tables.key(&prefix, index) {
+                Some(value) => value.as_bv().resize(packet_value.width()),
+                None => {
+                    hit = false;
+                    break;
+                }
+            };
+            if packet_value != entry_value {
+                hit = false;
+                break;
+            }
+        }
+        let action_index = self.tables.action_index(&prefix);
+        let chosen: &ActionRef = if hit
+            && action_index >= 1
+            && (action_index as usize) <= table.actions.len()
+        {
+            &table.actions[(action_index - 1) as usize]
+        } else {
+            &table.default_action
+        };
+        let action = self
+            .find_action(&chosen.name)
+            .cloned()
+            .or_else(|| {
+                if chosen.name == "NoAction" {
+                    Some(ActionDecl { name: "NoAction".into(), params: vec![], body: Block::empty() })
+                } else {
+                    None
+                }
+            })
+            .ok_or_else(|| ExecError::new(format!("unknown action `{}`", chosen.name)))?;
+        // Control-plane arguments for directionless parameters.
+        let mut bound = BTreeMap::new();
+        for (index, param) in action.params.iter().enumerate() {
+            if let Some(arg) = chosen.args.get(index) {
+                let width = self.env.resolve(&param.ty).width();
+                bound.insert(param.name.clone(), self.eval(arg, width)?);
+            } else if param.direction == Direction::None {
+                if let Some(value) = self.tables.action_arg(&prefix, &action.name, &param.name) {
+                    bound.insert(param.name.clone(), value.clone());
+                }
+            }
+        }
+        let (flow, _) = self.call_callable(&action.params, &action.body, &[], &bound)?;
+        Ok(flow)
+    }
+
+    // ---- l-values -----------------------------------------------------------------
+
+    fn eval_lvalue(&mut self, expr: &Expr) -> EResult<CVal> {
+        match expr {
+            Expr::Path(name) => self
+                .lookup(name)
+                .cloned()
+                .ok_or_else(|| ExecError::new(format!("unknown name `{name}`"))),
+            Expr::Member { base, member } => {
+                let base = self.eval_lvalue(base)?;
+                base.field(member)
+                    .cloned()
+                    .ok_or_else(|| ExecError::new(format!("no field `{member}`")))
+            }
+            other => Err(ExecError::new(format!("not an l-value: {}", p4_ir::print_expr(other)))),
+        }
+    }
+
+    fn resolve_lvalue(&mut self, expr: &Expr) -> EResult<Option<&mut CVal>> {
+        let mut segments = Vec::new();
+        let mut current = expr;
+        loop {
+            match current {
+                Expr::Path(name) => {
+                    segments.reverse();
+                    let mut target = match self.lookup_mut(name) {
+                        Some(target) => target,
+                        None => return Ok(None),
+                    };
+                    for segment in segments {
+                        target = match target.field_mut(segment) {
+                            Some(next) => next,
+                            None => return Ok(None),
+                        };
+                    }
+                    return Ok(Some(target));
+                }
+                Expr::Member { base, member } => {
+                    segments.push(member.as_str());
+                    current = base;
+                }
+                _ => return Ok(None),
+            }
+        }
+    }
+
+    fn lvalue_width(&mut self, expr: &Expr) -> Option<u32> {
+        match expr {
+            Expr::Slice { hi, lo, .. } => Some(hi - lo + 1),
+            _ => match self.eval_lvalue(expr) {
+                Ok(CVal::Scalar(value)) => Some(value.as_bv().width()),
+                _ => None,
+            },
+        }
+    }
+
+    fn assign(&mut self, lvalue: &Expr, value: Value) -> EResult<()> {
+        match lvalue {
+            Expr::Slice { base, hi, lo } => {
+                let old = self.eval_lvalue(base)?.scalar()?.as_bv();
+                let width = old.width();
+                if *hi >= width {
+                    return Err(ExecError::new("slice assignment out of range"));
+                }
+                let new_value = if self.quirks.slice_writes_whole_field {
+                    // Seeded back-end defect: the whole field is overwritten.
+                    value.as_bv().resize(width)
+                } else {
+                    splice(&old, &value.as_bv(), *hi, *lo)
+                };
+                self.assign(base, Value::Bv(new_value))
+            }
+            _ => {
+                let expected_width = self.lvalue_width(lvalue);
+                let target = self
+                    .resolve_lvalue(lvalue)?
+                    .ok_or_else(|| ExecError::new("assignment to unknown l-value"))?;
+                let value = match (expected_width, &value) {
+                    (Some(width), Value::Bv(bv)) => Value::Bv(bv.resize(width)),
+                    _ => value,
+                };
+                *target = CVal::Scalar(value);
+                Ok(())
+            }
+        }
+    }
+
+    // ---- expressions -----------------------------------------------------------------
+
+    fn eval(&mut self, expr: &Expr, width_hint: Option<u32>) -> EResult<Value> {
+        match expr {
+            Expr::Bool(b) => Ok(Value::Bool(*b)),
+            Expr::Int { value, width, .. } => {
+                let width = width.or(width_hint).unwrap_or(32);
+                Ok(Value::bv(*value, width))
+            }
+            Expr::Path(name) => {
+                let value = self
+                    .lookup(name)
+                    .ok_or_else(|| ExecError::new(format!("unknown name `{name}`")))?;
+                value.scalar()
+            }
+            Expr::Member { .. } => self.eval_lvalue(expr)?.scalar(),
+            Expr::Slice { base, hi, lo } => {
+                let base = self.eval(base, None)?.as_bv();
+                if *hi >= base.width() {
+                    return Err(ExecError::new("slice out of range"));
+                }
+                Ok(Value::Bv(base.extract(*hi, *lo)))
+            }
+            Expr::Unary { op, operand } => {
+                let value = self.eval(operand, width_hint)?;
+                Ok(match op {
+                    UnOp::Not => Value::Bool(!value.as_bool()),
+                    UnOp::BitNot => Value::Bv(value.as_bv().bitnot()),
+                    UnOp::Neg => Value::Bv(value.as_bv().neg()),
+                })
+            }
+            Expr::Binary { op, left, right } => self.eval_binary(*op, left, right, width_hint),
+            Expr::Ternary { cond, then_expr, else_expr } => {
+                if self.eval(cond, None)?.as_bool() {
+                    self.eval(then_expr, width_hint)
+                } else {
+                    self.eval(else_expr, width_hint)
+                }
+            }
+            Expr::Cast { ty, expr } => {
+                let resolved = self.env.resolve(ty);
+                let value = self.eval(expr, resolved.width())?;
+                Ok(match resolved {
+                    Type::Bool => Value::Bool(value.as_bool()),
+                    Type::Bits { width, .. } => Value::Bv(value.as_bv().resize(width)),
+                    _ => value,
+                })
+            }
+            Expr::Call(call) => {
+                let (_, value) = self.exec_call(call)?;
+                value.ok_or_else(|| ExecError::new("void call used as a value"))
+            }
+        }
+    }
+
+    fn eval_binary(
+        &mut self,
+        op: BinOp,
+        left: &Expr,
+        right: &Expr,
+        width_hint: Option<u32>,
+    ) -> EResult<Value> {
+        use BinOp::*;
+        if matches!(op, And | Or) {
+            let l = self.eval(left, None)?.as_bool();
+            // Short-circuit exactly like a real target would.
+            return Ok(Value::Bool(match op {
+                And => l && self.eval(right, None)?.as_bool(),
+                _ => l || self.eval(right, None)?.as_bool(),
+            }));
+        }
+        let (l, r) = if matches!(left, Expr::Int { width: None, .. }) {
+            let r = self.eval(right, width_hint)?.as_bv();
+            let l = self.eval(left, Some(r.width()))?.as_bv();
+            (l, r)
+        } else {
+            let l = self.eval(left, width_hint)?.as_bv();
+            let r = self.eval(right, Some(l.width()))?.as_bv();
+            (l, r)
+        };
+        let (l, r) = if l.width() == r.width() || matches!(op, Shl | Shr | Concat) {
+            (l, r)
+        } else {
+            let width = l.width().max(r.width());
+            (l.resize(width), r.resize(width))
+        };
+        Ok(match op {
+            Add => Value::Bv(l.add(&r)),
+            Sub => Value::Bv(l.sub(&r)),
+            Mul => Value::Bv(l.mul(&r)),
+            SatAdd => Value::Bv(if self.quirks.saturation_wraps { l.add(&r) } else { l.sat_add(&r) }),
+            SatSub => Value::Bv(if self.quirks.saturation_wraps { l.sub(&r) } else { l.sat_sub(&r) }),
+            BitAnd => Value::Bv(l.bitand(&r)),
+            BitOr => Value::Bv(l.bitor(&r)),
+            BitXor => Value::Bv(l.bitxor(&r)),
+            Shl => Value::Bv(l.shl(r.to_u128().min(1024) as u32)),
+            Shr => Value::Bv(l.lshr(r.to_u128().min(1024) as u32)),
+            Concat => Value::Bv(l.concat(&r)),
+            Eq => Value::Bool(l == r),
+            Ne => Value::Bool(l != r),
+            Lt => Value::Bool(l.ult(&r)),
+            Le => Value::Bool(!r.ult(&l)),
+            Gt => Value::Bool(r.ult(&l)),
+            Ge => Value::Bool(!l.ult(&r)),
+            And | Or => unreachable!("handled above"),
+        })
+    }
+}
+
+fn splice(old: &BvValue, value: &BvValue, hi: u32, lo: u32) -> BvValue {
+    let mut bits: Vec<bool> = (0..old.width()).map(|i| old.bit(i)).collect();
+    for (offset, index) in (lo..=hi).enumerate() {
+        bits[index as usize] = value.bit(offset as u32);
+    }
+    BvValue::from_bits(bits)
+}
+
+fn receiver_expr(call: &CallExpr) -> Expr {
+    let parts: Vec<&str> = call.target[..call.target.len() - 1].iter().map(String::as_str).collect();
+    Expr::dotted(&parts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p4_ir::builder;
+
+    fn run(program: &Program, inputs: &[(&str, Value)]) -> BTreeMap<String, Value> {
+        let inputs: BTreeMap<String, Value> =
+            inputs.iter().map(|(k, v)| (k.to_string(), v.clone())).collect();
+        execute_block(
+            program,
+            "ingress",
+            &inputs,
+            &TableRuntime::default(),
+            ExecutionQuirks::default(),
+            UndefinedPolicy::Zero,
+        )
+        .expect("execution succeeds")
+    }
+
+    #[test]
+    fn executes_trivial_assignment() {
+        let outputs = run(&builder::trivial_program(), &[("hdr.h.b", Value::bv(9, 8))]);
+        assert_eq!(outputs.get("hdr.h.a"), Some(&Value::bv(1, 8)));
+        assert_eq!(outputs.get("hdr.h.b"), Some(&Value::bv(9, 8)));
+    }
+
+    #[test]
+    fn exit_stops_processing_unless_quirked() {
+        use p4_ir::{Block, Statement};
+        let program = builder::v1model_program(
+            vec![],
+            Block::new(vec![
+                Statement::assign(Expr::dotted(&["hdr", "h", "a"]), Expr::uint(1, 8)),
+                Statement::Exit,
+                Statement::assign(Expr::dotted(&["hdr", "h", "a"]), Expr::uint(2, 8)),
+            ]),
+        );
+        let outputs = run(&program, &[]);
+        assert_eq!(outputs.get("hdr.h.a"), Some(&Value::bv(1, 8)));
+
+        let quirky = execute_block(
+            &program,
+            "ingress",
+            &BTreeMap::new(),
+            &TableRuntime::default(),
+            ExecutionQuirks { ignore_exit: true, ..ExecutionQuirks::default() },
+            UndefinedPolicy::Zero,
+        )
+        .unwrap();
+        assert_eq!(quirky.get("hdr.h.a"), Some(&Value::bv(2, 8)));
+    }
+
+    #[test]
+    fn table_hit_and_miss_follow_the_installed_entry() {
+        let (locals, apply) = builder::figure3_table_control();
+        let program = builder::v1model_program(locals, apply);
+        // Install an entry matching hdr.h.a == 5 that runs `assign` (index 1).
+        let mut config = BTreeMap::new();
+        config.insert("ingress_impl.t_key_0".to_string(), Value::bv(5, 8));
+        config.insert("ingress_impl.t_action".to_string(), Value::bv(1, 8));
+        let tables = TableRuntime::new(config);
+        let mut inputs = BTreeMap::new();
+        inputs.insert("hdr.h.a".to_string(), Value::bv(5, 8));
+        let outputs = execute_block(
+            &program,
+            "ingress",
+            &inputs,
+            &tables,
+            ExecutionQuirks::default(),
+            UndefinedPolicy::Zero,
+        )
+        .unwrap();
+        assert_eq!(outputs.get("hdr.h.a"), Some(&Value::bv(1, 8)));
+
+        // A non-matching packet misses and keeps its value.
+        inputs.insert("hdr.h.a".to_string(), Value::bv(7, 8));
+        let outputs = execute_block(
+            &program,
+            "ingress",
+            &inputs,
+            &tables,
+            ExecutionQuirks::default(),
+            UndefinedPolicy::Zero,
+        )
+        .unwrap();
+        assert_eq!(outputs.get("hdr.h.a"), Some(&Value::bv(7, 8)));
+    }
+
+    #[test]
+    fn slice_assignment_and_quirk() {
+        use p4_ir::{Block, Statement};
+        let program = builder::v1model_program(
+            vec![],
+            Block::new(vec![Statement::Assign {
+                lhs: Expr::slice(Expr::dotted(&["hdr", "h", "a"]), 3, 0),
+                rhs: Expr::uint(0xf, 4),
+            }]),
+        );
+        let outputs = run(&program, &[("hdr.h.a", Value::bv(0xa0, 8))]);
+        assert_eq!(outputs.get("hdr.h.a"), Some(&Value::bv(0xaf, 8)));
+
+        let mut inputs = BTreeMap::new();
+        inputs.insert("hdr.h.a".to_string(), Value::bv(0xa0, 8));
+        let quirky = execute_block(
+            &program,
+            "ingress",
+            &inputs,
+            &TableRuntime::default(),
+            ExecutionQuirks { slice_writes_whole_field: true, ..ExecutionQuirks::default() },
+            UndefinedPolicy::Zero,
+        )
+        .unwrap();
+        assert_eq!(quirky.get("hdr.h.a"), Some(&Value::bv(0x0f, 8)));
+    }
+
+    #[test]
+    fn function_and_action_calls_copy_in_and_out() {
+        use p4_ir::{ActionDecl, Block, Declaration, Direction, Param, Statement};
+        let action = ActionDecl {
+            name: "bump".into(),
+            params: vec![Param::new(Direction::InOut, "val", Type::bits(8))],
+            body: Block::new(vec![Statement::assign(
+                Expr::path("val"),
+                Expr::binary(BinOp::Add, Expr::path("val"), Expr::uint(1, 8)),
+            )]),
+        };
+        let program = builder::v1model_program(
+            vec![Declaration::Action(action)],
+            Block::new(vec![Statement::call(vec!["bump"], vec![Expr::dotted(&["hdr", "h", "a"])])]),
+        );
+        let outputs = run(&program, &[("hdr.h.a", Value::bv(41, 8))]);
+        assert_eq!(outputs.get("hdr.h.a"), Some(&Value::bv(42, 8)));
+    }
+
+    #[test]
+    fn undefined_policy_controls_uninitialised_reads() {
+        use p4_ir::{Block, Statement};
+        let program = builder::v1model_program(
+            vec![],
+            Block::new(vec![
+                Statement::Declare { name: "x".into(), ty: Type::bits(8), init: None },
+                Statement::assign(Expr::dotted(&["hdr", "h", "a"]), Expr::path("x")),
+            ]),
+        );
+        let zero = run(&program, &[]);
+        assert_eq!(zero.get("hdr.h.a"), Some(&Value::bv(0, 8)));
+        let patterned = execute_block(
+            &program,
+            "ingress",
+            &BTreeMap::new(),
+            &TableRuntime::default(),
+            ExecutionQuirks::default(),
+            UndefinedPolicy::Pattern(0xab),
+        )
+        .unwrap();
+        assert_eq!(patterned.get("hdr.h.a"), Some(&Value::bv(0xab, 8)));
+    }
+}

@@ -1,0 +1,149 @@
+//! Shared test-harness types: the STF (BMv2) and PTF (Tofino) harnesses both
+//! feed generated test cases to a target and compare observed against
+//! expected outputs (paper §6.2).
+
+use p4_symbolic::TestCase;
+use smt::Value;
+use std::collections::BTreeMap;
+
+/// One observed/expected divergence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mismatch {
+    pub field: String,
+    pub expected: Value,
+    pub actual: Value,
+    /// The path description of the test that failed.
+    pub test_path: String,
+}
+
+/// Outcome of replaying one test case on a target.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TestOutcome {
+    Pass,
+    Mismatch(Vec<Mismatch>),
+    /// The target could not execute the test (environment problem, §8); the
+    /// test is discarded rather than counted as a bug.
+    Skipped(String),
+}
+
+impl TestOutcome {
+    pub fn is_pass(&self) -> bool {
+        matches!(self, TestOutcome::Pass)
+    }
+}
+
+/// Aggregate report over a batch of tests.
+#[derive(Debug, Clone, Default)]
+pub struct TestReport {
+    pub total: usize,
+    pub passed: usize,
+    pub skipped: usize,
+    pub mismatches: Vec<Mismatch>,
+}
+
+impl TestReport {
+    pub fn found_semantic_bug(&self) -> bool {
+        !self.mismatches.is_empty()
+    }
+}
+
+/// Compares a target's observed outputs against a test's expectations.
+/// Only fields the expectation mentions are compared; `$valid` bits are
+/// compared as booleans.
+pub fn compare_outputs(test: &TestCase, observed: &BTreeMap<String, Value>) -> TestOutcome {
+    let mut mismatches = Vec::new();
+    for (field, expected) in &test.expected {
+        let Some(actual) = observed.get(field) else {
+            mismatches.push(Mismatch {
+                field: field.clone(),
+                expected: expected.clone(),
+                actual: Value::Bool(false),
+                test_path: test.path.clone(),
+            });
+            continue;
+        };
+        let equal = match (expected, actual) {
+            (Value::Bool(a), Value::Bool(b)) => a == b,
+            (a, b) => a.as_bv().resize(128) == b.as_bv().resize(128),
+        };
+        if !equal {
+            mismatches.push(Mismatch {
+                field: field.clone(),
+                expected: expected.clone(),
+                actual: actual.clone(),
+                test_path: test.path.clone(),
+            });
+        }
+    }
+    if mismatches.is_empty() {
+        TestOutcome::Pass
+    } else {
+        TestOutcome::Mismatch(mismatches)
+    }
+}
+
+/// Runs a batch of tests against a target callback and aggregates a report.
+pub fn run_batch<F>(tests: &[TestCase], mut run_one: F) -> TestReport
+where
+    F: FnMut(&TestCase) -> TestOutcome,
+{
+    let mut report = TestReport { total: tests.len(), ..TestReport::default() };
+    for test in tests {
+        match run_one(test) {
+            TestOutcome::Pass => report.passed += 1,
+            TestOutcome::Skipped(_) => report.skipped += 1,
+            TestOutcome::Mismatch(mismatches) => report.mismatches.extend(mismatches),
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_case(expected: &[(&str, Value)]) -> TestCase {
+        TestCase {
+            inputs: BTreeMap::new(),
+            table_config: BTreeMap::new(),
+            expected: expected.iter().map(|(k, v)| (k.to_string(), v.clone())).collect(),
+            path: "b0=T".into(),
+        }
+    }
+
+    #[test]
+    fn detects_differing_fields() {
+        let test = test_case(&[("hdr.h.a", Value::bv(1, 8)), ("hdr.h.b", Value::bv(2, 8))]);
+        let mut observed = BTreeMap::new();
+        observed.insert("hdr.h.a".to_string(), Value::bv(1, 8));
+        observed.insert("hdr.h.b".to_string(), Value::bv(3, 8));
+        match compare_outputs(&test, &observed) {
+            TestOutcome::Mismatch(mismatches) => {
+                assert_eq!(mismatches.len(), 1);
+                assert_eq!(mismatches[0].field, "hdr.h.b");
+            }
+            other => panic!("expected a mismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn width_differences_do_not_cause_false_mismatches() {
+        let test = test_case(&[("hdr.h.a", Value::bv(5, 8))]);
+        let mut observed = BTreeMap::new();
+        observed.insert("hdr.h.a".to_string(), Value::bv(5, 16));
+        assert!(compare_outputs(&test, &observed).is_pass());
+    }
+
+    #[test]
+    fn batch_reports_aggregate_counts() {
+        let tests = vec![test_case(&[("x", Value::bv(1, 8))]), test_case(&[("x", Value::bv(2, 8))])];
+        let report = run_batch(&tests, |test| {
+            let mut observed = BTreeMap::new();
+            observed.insert("x".to_string(), Value::bv(1, 8));
+            compare_outputs(test, &observed)
+        });
+        assert_eq!(report.total, 2);
+        assert_eq!(report.passed, 1);
+        assert!(report.found_semantic_bug());
+    }
+}

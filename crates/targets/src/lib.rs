@@ -1,0 +1,29 @@
+//! # targets — simulated P4 back ends and their test frameworks
+//!
+//! The paper evaluates Gauntlet against two production back ends: the BMv2
+//! reference software switch (tested through STF) and the proprietary
+//! Barefoot Tofino compiler (tested through PTF against the Tofino software
+//! simulator).  Neither is available here, so this crate provides
+//! behaviour-compatible stand-ins:
+//!
+//! * [`bmv2`] — an open target that executes the compiled program directly
+//!   and zero-initialises undefined values, plus an STF-style harness;
+//! * [`tofino`] — a "closed-source" back end that reuses the shared
+//!   front/mid end, enforces pipeline restrictions, hides its intermediate
+//!   representation, and exposes only a PTF-style packet interface;
+//! * [`bugs`] — the seeded back-end defect catalogue used to reproduce the
+//!   back-end rows of the paper's Tables 2 and 3;
+//! * [`concrete`] — the shared concrete execution engine (deliberately an
+//!   independent implementation from the symbolic interpreter).
+
+pub mod bmv2;
+pub mod bugs;
+pub mod concrete;
+pub mod harness;
+pub mod tofino;
+
+pub use bmv2::{run_stf, Bmv2Target};
+pub use bugs::{BackEndBugClass, Backend, ExecutionQuirks};
+pub use concrete::{execute_block, ExecError, TableRuntime, UndefinedPolicy};
+pub use harness::{compare_outputs, run_batch, Mismatch, TestOutcome, TestReport};
+pub use tofino::{run_ptf, TofinoBackend, TofinoBinary, TofinoError};

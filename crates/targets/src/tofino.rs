@@ -1,0 +1,261 @@
+//! The simulated "Tofino" back end: a closed-source, proprietary compiler
+//! stand-in (paper §6).
+//!
+//! The real Tofino compiler consumes P4C's front/mid end output and lowers
+//! it through undocumented proprietary passes; Gauntlet therefore cannot use
+//! translation validation and falls back to test-case generation against the
+//! Tofino software simulator (PTF).  This module reproduces that *access
+//! model*: `TofinoBackend::compile` runs the shared front/mid end plus
+//! back-end-specific restriction checks (and, when seeded, back-end bugs),
+//! and the resulting [`TofinoBinary`] exposes only a packet-level test
+//! interface — callers never see the transformed program.
+
+use crate::bugs::{BackEndBugClass, ExecutionQuirks};
+use crate::concrete::{execute_block, TableRuntime, UndefinedPolicy};
+use crate::harness::{compare_outputs, run_batch, TestOutcome, TestReport};
+use p4_ir::{Architecture, Expr, Program, Statement, Visitor};
+use p4_symbolic::TestCase;
+use p4c::{CompileError, Compiler};
+use std::fmt;
+
+/// Errors from the Tofino compiler.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TofinoError {
+    /// The compiler crashed (assertion violation in a back-end pass).
+    Crash { pass: String, message: String },
+    /// The compiler rejected the program with a diagnostic.
+    Rejected { message: String },
+}
+
+impl TofinoError {
+    pub fn is_crash(&self) -> bool {
+        matches!(self, TofinoError::Crash { .. })
+    }
+}
+
+impl fmt::Display for TofinoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TofinoError::Crash { pass, message } => {
+                write!(f, "tofino compiler crash in `{pass}`: {message}")
+            }
+            TofinoError::Rejected { message } => write!(f, "tofino compiler error: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for TofinoError {}
+
+/// The closed-source compiler.
+#[derive(Debug, Default)]
+pub struct TofinoBackend {
+    bug: Option<BackEndBugClass>,
+}
+
+impl TofinoBackend {
+    pub fn new() -> TofinoBackend {
+        TofinoBackend { bug: None }
+    }
+
+    /// A back end seeded with one of the Tofino bug classes.
+    pub fn with_bug(bug: BackEndBugClass) -> TofinoBackend {
+        TofinoBackend { bug: Some(bug) }
+    }
+
+    /// Compiles a program for the Tofino pipeline.  The intermediate
+    /// representation is *not* exposed; only a loadable binary comes back.
+    pub fn compile(&self, program: &Program) -> Result<TofinoBinary, TofinoError> {
+        // Shared front/mid end (the real back end links against P4C).
+        let front_end = Compiler::reference();
+        let result = front_end.compile(program).map_err(|error| match error {
+            CompileError::Crash { pass, message, .. } => TofinoError::Crash { pass, message },
+            CompileError::Rejected { pass, diagnostics } => TofinoError::Rejected {
+                message: format!("{pass}: {}", diagnostics.join("; ")),
+            },
+        })?;
+        let lowered = result.program;
+
+        // Back-end restriction checks.
+        let restrictions = Architecture::by_name(&lowered.architecture)
+            .map(|a| a.restrictions)
+            .unwrap_or_default();
+        let mut scan = BackendScan::default();
+        scan.visit_program(&lowered);
+        if scan.has_multiplication && !restrictions.allows_multiplication {
+            return Err(TofinoError::Rejected {
+                message: "multiplication is not supported by the match-action pipeline".into(),
+            });
+        }
+        if let Some(width) = scan.widest_operand.filter(|w| *w > restrictions.max_operand_width) {
+            return Err(TofinoError::Rejected {
+                message: format!("operand width {width} exceeds the pipeline's ALU width"),
+            });
+        }
+        // Seeded back-end crash: the slice-lowering pass blows an assertion.
+        if self.bug == Some(BackEndBugClass::TofinoSliceLoweringCrash) && scan.has_slice_assignment {
+            return Err(TofinoError::Crash {
+                pass: "TofinoSliceLowering".into(),
+                message: "assertion failed: unexpected slice l-value after lowering".into(),
+            });
+        }
+        Ok(TofinoBinary { program: lowered, quirks: ExecutionQuirks::for_bug(self.bug) })
+    }
+}
+
+/// A compiled Tofino image loaded into the software simulator.  The
+/// transformed program is private: callers interact through packets only.
+#[derive(Debug, Clone)]
+pub struct TofinoBinary {
+    program: Program,
+    quirks: ExecutionQuirks,
+}
+
+impl TofinoBinary {
+    /// Replays one PTF test case on the simulator.
+    pub fn run_test(&self, test: &TestCase) -> TestOutcome {
+        let tables = TableRuntime::new(test.table_config.clone());
+        match execute_block(
+            &self.program,
+            "ingress",
+            &test.inputs,
+            &tables,
+            self.quirks,
+            UndefinedPolicy::Zero,
+        ) {
+            Ok(observed) => compare_outputs(test, &observed),
+            Err(error) => TestOutcome::Skipped(error.to_string()),
+        }
+    }
+}
+
+/// The PTF harness: replay a batch of generated tests against the simulator.
+pub fn run_ptf(binary: &TofinoBinary, tests: &[TestCase]) -> TestReport {
+    run_batch(tests, |test| binary.run_test(test))
+}
+
+/// Structural facts the back end checks before accepting a program.
+#[derive(Debug, Default)]
+struct BackendScan {
+    has_multiplication: bool,
+    has_slice_assignment: bool,
+    widest_operand: Option<u32>,
+}
+
+impl Visitor for BackendScan {
+    fn visit_statement(&mut self, stmt: &Statement) {
+        if let Statement::Assign { lhs: Expr::Slice { .. }, .. } = stmt {
+            self.has_slice_assignment = true;
+        }
+        p4_ir::visit::walk_statement(self, stmt);
+    }
+
+    fn visit_expr(&mut self, expr: &Expr) {
+        match expr {
+            Expr::Binary { op, .. } if *op == p4_ir::BinOp::Mul => self.has_multiplication = true,
+            Expr::Int { width: Some(width), .. } => {
+                self.widest_operand = Some(self.widest_operand.unwrap_or(0).max(*width));
+            }
+            Expr::Cast { ty, .. } => {
+                if let Some(width) = ty.width() {
+                    self.widest_operand = Some(self.widest_operand.unwrap_or(0).max(width));
+                }
+            }
+            _ => {}
+        }
+        p4_ir::visit::walk_expr(self, expr);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p4_ir::builder;
+    use p4_symbolic::{generate_tests, TestGenOptions};
+
+    fn tna_test_program() -> Program {
+        use p4_ir::{BinOp, Block, Statement};
+        builder::tna_program(
+            vec![],
+            Block::new(vec![
+                Statement::assign(
+                    Expr::dotted(&["hdr", "h", "a"]),
+                    Expr::binary(
+                        BinOp::SatAdd,
+                        Expr::dotted(&["hdr", "h", "b"]),
+                        Expr::uint(255, 8),
+                    ),
+                ),
+                Statement::Exit,
+                Statement::assign(Expr::dotted(&["hdr", "h", "c"]), Expr::uint(9, 8)),
+            ]),
+        )
+    }
+
+    fn tna_testgen_options() -> TestGenOptions {
+        TestGenOptions { block: "ingress".into(), ..TestGenOptions::default() }
+    }
+
+    #[test]
+    fn correct_backend_passes_generated_tests() {
+        let program = tna_test_program();
+        let tests = generate_tests(&program, &tna_testgen_options()).unwrap();
+        let binary = TofinoBackend::new().compile(&program).expect("compiles");
+        let report = run_ptf(&binary, &tests);
+        assert_eq!(report.passed, report.total, "mismatches: {:#?}", report.mismatches);
+    }
+
+    #[test]
+    fn saturation_bug_is_detected_by_ptf_tests() {
+        let program = tna_test_program();
+        let tests = generate_tests(&program, &tna_testgen_options()).unwrap();
+        let binary = TofinoBackend::with_bug(BackEndBugClass::TofinoSaturationWraps)
+            .compile(&program)
+            .expect("compiles");
+        let report = run_ptf(&binary, &tests);
+        assert!(report.found_semantic_bug());
+    }
+
+    #[test]
+    fn exit_bug_is_detected_by_ptf_tests() {
+        let program = tna_test_program();
+        let tests = generate_tests(&program, &tna_testgen_options()).unwrap();
+        let binary = TofinoBackend::with_bug(BackEndBugClass::TofinoExitIgnored)
+            .compile(&program)
+            .expect("compiles");
+        assert!(run_ptf(&binary, &tests).found_semantic_bug());
+    }
+
+    #[test]
+    fn slice_lowering_bug_crashes_the_backend() {
+        use p4_ir::{Block, Statement};
+        let program = builder::tna_program(
+            vec![],
+            Block::new(vec![Statement::Assign {
+                lhs: Expr::slice(Expr::dotted(&["hdr", "h", "a"]), 3, 0),
+                rhs: Expr::uint(1, 4),
+            }]),
+        );
+        assert!(TofinoBackend::new().compile(&program).is_ok());
+        match TofinoBackend::with_bug(BackEndBugClass::TofinoSliceLoweringCrash).compile(&program) {
+            Err(error) => assert!(error.is_crash()),
+            Ok(_) => panic!("seeded crash must fire"),
+        }
+    }
+
+    #[test]
+    fn restriction_violations_are_proper_rejections() {
+        use p4_ir::{BinOp, Block, Statement};
+        // Multiplication is not supported on the TNA model.
+        let program = builder::tna_program(
+            vec![],
+            Block::new(vec![Statement::assign(
+                Expr::dotted(&["hdr", "h", "a"]),
+                Expr::binary(BinOp::Mul, Expr::dotted(&["hdr", "h", "b"]), Expr::dotted(&["hdr", "h", "c"])),
+            )]),
+        );
+        match TofinoBackend::new().compile(&program) {
+            Err(TofinoError::Rejected { message }) => assert!(message.contains("multiplication")),
+            other => panic!("expected a rejection, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,22 @@
+//! Full bug-finding campaign: regenerates the shape of the paper's Tables 2
+//! and 3 from the seeded-bug catalogue.
+//!
+//! Run with `cargo run --release --example bug_campaign [random_programs_per_bug]`.
+
+use gauntlet_core::{render_detection_matrix, render_table2, render_table3, run_campaign, CampaignConfig};
+
+fn main() {
+    let random_programs_per_bug: usize =
+        std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(2);
+    let config = CampaignConfig { random_programs_per_bug, ..CampaignConfig::default() };
+    println!(
+        "running campaign: {} seeded bug classes, {} random program(s) per class ...",
+        gauntlet_core::SeededBug::catalogue().len(),
+        config.random_programs_per_bug
+    );
+    let report = run_campaign(&config);
+    println!();
+    println!("{}", render_table2(&report));
+    println!("{}", render_table3(&report));
+    println!("{}", render_detection_matrix(&report));
+}

@@ -1,0 +1,132 @@
+//! End-to-end integration tests spanning every crate in the workspace:
+//! generator → compiler → translation validation → test generation → targets.
+
+use gauntlet_core::{BugKind, Gauntlet, SeededBug};
+use p4_gen::{GeneratorConfig, RandomProgramGenerator};
+use p4c::{Compiler, FrontEndBugClass};
+
+/// Random programs compiled by the *correct* compiler must never trigger a
+/// report: no crashes, no rejections, no semantic differences.  This is the
+/// "false alarm" discipline the paper describes in §5.2 — a report on a
+/// correct compiler would be a bug in our interpreter or validator.
+#[test]
+fn random_programs_produce_no_false_alarms_on_the_reference_compiler() {
+    let gauntlet = Gauntlet::default();
+    let compiler = Compiler::reference();
+    for seed in 0..8 {
+        let mut generator = RandomProgramGenerator::new(GeneratorConfig::tiny(), seed);
+        let program = generator.generate();
+        let outcome = gauntlet.check_open_compiler(&compiler, &program);
+        let real: Vec<_> = outcome
+            .reports
+            .iter()
+            .filter(|r| !matches!(r.kind, BugKind::InvalidTransformation))
+            .collect();
+        assert!(
+            real.is_empty(),
+            "seed {seed}: false alarm on the reference compiler: {real:#?}\n{}",
+            p4_ir::print_program(&program)
+        );
+    }
+}
+
+/// Every Figure-5-style seeded bug class is detected by its trigger program
+/// using the technique appropriate to its platform.
+#[test]
+fn every_seeded_bug_class_is_detected_by_its_trigger_program() {
+    let gauntlet = Gauntlet::default();
+    for bug in SeededBug::catalogue() {
+        let program = bug.trigger_program();
+        let reports = match bug.platform() {
+            gauntlet_core::Platform::P4c => {
+                gauntlet.check_open_compiler(&bug.build_compiler(), &program).reports
+            }
+            gauntlet_core::Platform::Bmv2 => {
+                gauntlet.check_bmv2(&bug.build_compiler(), &program, bug.backend_bug()).reports
+            }
+            gauntlet_core::Platform::Tofino => {
+                let backend = match bug.backend_bug() {
+                    Some(b) => targets::TofinoBackend::with_bug(b),
+                    None => targets::TofinoBackend::new(),
+                };
+                gauntlet.check_tofino(&backend, &program).reports
+            }
+        };
+        assert!(!reports.is_empty(), "{} was not detected by its trigger program", bug.name());
+        // Crash classes produce crash-like reports; semantic classes produce
+        // semantic reports.
+        if bug.is_crash_class() {
+            assert!(
+                reports.iter().any(|r| r.kind.is_crash_like()),
+                "{}: expected a crash-like report, got {reports:#?}",
+                bug.name()
+            );
+        } else {
+            assert!(
+                reports.iter().any(|r| r.kind == BugKind::Semantic),
+                "{}: expected a semantic report, got {reports:#?}",
+                bug.name()
+            );
+        }
+    }
+}
+
+/// Semantic bugs found by translation validation are attributed to the pass
+/// that was seeded (the paper's "pinpoint the erroneous pass" property).
+#[test]
+fn translation_validation_pinpoints_the_seeded_pass() {
+    let gauntlet = Gauntlet::default();
+    let cases = [
+        (FrontEndBugClass::DefUseDropsParameterWrites, "SimplifyDefUse"),
+        (FrontEndBugClass::ExitSkipsCopyOut, "RemoveActionParameters"),
+        (FrontEndBugClass::PredicationSwapsBranches, "Predication"),
+        (FrontEndBugClass::ConstantFoldingNoWraparound, "ConstantFolding"),
+    ];
+    for (class, expected_pass) in cases {
+        let bug = SeededBug::FrontEnd(class);
+        let outcome = gauntlet.check_open_compiler(&bug.build_compiler(), &bug.trigger_program());
+        let pass = outcome
+            .reports
+            .iter()
+            .find(|r| r.kind == BugKind::Semantic)
+            .and_then(|r| r.pass.clone())
+            .unwrap_or_else(|| panic!("{class:?}: no semantic report"));
+        assert_eq!(pass, expected_pass, "{class:?} attributed to the wrong pass");
+    }
+}
+
+/// The intermediate program emitted after every pass re-parses and prints
+/// back to the identical text (the "invalid transformation" invariant).
+#[test]
+fn every_emitted_intermediate_program_reparses() {
+    let compiler = Compiler::reference();
+    for seed in 20..26 {
+        let mut generator = RandomProgramGenerator::new(GeneratorConfig::tiny(), seed);
+        let program = generator.generate();
+        let result = compiler.compile(&program).expect("reference compiler accepts the program");
+        for snapshot in &result.snapshots {
+            let reparsed = p4_parser::parse_program(&snapshot.printed).unwrap_or_else(|e| {
+                panic!("seed {seed}, pass {}: emitted program no longer parses: {e}", snapshot.pass_name)
+            });
+            assert_eq!(
+                p4_ir::print_program(&reparsed),
+                snapshot.printed,
+                "seed {seed}, pass {}: print/parse round-trip diverges",
+                snapshot.pass_name
+            );
+        }
+    }
+}
+
+/// Crash bugs carry the offending pass name so they can be de-duplicated per
+/// assertion message, as the paper does with P4C's assert messages.
+#[test]
+fn crash_reports_identify_the_crashing_pass() {
+    let gauntlet = Gauntlet::default();
+    let bug = SeededBug::FrontEnd(FrontEndBugClass::TypeInferenceShiftCrash);
+    let outcome = gauntlet.check_open_compiler(&bug.build_compiler(), &bug.trigger_program());
+    let report = outcome.reports.first().expect("crash detected");
+    assert!(report.kind.is_crash_like());
+    assert_eq!(report.pass.as_deref(), Some("ConstantFolding"));
+    assert!(report.message.contains("width") || !report.message.is_empty());
+}
