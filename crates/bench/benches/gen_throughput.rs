@@ -1,11 +1,16 @@
-//! Experiment §5.2 — random-program generation throughput.  The paper
-//! reports generating roughly 10 000 programs per week of wall-clock
-//! campaign time (dominated by compilation and validation, not generation);
-//! this bench measures raw generator throughput and the end-to-end
-//! per-program cost of the full local pipeline.
+//! Experiment §5.2 — campaign throughput (programs checked per second).
+//!
+//! The paper reports generating roughly 10 000 programs per week of
+//! wall-clock campaign time (dominated by compilation and validation, not
+//! generation).  This bench measures raw generator throughput, the
+//! end-to-end per-program cost of the full local pipeline, and — the
+//! headline numbers — the parallel campaign engine's throughput scaling
+//! across `--jobs` and the speedup from incremental solver reuse.
+//!
+//! Run with `cargo bench --bench gen_throughput`.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use gauntlet_core::Gauntlet;
+use gauntlet_core::{Gauntlet, HuntConfig, ParallelCampaign};
 use p4_gen::{GeneratorConfig, RandomProgramGenerator};
 use p4c::Compiler;
 
@@ -45,5 +50,68 @@ fn bench_generation(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_generation);
+/// The campaign-engine comparison: throughput at increasing `--jobs`, and
+/// incremental vs from-scratch validation.  Printed as a table so the
+/// reproduction guide can quote it directly.
+fn campaign_scaling(_c: &mut Criterion) {
+    const SEEDS: usize = 200;
+    let base = HuntConfig {
+        seed_start: 0,
+        seed_count: SEEDS,
+        generator: GeneratorConfig::tiny(),
+        ..HuntConfig::default()
+    };
+
+    println!();
+    println!("campaign throughput over {SEEDS} generated programs (reference compiler):");
+    let mut baseline = None;
+    let mut reference_render = None;
+    for jobs in [1usize, 2, 4] {
+        let config = HuntConfig { jobs, ..base.clone() };
+        let report = ParallelCampaign::new(config).run(Compiler::reference);
+        let throughput = report.throughput();
+        let speedup = baseline.map(|b: f64| throughput / b).unwrap_or(1.0);
+        baseline.get_or_insert(throughput);
+        println!(
+            "  --jobs {jobs}: {:>8.1} programs/s  ({:>6.2}x vs --jobs 1, {:?} wall clock)",
+            throughput,
+            speedup,
+            report.elapsed
+        );
+        // The determinism contract: every jobs setting commits the identical
+        // report.
+        match &reference_render {
+            None => reference_render = Some(report.render()),
+            Some(expected) => assert_eq!(
+                expected,
+                &report.render(),
+                "bug reports must be byte-identical across --jobs"
+            ),
+        }
+    }
+
+    println!();
+    println!("incremental validation-chain reuse (--jobs 1, same {SEEDS} programs):");
+    let fresh = ParallelCampaign::new(HuntConfig { incremental: false, ..base.clone() })
+        .run(Compiler::reference);
+    let incremental = ParallelCampaign::new(base).run(Compiler::reference);
+    assert_eq!(
+        fresh.render(),
+        incremental.render(),
+        "incremental and from-scratch validation must agree"
+    );
+    println!(
+        "  from-scratch: {:>8.1} programs/s  ({:?})",
+        fresh.throughput(),
+        fresh.elapsed
+    );
+    println!(
+        "  incremental:  {:>8.1} programs/s  ({:?}, {:.2}x)",
+        incremental.throughput(),
+        incremental.elapsed,
+        incremental.throughput() / fresh.throughput().max(f64::MIN_POSITIVE)
+    );
+}
+
+criterion_group!(benches, bench_generation, campaign_scaling);
 criterion_main!(benches);

@@ -67,6 +67,47 @@ fn bench_solver(c: &mut Criterion) {
             stats.conflicts
         );
     }
+
+    // Incremental chain reuse: a Gauntlet pass chain issues a *sequence* of
+    // queries over heavily shared terms.  Compare one long-lived solver
+    // (assumption-based checks over a shared hash-consing manager, as
+    // `ValidationSession` does) against a fresh solver per query.
+    println!();
+    println!("incremental chain reuse ({CHAIN} chained queries, width 16, depth 4):");
+    let tm = TermManager::new();
+    let x = tm.var("x", Sort::BitVec(16));
+    const CHAIN: usize = 24;
+    // Build a chain e_0, e_1, ..., where e_{i+1} shares e_i as a subterm —
+    // the shape translation validation produces across adjacent snapshots.
+    let mut chain: Vec<TermRef> = vec![x.clone()];
+    for i in 0..CHAIN {
+        let k = tm.bv_const(i as u128 + 1, 16);
+        let previous = chain.last().expect("chain is non-empty").clone();
+        chain.push(tm.bv_xor(tm.bv_add(previous, k.clone()), k));
+    }
+    let queries: Vec<TermRef> =
+        chain.windows(2).map(|w| tm.neq(w[0].clone(), w[1].clone())).collect();
+
+    let start = std::time::Instant::now();
+    for query in &queries {
+        let mut solver = Solver::new();
+        assert!(solver.check_with(std::slice::from_ref(query)).is_sat());
+    }
+    let fresh_elapsed = start.elapsed();
+
+    let start = std::time::Instant::now();
+    let mut solver = Solver::new();
+    let mut memo_hits = 0usize;
+    for query in &queries {
+        assert!(solver.check_with(std::slice::from_ref(query)).is_sat());
+        memo_hits += solver.stats().memo_hits;
+    }
+    let incremental_elapsed = start.elapsed();
+    println!("  fresh solver per query: {fresh_elapsed:>10.1?}");
+    println!(
+        "  one incremental solver: {incremental_elapsed:>10.1?}  ({:.2}x, {memo_hits} memoised subterms)",
+        fresh_elapsed.as_secs_f64() / incremental_elapsed.as_secs_f64().max(f64::MIN_POSITIVE)
+    );
 }
 
 criterion_group!(benches, bench_solver);

@@ -1,13 +1,20 @@
-//! The evaluation campaign: the code that regenerates the paper's Tables 2
-//! and 3.
+//! The evaluation campaign layer: the seeded-bug table campaign that
+//! regenerates the paper's Tables 2 and 3, and the parallel bug-hunting
+//! engine ([`ParallelCampaign`]) that drives raw programs-per-second
+//! throughput.
 //!
-//! For every seeded bug class the campaign runs Gauntlet over the class's
-//! Figure-5-style trigger program plus a configurable number of random
-//! programs, using the technique appropriate to the platform (translation
-//! validation for the open P4C pipeline, STF/PTF test replay for the BMv2
-//! and Tofino back ends).  Distinct findings are collected in a
-//! [`BugDatabase`]; the report aggregates them into the same rows the paper
-//! reports.
+//! For every seeded bug class the table campaign runs Gauntlet over the
+//! class's Figure-5-style trigger program plus a configurable number of
+//! random programs, using the technique appropriate to the platform
+//! (translation validation for the open P4C pipeline, STF/PTF test replay
+//! for the BMv2 and Tofino back ends).  Distinct findings are collected in
+//! a [`BugDatabase`]; the report aggregates them into the same rows the
+//! paper reports.
+//!
+//! Both campaigns shard work across `jobs` worker threads.  Every unit of
+//! work derives its randomness from its own seed (never from a shared
+//! stream) and results are committed in task order, so the output is
+//! byte-identical regardless of thread count or schedule.
 
 use crate::bugs::{BugDatabase, BugKind, BugReport, CompilerArea, Platform};
 use crate::inject::SeededBug;
@@ -16,6 +23,9 @@ use p4_gen::{GeneratorConfig, RandomProgramGenerator};
 use p4_ir::Program;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Mutex};
+use std::time::Duration;
 
 /// Campaign configuration.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -30,6 +40,9 @@ pub struct CampaignConfig {
     /// Also run every random program through the *correct* compiler and
     /// targets, to measure the false-alarm rate (it must be zero).
     pub check_false_alarms: bool,
+    /// Worker threads to shard the bug classes across (1 = sequential).
+    /// The report is identical for every value.
+    pub jobs: usize,
 }
 
 impl Default for CampaignConfig {
@@ -39,6 +52,7 @@ impl Default for CampaignConfig {
             seed: 0xC0FFEE,
             max_tests: 8,
             check_false_alarms: true,
+            jobs: 1,
         }
     }
 }
@@ -83,53 +97,105 @@ impl CampaignReport {
     }
 }
 
-/// Runs the full campaign.
-pub fn run_campaign(config: &CampaignConfig) -> CampaignReport {
-    let gauntlet = Gauntlet::new(GauntletOptions { max_tests: config.max_tests });
-    let mut database = BugDatabase::new();
-    let mut outcomes = Vec::new();
+/// Everything one seeded bug class contributes to the campaign report.
+struct ClassResult {
+    outcome: SeededBugOutcome,
+    reports: Vec<BugReport>,
+    false_alarms: usize,
+}
+
+/// Runs Gauntlet over one bug class: the trigger program plus the
+/// configured number of random programs, all derived from the class's own
+/// seed (so the result is independent of which worker runs it).
+fn run_bug_class(config: &CampaignConfig, bug_index: usize, bug: SeededBug) -> ClassResult {
+    let gauntlet = Gauntlet::new(GauntletOptions {
+        max_tests: config.max_tests,
+        ..GauntletOptions::default()
+    });
+    let mut programs: Vec<Program> = vec![bug.trigger_program()];
+    let generator_config = match bug.architecture() {
+        "tna" => GeneratorConfig::tofino(),
+        _ => GeneratorConfig::default(),
+    };
+    let mut generator = RandomProgramGenerator::new(
+        generator_config,
+        config.seed.wrapping_add(bug_index as u64 * 1009),
+    );
+    for _ in 0..config.random_programs_per_bug {
+        programs.push(generator.generate());
+    }
+
+    let mut detecting_programs = 0usize;
     let mut false_alarms = 0usize;
-
-    for (bug_index, bug) in SeededBug::catalogue().into_iter().enumerate() {
-        let mut programs: Vec<Program> = vec![bug.trigger_program()];
-        let generator_config = match bug.architecture() {
-            "tna" => GeneratorConfig::tofino(),
-            _ => GeneratorConfig::default(),
-        };
-        let mut generator = RandomProgramGenerator::new(
-            generator_config,
-            config.seed.wrapping_add(bug_index as u64 * 1009),
-        );
-        for _ in 0..config.random_programs_per_bug {
-            programs.push(generator.generate());
+    let mut reports: Vec<BugReport> = Vec::new();
+    for program in &programs {
+        let outcome = run_one(&gauntlet, bug, program);
+        if !outcome.is_empty() {
+            detecting_programs += 1;
         }
+        reports.extend(outcome);
 
-        let mut detecting_programs = 0usize;
-        let mut class_reports: Vec<BugReport> = Vec::new();
-        for program in &programs {
-            let outcome = run_one(&gauntlet, bug, program);
-            if !outcome.is_empty() {
-                detecting_programs += 1;
-            }
-            class_reports.extend(outcome);
-
-            if config.check_false_alarms {
-                false_alarms += count_false_alarms(&gauntlet, bug, program);
-            }
+        if config.check_false_alarms {
+            false_alarms += count_false_alarms(&gauntlet, bug, program);
         }
-        let detected = !class_reports.is_empty();
-        for report in class_reports {
-            database.record(report);
-        }
-        outcomes.push(SeededBugOutcome {
+    }
+    ClassResult {
+        outcome: SeededBugOutcome {
             bug: bug.name(),
             platform: bug.platform(),
             area: bug.area(),
             crash_class: bug.is_crash_class(),
-            detected,
+            detected: !reports.is_empty(),
             detecting_programs,
             programs_run: programs.len(),
+        },
+        reports,
+        false_alarms,
+    }
+}
+
+/// Runs the full campaign, sharding bug classes across `config.jobs`
+/// worker threads.  Results are aggregated in class order, so the report is
+/// identical for every thread count.
+pub fn run_campaign(config: &CampaignConfig) -> CampaignReport {
+    let catalogue = SeededBug::catalogue();
+    let mut results: Vec<(usize, ClassResult)> = if config.jobs <= 1 {
+        catalogue
+            .into_iter()
+            .enumerate()
+            .map(|(index, bug)| (index, run_bug_class(config, index, bug)))
+            .collect()
+    } else {
+        let next = AtomicUsize::new(0);
+        let (sender, receiver) = mpsc::channel::<(usize, ClassResult)>();
+        std::thread::scope(|scope| {
+            for _ in 0..config.jobs.min(catalogue.len()).max(1) {
+                let sender = sender.clone();
+                let next = &next;
+                let catalogue = &catalogue;
+                scope.spawn(move || loop {
+                    let index = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(&bug) = catalogue.get(index) else { break };
+                    if sender.send((index, run_bug_class(config, index, bug))).is_err() {
+                        break;
+                    }
+                });
+            }
         });
+        drop(sender);
+        receiver.into_iter().collect()
+    };
+    results.sort_by_key(|(index, _)| *index);
+
+    let mut database = BugDatabase::new();
+    let mut outcomes = Vec::new();
+    let mut false_alarms = 0usize;
+    for (_, class) in results {
+        for report in class.reports {
+            database.record(report);
+        }
+        false_alarms += class.false_alarms;
+        outcomes.push(class.outcome);
     }
 
     let mut by_platform = BTreeMap::new();
@@ -187,6 +253,233 @@ fn count_false_alarms(gauntlet: &Gauntlet, bug: SeededBug, program: &Program) ->
         .count()
 }
 
+// ---------------------------------------------------------------------------
+// The parallel bug-hunting engine.
+// ---------------------------------------------------------------------------
+
+/// Configuration of a [`ParallelCampaign`] hunt over a contiguous seed range.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HuntConfig {
+    /// Worker threads (`--jobs N`).  1 = sequential.  Output is identical
+    /// for every value.
+    pub jobs: usize,
+    /// First seed of the range.
+    pub seed_start: u64,
+    /// Number of seeds (one generated program per seed).
+    pub seed_count: usize,
+    /// Program-generator configuration used for every seed.
+    pub generator: GeneratorConfig,
+    /// Stop early once this many bug reports have been committed.  Early
+    /// stop is deterministic: results commit strictly in seed order, so the
+    /// stopping point does not depend on the schedule (workers may *process*
+    /// a few extra seeds past it, but never commit them).
+    pub bug_quota: Option<usize>,
+    /// Validate pass chains incrementally (see
+    /// [`GauntletOptions::incremental`]).
+    pub incremental: bool,
+}
+
+impl Default for HuntConfig {
+    fn default() -> Self {
+        HuntConfig {
+            jobs: 1,
+            seed_start: 0,
+            seed_count: 100,
+            generator: GeneratorConfig::tiny(),
+            bug_quota: None,
+            incremental: true,
+        }
+    }
+}
+
+/// The findings one seed contributed (clean seeds are not recorded).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SeedOutcome {
+    pub seed: u64,
+    pub reports: Vec<BugReport>,
+}
+
+/// The result of a [`ParallelCampaign`] run.
+///
+/// `outcomes`, `programs_checked`, and `total_bugs` are deterministic
+/// functions of the configuration; `elapsed` and `per_worker` describe the
+/// particular run.
+#[derive(Debug, Clone)]
+pub struct HuntReport {
+    /// Seeds whose program exposed at least one bug, in ascending seed
+    /// order.
+    pub outcomes: Vec<SeedOutcome>,
+    /// Programs committed (equals the seed count unless a quota stopped the
+    /// hunt early).
+    pub programs_checked: usize,
+    /// Total committed bug reports.
+    pub total_bugs: usize,
+    /// Wall-clock duration of the hunt.
+    pub elapsed: Duration,
+    /// Programs processed per worker (schedule-dependent; sums to at least
+    /// `programs_checked`).
+    pub per_worker: Vec<usize>,
+}
+
+impl HuntReport {
+    /// End-to-end throughput in programs per second.
+    pub fn throughput(&self) -> f64 {
+        if self.elapsed.is_zero() {
+            0.0
+        } else {
+            self.programs_checked as f64 / self.elapsed.as_secs_f64()
+        }
+    }
+
+    /// Renders the deterministic portion of the report: one block per
+    /// bug-exposing seed.  Byte-identical across `jobs` settings.
+    pub fn render(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "programs checked: {}, seeds with bugs: {}, bug reports: {}",
+            self.programs_checked,
+            self.outcomes.len(),
+            self.total_bugs
+        );
+        for outcome in &self.outcomes {
+            let _ = writeln!(out, "seed {}:", outcome.seed);
+            for report in &outcome.reports {
+                let _ = writeln!(
+                    out,
+                    "  [{:?}/{}/{}] pass {}: {}",
+                    report.kind,
+                    report.platform,
+                    report.area,
+                    report.pass.as_deref().unwrap_or("-"),
+                    report.message.lines().next().unwrap_or("")
+                );
+            }
+        }
+        out
+    }
+}
+
+/// Commit state shared by the hunt workers: results enter `pending` in any
+/// order and are committed strictly in task order, which makes early stop
+/// (and therefore the whole report) schedule-independent.
+struct HuntCommit {
+    pending: BTreeMap<usize, Vec<BugReport>>,
+    next: usize,
+    committed: Vec<SeedOutcome>,
+    programs_checked: usize,
+    bugs: usize,
+    stopped: bool,
+}
+
+/// A work-sharing campaign over a seed range: each seed deterministically
+/// generates one program (its RNG is seeded by the seed alone, never by a
+/// shared stream) which is compiled and checked with the full open-compiler
+/// pipeline — crash detection, rejection detection, and per-pass
+/// translation validation.
+///
+/// Scheduling is self-balancing: workers claim the next unclaimed seed from
+/// a shared counter, so a slow program never stalls the other workers
+/// (work-stealing by work-sharing — the queue is the integer range).
+pub struct ParallelCampaign {
+    config: HuntConfig,
+}
+
+impl ParallelCampaign {
+    pub fn new(config: HuntConfig) -> ParallelCampaign {
+        ParallelCampaign { config }
+    }
+
+    pub fn config(&self) -> &HuntConfig {
+        &self.config
+    }
+
+    /// Runs the hunt against compilers built by `factory` (each worker
+    /// builds its own instance, so the compiler need not be `Sync`).
+    pub fn run<F>(&self, factory: F) -> HuntReport
+    where
+        F: Fn() -> p4c::Compiler + Send + Sync,
+    {
+        let config = &self.config;
+        let jobs = config.jobs.max(1);
+        let start = std::time::Instant::now();
+        let next_task = AtomicUsize::new(0);
+        let commit = Mutex::new(HuntCommit {
+            pending: BTreeMap::new(),
+            next: 0,
+            committed: Vec::new(),
+            programs_checked: 0,
+            bugs: 0,
+            stopped: false,
+        });
+        let processed_counts = Mutex::new(vec![0usize; jobs]);
+
+        std::thread::scope(|scope| {
+            for worker in 0..jobs {
+                let factory = &factory;
+                let next_task = &next_task;
+                let commit = &commit;
+                let processed_counts = &processed_counts;
+                scope.spawn(move || {
+                    let gauntlet = Gauntlet::new(GauntletOptions {
+                        incremental: config.incremental,
+                        ..GauntletOptions::default()
+                    });
+                    let compiler = factory();
+                    let mut processed = 0usize;
+                    loop {
+                        if commit.lock().expect("hunt lock").stopped {
+                            break;
+                        }
+                        let index = next_task.fetch_add(1, Ordering::Relaxed);
+                        if index >= config.seed_count {
+                            break;
+                        }
+                        let seed = config.seed_start + index as u64;
+                        let mut generator =
+                            RandomProgramGenerator::new(config.generator.clone(), seed);
+                        let program = generator.generate();
+                        let outcome = gauntlet.check_open_compiler(&compiler, &program);
+                        processed += 1;
+
+                        let mut state = commit.lock().expect("hunt lock");
+                        state.pending.insert(index, outcome.reports);
+                        while !state.stopped {
+                            let commit_index = state.next;
+                            let Some(reports) = state.pending.remove(&commit_index) else { break };
+                            let committed_seed = config.seed_start + state.next as u64;
+                            state.next += 1;
+                            state.programs_checked += 1;
+                            if !reports.is_empty() {
+                                state.bugs += reports.len();
+                                state
+                                    .committed
+                                    .push(SeedOutcome { seed: committed_seed, reports });
+                            }
+                            if let Some(quota) = config.bug_quota {
+                                if state.bugs >= quota {
+                                    state.stopped = true;
+                                }
+                            }
+                        }
+                    }
+                    processed_counts.lock().expect("count lock")[worker] = processed;
+                });
+            }
+        });
+
+        let state = commit.into_inner().expect("hunt lock");
+        HuntReport {
+            outcomes: state.committed,
+            programs_checked: state.programs_checked,
+            total_bugs: state.bugs,
+            elapsed: start.elapsed(),
+            per_worker: processed_counts.into_inner().expect("count lock"),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -216,5 +509,90 @@ mod tests {
         // Table 3 shape: front end ≥ mid end, and back end bugs exist.
         assert!(report.area_count(CompilerArea::FrontEnd) >= report.area_count(CompilerArea::MidEnd));
         assert!(report.area_count(CompilerArea::BackEnd) >= 3);
+    }
+
+    /// The table campaign must produce the identical report when sharded
+    /// across threads.
+    #[test]
+    fn table_campaign_report_is_independent_of_jobs() {
+        let base = CampaignConfig {
+            random_programs_per_bug: 0,
+            check_false_alarms: false,
+            ..CampaignConfig::default()
+        };
+        let sequential = run_campaign(&CampaignConfig { jobs: 1, ..base.clone() });
+        let parallel = run_campaign(&CampaignConfig { jobs: 4, ..base });
+        assert_eq!(
+            format!("{:?}", sequential.outcomes),
+            format!("{:?}", parallel.outcomes)
+        );
+        assert_eq!(sequential.by_platform, parallel.by_platform);
+        assert_eq!(sequential.by_area, parallel.by_area);
+        assert_eq!(sequential.total_detected, parallel.total_detected);
+    }
+
+    /// Core determinism claim of the parallel engine: the same seed range
+    /// produces byte-identical bug reports at `--jobs 1` and `--jobs 4`.
+    #[test]
+    fn hunt_reports_are_byte_identical_across_jobs() {
+        // Hunt a seeded-buggy compiler so the reports are non-empty.
+        let factory = || {
+            let bug = SeededBug::catalogue()
+                .into_iter()
+                .find(|b| b.platform() == Platform::P4c && !b.is_crash_class())
+                .expect("catalogue has a P4C semantic bug");
+            bug.build_compiler()
+        };
+        let base = HuntConfig { seed_start: 0, seed_count: 40, ..HuntConfig::default() };
+        let sequential =
+            ParallelCampaign::new(HuntConfig { jobs: 1, ..base.clone() }).run(factory);
+        let parallel = ParallelCampaign::new(HuntConfig { jobs: 4, ..base }).run(factory);
+        assert_eq!(sequential.render(), parallel.render());
+        assert_eq!(sequential.programs_checked, 40);
+        assert!(
+            sequential.total_bugs > 0,
+            "a buggy compiler hunted over 40 programs should be caught at least once"
+        );
+    }
+
+    /// Deterministic early stop: the quota cuts the commit sequence at the
+    /// same seed regardless of thread count.
+    #[test]
+    fn hunt_quota_early_stop_is_deterministic() {
+        let factory = || {
+            let bug = SeededBug::catalogue()
+                .into_iter()
+                .find(|b| b.platform() == Platform::P4c && !b.is_crash_class())
+                .expect("catalogue has a P4C semantic bug");
+            bug.build_compiler()
+        };
+        let base = HuntConfig {
+            seed_start: 0,
+            seed_count: 60,
+            bug_quota: Some(2),
+            ..HuntConfig::default()
+        };
+        let sequential =
+            ParallelCampaign::new(HuntConfig { jobs: 1, ..base.clone() }).run(factory);
+        let parallel = ParallelCampaign::new(HuntConfig { jobs: 3, ..base }).run(factory);
+        assert_eq!(sequential.render(), parallel.render());
+        assert!(sequential.total_bugs >= 2);
+        assert!(sequential.programs_checked <= 60);
+    }
+
+    /// The hunt must stay silent on the reference compiler (no false
+    /// alarms), mirroring the paper's §5.2 discipline.
+    #[test]
+    fn hunt_on_the_reference_compiler_finds_nothing() {
+        let config = HuntConfig { jobs: 2, seed_start: 500, seed_count: 12, ..HuntConfig::default() };
+        let report = ParallelCampaign::new(config).run(p4c::Compiler::reference);
+        let real: Vec<_> = report
+            .outcomes
+            .iter()
+            .flat_map(|o| &o.reports)
+            .filter(|r| !matches!(r.kind, BugKind::InvalidTransformation))
+            .collect();
+        assert!(real.is_empty(), "false alarms on the reference compiler: {real:#?}");
+        assert_eq!(report.programs_checked, 12);
     }
 }

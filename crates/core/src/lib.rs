@@ -24,7 +24,10 @@ pub mod pipeline;
 pub mod report;
 
 pub use bugs::{BugDatabase, BugKind, BugReport, CompilerArea, Platform, Technique};
-pub use campaign::{run_campaign, CampaignConfig, CampaignReport, SeededBugOutcome};
+pub use campaign::{
+    run_campaign, CampaignConfig, CampaignReport, HuntConfig, HuntReport, ParallelCampaign,
+    SeedOutcome, SeededBugOutcome,
+};
 pub use inject::SeededBug;
 pub use pipeline::{Gauntlet, GauntletOptions, ProgramOutcome};
 pub use report::{render_detection_matrix, render_table2, render_table3};

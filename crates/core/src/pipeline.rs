@@ -11,7 +11,10 @@
 
 use crate::bugs::{BugKind, BugReport, CompilerArea, Platform, Technique};
 use p4_ir::Program;
-use p4_symbolic::{check_equivalence, generate_tests, Equivalence, EquivalenceError, TestGenOptions};
+use p4_symbolic::{
+    check_equivalence, generate_tests, Equivalence, EquivalenceError, TestGenOptions,
+    ValidationSession,
+};
 use p4c::{CompileError, CompileResult, Compiler, PassArea};
 use targets::{run_ptf, run_stf, Bmv2Target, TofinoBackend, TofinoError};
 
@@ -53,11 +56,17 @@ fn area_of_pass(pass_name: &str) -> CompilerArea {
 pub struct GauntletOptions {
     /// Maximum tests generated per program for black-box back ends.
     pub max_tests: usize,
+    /// Validate the pass chain incrementally: interpret each snapshot once
+    /// (adjacent checks share it) and decide all queries with one
+    /// incremental solver.  Disable to force the paper's naive
+    /// re-interpret-and-re-bitblast-per-pair behaviour, e.g. for the
+    /// before/after comparison in the `gen_throughput` bench.
+    pub incremental: bool,
 }
 
 impl Default for GauntletOptions {
     fn default() -> Self {
-        GauntletOptions { max_tests: 8 }
+        GauntletOptions { max_tests: 8, incremental: true }
     }
 }
 
@@ -107,7 +116,26 @@ impl Gauntlet {
 
     /// Translation validation over the per-pass snapshots of a successful
     /// compilation (paper §5.2).
+    ///
+    /// With [`GauntletOptions::incremental`] set (the default), the chain
+    /// p₀ ≡ p₁ ≡ … ≡ pₙ is validated through one [`ValidationSession`]:
+    /// every snapshot is interpreted once and serves as both the right-hand
+    /// side of one check and the left-hand side of the next, and all
+    /// equivalence queries share one incremental solver.
     pub fn validate_translation(&self, result: &CompileResult) -> Vec<BugReport> {
+        let mut session =
+            if self.options.incremental { Some(ValidationSession::new()) } else { None };
+        self.validate_translation_in(&mut session, result)
+    }
+
+    /// Translation validation with an explicit (optional) session, allowing
+    /// callers to share incremental state across *programs* as well as
+    /// across the passes of one program.
+    pub fn validate_translation_in(
+        &self,
+        session: &mut Option<ValidationSession>,
+        result: &CompileResult,
+    ) -> Vec<BugReport> {
         let mut reports = Vec::new();
         for (before, after) in result.pass_pairs() {
             // Re-parse the emitted program; a parse failure is an invalid
@@ -123,7 +151,11 @@ impl Gauntlet {
                 });
                 continue;
             }
-            match check_equivalence(&before.program, &after.program) {
+            let verdict = match session.as_mut() {
+                Some(session) => session.check_pair(&before.program, &after.program),
+                None => check_equivalence(&before.program, &after.program),
+            };
+            match verdict {
                 Ok(Equivalence::Equal) => {}
                 Ok(Equivalence::NotEqual(counterexample)) => {
                     reports.push(BugReport {
@@ -135,7 +167,6 @@ impl Gauntlet {
                         message: format!("{counterexample}"),
                     });
                 }
-                Ok(_) => {}
                 Err(EquivalenceError::StructureMismatch { block, detail }) => {
                     reports.push(BugReport {
                         kind: BugKind::InvalidTransformation,

@@ -40,18 +40,13 @@ impl fmt::Display for CheckError {
 
 /// Options controlling strictness.
 #[derive(Debug, Clone)]
+#[derive(Default)]
 pub struct CheckOptions {
     /// Warn (as errors) about reads of `out` parameters before any write.
     /// Reading such values is *undefined* rather than illegal in P4-16, so
     /// this defaults to off; Gauntlet's own semantics model them as fresh
     /// unknowns instead.
     pub reject_uninitialized_reads: bool,
-}
-
-impl Default for CheckOptions {
-    fn default() -> Self {
-        CheckOptions { reject_uninitialized_reads: false }
-    }
 }
 
 /// Checks a whole program, returning all diagnostics found.

@@ -516,9 +516,9 @@ impl RandomProgramGenerator {
             (w.comparison_ternary, 5),
             (w.cast, 7),
         ];
-        if self.restrictions.allows_variable_shift || true {
-            choices.push((w.shift, 4));
-        }
+        // Shifts are always offered; targets that forbid variable shift
+        // amounts get constant amounts from the shift generator itself.
+        choices.push((w.shift, 4));
         if width >= 2 {
             choices.push((w.slice, 6));
         }

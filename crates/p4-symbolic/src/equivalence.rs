@@ -10,8 +10,10 @@
 
 use crate::interpreter::{interpret_program, InterpError, ProgramSemantics};
 use p4_ir::Program;
-use smt::{CheckResult, Model, Solver, TermManager, TermRef, Value};
-use std::collections::BTreeMap;
+use smt::{CheckResult, Model, Solver, TermKind, TermManager, TermRef, Value};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{BTreeMap, HashMap};
+use std::hash::{Hash, Hasher};
 use std::rc::Rc;
 
 /// The verdict of an equivalence check.
@@ -87,6 +89,12 @@ impl From<InterpError> for EquivalenceError {
 }
 
 /// Checks whether two programs are semantically equivalent, block by block.
+///
+/// This is the one-shot entry point: it interprets both programs into a
+/// fresh term manager and decides each block with a fresh solver.  Chains of
+/// related checks (translation validation of consecutive pass snapshots)
+/// should use a [`ValidationSession`] instead, which interprets every
+/// program once and reuses the solver's CNF across adjacent checks.
 pub fn check_equivalence(before: &Program, after: &Program) -> Result<Equivalence, EquivalenceError> {
     let tm = Rc::new(TermManager::new());
     let semantics_before = interpret_program(&tm, before)?;
@@ -97,6 +105,22 @@ pub fn check_equivalence(before: &Program, after: &Program) -> Result<Equivalenc
 /// Equivalence over already-computed semantics (both must come from `tm`).
 pub fn check_semantics_equivalence(
     tm: &Rc<TermManager>,
+    before: &ProgramSemantics,
+    after: &ProgramSemantics,
+) -> Result<Equivalence, EquivalenceError> {
+    let mut solver = Solver::new();
+    check_semantics_equivalence_with(tm, &mut solver, before, after)
+}
+
+/// Equivalence over already-computed semantics, deciding the per-block
+/// queries with the caller's (possibly long-lived) `solver`.  The queries
+/// are passed as assumptions, so nothing is retained in the solver — but
+/// its term-to-CNF memo and learned clauses carry over to later calls,
+/// which is where the incremental speedup of a [`ValidationSession`] comes
+/// from.
+pub fn check_semantics_equivalence_with(
+    tm: &Rc<TermManager>,
+    solver: &mut Solver,
     before: &ProgramSemantics,
     after: &ProgramSemantics,
 ) -> Result<Equivalence, EquivalenceError> {
@@ -125,7 +149,9 @@ pub fn check_semantics_equivalence(
         if pairs.is_empty() {
             continue;
         }
-        // The query: does any input make at least one output differ?
+        // The query: does any input make at least one output differ?  Terms
+        // are hash-consed, so outputs a pass did not touch compare with
+        // identical ids and their disjuncts fold away to `false` here.
         let mut disjuncts = Vec::with_capacity(pairs.len());
         for (_, term_before, term_after) in &pairs {
             if term_before.sort != term_after.sort {
@@ -137,7 +163,10 @@ pub fn check_semantics_equivalence(
             disjuncts.push(tm.neq(term_before.clone(), term_after.clone()));
         }
         let query = tm.or(disjuncts);
-        let mut solver = Solver::new();
+        if matches!(query.kind, TermKind::BoolConst(false)) {
+            // Every output is syntactically identical: equal without solving.
+            continue;
+        }
         match solver.check_with(&[query]) {
             CheckResult::Unsat => continue,
             CheckResult::Sat(model) => {
@@ -151,6 +180,115 @@ pub fn check_semantics_equivalence(
         }
     }
     Ok(Equivalence::Equal)
+}
+
+/// Counters describing how much work a [`ValidationSession`] saved.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Programs whose semantics were served from the cache.
+    pub semantics_hits: u64,
+    /// Programs that had to be interpreted.
+    pub semantics_misses: u64,
+    /// Equivalence checks decided without touching the solver because every
+    /// output pair was syntactically identical after hash-consing.
+    pub trivial_checks: u64,
+    /// Equivalence checks that went to the solver.
+    pub solver_checks: u64,
+}
+
+/// A long-lived equivalence-checking session with incremental reuse.
+///
+/// Gauntlet validates a *chain* p₀ ≡ p₁ ≡ … ≡ pₙ of per-pass snapshots: the
+/// program emitted by pass *i* is the right-hand side of one check and the
+/// left-hand side of the next.  A session exploits that structure twice
+/// over:
+///
+/// * **semantics cache** — each distinct program is symbolically interpreted
+///   once (keyed by structural hash) and the resulting [`ProgramSemantics`]
+///   is shared between adjacent checks;
+/// * **incremental solver** — all terms live in one hash-consing
+///   [`TermManager`], and one [`Solver`] decides every query via
+///   assumptions, so subterms shared across the chain are bit-blasted once
+///   and learned clauses carry over.
+pub struct ValidationSession {
+    tm: Rc<TermManager>,
+    solver: Solver,
+    /// Structural hash → (the hashed program, its semantics).  The program
+    /// is kept so a hash collision is detected by equality instead of
+    /// silently returning the wrong semantics.
+    cache: HashMap<u64, (Program, Rc<ProgramSemantics>)>,
+    stats: SessionStats,
+}
+
+impl Default for ValidationSession {
+    fn default() -> Self {
+        ValidationSession::new()
+    }
+}
+
+impl ValidationSession {
+    pub fn new() -> ValidationSession {
+        ValidationSession {
+            tm: Rc::new(TermManager::new()),
+            solver: Solver::new(),
+            cache: HashMap::new(),
+            stats: SessionStats::default(),
+        }
+    }
+
+    /// The shared term manager (all cached semantics use it).
+    pub fn term_manager(&self) -> &Rc<TermManager> {
+        &self.tm
+    }
+
+    /// Usage counters for this session.
+    pub fn stats(&self) -> SessionStats {
+        self.stats
+    }
+
+    /// The symbolic semantics of `program`, interpreting it only on the
+    /// first request (keyed by the program's structural hash, with the
+    /// program itself compared on a hit to rule out hash collisions).
+    pub fn semantics(&mut self, program: &Program) -> Result<Rc<ProgramSemantics>, InterpError> {
+        let mut hasher = DefaultHasher::new();
+        program.hash(&mut hasher);
+        let key = hasher.finish();
+        if let Some((cached_program, cached)) = self.cache.get(&key) {
+            if cached_program == program {
+                self.stats.semantics_hits += 1;
+                return Ok(cached.clone());
+            }
+            // Hash collision: fall through and interpret uncached (the
+            // first occupant keeps the slot).
+        }
+        self.stats.semantics_misses += 1;
+        let semantics = Rc::new(interpret_program(&self.tm, program)?);
+        self.cache.entry(key).or_insert_with(|| (program.clone(), semantics.clone()));
+        Ok(semantics)
+    }
+
+    /// Checks two programs for equivalence with full incremental reuse.
+    pub fn check_pair(
+        &mut self,
+        before: &Program,
+        after: &Program,
+    ) -> Result<Equivalence, EquivalenceError> {
+        let semantics_before = self.semantics(before)?;
+        let semantics_after = self.semantics(after)?;
+        let solver_checks_before = self.solver.total_checks();
+        let verdict = check_semantics_equivalence_with(
+            &self.tm,
+            &mut self.solver,
+            &semantics_before,
+            &semantics_after,
+        );
+        if self.solver.total_checks() == solver_checks_before {
+            self.stats.trivial_checks += 1;
+        } else {
+            self.stats.solver_checks += 1;
+        }
+        verdict
+    }
 }
 
 fn build_counterexample(
@@ -268,6 +406,66 @@ mod tests {
         let before = builder::v1model_program(locals.clone(), apply.clone());
         let after = builder::v1model_program(locals, apply);
         assert!(check_equivalence(&before, &after).unwrap().is_equal());
+    }
+
+    #[test]
+    fn session_cache_agrees_with_the_uncached_path() {
+        // The same pairs, checked through a shared session (cached
+        // semantics + incremental solver) and through the one-shot path,
+        // must produce the same verdicts.
+        let equal_pair = {
+            let before = builder::v1model_program(
+                vec![],
+                Block::new(vec![Statement::assign(
+                    Expr::dotted(&["hdr", "h", "a"]),
+                    Expr::binary(BinOp::Add, Expr::dotted(&["hdr", "h", "b"]), Expr::uint(0, 8)),
+                )]),
+            );
+            let after = builder::v1model_program(
+                vec![],
+                Block::new(vec![Statement::assign(
+                    Expr::dotted(&["hdr", "h", "a"]),
+                    Expr::dotted(&["hdr", "h", "b"]),
+                )]),
+            );
+            (before, after)
+        };
+        let unequal_pair = (builder::trivial_program(), builder::v1model_program(vec![], Block::empty()));
+
+        let mut session = ValidationSession::new();
+        for (before, after) in [&equal_pair, &unequal_pair] {
+            let uncached = check_equivalence(before, after).unwrap();
+            let cached = session.check_pair(before, after).unwrap();
+            assert_eq!(cached.is_equal(), uncached.is_equal());
+            // Re-checking through the session hits the semantics cache and
+            // still agrees.
+            let cached_again = session.check_pair(before, after).unwrap();
+            assert_eq!(cached_again.is_equal(), uncached.is_equal());
+        }
+        let stats = session.stats();
+        assert!(stats.semantics_hits >= 4, "re-checks must hit the cache: {stats:?}");
+        assert_eq!(stats.semantics_misses, 4);
+    }
+
+    #[test]
+    fn session_reuses_semantics_across_a_chain() {
+        // A chain p0 -> p1 -> p2: the middle program's semantics must be
+        // interpreted once, not twice.
+        let p0 = builder::trivial_program();
+        let p1 = p0.clone();
+        let p2 = p0.clone();
+        let mut session = ValidationSession::new();
+        assert!(session.check_pair(&p0, &p1).unwrap().is_equal());
+        assert!(session.check_pair(&p1, &p2).unwrap().is_equal());
+        let stats = session.stats();
+        // All three programs are structurally identical here, so a single
+        // interpretation serves the whole chain.
+        assert_eq!(stats.semantics_misses, 1);
+        assert_eq!(stats.semantics_hits, 3);
+        // And identical programs decide without the solver (hash-consing
+        // collapses the queries to `false`).
+        assert_eq!(stats.solver_checks, 0);
+        assert_eq!(stats.trivial_checks, 2);
     }
 
     #[test]

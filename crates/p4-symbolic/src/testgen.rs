@@ -9,8 +9,8 @@
 
 use crate::interpreter::{interpret_program, BlockSemantics, InterpError};
 use p4_ir::Program;
-use smt::{CheckResult, Solver, TermManager, TermRef, Value};
-use std::collections::BTreeMap;
+use smt::{CheckResult, Solver, Sort, TermKind, TermManager, TermRef, Value};
+use std::collections::{BTreeMap, HashSet};
 use std::rc::Rc;
 
 /// One generated end-to-end test case for the primary match-action block.
@@ -38,11 +38,24 @@ pub struct TestGenOptions {
     pub prefer_nonzero: bool,
     /// The architecture slot to generate tests for.
     pub block: String,
+    /// Pin every *undefined-read* variable (`undef.*`: header fields after
+    /// `setValid`, out-of-range reads, extern results) to zero, matching
+    /// the zero-initialising policy of the simulated BMv2/Tofino targets.
+    /// Without this the solver may build a test whose expected output
+    /// depends on an undefined value the target will concretely zero —
+    /// a false alarm (paper §6.2 / §8: tests adopt the target's semantics
+    /// for undefined behaviour).
+    pub undefined_reads_zero: bool,
 }
 
 impl Default for TestGenOptions {
     fn default() -> Self {
-        TestGenOptions { max_tests: 16, prefer_nonzero: true, block: "ingress".into() }
+        TestGenOptions {
+            max_tests: 16,
+            prefer_nonzero: true,
+            block: "ingress".into(),
+            undefined_reads_zero: true,
+        }
     }
 }
 
@@ -91,6 +104,23 @@ pub fn generate_for_block(
 ) -> Vec<TestCase> {
     let conditions: Vec<TermRef> = block.branch_conditions.clone();
     let mut tests = Vec::new();
+    // One incremental solver serves the whole path enumeration: the block's
+    // terms are bit-blasted once and every path combination is decided via
+    // assumptions over the shared CNF.
+    let mut solver = Solver::new();
+    if options.undefined_reads_zero {
+        // The simulated targets zero-initialise undefined values, so the
+        // expected-output oracle must do the same: every `undef.*` variable
+        // reachable from this block's semantics is pinned to zero.
+        for (name, sort) in undefined_variables(block) {
+            let var = tm.var(name, sort);
+            let pin = match sort {
+                Sort::Bool => tm.not(var),
+                Sort::BitVec(width) => tm.eq(var, tm.bv_const(0, width)),
+            };
+            solver.assert(pin);
+        }
+    }
     // Cap the number of decision bits so the enumeration stays small; the
     // remaining conditions are left free for the solver to pick.
     let decided = conditions.len().min(path_bits(options.max_tests));
@@ -105,10 +135,6 @@ pub fn generate_for_block(
             let take = (combo >> bit) & 1 == 1;
             path_description.push(if take { format!("b{bit}=T") } else { format!("b{bit}=F") });
             assumptions.push(if take { condition.clone() } else { tm.not(condition.clone()) });
-        }
-        let mut solver = Solver::new();
-        for assumption in &assumptions {
-            solver.assert(assumption.clone());
         }
         // Prefer non-zero header inputs so zero-initialising targets cannot
         // hide differences (paper §6.2).  Try the strongest preference first
@@ -131,7 +157,9 @@ pub fn generate_for_block(
         ];
         let mut model = None;
         for extra in attempts {
-            match solver.check_with(&extra) {
+            let mut query = assumptions.clone();
+            query.extend(extra);
+            match solver.check_with(&query) {
                 CheckResult::Sat(found) => {
                     model = Some(found);
                     break;
@@ -192,6 +220,32 @@ pub fn generate_for_block(
         });
     }
     tests
+}
+
+/// All `undef.*` variables reachable from the block's semantics (outputs,
+/// branch conditions, and table terms), in deterministic order.
+fn undefined_variables(block: &BlockSemantics) -> Vec<(String, Sort)> {
+    let mut seen_terms = HashSet::new();
+    let mut found: BTreeMap<String, Sort> = BTreeMap::new();
+    let mut stack: Vec<TermRef> = Vec::new();
+    stack.extend(block.outputs.iter().map(|(_, term)| term.clone()));
+    stack.extend(block.branch_conditions.iter().cloned());
+    for table in &block.tables {
+        stack.extend(table.keys.iter().map(|(_, _, term)| term.clone()));
+        stack.push(table.hit.clone());
+    }
+    while let Some(term) = stack.pop() {
+        if !seen_terms.insert(term.id) {
+            continue;
+        }
+        if let TermKind::Var(name) = &term.kind {
+            if name.starts_with("undef.") {
+                found.insert(name.clone(), term.sort);
+            }
+        }
+        term.for_each_child(|child| stack.push(child.clone()));
+    }
+    found.into_iter().collect()
 }
 
 /// Number of branch decisions we can afford to enumerate exhaustively while

@@ -1,0 +1,210 @@
+//! Offline stand-in for `criterion`.
+//!
+//! The benchmark harness under `crates/bench/benches/` is written against
+//! the Criterion API; this shim supplies the subset those targets use —
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`],
+//! [`BenchmarkGroup::bench_with_input`], [`Bencher::iter`],
+//! [`Bencher::iter_batched`], [`BenchmarkId`], [`BatchSize`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros — with a much simpler
+//! measurement model: each benchmark is warmed up once, the iteration count
+//! is calibrated towards a fixed measurement budget, and the mean wall-clock
+//! time per iteration is printed.
+//!
+//! No statistical analysis, plotting, or result persistence is performed;
+//! the numbers are honest wall-clock means, which is what the reproduction
+//! guides in `docs/REPRODUCING.md` compare against.
+
+use std::time::{Duration, Instant};
+
+/// Target measurement time per benchmark (after one calibration pass).
+const MEASUREMENT_BUDGET: Duration = Duration::from_millis(400);
+
+/// How a batched input is sized; accepted for API compatibility, the shim
+/// measures identically for all variants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Identifier for a parameterised benchmark: `name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId { id: format!("{}/{}", name.into(), parameter) }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Per-iteration timer handed to benchmark closures.
+pub struct Bencher {
+    iterations: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over the calibrated number of iterations.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Times `routine` only, re-creating its input with `setup` outside the
+    /// timed section each iteration.
+    pub fn iter_batched<I, R>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> R,
+        _size: BatchSize,
+    ) {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iterations {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of measured samples (used here to scale the
+    /// measurement budget; small values keep slow benchmarks fast).
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.sample_size = samples.max(1);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full_name = format!("{}/{}", self.name, id);
+        // Calibration pass: one iteration to estimate per-iteration cost.
+        let mut bencher = Bencher { iterations: 1, elapsed: Duration::ZERO };
+        f(&mut bencher);
+        let per_iteration = bencher.elapsed.max(Duration::from_nanos(1));
+        let budget = MEASUREMENT_BUDGET.min(per_iteration * self.sample_size as u32 * 2);
+        let iterations =
+            (budget.as_nanos() / per_iteration.as_nanos()).clamp(1, 1_000_000) as u64;
+        let mut bencher = Bencher { iterations, elapsed: Duration::ZERO };
+        f(&mut bencher);
+        let mean = bencher.elapsed / iterations as u32;
+        println!("{full_name:<60} time: {mean:>12.3?}  ({iterations} iterations)");
+        self.criterion.results.push((full_name, mean));
+        self
+    }
+
+    /// Runs one parameterised benchmark.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (no-op beyond API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// The top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    results: Vec<(String, Duration)>,
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), sample_size: 100 }
+    }
+
+    /// All `(name, mean time)` pairs measured so far.
+    pub fn results(&self) -> &[(String, Duration)] {
+        &self.results
+    }
+}
+
+/// Prevents the compiler from optimising a value away (re-exported for
+/// compatibility; `std::hint::black_box` works equally well).
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Declares a benchmark group function running each target in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures_and_records() {
+        let mut criterion = Criterion::default();
+        let mut group = criterion.benchmark_group("shim");
+        group.sample_size(10);
+        let mut runs = 0u64;
+        group.bench_function("count", |b| b.iter(|| runs += 1));
+        group.finish();
+        assert!(runs > 0);
+        assert_eq!(criterion.results().len(), 1);
+        assert!(criterion.results()[0].0.contains("shim/count"));
+    }
+
+    #[test]
+    fn iter_batched_times_only_the_routine() {
+        let mut criterion = Criterion::default();
+        let mut group = criterion.benchmark_group("shim");
+        group.sample_size(10);
+        group.bench_with_input(BenchmarkId::new("batched", 1), &1u32, |b, &v| {
+            b.iter_batched(|| vec![v; 8], |input| input.iter().sum::<u32>(), BatchSize::SmallInput)
+        });
+        assert_eq!(criterion.results().len(), 1);
+        assert!(criterion.results()[0].0.ends_with("batched/1"));
+    }
+}

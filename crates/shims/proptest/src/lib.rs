@@ -1,0 +1,88 @@
+//! Offline stand-in for `proptest`.
+//!
+//! This environment has no access to crates.io, so the real `proptest`
+//! crate cannot be used.  This shim implements the subset of its API that
+//! the workspace's property tests rely on:
+//!
+//! * the [`proptest!`] macro (with an optional `#![proptest_config(..)]`
+//!   header) generating one `#[test]` per property;
+//! * [`strategy::Strategy`] with `prop_map`, `prop_recursive`, and `boxed`;
+//! * strategies: integer/bool [`arbitrary::any`], integer ranges,
+//!   [`strategy::Just`], tuples up to arity 4, and [`prop_oneof!`] unions;
+//! * `prop_assert!` / `prop_assert_eq!` (panic-based — no shrinking).
+//!
+//! Differences from the real crate: values are generated from a
+//! deterministic per-test RNG (seeded from the test name, so failures are
+//! reproducible), and failing cases are *not* shrunk — the panic message
+//! carries the generated values instead, which the workspace's tests
+//! already format into their assertion messages.
+
+pub mod arbitrary;
+pub mod strategy;
+pub mod test_runner;
+
+/// Everything a property test needs, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+}
+
+/// Asserts a condition inside a property test (panics on failure; the real
+/// crate returns an error and shrinks, this shim does not).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tokens:tt)*) => { assert!($($tokens)*) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tokens:tt)*) => { assert_eq!($($tokens)*) };
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}
+
+/// Declares property tests: each `name in strategy` binding is sampled
+/// `config.cases` times and the body re-run.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($config:expr)
+      $( $(#[$meta:meta])* fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                let mut rng = $crate::test_runner::TestRng::from_name(stringify!($name));
+                let strategies = ( $( $strat, )+ );
+                for case in 0..config.cases {
+                    let ( $($arg,)+ ) =
+                        $crate::strategy::Strategy::generate(&strategies, &mut rng);
+                    let _ = case;
+                    $body
+                }
+            }
+        )*
+    };
+}

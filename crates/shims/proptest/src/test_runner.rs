@@ -1,0 +1,77 @@
+//! Test-runner configuration and the deterministic RNG driving generation.
+
+/// Configuration accepted by `#![proptest_config(..)]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+    /// Accepted for API compatibility with the real crate; this shim never
+    /// shrinks, so the value is unused.
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256, max_shrink_iters: 1024 }
+    }
+}
+
+/// Deterministic SplitMix64 generator; each test derives its seed from its
+/// own name so runs are reproducible and independent of test order.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub fn new(seed: u64) -> TestRng {
+        TestRng { state: seed }
+    }
+
+    /// Seeds from a test name via FNV-1a.
+    pub fn from_name(name: &str) -> TestRng {
+        let mut hash = 0xcbf29ce484222325u64;
+        for byte in name.bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x100000001b3);
+        }
+        TestRng::new(hash)
+    }
+
+    /// The next 64 uniformly distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw from `[0, bound)`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "empty sampling bound");
+        self.next_u64() % bound
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_name() {
+        let mut a = TestRng::from_name("some_test");
+        let mut b = TestRng::from_name("some_test");
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = TestRng::from_name("other_test");
+        assert_ne!(TestRng::from_name("some_test").next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn below_respects_bound() {
+        let mut rng = TestRng::new(9);
+        for _ in 0..100 {
+            assert!(rng.below(7) < 7);
+        }
+    }
+}

@@ -37,22 +37,30 @@ impl Repr {
     }
 }
 
-/// Lowers terms to CNF, sharing sub-term encodings via a cache keyed on term
-/// ids.
-pub struct BitBlaster<'a> {
-    sat: &'a mut SatSolver,
-    cache: HashMap<u64, Repr>,
+/// The persistent state of a bit-blasting session: the term-to-CNF memo and
+/// the variable map survive across [`BitBlaster`] instances (and therefore
+/// across solver checks), so a chain of related queries — translation
+/// validation of consecutive pass pairs, for example — lowers every shared
+/// subterm exactly once.
+#[derive(Debug, Default)]
+pub struct BlastContext {
+    /// Term id → (CNF representation, generation that first encoded it).
+    cache: HashMap<u64, (Repr, u64)>,
     /// Variable name → CNF representation, used for model extraction.
     vars: HashMap<String, Repr>,
-    true_lit: Lit,
+    /// The literal fixed to true, allocated on first use.
+    true_lit: Option<Lit>,
+    /// Current generation; bumped by each [`BitBlaster`] session so cache
+    /// hits against *earlier* sessions can be counted cheaply.
+    generation: u64,
+    /// Cache hits against encodings from earlier generations, this
+    /// generation.
+    cross_generation_hits: usize,
 }
 
-impl<'a> BitBlaster<'a> {
-    pub fn new(sat: &'a mut SatSolver) -> BitBlaster<'a> {
-        let true_var = sat.new_var();
-        let true_lit = Lit::positive(true_var);
-        sat.add_clause(&[true_lit]);
-        BitBlaster { sat, cache: HashMap::new(), vars: HashMap::new(), true_lit }
+impl BlastContext {
+    pub fn new() -> BlastContext {
+        BlastContext::default()
     }
 
     /// The map from symbolic variable names to their CNF literals, for model
@@ -61,11 +69,51 @@ impl<'a> BitBlaster<'a> {
         &self.vars
     }
 
+    /// Number of memoised term encodings.
+    pub fn memo_len(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Whether the term with this id already has a CNF encoding.
+    pub fn is_memoised(&self, term_id: u64) -> bool {
+        self.cache.contains_key(&term_id)
+    }
+
+    /// Cache hits in the current generation against encodings built by
+    /// earlier generations — the incremental-reuse telemetry.
+    pub fn cross_generation_hits(&self) -> usize {
+        self.cross_generation_hits
+    }
+}
+
+/// Lowers terms to CNF, sharing sub-term encodings via the id-keyed memo in
+/// a (possibly long-lived) [`BlastContext`].
+pub struct BitBlaster<'a> {
+    sat: &'a mut SatSolver,
+    ctx: &'a mut BlastContext,
+}
+
+impl<'a> BitBlaster<'a> {
+    /// Resumes (or starts) a blasting session over `ctx`.  The context must
+    /// always be paired with the same `sat` instance.  Each session starts a
+    /// new generation, so reuse of earlier sessions' encodings is counted.
+    pub fn new(sat: &'a mut SatSolver, ctx: &'a mut BlastContext) -> BitBlaster<'a> {
+        if ctx.true_lit.is_none() {
+            let true_var = sat.new_var();
+            let true_lit = Lit::positive(true_var);
+            sat.add_clause(&[true_lit]);
+            ctx.true_lit = Some(true_lit);
+        }
+        ctx.generation += 1;
+        ctx.cross_generation_hits = 0;
+        BitBlaster { sat, ctx }
+    }
+
     fn const_lit(&self, value: bool) -> Lit {
         if value {
-            self.true_lit
+            self.ctx.true_lit.expect("initialised in new")
         } else {
-            self.true_lit.negate()
+            self.ctx.true_lit.expect("initialised in new").negate()
         }
     }
 
@@ -240,11 +288,14 @@ impl<'a> BitBlaster<'a> {
 
     /// Lowers a term to its CNF representation.
     pub fn blast(&mut self, term: &TermRef) -> Repr {
-        if let Some(repr) = self.cache.get(&term.id) {
+        if let Some((repr, generation)) = self.ctx.cache.get(&term.id) {
+            if *generation < self.ctx.generation {
+                self.ctx.cross_generation_hits += 1;
+            }
             return repr.clone();
         }
         let repr = self.blast_uncached(term);
-        self.cache.insert(term.id, repr.clone());
+        self.ctx.cache.insert(term.id, (repr.clone(), self.ctx.generation));
         repr
     }
 
@@ -273,7 +324,7 @@ impl<'a> BitBlaster<'a> {
                 Repr::Bits(bits)
             }
             TermKind::Var(name) => {
-                if let Some(repr) = self.vars.get(name) {
+                if let Some(repr) = self.ctx.vars.get(name) {
                     return repr.clone();
                 }
                 let repr = match term.sort {
@@ -282,7 +333,7 @@ impl<'a> BitBlaster<'a> {
                         Repr::Bits((0..w).map(|_| self.fresh()).collect())
                     }
                 };
-                self.vars.insert(name.clone(), repr.clone());
+                self.ctx.vars.insert(name.clone(), repr.clone());
                 repr
             }
             TermKind::Not(a) => Repr::Bool(self.blast_bool(a).negate()),
@@ -426,10 +477,11 @@ mod tests {
     fn solve_assertion(tm: &TermManager, term: &TermRef) -> Option<Vec<(String, BvValue)>> {
         let _ = tm;
         let mut sat = SatSolver::new();
-        let mut blaster = BitBlaster::new(&mut sat);
+        let mut ctx = BlastContext::new();
+        let mut blaster = BitBlaster::new(&mut sat, &mut ctx);
         blaster.assert(term);
         let vars: Vec<(String, Repr)> =
-            blaster.variables().iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+            ctx.variables().iter().map(|(k, v)| (k.clone(), v.clone())).collect();
         match sat.solve() {
             SatResult::Sat(model) => {
                 let mut out = Vec::new();

@@ -8,7 +8,7 @@
 //!
 //! * [`term`] — the term language and a constant-folding [`TermManager`];
 //! * [`value`] — arbitrary-width concrete bit-vector values;
-//! * [`eval`] — concrete evaluation of terms under an assignment;
+//! * [`mod@eval`] — concrete evaluation of terms under an assignment;
 //! * [`bitblast`] — Tseitin lowering of terms to CNF;
 //! * [`sat`] — a CDCL SAT solver (watched literals, 1UIP learning, VSIDS,
 //!   restarts);
@@ -25,6 +25,7 @@ pub mod solver;
 pub mod term;
 pub mod value;
 
+pub use bitblast::{BitBlaster, BlastContext};
 pub use eval::{eval, eval_with_default, Assignment, EvalError, Value};
 pub use solver::{CheckResult, Model, Solver, SolverStats};
 pub use term::{Sort, Term, TermKind, TermManager, TermRef};

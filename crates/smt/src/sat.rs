@@ -162,9 +162,7 @@ impl SatSolver {
         match reduced.len() {
             0 => self.trivially_unsat = true,
             1 => {
-                if !self.enqueue(reduced[0], None) {
-                    self.trivially_unsat = true;
-                } else if self.propagate().is_some() {
+                if !self.enqueue(reduced[0], None) || self.propagate().is_some() {
                     self.trivially_unsat = true;
                 }
             }

@@ -7,9 +7,9 @@
 //! the interface translation validation (§5) and test-case generation (§6)
 //! need.
 
-use crate::bitblast::{BitBlaster, Repr};
+use crate::bitblast::{BitBlaster, BlastContext, Repr};
 use crate::eval::{eval_with_default, Assignment, Value};
-use crate::sat::{SatResult, SatSolver};
+use crate::sat::{Lit, SatResult, SatSolver};
 use crate::term::TermRef;
 use crate::value::BvValue;
 use std::collections::HashMap;
@@ -78,6 +78,13 @@ impl CheckResult {
 }
 
 /// Statistics from one `check` call, surfaced to the benchmark harness.
+///
+/// `sat_variables`/`sat_clauses` are totals for the (possibly long-lived)
+/// underlying SAT instance; the search counters (`conflicts`, `decisions`,
+/// `propagations`) cover only the most recent check.  `memo_hits` counts
+/// lookups the last check served from encodings built by *earlier* checks —
+/// the subterms it did not have to re-bitblast thanks to the incremental
+/// term-to-CNF memo.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SolverStats {
     pub sat_variables: usize,
@@ -85,13 +92,29 @@ pub struct SolverStats {
     pub conflicts: u64,
     pub decisions: u64,
     pub propagations: u64,
+    pub memo_hits: usize,
 }
 
-/// An accumulating solver over terms.
+/// An accumulating, incremental solver over terms.
+///
+/// The solver keeps one SAT instance and one bit-blasting memo alive for its
+/// whole lifetime.  Assertions are lowered once when first checked;
+/// [`Solver::check_with`] extras are lowered to indicator literals and
+/// passed to the SAT core as *assumptions*, so they are decided without
+/// being retained and without discarding any of the already-built CNF —
+/// Z3's `push`/`check`/`pop` idiom, with learned clauses carrying over
+/// between checks.  Chains of related queries over one [`crate::TermManager`]
+/// (translation validation of consecutive pass pairs) therefore bit-blast
+/// every shared subterm exactly once.
 #[derive(Debug, Default)]
 pub struct Solver {
     assertions: Vec<TermRef>,
+    /// How many of `assertions` are already lowered into `sat`.
+    lowered: usize,
+    sat: SatSolver,
+    ctx: BlastContext,
     last_stats: SolverStats,
+    total_checks: u64,
 }
 
 impl Solver {
@@ -114,14 +137,22 @@ impl Solver {
         self.assertions.is_empty()
     }
 
-    /// Removes all assertions.
+    /// Removes all assertions and discards the incremental SAT state.
     pub fn reset(&mut self) {
         self.assertions.clear();
+        self.lowered = 0;
+        self.sat = SatSolver::new();
+        self.ctx = BlastContext::new();
     }
 
     /// Statistics of the most recent `check`/`check_with` call.
     pub fn stats(&self) -> SolverStats {
         self.last_stats
+    }
+
+    /// Number of `check`/`check_with` calls over this solver's lifetime.
+    pub fn total_checks(&self) -> u64 {
+        self.total_checks
     }
 
     /// Decides the conjunction of all assertions.
@@ -132,26 +163,41 @@ impl Solver {
     /// Decides the conjunction of all assertions plus `extra` (which are not
     /// retained), mirroring Z3's push/assert/check/pop idiom.
     pub fn check_with(&mut self, extra: &[TermRef]) -> CheckResult {
-        let mut sat = SatSolver::new();
-        let mut blaster = BitBlaster::new(&mut sat);
-        for assertion in self.assertions.iter().chain(extra.iter()) {
-            blaster.assert(assertion);
+        self.total_checks += 1;
+        let (conflicts0, decisions0, propagations0) =
+            (self.sat.conflicts, self.sat.decisions, self.sat.propagations);
+
+        // Lower assertions added since the last check as permanent unit
+        // clauses; lower extras to indicator literals used as assumptions.
+        let mut assumptions: Vec<Lit> = Vec::with_capacity(extra.len());
+        {
+            let mut blaster = BitBlaster::new(&mut self.sat, &mut self.ctx);
+            let pending = self.assertions[self.lowered..].to_vec();
+            for assertion in &pending {
+                blaster.assert(assertion);
+            }
+            for term in extra {
+                debug_assert!(term.sort.is_bool(), "checked terms must be boolean");
+                assumptions.push(blaster.blast(term).as_bool());
+            }
         }
-        let variables: Vec<(String, Repr)> =
-            blaster.variables().iter().map(|(k, v)| (k.clone(), v.clone())).collect();
-        let result = sat.solve();
+        self.lowered = self.assertions.len();
+        let memo_hits = self.ctx.cross_generation_hits();
+
+        let result = self.sat.solve_with_assumptions(&assumptions);
         self.last_stats = SolverStats {
-            sat_variables: sat.num_vars(),
-            sat_clauses: sat.num_clauses(),
-            conflicts: sat.conflicts,
-            decisions: sat.decisions,
-            propagations: sat.propagations,
+            sat_variables: self.sat.num_vars(),
+            sat_clauses: self.sat.num_clauses(),
+            conflicts: self.sat.conflicts - conflicts0,
+            decisions: self.sat.decisions - decisions0,
+            propagations: self.sat.propagations - propagations0,
+            memo_hits,
         };
         match result {
             SatResult::Unsat => CheckResult::Unsat,
             SatResult::Sat(assignment) => {
                 let mut values = HashMap::new();
-                for (name, repr) in variables {
+                for (name, repr) in self.ctx.variables() {
                     let value = match repr {
                         Repr::Bool(lit) => {
                             Value::Bool(assignment[lit.var() as usize] ^ lit.is_negated())
@@ -162,7 +208,7 @@ impl Solver {
                                 .collect(),
                         )),
                     };
-                    values.insert(name, value);
+                    values.insert(name.clone(), value);
                 }
                 CheckResult::Sat(Model::new(values))
             }
@@ -177,6 +223,7 @@ impl Solver {
         self.check_with(&[distinct])
     }
 }
+
 
 #[cfg(test)]
 mod tests {
@@ -241,6 +288,54 @@ mod tests {
         // f vs f + 0 are equivalent.
         let f2 = tm.bv_add(f.clone(), tm.bv_const(0, 8));
         assert_eq!(solver.check_distinct(&tm, f, f2), CheckResult::Unsat);
+    }
+
+    #[test]
+    fn incremental_checks_reuse_the_cnf_memo() {
+        let tm = TermManager::new();
+        let mut solver = Solver::new();
+        let x = tm.var("x", Sort::BitVec(16));
+        let y = tm.var("y", Sort::BitVec(16));
+        // A moderately large shared subterm.
+        let shared = tm.bv_mul(tm.bv_add(x.clone(), y.clone()), tm.bv_xor(x.clone(), y.clone()));
+        let q1 = tm.bv_ult(shared.clone(), tm.bv_const(100, 16));
+        assert!(solver.check_with(std::slice::from_ref(&q1)).is_sat());
+        let first_clauses = solver.stats().sat_clauses;
+        assert_eq!(solver.stats().memo_hits, 0, "first check starts cold");
+        // A second query over the same subterm must hit the memo instead of
+        // re-bitblasting the multiplier.
+        let q2 = tm.bv_ult(tm.bv_const(200, 16), shared.clone());
+        assert!(solver.check_with(&[q2]).is_sat());
+        assert!(solver.stats().memo_hits > 0, "shared subterm must be memoised");
+        let second_clauses = solver.stats().sat_clauses - first_clauses;
+        assert!(
+            second_clauses < first_clauses / 2,
+            "incremental check re-encoded too much: {second_clauses} vs {first_clauses}"
+        );
+        // Results stay correct in both directions after many checks.
+        assert_eq!(solver.check_with(&[tm.neq(shared.clone(), shared.clone())]), CheckResult::Unsat);
+        assert!(solver.check_with(&[q1]).is_sat());
+    }
+
+    #[test]
+    fn incremental_checks_respect_retained_assertions() {
+        let tm = TermManager::new();
+        let mut solver = Solver::new();
+        let x = tm.var("x", Sort::BitVec(8));
+        solver.assert(tm.bv_ult(x.clone(), tm.bv_const(10, 8)));
+        assert!(solver.check().is_sat());
+        // A later assertion narrows the space incrementally.
+        solver.assert(tm.bv_ult(tm.bv_const(7, 8), x.clone()));
+        match solver.check() {
+            CheckResult::Sat(model) => {
+                let value = model.get_bv("x").unwrap().to_u128();
+                assert!(value > 7 && value < 10);
+            }
+            CheckResult::Unsat => panic!("8 and 9 satisfy both bounds"),
+        }
+        solver.assert(tm.bv_ult(tm.bv_const(8, 8), x.clone()));
+        solver.assert(tm.neq(x.clone(), tm.bv_const(9, 8)));
+        assert_eq!(solver.check(), CheckResult::Unsat);
     }
 
     #[test]

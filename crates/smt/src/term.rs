@@ -82,6 +82,46 @@ pub enum TermKind {
     SignExtend { arg: TermRef, width: u32 },
 }
 
+impl Term {
+    /// Calls `f` on every direct child of this term.  The single place that
+    /// knows the arity of every [`TermKind`]; DAG walkers (subterm
+    /// collection, variable scans) build on this instead of re-matching.
+    pub fn for_each_child(&self, mut f: impl FnMut(&TermRef)) {
+        match &self.kind {
+            TermKind::BoolConst(_) | TermKind::BvConst(_) | TermKind::Var(_) => {}
+            TermKind::Not(a)
+            | TermKind::BvNot(a)
+            | TermKind::BvNeg(a)
+            | TermKind::Extract { arg: a, .. }
+            | TermKind::ZeroExtend { arg: a, .. }
+            | TermKind::SignExtend { arg: a, .. } => f(a),
+            TermKind::And(args) | TermKind::Or(args) => args.iter().for_each(f),
+            TermKind::Implies(a, b)
+            | TermKind::Eq(a, b)
+            | TermKind::BvAdd(a, b)
+            | TermKind::BvSub(a, b)
+            | TermKind::BvMul(a, b)
+            | TermKind::BvAnd(a, b)
+            | TermKind::BvOr(a, b)
+            | TermKind::BvXor(a, b)
+            | TermKind::BvShl(a, b)
+            | TermKind::BvLshr(a, b)
+            | TermKind::BvUlt(a, b)
+            | TermKind::BvUle(a, b)
+            | TermKind::BvSlt(a, b)
+            | TermKind::Concat(a, b) => {
+                f(a);
+                f(b);
+            }
+            TermKind::Ite(c, t, e) => {
+                f(c);
+                f(t);
+                f(e);
+            }
+        }
+    }
+}
+
 impl fmt::Display for Term {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match &self.kind {
@@ -127,12 +167,78 @@ impl fmt::Display for Term {
     }
 }
 
+/// Structural key for hash-consing: a term's kind with children replaced by
+/// their (already unique) ids.  Two structurally equal terms built through
+/// the same manager therefore share one id, which makes syntactic equality
+/// an id comparison — `eq(a, a)` folds to `true` without ever reaching the
+/// solver, and the bit-blaster's id-keyed cache lowers every shared subterm
+/// exactly once.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum Shape {
+    BoolConst(bool),
+    BvConst(BvValue),
+    Var(String),
+    Not(u64),
+    And(Vec<u64>),
+    Or(Vec<u64>),
+    Implies(u64, u64),
+    Eq(u64, u64),
+    Ite(u64, u64, u64),
+    /// Binary bit-vector operators, tagged by operator name.
+    Binary(&'static str, u64, u64),
+    /// Unary bit-vector operators, tagged by operator name.
+    Unary(&'static str, u64),
+    Extract(u32, u32, u64),
+    ZeroExtend(u64, u32),
+    SignExtend(u64, u32),
+}
+
+impl Shape {
+    fn of(kind: &TermKind) -> Shape {
+        match kind {
+            TermKind::BoolConst(b) => Shape::BoolConst(*b),
+            TermKind::BvConst(v) => Shape::BvConst(v.clone()),
+            TermKind::Var(name) => Shape::Var(name.clone()),
+            TermKind::Not(a) => Shape::Not(a.id),
+            TermKind::And(args) => Shape::And(args.iter().map(|a| a.id).collect()),
+            TermKind::Or(args) => Shape::Or(args.iter().map(|a| a.id).collect()),
+            TermKind::Implies(a, b) => Shape::Implies(a.id, b.id),
+            TermKind::Eq(a, b) => Shape::Eq(a.id, b.id),
+            TermKind::Ite(c, t, e) => Shape::Ite(c.id, t.id, e.id),
+            TermKind::BvAdd(a, b) => Shape::Binary("add", a.id, b.id),
+            TermKind::BvSub(a, b) => Shape::Binary("sub", a.id, b.id),
+            TermKind::BvMul(a, b) => Shape::Binary("mul", a.id, b.id),
+            TermKind::BvAnd(a, b) => Shape::Binary("and", a.id, b.id),
+            TermKind::BvOr(a, b) => Shape::Binary("or", a.id, b.id),
+            TermKind::BvXor(a, b) => Shape::Binary("xor", a.id, b.id),
+            TermKind::BvNot(a) => Shape::Unary("not", a.id),
+            TermKind::BvNeg(a) => Shape::Unary("neg", a.id),
+            TermKind::BvShl(a, b) => Shape::Binary("shl", a.id, b.id),
+            TermKind::BvLshr(a, b) => Shape::Binary("lshr", a.id, b.id),
+            TermKind::BvUlt(a, b) => Shape::Binary("ult", a.id, b.id),
+            TermKind::BvUle(a, b) => Shape::Binary("ule", a.id, b.id),
+            TermKind::BvSlt(a, b) => Shape::Binary("slt", a.id, b.id),
+            TermKind::Concat(a, b) => Shape::Binary("concat", a.id, b.id),
+            TermKind::Extract { hi, lo, arg } => Shape::Extract(*hi, *lo, arg.id),
+            TermKind::ZeroExtend { arg, width } => Shape::ZeroExtend(arg.id, *width),
+            TermKind::SignExtend { arg, width } => Shape::SignExtend(arg.id, *width),
+        }
+    }
+}
+
 /// Creates terms and hands out fresh variable names.  All terms used in a
 /// single solver query must come from the same manager.
+///
+/// Terms are hash-consed: structurally identical terms share one node and
+/// one id.  This matters enormously for translation validation, where the
+/// "before" and "after" programs mostly coincide — their shared parts
+/// collapse to the same term, so the distinguishing query only pays for the
+/// parts a compiler pass actually changed.
 #[derive(Debug, Default)]
 pub struct TermManager {
     next_id: std::cell::Cell<u64>,
     fresh_counter: std::cell::Cell<u64>,
+    table: std::cell::RefCell<std::collections::HashMap<(Sort, Shape), TermRef>>,
 }
 
 impl TermManager {
@@ -141,9 +247,15 @@ impl TermManager {
     }
 
     fn mk(&self, sort: Sort, kind: TermKind) -> TermRef {
+        let key = (sort, Shape::of(&kind));
+        if let Some(existing) = self.table.borrow().get(&key) {
+            return existing.clone();
+        }
         let id = self.next_id.get();
         self.next_id.set(id + 1);
-        Rc::new(Term { id, sort, kind })
+        let term = Rc::new(Term { id, sort, kind });
+        self.table.borrow_mut().insert(key, term.clone());
+        term
     }
 
     /// Number of terms created so far (a proxy for formula size).
@@ -304,6 +416,14 @@ impl TermManager {
         self.mk(sort, build(a, b))
     }
 
+    /// `Some(value)` when the term is a bit-vector constant.
+    fn as_const(term: &TermRef) -> Option<&BvValue> {
+        match &term.kind {
+            TermKind::BvConst(v) => Some(v),
+            _ => None,
+        }
+    }
+
     fn bv_cmp(
         &self,
         a: TermRef,
@@ -319,26 +439,94 @@ impl TermManager {
     }
 
     pub fn bv_add(&self, a: TermRef, b: TermRef) -> TermRef {
+        // x + 0 = 0 + x = x.
+        if Self::as_const(&a).is_some_and(BvValue::is_zero) {
+            return b;
+        }
+        if Self::as_const(&b).is_some_and(BvValue::is_zero) {
+            return a;
+        }
         self.bv_binop(a, b, BvValue::add, TermKind::BvAdd)
     }
 
     pub fn bv_sub(&self, a: TermRef, b: TermRef) -> TermRef {
+        // x - 0 = x; x - x = 0.
+        if Self::as_const(&b).is_some_and(BvValue::is_zero) {
+            return a;
+        }
+        if a.id == b.id {
+            return self.bv_const(0, a.sort.width());
+        }
         self.bv_binop(a, b, BvValue::sub, TermKind::BvSub)
     }
 
     pub fn bv_mul(&self, a: TermRef, b: TermRef) -> TermRef {
+        // x * 0 = 0; x * 1 = x (and the mirrored forms).
+        let width = a.sort.width();
+        for (constant, other) in [(&a, &b), (&b, &a)] {
+            if let Some(value) = Self::as_const(constant) {
+                if value.is_zero() {
+                    return self.bv_const(0, width);
+                }
+                // `bit(0) && rest zero` rather than `to_u128() == 1`:
+                // to_u128 panics on constants wider than 128 bits.
+                if value.bit(0) && value.lshr(1).is_zero() {
+                    return other.clone();
+                }
+            }
+        }
         self.bv_binop(a, b, BvValue::mul, TermKind::BvMul)
     }
 
     pub fn bv_and(&self, a: TermRef, b: TermRef) -> TermRef {
+        // x & 0 = 0; x & ~0 = x; x & x = x.
+        if a.id == b.id {
+            return a;
+        }
+        let width = a.sort.width();
+        for (constant, other) in [(&a, &b), (&b, &a)] {
+            if let Some(value) = Self::as_const(constant) {
+                if value.is_zero() {
+                    return self.bv_const(0, width);
+                }
+                if value.bitnot().is_zero() {
+                    return other.clone();
+                }
+            }
+        }
         self.bv_binop(a, b, BvValue::bitand, TermKind::BvAnd)
     }
 
     pub fn bv_or(&self, a: TermRef, b: TermRef) -> TermRef {
+        // x | 0 = x; x | ~0 = ~0; x | x = x.
+        if a.id == b.id {
+            return a;
+        }
+        for (constant, other) in [(&a, &b), (&b, &a)] {
+            if let Some(value) = Self::as_const(constant) {
+                if value.is_zero() {
+                    return other.clone();
+                }
+                if value.bitnot().is_zero() {
+                    return constant.clone();
+                }
+            }
+        }
         self.bv_binop(a, b, BvValue::bitor, TermKind::BvOr)
     }
 
     pub fn bv_xor(&self, a: TermRef, b: TermRef) -> TermRef {
+        // x ^ 0 = x; x ^ x = 0.
+        if a.id == b.id {
+            return self.bv_const(0, a.sort.width());
+        }
+        for (constant, other) in [(&a, &b), (&b, &a)] {
+            if let Some(value) = Self::as_const(constant) {
+                if value.is_zero() {
+                    return other.clone();
+                }
+            }
+        }
         self.bv_binop(a, b, BvValue::bitxor, TermKind::BvXor)
     }
 
@@ -359,6 +547,10 @@ impl TermManager {
     }
 
     pub fn bv_shl(&self, a: TermRef, b: TermRef) -> TermRef {
+        // x << 0 = x.
+        if Self::as_const(&b).is_some_and(BvValue::is_zero) {
+            return a;
+        }
         self.bv_binop(
             a,
             b,
@@ -368,6 +560,10 @@ impl TermManager {
     }
 
     pub fn bv_lshr(&self, a: TermRef, b: TermRef) -> TermRef {
+        // x >> 0 = x.
+        if Self::as_const(&b).is_some_and(BvValue::is_zero) {
+            return a;
+        }
         self.bv_binop(
             a,
             b,

@@ -465,17 +465,15 @@ impl<'a> Executor<'a> {
                 let valid = call.method() == "setValid";
                 let receiver = receiver_expr(call);
                 let policy = self.policy;
-                if let Some(target) = self.resolve_lvalue(&receiver)? {
-                    if let CVal::Header { valid: v, fields } = target {
-                        *v = valid;
-                        if valid {
-                            // Fields become unspecified; use the target's
-                            // undefined-value policy.
-                            for field in fields.values_mut() {
-                                if let CVal::Scalar(value) = field {
-                                    let width = value.as_bv().width();
-                                    *value = policy.scalar(width);
-                                }
+                if let Some(CVal::Header { valid: v, fields }) = self.resolve_lvalue(&receiver)? {
+                    *v = valid;
+                    if valid {
+                        // Fields become unspecified; use the target's
+                        // undefined-value policy.
+                        for field in fields.values_mut() {
+                            if let CVal::Scalar(value) = field {
+                                let width = value.as_bv().width();
+                                *value = policy.scalar(width);
                             }
                         }
                     }

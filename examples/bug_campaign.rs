@@ -1,22 +1,72 @@
 //! Full bug-finding campaign: regenerates the shape of the paper's Tables 2
-//! and 3 from the seeded-bug catalogue.
+//! and 3 from the seeded-bug catalogue, then demonstrates the parallel
+//! bug-hunting engine over a random seed range.
 //!
-//! Run with `cargo run --release --example bug_campaign [random_programs_per_bug]`.
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example bug_campaign -- [--jobs N] [--programs-per-bug P] [--hunt-seeds S]
+//! ```
 
-use gauntlet_core::{render_detection_matrix, render_table2, render_table3, run_campaign, CampaignConfig};
+use gauntlet_core::{
+    render_detection_matrix, render_table2, render_table3, run_campaign, CampaignConfig,
+    HuntConfig, ParallelCampaign, SeededBug,
+};
+
+fn parse_flag(name: &str, default: usize) -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
 
 fn main() {
-    let random_programs_per_bug: usize =
-        std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(2);
-    let config = CampaignConfig { random_programs_per_bug, ..CampaignConfig::default() };
+    let jobs = parse_flag("--jobs", 1);
+    let random_programs_per_bug = parse_flag("--programs-per-bug", 2);
+    let hunt_seeds = parse_flag("--hunt-seeds", 100);
+
+    // Part 1: the seeded-bug table campaign (paper Tables 2 and 3).
+    let config = CampaignConfig { random_programs_per_bug, jobs, ..CampaignConfig::default() };
     println!(
-        "running campaign: {} seeded bug classes, {} random program(s) per class ...",
-        gauntlet_core::SeededBug::catalogue().len(),
-        config.random_programs_per_bug
+        "running campaign: {} seeded bug classes, {} random program(s) per class, {} job(s) ...",
+        SeededBug::catalogue().len(),
+        config.random_programs_per_bug,
+        jobs
     );
+    let start = std::time::Instant::now();
     let report = run_campaign(&config);
+    println!("campaign finished in {:?}", start.elapsed());
     println!();
     println!("{}", render_table2(&report));
     println!("{}", render_table3(&report));
     println!("{}", render_detection_matrix(&report));
+
+    // Part 2: the parallel hunt over a random seed range, against a compiler
+    // seeded with one semantic bug so there is something to find.
+    let buggy = SeededBug::catalogue()
+        .into_iter()
+        .find(|b| b.platform() == gauntlet_core::Platform::P4c && !b.is_crash_class())
+        .expect("catalogue has a P4C semantic bug");
+    println!(
+        "hunting {} random programs against a compiler seeded with `{}` ({} job(s)) ...",
+        hunt_seeds,
+        buggy.name(),
+        jobs
+    );
+    let hunt = ParallelCampaign::new(HuntConfig {
+        jobs,
+        seed_count: hunt_seeds,
+        bug_quota: Some(5),
+        ..HuntConfig::default()
+    })
+    .run(|| buggy.build_compiler());
+    println!(
+        "hunt finished in {:?} ({:.1} programs/s, per-worker loads {:?})",
+        hunt.elapsed,
+        hunt.throughput(),
+        hunt.per_worker
+    );
+    println!("{}", hunt.render());
 }
