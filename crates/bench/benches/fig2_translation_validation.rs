@@ -11,8 +11,10 @@ use p4c::Compiler;
 fn bench_translation_validation(c: &mut Criterion) {
     let programs = sample_programs(4, GeneratorConfig::tiny(), 42);
     let compiler = Compiler::reference();
-    let compiled: Vec<_> =
-        programs.iter().map(|p| compiler.compile(p).expect("compiles")).collect();
+    let compiled: Vec<_> = programs
+        .iter()
+        .map(|p| compiler.compile(p).expect("compiles"))
+        .collect();
     let gauntlet = Gauntlet::default();
 
     let mut group = c.benchmark_group("fig2_translation_validation");

@@ -40,7 +40,10 @@ fn table_program(actions: usize, keys: usize) -> p4_ir::Program {
         actions: refs,
         default_action: ActionRef::new("NoAction"),
     }));
-    builder::v1model_program(locals, Block::new(vec![Statement::call(vec!["t", "apply"], vec![])]))
+    builder::v1model_program(
+        locals,
+        Block::new(vec![Statement::call(vec!["t", "apply"], vec![])]),
+    )
 }
 
 fn bench_table_encoding(c: &mut Criterion) {
@@ -48,14 +51,18 @@ fn bench_table_encoding(c: &mut Criterion) {
     group.sample_size(20);
     for actions in [1usize, 4, 8] {
         let program = table_program(actions, 2);
-        group.bench_with_input(BenchmarkId::new("interpret_actions", actions), &program, |b, p| {
-            b.iter(|| {
-                let tm = Rc::new(TermManager::new());
-                let semantics = interpret_program(&tm, p).expect("interprets");
-                std::hint::black_box(tm.term_count());
-                std::hint::black_box(semantics.blocks.len());
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("interpret_actions", actions),
+            &program,
+            |b, p| {
+                b.iter(|| {
+                    let tm = Rc::new(TermManager::new());
+                    let semantics = interpret_program(&tm, p).expect("interprets");
+                    std::hint::black_box(tm.term_count());
+                    std::hint::black_box(semantics.blocks.len());
+                })
+            },
+        );
     }
     // Print the formula-size series (the figure's qualitative content).
     println!("formula size (term count) vs number of table actions:");

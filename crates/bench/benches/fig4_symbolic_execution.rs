@@ -11,7 +11,10 @@ use targets::{run_ptf, BackEndBugClass, TofinoBackend};
 
 fn bench_test_generation(c: &mut Criterion) {
     let programs = sample_programs(4, GeneratorConfig::tofino(), 7);
-    let options = TestGenOptions { max_tests: 8, ..TestGenOptions::default() };
+    let options = TestGenOptions {
+        max_tests: 8,
+        ..TestGenOptions::default()
+    };
 
     let mut group = c.benchmark_group("fig4_symbolic_execution");
     group.sample_size(10);
@@ -39,7 +42,9 @@ fn bench_test_generation(c: &mut Criterion) {
         let seeded = SeededBug::BackEnd(bug);
         let program = seeded.trigger_program();
         let tests = generate_tests(&program, &options).expect("test generation");
-        let binary = TofinoBackend::with_bug(bug).compile(&program).expect("compiles");
+        let binary = TofinoBackend::with_bug(bug)
+            .compile(&program)
+            .expect("compiles");
         let report = run_ptf(&binary, &tests);
         println!(
             "  {:<28} tests = {:>2}, failing = {:>2} ({:.0}%)",

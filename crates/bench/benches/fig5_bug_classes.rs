@@ -14,9 +14,15 @@ fn main() {
     for bug in SeededBug::catalogue() {
         let program = bug.trigger_program();
         let reports = match bug.platform() {
-            Platform::P4c => gauntlet.check_open_compiler(&bug.build_compiler(), &program).reports,
+            Platform::P4c => {
+                gauntlet
+                    .check_open_compiler(&bug.build_compiler(), &program)
+                    .reports
+            }
             Platform::Bmv2 => {
-                gauntlet.check_bmv2(&bug.build_compiler(), &program, bug.backend_bug()).reports
+                gauntlet
+                    .check_bmv2(&bug.build_compiler(), &program, bug.backend_bug())
+                    .reports
             }
             Platform::Tofino => {
                 let backend = match bug.backend_bug() {
@@ -36,7 +42,11 @@ fn main() {
             bug.name(),
             bug.platform().to_string(),
             bug.area().to_string(),
-            if bug.is_crash_class() { "crash" } else { "semantic" },
+            if bug.is_crash_class() {
+                "crash"
+            } else {
+                "semantic"
+            },
             technique
         );
     }

@@ -67,16 +67,17 @@ fn campaign_scaling(_c: &mut Criterion) {
     let mut baseline = None;
     let mut reference_render = None;
     for jobs in [1usize, 2, 4] {
-        let config = HuntConfig { jobs, ..base.clone() };
+        let config = HuntConfig {
+            jobs,
+            ..base.clone()
+        };
         let report = ParallelCampaign::new(config).run(Compiler::reference);
         let throughput = report.throughput();
         let speedup = baseline.map(|b: f64| throughput / b).unwrap_or(1.0);
         baseline.get_or_insert(throughput);
         println!(
             "  --jobs {jobs}: {:>8.1} programs/s  ({:>6.2}x vs --jobs 1, {:?} wall clock)",
-            throughput,
-            speedup,
-            report.elapsed
+            throughput, speedup, report.elapsed
         );
         // The determinism contract: every jobs setting commits the identical
         // report.
@@ -92,8 +93,11 @@ fn campaign_scaling(_c: &mut Criterion) {
 
     println!();
     println!("incremental validation-chain reuse (--jobs 1, same {SEEDS} programs):");
-    let fresh = ParallelCampaign::new(HuntConfig { incremental: false, ..base.clone() })
-        .run(Compiler::reference);
+    let fresh = ParallelCampaign::new(HuntConfig {
+        incremental: false,
+        ..base.clone()
+    })
+    .run(Compiler::reference);
     let incremental = ParallelCampaign::new(base).run(Compiler::reference);
     assert_eq!(
         fresh.render(),

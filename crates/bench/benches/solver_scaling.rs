@@ -28,24 +28,32 @@ fn bench_solver(c: &mut Criterion) {
     let mut group = c.benchmark_group("solver_scaling");
     group.sample_size(10);
     for width in [8u32, 16, 32] {
-        group.bench_with_input(BenchmarkId::new("equivalence_width", width), &width, |b, &w| {
-            b.iter(|| {
-                let (_tm, query) = equivalence_query(w, 3);
-                let mut solver = Solver::new();
-                solver.assert(query);
-                assert!(!solver.check().is_sat(), "expressions are equivalent");
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("equivalence_width", width),
+            &width,
+            |b, &w| {
+                b.iter(|| {
+                    let (_tm, query) = equivalence_query(w, 3);
+                    let mut solver = Solver::new();
+                    solver.assert(query);
+                    assert!(!solver.check().is_sat(), "expressions are equivalent");
+                })
+            },
+        );
     }
     for depth in [1u32, 3, 6] {
-        group.bench_with_input(BenchmarkId::new("equivalence_depth", depth), &depth, |b, &d| {
-            b.iter(|| {
-                let (_tm, query) = equivalence_query(8, d);
-                let mut solver = Solver::new();
-                solver.assert(query);
-                assert!(!solver.check().is_sat());
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("equivalence_depth", depth),
+            &depth,
+            |b, &d| {
+                b.iter(|| {
+                    let (_tm, query) = equivalence_query(8, d);
+                    let mut solver = Solver::new();
+                    solver.assert(query);
+                    assert!(!solver.check().is_sat());
+                })
+            },
+        );
     }
     group.finish();
 
@@ -85,8 +93,10 @@ fn bench_solver(c: &mut Criterion) {
         let previous = chain.last().expect("chain is non-empty").clone();
         chain.push(tm.bv_xor(tm.bv_add(previous, k.clone()), k));
     }
-    let queries: Vec<TermRef> =
-        chain.windows(2).map(|w| tm.neq(w[0].clone(), w[1].clone())).collect();
+    let queries: Vec<TermRef> = chain
+        .windows(2)
+        .map(|w| tm.neq(w[0].clone(), w[1].clone()))
+        .collect();
 
     let start = std::time::Instant::now();
     for query in &queries {

@@ -27,7 +27,10 @@ fn main() {
         config.random_programs_per_bug,
         elapsed.as_secs_f64()
     );
-    assert_eq!(report.false_alarms, 0, "the correct pipeline must stay clean");
+    assert_eq!(
+        report.false_alarms, 0,
+        "the correct pipeline must stay clean"
+    );
     assert!(
         report.outcomes.iter().all(|o| o.detected),
         "every seeded bug class must be detected"

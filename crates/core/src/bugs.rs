@@ -86,9 +86,39 @@ pub struct BugReport {
     pub pass: Option<String>,
     /// Human-readable description / crash message / counterexample summary.
     pub message: String,
+    /// The delta-debugged minimal reproducer (printed P4 source), when the
+    /// campaign ran with reduction enabled.  The minimized program
+    /// typechecks and reproduces the same [`BugReport::dedup_key`] through
+    /// the oracle it was reduced under — the paper's reporting workflow
+    /// (§7) filed exactly such reduced programs upstream.
+    pub minimized: Option<String>,
+    /// Statistics of the reduction run that produced `minimized`
+    /// (wall-clock excluded, so reports stay schedule-independent).
+    pub reduction: Option<p4_reduce::ReductionStats>,
 }
 
 impl BugReport {
+    /// A finding with no attached reproducer reduction.
+    pub fn new(
+        kind: BugKind,
+        platform: Platform,
+        area: CompilerArea,
+        technique: Technique,
+        pass: Option<String>,
+        message: String,
+    ) -> BugReport {
+        BugReport {
+            kind,
+            platform,
+            area,
+            technique,
+            pass,
+            message,
+            minimized: None,
+            reduction: None,
+        }
+    }
+
     /// The key used to consider two findings "the same bug": same kind, same
     /// platform, same pass, and the same leading line of the message — the
     /// same rule the authors used with P4C's distinct assertion messages
@@ -143,7 +173,9 @@ impl BugDatabase {
     pub fn count_by_platform(&self) -> BTreeMap<(Platform, bool), usize> {
         let mut counts = BTreeMap::new();
         for report in self.bugs.values() {
-            *counts.entry((report.platform, report.kind.is_crash_like())).or_insert(0) += 1;
+            *counts
+                .entry((report.platform, report.kind.is_crash_like()))
+                .or_insert(0) += 1;
         }
         counts
     }
@@ -163,23 +195,35 @@ mod tests {
     use super::*;
 
     fn report(kind: BugKind, pass: &str, message: &str) -> BugReport {
-        BugReport {
+        BugReport::new(
             kind,
-            platform: Platform::P4c,
-            area: CompilerArea::FrontEnd,
-            technique: Technique::TranslationValidation,
-            pass: Some(pass.into()),
-            message: message.into(),
-        }
+            Platform::P4c,
+            CompilerArea::FrontEnd,
+            Technique::TranslationValidation,
+            Some(pass.into()),
+            message.into(),
+        )
     }
 
     #[test]
     fn duplicate_findings_collapse() {
         let mut db = BugDatabase::new();
-        assert!(db.record(report(BugKind::Crash, "SimplifyDefUse", "assertion failed: x")));
-        assert!(!db.record(report(BugKind::Crash, "SimplifyDefUse", "assertion failed: x")));
+        assert!(db.record(report(
+            BugKind::Crash,
+            "SimplifyDefUse",
+            "assertion failed: x"
+        )));
+        assert!(!db.record(report(
+            BugKind::Crash,
+            "SimplifyDefUse",
+            "assertion failed: x"
+        )));
         assert!(db.record(report(BugKind::Crash, "Predication", "assertion failed: x")));
-        assert!(db.record(report(BugKind::Semantic, "SimplifyDefUse", "assertion failed: x")));
+        assert!(db.record(report(
+            BugKind::Semantic,
+            "SimplifyDefUse",
+            "assertion failed: x"
+        )));
         assert_eq!(db.len(), 3);
     }
 

@@ -87,8 +87,16 @@ pub struct CampaignReport {
 impl CampaignReport {
     /// Detected bug count for a platform split into (crash, semantic).
     pub fn platform_counts(&self, platform: Platform) -> (usize, usize) {
-        let crash = self.by_platform.get(&format!("{platform}/crash")).copied().unwrap_or(0);
-        let semantic = self.by_platform.get(&format!("{platform}/semantic")).copied().unwrap_or(0);
+        let crash = self
+            .by_platform
+            .get(&format!("{platform}/crash"))
+            .copied()
+            .unwrap_or(0);
+        let semantic = self
+            .by_platform
+            .get(&format!("{platform}/semantic"))
+            .copied()
+            .unwrap_or(0);
         (crash, semantic)
     }
 
@@ -175,8 +183,13 @@ pub fn run_campaign(config: &CampaignConfig) -> CampaignReport {
                 let catalogue = &catalogue;
                 scope.spawn(move || loop {
                     let index = next.fetch_add(1, Ordering::Relaxed);
-                    let Some(&bug) = catalogue.get(index) else { break };
-                    if sender.send((index, run_bug_class(config, index, bug))).is_err() {
+                    let Some(&bug) = catalogue.get(index) else {
+                        break;
+                    };
+                    if sender
+                        .send((index, run_bug_class(config, index, bug)))
+                        .is_err()
+                    {
                         break;
                     }
                 });
@@ -200,7 +213,10 @@ pub fn run_campaign(config: &CampaignConfig) -> CampaignReport {
 
     let mut by_platform = BTreeMap::new();
     for ((platform, crash_like), count) in database.count_by_platform() {
-        let key = format!("{platform}/{}", if crash_like { "crash" } else { "semantic" });
+        let key = format!(
+            "{platform}/{}",
+            if crash_like { "crash" } else { "semantic" }
+        );
         by_platform.insert(key, count);
     }
     let mut by_area = BTreeMap::new();
@@ -225,7 +241,9 @@ fn run_one(gauntlet: &Gauntlet, bug: SeededBug, program: &Program) -> Vec<BugRep
         }
         Platform::Bmv2 => {
             let compiler = bug.build_compiler();
-            gauntlet.check_bmv2(&compiler, program, bug.backend_bug()).reports
+            gauntlet
+                .check_bmv2(&compiler, program, bug.backend_bug())
+                .reports
         }
         Platform::Tofino => {
             let backend = match bug.backend_bug() {
@@ -242,10 +260,20 @@ fn run_one(gauntlet: &Gauntlet, bug: SeededBug, program: &Program) -> Vec<BugRep
 fn count_false_alarms(gauntlet: &Gauntlet, bug: SeededBug, program: &Program) -> usize {
     let reports = match bug.platform() {
         Platform::P4c => {
-            gauntlet.check_open_compiler(&p4c::Compiler::reference(), program).reports
+            gauntlet
+                .check_open_compiler(&p4c::Compiler::reference(), program)
+                .reports
         }
-        Platform::Bmv2 => gauntlet.check_bmv2(&p4c::Compiler::reference(), program, None).reports,
-        Platform::Tofino => gauntlet.check_tofino(&targets::TofinoBackend::new(), program).reports,
+        Platform::Bmv2 => {
+            gauntlet
+                .check_bmv2(&p4c::Compiler::reference(), program, None)
+                .reports
+        }
+        Platform::Tofino => {
+            gauntlet
+                .check_tofino(&targets::TofinoBackend::new(), program)
+                .reports
+        }
     };
     reports
         .iter()
@@ -277,6 +305,12 @@ pub struct HuntConfig {
     /// Validate pass chains incrementally (see
     /// [`GauntletOptions::incremental`]).
     pub incremental: bool,
+    /// Delta-debug every committed finding down to a minimal reproducer
+    /// (paper §7: all 96 upstream reports were filed as reduced programs).
+    /// Reduction runs on the worker that found the bug — sharded across the
+    /// pool like the hunt itself — and is deterministic per seed, so
+    /// reports stay byte-identical across `jobs` settings.
+    pub reduce_reports: bool,
 }
 
 impl Default for HuntConfig {
@@ -288,6 +322,7 @@ impl Default for HuntConfig {
             generator: GeneratorConfig::tiny(),
             bug_quota: None,
             incremental: true,
+            reduce_reports: false,
         }
     }
 }
@@ -319,6 +354,12 @@ pub struct HuntReport {
     /// Programs processed per worker (schedule-dependent; sums to at least
     /// `programs_checked`).
     pub per_worker: Vec<usize>,
+    /// Committed findings that could not be reduced despite
+    /// [`HuntConfig::reduce_reports`] being set (always 0 when reduction is
+    /// off).  Nonzero means an oracle failed to reproduce a finding — a
+    /// signature-format drift between the detection pipeline and
+    /// `p4-reduce`, worth investigating.
+    pub reduction_failures: usize,
 }
 
 impl HuntReport {
@@ -343,6 +384,13 @@ impl HuntReport {
             self.outcomes.len(),
             self.total_bugs
         );
+        if self.reduction_failures > 0 {
+            let _ = writeln!(
+                out,
+                "WARNING: {} committed finding(s) could not be reduced (oracle mismatch)",
+                self.reduction_failures
+            );
+        }
         for outcome in &self.outcomes {
             let _ = writeln!(out, "seed {}:", outcome.seed);
             for report in &outcome.reports {
@@ -355,6 +403,16 @@ impl HuntReport {
                     report.pass.as_deref().unwrap_or("-"),
                     report.message.lines().next().unwrap_or("")
                 );
+                if let Some(stats) = &report.reduction {
+                    let _ = writeln!(
+                        out,
+                        "    minimized: {} -> {} statements ({} oracle calls, {} steps)",
+                        stats.initial_statements,
+                        stats.final_statements,
+                        stats.oracle_calls,
+                        stats.accepted_steps
+                    );
+                }
             }
         }
         out
@@ -370,6 +428,8 @@ struct HuntCommit {
     committed: Vec<SeedOutcome>,
     programs_checked: usize,
     bugs: usize,
+    /// Committed findings lacking `minimized` although reduction was on.
+    reduction_failures: usize,
     stopped: bool,
 }
 
@@ -411,6 +471,7 @@ impl ParallelCampaign {
             committed: Vec::new(),
             programs_checked: 0,
             bugs: 0,
+            reduction_failures: 0,
             stopped: false,
         });
         let processed_counts = Mutex::new(vec![0usize; jobs]);
@@ -440,22 +501,47 @@ impl ParallelCampaign {
                         let mut generator =
                             RandomProgramGenerator::new(config.generator.clone(), seed);
                         let program = generator.generate();
-                        let outcome = gauntlet.check_open_compiler(&compiler, &program);
+                        let mut reports = gauntlet.check_open_compiler(&compiler, &program).reports;
+                        if config.reduce_reports
+                            && !reports.is_empty()
+                            // Once the quota stop is set nothing further can
+                            // ever commit, so skip the (expensive) reduction
+                            // of findings that are guaranteed to be dropped.
+                            && !commit.lock().expect("hunt lock").stopped
+                        {
+                            // Reduce right here on the finding worker: the
+                            // result is a pure function of (program, report,
+                            // budget), so sharding does not disturb the
+                            // byte-identical-across-jobs contract.
+                            for report in &mut reports {
+                                let mut oracle = Gauntlet::open_compiler_oracle(report, factory());
+                                gauntlet.reduce_report(&mut *oracle, &program, report);
+                            }
+                        }
                         processed += 1;
 
                         let mut state = commit.lock().expect("hunt lock");
-                        state.pending.insert(index, outcome.reports);
+                        state.pending.insert(index, reports);
                         while !state.stopped {
                             let commit_index = state.next;
-                            let Some(reports) = state.pending.remove(&commit_index) else { break };
+                            let Some(reports) = state.pending.remove(&commit_index) else {
+                                break;
+                            };
                             let committed_seed = config.seed_start + state.next as u64;
                             state.next += 1;
                             state.programs_checked += 1;
                             if !reports.is_empty() {
                                 state.bugs += reports.len();
-                                state
-                                    .committed
-                                    .push(SeedOutcome { seed: committed_seed, reports });
+                                if config.reduce_reports {
+                                    // Counted over *committed* reports only,
+                                    // so the tally is schedule-independent.
+                                    state.reduction_failures +=
+                                        reports.iter().filter(|r| r.minimized.is_none()).count();
+                                }
+                                state.committed.push(SeedOutcome {
+                                    seed: committed_seed,
+                                    reports,
+                                });
                             }
                             if let Some(quota) = config.bug_quota {
                                 if state.bugs >= quota {
@@ -476,6 +562,7 @@ impl ParallelCampaign {
             total_bugs: state.bugs,
             elapsed: start.elapsed(),
             per_worker: processed_counts.into_inner().expect("count lock"),
+            reduction_failures: state.reduction_failures,
         }
     }
 }
@@ -498,7 +585,11 @@ mod tests {
         let report = run_campaign(&config);
         assert_eq!(report.false_alarms, 0, "correct pipeline flagged a bug");
         for outcome in &report.outcomes {
-            assert!(outcome.detected, "seeded bug {} was not detected", outcome.bug);
+            assert!(
+                outcome.detected,
+                "seeded bug {} was not detected",
+                outcome.bug
+            );
         }
         // Table 2 shape: bugs on every platform, both kinds on P4C.
         let (p4c_crash, p4c_semantic) = report.platform_counts(Platform::P4c);
@@ -507,7 +598,9 @@ mod tests {
         assert!(report.platform_counts(Platform::Bmv2).1 >= 2);
         assert!(report.platform_counts(Platform::Tofino).1 >= 2);
         // Table 3 shape: front end ≥ mid end, and back end bugs exist.
-        assert!(report.area_count(CompilerArea::FrontEnd) >= report.area_count(CompilerArea::MidEnd));
+        assert!(
+            report.area_count(CompilerArea::FrontEnd) >= report.area_count(CompilerArea::MidEnd)
+        );
         assert!(report.area_count(CompilerArea::BackEnd) >= 3);
     }
 
@@ -520,7 +613,10 @@ mod tests {
             check_false_alarms: false,
             ..CampaignConfig::default()
         };
-        let sequential = run_campaign(&CampaignConfig { jobs: 1, ..base.clone() });
+        let sequential = run_campaign(&CampaignConfig {
+            jobs: 1,
+            ..base.clone()
+        });
         let parallel = run_campaign(&CampaignConfig { jobs: 4, ..base });
         assert_eq!(
             format!("{:?}", sequential.outcomes),
@@ -543,9 +639,16 @@ mod tests {
                 .expect("catalogue has a P4C semantic bug");
             bug.build_compiler()
         };
-        let base = HuntConfig { seed_start: 0, seed_count: 40, ..HuntConfig::default() };
-        let sequential =
-            ParallelCampaign::new(HuntConfig { jobs: 1, ..base.clone() }).run(factory);
+        let base = HuntConfig {
+            seed_start: 0,
+            seed_count: 40,
+            ..HuntConfig::default()
+        };
+        let sequential = ParallelCampaign::new(HuntConfig {
+            jobs: 1,
+            ..base.clone()
+        })
+        .run(factory);
         let parallel = ParallelCampaign::new(HuntConfig { jobs: 4, ..base }).run(factory);
         assert_eq!(sequential.render(), parallel.render());
         assert_eq!(sequential.programs_checked, 40);
@@ -572,8 +675,11 @@ mod tests {
             bug_quota: Some(2),
             ..HuntConfig::default()
         };
-        let sequential =
-            ParallelCampaign::new(HuntConfig { jobs: 1, ..base.clone() }).run(factory);
+        let sequential = ParallelCampaign::new(HuntConfig {
+            jobs: 1,
+            ..base.clone()
+        })
+        .run(factory);
         let parallel = ParallelCampaign::new(HuntConfig { jobs: 3, ..base }).run(factory);
         assert_eq!(sequential.render(), parallel.render());
         assert!(sequential.total_bugs >= 2);
@@ -584,7 +690,12 @@ mod tests {
     /// alarms), mirroring the paper's §5.2 discipline.
     #[test]
     fn hunt_on_the_reference_compiler_finds_nothing() {
-        let config = HuntConfig { jobs: 2, seed_start: 500, seed_count: 12, ..HuntConfig::default() };
+        let config = HuntConfig {
+            jobs: 2,
+            seed_start: 500,
+            seed_count: 12,
+            ..HuntConfig::default()
+        };
         let report = ParallelCampaign::new(config).run(p4c::Compiler::reference);
         let real: Vec<_> = report
             .outcomes
@@ -592,7 +703,10 @@ mod tests {
             .flat_map(|o| &o.reports)
             .filter(|r| !matches!(r.kind, BugKind::InvalidTransformation))
             .collect();
-        assert!(real.is_empty(), "false alarms on the reference compiler: {real:#?}");
+        assert!(
+            real.is_empty(),
+            "false alarms on the reference compiler: {real:#?}"
+        );
         assert_eq!(report.programs_checked, 12);
     }
 }

@@ -30,8 +30,10 @@ pub enum SeededBug {
 impl SeededBug {
     /// The full catalogue.
     pub fn catalogue() -> Vec<SeededBug> {
-        let mut bugs: Vec<SeededBug> =
-            FrontEndBugClass::all().into_iter().map(SeededBug::FrontEnd).collect();
+        let mut bugs: Vec<SeededBug> = FrontEndBugClass::all()
+            .into_iter()
+            .map(SeededBug::FrontEnd)
+            .collect();
         bugs.extend(BackEndBugClass::all().into_iter().map(SeededBug::BackEnd));
         bugs
     }
@@ -107,6 +109,33 @@ impl SeededBug {
         match self.platform() {
             Platform::Tofino => "tna",
             _ => "v1model",
+        }
+    }
+
+    /// Builds the reduction oracle matching this class: the technique that
+    /// detects the bug is the technique that must keep reproducing it while
+    /// `p4-reduce` shrinks the trigger program.
+    pub fn oracle(self, max_tests: usize) -> Box<dyn p4_reduce::Oracle> {
+        use p4_reduce::{BlackBoxTarget, CrashOracle, SemanticOracle, TestgenOracle};
+        match self {
+            SeededBug::FrontEnd(bug) if bug.is_crash_class() => {
+                Box::new(CrashOracle::new(self.build_compiler()))
+            }
+            SeededBug::FrontEnd(_) => Box::new(SemanticOracle::new(self.build_compiler())),
+            SeededBug::BackEnd(bug) => match bug.backend() {
+                targets::Backend::Bmv2 => Box::new(TestgenOracle::new(
+                    self.build_compiler(),
+                    BlackBoxTarget::Bmv2 { bug: Some(bug) },
+                    max_tests,
+                )),
+                targets::Backend::Tofino => Box::new(TestgenOracle::new(
+                    self.build_compiler(),
+                    BlackBoxTarget::Tofino {
+                        backend: targets::TofinoBackend::with_bug(bug),
+                    },
+                    max_tests,
+                )),
+            },
         }
     }
 }
@@ -245,7 +274,9 @@ fn front_end_trigger(bug: FrontEndBugClass) -> Program {
                 body: Block::new(vec![
                     Statement::if_then(
                         Expr::binary(BinOp::Eq, Expr::path("x"), Expr::uint(0, 8)),
-                        Statement::Block(Block::new(vec![Statement::Return(Some(Expr::uint(7, 8)))])),
+                        Statement::Block(Block::new(vec![Statement::Return(Some(Expr::uint(
+                            7, 8,
+                        )))])),
                     ),
                     Statement::Return(Some(Expr::path("x"))),
                 ]),
@@ -257,7 +288,9 @@ fn front_end_trigger(bug: FrontEndBugClass) -> Program {
                     Expr::call(vec!["pick"], vec![hdr(&["hdr", "h", "b"])]),
                 )]),
             );
-            program.declarations.insert(0, Declaration::Function(function));
+            program
+                .declarations
+                .insert(0, Declaration::Function(function));
             program
         }
         FrontEndBugClass::PredicationSwapsBranches
@@ -280,7 +313,10 @@ fn front_end_trigger(bug: FrontEndBugClass) -> Program {
             };
             let table = TableDecl {
                 name: "t".into(),
-                keys: vec![KeyElement { expr: hdr(&["hdr", "h", "a"]), match_kind: MatchKind::Exact }],
+                keys: vec![KeyElement {
+                    expr: hdr(&["hdr", "h", "a"]),
+                    match_kind: MatchKind::Exact,
+                }],
                 actions: vec![ActionRef::new("cond_set"), ActionRef::new("NoAction")],
                 default_action: ActionRef::new("NoAction"),
             };
@@ -370,7 +406,11 @@ mod tests {
         for bug in SeededBug::catalogue() {
             let program = bug.trigger_program();
             let errors = check_program(&program);
-            assert!(errors.is_empty(), "{}: trigger program is ill-typed: {errors:#?}", bug.name());
+            assert!(
+                errors.is_empty(),
+                "{}: trigger program is ill-typed: {errors:#?}",
+                bug.name()
+            );
         }
     }
 
@@ -387,11 +427,59 @@ mod tests {
         }
     }
 
+    /// The contract that makes reduction sound: for every seeded bug class,
+    /// the signature the `p4-reduce` oracle computes for the trigger
+    /// program is exactly the `dedup_key` of the report the detection
+    /// pipeline files.  This pins the two crates' signature formats
+    /// together (they cannot share code without a dependency cycle).
+    #[test]
+    fn oracle_signatures_match_pipeline_dedup_keys() {
+        use crate::pipeline::Gauntlet;
+        let gauntlet = Gauntlet::default();
+        for bug in SeededBug::catalogue() {
+            let program = bug.trigger_program();
+            let reports = match bug.platform() {
+                Platform::P4c => {
+                    gauntlet
+                        .check_open_compiler(&bug.build_compiler(), &program)
+                        .reports
+                }
+                Platform::Bmv2 => {
+                    gauntlet
+                        .check_bmv2(&bug.build_compiler(), &program, bug.backend_bug())
+                        .reports
+                }
+                Platform::Tofino => {
+                    let backend = match bug.backend_bug() {
+                        Some(backend_bug) => targets::TofinoBackend::with_bug(backend_bug),
+                        None => targets::TofinoBackend::new(),
+                    };
+                    gauntlet.check_tofino(&backend, &program).reports
+                }
+            };
+            assert!(!reports.is_empty(), "{}: trigger not detected", bug.name());
+            let mut oracle = bug.oracle(gauntlet.options.max_tests);
+            let signatures = oracle.signatures(&program);
+            for report in &reports {
+                assert!(
+                    signatures.contains(&report.dedup_key()),
+                    "{}: dedup key `{}` not among oracle signatures {:?}",
+                    bug.name(),
+                    report.dedup_key(),
+                    signatures
+                );
+            }
+        }
+    }
+
     #[test]
     fn seeded_compilers_replace_the_right_pass() {
         for bug in SeededBug::catalogue() {
             let compiler = bug.build_compiler();
-            assert_eq!(compiler.pass_names().len(), p4c::passes::default_pass_names().len());
+            assert_eq!(
+                compiler.pass_names().len(),
+                p4c::passes::default_pass_names().len()
+            );
         }
     }
 }

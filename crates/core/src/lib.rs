@@ -16,6 +16,10 @@
 //! * [`campaign`] — the evaluation campaign that regenerates the shape of
 //!   the paper's Tables 2 and 3;
 //! * [`report`] — text rendering of the campaign results.
+//!
+//! Test-case reduction (`p4-reduce`) plugs in underneath: campaigns run
+//! with reduction enabled attach a delta-debugged minimal reproducer to
+//! every finding, reproducing the paper's reporting workflow (§7).
 
 pub mod bugs;
 pub mod campaign;
@@ -30,4 +34,4 @@ pub use campaign::{
 };
 pub use inject::SeededBug;
 pub use pipeline::{Gauntlet, GauntletOptions, ProgramOutcome};
-pub use report::{render_detection_matrix, render_table2, render_table3};
+pub use report::{render_detection_matrix, render_reduction_summary, render_table2, render_table3};

@@ -11,6 +11,7 @@
 
 use crate::bugs::{BugKind, BugReport, CompilerArea, Platform, Technique};
 use p4_ir::Program;
+use p4_reduce::{CrashOracle, Oracle, Reducer, ReducerConfig, SemanticOracle};
 use p4_symbolic::{
     check_equivalence, generate_tests, Equivalence, EquivalenceError, TestGenOptions,
     ValidationSession,
@@ -28,7 +29,10 @@ pub struct ProgramOutcome {
 
 impl ProgramOutcome {
     fn with_reports(reports: Vec<BugReport>) -> ProgramOutcome {
-        ProgramOutcome { clean: reports.is_empty(), reports }
+        ProgramOutcome {
+            clean: reports.is_empty(),
+            reports,
+        }
     }
 }
 
@@ -62,11 +66,18 @@ pub struct GauntletOptions {
     /// re-interpret-and-re-bitblast-per-pair behaviour, e.g. for the
     /// before/after comparison in the `gen_throughput` bench.
     pub incremental: bool,
+    /// Budget for [`Gauntlet::reduce_report`] (and campaigns that enable
+    /// report reduction).
+    pub reducer: ReducerConfig,
 }
 
 impl Default for GauntletOptions {
     fn default() -> Self {
-        GauntletOptions { max_tests: 8, incremental: true }
+        GauntletOptions {
+            max_tests: 8,
+            incremental: true,
+            reducer: ReducerConfig::default(),
+        }
     }
 }
 
@@ -81,36 +92,75 @@ impl Gauntlet {
         Gauntlet { options }
     }
 
+    /// Builds the bug oracle matching a finding from the open-compiler
+    /// pipeline: crash-like findings re-run only the compiler driver (the
+    /// cheap oracle); semantic and invalid-transformation findings re-run
+    /// per-pass translation validation, sharing one incremental
+    /// [`ValidationSession`] across all shrink steps.
+    pub fn open_compiler_oracle(report: &BugReport, compiler: Compiler) -> Box<dyn Oracle> {
+        if report.kind.is_crash_like() {
+            Box::new(CrashOracle::new(compiler))
+        } else {
+            Box::new(SemanticOracle::new(compiler))
+        }
+    }
+
+    /// Delta-debugs `program` down to a minimal reproducer of `report` and
+    /// attaches the result (`minimized` + `reduction` stats) to the report.
+    ///
+    /// The oracle must match the finding (see [`Gauntlet::open_compiler_oracle`]
+    /// and `SeededBug::oracle`); a candidate is only ever accepted when it
+    /// reproduces the *same* [`BugReport::dedup_key`], so reduction cannot
+    /// drift onto a different bug.  Returns false when the program does not
+    /// reproduce the report through the given oracle.
+    pub fn reduce_report(
+        &self,
+        oracle: &mut dyn Oracle,
+        program: &Program,
+        report: &mut BugReport,
+    ) -> bool {
+        let target = report.dedup_key();
+        let reducer = Reducer::new(self.options.reducer.clone());
+        match reducer.reduce(oracle, program, &target) {
+            Some(reduction) => {
+                report.minimized = Some(p4_ir::print_program(&reduction.program));
+                report.reduction = Some(reduction.stats);
+                true
+            }
+            None => false,
+        }
+    }
+
     /// Technique 1 + 2 against an open compiler (P4C): compile, report
     /// crashes, then translation-validate every pass.
     pub fn check_open_compiler(&self, compiler: &Compiler, program: &Program) -> ProgramOutcome {
         match compiler.compile(program) {
-            Err(CompileError::Crash { pass, area, message }) => {
-                ProgramOutcome::with_reports(vec![BugReport {
-                    kind: BugKind::Crash,
-                    platform: Platform::P4c,
-                    area: area_of(area),
-                    technique: Technique::RandomGeneration,
-                    pass: Some(pass),
-                    message,
-                }])
-            }
+            Err(CompileError::Crash {
+                pass,
+                area,
+                message,
+            }) => ProgramOutcome::with_reports(vec![BugReport::new(
+                BugKind::Crash,
+                Platform::P4c,
+                area_of(area),
+                Technique::RandomGeneration,
+                Some(pass),
+                message,
+            )]),
             Err(CompileError::Rejected { pass, diagnostics }) => {
                 // The program was validated by the reference checker before
                 // generation, so a rejection means the compiler incorrectly
                 // refuses a valid program.
-                ProgramOutcome::with_reports(vec![BugReport {
-                    kind: BugKind::Rejection,
-                    platform: Platform::P4c,
-                    area: area_of_pass(&pass),
-                    technique: Technique::RandomGeneration,
-                    pass: Some(pass),
-                    message: diagnostics.join("; "),
-                }])
+                ProgramOutcome::with_reports(vec![BugReport::new(
+                    BugKind::Rejection,
+                    Platform::P4c,
+                    area_of_pass(&pass),
+                    Technique::RandomGeneration,
+                    Some(pass),
+                    diagnostics.join("; "),
+                )])
             }
-            Ok(result) => {
-                ProgramOutcome::with_reports(self.validate_translation(&result))
-            }
+            Ok(result) => ProgramOutcome::with_reports(self.validate_translation(&result)),
         }
     }
 
@@ -123,8 +173,11 @@ impl Gauntlet {
     /// side of one check and the left-hand side of the next, and all
     /// equivalence queries share one incremental solver.
     pub fn validate_translation(&self, result: &CompileResult) -> Vec<BugReport> {
-        let mut session =
-            if self.options.incremental { Some(ValidationSession::new()) } else { None };
+        let mut session = if self.options.incremental {
+            Some(ValidationSession::new())
+        } else {
+            None
+        };
         self.validate_translation_in(&mut session, result)
     }
 
@@ -141,14 +194,14 @@ impl Gauntlet {
             // Re-parse the emitted program; a parse failure is an invalid
             // transformation (§7.2).
             if let Err(error) = p4_parser::parse_program(&after.printed) {
-                reports.push(BugReport {
-                    kind: BugKind::InvalidTransformation,
-                    platform: Platform::P4c,
-                    area: area_of(after.area),
-                    technique: Technique::TranslationValidation,
-                    pass: Some(after.pass_name.clone()),
-                    message: format!("emitted program no longer parses: {error}"),
-                });
+                reports.push(BugReport::new(
+                    BugKind::InvalidTransformation,
+                    Platform::P4c,
+                    area_of(after.area),
+                    Technique::TranslationValidation,
+                    Some(after.pass_name.clone()),
+                    format!("emitted program no longer parses: {error}"),
+                ));
                 continue;
             }
             let verdict = match session.as_mut() {
@@ -158,24 +211,24 @@ impl Gauntlet {
             match verdict {
                 Ok(Equivalence::Equal) => {}
                 Ok(Equivalence::NotEqual(counterexample)) => {
-                    reports.push(BugReport {
-                        kind: BugKind::Semantic,
-                        platform: Platform::P4c,
-                        area: area_of(after.area),
-                        technique: Technique::TranslationValidation,
-                        pass: Some(after.pass_name.clone()),
-                        message: format!("{counterexample}"),
-                    });
+                    reports.push(BugReport::new(
+                        BugKind::Semantic,
+                        Platform::P4c,
+                        area_of(after.area),
+                        Technique::TranslationValidation,
+                        Some(after.pass_name.clone()),
+                        format!("{counterexample}"),
+                    ));
                 }
                 Err(EquivalenceError::StructureMismatch { block, detail }) => {
-                    reports.push(BugReport {
-                        kind: BugKind::InvalidTransformation,
-                        platform: Platform::P4c,
-                        area: area_of(after.area),
-                        technique: Technique::TranslationValidation,
-                        pass: Some(after.pass_name.clone()),
-                        message: format!("structure mismatch in `{block}`: {detail}"),
-                    });
+                    reports.push(BugReport::new(
+                        BugKind::InvalidTransformation,
+                        Platform::P4c,
+                        area_of(after.area),
+                        Technique::TranslationValidation,
+                        Some(after.pass_name.clone()),
+                        format!("structure mismatch in `{block}`: {detail}"),
+                    ));
                 }
                 Err(EquivalenceError::Interpreter(_)) => {
                     // The interpreter cannot handle this program: skip, as the
@@ -189,12 +242,20 @@ impl Gauntlet {
     /// Technique 3 against the BMv2 back end: compile with the shared
     /// front/mid end, then replay generated tests on the (possibly seeded)
     /// target.
-    pub fn check_bmv2(&self, compiler: &Compiler, program: &Program, target_bug: Option<targets::BackEndBugClass>) -> ProgramOutcome {
+    pub fn check_bmv2(
+        &self,
+        compiler: &Compiler,
+        program: &Program,
+        target_bug: Option<targets::BackEndBugClass>,
+    ) -> ProgramOutcome {
         let compiled = match compiler.compile(program) {
             Ok(result) => result.program,
             Err(_) => return ProgramOutcome::with_reports(Vec::new()),
         };
-        let options = TestGenOptions { max_tests: self.options.max_tests, ..TestGenOptions::default() };
+        let options = TestGenOptions {
+            max_tests: self.options.max_tests,
+            ..TestGenOptions::default()
+        };
         let tests = match generate_tests(program, &options) {
             Ok(tests) => tests,
             Err(_) => return ProgramOutcome::with_reports(Vec::new()),
@@ -207,13 +268,13 @@ impl Gauntlet {
         let mut reports = Vec::new();
         if report.found_semantic_bug() {
             let first = &report.mismatches[0];
-            reports.push(BugReport {
-                kind: BugKind::Semantic,
-                platform: Platform::Bmv2,
-                area: CompilerArea::BackEnd,
-                technique: Technique::SymbolicExecution,
-                pass: None,
-                message: format!(
+            reports.push(BugReport::new(
+                BugKind::Semantic,
+                Platform::Bmv2,
+                CompilerArea::BackEnd,
+                Technique::SymbolicExecution,
+                None,
+                format!(
                     "STF mismatch on `{}`: expected {:?}, observed {:?} ({} of {} tests failed)",
                     first.field,
                     first.expected,
@@ -221,7 +282,7 @@ impl Gauntlet {
                     report.mismatches.len(),
                     report.total
                 ),
-            });
+            ));
         }
         ProgramOutcome::with_reports(reports)
     }
@@ -231,14 +292,14 @@ impl Gauntlet {
         let binary = match backend.compile(program) {
             Ok(binary) => binary,
             Err(TofinoError::Crash { pass, message }) => {
-                return ProgramOutcome::with_reports(vec![BugReport {
-                    kind: BugKind::Crash,
-                    platform: Platform::Tofino,
-                    area: CompilerArea::BackEnd,
-                    technique: Technique::RandomGeneration,
-                    pass: Some(pass),
+                return ProgramOutcome::with_reports(vec![BugReport::new(
+                    BugKind::Crash,
+                    Platform::Tofino,
+                    CompilerArea::BackEnd,
+                    Technique::RandomGeneration,
+                    Some(pass),
                     message,
-                }]);
+                )]);
             }
             Err(TofinoError::Rejected { .. }) => {
                 // Target restriction: the program is simply outside the
@@ -246,7 +307,10 @@ impl Gauntlet {
                 return ProgramOutcome::with_reports(Vec::new());
             }
         };
-        let options = TestGenOptions { max_tests: self.options.max_tests, ..TestGenOptions::default() };
+        let options = TestGenOptions {
+            max_tests: self.options.max_tests,
+            ..TestGenOptions::default()
+        };
         let tests = match generate_tests(program, &options) {
             Ok(tests) => tests,
             Err(_) => return ProgramOutcome::with_reports(Vec::new()),
@@ -255,13 +319,13 @@ impl Gauntlet {
         let mut reports = Vec::new();
         if report.found_semantic_bug() {
             let first = &report.mismatches[0];
-            reports.push(BugReport {
-                kind: BugKind::Semantic,
-                platform: Platform::Tofino,
-                area: CompilerArea::BackEnd,
-                technique: Technique::SymbolicExecution,
-                pass: None,
-                message: format!(
+            reports.push(BugReport::new(
+                BugKind::Semantic,
+                Platform::Tofino,
+                CompilerArea::BackEnd,
+                Technique::SymbolicExecution,
+                None,
+                format!(
                     "PTF mismatch on `{}`: expected {:?}, observed {:?} ({} of {} tests failed)",
                     first.field,
                     first.expected,
@@ -269,7 +333,7 @@ impl Gauntlet {
                     report.mismatches.len(),
                     report.total
                 ),
-            });
+            ));
         }
         ProgramOutcome::with_reports(reports)
     }
@@ -306,6 +370,43 @@ mod tests {
         assert_eq!(report.pass.as_deref(), Some("SimplifyDefUse"));
     }
 
+    /// Reduction through the pipeline API: a padded trigger program shrinks
+    /// while still reproducing the identical dedup key.
+    #[test]
+    fn reduce_report_attaches_a_minimized_reproducer() {
+        use p4_ir::{Block, Expr, Statement};
+        let gauntlet = Gauntlet::default();
+        let build = || {
+            let mut compiler = Compiler::reference();
+            compiler.replace_pass(FrontEndBugClass::DefUseDropsParameterWrites.faulty_pass());
+            compiler
+        };
+        let mut statements: Vec<Statement> = (0..8)
+            .map(|i| Statement::assign(Expr::dotted(&["meta", "flag"]), Expr::uint(i, 8)))
+            .collect();
+        statements.push(Statement::assign(
+            Expr::dotted(&["hdr", "h", "a"]),
+            Expr::uint(1, 8),
+        ));
+        let program = builder::v1model_program(vec![], Block::new(statements));
+        let outcome = gauntlet.check_open_compiler(&build(), &program);
+        assert!(!outcome.clean);
+        let mut report = outcome.reports[0].clone();
+        let target = report.dedup_key();
+        let mut oracle = Gauntlet::open_compiler_oracle(&report, build());
+        assert!(gauntlet.reduce_report(&mut *oracle, &program, &mut report));
+        let stats = report.reduction.expect("stats attached");
+        assert!(
+            stats.final_statements < stats.initial_statements,
+            "{stats:?}"
+        );
+        // The minimized source re-parses and still reproduces the same key.
+        let minimized =
+            p4_parser::parse_program(report.minimized.as_deref().expect("minimized attached"))
+                .expect("minimized reproducer parses");
+        assert!(oracle.reproduces(&minimized, &target));
+    }
+
     #[test]
     fn bmv2_backend_bug_is_reported_via_stf() {
         use p4_ir::{Block, Expr, Statement};
@@ -321,8 +422,11 @@ mod tests {
         let compiler = Compiler::reference();
         let clean = gauntlet.check_bmv2(&compiler, &program, None);
         assert!(clean.clean);
-        let buggy =
-            gauntlet.check_bmv2(&compiler, &program, Some(targets::BackEndBugClass::Bmv2ExitIgnored));
+        let buggy = gauntlet.check_bmv2(
+            &compiler,
+            &program,
+            Some(targets::BackEndBugClass::Bmv2ExitIgnored),
+        );
         assert!(!buggy.clean);
         assert_eq!(buggy.reports[0].platform, Platform::Bmv2);
     }
@@ -336,7 +440,11 @@ mod tests {
             vec![],
             Block::new(vec![Statement::assign(
                 Expr::dotted(&["hdr", "h", "a"]),
-                Expr::binary(BinOp::SatAdd, Expr::dotted(&["hdr", "h", "b"]), Expr::uint(255, 8)),
+                Expr::binary(
+                    BinOp::SatAdd,
+                    Expr::dotted(&["hdr", "h", "b"]),
+                    Expr::uint(255, 8),
+                ),
             )]),
         );
         let clean = gauntlet.check_tofino(&TofinoBackend::new(), &program);

@@ -15,4 +15,6 @@
 
 pub mod typecheck;
 
-pub use typecheck::{check_program, CheckError, CheckErrorKind, CheckOptions};
+pub use typecheck::{
+    check_program, check_program_with, program_well_typed, CheckError, CheckErrorKind, CheckOptions,
+};

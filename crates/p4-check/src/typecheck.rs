@@ -1,8 +1,8 @@
 //! The type checker proper.
 
 use p4_ir::{
-    type_of, Architecture, BinOp, Block, CallExpr, ControlDecl, Declaration, Expr,
-    FunctionDecl, ParserDecl, Program, Scope, Statement, Transition, Type, TypeEnv, UnOp,
+    type_of, Architecture, BinOp, Block, CallExpr, ControlDecl, Declaration, Expr, FunctionDecl,
+    ParserDecl, Program, Scope, Statement, Transition, Type, TypeEnv, UnOp,
 };
 use std::collections::HashMap;
 use std::fmt;
@@ -34,25 +34,48 @@ pub struct CheckError {
 
 impl fmt::Display for CheckError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "[{:?}] in `{}`: {}", self.kind, self.context, self.message)
+        write!(
+            f,
+            "[{:?}] in `{}`: {}",
+            self.kind, self.context, self.message
+        )
     }
 }
 
 /// Options controlling strictness.
-#[derive(Debug, Clone)]
-#[derive(Default)]
+#[derive(Debug, Clone, Default)]
 pub struct CheckOptions {
     /// Warn (as errors) about reads of `out` parameters before any write.
     /// Reading such values is *undefined* rather than illegal in P4-16, so
     /// this defaults to off; Gauntlet's own semantics model them as fresh
     /// unknowns instead.
     pub reject_uninitialized_reads: bool,
+    /// Stop checking once this many errors have been collected.  Callers
+    /// that only need a yes/no verdict (the `p4-reduce` candidate gate runs
+    /// the checker thousands of times per reduction) set this to 1 so a
+    /// clearly broken candidate is rejected without checking the rest of
+    /// the program.
+    pub error_limit: Option<usize>,
 }
 
 /// Checks a whole program, returning all diagnostics found.
 /// An empty vector means the program is well-typed.
 pub fn check_program(program: &Program) -> Vec<CheckError> {
     check_program_with(program, &CheckOptions::default())
+}
+
+/// Fast boolean verdict: does the program typecheck?  Equivalent to
+/// `check_program(program).is_empty()` but stops at the first error, which
+/// makes it the right entry point for hot candidate-filtering loops.
+pub fn program_well_typed(program: &Program) -> bool {
+    check_program_with(
+        program,
+        &CheckOptions {
+            error_limit: Some(1),
+            ..CheckOptions::default()
+        },
+    )
+    .is_empty()
 }
 
 /// Checks a whole program with explicit options.
@@ -85,20 +108,29 @@ fn collect_callables(program: &Program) -> HashMap<String, CallableSig> {
     // The implicit NoAction action always exists.
     map.insert(
         "NoAction".to_string(),
-        CallableSig { params: Vec::new(), return_type: Type::Void },
+        CallableSig {
+            params: Vec::new(),
+            return_type: Type::Void,
+        },
     );
     for decl in &program.declarations {
         match decl {
             Declaration::Action(a) => {
                 map.insert(
                     a.name.clone(),
-                    CallableSig { params: a.params.clone(), return_type: Type::Void },
+                    CallableSig {
+                        params: a.params.clone(),
+                        return_type: Type::Void,
+                    },
                 );
             }
             Declaration::Function(f) => {
                 map.insert(
                     f.name.clone(),
-                    CallableSig { params: f.params.clone(), return_type: f.return_type.clone() },
+                    CallableSig {
+                        params: f.params.clone(),
+                        return_type: f.return_type.clone(),
+                    },
                 );
             }
             Declaration::Control(c) => {
@@ -106,7 +138,10 @@ fn collect_callables(program: &Program) -> HashMap<String, CallableSig> {
                     if let Declaration::Action(a) = local {
                         map.insert(
                             a.name.clone(),
-                            CallableSig { params: a.params.clone(), return_type: Type::Void },
+                            CallableSig {
+                                params: a.params.clone(),
+                                return_type: Type::Void,
+                            },
                         );
                     }
                 }
@@ -128,12 +163,29 @@ struct Checker<'a> {
 
 impl<'a> Checker<'a> {
     fn error(&mut self, kind: CheckErrorKind, message: impl Into<String>) {
-        self.errors.push(CheckError { kind, message: message.into(), context: self.context.clone() });
+        if self.at_error_limit() {
+            return;
+        }
+        self.errors.push(CheckError {
+            kind,
+            message: message.into(),
+            context: self.context.clone(),
+        });
+    }
+
+    /// True once the configured error limit has been reached; the main
+    /// declaration loop bails out early and `error` drops further
+    /// diagnostics.
+    fn at_error_limit(&self) -> bool {
+        matches!(self.options.error_limit, Some(limit) if self.errors.len() >= limit)
     }
 
     fn check(&mut self) {
         self.check_package();
         for decl in &self.program.declarations {
+            if self.at_error_limit() {
+                return;
+            }
             match decl {
                 Declaration::Control(c) => self.check_control(c),
                 Declaration::Parser(p) => self.check_parser(p),
@@ -165,7 +217,9 @@ impl<'a> Checker<'a> {
 
     fn type_exists(&self, ty: &Type) -> bool {
         match ty {
-            Type::Named(name) => !matches!(self.env.resolve(ty), Type::Named(_) if self.env.aggregate(name).is_none()),
+            Type::Named(name) => {
+                !matches!(self.env.resolve(ty), Type::Named(_) if self.env.aggregate(name).is_none())
+            }
             _ => true,
         }
     }
@@ -180,7 +234,10 @@ impl<'a> Checker<'a> {
             return;
         };
         if self.program.package.package.is_empty() {
-            self.error(CheckErrorKind::BadPackage, "missing `main` package instantiation");
+            self.error(
+                CheckErrorKind::BadPackage,
+                "missing `main` package instantiation",
+            );
             return;
         }
         if self.program.package.package != arch.package_name {
@@ -210,14 +267,20 @@ impl<'a> Checker<'a> {
                 (_, Some(_)) => {
                     self.error(
                         CheckErrorKind::BadPackage,
-                        format!("declaration `{decl_name}` has the wrong kind for slot `{}`", block.slot),
+                        format!(
+                            "declaration `{decl_name}` has the wrong kind for slot `{}`",
+                            block.slot
+                        ),
                     );
                     continue;
                 }
                 (_, None) => {
                     self.error(
                         CheckErrorKind::BadPackage,
-                        format!("slot `{}` references unknown declaration `{decl_name}`", block.slot),
+                        format!(
+                            "slot `{}` references unknown declaration `{decl_name}`",
+                            block.slot
+                        ),
                     );
                     continue;
                 }
@@ -288,7 +351,10 @@ impl<'a> Checker<'a> {
                     self.check_block(&a.body, &mut action_scope, &Type::Void);
                     local_actions.insert(
                         a.name.clone(),
-                        CallableSig { params: a.params.clone(), return_type: Type::Void },
+                        CallableSig {
+                            params: a.params.clone(),
+                            return_type: Type::Void,
+                        },
                     );
                     self.context = format!("control {}", control.name);
                 }
@@ -304,7 +370,10 @@ impl<'a> Checker<'a> {
                 if self.expr_type(&key.expr, &scope).is_none() {
                     self.error(
                         CheckErrorKind::BadTable,
-                        format!("table key `{}` is not well-typed", p4_ir::print_expr(&key.expr)),
+                        format!(
+                            "table key `{}` is not well-typed",
+                            p4_ir::print_expr(&key.expr)
+                        ),
                     );
                 }
             }
@@ -379,7 +448,10 @@ impl<'a> Checker<'a> {
                 }
                 Transition::Select { selector, cases } => {
                     if self.expr_type(selector, &state_scope).is_none() {
-                        self.error(CheckErrorKind::TypeMismatch, "select expression is not well-typed");
+                        self.error(
+                            CheckErrorKind::TypeMismatch,
+                            "select expression is not well-typed",
+                        );
                     }
                     for case in cases {
                         if !state_names.contains(&case.next_state.as_str()) {
@@ -430,7 +502,11 @@ impl<'a> Checker<'a> {
                 }
             }
             Statement::Call(call) => self.check_call(call, scope),
-            Statement::If { cond, then_branch, else_branch } => {
+            Statement::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
                 self.check_expr_type(cond, &Type::Bool, scope);
                 self.check_statement(then_branch, scope, return_type);
                 if let Some(else_stmt) = else_branch {
@@ -456,12 +532,11 @@ impl<'a> Checker<'a> {
             }
             Statement::Return(expr) => match (expr, return_type) {
                 (None, Type::Void) => {}
-                (Some(_), Type::Void) => {
-                    self.error(CheckErrorKind::TypeMismatch, "void callable returns a value")
-                }
-                (None, _) => {
-                    self.error(CheckErrorKind::TypeMismatch, "missing return value")
-                }
+                (Some(_), Type::Void) => self.error(
+                    CheckErrorKind::TypeMismatch,
+                    "void callable returns a value",
+                ),
+                (None, _) => self.error(CheckErrorKind::TypeMismatch, "missing return value"),
                 (Some(e), ty) => self.check_expr_type(e, &self.env.resolve(ty), scope),
             },
             Statement::Exit | Statement::Empty => {}
@@ -499,7 +574,10 @@ impl<'a> Checker<'a> {
             }
             name => {
                 let Some(sig) = self.callables.get(name).cloned() else {
-                    self.error(CheckErrorKind::BadCall, format!("call to unknown callable `{name}`"));
+                    self.error(
+                        CheckErrorKind::BadCall,
+                        format!("call to unknown callable `{name}`"),
+                    );
                     return;
                 };
                 // Direct invocations must supply every parameter (control
@@ -539,7 +617,10 @@ impl<'a> Checker<'a> {
         expr.collect_paths(&mut paths);
         for path in paths {
             if scope.lookup(path).is_none() && !self.is_global_name(path) {
-                self.error(CheckErrorKind::UnknownName, format!("`{path}` is not declared"));
+                self.error(
+                    CheckErrorKind::UnknownName,
+                    format!("`{path}` is not declared"),
+                );
                 return None;
             }
         }
@@ -556,11 +637,7 @@ impl<'a> Checker<'a> {
 
     fn is_global_name(&self, name: &str) -> bool {
         self.callables.contains_key(name)
-            || self
-                .program
-                .declarations
-                .iter()
-                .any(|d| d.name() == name)
+            || self.program.declarations.iter().any(|d| d.name() == name)
             || name == "packet"
     }
 
@@ -570,10 +647,11 @@ impl<'a> Checker<'a> {
             Expr::Slice { base, hi, lo } => {
                 self.validate_expr(base, scope);
                 if hi < lo {
-                    self.error(CheckErrorKind::BadSlice, format!("slice [{hi}:{lo}] has hi < lo"));
-                } else if let Some(width) =
-                    type_of(self.env, scope, base).and_then(|t| t.width())
-                {
+                    self.error(
+                        CheckErrorKind::BadSlice,
+                        format!("slice [{hi}:{lo}] has hi < lo"),
+                    );
+                } else if let Some(width) = type_of(self.env, scope, base).and_then(|t| t.width()) {
                     if *hi >= width {
                         self.error(
                             CheckErrorKind::BadSlice,
@@ -628,13 +706,20 @@ impl<'a> Checker<'a> {
                     }
                 }
             }
-            Expr::Ternary { cond, then_expr, else_expr } => {
+            Expr::Ternary {
+                cond,
+                then_expr,
+                else_expr,
+            } => {
                 self.validate_expr(cond, scope);
                 self.validate_expr(then_expr, scope);
                 self.validate_expr(else_expr, scope);
                 if let Some(ty) = type_of(self.env, scope, cond) {
                     if ty != Type::Bool {
-                        self.error(CheckErrorKind::TypeMismatch, "ternary condition must be boolean");
+                        self.error(
+                            CheckErrorKind::TypeMismatch,
+                            "ternary condition must be boolean",
+                        );
                     }
                 }
             }
@@ -734,7 +819,9 @@ mod tests {
             Expr::dotted(&["hdr", "h", "a"]),
             Expr::uint(1, 16),
         )]);
-        assert!(errors.iter().any(|e| e.kind == CheckErrorKind::TypeMismatch));
+        assert!(errors
+            .iter()
+            .any(|e| e.kind == CheckErrorKind::TypeMismatch));
     }
 
     #[test]
@@ -770,7 +857,9 @@ mod tests {
             Expr::dotted(&["hdr", "h", "a"]),
             Statement::Block(Block::empty()),
         )]);
-        assert!(errors.iter().any(|e| e.kind == CheckErrorKind::TypeMismatch));
+        assert!(errors
+            .iter()
+            .any(|e| e.kind == CheckErrorKind::TypeMismatch));
     }
 
     #[test]
@@ -828,7 +917,10 @@ mod tests {
     #[test]
     fn detects_broken_package_bindings() {
         let mut program = builder::trivial_program();
-        program.package.bindings.retain(|(slot, _)| slot != "egress");
+        program
+            .package
+            .bindings
+            .retain(|(slot, _)| slot != "egress");
         let errors = check_program(&program);
         assert!(errors.iter().any(|e| e.kind == CheckErrorKind::BadPackage));
     }

@@ -10,8 +10,8 @@
 use crate::config::GeneratorConfig;
 use p4_ir::builder::{self, SkeletonOptions};
 use p4_ir::{
-    ActionDecl, ActionRef, Architecture, BinOp, Block, Declaration, Direction, Expr,
-    FunctionDecl, KeyElement, MatchKind, Param, Program, Statement, TableDecl, Type, UnOp,
+    ActionDecl, ActionRef, Architecture, BinOp, Block, Declaration, Direction, Expr, FunctionDecl,
+    KeyElement, MatchKind, Param, Program, Statement, TableDecl, Type, UnOp,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -47,7 +47,12 @@ impl RandomProgramGenerator {
         let restrictions = Architecture::by_name(&config.architecture)
             .map(|a| a.restrictions)
             .unwrap_or_default();
-        RandomProgramGenerator { config, rng: StdRng::seed_from_u64(seed), restrictions, counter: 0 }
+        RandomProgramGenerator {
+            config,
+            rng: StdRng::seed_from_u64(seed),
+            restrictions,
+            counter: 0,
+        }
     }
 
     /// Generates one complete, well-typed program.
@@ -57,8 +62,11 @@ impl RandomProgramGenerator {
         let (actions, action_names) = self.generate_actions();
         let tables = self.generate_tables(&action_names);
         let table_names: Vec<String> = tables.iter().map(|t| t.name.clone()).collect();
-        let direct_actions: Vec<ActionDecl> =
-            actions.iter().filter(|a| !a.params.is_empty()).cloned().collect();
+        let direct_actions: Vec<ActionDecl> = actions
+            .iter()
+            .filter(|a| !a.params.is_empty())
+            .cloned()
+            .collect();
         let function_decls: Vec<FunctionDecl> = functions.clone();
 
         let mut locals: Vec<Declaration> = Vec::new();
@@ -77,10 +85,14 @@ impl RandomProgramGenerator {
             true,
         );
 
-        let options = SkeletonOptions { architecture: self.config.architecture.clone() };
+        let options = SkeletonOptions {
+            architecture: self.config.architecture.clone(),
+        };
         let mut program = builder::program_with_ingress(&options, locals, apply);
         for function in functions {
-            program.declarations.insert(0, Declaration::Function(function));
+            program
+                .declarations
+                .insert(0, Declaration::Function(function));
         }
         program
     }
@@ -104,14 +116,46 @@ impl RandomProgramGenerator {
     /// The header/metadata fields every generated program can use.
     fn base_lvalues(&self) -> Vec<LValue> {
         let mut lvalues = vec![
-            LValue { path: dotted(&["hdr", "eth", "dst_addr"]), width: 48, writable: true },
-            LValue { path: dotted(&["hdr", "eth", "src_addr"]), width: 48, writable: true },
-            LValue { path: dotted(&["hdr", "eth", "eth_type"]), width: 16, writable: true },
-            LValue { path: dotted(&["hdr", "h", "a"]), width: 8, writable: true },
-            LValue { path: dotted(&["hdr", "h", "b"]), width: 8, writable: true },
-            LValue { path: dotted(&["hdr", "h", "c"]), width: 8, writable: true },
-            LValue { path: dotted(&["meta", "tmp"]), width: 16, writable: true },
-            LValue { path: dotted(&["meta", "flag"]), width: 8, writable: true },
+            LValue {
+                path: dotted(&["hdr", "eth", "dst_addr"]),
+                width: 48,
+                writable: true,
+            },
+            LValue {
+                path: dotted(&["hdr", "eth", "src_addr"]),
+                width: 48,
+                writable: true,
+            },
+            LValue {
+                path: dotted(&["hdr", "eth", "eth_type"]),
+                width: 16,
+                writable: true,
+            },
+            LValue {
+                path: dotted(&["hdr", "h", "a"]),
+                width: 8,
+                writable: true,
+            },
+            LValue {
+                path: dotted(&["hdr", "h", "b"]),
+                width: 8,
+                writable: true,
+            },
+            LValue {
+                path: dotted(&["hdr", "h", "c"]),
+                width: 8,
+                writable: true,
+            },
+            LValue {
+                path: dotted(&["meta", "tmp"]),
+                width: 16,
+                writable: true,
+            },
+            LValue {
+                path: dotted(&["meta", "flag"]),
+                width: 8,
+                writable: true,
+            },
         ];
         if self.config.architecture == "v1model" {
             lvalues.push(LValue {
@@ -171,7 +215,12 @@ impl RandomProgramGenerator {
         let final_value = self.generate_expression(width, &scope, self.config.max_expression_depth);
         statements.push(Statement::Return(Some(final_value)));
         scope.clear();
-        FunctionDecl { name, return_type: Type::bits(width), params: vec![param], body: Block::new(statements) }
+        FunctionDecl {
+            name,
+            return_type: Type::bits(width),
+            params: vec![param],
+            body: Block::new(statements),
+        }
     }
 
     fn generate_actions(&mut self) -> (Vec<ActionDecl>, Vec<String>) {
@@ -188,10 +237,18 @@ impl RandomProgramGenerator {
             let mut scope = self.base_lvalues();
             if direct {
                 params.push(Param::new(Direction::InOut, "val", Type::bits(8)));
-                scope.push(LValue { path: vec!["val".into()], width: 8, writable: true });
+                scope.push(LValue {
+                    path: vec!["val".into()],
+                    width: 8,
+                    writable: true,
+                });
             } else if self.chance(50) {
                 params.push(Param::new(Direction::None, "port", Type::bits(8)));
-                scope.push(LValue { path: vec!["port".into()], width: 8, writable: false });
+                scope.push(LValue {
+                    path: vec!["port".into()],
+                    width: 8,
+                    writable: false,
+                });
             }
             let statement_count = 1 + self.pick(self.config.max_action_statements);
             let mut statements = Vec::new();
@@ -204,7 +261,11 @@ impl RandomProgramGenerator {
             if !direct {
                 table_action_names.push(name.clone());
             }
-            actions.push(ActionDecl { name, params, body: Block::new(statements) });
+            actions.push(ActionDecl {
+                name,
+                params,
+                body: Block::new(statements),
+            });
         }
         (actions, table_action_names)
     }
@@ -229,7 +290,9 @@ impl RandomProgramGenerator {
     }
 
     fn generate_tables(&mut self, action_names: &[String]) -> Vec<TableDecl> {
-        let count = self.pick(self.config.max_tables + 1).min(self.restrictions.max_tables_per_control);
+        let count = self
+            .pick(self.config.max_tables + 1)
+            .min(self.restrictions.max_tables_per_control);
         let mut tables = Vec::new();
         let scope = self.base_lvalues();
         for _ in 0..count {
@@ -238,11 +301,16 @@ impl RandomProgramGenerator {
             let keys = (0..key_count)
                 .map(|_| {
                     let lvalue = &scope[self.pick(scope.len())];
-                    KeyElement { expr: lvalue.expr(), match_kind: MatchKind::Exact }
+                    KeyElement {
+                        expr: lvalue.expr(),
+                        match_kind: MatchKind::Exact,
+                    }
                 })
                 .collect();
-            let mut actions: Vec<ActionRef> =
-                action_names.iter().map(|n| ActionRef::new(n.clone())).collect();
+            let mut actions: Vec<ActionRef> = action_names
+                .iter()
+                .map(|n| ActionRef::new(n.clone()))
+                .collect();
             actions.push(ActionRef::new("NoAction"));
             tables.push(TableDecl {
                 name,
@@ -336,7 +404,10 @@ impl RandomProgramGenerator {
                 let lo = self.rng.gen_range(0..=hi.saturating_sub(1));
                 let width = hi - lo + 1;
                 let value = self.generate_expression(width, scope, 1);
-                Statement::Assign { lhs: Expr::slice(target.expr(), hi, lo), rhs: value }
+                Statement::Assign {
+                    lhs: Expr::slice(target.expr(), hi, lo),
+                    rhs: value,
+                }
             }
             2 => {
                 let cond = self.generate_condition(scope, self.config.max_expression_depth);
@@ -378,8 +449,16 @@ impl RandomProgramGenerator {
                 } else {
                     None
                 };
-                scope.push(LValue { path: vec![name.clone()], width, writable: true });
-                Statement::Declare { name, ty: Type::bits(width), init }
+                scope.push(LValue {
+                    path: vec![name.clone()],
+                    width,
+                    writable: true,
+                });
+                Statement::Declare {
+                    name,
+                    ty: Type::bits(width),
+                    init,
+                }
             }
             4 => {
                 let table = &tables[self.pick(tables.len())];
@@ -416,7 +495,10 @@ impl RandomProgramGenerator {
                         }
                     })
                     .collect();
-                let call = Expr::Call(Box::new(p4_ir::CallExpr::new(vec![function.name.clone()], args)));
+                let call = Expr::Call(Box::new(p4_ir::CallExpr::new(
+                    vec![function.name.clone()],
+                    args,
+                )));
                 let target = self.pick_writable_of_width(scope, width);
                 // Either assign the result directly or embed the call in a
                 // larger expression (exercising side-effect ordering).
@@ -431,7 +513,11 @@ impl RandomProgramGenerator {
                 if !self.config.allow_validity_ops {
                     return Statement::Empty;
                 }
-                let method = if self.chance(50) { "setValid" } else { "setInvalid" };
+                let method = if self.chance(50) {
+                    "setValid"
+                } else {
+                    "setInvalid"
+                };
                 Statement::call(vec!["hdr", "h", method], vec![])
             }
             _ => Statement::Exit,
@@ -459,8 +545,10 @@ impl RandomProgramGenerator {
     }
 
     fn pick_writable_of_width(&mut self, scope: &[LValue], width: u32) -> LValue {
-        let candidates: Vec<&LValue> =
-            scope.iter().filter(|lv| lv.writable && lv.width == width).collect();
+        let candidates: Vec<&LValue> = scope
+            .iter()
+            .filter(|lv| lv.writable && lv.width == width)
+            .collect();
         if candidates.is_empty() {
             // Fall back to the custom header field of that width if present,
             // otherwise any 8-bit field (the skeleton always has them).
@@ -485,10 +573,18 @@ impl RandomProgramGenerator {
             lvalue.expr()
         };
         let right = self.generate_expression(width, scope, 1);
-        let op = [BinOp::Eq, BinOp::Ne, BinOp::Lt, BinOp::Le, BinOp::Gt, BinOp::Ge]
-            [self.pick(6)];
+        let op = [
+            BinOp::Eq,
+            BinOp::Ne,
+            BinOp::Lt,
+            BinOp::Le,
+            BinOp::Gt,
+            BinOp::Ge,
+        ][self.pick(6)];
         let comparison = Expr::binary(op, left, right);
-        let headers_in_scope = scope.iter().any(|lv| lv.path.first().map(String::as_str) == Some("hdr"));
+        let headers_in_scope = scope
+            .iter()
+            .any(|lv| lv.path.first().map(String::as_str) == Some("hdr"));
         if self.config.allow_validity_ops && headers_in_scope && self.chance(15) {
             Expr::binary(
                 BinOp::And,
@@ -549,7 +645,11 @@ impl RandomProgramGenerator {
                 )
             }
             4 => {
-                let op = if self.chance(50) { BinOp::Shl } else { BinOp::Shr };
+                let op = if self.chance(50) {
+                    BinOp::Shl
+                } else {
+                    BinOp::Shr
+                };
                 let amount = if self.restrictions.allows_variable_shift && self.chance(30) {
                     self.generate_leaf(width, scope)
                 } else {
@@ -602,7 +702,11 @@ impl RandomProgramGenerator {
                 Expr::cast(Type::bits(width), inner)
             }
             _ => {
-                let op = if self.chance(50) { BinOp::SatAdd } else { BinOp::SatSub };
+                let op = if self.chance(50) {
+                    BinOp::SatAdd
+                } else {
+                    BinOp::SatSub
+                };
                 Expr::binary(
                     op,
                     self.generate_expression(width, scope, depth - 1),
@@ -664,7 +768,11 @@ mod tests {
             let text = print_program(&program);
             let reparsed = p4_parser::parse_program(&text)
                 .unwrap_or_else(|e| panic!("seed {seed}: {e}\n{text}"));
-            assert_eq!(print_program(&reparsed), text, "seed {seed} does not round-trip");
+            assert_eq!(
+                print_program(&reparsed),
+                text,
+                "seed {seed} does not round-trip"
+            );
         }
     }
 
@@ -716,6 +824,9 @@ mod tests {
     fn generated_program_sizes_are_bounded() {
         let mut generator = RandomProgramGenerator::new(GeneratorConfig::tiny(), 7);
         let program = generator.generate();
-        assert!(program.size() < 400, "tiny config should produce small programs");
+        assert!(
+            program.size() < 400,
+            "tiny config should produce small programs"
+        );
     }
 }

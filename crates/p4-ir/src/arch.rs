@@ -106,7 +106,13 @@ impl Architecture {
         };
         let hdr = |dir| Param::new(dir, "hdr", Type::Named(HEADERS_STRUCT.into()));
         let meta = |dir| Param::new(dir, "meta", Type::Named(META_STRUCT.into()));
-        let std = |dir| Param::new(dir, "standard_metadata", Type::Named(STD_META_STRUCT.into()));
+        let std = |dir| {
+            Param::new(
+                dir,
+                "standard_metadata",
+                Type::Named(STD_META_STRUCT.into()),
+            )
+        };
         Architecture {
             name: "v1model".into(),
             package_name: "V1Switch".into(),
@@ -124,12 +130,20 @@ impl Architecture {
                 BlockSpec {
                     slot: "ingress".into(),
                     kind: BlockKind::Control,
-                    params: vec![hdr(Direction::InOut), meta(Direction::InOut), std(Direction::InOut)],
+                    params: vec![
+                        hdr(Direction::InOut),
+                        meta(Direction::InOut),
+                        std(Direction::InOut),
+                    ],
                 },
                 BlockSpec {
                     slot: "egress".into(),
                     kind: BlockKind::Control,
-                    params: vec![hdr(Direction::InOut), meta(Direction::InOut), std(Direction::InOut)],
+                    params: vec![
+                        hdr(Direction::InOut),
+                        meta(Direction::InOut),
+                        std(Direction::InOut),
+                    ],
                 },
                 BlockSpec {
                     slot: "deparser".into(),
@@ -177,7 +191,11 @@ impl Architecture {
                 BlockSpec {
                     slot: "ingress".into(),
                     kind: BlockKind::Control,
-                    params: vec![hdr(Direction::InOut), meta(Direction::InOut), ig(Direction::InOut)],
+                    params: vec![
+                        hdr(Direction::InOut),
+                        meta(Direction::InOut),
+                        ig(Direction::InOut),
+                    ],
                 },
                 BlockSpec {
                     slot: "ingress_deparser".into(),
@@ -264,6 +282,9 @@ mod tests {
     fn ingress_signature_uses_copy_in_copy_out() {
         let arch = Architecture::v1model();
         let ingress = arch.block("ingress").unwrap();
-        assert!(ingress.params.iter().all(|p| p.direction == Direction::InOut));
+        assert!(ingress
+            .params
+            .iter()
+            .all(|p| p.direction == Direction::InOut));
     }
 }

@@ -102,7 +102,11 @@ pub enum Expr {
     Bool(bool),
     /// Integer literal; `width = None` means an "infinite precision"
     /// compile-time integer that must be cast/inferred by the checker.
-    Int { value: u128, width: Option<u32>, signed: bool },
+    Int {
+        value: u128,
+        width: Option<u32>,
+        signed: bool,
+    },
     /// A reference to a named variable, parameter, or constant.
     Path(String),
     /// Member access `expr.member` (struct field, header field).
@@ -112,9 +116,17 @@ pub enum Expr {
     /// Unary operation.
     Unary { op: UnOp, operand: Box<Expr> },
     /// Binary operation.
-    Binary { op: BinOp, left: Box<Expr>, right: Box<Expr> },
+    Binary {
+        op: BinOp,
+        left: Box<Expr>,
+        right: Box<Expr>,
+    },
     /// Conditional `cond ? then : else`.
-    Ternary { cond: Box<Expr>, then_expr: Box<Expr>, else_expr: Box<Expr> },
+    Ternary {
+        cond: Box<Expr>,
+        then_expr: Box<Expr>,
+        else_expr: Box<Expr>,
+    },
     /// Explicit cast `(ty) expr`.
     Cast { ty: Type, expr: Box<Expr> },
     /// A call used in expression position, e.g. `hdr.h.isValid()`,
@@ -150,12 +162,20 @@ impl CallExpr {
 impl Expr {
     /// Convenience constructor for an unsigned sized literal.
     pub fn uint(value: u128, width: u32) -> Expr {
-        Expr::Int { value: crate::types::truncate(value, width), width: Some(width), signed: false }
+        Expr::Int {
+            value: crate::types::truncate(value, width),
+            width: Some(width),
+            signed: false,
+        }
     }
 
     /// Convenience constructor for an "infinite precision" integer literal.
     pub fn int(value: u128) -> Expr {
-        Expr::Int { value, width: None, signed: false }
+        Expr::Int {
+            value,
+            width: None,
+            signed: false,
+        }
     }
 
     /// Convenience constructor for a path expression.
@@ -165,7 +185,10 @@ impl Expr {
 
     /// Convenience constructor for member access.
     pub fn member(base: Expr, member: impl Into<String>) -> Expr {
-        Expr::Member { base: Box::new(base), member: member.into() }
+        Expr::Member {
+            base: Box::new(base),
+            member: member.into(),
+        }
     }
 
     /// `base.a.b.c` from `["base", "a", "b", "c"]`.
@@ -179,11 +202,18 @@ impl Expr {
     }
 
     pub fn binary(op: BinOp, left: Expr, right: Expr) -> Expr {
-        Expr::Binary { op, left: Box::new(left), right: Box::new(right) }
+        Expr::Binary {
+            op,
+            left: Box::new(left),
+            right: Box::new(right),
+        }
     }
 
     pub fn unary(op: UnOp, operand: Expr) -> Expr {
-        Expr::Unary { op, operand: Box::new(operand) }
+        Expr::Unary {
+            op,
+            operand: Box::new(operand),
+        }
     }
 
     pub fn ternary(cond: Expr, then_expr: Expr, else_expr: Expr) -> Expr {
@@ -195,11 +225,18 @@ impl Expr {
     }
 
     pub fn cast(ty: Type, expr: Expr) -> Expr {
-        Expr::Cast { ty, expr: Box::new(expr) }
+        Expr::Cast {
+            ty,
+            expr: Box::new(expr),
+        }
     }
 
     pub fn slice(base: Expr, hi: u32, lo: u32) -> Expr {
-        Expr::Slice { base: Box::new(base), hi, lo }
+        Expr::Slice {
+            base: Box::new(base),
+            hi,
+            lo,
+        }
     }
 
     pub fn call(target: Vec<&str>, args: Vec<Expr>) -> Expr {
@@ -241,9 +278,11 @@ impl Expr {
             Expr::Unary { operand, .. } => operand.has_call(),
             Expr::Cast { expr, .. } => expr.has_call(),
             Expr::Binary { left, right, .. } => left.has_call() || right.has_call(),
-            Expr::Ternary { cond, then_expr, else_expr } => {
-                cond.has_call() || then_expr.has_call() || else_expr.has_call()
-            }
+            Expr::Ternary {
+                cond,
+                then_expr,
+                else_expr,
+            } => cond.has_call() || then_expr.has_call() || else_expr.has_call(),
         }
     }
 
@@ -259,7 +298,11 @@ impl Expr {
                 left.collect_paths(out);
                 right.collect_paths(out);
             }
-            Expr::Ternary { cond, then_expr, else_expr } => {
+            Expr::Ternary {
+                cond,
+                then_expr,
+                else_expr,
+            } => {
                 cond.collect_paths(out);
                 then_expr.collect_paths(out);
                 else_expr.collect_paths(out);
@@ -284,9 +327,11 @@ impl Expr {
             Expr::Unary { operand, .. } => 1 + operand.size(),
             Expr::Cast { expr, .. } => 1 + expr.size(),
             Expr::Binary { left, right, .. } => 1 + left.size() + right.size(),
-            Expr::Ternary { cond, then_expr, else_expr } => {
-                1 + cond.size() + then_expr.size() + else_expr.size()
-            }
+            Expr::Ternary {
+                cond,
+                then_expr,
+                else_expr,
+            } => 1 + cond.size() + then_expr.size() + else_expr.size(),
             Expr::Call(call) => 1 + call.args.iter().map(Expr::size).sum::<usize>(),
         }
     }
@@ -301,11 +346,19 @@ pub enum Statement {
     /// `my_action(x);`.
     Call(CallExpr),
     /// `if (cond) { .. } else { .. }`
-    If { cond: Expr, then_branch: Box<Statement>, else_branch: Option<Box<Statement>> },
+    If {
+        cond: Expr,
+        then_branch: Box<Statement>,
+        else_branch: Option<Box<Statement>>,
+    },
     /// `{ ... }`
     Block(Block),
     /// Local variable declaration with optional initializer.
-    Declare { name: String, ty: Type, init: Option<Expr> },
+    Declare {
+        name: String,
+        ty: Type,
+        init: Option<Expr>,
+    },
     /// Local compile-time constant declaration.
     Constant { name: String, ty: Type, value: Expr },
     /// `exit;` — terminates processing of the whole programmable block, but
@@ -324,7 +377,11 @@ impl Statement {
     }
 
     pub fn if_then(cond: Expr, then_branch: Statement) -> Statement {
-        Statement::If { cond, then_branch: Box::new(then_branch), else_branch: None }
+        Statement::If {
+            cond,
+            then_branch: Box::new(then_branch),
+            else_branch: None,
+        }
     }
 
     pub fn if_else(cond: Expr, then_branch: Statement, else_branch: Statement) -> Statement {
@@ -336,7 +393,10 @@ impl Statement {
     }
 
     pub fn call(target: Vec<&str>, args: Vec<Expr>) -> Statement {
-        Statement::Call(CallExpr::new(target.into_iter().map(str::to_owned).collect(), args))
+        Statement::Call(CallExpr::new(
+            target.into_iter().map(str::to_owned).collect(),
+            args,
+        ))
     }
 
     /// Number of AST nodes in this statement.
@@ -344,7 +404,11 @@ impl Statement {
         match self {
             Statement::Assign { lhs, rhs } => 1 + lhs.size() + rhs.size(),
             Statement::Call(call) => 1 + call.args.iter().map(Expr::size).sum::<usize>(),
-            Statement::If { cond, then_branch, else_branch } => {
+            Statement::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
                 1 + cond.size()
                     + then_branch.size()
                     + else_branch.as_ref().map(|s| s.size()).unwrap_or(0)
@@ -370,7 +434,9 @@ impl Block {
     }
 
     pub fn empty() -> Block {
-        Block { statements: Vec::new() }
+        Block {
+            statements: Vec::new(),
+        }
     }
 
     pub fn size(&self) -> usize {
@@ -387,7 +453,10 @@ pub struct Field {
 
 impl Field {
     pub fn new(name: impl Into<String>, ty: Type) -> Field {
-        Field { name: name.into(), ty }
+        Field {
+            name: name.into(),
+            ty,
+        }
     }
 }
 
@@ -453,7 +522,10 @@ pub struct ActionRef {
 
 impl ActionRef {
     pub fn new(name: impl Into<String>) -> ActionRef {
-        ActionRef { name: name.into(), args: Vec::new() }
+        ActionRef {
+            name: name.into(),
+            args: Vec::new(),
+        }
     }
 }
 
@@ -489,7 +561,10 @@ pub enum Transition {
     /// `transition accept;` / `transition reject;` / `transition state_x;`
     Direct(String),
     /// `transition select(expr) { value: state; ...; default: state; }`
-    Select { selector: Expr, cases: Vec<SelectCase> },
+    Select {
+        selector: Expr,
+        cases: Vec<SelectCase>,
+    },
 }
 
 /// One arm of a `select` transition.
@@ -536,7 +611,11 @@ pub enum Declaration {
     Control(ControlDecl),
     Parser(ParserDecl),
     /// A local variable declaration inside a control's declaration list.
-    Variable { name: String, ty: Type, init: Option<Expr> },
+    Variable {
+        name: String,
+        ty: Type,
+        init: Option<Expr>,
+    },
 }
 
 impl Declaration {
@@ -697,7 +776,10 @@ mod tests {
     fn sample_header() -> HeaderDecl {
         HeaderDecl {
             name: "h_t".into(),
-            fields: vec![Field::new("a", Type::bits(8)), Field::new("b", Type::bits(16))],
+            fields: vec![
+                Field::new("a", Type::bits(8)),
+                Field::new("b", Type::bits(16)),
+            ],
         }
     }
 
@@ -762,7 +844,11 @@ mod tests {
         prog.declarations.push(Declaration::Header(sample_header()));
         prog.declarations.push(Declaration::Control(ControlDecl {
             name: "ig".into(),
-            params: vec![Param::new(Direction::InOut, "hdr", Type::Struct("headers_t".into()))],
+            params: vec![Param::new(
+                Direction::InOut,
+                "hdr",
+                Type::Struct("headers_t".into()),
+            )],
             locals: vec![],
             apply: Block::empty(),
         }));
@@ -776,7 +862,10 @@ mod tests {
     fn package_binding_lookup() {
         let pkg = PackageInstance {
             package: "V1Switch".into(),
-            bindings: vec![("parser".into(), "p".into()), ("ingress".into(), "ig".into())],
+            bindings: vec![
+                ("parser".into(), "p".into()),
+                ("ingress".into(), "ig".into()),
+            ],
         };
         assert_eq!(pkg.binding("ingress"), Some("ig"));
         assert_eq!(pkg.binding("egress"), None);

@@ -77,7 +77,10 @@ fn skeleton_parser(name: &str, params: Vec<Param>) -> ParserDecl {
                             value: Some(Expr::uint(0x0800, 16)),
                             next_state: "parse_h".into(),
                         },
-                        SelectCase { value: None, next_state: "accept".into() },
+                        SelectCase {
+                            value: None,
+                            next_state: "accept".into(),
+                        },
                     ],
                 },
             },
@@ -108,7 +111,12 @@ fn skeleton_deparser(name: &str, params: Vec<Param>) -> ControlDecl {
 
 /// An empty control with the right signature for a slot.
 fn empty_control(name: &str, params: Vec<Param>) -> ControlDecl {
-    ControlDecl { name: name.into(), params, locals: vec![], apply: Block::empty() }
+    ControlDecl {
+        name: name.into(),
+        params,
+        locals: vec![],
+        apply: Block::empty(),
+    }
 }
 
 /// Options controlling skeleton construction.
@@ -120,7 +128,9 @@ pub struct SkeletonOptions {
 
 impl Default for SkeletonOptions {
     fn default() -> Self {
-        SkeletonOptions { architecture: "v1model".into() }
+        SkeletonOptions {
+            architecture: "v1model".into(),
+        }
     }
 }
 
@@ -135,26 +145,38 @@ pub fn program_with_ingress(
     let arch = Architecture::by_name(&options.architecture)
         .unwrap_or_else(|| panic!("unknown architecture {}", options.architecture));
     let mut program = Program::new(arch.name.clone());
-    program.declarations.push(Declaration::Header(ethernet_header()));
-    program.declarations.push(Declaration::Header(custom_header()));
-    program.declarations.push(Declaration::Struct(headers_struct()));
-    program.declarations.push(Declaration::Struct(metadata_struct()));
+    program
+        .declarations
+        .push(Declaration::Header(ethernet_header()));
+    program
+        .declarations
+        .push(Declaration::Header(custom_header()));
+    program
+        .declarations
+        .push(Declaration::Struct(headers_struct()));
+    program
+        .declarations
+        .push(Declaration::Struct(metadata_struct()));
 
     let mut bindings = Vec::new();
     for block in &arch.blocks {
         let decl_name = format!("{}_impl", block.slot);
         match block.kind {
             crate::arch::BlockKind::Parser => {
-                program.declarations.push(Declaration::Parser(skeleton_parser(
-                    &decl_name,
-                    block.params.clone(),
-                )));
+                program
+                    .declarations
+                    .push(Declaration::Parser(skeleton_parser(
+                        &decl_name,
+                        block.params.clone(),
+                    )));
             }
             crate::arch::BlockKind::Deparser => {
-                program.declarations.push(Declaration::Control(skeleton_deparser(
-                    &decl_name,
-                    block.params.clone(),
-                )));
+                program
+                    .declarations
+                    .push(Declaration::Control(skeleton_deparser(
+                        &decl_name,
+                        block.params.clone(),
+                    )));
             }
             crate::arch::BlockKind::Control => {
                 // The first (primary) control slot receives the user body;
@@ -175,7 +197,10 @@ pub fn program_with_ingress(
         }
         bindings.push((block.slot.clone(), decl_name));
     }
-    program.package = PackageInstance { package: arch.package_name.clone(), bindings };
+    program.package = PackageInstance {
+        package: arch.package_name.clone(),
+        bindings,
+    };
     program
 }
 
@@ -187,7 +212,9 @@ pub fn v1model_program(ingress_locals: Vec<Declaration>, ingress_apply: Block) -
 /// Shorthand for a tna program with a custom ingress.
 pub fn tna_program(ingress_locals: Vec<Declaration>, ingress_apply: Block) -> Program {
     program_with_ingress(
-        &SkeletonOptions { architecture: "tna".into() },
+        &SkeletonOptions {
+            architecture: "tna".into(),
+        },
         ingress_locals,
         ingress_apply,
     )
@@ -198,13 +225,20 @@ pub fn tna_program(ingress_locals: Vec<Declaration>, ingress_apply: Block) -> Pr
 pub fn trivial_program() -> Program {
     v1model_program(
         vec![],
-        Block::new(vec![Statement::assign(Expr::dotted(&["hdr", "h", "a"]), Expr::uint(1, 8))]),
+        Block::new(vec![Statement::assign(
+            Expr::dotted(&["hdr", "h", "a"]),
+            Expr::uint(1, 8),
+        )]),
     )
 }
 
 /// Builds a `NoAction`-style empty action declaration.
 pub fn no_action() -> ActionDecl {
-    ActionDecl { name: "NoAction".into(), params: vec![], body: Block::empty() }
+    ActionDecl {
+        name: "NoAction".into(),
+        params: vec![],
+        body: Block::empty(),
+    }
 }
 
 /// Builds a single-key, two-action table over `hdr.h.a` mirroring the
@@ -254,7 +288,11 @@ pub fn lval(parts: &[&str]) -> Expr {
 
 /// Declares a fresh local variable statement `bit<width> name = init;`.
 pub fn declare_var(name: &str, width: u32, init: Option<Expr>) -> Statement {
-    Statement::Declare { name: name.into(), ty: Type::bits(width), init }
+    Statement::Declare {
+        name: name.into(),
+        ty: Type::bits(width),
+        init,
+    }
 }
 
 #[cfg(test)]

@@ -47,7 +47,10 @@ impl TypeEnv {
             for st in &arch.intrinsic_structs {
                 env.aggregates.insert(
                     st.name.clone(),
-                    Aggregate { kind: AggregateKind::Struct, fields: st.fields.clone() },
+                    Aggregate {
+                        kind: AggregateKind::Struct,
+                        fields: st.fields.clone(),
+                    },
                 );
             }
         }
@@ -56,13 +59,19 @@ impl TypeEnv {
                 Declaration::Header(h) => {
                     env.aggregates.insert(
                         h.name.clone(),
-                        Aggregate { kind: AggregateKind::Header, fields: h.fields.clone() },
+                        Aggregate {
+                            kind: AggregateKind::Header,
+                            fields: h.fields.clone(),
+                        },
                     );
                 }
                 Declaration::Struct(s) => {
                     env.aggregates.insert(
                         s.name.clone(),
-                        Aggregate { kind: AggregateKind::Struct, fields: s.fields.clone() },
+                        Aggregate {
+                            kind: AggregateKind::Struct,
+                            fields: s.fields.clone(),
+                        },
                     );
                 }
                 Declaration::Typedef(t) => {
@@ -131,7 +140,9 @@ pub struct Scope {
 
 impl Scope {
     pub fn new() -> Scope {
-        Scope { frames: vec![HashMap::new()] }
+        Scope {
+            frames: vec![HashMap::new()],
+        }
     }
 
     pub fn push(&mut self) {
@@ -176,7 +187,14 @@ pub fn type_of(env: &TypeEnv, scope: &Scope, expr: &Expr) -> Option<Type> {
     use crate::ast::{BinOp, UnOp};
     match expr {
         Expr::Bool(_) => Some(Type::Bool),
-        Expr::Int { width: Some(w), signed, .. } => Some(Type::Bits { width: *w, signed: *signed }),
+        Expr::Int {
+            width: Some(w),
+            signed,
+            ..
+        } => Some(Type::Bits {
+            width: *w,
+            signed: *signed,
+        }),
         Expr::Int { width: None, .. } => None,
         Expr::Path(name) => scope.lookup(name).map(|t| env.resolve(t)),
         Expr::Member { base, member } => {
@@ -209,9 +227,11 @@ pub fn type_of(env: &TypeEnv, scope: &Scope, expr: &Expr) -> Option<Type> {
                 type_of(env, scope, left).or_else(|| type_of(env, scope, right))
             }
         }
-        Expr::Ternary { then_expr, else_expr, .. } => {
-            type_of(env, scope, then_expr).or_else(|| type_of(env, scope, else_expr))
-        }
+        Expr::Ternary {
+            then_expr,
+            else_expr,
+            ..
+        } => type_of(env, scope, then_expr).or_else(|| type_of(env, scope, else_expr)),
         Expr::Cast { ty, .. } => Some(env.resolve(ty)),
         Expr::Call(call) => match call.method() {
             "isValid" => Some(Type::Bool),
@@ -257,7 +277,10 @@ mod tests {
     fn env_includes_architecture_intrinsics() {
         let env = TypeEnv::from_program(&program());
         let std_meta = Type::Struct("standard_metadata_t".into());
-        assert_eq!(env.field_type(&std_meta, "egress_spec"), Some(Type::bits(9)));
+        assert_eq!(
+            env.field_type(&std_meta, "egress_spec"),
+            Some(Type::bits(9))
+        );
     }
 
     #[test]

@@ -22,8 +22,8 @@ pub mod visit;
 pub use arch::{Architecture, BlockKind, BlockSpec, TargetRestrictions};
 pub use ast::{
     ActionDecl, ActionRef, BinOp, Block, CallExpr, ConstantDecl, ControlDecl, Declaration, Expr,
-    Field, FunctionDecl, HeaderDecl, KeyElement, PackageInstance, ParserDecl, ParserState,
-    Program, SelectCase, Statement, StructDecl, TableDecl, Transition, TypedefDecl, UnOp,
+    Field, FunctionDecl, HeaderDecl, KeyElement, PackageInstance, ParserDecl, ParserState, Program,
+    SelectCase, Statement, StructDecl, TableDecl, Transition, TypedefDecl, UnOp,
 };
 pub use env::{type_of, Aggregate, AggregateKind, Scope, TypeEnv};
 pub use printer::{print_expr, print_program, print_statement};

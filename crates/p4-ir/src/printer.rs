@@ -40,7 +40,10 @@ struct Printer {
 
 impl Printer {
     fn new() -> Printer {
-        Printer { out: String::new(), indent: 0 }
+        Printer {
+            out: String::new(),
+            indent: 0,
+        }
     }
 
     fn line(&mut self, text: &str) {
@@ -108,10 +111,19 @@ impl Printer {
             Declaration::Constant(c) => {
                 let mut value = String::new();
                 Self::expr_into(&mut value, &c.value);
-                self.line(&format!("const {} {} = {};", self.type_str(&c.ty), c.name, value));
+                self.line(&format!(
+                    "const {} {} = {};",
+                    self.type_str(&c.ty),
+                    c.name,
+                    value
+                ));
             }
             Declaration::Action(a) => {
-                self.open(&format!("action {}({}) {{", a.name, self.params_str(&a.params)));
+                self.open(&format!(
+                    "action {}({}) {{",
+                    a.name,
+                    self.params_str(&a.params)
+                ));
                 self.block_body(&a.body);
                 self.close("}");
             }
@@ -127,7 +139,11 @@ impl Printer {
             }
             Declaration::Table(t) => self.table(t),
             Declaration::Control(c) => {
-                self.open(&format!("control {}({}) {{", c.name, self.params_str(&c.params)));
+                self.open(&format!(
+                    "control {}({}) {{",
+                    c.name,
+                    self.params_str(&c.params)
+                ));
                 for local in &c.locals {
                     self.declaration(local);
                 }
@@ -137,7 +153,11 @@ impl Printer {
                 self.close("}");
             }
             Declaration::Parser(p) => {
-                self.open(&format!("parser {}({}) {{", p.name, self.params_str(&p.params)));
+                self.open(&format!(
+                    "parser {}({}) {{",
+                    p.name,
+                    self.params_str(&p.params)
+                ));
                 for local in &p.locals {
                     self.declaration(local);
                 }
@@ -176,7 +196,10 @@ impl Printer {
             self.line(&format!("{};", self.action_ref_str(action)));
         }
         self.close("}");
-        self.line(&format!("default_action = {};", self.action_ref_str(&t.default_action)));
+        self.line(&format!(
+            "default_action = {};",
+            self.action_ref_str(&t.default_action)
+        ));
         self.close("}");
     }
 
@@ -238,7 +261,11 @@ impl Printer {
                 Self::call_into(&mut s, call);
                 self.line(&format!("{s};"));
             }
-            Statement::If { cond, then_branch, else_branch } => {
+            Statement::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
                 let mut c = String::new();
                 Self::expr_into(&mut c, cond);
                 self.open(&format!("if ({c}) {{"));
@@ -351,11 +378,17 @@ impl Printer {
         match expr {
             Expr::Bool(true) => out.push_str("true"),
             Expr::Bool(false) => out.push_str("false"),
-            Expr::Int { value, width: Some(w), signed } => {
+            Expr::Int {
+                value,
+                width: Some(w),
+                signed,
+            } => {
                 let prefix = if *signed { "s" } else { "w" };
                 let _ = write!(out, "{w}{prefix}{value}");
             }
-            Expr::Int { value, width: None, .. } => {
+            Expr::Int {
+                value, width: None, ..
+            } => {
                 let _ = write!(out, "{value}");
             }
             Expr::Path(name) => out.push_str(name),
@@ -386,7 +419,11 @@ impl Printer {
                 Self::expr_into(out, right);
                 out.push(')');
             }
-            Expr::Ternary { cond, then_expr, else_expr } => {
+            Expr::Ternary {
+                cond,
+                then_expr,
+                else_expr,
+            } => {
                 out.push('(');
                 Self::expr_into(out, cond);
                 out.push_str(" ? ");
@@ -417,7 +454,11 @@ mod tests {
         assert_eq!(print_expr(&Expr::int(42)), "42");
         assert_eq!(print_expr(&Expr::Bool(true)), "true");
         assert_eq!(
-            print_expr(&Expr::Int { value: 3, width: Some(4), signed: true }),
+            print_expr(&Expr::Int {
+                value: 3,
+                width: Some(4),
+                signed: true
+            }),
             "4s3"
         );
     }
@@ -455,7 +496,10 @@ mod tests {
     fn prints_table_declaration() {
         let table = TableDecl {
             name: "t".into(),
-            keys: vec![KeyElement { expr: Expr::dotted(&["hdr", "a"]), match_kind: MatchKind::Exact }],
+            keys: vec![KeyElement {
+                expr: Expr::dotted(&["hdr", "a"]),
+                match_kind: MatchKind::Exact,
+            }],
             actions: vec![ActionRef::new("assign"), ActionRef::new("NoAction")],
             default_action: ActionRef::new("NoAction"),
         };

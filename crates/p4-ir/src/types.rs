@@ -35,12 +35,18 @@ pub enum Type {
 impl Type {
     /// Shorthand for the ubiquitous `bit<N>` type.
     pub fn bits(width: u32) -> Type {
-        Type::Bits { width, signed: false }
+        Type::Bits {
+            width,
+            signed: false,
+        }
     }
 
     /// Shorthand for `int<N>`.
     pub fn signed(width: u32) -> Type {
-        Type::Bits { width, signed: true }
+        Type::Bits {
+            width,
+            signed: true,
+        }
     }
 
     /// Returns the bit width for scalar types, `None` for aggregates/void.
@@ -72,8 +78,14 @@ impl fmt::Display for Type {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Type::Bool => write!(f, "bool"),
-            Type::Bits { width, signed: false } => write!(f, "bit<{width}>"),
-            Type::Bits { width, signed: true } => write!(f, "int<{width}>"),
+            Type::Bits {
+                width,
+                signed: false,
+            } => write!(f, "bit<{width}>"),
+            Type::Bits {
+                width,
+                signed: true,
+            } => write!(f, "int<{width}>"),
             Type::Header(name) | Type::Struct(name) | Type::Named(name) => write!(f, "{name}"),
             Type::Void => write!(f, "void"),
             Type::Packet => write!(f, "packet"),
@@ -139,7 +151,11 @@ pub struct Param {
 
 impl Param {
     pub fn new(direction: Direction, name: impl Into<String>, ty: Type) -> Param {
-        Param { direction, name: name.into(), ty }
+        Param {
+            direction,
+            name: name.into(),
+            ty,
+        }
     }
 }
 

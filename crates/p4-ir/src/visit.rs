@@ -55,7 +55,9 @@ pub fn walk_declaration<V: Visitor + ?Sized>(v: &mut V, decl: &Declaration) {
         Declaration::Function(f) => v.visit_function(f),
         Declaration::Table(t) => v.visit_table(t),
         Declaration::Constant(c) => v.visit_expr(&c.value),
-        Declaration::Variable { init: Some(init), .. } => v.visit_expr(init),
+        Declaration::Variable {
+            init: Some(init), ..
+        } => v.visit_expr(init),
         _ => {}
     }
 }
@@ -103,7 +105,11 @@ pub fn walk_statement<V: Visitor + ?Sized>(v: &mut V, stmt: &Statement) {
                 v.visit_expr(arg);
             }
         }
-        Statement::If { cond, then_branch, else_branch } => {
+        Statement::If {
+            cond,
+            then_branch,
+            else_branch,
+        } => {
             v.visit_expr(cond);
             v.visit_statement(then_branch);
             if let Some(else_stmt) = else_branch {
@@ -111,7 +117,9 @@ pub fn walk_statement<V: Visitor + ?Sized>(v: &mut V, stmt: &Statement) {
             }
         }
         Statement::Block(block) => v.visit_block(block),
-        Statement::Declare { init: Some(init), .. } => v.visit_expr(init),
+        Statement::Declare {
+            init: Some(init), ..
+        } => v.visit_expr(init),
         Statement::Constant { value, .. } => v.visit_expr(value),
         Statement::Return(Some(expr)) => v.visit_expr(expr),
         _ => {}
@@ -127,7 +135,11 @@ pub fn walk_expr<V: Visitor + ?Sized>(v: &mut V, expr: &Expr) {
             v.visit_expr(left);
             v.visit_expr(right);
         }
-        Expr::Ternary { cond, then_expr, else_expr } => {
+        Expr::Ternary {
+            cond,
+            then_expr,
+            else_expr,
+        } => {
             v.visit_expr(cond);
             v.visit_expr(then_expr);
             v.visit_expr(else_expr);
@@ -190,7 +202,9 @@ pub fn mutate_walk_declaration<M: Mutator + ?Sized>(m: &mut M, decl: &mut Declar
         Declaration::Function(f) => m.mutate_function(f),
         Declaration::Table(t) => m.mutate_table(t),
         Declaration::Constant(c) => m.mutate_expr(&mut c.value),
-        Declaration::Variable { init: Some(init), .. } => m.mutate_expr(init),
+        Declaration::Variable {
+            init: Some(init), ..
+        } => m.mutate_expr(init),
         _ => {}
     }
 }
@@ -238,7 +252,11 @@ pub fn mutate_walk_statement<M: Mutator + ?Sized>(m: &mut M, stmt: &mut Statemen
                 m.mutate_expr(arg);
             }
         }
-        Statement::If { cond, then_branch, else_branch } => {
+        Statement::If {
+            cond,
+            then_branch,
+            else_branch,
+        } => {
             m.mutate_expr(cond);
             m.mutate_statement(then_branch);
             if let Some(else_stmt) = else_branch {
@@ -246,7 +264,9 @@ pub fn mutate_walk_statement<M: Mutator + ?Sized>(m: &mut M, stmt: &mut Statemen
             }
         }
         Statement::Block(block) => m.mutate_block(block),
-        Statement::Declare { init: Some(init), .. } => m.mutate_expr(init),
+        Statement::Declare {
+            init: Some(init), ..
+        } => m.mutate_expr(init),
         Statement::Constant { value, .. } => m.mutate_expr(value),
         Statement::Return(Some(expr)) => m.mutate_expr(expr),
         _ => {}
@@ -262,7 +282,11 @@ pub fn mutate_walk_expr<M: Mutator + ?Sized>(m: &mut M, expr: &mut Expr) {
             m.mutate_expr(left);
             m.mutate_expr(right);
         }
-        Expr::Ternary { cond, then_expr, else_expr } => {
+        Expr::Ternary {
+            cond,
+            then_expr,
+            else_expr,
+        } => {
             m.mutate_expr(cond);
             m.mutate_expr(then_expr);
             m.mutate_expr(else_expr);
@@ -337,7 +361,11 @@ mod tests {
         ]);
         program.declarations.push(Declaration::Control(ControlDecl {
             name: "ig".into(),
-            params: vec![Param::new(Direction::InOut, "hdr", Type::Struct("headers_t".into()))],
+            params: vec![Param::new(
+                Direction::InOut,
+                "hdr",
+                Type::Struct("headers_t".into()),
+            )],
             locals: vec![],
             apply,
         }));

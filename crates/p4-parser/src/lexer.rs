@@ -32,7 +32,11 @@ pub enum Token {
     /// An unsized integer literal, e.g. `42` or `0x1f`.
     Number(u128),
     /// A sized literal, e.g. `8w255` (unsigned) or `4s3` (signed).
-    SizedNumber { width: u32, value: u128, signed: bool },
+    SizedNumber {
+        width: u32,
+        value: u128,
+        signed: bool,
+    },
     /// An `#include <...>` directive; the payload is the included name.
     Include(String),
 
@@ -79,8 +83,16 @@ impl fmt::Display for Token {
         match self {
             Token::Identifier(s) => write!(f, "identifier `{s}`"),
             Token::Number(n) => write!(f, "number `{n}`"),
-            Token::SizedNumber { width, value, signed } => {
-                write!(f, "literal `{width}{}{value}`", if *signed { "s" } else { "w" })
+            Token::SizedNumber {
+                width,
+                value,
+                signed,
+            } => {
+                write!(
+                    f,
+                    "literal `{width}{}{value}`",
+                    if *signed { "s" } else { "w" }
+                )
             }
             Token::Include(name) => write!(f, "#include <{name}>"),
             other => write!(f, "`{}`", token_text(other)),
@@ -164,7 +176,12 @@ struct Lexer<'a> {
 
 impl<'a> Lexer<'a> {
     fn new(source: &'a str) -> Lexer<'a> {
-        Lexer { chars: source.chars().collect(), index: 0, pos: Pos::start(), source }
+        Lexer {
+            chars: source.chars().collect(),
+            index: 0,
+            pos: Pos::start(),
+            source,
+        }
     }
 
     fn peek(&self) -> Option<char> {
@@ -192,7 +209,10 @@ impl<'a> Lexer<'a> {
     }
 
     fn error(&self, message: impl Into<String>) -> LexError {
-        LexError { message: message.into(), pos: self.pos }
+        LexError {
+            message: message.into(),
+            pos: self.pos,
+        }
     }
 
     fn run(mut self) -> Result<Vec<Spanned>, LexError> {
@@ -201,7 +221,10 @@ impl<'a> Lexer<'a> {
             self.skip_trivia()?;
             let pos = self.pos;
             let Some(c) = self.peek() else {
-                tokens.push(Spanned { token: Token::Eof, pos });
+                tokens.push(Spanned {
+                    token: Token::Eof,
+                    pos,
+                });
                 return Ok(tokens);
             };
             let token = if c.is_ascii_alphabetic() || c == '_' {
@@ -301,8 +324,7 @@ impl<'a> Lexer<'a> {
         if radix == 10 && matches!(self.peek(), Some('w') | Some('s')) {
             let signed = self.peek() == Some('s');
             self.bump();
-            let width = u32::try_from(value)
-                .map_err(|_| self.error("bit width too large"))?;
+            let width = u32::try_from(value).map_err(|_| self.error("bit width too large"))?;
             let mut value_digits = String::new();
             let value_radix =
                 if self.peek() == Some('0') && matches!(self.peek2(), Some('x') | Some('X')) {
@@ -327,7 +349,11 @@ impl<'a> Lexer<'a> {
             }
             let literal = u128::from_str_radix(&value_digits, value_radix)
                 .map_err(|_| self.error("sized literal out of range"))?;
-            return Ok(Token::SizedNumber { width, value: literal, signed });
+            return Ok(Token::SizedNumber {
+                width,
+                value: literal,
+                signed,
+            });
         }
         Ok(Token::Number(value))
     }
@@ -352,7 +378,10 @@ impl<'a> Lexer<'a> {
             .trim_end_matches(".p4")
             .to_string();
         if name.is_empty() {
-            return Err(self.error(format!("malformed preprocessor line in {}", self.source.len())));
+            return Err(self.error(format!(
+                "malformed preprocessor line in {}",
+                self.source.len()
+            )));
         }
         Ok(Token::Include(name))
     }
@@ -483,9 +512,21 @@ mod tests {
         assert_eq!(
             tokens("8w255 4s3 16w0xbeef"),
             vec![
-                Token::SizedNumber { width: 8, value: 255, signed: false },
-                Token::SizedNumber { width: 4, value: 3, signed: true },
-                Token::SizedNumber { width: 16, value: 0xbeef, signed: false },
+                Token::SizedNumber {
+                    width: 8,
+                    value: 255,
+                    signed: false
+                },
+                Token::SizedNumber {
+                    width: 4,
+                    value: 3,
+                    signed: true
+                },
+                Token::SizedNumber {
+                    width: 16,
+                    value: 0xbeef,
+                    signed: false
+                },
                 Token::Eof,
             ]
         );
@@ -493,12 +534,15 @@ mod tests {
 
     #[test]
     fn lexes_hex_and_binary() {
-        assert_eq!(tokens("0x1F 0b101 0"), vec![
-            Token::Number(0x1f),
-            Token::Number(0b101),
-            Token::Number(0),
-            Token::Eof,
-        ]);
+        assert_eq!(
+            tokens("0x1F 0b101 0"),
+            vec![
+                Token::Number(0x1f),
+                Token::Number(0b101),
+                Token::Number(0),
+                Token::Eof,
+            ]
+        );
     }
 
     #[test]
@@ -506,7 +550,11 @@ mod tests {
         let src = "// line comment\n#include <core.p4>\n/* block */ x";
         assert_eq!(
             tokens(src),
-            vec![Token::Include("core".into()), Token::Identifier("x".into()), Token::Eof]
+            vec![
+                Token::Include("core".into()),
+                Token::Identifier("x".into()),
+                Token::Eof
+            ]
         );
     }
 

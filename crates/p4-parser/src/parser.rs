@@ -32,13 +32,19 @@ impl std::error::Error for ParseError {}
 
 /// Parses a complete program from source text.
 pub fn parse_program(source: &str) -> Result<Program, ParseError> {
-    let tokens = lex(source).map_err(|e| ParseError { message: e.message, pos: e.pos })?;
+    let tokens = lex(source).map_err(|e| ParseError {
+        message: e.message,
+        pos: e.pos,
+    })?;
     Parser::new(tokens).program()
 }
 
 /// Parses a single expression (used by tests and the STF harness).
 pub fn parse_expression(source: &str) -> Result<Expr, ParseError> {
-    let tokens = lex(source).map_err(|e| ParseError { message: e.message, pos: e.pos })?;
+    let tokens = lex(source).map_err(|e| ParseError {
+        message: e.message,
+        pos: e.pos,
+    })?;
     let mut parser = Parser::new(tokens);
     let expr = parser.expression()?;
     parser.expect(&Token::Eof)?;
@@ -71,7 +77,9 @@ impl Parser {
     }
 
     fn bump(&mut self) -> Token {
-        let token = self.tokens[self.index.min(self.tokens.len() - 1)].token.clone();
+        let token = self.tokens[self.index.min(self.tokens.len() - 1)]
+            .token
+            .clone();
         if self.index < self.tokens.len() - 1 {
             self.index += 1;
         }
@@ -79,7 +87,10 @@ impl Parser {
     }
 
     fn error<T>(&self, message: impl Into<String>) -> PResult<T> {
-        Err(ParseError { message: message.into(), pos: self.pos() })
+        Err(ParseError {
+            message: message.into(),
+            pos: self.pos(),
+        })
     }
 
     fn expect(&mut self, token: &Token) -> PResult<()> {
@@ -171,7 +182,11 @@ impl Parser {
                 other => return self.error(format!("unexpected token {other} at top level")),
             }
         }
-        Ok(Program { architecture, declarations, package })
+        Ok(Program {
+            architecture,
+            declarations,
+            package,
+        })
     }
 
     fn package_instance(&mut self, architecture: &str) -> PResult<PackageInstance> {
@@ -218,12 +233,17 @@ impl Parser {
             "bit" | "int" => {
                 self.expect(&Token::LAngle)?;
                 let width = match self.bump() {
-                    Token::Number(n) => u32::try_from(n)
-                        .map_err(|_| ParseError { message: "width too large".into(), pos: self.pos() })?,
+                    Token::Number(n) => u32::try_from(n).map_err(|_| ParseError {
+                        message: "width too large".into(),
+                        pos: self.pos(),
+                    })?,
                     other => return self.error(format!("expected a bit width, found {other}")),
                 };
                 self.expect(&Token::RAngle)?;
-                Ok(Type::Bits { width, signed: name == "int" })
+                Ok(Type::Bits {
+                    width,
+                    signed: name == "int",
+                })
             }
             _ => Ok(Type::Named(name)),
         }
@@ -237,7 +257,9 @@ impl Parser {
                 Direction::InOut
             } else if self.eat_keyword("out") {
                 Direction::Out
-            } else if self.is_keyword("in") && !matches!(self.peek_at(1), Token::Identifier(n) if n == "bit" || n == "int") {
+            } else if self.is_keyword("in")
+                && !matches!(self.peek_at(1), Token::Identifier(n) if n == "bit" || n == "int")
+            {
                 // `in` followed by a type; `in` itself can also be a type
                 // name start, so check the next token is a type-ish token.
                 self.bump();
@@ -249,7 +271,11 @@ impl Parser {
             };
             let ty = self.parse_type()?;
             let name = self.identifier()?;
-            params.push(Param { direction, name, ty });
+            params.push(Param {
+                direction,
+                name,
+                ty,
+            });
             if !self.eat(&Token::Comma) {
                 self.expect(&Token::RParen)?;
                 break;
@@ -318,9 +344,18 @@ impl Parser {
         if matches!(self.peek(), Token::LParen) {
             let params = self.parameter_list()?;
             let body = self.block()?;
-            Ok(Declaration::Function(FunctionDecl { name, return_type: ty, params, body }))
+            Ok(Declaration::Function(FunctionDecl {
+                name,
+                return_type: ty,
+                params,
+                body,
+            }))
         } else {
-            let init = if self.eat(&Token::Assign) { Some(self.expression()?) } else { None };
+            let init = if self.eat(&Token::Assign) {
+                Some(self.expression()?)
+            } else {
+                None
+            };
             self.expect(&Token::Semicolon)?;
             Ok(Declaration::Variable { name, ty, init })
         }
@@ -344,7 +379,12 @@ impl Parser {
             }
             locals.push(self.local_declaration()?);
         }
-        Ok(ControlDecl { name, params, locals, apply })
+        Ok(ControlDecl {
+            name,
+            params,
+            locals,
+            apply,
+        })
     }
 
     fn local_declaration(&mut self) -> PResult<Declaration> {
@@ -376,7 +416,12 @@ impl Parser {
                 locals.push(self.local_declaration()?);
             }
         }
-        Ok(ParserDecl { name, params, locals, states })
+        Ok(ParserDecl {
+            name,
+            params,
+            locals,
+            states,
+        })
     }
 
     fn parser_state(&mut self) -> PResult<ParserState> {
@@ -395,7 +440,11 @@ impl Parser {
             }
             statements.push(self.statement()?);
         }
-        Ok(ParserState { name, statements, transition })
+        Ok(ParserState {
+            name,
+            statements,
+            transition,
+        })
     }
 
     fn transition(&mut self) -> PResult<Transition> {
@@ -465,7 +514,12 @@ impl Parser {
                 return self.error(format!("unknown table property {}", self.peek()));
             }
         }
-        Ok(TableDecl { name, keys, actions, default_action })
+        Ok(TableDecl {
+            name,
+            keys,
+            actions,
+            default_action,
+        })
     }
 
     fn action_ref(&mut self) -> PResult<ActionRef> {
@@ -544,7 +598,11 @@ impl Parser {
     fn declaration_statement(&mut self) -> PResult<Statement> {
         let ty = self.parse_type()?;
         let name = self.identifier()?;
-        let init = if self.eat(&Token::Assign) { Some(self.expression()?) } else { None };
+        let init = if self.eat(&Token::Assign) {
+            Some(self.expression()?)
+        } else {
+            None
+        };
         self.expect(&Token::Semicolon)?;
         Ok(Statement::Declare { name, ty, init })
     }
@@ -560,7 +618,11 @@ impl Parser {
         } else {
             None
         };
-        Ok(Statement::If { cond, then_branch, else_branch })
+        Ok(Statement::If {
+            cond,
+            then_branch,
+            else_branch,
+        })
     }
 
     fn assignment_or_call(&mut self) -> PResult<Statement> {
@@ -576,9 +638,9 @@ impl Parser {
             self.expect(&Token::Semicolon)?;
             match expr {
                 Expr::Call(call) => Ok(Statement::Call(*call)),
-                other => {
-                    self.error(format!("expression statement must be a call, found {other:?}"))
-                }
+                other => self.error(format!(
+                    "expression statement must be a call, found {other:?}"
+                )),
             }
         }
     }
@@ -753,7 +815,11 @@ impl Parser {
                 self.expect(&Token::Colon)?;
                 let lo = self.const_u32()?;
                 self.expect(&Token::RBracket)?;
-                expr = Expr::Slice { base: Box::new(expr), hi, lo };
+                expr = Expr::Slice {
+                    base: Box::new(expr),
+                    hi,
+                    lo,
+                };
             } else if matches!(self.peek(), Token::LParen) {
                 // Call: the callee must be a dotted path.
                 let target = match path_components(&expr) {
@@ -779,10 +845,14 @@ impl Parser {
 
     fn const_u32(&mut self) -> PResult<u32> {
         match self.bump() {
-            Token::Number(n) => u32::try_from(n)
-                .map_err(|_| ParseError { message: "index out of range".into(), pos: self.pos() }),
-            Token::SizedNumber { value, .. } => u32::try_from(value)
-                .map_err(|_| ParseError { message: "index out of range".into(), pos: self.pos() }),
+            Token::Number(n) => u32::try_from(n).map_err(|_| ParseError {
+                message: "index out of range".into(),
+                pos: self.pos(),
+            }),
+            Token::SizedNumber { value, .. } => u32::try_from(value).map_err(|_| ParseError {
+                message: "index out of range".into(),
+                pos: self.pos(),
+            }),
             other => self.error(format!("expected a constant index, found {other}")),
         }
     }
@@ -791,11 +861,23 @@ impl Parser {
         match self.peek().clone() {
             Token::Number(value) => {
                 self.bump();
-                Ok(Expr::Int { value, width: None, signed: false })
+                Ok(Expr::Int {
+                    value,
+                    width: None,
+                    signed: false,
+                })
             }
-            Token::SizedNumber { width, value, signed } => {
+            Token::SizedNumber {
+                width,
+                value,
+                signed,
+            } => {
                 self.bump();
-                Ok(Expr::Int { value, width: Some(width), signed })
+                Ok(Expr::Int {
+                    value,
+                    width: Some(width),
+                    signed,
+                })
             }
             Token::Identifier(name) => match name.as_str() {
                 "true" => {
@@ -884,9 +966,18 @@ mod tests {
     #[test]
     fn parses_sized_literals_slices_and_casts() {
         let e = parse_expression("(bit<4>)(h.a[7:4])").unwrap();
-        assert_eq!(e, Expr::cast(Type::bits(4), Expr::slice(Expr::dotted(&["h", "a"]), 7, 4)));
+        assert_eq!(
+            e,
+            Expr::cast(Type::bits(4), Expr::slice(Expr::dotted(&["h", "a"]), 7, 4))
+        );
         let e = parse_expression("8w255 |+| 8w1").unwrap();
-        assert!(matches!(e, Expr::Binary { op: BinOp::SatAdd, .. }));
+        assert!(matches!(
+            e,
+            Expr::Binary {
+                op: BinOp::SatAdd,
+                ..
+            }
+        ));
     }
 
     #[test]

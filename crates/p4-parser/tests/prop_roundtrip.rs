@@ -41,14 +41,19 @@ fn arb_expr() -> impl Strategy<Value = Expr> {
             Just(BinOp::Concat),
         ];
         prop_oneof![
-            (binop, inner.clone(), inner.clone())
-                .prop_map(|(op, a, b)| Expr::binary(op, a, b)),
-            (inner.clone(), inner.clone(), inner.clone())
-                .prop_map(|(c, a, b)| Expr::ternary(Expr::binary(BinOp::Eq, c, Expr::uint(0, 8)), a, b)),
+            (binop, inner.clone(), inner.clone()).prop_map(|(op, a, b)| Expr::binary(op, a, b)),
+            (inner.clone(), inner.clone(), inner.clone()).prop_map(|(c, a, b)| Expr::ternary(
+                Expr::binary(BinOp::Eq, c, Expr::uint(0, 8)),
+                a,
+                b
+            )),
             inner.clone().prop_map(|e| Expr::unary(UnOp::BitNot, e)),
             inner.clone().prop_map(|e| Expr::cast(Type::bits(16), e)),
-            (inner.clone(), 0u32..8, 8u32..16)
-                .prop_map(|(e, lo, hi)| Expr::slice(Expr::cast(Type::bits(32), e), hi, lo)),
+            (inner.clone(), 0u32..8, 8u32..16).prop_map(|(e, lo, hi)| Expr::slice(
+                Expr::cast(Type::bits(32), e),
+                hi,
+                lo
+            )),
             inner.prop_map(|e| Expr::call(vec!["f"], vec![e])),
         ]
     })

@@ -66,7 +66,10 @@ pub enum EquivalenceError {
     /// The two programs do not expose the same outputs for a block (e.g. a
     /// pass changed a parameter list) — reported separately so Gauntlet can
     /// flag it as an invalid transformation rather than a miscompilation.
-    StructureMismatch { block: String, detail: String },
+    StructureMismatch {
+        block: String,
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for EquivalenceError {
@@ -95,7 +98,10 @@ impl From<InterpError> for EquivalenceError {
 /// related checks (translation validation of consecutive pass snapshots)
 /// should use a [`ValidationSession`] instead, which interprets every
 /// program once and reuses the solver's CNF across adjacent checks.
-pub fn check_equivalence(before: &Program, after: &Program) -> Result<Equivalence, EquivalenceError> {
+pub fn check_equivalence(
+    before: &Program,
+    after: &Program,
+) -> Result<Equivalence, EquivalenceError> {
     let tm = Rc::new(TermManager::new());
     let semantics_before = interpret_program(&tm, before)?;
     let semantics_after = interpret_program(&tm, after)?;
@@ -263,7 +269,9 @@ impl ValidationSession {
         }
         self.stats.semantics_misses += 1;
         let semantics = Rc::new(interpret_program(&self.tm, program)?);
-        self.cache.entry(key).or_insert_with(|| (program.clone(), semantics.clone()));
+        self.cache
+            .entry(key)
+            .or_insert_with(|| (program.clone(), semantics.clone()));
         Ok(semantics)
     }
 
@@ -319,10 +327,16 @@ fn build_counterexample(
     // action indices, packet fields) — they are part of the trigger.
     for (name, value) in model.bindings() {
         if !name.starts_with("undef.") && !name.starts_with("extern") {
-            input_values.entry(name.clone()).or_insert_with(|| value.clone());
+            input_values
+                .entry(name.clone())
+                .or_insert_with(|| value.clone());
         }
     }
-    Counterexample { block: block.to_string(), inputs: input_values, differing_outputs: differing }
+    Counterexample {
+        block: block.to_string(),
+        inputs: input_values,
+        differing_outputs: differing,
+    }
 }
 
 #[cfg(test)]
@@ -345,7 +359,11 @@ mod tests {
             vec![],
             Block::new(vec![Statement::assign(
                 Expr::dotted(&["hdr", "h", "a"]),
-                Expr::binary(BinOp::Add, Expr::dotted(&["hdr", "h", "b"]), Expr::uint(0, 8)),
+                Expr::binary(
+                    BinOp::Add,
+                    Expr::dotted(&["hdr", "h", "b"]),
+                    Expr::uint(0, 8),
+                ),
             )]),
         );
         let after = builder::v1model_program(
@@ -366,7 +384,10 @@ mod tests {
         match check_equivalence(&before, &after).unwrap() {
             Equivalence::NotEqual(cex) => {
                 assert_eq!(cex.block, "ingress");
-                assert!(cex.differing_outputs.iter().any(|(name, _, _)| name == "hdr.h.a"));
+                assert!(cex
+                    .differing_outputs
+                    .iter()
+                    .any(|(name, _, _)| name == "hdr.h.a"));
             }
             Equivalence::Equal => panic!("must detect the dropped write"),
         }
@@ -377,7 +398,11 @@ mod tests {
         let before = builder::v1model_program(
             vec![],
             Block::new(vec![Statement::if_else(
-                Expr::binary(BinOp::Eq, Expr::dotted(&["hdr", "h", "a"]), Expr::uint(0, 8)),
+                Expr::binary(
+                    BinOp::Eq,
+                    Expr::dotted(&["hdr", "h", "a"]),
+                    Expr::uint(0, 8),
+                ),
                 Statement::assign(Expr::dotted(&["hdr", "h", "b"]), Expr::uint(1, 8)),
                 Statement::assign(Expr::dotted(&["hdr", "h", "b"]), Expr::uint(2, 8)),
             )]),
@@ -385,7 +410,11 @@ mod tests {
         let after = builder::v1model_program(
             vec![],
             Block::new(vec![Statement::if_else(
-                Expr::binary(BinOp::Eq, Expr::dotted(&["hdr", "h", "a"]), Expr::uint(0, 8)),
+                Expr::binary(
+                    BinOp::Eq,
+                    Expr::dotted(&["hdr", "h", "a"]),
+                    Expr::uint(0, 8),
+                ),
                 Statement::assign(Expr::dotted(&["hdr", "h", "b"]), Expr::uint(2, 8)),
                 Statement::assign(Expr::dotted(&["hdr", "h", "b"]), Expr::uint(1, 8)),
             )]),
@@ -418,7 +447,11 @@ mod tests {
                 vec![],
                 Block::new(vec![Statement::assign(
                     Expr::dotted(&["hdr", "h", "a"]),
-                    Expr::binary(BinOp::Add, Expr::dotted(&["hdr", "h", "b"]), Expr::uint(0, 8)),
+                    Expr::binary(
+                        BinOp::Add,
+                        Expr::dotted(&["hdr", "h", "b"]),
+                        Expr::uint(0, 8),
+                    ),
                 )]),
             );
             let after = builder::v1model_program(
@@ -430,7 +463,10 @@ mod tests {
             );
             (before, after)
         };
-        let unequal_pair = (builder::trivial_program(), builder::v1model_program(vec![], Block::empty()));
+        let unequal_pair = (
+            builder::trivial_program(),
+            builder::v1model_program(vec![], Block::empty()),
+        );
 
         let mut session = ValidationSession::new();
         for (before, after) in [&equal_pair, &unequal_pair] {
@@ -443,7 +479,10 @@ mod tests {
             assert_eq!(cached_again.is_equal(), uncached.is_equal());
         }
         let stats = session.stats();
-        assert!(stats.semantics_hits >= 4, "re-checks must hit the cache: {stats:?}");
+        assert!(
+            stats.semantics_hits >= 4,
+            "re-checks must hit the cache: {stats:?}"
+        );
         assert_eq!(stats.semantics_misses, 4);
     }
 
@@ -475,14 +514,22 @@ mod tests {
             vec![],
             Block::new(vec![Statement::assign(
                 Expr::dotted(&["hdr", "h", "a"]),
-                Expr::binary(BinOp::Add, Expr::uint(250, 8), Expr::dotted(&["hdr", "h", "b"])),
+                Expr::binary(
+                    BinOp::Add,
+                    Expr::uint(250, 8),
+                    Expr::dotted(&["hdr", "h", "b"]),
+                ),
             )]),
         );
         let after = builder::v1model_program(
             vec![],
             Block::new(vec![Statement::assign(
                 Expr::dotted(&["hdr", "h", "a"]),
-                Expr::binary(BinOp::Sub, Expr::uint(250, 8), Expr::dotted(&["hdr", "h", "b"])),
+                Expr::binary(
+                    BinOp::Sub,
+                    Expr::uint(250, 8),
+                    Expr::dotted(&["hdr", "h", "b"]),
+                ),
             )]),
         );
         assert!(!check_equivalence(&before, &after).unwrap().is_equal());

@@ -12,9 +12,9 @@
 
 use crate::state::{symbolic_of_type, undefined_of_type, SymState, SymVal};
 use p4_ir::{
-    ActionDecl, ActionRef, Architecture, BinOp, Block, BlockKind, BlockSpec, CallExpr,
-    ControlDecl, Declaration, Direction, Expr, FunctionDecl, Param, ParserDecl, Program,
-    Statement, TableDecl, Transition, Type, TypeEnv, UnOp,
+    ActionDecl, ActionRef, Architecture, BinOp, Block, BlockKind, BlockSpec, CallExpr, ControlDecl,
+    Declaration, Direction, Expr, FunctionDecl, Param, ParserDecl, Program, Statement, TableDecl,
+    Transition, Type, TypeEnv, UnOp,
 };
 use smt::{Sort, TermManager, TermRef};
 use std::collections::BTreeMap;
@@ -36,7 +36,9 @@ pub struct InterpError {
 
 impl InterpError {
     fn new(message: impl Into<String>) -> InterpError {
-        InterpError { message: message.into() }
+        InterpError {
+            message: message.into(),
+        }
     }
 }
 
@@ -103,9 +105,13 @@ impl ProgramSemantics {
 /// Interprets every programmable block of `program`, creating terms in `tm`.
 /// Translation validation interprets two programs with the *same* manager so
 /// that input variables with equal names unify.
-pub fn interpret_program(tm: &Rc<TermManager>, program: &Program) -> Result<ProgramSemantics, InterpError> {
-    let architecture = Architecture::by_name(&program.architecture)
-        .ok_or_else(|| InterpError::new(format!("unknown architecture `{}`", program.architecture)))?;
+pub fn interpret_program(
+    tm: &Rc<TermManager>,
+    program: &Program,
+) -> Result<ProgramSemantics, InterpError> {
+    let architecture = Architecture::by_name(&program.architecture).ok_or_else(|| {
+        InterpError::new(format!("unknown architecture `{}`", program.architecture))
+    })?;
     let env = TypeEnv::from_program(program);
     let mut blocks = Vec::new();
     for spec in &architecture.blocks {
@@ -232,7 +238,11 @@ impl<'a> Interpreter<'a> {
         outputs
     }
 
-    fn interpret_control(&mut self, spec: &BlockSpec, control: &ControlDecl) -> IResult<BlockSemantics> {
+    fn interpret_control(
+        &mut self,
+        spec: &BlockSpec,
+        control: &ControlDecl,
+    ) -> IResult<BlockSemantics> {
         self.current_control = control.name.clone();
         self.bind_globals()?;
         let inputs = self.bind_params(&control.name, &control.params);
@@ -240,7 +250,8 @@ impl<'a> Interpreter<'a> {
         for local in &control.locals {
             match local {
                 Declaration::Action(action) => {
-                    self.local_actions.insert(action.name.clone(), action.clone());
+                    self.local_actions
+                        .insert(action.name.clone(), action.clone());
                 }
                 Declaration::Table(table) => {
                     self.local_tables.insert(table.name.clone(), table.clone());
@@ -272,7 +283,11 @@ impl<'a> Interpreter<'a> {
         })
     }
 
-    fn interpret_parser(&mut self, spec: &BlockSpec, parser: &ParserDecl) -> IResult<BlockSemantics> {
+    fn interpret_parser(
+        &mut self,
+        spec: &BlockSpec,
+        parser: &ParserDecl,
+    ) -> IResult<BlockSemantics> {
         self.current_control = parser.name.clone();
         self.bind_globals()?;
         let inputs = self.bind_params(&parser.name, &parser.params);
@@ -302,10 +317,14 @@ impl<'a> Interpreter<'a> {
             return Ok(());
         }
         if fuel == 0 {
-            return Err(InterpError::new("parser state loop exceeds the interpreter's fuel"));
+            return Err(InterpError::new(
+                "parser state loop exceeds the interpreter's fuel",
+            ));
         }
         let Some(state) = parser.state(name) else {
-            return Err(InterpError::new(format!("parser transitions to unknown state `{name}`")));
+            return Err(InterpError::new(format!(
+                "parser transitions to unknown state `{name}`"
+            )));
         };
         for stmt in &state.statements {
             self.exec_statement(stmt)?;
@@ -410,7 +429,11 @@ impl<'a> Interpreter<'a> {
                 let value = self.eval_expr(rhs, width)?;
                 self.assign(lhs, value)
             }
-            Statement::If { cond, then_branch, else_branch } => {
+            Statement::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
                 let cond = self.eval_scalar(cond, None)?;
                 self.branch_conditions.push(cond.clone());
                 let saved = self.state.clone();
@@ -493,7 +516,9 @@ impl<'a> Interpreter<'a> {
                         }
                     }
                 }
-                Ok(Some(SymVal::Scalar(self.tm.fresh_var("extern_result", Sort::BitVec(32)))))
+                Ok(Some(SymVal::Scalar(
+                    self.tm.fresh_var("extern_result", Sort::BitVec(32)),
+                )))
             }
         }
     }
@@ -526,7 +551,11 @@ impl<'a> Interpreter<'a> {
             } else {
                 undefined_of_type(&self.tm, self.env, &param.ty, &param.name)
             };
-            let copy_back = if param.direction.copies_out() { Some(arg.clone()) } else { None };
+            let copy_back = if param.direction.copies_out() {
+                Some(arg.clone())
+            } else {
+                None
+            };
             bindings.push((param.clone(), copy_back, value));
         }
         // Fresh callable frame.
@@ -588,7 +617,9 @@ impl<'a> Interpreter<'a> {
             let matches = match key.match_kind {
                 p4_ir::MatchKind::Exact => self.tm.eq(expr.clone(), key_var.clone()),
                 p4_ir::MatchKind::Ternary | p4_ir::MatchKind::Lpm => {
-                    let mask = self.tm.var(format!("{prefix}_mask_{index}"), Sort::BitVec(width));
+                    let mask = self
+                        .tm
+                        .var(format!("{prefix}_mask_{index}"), Sort::BitVec(width));
                     self.tm.eq(
                         self.tm.bv_and(expr.clone(), mask.clone()),
                         self.tm.bv_and(key_var.clone(), mask),
@@ -618,11 +649,11 @@ impl<'a> Interpreter<'a> {
             self.state = saved.clone();
             self.exec_action_ref(action_ref, &prefix)?;
             let action_state = std::mem::replace(&mut self.state, saved.clone());
-            let selected = self.tm.eq(
-                action_var.clone(),
-                self.tm.bv_const((index + 1) as u128, 8),
-            );
-            self.branch_conditions.push(self.tm.and2(hit.clone(), selected.clone()));
+            let selected = self
+                .tm
+                .eq(action_var.clone(), self.tm.bv_const((index + 1) as u128, 8));
+            self.branch_conditions
+                .push(self.tm.and2(hit.clone(), selected.clone()));
             merged = SymState::merge(&self.tm, &selected, &action_state, &merged);
         }
 
@@ -687,13 +718,17 @@ impl<'a> Interpreter<'a> {
                     // made valid (paper §5.2, "Header validity").
                     let fresh = undefined_of_type(&self.tm, self.env, &ty, "setvalid");
                     match fresh {
-                        SymVal::Header { fields, .. } => {
-                            SymVal::Header { valid: self.tm.tru(), fields }
-                        }
+                        SymVal::Header { fields, .. } => SymVal::Header {
+                            valid: self.tm.tru(),
+                            fields,
+                        },
                         other => other,
                     }
                 } else {
-                    SymVal::Header { valid: self.tm.fls(), fields }
+                    SymVal::Header {
+                        valid: self.tm.fls(),
+                        fields,
+                    }
                 }
             }
             other => other,
@@ -718,9 +753,18 @@ impl<'a> Interpreter<'a> {
         for field in &aggregate.fields {
             let width = self.env.resolve(&field.ty).width().unwrap_or(1);
             let name = format!("pkt_{index}_{}", field.name);
-            fields.insert(field.name.clone(), SymVal::Scalar(self.tm.var(name, Sort::BitVec(width))));
+            fields.insert(
+                field.name.clone(),
+                SymVal::Scalar(self.tm.var(name, Sort::BitVec(width))),
+            );
         }
-        self.assign(target, SymVal::Header { valid: self.tm.tru(), fields })
+        self.assign(
+            target,
+            SymVal::Header {
+                valid: self.tm.tru(),
+                fields,
+            },
+        )
     }
 
     // ---- l-values ----------------------------------------------------------------
@@ -774,14 +818,17 @@ impl<'a> Interpreter<'a> {
     fn lvalue_width(&self, expr: &Expr) -> Option<u32> {
         match expr {
             Expr::Slice { hi, lo, .. } => Some(hi - lo + 1),
-            _ => self.lvalue_type(expr).and_then(|t| self.env.resolve(&t).width()),
+            _ => self
+                .lvalue_type(expr)
+                .and_then(|t| self.env.resolve(&t).width()),
         }
     }
 
     /// Writes `value` into the storage denoted by the l-value expression.
     fn assign(&mut self, lvalue: &Expr, value: SymVal) -> IResult<()> {
-        let segments = lvalue_segments(lvalue)
-            .ok_or_else(|| InterpError::new(format!("not an l-value: {}", p4_ir::print_expr(lvalue))))?;
+        let segments = lvalue_segments(lvalue).ok_or_else(|| {
+            InterpError::new(format!("not an l-value: {}", p4_ir::print_expr(lvalue)))
+        })?;
         let (root, rest) = segments
             .split_first()
             .ok_or_else(|| InterpError::new("empty l-value"))?;
@@ -845,7 +892,11 @@ impl<'a> Interpreter<'a> {
                 Ok(SymVal::Scalar(term))
             }
             Expr::Binary { op, left, right } => self.eval_binary(*op, left, right, width_hint),
-            Expr::Ternary { cond, then_expr, else_expr } => {
+            Expr::Ternary {
+                cond,
+                then_expr,
+                else_expr,
+            } => {
                 let cond = self.eval_scalar(cond, None)?;
                 let then_value = self.eval_scalar(then_expr, width_hint)?;
                 let hint = Some(then_value.sort.width());
@@ -859,7 +910,11 @@ impl<'a> Interpreter<'a> {
                 let term = match resolved {
                     Type::Bool => self.tm.bv_to_bool(value),
                     Type::Bits { width, .. } => {
-                        let value = if value.sort.is_bool() { self.tm.bool_to_bv(value) } else { value };
+                        let value = if value.sort.is_bool() {
+                            self.tm.bool_to_bv(value)
+                        } else {
+                            value
+                        };
                         self.tm.resize(value, width)
                     }
                     _ => value,
@@ -973,21 +1028,28 @@ fn lvalue_segments(expr: &Expr) -> Option<Vec<Segment>> {
     }
 }
 
-fn assign_into(tm: &TermManager, target: &mut SymVal, path: &[Segment], value: SymVal) -> Result<(), InterpError> {
+fn assign_into(
+    tm: &TermManager,
+    target: &mut SymVal,
+    path: &[Segment],
+    value: SymVal,
+) -> Result<(), InterpError> {
     match path.split_first() {
         None => {
             *target = value;
             Ok(())
         }
         Some((Segment::Field(name), rest)) => {
-            let field = target
-                .field_mut(name)
-                .ok_or_else(|| InterpError::new(format!("no field `{name}` in assignment target")))?;
+            let field = target.field_mut(name).ok_or_else(|| {
+                InterpError::new(format!("no field `{name}` in assignment target"))
+            })?;
             assign_into(tm, field, rest, value)
         }
         Some((Segment::Slice(hi, lo), rest)) => {
             if !rest.is_empty() {
-                return Err(InterpError::new("slice must be the last component of an l-value"));
+                return Err(InterpError::new(
+                    "slice must be the last component of an l-value",
+                ));
             }
             let old = target.scalar().clone();
             let width = old.sort.width();
@@ -1019,7 +1081,10 @@ fn splice_slice(tm: &TermManager, old: &TermRef, value: &TermRef, hi: u32, lo: u
 }
 
 fn receiver_expr(call: &CallExpr) -> Expr {
-    let parts: Vec<&str> = call.target[..call.target.len() - 1].iter().map(String::as_str).collect();
+    let parts: Vec<&str> = call.target[..call.target.len() - 1]
+        .iter()
+        .map(String::as_str)
+        .collect();
     Expr::dotted(&parts)
 }
 
@@ -1044,7 +1109,9 @@ mod tests {
     }
 
     fn eval_output(block: &BlockSemantics, name: &str, env: &Assignment) -> Value {
-        let term = block.output(name).unwrap_or_else(|| panic!("no output {name}"));
+        let term = block
+            .output(name)
+            .unwrap_or_else(|| panic!("no output {name}"));
         eval_with_default(term, env)
     }
 
@@ -1066,7 +1133,11 @@ mod tests {
         let program = builder::v1model_program(
             vec![],
             Block::new(vec![Statement::if_else(
-                Expr::binary(BinOp::Eq, Expr::dotted(&["hdr", "h", "a"]), Expr::uint(3, 8)),
+                Expr::binary(
+                    BinOp::Eq,
+                    Expr::dotted(&["hdr", "h", "a"]),
+                    Expr::uint(3, 8),
+                ),
                 Statement::assign(Expr::dotted(&["hdr", "h", "b"]), Expr::uint(10, 8)),
                 Statement::assign(Expr::dotted(&["hdr", "h", "b"]), Expr::uint(20, 8)),
             )]),
@@ -1118,7 +1189,10 @@ mod tests {
             ]),
         );
         let (_tm, block) = ingress_semantics(&program);
-        assert_eq!(eval_output(&block, "hdr.h.a", &Assignment::new()), Value::bv(1, 8));
+        assert_eq!(
+            eval_output(&block, "hdr.h.a", &Assignment::new()),
+            Value::bv(1, 8)
+        );
     }
 
     #[test]
@@ -1128,7 +1202,11 @@ mod tests {
             vec![],
             Block::new(vec![
                 Statement::if_then(
-                    Expr::binary(BinOp::Eq, Expr::dotted(&["hdr", "h", "a"]), Expr::uint(0, 8)),
+                    Expr::binary(
+                        BinOp::Eq,
+                        Expr::dotted(&["hdr", "h", "a"]),
+                        Expr::uint(0, 8),
+                    ),
                     Statement::Block(Block::new(vec![Statement::Exit])),
                 ),
                 Statement::assign(Expr::dotted(&["hdr", "h", "b"]), Expr::uint(9, 8)),
@@ -1150,7 +1228,10 @@ mod tests {
         let action = ActionDecl {
             name: "set".into(),
             params: vec![Param::new(Direction::InOut, "val", Type::bits(16))],
-            body: Block::new(vec![Statement::assign(Expr::path("val"), Expr::uint(3, 16))]),
+            body: Block::new(vec![Statement::assign(
+                Expr::path("val"),
+                Expr::uint(3, 16),
+            )]),
         };
         let program = builder::v1model_program(
             vec![Declaration::Action(action)],
@@ -1187,7 +1268,10 @@ mod tests {
         );
         let (_tm, block) = ingress_semantics(&program);
         let env = Assignment::new();
-        assert_eq!(eval_output(&block, "hdr.eth.eth_type", &env), Value::bv(3, 16));
+        assert_eq!(
+            eval_output(&block, "hdr.eth.eth_type", &env),
+            Value::bv(3, 16)
+        );
         // hdr.h.a keeps its input value (the write after exit is dead).
         let mut env = Assignment::new();
         env.insert("hdr.h.a".into(), Value::bv(42, 8));
@@ -1221,7 +1305,10 @@ mod tests {
         env.insert("hdr.h.a".into(), Value::bv(9, 8));
         env.insert("hdr.h.$valid".into(), Value::Bool(true));
         assert_eq!(eval_output(&block, "hdr.h.a", &env), Value::bv(9, 8));
-        assert_eq!(eval_output(&block, "hdr.h.$valid", &env), Value::Bool(false));
+        assert_eq!(
+            eval_output(&block, "hdr.h.$valid", &env),
+            Value::Bool(false)
+        );
     }
 
     #[test]

@@ -16,6 +16,8 @@ pub use equivalence::{
     check_equivalence, check_semantics_equivalence, check_semantics_equivalence_with,
     Counterexample, Equivalence, EquivalenceError, SessionStats, ValidationSession,
 };
-pub use interpreter::{interpret_program, BlockSemantics, InterpError, ProgramSemantics, TableInfo};
+pub use interpreter::{
+    interpret_program, BlockSemantics, InterpError, ProgramSemantics, TableInfo,
+};
 pub use state::{SymState, SymVal};
 pub use testgen::{generate_tests, TestCase, TestGenError, TestGenOptions};

@@ -19,7 +19,10 @@ pub enum SymVal {
     /// A struct: field name → value.
     Struct(BTreeMap<String, SymVal>),
     /// A header: validity bit plus fields.
-    Header { valid: TermRef, fields: BTreeMap<String, SymVal> },
+    Header {
+        valid: TermRef,
+        fields: BTreeMap<String, SymVal>,
+    },
 }
 
 impl SymVal {
@@ -80,8 +83,14 @@ impl SymVal {
                 SymVal::Struct(merged)
             }
             (
-                SymVal::Header { valid: va, fields: fa },
-                SymVal::Header { valid: vb, fields: fb },
+                SymVal::Header {
+                    valid: va,
+                    fields: fa,
+                },
+                SymVal::Header {
+                    valid: vb,
+                    fields: fb,
+                },
             ) => {
                 let mut merged = BTreeMap::new();
                 for (name, value_a) in fa {
@@ -119,7 +128,13 @@ pub fn symbolic_of_type(
                 for field in &agg.fields {
                     fields.insert(
                         field.name.clone(),
-                        symbolic_of_type(tm, env, &field.ty, &format!("{prefix}.{}", field.name), header_valid),
+                        symbolic_of_type(
+                            tm,
+                            env,
+                            &field.ty,
+                            &format!("{prefix}.{}", field.name),
+                            header_valid,
+                        ),
                     );
                 }
             }
@@ -135,7 +150,13 @@ pub fn symbolic_of_type(
                 for field in &agg.fields {
                     fields.insert(
                         field.name.clone(),
-                        symbolic_of_type(tm, env, &field.ty, &format!("{prefix}.{}", field.name), header_valid),
+                        symbolic_of_type(
+                            tm,
+                            env,
+                            &field.ty,
+                            &format!("{prefix}.{}", field.name),
+                            header_valid,
+                        ),
                     );
                 }
             }
@@ -174,7 +195,10 @@ pub fn undefined_of_type(tm: &TermManager, env: &TypeEnv, ty: &Type, hint: &str)
                     );
                 }
             }
-            SymVal::Header { valid: tm.bool_const(false), fields }
+            SymVal::Header {
+                valid: tm.bool_const(false),
+                fields,
+            }
         }
         Type::Struct(name) => {
             let mut fields = BTreeMap::new();
@@ -247,12 +271,20 @@ impl SymState {
     }
 
     pub fn lookup_mut(&mut self, name: &str) -> Option<&mut SymVal> {
-        self.scopes.iter_mut().rev().find_map(|scope| scope.get_mut(name))
+        self.scopes
+            .iter_mut()
+            .rev()
+            .find_map(|scope| scope.get_mut(name))
     }
 
     /// Merges two states produced from a common predecessor: every variable
     /// present in either side is merged with `ite(cond, then, else)`.
-    pub fn merge(tm: &TermManager, cond: &TermRef, then_state: &SymState, else_state: &SymState) -> SymState {
+    pub fn merge(
+        tm: &TermManager,
+        cond: &TermRef,
+        then_state: &SymState,
+        else_state: &SymState,
+    ) -> SymState {
         let mut scopes = Vec::with_capacity(then_state.scopes.len());
         for (depth, then_scope) in then_state.scopes.iter().enumerate() {
             let else_scope = else_state.scopes.get(depth);
@@ -276,8 +308,16 @@ impl SymState {
         };
         SymState {
             scopes,
-            exited: tm.ite(cond.clone(), then_state.exited.clone(), else_state.exited.clone()),
-            returned: tm.ite(cond.clone(), then_state.returned.clone(), else_state.returned.clone()),
+            exited: tm.ite(
+                cond.clone(),
+                then_state.exited.clone(),
+                else_state.exited.clone(),
+            ),
+            returned: tm.ite(
+                cond.clone(),
+                then_state.returned.clone(),
+                else_state.returned.clone(),
+            ),
             return_value,
         }
     }

@@ -85,7 +85,10 @@ impl From<InterpError> for TestGenError {
 
 /// Generates test cases for `program` by enumerating paths through the
 /// selected block.
-pub fn generate_tests(program: &Program, options: &TestGenOptions) -> Result<Vec<TestCase>, TestGenError> {
+pub fn generate_tests(
+    program: &Program,
+    options: &TestGenOptions,
+) -> Result<Vec<TestCase>, TestGenError> {
     let tm = Rc::new(TermManager::new());
     let semantics = interpret_program(&tm, program)?;
     let block = semantics
@@ -133,8 +136,16 @@ pub fn generate_for_block(
         let mut path_description = Vec::new();
         for (bit, condition) in conditions.iter().take(decided).enumerate() {
             let take = (combo >> bit) & 1 == 1;
-            path_description.push(if take { format!("b{bit}=T") } else { format!("b{bit}=F") });
-            assumptions.push(if take { condition.clone() } else { tm.not(condition.clone()) });
+            path_description.push(if take {
+                format!("b{bit}=T")
+            } else {
+                format!("b{bit}=F")
+            });
+            assumptions.push(if take {
+                condition.clone()
+            } else {
+                tm.not(condition.clone())
+            });
         }
         // Prefer non-zero header inputs so zero-initialising targets cannot
         // hide differences (paper §6.2).  Try the strongest preference first
@@ -152,7 +163,11 @@ pub fn generate_for_block(
         }
         let attempts: Vec<Vec<TermRef>> = vec![
             nonzero.clone(),
-            if nonzero.is_empty() { vec![] } else { vec![tm.or(nonzero)] },
+            if nonzero.is_empty() {
+                vec![]
+            } else {
+                vec![tm.or(nonzero)]
+            },
             vec![],
         ];
         let mut model = None;
@@ -182,16 +197,23 @@ pub fn generate_for_block(
         let mut table_config = BTreeMap::new();
         for table in &block.tables {
             for (key_name, width, _) in &table.keys {
-                let value = model.get(key_name).cloned().unwrap_or_else(|| Value::bv(0, *width));
+                let value = model
+                    .get(key_name)
+                    .cloned()
+                    .unwrap_or_else(|| Value::bv(0, *width));
                 table_config.insert(key_name.clone(), value);
             }
-            let action_value =
-                model.get(&table.action_var).cloned().unwrap_or_else(|| Value::bv(0, 8));
+            let action_value = model
+                .get(&table.action_var)
+                .cloned()
+                .unwrap_or_else(|| Value::bv(0, 8));
             table_config.insert(table.action_var.clone(), action_value);
             // Control-plane action arguments chosen by the solver.
             for (name, value) in model.bindings() {
                 if name.starts_with(&format!("{}.{}.", table.control, table.table)) {
-                    table_config.entry(name.clone()).or_insert_with(|| value.clone());
+                    table_config
+                        .entry(name.clone())
+                        .or_insert_with(|| value.clone());
                 }
             }
         }
@@ -279,7 +301,11 @@ mod tests {
         let program = builder::v1model_program(
             vec![],
             Block::new(vec![Statement::if_else(
-                Expr::binary(BinOp::Lt, Expr::dotted(&["hdr", "h", "a"]), Expr::uint(10, 8)),
+                Expr::binary(
+                    BinOp::Lt,
+                    Expr::dotted(&["hdr", "h", "a"]),
+                    Expr::uint(10, 8),
+                ),
                 Statement::assign(Expr::dotted(&["hdr", "h", "b"]), Expr::uint(1, 8)),
                 Statement::assign(Expr::dotted(&["hdr", "h", "b"]), Expr::uint(2, 8)),
             )]),
@@ -305,7 +331,11 @@ mod tests {
         let (locals, apply) = builder::figure3_table_control();
         let program = builder::v1model_program(locals, apply);
         let tests = generate_tests(&program, &TestGenOptions::default()).unwrap();
-        assert!(tests.len() >= 2, "expected hit and miss cases, got {}", tests.len());
+        assert!(
+            tests.len() >= 2,
+            "expected hit and miss cases, got {}",
+            tests.len()
+        );
         // At least one test must configure the table so that the `assign`
         // action fires and therefore expects hdr.h.a == 1.
         assert!(tests
@@ -342,11 +372,17 @@ mod tests {
                     Expr::dotted(&["hdr", "h", "a"]),
                     Expr::uint(u128::from(i), 8),
                 ),
-                Statement::assign(Expr::dotted(&["hdr", "h", "b"]), Expr::uint(u128::from(i), 8)),
+                Statement::assign(
+                    Expr::dotted(&["hdr", "h", "b"]),
+                    Expr::uint(u128::from(i), 8),
+                ),
             ));
         }
         let program = builder::v1model_program(vec![], Block::new(statements));
-        let options = TestGenOptions { max_tests: 4, ..TestGenOptions::default() };
+        let options = TestGenOptions {
+            max_tests: 4,
+            ..TestGenOptions::default()
+        };
         let tests = generate_tests(&program, &options).unwrap();
         assert!(tests.len() <= 4);
         assert!(!tests.is_empty());

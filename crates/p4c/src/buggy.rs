@@ -18,9 +18,7 @@ use crate::pass::{Pass, PassArea};
 use crate::passes::inline::{InlineBehaviour, InlineFunctions, RemoveActionParameters};
 use crate::passes::util::collect_reads;
 use p4_ir::visit::{mutate_walk_expr, walk_expr};
-use p4_ir::{
-    BinOp, Block, Declaration, Expr, Mutator, Program, Statement, Visitor,
-};
+use p4_ir::{BinOp, Block, Declaration, Expr, Mutator, Program, Statement, Visitor};
 
 /// The catalogue of front-/mid-end bug classes (back-end bug classes live in
 /// the `targets` crate).  Each corresponds to a bug family from the paper.
@@ -111,8 +109,9 @@ impl FrontEndBugClass {
             FrontEndBugClass::ConstantFoldingNoWraparound => "ConstantFolding",
             FrontEndBugClass::SliceAssignmentDeleted => "SimplifyDefUse",
             FrontEndBugClass::CopyPropagationStaleValue => "LocalCopyPropagation",
-            FrontEndBugClass::ExitSkipsCopyOut
-            | FrontEndBugClass::ArgumentOrderReversed => "RemoveActionParameters",
+            FrontEndBugClass::ExitSkipsCopyOut | FrontEndBugClass::ArgumentOrderReversed => {
+                "RemoveActionParameters"
+            }
             FrontEndBugClass::InlineCrashOnConditional => "InlineFunctions",
             FrontEndBugClass::PredicationSwapsBranches
             | FrontEndBugClass::PredicationUnconditionalElse => "Predication",
@@ -124,20 +123,30 @@ impl FrontEndBugClass {
         match self {
             FrontEndBugClass::DefUseDropsParameterWrites => Box::new(FaultyDefUse),
             FrontEndBugClass::TypeInferenceShiftCrash => Box::new(CrashingTypeInference),
-            FrontEndBugClass::StrengthReductionRejectsSlices => Box::new(RejectingStrengthReduction),
+            FrontEndBugClass::StrengthReductionRejectsSlices => {
+                Box::new(RejectingStrengthReduction)
+            }
             FrontEndBugClass::StrengthReductionOrIdentity => Box::new(WrongOrStrengthReduction),
             FrontEndBugClass::ConstantFoldingNoWraparound => Box::new(NonWrappingConstantFolding),
             FrontEndBugClass::SliceAssignmentDeleted => Box::new(SliceDeletingDefUse),
             FrontEndBugClass::CopyPropagationStaleValue => Box::new(StaleCopyProp),
             FrontEndBugClass::ExitSkipsCopyOut => Box::new(RemoveActionParameters {
-                behaviour: InlineBehaviour { copy_out_on_exit: false, ..InlineBehaviour::default() },
+                behaviour: InlineBehaviour {
+                    copy_out_on_exit: false,
+                    ..InlineBehaviour::default()
+                },
             }),
             FrontEndBugClass::ArgumentOrderReversed => Box::new(RemoveActionParameters {
-                behaviour: InlineBehaviour { left_to_right: false, ..InlineBehaviour::default() },
+                behaviour: InlineBehaviour {
+                    left_to_right: false,
+                    ..InlineBehaviour::default()
+                },
             }),
             FrontEndBugClass::InlineCrashOnConditional => Box::new(CrashingInlineFunctions),
             FrontEndBugClass::PredicationSwapsBranches => Box::new(SwappedPredication),
-            FrontEndBugClass::PredicationUnconditionalElse => Box::new(UnconditionalElsePredication),
+            FrontEndBugClass::PredicationUnconditionalElse => {
+                Box::new(UnconditionalElsePredication)
+            }
         }
     }
 }
@@ -162,18 +171,16 @@ impl Pass for FaultyDefUse {
             let mut kept: Vec<Statement> = Vec::with_capacity(statements.len());
             for (index, stmt) in statements.iter().enumerate() {
                 let dead = match stmt {
-                    Statement::Assign { lhs, rhs } if !rhs.has_call() => {
-                        match lhs.lvalue_root() {
-                            Some(root) => {
-                                let mut later_reads = Vec::new();
-                                for later in &statements[index + 1..] {
-                                    collect_reads(later, &mut later_reads);
-                                }
-                                !later_reads.contains(&root)
+                    Statement::Assign { lhs, rhs } if !rhs.has_call() => match lhs.lvalue_root() {
+                        Some(root) => {
+                            let mut later_reads = Vec::new();
+                            for later in &statements[index + 1..] {
+                                collect_reads(later, &mut later_reads);
                             }
-                            None => false,
+                            !later_reads.contains(&root)
                         }
-                    }
+                        None => false,
+                    },
                     _ => false,
                 };
                 if !dead {
@@ -198,7 +205,12 @@ struct ShiftFinder {
 
 impl Visitor for ShiftFinder {
     fn visit_expr(&mut self, expr: &Expr) {
-        if let Expr::Binary { op: BinOp::Shl, left, right } = expr {
+        if let Expr::Binary {
+            op: BinOp::Shl,
+            left,
+            right,
+        } = expr
+        {
             let unsized_left = matches!(**left, Expr::Int { width: None, .. });
             let non_const_right = !matches!(**right, Expr::Int { .. } | Expr::Bool(_));
             if unsized_left && non_const_right {
@@ -277,10 +289,13 @@ struct WrongOrRewriter;
 impl Mutator for WrongOrRewriter {
     fn mutate_expr(&mut self, expr: &mut Expr) {
         mutate_walk_expr(self, expr);
-        if let Expr::Binary { op: BinOp::BitOr, left, right } = expr {
-            let all_ones = |e: &Expr| {
-                matches!(e, Expr::Int { value, width: Some(w), .. } if *value == p4_ir::max_unsigned(*w))
-            };
+        if let Expr::Binary {
+            op: BinOp::BitOr,
+            left,
+            right,
+        } = expr
+        {
+            let all_ones = |e: &Expr| matches!(e, Expr::Int { value, width: Some(w), .. } if *value == p4_ir::max_unsigned(*w));
             if all_ones(right) {
                 *expr = (**left).clone();
             } else if all_ones(left) {
@@ -315,10 +330,23 @@ struct NonWrappingFolder;
 impl Mutator for NonWrappingFolder {
     fn mutate_expr(&mut self, expr: &mut Expr) {
         mutate_walk_expr(self, expr);
-        if let Expr::Binary { op: BinOp::Add, left, right } = expr {
+        if let Expr::Binary {
+            op: BinOp::Add,
+            left,
+            right,
+        } = expr
+        {
             if let (
-                Expr::Int { value: a, width: Some(w), .. },
-                Expr::Int { value: b, width: wb, .. },
+                Expr::Int {
+                    value: a,
+                    width: Some(w),
+                    ..
+                },
+                Expr::Int {
+                    value: b,
+                    width: wb,
+                    ..
+                },
             ) = (&**left, &**right)
             {
                 let width = *w;
@@ -326,7 +354,11 @@ impl Mutator for NonWrappingFolder {
                     // The faulty fold clamps at the maximum instead of
                     // wrapping modulo 2^width.
                     let value = (a + b).min(p4_ir::max_unsigned(width));
-                    *expr = Expr::Int { value, width: Some(width), signed: false };
+                    *expr = Expr::Int {
+                        value,
+                        width: Some(width),
+                        signed: false,
+                    };
                 }
             }
         }
@@ -357,7 +389,10 @@ impl SliceDeletingDefUse {
         let mut kept = Vec::with_capacity(statements.len());
         for (index, stmt) in statements.iter().enumerate() {
             let dead = match stmt {
-                Statement::Assign { lhs: Expr::Slice { base, .. }, .. } => {
+                Statement::Assign {
+                    lhs: Expr::Slice { base, .. },
+                    ..
+                } => {
                     let root = base.lvalue_root();
                     statements[index + 1..].iter().any(|later| match later {
                         Statement::Assign { lhs, .. } => lhs.lvalue_root() == root,
@@ -436,7 +471,11 @@ impl Pass for StaleCopyProp {
 /// intervening re-assignment of `m1` — so the propagated value can be stale.
 fn collapse_member_copies(block: &mut Block) {
     for index in 1..block.statements.len() {
-        let Statement::Assign { lhs: use_lhs, rhs: use_rhs } = &block.statements[index] else {
+        let Statement::Assign {
+            lhs: use_lhs,
+            rhs: use_rhs,
+        } = &block.statements[index]
+        else {
             continue;
         };
         if !matches!(use_rhs, Expr::Member { .. }) {
@@ -446,7 +485,11 @@ fn collapse_member_copies(block: &mut Block) {
         let _ = use_lhs;
         let mut first_literal = None;
         for earlier in &block.statements[..index] {
-            if let Statement::Assign { lhs, rhs: Expr::Int { .. } } = earlier {
+            if let Statement::Assign {
+                lhs,
+                rhs: Expr::Int { .. },
+            } = earlier
+            {
                 if *lhs == source && first_literal.is_none() {
                     first_literal = Some(rhs_of(earlier));
                 }
@@ -461,7 +504,11 @@ fn collapse_member_copies(block: &mut Block) {
     for stmt in &mut block.statements {
         match stmt {
             Statement::Block(inner) => collapse_member_copies(inner),
-            Statement::If { then_branch, else_branch, .. } => {
+            Statement::If {
+                then_branch,
+                else_branch,
+                ..
+            } => {
                 if let Statement::Block(inner) = then_branch.as_mut() {
                     collapse_member_copies(inner);
                 }
@@ -521,7 +568,12 @@ impl Pass for SwappedPredication {
         impl Mutator for Swapper {
             fn mutate_expr(&mut self, expr: &mut Expr) {
                 mutate_walk_expr(self, expr);
-                if let Expr::Ternary { then_expr, else_expr, .. } = expr {
+                if let Expr::Ternary {
+                    then_expr,
+                    else_expr,
+                    ..
+                } = expr
+                {
                     std::mem::swap(then_expr, else_expr);
                 }
             }
@@ -556,7 +608,12 @@ impl Pass for UnconditionalElsePredication {
             fn mutate_statement(&mut self, stmt: &mut Statement) {
                 p4_ir::visit::mutate_walk_statement(self, stmt);
                 if let Statement::Assign { lhs, rhs } = stmt {
-                    if let Expr::Ternary { then_expr, else_expr, .. } = rhs {
+                    if let Expr::Ternary {
+                        then_expr,
+                        else_expr,
+                        ..
+                    } = rhs
+                    {
                         if **then_expr == *lhs {
                             *rhs = (**else_expr).clone();
                         }
@@ -596,7 +653,11 @@ mod tests {
 
     fn seeded_compiler(class: FrontEndBugClass) -> Compiler {
         let mut compiler = Compiler::reference();
-        assert!(compiler.replace_pass(class.faulty_pass()), "pass {} not found", class.replaces());
+        assert!(
+            compiler.replace_pass(class.faulty_pass()),
+            "pass {} not found",
+            class.replaces()
+        );
         compiler
     }
 
@@ -618,7 +679,10 @@ mod tests {
         let compiler = seeded_compiler(FrontEndBugClass::DefUseDropsParameterWrites);
         let result = compiler.compile(&program).unwrap();
         let text = print_program(&result.program);
-        assert!(!text.contains("hdr.h.a = 8w1;"), "faulty def-use should drop the write:\n{text}");
+        assert!(
+            !text.contains("hdr.h.a = 8w1;"),
+            "faulty def-use should drop the write:\n{text}"
+        );
         // And the correct compiler keeps it.
         let good = Compiler::reference().compile(&program).unwrap();
         assert!(print_program(&good.program).contains("hdr.h.a = 8w1;"));
@@ -700,7 +764,9 @@ mod tests {
                 vec![Expr::dotted(&["hdr", "eth", "eth_type"])],
             )]),
         );
-        let buggy = seeded_compiler(FrontEndBugClass::ExitSkipsCopyOut).compile(&program).unwrap();
+        let buggy = seeded_compiler(FrontEndBugClass::ExitSkipsCopyOut)
+            .compile(&program)
+            .unwrap();
         let good = Compiler::reference().compile(&program).unwrap();
         assert_ne!(print_program(&buggy.program), print_program(&good.program));
     }
@@ -712,7 +778,11 @@ mod tests {
             name: "act".into(),
             params: vec![],
             body: Block::new(vec![Statement::if_then(
-                Expr::binary(BinOp::Eq, Expr::dotted(&["hdr", "h", "a"]), Expr::uint(0, 8)),
+                Expr::binary(
+                    BinOp::Eq,
+                    Expr::dotted(&["hdr", "h", "a"]),
+                    Expr::uint(0, 8),
+                ),
                 Statement::Block(Block::new(vec![Statement::assign(
                     Expr::dotted(&["hdr", "h", "b"]),
                     Expr::uint(1, 8),
@@ -730,7 +800,10 @@ mod tests {
                             expr: Expr::dotted(&["hdr", "h", "a"]),
                             match_kind: p4_ir::MatchKind::Exact,
                         }],
-                        actions: vec![p4_ir::ActionRef::new("act"), p4_ir::ActionRef::new("NoAction")],
+                        actions: vec![
+                            p4_ir::ActionRef::new("act"),
+                            p4_ir::ActionRef::new("NoAction"),
+                        ],
                         default_action: p4_ir::ActionRef::new("NoAction"),
                     }),
                 ],
@@ -741,6 +814,9 @@ mod tests {
         let swapped = seeded_compiler(FrontEndBugClass::PredicationSwapsBranches)
             .compile(&mk_program())
             .unwrap();
-        assert_ne!(print_program(&good.program), print_program(&swapped.program));
+        assert_ne!(
+            print_program(&good.program),
+            print_program(&swapped.program)
+        );
     }
 }

@@ -17,7 +17,9 @@ pub struct Diagnostic {
 
 impl Diagnostic {
     pub fn new(message: impl Into<String>) -> Diagnostic {
-        Diagnostic { message: message.into() }
+        Diagnostic {
+            message: message.into(),
+        }
     }
 }
 
@@ -32,12 +34,19 @@ impl fmt::Display for Diagnostic {
 pub enum CompileError {
     /// A pass panicked (assertion violation / segfault analogue): a crash bug
     /// candidate.
-    Crash { pass: String, area: PassArea, message: String },
+    Crash {
+        pass: String,
+        area: PassArea,
+        message: String,
+    },
     /// A pass (or the up-front type checker) rejected the program with a
     /// proper error message.  For well-formed generated programs this is
     /// either expected behaviour or an "incorrectly rejects valid program"
     /// bug, depending on the oracle.
-    Rejected { pass: String, diagnostics: Vec<String> },
+    Rejected {
+        pass: String,
+        diagnostics: Vec<String>,
+    },
 }
 
 impl CompileError {
@@ -56,11 +65,19 @@ impl CompileError {
 impl fmt::Display for CompileError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            CompileError::Crash { pass, area, message } => {
+            CompileError::Crash {
+                pass,
+                area,
+                message,
+            } => {
                 write!(f, "compiler crash in {area} pass `{pass}`: {message}")
             }
             CompileError::Rejected { pass, diagnostics } => {
-                write!(f, "program rejected by `{pass}`: {}", diagnostics.join("; "))
+                write!(
+                    f,
+                    "program rejected by `{pass}`: {}",
+                    diagnostics.join("; ")
+                )
             }
         }
     }

@@ -22,4 +22,6 @@ pub mod passes;
 
 pub use buggy::FrontEndBugClass;
 pub use error::{CompileError, Diagnostic};
-pub use pass::{program_hash, CompileOptions, CompileResult, Compiler, Pass, PassArea, PassSnapshot};
+pub use pass::{
+    program_hash, CompileOptions, CompileResult, Compiler, Pass, PassArea, PassSnapshot,
+};

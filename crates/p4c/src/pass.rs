@@ -94,7 +94,10 @@ pub struct CompileOptions {
 
 impl Default for CompileOptions {
     fn default() -> Self {
-        CompileOptions { emit_snapshots: true, type_check_input: true }
+        CompileOptions {
+            emit_snapshots: true,
+            type_check_input: true,
+        }
     }
 }
 
@@ -107,7 +110,10 @@ pub struct Compiler {
 impl Compiler {
     /// An empty compiler with no passes (useful for tests).
     pub fn empty() -> Compiler {
-        Compiler { passes: Vec::new(), options: CompileOptions::default() }
+        Compiler {
+            passes: Vec::new(),
+            options: CompileOptions::default(),
+        }
     }
 
     /// The reference pipeline: all front-end and mid-end passes in their
@@ -122,7 +128,10 @@ impl Compiler {
 
     /// Creates a compiler from an explicit pass list.
     pub fn with_passes(passes: Vec<Box<dyn Pass>>) -> Compiler {
-        Compiler { passes, options: CompileOptions::default() }
+        Compiler {
+            passes,
+            options: CompileOptions::default(),
+        }
     }
 
     pub fn options_mut(&mut self) -> &mut CompileOptions {
@@ -188,7 +197,8 @@ impl Compiler {
 
         for (index, pass) in self.passes.iter().enumerate() {
             let mut working = current.clone();
-            let outcome = catch_unwind(AssertUnwindSafe(|| pass.run(&mut working).map(|_| working)));
+            let outcome =
+                catch_unwind(AssertUnwindSafe(|| pass.run(&mut working).map(|_| working)));
             match outcome {
                 Err(panic) => {
                     return Err(CompileError::Crash {
@@ -223,7 +233,11 @@ impl Compiler {
                 }
             }
         }
-        Ok(CompileResult { snapshots, program: current, unchanged_passes: unchanged })
+        Ok(CompileResult {
+            snapshots,
+            program: current,
+            unchanged_passes: unchanged,
+        })
     }
 }
 
@@ -349,7 +363,11 @@ mod tests {
         let b = builder::trivial_program();
         assert_eq!(program_hash(&a), program_hash(&b));
         let mut c = builder::trivial_program();
-        c.control_mut("ingress_impl").unwrap().apply.statements.push(p4_ir::Statement::Exit);
+        c.control_mut("ingress_impl")
+            .unwrap()
+            .apply
+            .statements
+            .push(p4_ir::Statement::Exit);
         assert_ne!(program_hash(&a), program_hash(&c));
     }
 }

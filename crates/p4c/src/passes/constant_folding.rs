@@ -41,7 +41,10 @@ enum Const {
 fn as_const(expr: &Expr) -> Option<Const> {
     match expr {
         Expr::Bool(b) => Some(Const::Bool(*b)),
-        Expr::Int { value, width, .. } => Some(Const::Int { value: *value, width: *width }),
+        Expr::Int { value, width, .. } => Some(Const::Int {
+            value: *value,
+            width: *width,
+        }),
         _ => None,
     }
 }
@@ -68,7 +71,17 @@ impl Folder {
             (BinOp::Or, Const::Bool(a), Const::Bool(b)) => Some(Expr::Bool(a || b)),
             (BinOp::Eq, Const::Bool(a), Const::Bool(b)) => Some(Expr::Bool(a == b)),
             (BinOp::Ne, Const::Bool(a), Const::Bool(b)) => Some(Expr::Bool(a != b)),
-            (op, Const::Int { value: a, width: wa }, Const::Int { value: b, width: wb }) => {
+            (
+                op,
+                Const::Int {
+                    value: a,
+                    width: wa,
+                },
+                Const::Int {
+                    value: b,
+                    width: wb,
+                },
+            ) => {
                 let width = unify_widths(wa, wb);
                 let wrap = |v: u128| match width {
                     Some(w) => truncate(v, w),
@@ -85,11 +98,19 @@ impl Folder {
                     BinOp::BitOr => Some(make_int(wrap(a | b), width)),
                     BinOp::BitXor => Some(make_int(wrap(a ^ b), width)),
                     BinOp::Shl => {
-                        let shifted = if b >= 128 { 0 } else { a.wrapping_shl(b as u32) };
+                        let shifted = if b >= 128 {
+                            0
+                        } else {
+                            a.wrapping_shl(b as u32)
+                        };
                         Some(make_int(wrap(shifted), width.or(wa)))
                     }
                     BinOp::Shr => {
-                        let shifted = if b >= 128 { 0 } else { a.wrapping_shr(b as u32) };
+                        let shifted = if b >= 128 {
+                            0
+                        } else {
+                            a.wrapping_shr(b as u32)
+                        };
                         Some(make_int(shifted, width.or(wa)))
                     }
                     BinOp::Concat => match (wa, wb) {
@@ -114,12 +135,20 @@ impl Folder {
     fn fold_unary(&self, op: UnOp, operand: &Expr) -> Option<Expr> {
         match (op, as_const(operand)?) {
             (UnOp::Not, Const::Bool(b)) => Some(Expr::Bool(!b)),
-            (UnOp::BitNot, Const::Int { value, width: Some(w) }) => {
-                Some(Expr::uint(truncate(!value, w), w))
-            }
-            (UnOp::Neg, Const::Int { value, width: Some(w) }) => {
-                Some(Expr::uint(truncate(value.wrapping_neg(), w), w))
-            }
+            (
+                UnOp::BitNot,
+                Const::Int {
+                    value,
+                    width: Some(w),
+                },
+            ) => Some(Expr::uint(truncate(!value, w), w)),
+            (
+                UnOp::Neg,
+                Const::Int {
+                    value,
+                    width: Some(w),
+                },
+            ) => Some(Expr::uint(truncate(value.wrapping_neg(), w), w)),
             _ => None,
         }
     }
@@ -156,7 +185,11 @@ impl Mutator for Folder {
             Expr::Unary { op, operand } => self.fold_unary(*op, operand),
             Expr::Cast { ty, expr: inner } => self.fold_cast(ty, inner),
             Expr::Slice { base, hi, lo } => self.fold_slice(base, *hi, *lo),
-            Expr::Ternary { cond, then_expr, else_expr } => match as_const(cond) {
+            Expr::Ternary {
+                cond,
+                then_expr,
+                else_expr,
+            } => match as_const(cond) {
                 Some(Const::Bool(true)) => Some((**then_expr).clone()),
                 Some(Const::Bool(false)) => Some((**else_expr).clone()),
                 _ => None,
@@ -171,7 +204,12 @@ impl Mutator for Folder {
     fn mutate_statement(&mut self, stmt: &mut Statement) {
         mutate_walk_statement(self, stmt);
         // Prune statically-decided if statements.
-        if let Statement::If { cond, then_branch, else_branch } = stmt {
+        if let Statement::If {
+            cond,
+            then_branch,
+            else_branch,
+        } = stmt
+        {
             match as_const(cond) {
                 Some(Const::Bool(true)) => *stmt = (**then_branch).clone(),
                 Some(Const::Bool(false)) => {
@@ -263,7 +301,11 @@ mod tests {
     fn leaves_symbolic_expressions_alone() {
         let text = fold_ingress(vec![Statement::assign(
             Expr::dotted(&["hdr", "h", "a"]),
-            Expr::binary(BinOp::Add, Expr::dotted(&["hdr", "h", "b"]), Expr::uint(0, 8)),
+            Expr::binary(
+                BinOp::Add,
+                Expr::dotted(&["hdr", "h", "b"]),
+                Expr::uint(0, 8),
+            ),
         )]);
         // Folding does not do strength reduction; x + 0 stays.
         assert!(text.contains("(hdr.h.b + 8w0)"));

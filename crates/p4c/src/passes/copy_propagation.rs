@@ -93,7 +93,11 @@ fn propagate_block(block: &mut Block) {
                     copies.insert(name.clone(), value.clone());
                 }
             }
-            Statement::If { cond, then_branch, else_branch } => {
+            Statement::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
                 substitute(cond, &copies);
                 // Branches get their own (nested) propagation; the copy map
                 // is conservatively cleared afterwards because either branch
@@ -210,10 +214,18 @@ mod tests {
     #[test]
     fn propagates_literals_into_expressions() {
         let text = run_on(vec![
-            Statement::Declare { name: "k".into(), ty: Type::bits(8), init: Some(Expr::uint(3, 8)) },
+            Statement::Declare {
+                name: "k".into(),
+                ty: Type::bits(8),
+                init: Some(Expr::uint(3, 8)),
+            },
             Statement::assign(
                 Expr::dotted(&["hdr", "h", "a"]),
-                Expr::binary(BinOp::Add, Expr::path("k"), Expr::dotted(&["hdr", "h", "b"])),
+                Expr::binary(
+                    BinOp::Add,
+                    Expr::path("k"),
+                    Expr::dotted(&["hdr", "h", "b"]),
+                ),
             ),
         ]);
         assert!(text.contains("hdr.h.a = (8w3 + hdr.h.b);"));
@@ -228,7 +240,11 @@ mod tests {
                 init: Some(Expr::dotted(&["hdr", "h", "a"])),
             },
             Statement::if_then(
-                Expr::binary(BinOp::Eq, Expr::dotted(&["hdr", "h", "c"]), Expr::uint(0, 8)),
+                Expr::binary(
+                    BinOp::Eq,
+                    Expr::dotted(&["hdr", "h", "c"]),
+                    Expr::uint(0, 8),
+                ),
                 Statement::Block(Block::new(vec![Statement::assign(
                     Expr::dotted(&["hdr", "h", "a"]),
                     Expr::uint(9, 8),

@@ -76,7 +76,11 @@ fn flatten_statement(stmt: Statement, out: &mut Vec<Statement>) {
                 out.push(Statement::Block(inner));
             }
         }
-        Statement::If { cond, mut then_branch, mut else_branch } => {
+        Statement::If {
+            cond,
+            mut then_branch,
+            mut else_branch,
+        } => {
             if let Statement::Block(inner) = then_branch.as_mut() {
                 flatten_block(inner);
             }
@@ -89,7 +93,11 @@ fn flatten_statement(stmt: Statement, out: &mut Vec<Statement>) {
                     }
                 }
             }
-            out.push(Statement::If { cond, then_branch, else_branch });
+            out.push(Statement::If {
+                cond,
+                then_branch,
+                else_branch,
+            });
         }
         other => out.push(other),
     }
@@ -117,7 +125,11 @@ mod tests {
         FlattenBlocks.run(&mut program).unwrap();
         let control = program.control("ingress_impl").unwrap();
         assert_eq!(control.apply.statements.len(), 2);
-        assert!(control.apply.statements.iter().all(|s| matches!(s, Statement::Assign { .. })));
+        assert!(control
+            .apply
+            .statements
+            .iter()
+            .all(|s| matches!(s, Statement::Assign { .. })));
     }
 
     #[test]
@@ -125,7 +137,11 @@ mod tests {
         let mut program = builder::v1model_program(
             vec![],
             Block::new(vec![Statement::Block(Block::new(vec![
-                Statement::Declare { name: "x".into(), ty: Type::bits(8), init: Some(Expr::uint(1, 8)) },
+                Statement::Declare {
+                    name: "x".into(),
+                    ty: Type::bits(8),
+                    init: Some(Expr::uint(1, 8)),
+                },
                 Statement::assign(Expr::dotted(&["hdr", "h", "a"]), Expr::path("x")),
             ]))]),
         );

@@ -44,7 +44,11 @@ pub struct InlineBehaviour {
 
 impl Default for InlineBehaviour {
     fn default() -> Self {
-        InlineBehaviour { copy_out_on_exit: true, copy_out_on_return: true, left_to_right: true }
+        InlineBehaviour {
+            copy_out_on_exit: true,
+            copy_out_on_return: true,
+            left_to_right: true,
+        }
     }
 }
 
@@ -92,7 +96,9 @@ impl Pass for InlineFunctions {
         // Functions are no longer referenced; drop them so back ends that do
         // not understand function calls never see one (the paper reports a
         // crash caused by `InlineFunctions` *not* fully inlining, §7.2).
-        program.declarations.retain(|d| !matches!(d, Declaration::Function(_)));
+        program
+            .declarations
+            .retain(|d| !matches!(d, Declaration::Function(_)));
         Ok(())
     }
 }
@@ -175,7 +181,11 @@ fn collect_called_in_statement<'a>(stmt: &'a Statement, out: &mut Vec<&'a str>) 
     match stmt {
         Statement::Call(call) if call.target.len() == 1 => out.push(&call.target[0]),
         Statement::Block(block) => collect_called_names(block, out),
-        Statement::If { then_branch, else_branch, .. } => {
+        Statement::If {
+            then_branch,
+            else_branch,
+            ..
+        } => {
             collect_called_in_statement(then_branch, out);
             if let Some(else_stmt) = else_branch {
                 collect_called_in_statement(else_stmt, out);
@@ -193,12 +203,19 @@ struct Inliner {
 
 impl Inliner {
     fn new(behaviour: InlineBehaviour, prefix: &'static str) -> Inliner {
-        Inliner { behaviour, names: NameGen::new(prefix) }
+        Inliner {
+            behaviour,
+            names: NameGen::new(prefix),
+        }
     }
 
     // ---- function inlining ------------------------------------------------
 
-    fn inline_functions_in_block(&mut self, block: &mut Block, functions: &HashMap<String, FunctionDecl>) {
+    fn inline_functions_in_block(
+        &mut self,
+        block: &mut Block,
+        functions: &HashMap<String, FunctionDecl>,
+    ) {
         let mut rewritten = Vec::with_capacity(block.statements.len());
         for stmt in block.statements.drain(..) {
             self.inline_functions_in_statement(stmt, functions, &mut rewritten);
@@ -213,9 +230,11 @@ impl Inliner {
         out: &mut Vec<Statement>,
     ) {
         match stmt {
-            Statement::Declare { name, ty, init: Some(Expr::Call(call)) }
-                if functions.contains_key(&call.target.join(".")) =>
-            {
+            Statement::Declare {
+                name,
+                ty,
+                init: Some(Expr::Call(call)),
+            } if functions.contains_key(&call.target.join(".")) => {
                 let function = &functions[&call.target.join(".")];
                 let result = self.expand_callable(
                     &function.params,
@@ -224,11 +243,16 @@ impl Inliner {
                     &call.args,
                     out,
                 );
-                out.push(Statement::Declare { name, ty, init: result.map(Expr::Path) });
+                out.push(Statement::Declare {
+                    name,
+                    ty,
+                    init: result.map(Expr::Path),
+                });
             }
-            Statement::Assign { lhs, rhs: Expr::Call(call) }
-                if functions.contains_key(&call.target.join(".")) =>
-            {
+            Statement::Assign {
+                lhs,
+                rhs: Expr::Call(call),
+            } if functions.contains_key(&call.target.join(".")) => {
                 let function = &functions[&call.target.join(".")];
                 let result = self.expand_callable(
                     &function.params,
@@ -238,7 +262,10 @@ impl Inliner {
                     out,
                 );
                 if let Some(result) = result {
-                    out.push(Statement::Assign { lhs, rhs: Expr::Path(result) });
+                    out.push(Statement::Assign {
+                        lhs,
+                        rhs: Expr::Path(result),
+                    });
                 }
             }
             Statement::Call(call) if functions.contains_key(&call.target.join(".")) => {
@@ -249,7 +276,11 @@ impl Inliner {
                 self.inline_functions_in_block(&mut block, functions);
                 out.push(Statement::Block(block));
             }
-            Statement::If { cond, then_branch, else_branch } => {
+            Statement::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
                 let mut then_stmts = Vec::new();
                 self.inline_functions_in_statement(*then_branch, functions, &mut then_stmts);
                 let else_branch = else_branch.map(|e| {
@@ -269,7 +300,11 @@ impl Inliner {
 
     // ---- action inlining ----------------------------------------------------
 
-    fn inline_actions_in_block(&mut self, block: &mut Block, actions: &HashMap<String, ActionDecl>) {
+    fn inline_actions_in_block(
+        &mut self,
+        block: &mut Block,
+        actions: &HashMap<String, ActionDecl>,
+    ) {
         let mut rewritten = Vec::with_capacity(block.statements.len());
         for stmt in block.statements.drain(..) {
             self.inline_actions_in_statement(stmt, actions, &mut rewritten);
@@ -296,7 +331,11 @@ impl Inliner {
                 self.inline_actions_in_block(&mut block, actions);
                 out.push(Statement::Block(block));
             }
-            Statement::If { cond, then_branch, else_branch } => {
+            Statement::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
                 let mut then_stmts = Vec::new();
                 self.inline_actions_in_statement(*then_branch, actions, &mut then_stmts);
                 let else_branch = else_branch.map(|e| {
@@ -362,7 +401,10 @@ impl Inliner {
                 }
             }
             if param.direction.copies_out() {
-                copy_out.push(Statement::Assign { lhs: arg.clone(), rhs: Expr::Path(tmp.clone()) });
+                copy_out.push(Statement::Assign {
+                    lhs: arg.clone(),
+                    rhs: Expr::Path(tmp.clone()),
+                });
             }
             substitution_map.insert(param.name.clone(), Expr::Path(tmp));
         }
@@ -379,7 +421,11 @@ impl Inliner {
         let result_var = match return_type {
             Some(ty) if *ty != Type::Void => {
                 let result = self.names.fresh("retval");
-                out.push(Statement::Declare { name: result.clone(), ty: ty.clone(), init: None });
+                out.push(Statement::Declare {
+                    name: result.clone(),
+                    ty: ty.clone(),
+                    init: None,
+                });
                 Some(result)
             }
             _ => None,
@@ -399,9 +445,17 @@ impl Inliner {
 
         // 5. Transform the body: returns store the value / set the flag,
         //    exits perform copy-out first (when behaving correctly).
-        let exit_copy_out = if self.behaviour.copy_out_on_exit { copy_out.clone() } else { Vec::new() };
-        let transformed =
-            self.transform_body(body, result_var.as_deref(), flag_var.as_deref(), &exit_copy_out);
+        let exit_copy_out = if self.behaviour.copy_out_on_exit {
+            copy_out.clone()
+        } else {
+            Vec::new()
+        };
+        let transformed = self.transform_body(
+            body,
+            result_var.as_deref(),
+            flag_var.as_deref(),
+            &exit_copy_out,
+        );
         out.extend(transformed.statements);
 
         // 6. Copy-out on normal completion.
@@ -419,7 +473,11 @@ impl Inliner {
         }
     }
 
-    fn rename_locals_in_statement(&mut self, stmt: &mut Statement, map: &mut HashMap<String, Expr>) {
+    fn rename_locals_in_statement(
+        &mut self,
+        stmt: &mut Statement,
+        map: &mut HashMap<String, Expr>,
+    ) {
         match stmt {
             Statement::Declare { name, .. } | Statement::Constant { name, .. } => {
                 let fresh = self.names.fresh(name);
@@ -427,7 +485,11 @@ impl Inliner {
                 *name = fresh;
             }
             Statement::Block(block) => self.rename_locals(block, map),
-            Statement::If { then_branch, else_branch, .. } => {
+            Statement::If {
+                then_branch,
+                else_branch,
+                ..
+            } => {
                 self.rename_locals_in_statement(then_branch, map);
                 if let Some(else_stmt) = else_branch {
                     self.rename_locals_in_statement(else_stmt, map);
@@ -455,8 +517,9 @@ impl Inliner {
                 let flag = flag_var.expect("guarded implies a flag exists");
                 out.push(Statement::If {
                     cond: Expr::unary(p4_ir::UnOp::Not, Expr::path(flag)),
-                    then_branch: Box::new(Statement::Block(Block::new(vec![self
-                        .rewrite_returns(transformed, result_var, flag_var, exit_copy_out)]))),
+                    then_branch: Box::new(Statement::Block(Block::new(vec![
+                        self.rewrite_returns(transformed, result_var, flag_var, exit_copy_out)
+                    ]))),
                     else_branch: None,
                 });
                 continue;
@@ -504,10 +567,14 @@ impl Inliner {
                 replacement.push(Statement::Exit);
                 Statement::Block(Block::new(replacement))
             }
-            Statement::Block(block) => Statement::Block(
-                self.transform_body(block, result_var, flag_var, exit_copy_out),
-            ),
-            Statement::If { cond, then_branch, else_branch } => Statement::If {
+            Statement::Block(block) => {
+                Statement::Block(self.transform_body(block, result_var, flag_var, exit_copy_out))
+            }
+            Statement::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => Statement::If {
                 cond,
                 then_branch: Box::new(self.rewrite_returns(
                     *then_branch,
@@ -530,8 +597,7 @@ fn body_needs_return_flag(body: &Block) -> bool {
     let count = body.statements.len();
     for (index, stmt) in body.statements.iter().enumerate() {
         if contains_return(stmt) {
-            let is_final_plain_return =
-                index + 1 == count && matches!(stmt, Statement::Return(_));
+            let is_final_plain_return = index + 1 == count && matches!(stmt, Statement::Return(_));
             if !is_final_plain_return {
                 return true;
             }
@@ -563,10 +629,15 @@ mod tests {
             Block::new(vec![Statement::Declare {
                 name: "r".into(),
                 ty: Type::bits(8),
-                init: Some(Expr::call(vec!["test"], vec![Expr::dotted(&["hdr", "h", "a"])])),
+                init: Some(Expr::call(
+                    vec!["test"],
+                    vec![Expr::dotted(&["hdr", "h", "a"])],
+                )),
             }]),
         );
-        program.declarations.push(Declaration::Function(figure5a_function()));
+        program
+            .declarations
+            .push(Declaration::Function(figure5a_function()));
         InlineFunctions::default().run(&mut program).unwrap();
         let text = print_program(&program);
         // The function is gone, the copy-in / copy-out pattern remains.
@@ -587,7 +658,11 @@ mod tests {
                     Expr::binary(BinOp::Eq, Expr::path("x"), Expr::uint(0, 8)),
                     Statement::Block(Block::new(vec![Statement::Return(Some(Expr::uint(7, 8)))])),
                 ),
-                Statement::Return(Some(Expr::binary(BinOp::Add, Expr::path("x"), Expr::uint(1, 8)))),
+                Statement::Return(Some(Expr::binary(
+                    BinOp::Add,
+                    Expr::path("x"),
+                    Expr::uint(1, 8),
+                ))),
             ]),
         };
         let mut program = builder::v1model_program(
@@ -595,7 +670,10 @@ mod tests {
             Block::new(vec![Statement::Declare {
                 name: "r".into(),
                 ty: Type::bits(8),
-                init: Some(Expr::call(vec!["sel"], vec![Expr::dotted(&["hdr", "h", "a"])])),
+                init: Some(Expr::call(
+                    vec!["sel"],
+                    vec![Expr::dotted(&["hdr", "h", "a"])],
+                )),
             }]),
         );
         program.declarations.push(Declaration::Function(function));
@@ -626,9 +704,14 @@ mod tests {
         RemoveActionParameters::default().run(&mut program).unwrap();
         let text = print_program(&program);
         // Copy-out of the inout argument must appear before the exit.
-        let copy_out_pos = text.find("hdr.eth.eth_type = rap_val_0;").expect("copy-out exists");
+        let copy_out_pos = text
+            .find("hdr.eth.eth_type = rap_val_0;")
+            .expect("copy-out exists");
         let exit_pos = text.find("exit;").expect("exit preserved");
-        assert!(copy_out_pos < exit_pos, "copy-out must precede exit:\n{text}");
+        assert!(
+            copy_out_pos < exit_pos,
+            "copy-out must precede exit:\n{text}"
+        );
     }
 
     #[test]
@@ -649,13 +732,21 @@ mod tests {
             )]),
         );
         let pass = RemoveActionParameters {
-            behaviour: InlineBehaviour { copy_out_on_exit: false, ..InlineBehaviour::default() },
+            behaviour: InlineBehaviour {
+                copy_out_on_exit: false,
+                ..InlineBehaviour::default()
+            },
         };
         pass.run(&mut program).unwrap();
         let text = print_program(&program);
-        let copy_out_pos = text.find("hdr.eth.eth_type = rap_val_0;").expect("copy-out exists");
+        let copy_out_pos = text
+            .find("hdr.eth.eth_type = rap_val_0;")
+            .expect("copy-out exists");
         let exit_pos = text.find("exit;").expect("exit preserved");
-        assert!(exit_pos < copy_out_pos, "the buggy variant copies out after exit:\n{text}");
+        assert!(
+            exit_pos < copy_out_pos,
+            "the buggy variant copies out after exit:\n{text}"
+        );
     }
 
     #[test]
@@ -677,14 +768,22 @@ mod tests {
             return_type: Type::bits(8),
             params: vec![Param::new(Direction::In, "x", Type::bits(8))],
             body: Block::new(vec![
-                Statement::Declare { name: "tmp".into(), ty: Type::bits(8), init: Some(Expr::path("x")) },
+                Statement::Declare {
+                    name: "tmp".into(),
+                    ty: Type::bits(8),
+                    init: Some(Expr::path("x")),
+                },
                 Statement::Return(Some(Expr::path("tmp"))),
             ]),
         };
         let mut program = builder::v1model_program(
             vec![],
             Block::new(vec![
-                Statement::Declare { name: "tmp".into(), ty: Type::bits(8), init: Some(Expr::uint(9, 8)) },
+                Statement::Declare {
+                    name: "tmp".into(),
+                    ty: Type::bits(8),
+                    init: Some(Expr::uint(9, 8)),
+                },
                 Statement::Declare {
                     name: "r".into(),
                     ty: Type::bits(8),

@@ -56,7 +56,11 @@ fn predicate_block(block: &mut Block) {
 
 fn predicate_statement(stmt: Statement, out: &mut Vec<Statement>) {
     match stmt {
-        Statement::If { cond, then_branch, else_branch } => {
+        Statement::If {
+            cond,
+            then_branch,
+            else_branch,
+        } => {
             let then_assigns = extract_assignments(&then_branch);
             let else_assigns = else_branch.as_deref().map(extract_assignments);
             match (then_assigns, else_assigns) {
@@ -103,7 +107,10 @@ fn predicate_statement(stmt: Statement, out: &mut Vec<Statement>) {
 fn predicated(cond: Expr, lhs: Expr, rhs: Expr, on_true: bool) -> Statement {
     let keep = lhs.clone();
     let (then_expr, else_expr) = if on_true { (rhs, keep) } else { (keep, rhs) };
-    Statement::Assign { lhs, rhs: Expr::ternary(cond, then_expr, else_expr) }
+    Statement::Assign {
+        lhs,
+        rhs: Expr::ternary(cond, then_expr, else_expr),
+    }
 }
 
 /// Returns the list of `(lhs, rhs)` pairs if the statement consists solely
@@ -140,7 +147,11 @@ mod tests {
     #[test]
     fn predicates_simple_if_assignments() {
         let locals = action_with_body(vec![Statement::if_then(
-            Expr::binary(BinOp::Eq, Expr::dotted(&["hdr", "h", "a"]), Expr::uint(0, 8)),
+            Expr::binary(
+                BinOp::Eq,
+                Expr::dotted(&["hdr", "h", "a"]),
+                Expr::uint(0, 8),
+            ),
             Statement::Block(Block::new(vec![Statement::assign(
                 Expr::dotted(&["hdr", "h", "b"]),
                 Expr::uint(1, 8),
@@ -156,7 +167,11 @@ mod tests {
     #[test]
     fn predicates_if_else_pairs() {
         let locals = action_with_body(vec![Statement::if_else(
-            Expr::binary(BinOp::Lt, Expr::dotted(&["hdr", "h", "a"]), Expr::uint(4, 8)),
+            Expr::binary(
+                BinOp::Lt,
+                Expr::dotted(&["hdr", "h", "a"]),
+                Expr::uint(4, 8),
+            ),
             Statement::Block(Block::new(vec![Statement::assign(
                 Expr::dotted(&["hdr", "h", "b"]),
                 Expr::uint(1, 8),
@@ -176,7 +191,11 @@ mod tests {
     #[test]
     fn leaves_branches_with_calls_untouched() {
         let locals = action_with_body(vec![Statement::if_then(
-            Expr::binary(BinOp::Eq, Expr::dotted(&["hdr", "h", "a"]), Expr::uint(0, 8)),
+            Expr::binary(
+                BinOp::Eq,
+                Expr::dotted(&["hdr", "h", "a"]),
+                Expr::uint(0, 8),
+            ),
             Statement::Block(Block::new(vec![Statement::call(
                 vec!["hdr", "h", "setInvalid"],
                 vec![],
@@ -194,7 +213,11 @@ mod tests {
         let mut program = builder::v1model_program(
             vec![],
             Block::new(vec![Statement::if_then(
-                Expr::binary(BinOp::Eq, Expr::dotted(&["hdr", "h", "a"]), Expr::uint(0, 8)),
+                Expr::binary(
+                    BinOp::Eq,
+                    Expr::dotted(&["hdr", "h", "a"]),
+                    Expr::uint(0, 8),
+                ),
                 Statement::Block(Block::new(vec![Statement::assign(
                     Expr::dotted(&["hdr", "h", "b"]),
                     Expr::uint(1, 8),

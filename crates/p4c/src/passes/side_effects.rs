@@ -36,7 +36,10 @@ impl Pass for SideEffectOrdering {
                 _ => None,
             })
             .collect();
-        let mut hoister = Hoister { functions, names: NameGen::new("seo") };
+        let mut hoister = Hoister {
+            functions,
+            names: NameGen::new("seo"),
+        };
         for decl in &mut program.declarations {
             match decl {
                 Declaration::Control(control) => hoister.rewrite_control(control),
@@ -88,7 +91,11 @@ impl Hoister {
                 }
                 out.push(Statement::Call(call));
             }
-            Statement::If { mut cond, then_branch, else_branch } => {
+            Statement::If {
+                mut cond,
+                then_branch,
+                else_branch,
+            } => {
                 self.hoist_in_expr(&mut cond, out);
                 let mut then_block = Vec::new();
                 self.rewrite_statement(*then_branch, &mut then_block);
@@ -148,7 +155,11 @@ impl Hoister {
                 }
                 let tmp = self.names.fresh("tmp");
                 let call_expr = expr.clone();
-                out.push(Statement::Declare { name: tmp.clone(), ty: return_type, init: Some(call_expr) });
+                out.push(Statement::Declare {
+                    name: tmp.clone(),
+                    ty: return_type,
+                    init: Some(call_expr),
+                });
                 *expr = Expr::Path(tmp);
             }
             Expr::Member { base, .. } | Expr::Slice { base, .. } => self.hoist_in_expr(base, out),
@@ -158,7 +169,11 @@ impl Hoister {
                 self.hoist_in_expr(left, out);
                 self.hoist_in_expr(right, out);
             }
-            Expr::Ternary { cond, then_expr, else_expr } => {
+            Expr::Ternary {
+                cond,
+                then_expr,
+                else_expr,
+            } => {
                 self.hoist_in_expr(cond, out);
                 self.hoist_in_expr(then_expr, out);
                 self.hoist_in_expr(else_expr, out);
@@ -196,7 +211,9 @@ mod tests {
                 ),
             )]),
         );
-        program.declarations.push(Declaration::Function(clamp_function()));
+        program
+            .declarations
+            .push(Declaration::Function(clamp_function()));
         SideEffectOrdering.run(&mut program).unwrap();
         let text = print_program(&program);
         assert!(text.contains("bit<8> seo_tmp_0 = clamp(hdr.h.b);"));
@@ -216,7 +233,9 @@ mod tests {
                 Statement::Block(Block::new(vec![Statement::Exit])),
             )]),
         );
-        program.declarations.push(Declaration::Function(clamp_function()));
+        program
+            .declarations
+            .push(Declaration::Function(clamp_function()));
         SideEffectOrdering.run(&mut program).unwrap();
         let text = print_program(&program);
         let tmp_pos = text.find("seo_tmp_0 = clamp").unwrap();
@@ -252,7 +271,9 @@ mod tests {
                 init: Some(Expr::call(vec!["clamp"], vec![Expr::uint(3, 8)])),
             }]),
         );
-        program.declarations.push(Declaration::Function(clamp_function()));
+        program
+            .declarations
+            .push(Declaration::Function(clamp_function()));
         SideEffectOrdering.run(&mut program).unwrap();
         let text = print_program(&program);
         assert!(text.contains("bit<8> v = clamp(8w3);"));

@@ -107,7 +107,11 @@ fn collect_writes(stmt: &Statement, out: &mut HashSet<String>) {
                 collect_writes(s, out);
             }
         }
-        Statement::If { then_branch, else_branch, .. } => {
+        Statement::If {
+            then_branch,
+            else_branch,
+            ..
+        } => {
             collect_writes(then_branch, out);
             if let Some(else_stmt) = else_branch {
                 collect_writes(else_stmt, out);
@@ -153,7 +157,11 @@ fn collect_local_declarations_in_statement(stmt: &Statement, out: &mut HashSet<S
             out.insert(name.clone());
         }
         Statement::Block(block) => collect_local_declarations(block, out),
-        Statement::If { then_branch, else_branch, .. } => {
+        Statement::If {
+            then_branch,
+            else_branch,
+            ..
+        } => {
             collect_local_declarations_in_statement(then_branch, out);
             if let Some(else_stmt) = else_branch {
                 collect_local_declarations_in_statement(else_stmt, out);
@@ -164,11 +172,17 @@ fn collect_local_declarations_in_statement(stmt: &Statement, out: &mut HashSet<S
 }
 
 fn remove_dead_stores(block: &mut Block, locals: &HashSet<String>, reads: &HashSet<String>) {
-    block.statements.retain(|stmt| !is_dead(stmt, locals, reads));
+    block
+        .statements
+        .retain(|stmt| !is_dead(stmt, locals, reads));
     for stmt in &mut block.statements {
         match stmt {
             Statement::Block(inner) => remove_dead_stores(inner, locals, reads),
-            Statement::If { then_branch, else_branch, .. } => {
+            Statement::If {
+                then_branch,
+                else_branch,
+                ..
+            } => {
                 if let Statement::Block(inner) = then_branch.as_mut() {
                     remove_dead_stores(inner, locals, reads);
                 }
@@ -221,7 +235,11 @@ mod tests {
         let mut program = builder::v1model_program(
             vec![],
             Block::new(vec![
-                Statement::Declare { name: "dead".into(), ty: Type::bits(8), init: Some(Expr::uint(1, 8)) },
+                Statement::Declare {
+                    name: "dead".into(),
+                    ty: Type::bits(8),
+                    init: Some(Expr::uint(1, 8)),
+                },
                 Statement::assign(Expr::path("dead"), Expr::uint(2, 8)),
                 Statement::assign(Expr::dotted(&["hdr", "h", "a"]), Expr::uint(3, 8)),
             ]),
@@ -237,7 +255,11 @@ mod tests {
         let mut program = builder::v1model_program(
             vec![],
             Block::new(vec![
-                Statement::Declare { name: "live".into(), ty: Type::bits(8), init: Some(Expr::uint(1, 8)) },
+                Statement::Declare {
+                    name: "live".into(),
+                    ty: Type::bits(8),
+                    init: Some(Expr::uint(1, 8)),
+                },
                 Statement::assign(Expr::dotted(&["hdr", "h", "a"]), Expr::path("live")),
             ]),
         );
@@ -252,7 +274,10 @@ mod tests {
         // always live even when nothing in this control reads them.
         let mut program = builder::v1model_program(
             vec![],
-            Block::new(vec![Statement::assign(Expr::dotted(&["hdr", "h", "a"]), Expr::uint(1, 8))]),
+            Block::new(vec![Statement::assign(
+                Expr::dotted(&["hdr", "h", "a"]),
+                Expr::uint(1, 8),
+            )]),
         );
         SimplifyDefUse.run(&mut program).unwrap();
         let text = print_program(&program);
@@ -264,13 +289,20 @@ mod tests {
         use p4_ir::{ActionRef, KeyElement, MatchKind, TableDecl};
         let table = TableDecl {
             name: "t".into(),
-            keys: vec![KeyElement { expr: Expr::path("key_var"), match_kind: MatchKind::Exact }],
+            keys: vec![KeyElement {
+                expr: Expr::path("key_var"),
+                match_kind: MatchKind::Exact,
+            }],
             actions: vec![ActionRef::new("NoAction")],
             default_action: ActionRef::new("NoAction"),
         };
         let mut program = builder::v1model_program(
             vec![
-                Declaration::Variable { name: "key_var".into(), ty: Type::bits(8), init: Some(Expr::uint(0, 8)) },
+                Declaration::Variable {
+                    name: "key_var".into(),
+                    ty: Type::bits(8),
+                    init: Some(Expr::uint(0, 8)),
+                },
                 Declaration::Table(table),
             ],
             Block::new(vec![
@@ -287,8 +319,15 @@ mod tests {
     #[test]
     fn removes_unreferenced_control_level_variables() {
         let mut program = builder::v1model_program(
-            vec![Declaration::Variable { name: "unused".into(), ty: Type::bits(8), init: None }],
-            Block::new(vec![Statement::assign(Expr::dotted(&["hdr", "h", "a"]), Expr::uint(1, 8))]),
+            vec![Declaration::Variable {
+                name: "unused".into(),
+                ty: Type::bits(8),
+                init: None,
+            }],
+            Block::new(vec![Statement::assign(
+                Expr::dotted(&["hdr", "h", "a"]),
+                Expr::uint(1, 8),
+            )]),
         );
         SimplifyDefUse.run(&mut program).unwrap();
         let text = print_program(&program);

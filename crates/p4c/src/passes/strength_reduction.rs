@@ -73,9 +73,13 @@ impl Reducer {
             return match expr {
                 // !!e → e and ~~e → e
                 Expr::Unary { op: outer, operand } => match (&**operand, outer) {
-                    (Expr::Unary { op: inner, operand: inner_operand }, _)
-                        if inner == outer && matches!(outer, UnOp::Not | UnOp::BitNot) =>
-                    {
+                    (
+                        Expr::Unary {
+                            op: inner,
+                            operand: inner_operand,
+                        },
+                        _,
+                    ) if inner == outer && matches!(outer, UnOp::Not | UnOp::BitNot) => {
                         Some((**inner_operand).clone())
                     }
                     _ => None,
@@ -89,7 +93,11 @@ impl Reducer {
             BinOp::Add | BinOp::BitXor | BinOp::BitOr | BinOp::SatAdd if is_zero(left) => {
                 Some((**right).clone())
             }
-            BinOp::Add | BinOp::Sub | BinOp::BitXor | BinOp::BitOr | BinOp::SatAdd
+            BinOp::Add
+            | BinOp::Sub
+            | BinOp::BitXor
+            | BinOp::BitOr
+            | BinOp::SatAdd
             | BinOp::SatSub
                 if is_zero(right) =>
             {
@@ -174,7 +182,10 @@ mod tests {
     fn reduce_ingress(rhs: Expr) -> String {
         let mut program = builder::v1model_program(
             vec![],
-            Block::new(vec![Statement::assign(Expr::dotted(&["hdr", "h", "a"]), rhs)]),
+            Block::new(vec![Statement::assign(
+                Expr::dotted(&["hdr", "h", "a"]),
+                rhs,
+            )]),
         );
         StrengthReduction.run(&mut program).unwrap();
         print_program(&program)
@@ -247,7 +258,11 @@ mod tests {
                 Expr::binary(
                     BinOp::And,
                     Expr::Bool(true),
-                    Expr::binary(BinOp::Eq, Expr::dotted(&["hdr", "h", "a"]), Expr::uint(1, 8)),
+                    Expr::binary(
+                        BinOp::Eq,
+                        Expr::dotted(&["hdr", "h", "a"]),
+                        Expr::uint(1, 8),
+                    ),
                 ),
                 Statement::Block(Block::new(vec![Statement::Exit])),
             )]),

@@ -126,9 +126,12 @@ pub fn contains_return(stmt: &Statement) -> bool {
     match stmt {
         Statement::Return(_) => true,
         Statement::Block(block) => block.statements.iter().any(contains_return),
-        Statement::If { then_branch, else_branch, .. } => {
-            contains_return(then_branch)
-                || else_branch.as_ref().is_some_and(|s| contains_return(s))
+        Statement::If {
+            then_branch,
+            else_branch,
+            ..
+        } => {
+            contains_return(then_branch) || else_branch.as_ref().is_some_and(|s| contains_return(s))
         }
         _ => false,
     }
@@ -139,9 +142,11 @@ pub fn contains_exit(stmt: &Statement) -> bool {
     match stmt {
         Statement::Exit => true,
         Statement::Block(block) => block.statements.iter().any(contains_exit),
-        Statement::If { then_branch, else_branch, .. } => {
-            contains_exit(then_branch) || else_branch.as_ref().is_some_and(|s| contains_exit(s))
-        }
+        Statement::If {
+            then_branch,
+            else_branch,
+            ..
+        } => contains_exit(then_branch) || else_branch.as_ref().is_some_and(|s| contains_exit(s)),
         _ => false,
     }
 }
@@ -167,7 +172,11 @@ pub fn collect_reads<'a>(stmt: &'a Statement, reads: &mut Vec<&'a str>) {
                 arg.collect_paths(reads);
             }
         }
-        Statement::If { cond, then_branch, else_branch } => {
+        Statement::If {
+            cond,
+            then_branch,
+            else_branch,
+        } => {
             cond.collect_paths(reads);
             collect_reads(then_branch, reads);
             if let Some(else_stmt) = else_branch {
@@ -179,7 +188,9 @@ pub fn collect_reads<'a>(stmt: &'a Statement, reads: &mut Vec<&'a str>) {
                 collect_reads(s, reads);
             }
         }
-        Statement::Declare { init: Some(init), .. } => init.collect_paths(reads),
+        Statement::Declare {
+            init: Some(init), ..
+        } => init.collect_paths(reads),
         Statement::Constant { value, .. } => value.collect_paths(reads),
         Statement::Return(Some(expr)) => expr.collect_paths(reads),
         _ => {}

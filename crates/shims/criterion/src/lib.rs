@@ -36,7 +36,9 @@ pub struct BenchmarkId {
 
 impl BenchmarkId {
     pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> BenchmarkId {
-        BenchmarkId { id: format!("{}/{}", name.into(), parameter) }
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
     }
 }
 
@@ -103,13 +105,18 @@ impl BenchmarkGroup<'_> {
     {
         let full_name = format!("{}/{}", self.name, id);
         // Calibration pass: one iteration to estimate per-iteration cost.
-        let mut bencher = Bencher { iterations: 1, elapsed: Duration::ZERO };
+        let mut bencher = Bencher {
+            iterations: 1,
+            elapsed: Duration::ZERO,
+        };
         f(&mut bencher);
         let per_iteration = bencher.elapsed.max(Duration::from_nanos(1));
         let budget = MEASUREMENT_BUDGET.min(per_iteration * self.sample_size as u32 * 2);
-        let iterations =
-            (budget.as_nanos() / per_iteration.as_nanos()).clamp(1, 1_000_000) as u64;
-        let mut bencher = Bencher { iterations, elapsed: Duration::ZERO };
+        let iterations = (budget.as_nanos() / per_iteration.as_nanos()).clamp(1, 1_000_000) as u64;
+        let mut bencher = Bencher {
+            iterations,
+            elapsed: Duration::ZERO,
+        };
         f(&mut bencher);
         let mean = bencher.elapsed / iterations as u32;
         println!("{full_name:<60} time: {mean:>12.3?}  ({iterations} iterations)");
@@ -118,12 +125,7 @@ impl BenchmarkGroup<'_> {
     }
 
     /// Runs one parameterised benchmark.
-    pub fn bench_with_input<I, F>(
-        &mut self,
-        id: BenchmarkId,
-        input: &I,
-        mut f: F,
-    ) -> &mut Self
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
     where
         F: FnMut(&mut Bencher, &I),
     {
@@ -143,7 +145,11 @@ pub struct Criterion {
 impl Criterion {
     /// Opens a named benchmark group.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
-        BenchmarkGroup { criterion: self, name: name.into(), sample_size: 100 }
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 100,
+        }
     }
 
     /// All `(name, mean time)` pairs measured so far.
@@ -202,7 +208,11 @@ mod tests {
         let mut group = criterion.benchmark_group("shim");
         group.sample_size(10);
         group.bench_with_input(BenchmarkId::new("batched", 1), &1u32, |b, &v| {
-            b.iter_batched(|| vec![v; 8], |input| input.iter().sum::<u32>(), BatchSize::SmallInput)
+            b.iter_batched(
+                || vec![v; 8],
+                |input| input.iter().sum::<u32>(),
+                BatchSize::SmallInput,
+            )
         });
         assert_eq!(criterion.results().len(), 1);
         assert!(criterion.results()[0].0.ends_with("batched/1"));

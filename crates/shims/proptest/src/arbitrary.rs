@@ -25,7 +25,9 @@ impl<T: Arbitrary> Strategy for AnyStrategy<T> {
 
 /// Full-range strategy for `T`, mirroring `proptest::arbitrary::any`.
 pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
-    AnyStrategy { marker: std::marker::PhantomData }
+    AnyStrategy {
+        marker: std::marker::PhantomData,
+    }
 }
 
 macro_rules! impl_arbitrary_int {

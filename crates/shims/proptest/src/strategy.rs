@@ -212,10 +212,7 @@ mod tests {
     #[test]
     fn map_and_union_compose() {
         let mut rng = TestRng::new(4);
-        let strat = crate::prop_oneof![
-            (0u8..10).prop_map(|v| v * 2),
-            Just(99u8),
-        ];
+        let strat = crate::prop_oneof![(0u8..10).prop_map(|v| v * 2), Just(99u8),];
         for _ in 0..200 {
             let v = strat.generate(&mut rng);
             assert!(v == 99 || (v % 2 == 0 && v < 20));
@@ -235,9 +232,11 @@ mod tests {
                 Tree::Node(a, b) => 1 + depth(a).max(depth(b)),
             }
         }
-        let strat = (0u8..16).prop_map(Tree::Leaf).prop_recursive(3, 8, 2, |inner| {
-            (inner.clone(), inner).prop_map(|(a, b)| Tree::Node(Box::new(a), Box::new(b)))
-        });
+        let strat = (0u8..16)
+            .prop_map(Tree::Leaf)
+            .prop_recursive(3, 8, 2, |inner| {
+                (inner.clone(), inner).prop_map(|(a, b)| Tree::Node(Box::new(a), Box::new(b)))
+            });
         let mut rng = TestRng::new(5);
         for _ in 0..100 {
             assert!(depth(&strat.generate(&mut rng)) <= 3);

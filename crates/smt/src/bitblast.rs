@@ -172,8 +172,10 @@ impl<'a> BitBlaster<'a> {
 
     fn ite_gate(&mut self, cond: Lit, then_lit: Lit, else_lit: Lit) -> Lit {
         let out = self.fresh();
-        self.sat.add_clause(&[cond.negate(), then_lit.negate(), out]);
-        self.sat.add_clause(&[cond.negate(), then_lit, out.negate()]);
+        self.sat
+            .add_clause(&[cond.negate(), then_lit.negate(), out]);
+        self.sat
+            .add_clause(&[cond.negate(), then_lit, out.negate()]);
         self.sat.add_clause(&[cond, else_lit.negate(), out]);
         self.sat.add_clause(&[cond, else_lit, out.negate()]);
         out
@@ -238,7 +240,11 @@ impl<'a> BitBlaster<'a> {
             let shifted: Vec<Lit> = (0..width)
                 .map(|i| {
                     let source = if left {
-                        if shift <= i { Some(i - shift) } else { None }
+                        if shift <= i {
+                            Some(i - shift)
+                        } else {
+                            None
+                        }
                     } else {
                         i.checked_add(shift).filter(|&s| s < width)
                     };
@@ -248,13 +254,19 @@ impl<'a> BitBlaster<'a> {
                     }
                 })
                 .collect();
-            current = (0..width).map(|i| self.ite_gate(sel, shifted[i], current[i])).collect();
+            current = (0..width)
+                .map(|i| self.ite_gate(sel, shifted[i], current[i]))
+                .collect();
         }
         current
     }
 
     fn equal_bits(&mut self, a: &[Lit], b: &[Lit]) -> Lit {
-        let per_bit: Vec<Lit> = a.iter().zip(b).map(|(&x, &y)| self.iff_gate(x, y)).collect();
+        let per_bit: Vec<Lit> = a
+            .iter()
+            .zip(b)
+            .map(|(&x, &y)| self.iff_gate(x, y))
+            .collect();
         self.and_gate(&per_bit)
     }
 
@@ -295,7 +307,9 @@ impl<'a> BitBlaster<'a> {
             return repr.clone();
         }
         let repr = self.blast_uncached(term);
-        self.ctx.cache.insert(term.id, (repr.clone(), self.ctx.generation));
+        self.ctx
+            .cache
+            .insert(term.id, (repr.clone(), self.ctx.generation));
         repr
     }
 
@@ -368,8 +382,9 @@ impl<'a> BitBlaster<'a> {
                     (rt, re) => {
                         let (x, y) = (ra_bits(&rt), ra_bits(&re));
                         assert_eq!(x.len(), y.len(), "ite branch widths differ");
-                        let bits =
-                            (0..x.len()).map(|i| self.ite_gate(cond, x[i], y[i])).collect();
+                        let bits = (0..x.len())
+                            .map(|i| self.ite_gate(cond, x[i], y[i]))
+                            .collect();
                         Repr::Bits(bits)
                     }
                 }
@@ -480,8 +495,11 @@ mod tests {
         let mut ctx = BlastContext::new();
         let mut blaster = BitBlaster::new(&mut sat, &mut ctx);
         blaster.assert(term);
-        let vars: Vec<(String, Repr)> =
-            ctx.variables().iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+        let vars: Vec<(String, Repr)> = ctx
+            .variables()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect();
         match sat.solve() {
             SatResult::Sat(model) => {
                 let mut out = Vec::new();
@@ -505,7 +523,10 @@ mod tests {
     fn addition_model_is_correct() {
         let tm = TermManager::new();
         let x = tm.var("x", Sort::BitVec(8));
-        let constraint = tm.eq(tm.bv_add(x.clone(), tm.bv_const(13, 8)), tm.bv_const(200, 8));
+        let constraint = tm.eq(
+            tm.bv_add(x.clone(), tm.bv_const(13, 8)),
+            tm.bv_const(200, 8),
+        );
         let model = solve_assertion(&tm, &constraint).expect("satisfiable");
         let x_value = model.iter().find(|(n, _)| n == "x").unwrap().1.to_u128();
         assert_eq!(x_value, 187);

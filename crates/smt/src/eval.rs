@@ -79,8 +79,9 @@ fn eval_inner(
     if let Some(value) = cache.get(&term.id) {
         return Ok(value.clone());
     }
-    let rec =
-        |t: &TermRef, cache: &mut HashMap<u64, Value>| eval_inner(t, assignment, default_unbound, cache);
+    let rec = |t: &TermRef, cache: &mut HashMap<u64, Value>| {
+        eval_inner(t, assignment, default_unbound, cache)
+    };
     let value = match &term.kind {
         TermKind::BoolConst(b) => Value::Bool(*b),
         TermKind::BvConst(v) => Value::Bv(v.clone()),
@@ -149,9 +150,7 @@ fn eval_inner(
             Value::Bv(rec(a, cache)?.as_bv().lshr(amount))
         }
         TermKind::BvUlt(a, b) => Value::Bool(rec(a, cache)?.as_bv().ult(&rec(b, cache)?.as_bv())),
-        TermKind::BvUle(a, b) => {
-            Value::Bool(!rec(b, cache)?.as_bv().ult(&rec(a, cache)?.as_bv()))
-        }
+        TermKind::BvUle(a, b) => Value::Bool(!rec(b, cache)?.as_bv().ult(&rec(a, cache)?.as_bv())),
         TermKind::BvSlt(a, b) => Value::Bool(rec(a, cache)?.as_bv().slt(&rec(b, cache)?.as_bv())),
         TermKind::Concat(a, b) => Value::Bv(rec(a, cache)?.as_bv().concat(&rec(b, cache)?.as_bv())),
         TermKind::Extract { hi, lo, arg } => Value::Bv(rec(arg, cache)?.as_bv().extract(*hi, *lo)),

@@ -99,7 +99,10 @@ pub struct SatSolver {
 
 impl SatSolver {
     pub fn new() -> SatSolver {
-        SatSolver { var_inc: 1.0, ..SatSolver::default() }
+        SatSolver {
+            var_inc: 1.0,
+            ..SatSolver::default()
+        }
     }
 
     /// Allocates and returns a fresh variable.
@@ -170,7 +173,10 @@ impl SatSolver {
                 let idx = self.clauses.len();
                 self.watches[reduced[0].index()].push(idx);
                 self.watches[reduced[1].index()].push(idx);
-                self.clauses.push(Clause { lits: reduced, learned: false });
+                self.clauses.push(Clause {
+                    lits: reduced,
+                    learned: false,
+                });
             }
         }
     }
@@ -318,7 +324,8 @@ impl SatSolver {
         } else {
             let mut max_i = 1;
             for i in 2..learned.len() {
-                if self.level[learned[i].var() as usize] > self.level[learned[max_i].var() as usize] {
+                if self.level[learned[i].var() as usize] > self.level[learned[max_i].var() as usize]
+                {
                     max_i = i;
                 }
             }
@@ -330,9 +337,15 @@ impl SatSolver {
 
     fn backjump(&mut self, level: u32) {
         while self.decision_level() > level {
-            let lim = self.trail_lim.pop().expect("decision level > 0 has a limit");
+            let lim = self
+                .trail_lim
+                .pop()
+                .expect("decision level > 0 has a limit");
             while self.trail.len() > lim {
-                let lit = self.trail.pop().expect("trail is non-empty above the limit");
+                let lit = self
+                    .trail
+                    .pop()
+                    .expect("trail is non-empty above the limit");
                 let var = lit.var() as usize;
                 self.assign[var] = UNASSIGNED;
                 self.reason[var] = None;
@@ -344,14 +357,20 @@ impl SatSolver {
     fn learn(&mut self, learned: Vec<Lit>) {
         if learned.len() == 1 {
             let ok = self.enqueue(learned[0], None);
-            debug_assert!(ok, "asserting unit literal must be enqueueable after backjump");
+            debug_assert!(
+                ok,
+                "asserting unit literal must be enqueueable after backjump"
+            );
             return;
         }
         let idx = self.clauses.len();
         self.watches[learned[0].index()].push(idx);
         self.watches[learned[1].index()].push(idx);
         let asserting = learned[0];
-        self.clauses.push(Clause { lits: learned, learned: true });
+        self.clauses.push(Clause {
+            lits: learned,
+            learned: true,
+        });
         let ok = self.enqueue(asserting, Some(idx));
         debug_assert!(ok, "asserting literal must be enqueueable after backjump");
     }
@@ -592,7 +611,9 @@ mod tests {
         // reproducible without external crates.
         let mut state = 0x12345678u64;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 33) as u32
         };
         for round in 0..60 {
@@ -635,7 +656,11 @@ mod tests {
                 s.add_clause(&lits);
             }
             let result = s.solve();
-            assert_eq!(result.is_sat(), brute_sat, "mismatch on round {round}: {clauses:?}");
+            assert_eq!(
+                result.is_sat(),
+                brute_sat,
+                "mismatch on round {round}: {clauses:?}"
+            );
             if let SatResult::Sat(model) = result {
                 for clause in &clauses {
                     assert!(clause.iter().any(|&v| {

@@ -164,8 +164,11 @@ impl Solver {
     /// retained), mirroring Z3's push/assert/check/pop idiom.
     pub fn check_with(&mut self, extra: &[TermRef]) -> CheckResult {
         self.total_checks += 1;
-        let (conflicts0, decisions0, propagations0) =
-            (self.sat.conflicts, self.sat.decisions, self.sat.propagations);
+        let (conflicts0, decisions0, propagations0) = (
+            self.sat.conflicts,
+            self.sat.decisions,
+            self.sat.propagations,
+        );
 
         // Lower assertions added since the last check as permanent unit
         // clauses; lower extras to indicator literals used as assumptions.
@@ -218,12 +221,16 @@ impl Solver {
     /// Convenience: checks whether two terms of equal sort can differ.  This
     /// is the core query of translation validation (§5.2): it is satisfiable
     /// only if there is an input on which the two programs disagree.
-    pub fn check_distinct(&mut self, tm: &crate::term::TermManager, a: TermRef, b: TermRef) -> CheckResult {
+    pub fn check_distinct(
+        &mut self,
+        tm: &crate::term::TermManager,
+        a: TermRef,
+        b: TermRef,
+    ) -> CheckResult {
         let distinct = tm.neq(a, b);
         self.check_with(&[distinct])
     }
 }
-
 
 #[cfg(test)]
 mod tests {
@@ -297,7 +304,10 @@ mod tests {
         let x = tm.var("x", Sort::BitVec(16));
         let y = tm.var("y", Sort::BitVec(16));
         // A moderately large shared subterm.
-        let shared = tm.bv_mul(tm.bv_add(x.clone(), y.clone()), tm.bv_xor(x.clone(), y.clone()));
+        let shared = tm.bv_mul(
+            tm.bv_add(x.clone(), y.clone()),
+            tm.bv_xor(x.clone(), y.clone()),
+        );
         let q1 = tm.bv_ult(shared.clone(), tm.bv_const(100, 16));
         assert!(solver.check_with(std::slice::from_ref(&q1)).is_sat());
         let first_clauses = solver.stats().sat_clauses;
@@ -306,14 +316,20 @@ mod tests {
         // re-bitblasting the multiplier.
         let q2 = tm.bv_ult(tm.bv_const(200, 16), shared.clone());
         assert!(solver.check_with(&[q2]).is_sat());
-        assert!(solver.stats().memo_hits > 0, "shared subterm must be memoised");
+        assert!(
+            solver.stats().memo_hits > 0,
+            "shared subterm must be memoised"
+        );
         let second_clauses = solver.stats().sat_clauses - first_clauses;
         assert!(
             second_clauses < first_clauses / 2,
             "incremental check re-encoded too much: {second_clauses} vs {first_clauses}"
         );
         // Results stay correct in both directions after many checks.
-        assert_eq!(solver.check_with(&[tm.neq(shared.clone(), shared.clone())]), CheckResult::Unsat);
+        assert_eq!(
+            solver.check_with(&[tm.neq(shared.clone(), shared.clone())]),
+            CheckResult::Unsat
+        );
         assert!(solver.check_with(&[q1]).is_sat());
     }
 

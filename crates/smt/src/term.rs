@@ -77,9 +77,19 @@ pub enum TermKind {
     BvUle(TermRef, TermRef),
     BvSlt(TermRef, TermRef),
     Concat(TermRef, TermRef),
-    Extract { hi: u32, lo: u32, arg: TermRef },
-    ZeroExtend { arg: TermRef, width: u32 },
-    SignExtend { arg: TermRef, width: u32 },
+    Extract {
+        hi: u32,
+        lo: u32,
+        arg: TermRef,
+    },
+    ZeroExtend {
+        arg: TermRef,
+        width: u32,
+    },
+    SignExtend {
+        arg: TermRef,
+        width: u32,
+    },
 }
 
 impl Term {
@@ -621,7 +631,11 @@ impl TermManager {
 
     pub fn extract(&self, hi: u32, lo: u32, arg: TermRef) -> TermRef {
         assert!(hi >= lo, "extract with hi < lo");
-        assert!(hi < arg.sort.width(), "extract out of range: [{hi}:{lo}] of {}", arg.sort.width());
+        assert!(
+            hi < arg.sort.width(),
+            "extract out of range: [{hi}:{lo}] of {}",
+            arg.sort.width()
+        );
         let width = hi - lo + 1;
         if width == arg.sort.width() {
             return arg;
@@ -699,8 +713,14 @@ mod tests {
     fn boolean_simplifications() {
         let tm = TermManager::new();
         let x = tm.var("x", Sort::Bool);
-        assert!(matches!(tm.and2(tm.fls(), x.clone()).kind, TermKind::BoolConst(false)));
-        assert!(matches!(tm.or2(tm.tru(), x.clone()).kind, TermKind::BoolConst(true)));
+        assert!(matches!(
+            tm.and2(tm.fls(), x.clone()).kind,
+            TermKind::BoolConst(false)
+        ));
+        assert!(matches!(
+            tm.or2(tm.tru(), x.clone()).kind,
+            TermKind::BoolConst(true)
+        ));
         assert_eq!(tm.and2(tm.tru(), x.clone()).id, x.id);
         let double_neg = tm.not(tm.not(x.clone()));
         assert_eq!(double_neg.id, x.id);
@@ -721,7 +741,10 @@ mod tests {
     fn eq_reflexive_and_constant() {
         let tm = TermManager::new();
         let a = tm.var("a", Sort::BitVec(8));
-        assert!(matches!(tm.eq(a.clone(), a.clone()).kind, TermKind::BoolConst(true)));
+        assert!(matches!(
+            tm.eq(a.clone(), a.clone()).kind,
+            TermKind::BoolConst(true)
+        ));
         let one = tm.bv_const(1, 8);
         let two = tm.bv_const(2, 8);
         assert!(matches!(tm.eq(one, two).kind, TermKind::BoolConst(false)));

@@ -16,7 +16,9 @@ pub struct BvValue {
 impl BvValue {
     /// A zero value of the given width.
     pub fn zero(width: u32) -> BvValue {
-        BvValue { bits: vec![false; width as usize] }
+        BvValue {
+            bits: vec![false; width as usize],
+        }
     }
 
     /// Builds a value from the low `width` bits of `value`.
@@ -116,7 +118,10 @@ impl BvValue {
         F: Fn(u128, u128) -> u128,
     {
         let width = self.width().max(other.width());
-        assert!(width <= 128, "wide arithmetic must go through the bit-blaster");
+        assert!(
+            width <= 128,
+            "wide arithmetic must go through the bit-blaster"
+        );
         let result = f(self.resize(width).to_u128(), other.resize(width).to_u128());
         BvValue::from_u128(result, width)
     }
@@ -135,7 +140,11 @@ impl BvValue {
 
     pub fn sat_add(&self, other: &BvValue) -> BvValue {
         let width = self.width().max(other.width());
-        let max = if width >= 128 { u128::MAX } else { (1u128 << width) - 1 };
+        let max = if width >= 128 {
+            u128::MAX
+        } else {
+            (1u128 << width) - 1
+        };
         self.binary_wrapping(other, |a, b| a.checked_add(b).map_or(max, |s| s.min(max)))
     }
 
@@ -162,7 +171,9 @@ impl BvValue {
     }
 
     pub fn bitnot(&self) -> BvValue {
-        BvValue { bits: self.bits.iter().map(|&b| !b).collect() }
+        BvValue {
+            bits: self.bits.iter().map(|&b| !b).collect(),
+        }
     }
 
     pub fn neg(&self) -> BvValue {
@@ -173,7 +184,13 @@ impl BvValue {
     pub fn shl(&self, amount: u32) -> BvValue {
         let width = self.width();
         let bits = (0..width)
-            .map(|i| if i >= amount { self.bit(i - amount) } else { false })
+            .map(|i| {
+                if i >= amount {
+                    self.bit(i - amount)
+                } else {
+                    false
+                }
+            })
             .collect();
         BvValue { bits }
     }

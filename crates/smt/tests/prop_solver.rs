@@ -87,12 +87,14 @@ fn mini_expr() -> impl Strategy<Value = MiniExpr> {
     ];
     leaf.prop_recursive(3, 24, 3, |inner| {
         prop_oneof![
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| MiniExpr::Add(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| MiniExpr::Xor(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| MiniExpr::And(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone(), inner).prop_map(|(c, a, b)| {
-                MiniExpr::Ite(Box::new(c), Box::new(a), Box::new(b))
-            }),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| MiniExpr::Add(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| MiniExpr::Xor(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| MiniExpr::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone(), inner)
+                .prop_map(|(c, a, b)| { MiniExpr::Ite(Box::new(c), Box::new(a), Box::new(b)) }),
         ]
     })
 }

@@ -21,12 +21,18 @@ pub struct Bmv2Target {
 impl Bmv2Target {
     /// Loads the compiled program into a correct BMv2 instance.
     pub fn new(program: Program) -> Bmv2Target {
-        Bmv2Target { program, quirks: ExecutionQuirks::default() }
+        Bmv2Target {
+            program,
+            quirks: ExecutionQuirks::default(),
+        }
     }
 
     /// Loads the program into a BMv2 instance seeded with a back-end defect.
     pub fn with_bug(program: Program, bug: BackEndBugClass) -> Bmv2Target {
-        Bmv2Target { program, quirks: ExecutionQuirks::for_bug(Some(bug)) }
+        Bmv2Target {
+            program,
+            quirks: ExecutionQuirks::for_bug(Some(bug)),
+        }
     }
 
     /// The slot this target executes for end-to-end tests.
@@ -71,7 +77,11 @@ mod tests {
         assert!(!tests.is_empty());
         let target = Bmv2Target::new(program);
         let report = run_stf(&target, &tests);
-        assert_eq!(report.passed, report.total, "mismatches: {:#?}", report.mismatches);
+        assert_eq!(
+            report.passed, report.total,
+            "mismatches: {:#?}",
+            report.mismatches
+        );
     }
 
     #[test]

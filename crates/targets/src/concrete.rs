@@ -80,7 +80,9 @@ pub struct ExecError {
 
 impl ExecError {
     fn new(message: impl Into<String>) -> ExecError {
-        ExecError { message: message.into() }
+        ExecError {
+            message: message.into(),
+        }
     }
 }
 
@@ -97,7 +99,10 @@ impl std::error::Error for ExecError {}
 enum CVal {
     Scalar(Value),
     Struct(BTreeMap<String, CVal>),
-    Header { valid: bool, fields: BTreeMap<String, CVal> },
+    Header {
+        valid: bool,
+        fields: BTreeMap<String, CVal>,
+    },
 }
 
 impl CVal {
@@ -166,7 +171,9 @@ pub fn execute_block(
         .block(slot)
         .ok_or_else(|| ExecError::new(format!("no slot `{slot}`")))?;
     if spec.kind == BlockKind::Parser {
-        return Err(ExecError::new("execute_block only runs match-action controls"));
+        return Err(ExecError::new(
+            "execute_block only runs match-action controls",
+        ));
     }
     let decl_name = program
         .package
@@ -245,7 +252,8 @@ impl<'a> Executor<'a> {
         for local in &control.locals {
             match local {
                 Declaration::Action(action) => {
-                    self.local_actions.insert(action.name.clone(), action.clone());
+                    self.local_actions
+                        .insert(action.name.clone(), action.clone());
                 }
                 Declaration::Table(table) => {
                     self.local_tables.insert(table.name.clone(), table.clone());
@@ -288,9 +296,7 @@ impl<'a> Executor<'a> {
         default_valid: bool,
     ) -> CVal {
         match self.env.resolve(ty) {
-            Type::Bool => CVal::Scalar(
-                inputs.get(prefix).cloned().unwrap_or(Value::Bool(false)),
-            ),
+            Type::Bool => CVal::Scalar(inputs.get(prefix).cloned().unwrap_or(Value::Bool(false))),
             Type::Bits { width, .. } => CVal::Scalar(
                 inputs
                     .get(prefix)
@@ -350,7 +356,10 @@ impl<'a> Executor<'a> {
                         fields.insert(field.name.clone(), self.default_of_type(&field.ty));
                     }
                 }
-                CVal::Header { valid: false, fields }
+                CVal::Header {
+                    valid: false,
+                    fields,
+                }
             }
             Type::Struct(name) => {
                 let mut fields = BTreeMap::new();
@@ -435,7 +444,11 @@ impl<'a> Executor<'a> {
                 self.assign(lhs, value)?;
                 Ok(Flow::Normal)
             }
-            Statement::If { cond, then_branch, else_branch } => {
+            Statement::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
                 if self.eval(cond, None)?.as_bool() {
                     self.exec_statement(then_branch)
                 } else if let Some(else_branch) = else_branch {
@@ -504,7 +517,12 @@ impl<'a> Executor<'a> {
                     );
                 }
                 if let Some(action) = self.find_action(&name).cloned() {
-                    return self.call_callable(&action.params, &action.body, &call.args, &BTreeMap::new());
+                    return self.call_callable(
+                        &action.params,
+                        &action.body,
+                        &call.args,
+                        &BTreeMap::new(),
+                    );
                 }
                 // Unknown extern: leave state untouched, return zero.
                 Ok((Flow::Normal, Some(self.policy.scalar(32))))
@@ -542,7 +560,11 @@ impl<'a> Executor<'a> {
             } else {
                 self.default_of_type(&param.ty)
             };
-            let copy_back = if param.direction.copies_out() { args.get(index).cloned() } else { None };
+            let copy_back = if param.direction.copies_out() {
+                args.get(index).cloned()
+            } else {
+                None
+            };
             bindings.push((param.clone(), copy_back, value));
         }
         self.scopes.push(BTreeMap::new());
@@ -599,20 +621,22 @@ impl<'a> Executor<'a> {
             }
         }
         let action_index = self.tables.action_index(&prefix);
-        let chosen: &ActionRef = if hit
-            && action_index >= 1
-            && (action_index as usize) <= table.actions.len()
-        {
-            &table.actions[(action_index - 1) as usize]
-        } else {
-            &table.default_action
-        };
+        let chosen: &ActionRef =
+            if hit && action_index >= 1 && (action_index as usize) <= table.actions.len() {
+                &table.actions[(action_index - 1) as usize]
+            } else {
+                &table.default_action
+            };
         let action = self
             .find_action(&chosen.name)
             .cloned()
             .or_else(|| {
                 if chosen.name == "NoAction" {
-                    Some(ActionDecl { name: "NoAction".into(), params: vec![], body: Block::empty() })
+                    Some(ActionDecl {
+                        name: "NoAction".into(),
+                        params: vec![],
+                        body: Block::empty(),
+                    })
                 } else {
                     None
                 }
@@ -648,7 +672,10 @@ impl<'a> Executor<'a> {
                     .cloned()
                     .ok_or_else(|| ExecError::new(format!("no field `{member}`")))
             }
-            other => Err(ExecError::new(format!("not an l-value: {}", p4_ir::print_expr(other)))),
+            other => Err(ExecError::new(format!(
+                "not an l-value: {}",
+                p4_ir::print_expr(other)
+            ))),
         }
     }
 
@@ -753,7 +780,11 @@ impl<'a> Executor<'a> {
                 })
             }
             Expr::Binary { op, left, right } => self.eval_binary(*op, left, right, width_hint),
-            Expr::Ternary { cond, then_expr, else_expr } => {
+            Expr::Ternary {
+                cond,
+                then_expr,
+                else_expr,
+            } => {
                 if self.eval(cond, None)?.as_bool() {
                     self.eval(then_expr, width_hint)
                 } else {
@@ -811,8 +842,16 @@ impl<'a> Executor<'a> {
             Add => Value::Bv(l.add(&r)),
             Sub => Value::Bv(l.sub(&r)),
             Mul => Value::Bv(l.mul(&r)),
-            SatAdd => Value::Bv(if self.quirks.saturation_wraps { l.add(&r) } else { l.sat_add(&r) }),
-            SatSub => Value::Bv(if self.quirks.saturation_wraps { l.sub(&r) } else { l.sat_sub(&r) }),
+            SatAdd => Value::Bv(if self.quirks.saturation_wraps {
+                l.add(&r)
+            } else {
+                l.sat_add(&r)
+            }),
+            SatSub => Value::Bv(if self.quirks.saturation_wraps {
+                l.sub(&r)
+            } else {
+                l.sat_sub(&r)
+            }),
             BitAnd => Value::Bv(l.bitand(&r)),
             BitOr => Value::Bv(l.bitor(&r)),
             BitXor => Value::Bv(l.bitxor(&r)),
@@ -839,7 +878,10 @@ fn splice(old: &BvValue, value: &BvValue, hi: u32, lo: u32) -> BvValue {
 }
 
 fn receiver_expr(call: &CallExpr) -> Expr {
-    let parts: Vec<&str> = call.target[..call.target.len() - 1].iter().map(String::as_str).collect();
+    let parts: Vec<&str> = call.target[..call.target.len() - 1]
+        .iter()
+        .map(String::as_str)
+        .collect();
     Expr::dotted(&parts)
 }
 
@@ -849,8 +891,10 @@ mod tests {
     use p4_ir::builder;
 
     fn run(program: &Program, inputs: &[(&str, Value)]) -> BTreeMap<String, Value> {
-        let inputs: BTreeMap<String, Value> =
-            inputs.iter().map(|(k, v)| (k.to_string(), v.clone())).collect();
+        let inputs: BTreeMap<String, Value> = inputs
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.clone()))
+            .collect();
         execute_block(
             program,
             "ingress",
@@ -888,7 +932,10 @@ mod tests {
             "ingress",
             &BTreeMap::new(),
             &TableRuntime::default(),
-            ExecutionQuirks { ignore_exit: true, ..ExecutionQuirks::default() },
+            ExecutionQuirks {
+                ignore_exit: true,
+                ..ExecutionQuirks::default()
+            },
             UndefinedPolicy::Zero,
         )
         .unwrap();
@@ -951,7 +998,10 @@ mod tests {
             "ingress",
             &inputs,
             &TableRuntime::default(),
-            ExecutionQuirks { slice_writes_whole_field: true, ..ExecutionQuirks::default() },
+            ExecutionQuirks {
+                slice_writes_whole_field: true,
+                ..ExecutionQuirks::default()
+            },
             UndefinedPolicy::Zero,
         )
         .unwrap();
@@ -971,7 +1021,10 @@ mod tests {
         };
         let program = builder::v1model_program(
             vec![Declaration::Action(action)],
-            Block::new(vec![Statement::call(vec!["bump"], vec![Expr::dotted(&["hdr", "h", "a"])])]),
+            Block::new(vec![Statement::call(
+                vec!["bump"],
+                vec![Expr::dotted(&["hdr", "h", "a"])],
+            )]),
         );
         let outputs = run(&program, &[("hdr.h.a", Value::bv(41, 8))]);
         assert_eq!(outputs.get("hdr.h.a"), Some(&Value::bv(42, 8)));
@@ -983,7 +1036,11 @@ mod tests {
         let program = builder::v1model_program(
             vec![],
             Block::new(vec![
-                Statement::Declare { name: "x".into(), ty: Type::bits(8), init: None },
+                Statement::Declare {
+                    name: "x".into(),
+                    ty: Type::bits(8),
+                    init: None,
+                },
                 Statement::assign(Expr::dotted(&["hdr", "h", "a"]), Expr::path("x")),
             ]),
         );

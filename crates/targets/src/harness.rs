@@ -87,7 +87,10 @@ pub fn run_batch<F>(tests: &[TestCase], mut run_one: F) -> TestReport
 where
     F: FnMut(&TestCase) -> TestOutcome,
 {
-    let mut report = TestReport { total: tests.len(), ..TestReport::default() };
+    let mut report = TestReport {
+        total: tests.len(),
+        ..TestReport::default()
+    };
     for test in tests {
         match run_one(test) {
             TestOutcome::Pass => report.passed += 1,
@@ -106,7 +109,10 @@ mod tests {
         TestCase {
             inputs: BTreeMap::new(),
             table_config: BTreeMap::new(),
-            expected: expected.iter().map(|(k, v)| (k.to_string(), v.clone())).collect(),
+            expected: expected
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.clone()))
+                .collect(),
             path: "b0=T".into(),
         }
     }
@@ -136,7 +142,10 @@ mod tests {
 
     #[test]
     fn batch_reports_aggregate_counts() {
-        let tests = vec![test_case(&[("x", Value::bv(1, 8))]), test_case(&[("x", Value::bv(2, 8))])];
+        let tests = vec![
+            test_case(&[("x", Value::bv(1, 8))]),
+            test_case(&[("x", Value::bv(2, 8))]),
+        ];
         let report = run_batch(&tests, |test| {
             let mut observed = BTreeMap::new();
             observed.insert("x".to_string(), Value::bv(1, 8));

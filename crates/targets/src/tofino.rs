@@ -86,19 +86,26 @@ impl TofinoBackend {
                 message: "multiplication is not supported by the match-action pipeline".into(),
             });
         }
-        if let Some(width) = scan.widest_operand.filter(|w| *w > restrictions.max_operand_width) {
+        if let Some(width) = scan
+            .widest_operand
+            .filter(|w| *w > restrictions.max_operand_width)
+        {
             return Err(TofinoError::Rejected {
                 message: format!("operand width {width} exceeds the pipeline's ALU width"),
             });
         }
         // Seeded back-end crash: the slice-lowering pass blows an assertion.
-        if self.bug == Some(BackEndBugClass::TofinoSliceLoweringCrash) && scan.has_slice_assignment {
+        if self.bug == Some(BackEndBugClass::TofinoSliceLoweringCrash) && scan.has_slice_assignment
+        {
             return Err(TofinoError::Crash {
                 pass: "TofinoSliceLowering".into(),
                 message: "assertion failed: unexpected slice l-value after lowering".into(),
             });
         }
-        Ok(TofinoBinary { program: lowered, quirks: ExecutionQuirks::for_bug(self.bug) })
+        Ok(TofinoBinary {
+            program: lowered,
+            quirks: ExecutionQuirks::for_bug(self.bug),
+        })
     }
 }
 
@@ -143,7 +150,11 @@ struct BackendScan {
 
 impl Visitor for BackendScan {
     fn visit_statement(&mut self, stmt: &Statement) {
-        if let Statement::Assign { lhs: Expr::Slice { .. }, .. } = stmt {
+        if let Statement::Assign {
+            lhs: Expr::Slice { .. },
+            ..
+        } = stmt
+        {
             self.has_slice_assignment = true;
         }
         p4_ir::visit::walk_statement(self, stmt);
@@ -152,7 +163,9 @@ impl Visitor for BackendScan {
     fn visit_expr(&mut self, expr: &Expr) {
         match expr {
             Expr::Binary { op, .. } if *op == p4_ir::BinOp::Mul => self.has_multiplication = true,
-            Expr::Int { width: Some(width), .. } => {
+            Expr::Int {
+                width: Some(width), ..
+            } => {
                 self.widest_operand = Some(self.widest_operand.unwrap_or(0).max(*width));
             }
             Expr::Cast { ty, .. } => {
@@ -192,7 +205,10 @@ mod tests {
     }
 
     fn tna_testgen_options() -> TestGenOptions {
-        TestGenOptions { block: "ingress".into(), ..TestGenOptions::default() }
+        TestGenOptions {
+            block: "ingress".into(),
+            ..TestGenOptions::default()
+        }
     }
 
     #[test]
@@ -201,7 +217,11 @@ mod tests {
         let tests = generate_tests(&program, &tna_testgen_options()).unwrap();
         let binary = TofinoBackend::new().compile(&program).expect("compiles");
         let report = run_ptf(&binary, &tests);
-        assert_eq!(report.passed, report.total, "mismatches: {:#?}", report.mismatches);
+        assert_eq!(
+            report.passed, report.total,
+            "mismatches: {:#?}",
+            report.mismatches
+        );
     }
 
     #[test]
@@ -250,7 +270,11 @@ mod tests {
             vec![],
             Block::new(vec![Statement::assign(
                 Expr::dotted(&["hdr", "h", "a"]),
-                Expr::binary(BinOp::Mul, Expr::dotted(&["hdr", "h", "b"]), Expr::dotted(&["hdr", "h", "c"])),
+                Expr::binary(
+                    BinOp::Mul,
+                    Expr::dotted(&["hdr", "h", "b"]),
+                    Expr::dotted(&["hdr", "h", "c"]),
+                ),
             )]),
         );
         match TofinoBackend::new().compile(&program) {

@@ -34,7 +34,10 @@ fn main() {
     // Replay on the correct back end and on one seeded with a lowering bug.
     for (label, backend) in [
         ("correct back end", TofinoBackend::new()),
-        ("seeded TofinoSaturationWraps", TofinoBackend::with_bug(BackEndBugClass::TofinoSaturationWraps)),
+        (
+            "seeded TofinoSaturationWraps",
+            TofinoBackend::with_bug(BackEndBugClass::TofinoSaturationWraps),
+        ),
     ] {
         println!("=== {label} ===");
         match backend.compile(&program) {

@@ -28,7 +28,11 @@ fn main() {
     let hunt_seeds = parse_flag("--hunt-seeds", 100);
 
     // Part 1: the seeded-bug table campaign (paper Tables 2 and 3).
-    let config = CampaignConfig { random_programs_per_bug, jobs, ..CampaignConfig::default() };
+    let config = CampaignConfig {
+        random_programs_per_bug,
+        jobs,
+        ..CampaignConfig::default()
+    };
     println!(
         "running campaign: {} seeded bug classes, {} random program(s) per class, {} job(s) ...",
         SeededBug::catalogue().len(),

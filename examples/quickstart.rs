@@ -9,7 +9,10 @@ use p4_ir::print_program;
 use p4c::Compiler;
 
 fn main() {
-    let seed: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(2020);
+    let seed: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2020);
 
     // 1. Random program generation (paper §4).
     let mut generator = RandomProgramGenerator::new(GeneratorConfig::default(), seed);
@@ -30,19 +33,31 @@ fn main() {
     println!("=== compilation ===");
     println!("passes that modified the program:");
     for snapshot in result.snapshots.iter().skip(1) {
-        println!("  [{:>2}] {} ({})", snapshot.pass_index, snapshot.pass_name, snapshot.area);
+        println!(
+            "  [{:>2}] {} ({})",
+            snapshot.pass_index, snapshot.pass_name, snapshot.area
+        );
     }
-    println!("passes with no effect: {}", result.unchanged_passes.join(", "));
+    println!(
+        "passes with no effect: {}",
+        result.unchanged_passes.join(", ")
+    );
 
     // 3. Translation validation (paper §5): compare consecutive snapshots.
     let gauntlet = Gauntlet::new(GauntletOptions::default());
     let reports = gauntlet.validate_translation(&result);
     println!("=== translation validation ===");
     if reports.is_empty() {
-        println!("all {} pass transitions verified equivalent", result.snapshots.len().saturating_sub(1));
+        println!(
+            "all {} pass transitions verified equivalent",
+            result.snapshots.len().saturating_sub(1)
+        );
     } else {
         for report in &reports {
-            println!("bug in pass {:?} ({:?}):\n{}", report.pass, report.kind, report.message);
+            println!(
+                "bug in pass {:?} ({:?}):\n{}",
+                report.pass, report.kind, report.message
+            );
         }
     }
 }

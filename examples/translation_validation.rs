@@ -22,10 +22,17 @@ fn main() {
     let clean = gauntlet.check_open_compiler(&p4c::Compiler::reference(), &program);
     println!(
         "reference pipeline: {}",
-        if clean.clean { "all passes validated equivalent" } else { "unexpected reports!" }
+        if clean.clean {
+            "all passes validated equivalent"
+        } else {
+            "unexpected reports!"
+        }
     );
 
-    println!("=== compiler seeded with {:?} ===", FrontEndBugClass::ExitSkipsCopyOut);
+    println!(
+        "=== compiler seeded with {:?} ===",
+        FrontEndBugClass::ExitSkipsCopyOut
+    );
     let outcome = gauntlet.check_open_compiler(&bug.build_compiler(), &program);
     if outcome.clean {
         println!("seeded bug was NOT detected (this should not happen)");

@@ -14,6 +14,7 @@
 //! | [`p4c`] | the nanopass compiler under test, with seedable bug classes |
 //! | [`smt`] | the QF_BV solver (terms → bit-blasting → CDCL SAT) |
 //! | [`p4_symbolic`] | symbolic interpretation, equivalence, test generation (§5–6) |
+//! | [`p4_reduce`] | delta-debugging test-case reduction with pluggable bug oracles (§7) |
 //! | [`targets`] | simulated BMv2/Tofino back ends and the STF/PTF harness |
 //! | [`gauntlet_core`] | the three techniques glued together, plus campaigns |
 //!
@@ -25,6 +26,7 @@ pub use p4_check;
 pub use p4_gen;
 pub use p4_ir;
 pub use p4_parser;
+pub use p4_reduce;
 pub use p4_symbolic;
 pub use p4c;
 pub use smt;

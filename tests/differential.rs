@@ -18,16 +18,24 @@ use targets::{run_stf, Bmv2Target};
 #[test]
 fn symbolic_expectations_match_concrete_execution_of_the_compiled_program() {
     let compiler = Compiler::reference();
-    let options = TestGenOptions { max_tests: 4, ..TestGenOptions::default() };
+    let options = TestGenOptions {
+        max_tests: 4,
+        ..TestGenOptions::default()
+    };
     let mut checked_programs = 0;
     for seed in 100..112 {
         let mut generator = RandomProgramGenerator::new(GeneratorConfig::tiny(), seed);
         let program = generator.generate();
-        let Ok(tests) = generate_tests(&program, &options) else { continue };
+        let Ok(tests) = generate_tests(&program, &options) else {
+            continue;
+        };
         if tests.is_empty() {
             continue;
         }
-        let compiled = compiler.compile(&program).expect("reference compiler accepts").program;
+        let compiled = compiler
+            .compile(&program)
+            .expect("reference compiler accepts")
+            .program;
         let target = Bmv2Target::new(compiled);
         let report = run_stf(&target, &tests);
         assert!(
@@ -38,7 +46,10 @@ fn symbolic_expectations_match_concrete_execution_of_the_compiled_program() {
         );
         checked_programs += 1;
     }
-    assert!(checked_programs >= 8, "too few programs exercised ({checked_programs})");
+    assert!(
+        checked_programs >= 8,
+        "too few programs exercised ({checked_programs})"
+    );
 }
 
 /// Skipping an optimization pass (Different Optimization Levels, §2.1) must
@@ -49,11 +60,17 @@ fn omitting_optimization_passes_preserves_semantics() {
     for seed in 200..205 {
         let mut generator = RandomProgramGenerator::new(GeneratorConfig::tiny(), seed);
         let program = generator.generate();
-        let full = Compiler::reference().compile(&program).expect("compiles").program;
+        let full = Compiler::reference()
+            .compile(&program)
+            .expect("compiles")
+            .program;
         let mut reduced_compiler = Compiler::reference();
         reduced_compiler.remove_pass("StrengthReduction");
         reduced_compiler.remove_pass("LocalCopyPropagation");
-        let reduced = reduced_compiler.compile(&program).expect("compiles").program;
+        let reduced = reduced_compiler
+            .compile(&program)
+            .expect("compiles")
+            .program;
         let verdict = p4_symbolic::check_equivalence(&full, &reduced).expect("comparable");
         assert!(
             verdict.is_equal(),
@@ -70,11 +87,15 @@ fn trigger_programs_survive_the_full_pipeline_roundtrip() {
     for bug in gauntlet_core::SeededBug::catalogue() {
         let program = bug.trigger_program();
         let printed = p4_ir::print_program(&program);
-        let reparsed = p4_parser::parse_program(&printed)
-            .unwrap_or_else(|e| panic!("{}: {e}", bug.name()));
+        let reparsed =
+            p4_parser::parse_program(&printed).unwrap_or_else(|e| panic!("{}: {e}", bug.name()));
         assert_eq!(p4_ir::print_program(&reparsed), printed, "{}", bug.name());
         // And the type checker accepts the re-parsed form.
-        assert!(p4_check::check_program(&reparsed).is_empty(), "{}", bug.name());
+        assert!(
+            p4_check::check_program(&reparsed).is_empty(),
+            "{}",
+            bug.name()
+        );
     }
 }
 

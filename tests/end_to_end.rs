@@ -39,10 +39,14 @@ fn every_seeded_bug_class_is_detected_by_its_trigger_program() {
         let program = bug.trigger_program();
         let reports = match bug.platform() {
             gauntlet_core::Platform::P4c => {
-                gauntlet.check_open_compiler(&bug.build_compiler(), &program).reports
+                gauntlet
+                    .check_open_compiler(&bug.build_compiler(), &program)
+                    .reports
             }
             gauntlet_core::Platform::Bmv2 => {
-                gauntlet.check_bmv2(&bug.build_compiler(), &program, bug.backend_bug()).reports
+                gauntlet
+                    .check_bmv2(&bug.build_compiler(), &program, bug.backend_bug())
+                    .reports
             }
             gauntlet_core::Platform::Tofino => {
                 let backend = match bug.backend_bug() {
@@ -52,7 +56,11 @@ fn every_seeded_bug_class_is_detected_by_its_trigger_program() {
                 gauntlet.check_tofino(&backend, &program).reports
             }
         };
-        assert!(!reports.is_empty(), "{} was not detected by its trigger program", bug.name());
+        assert!(
+            !reports.is_empty(),
+            "{} was not detected by its trigger program",
+            bug.name()
+        );
         // Crash classes produce crash-like reports; semantic classes produce
         // semantic reports.
         if bug.is_crash_class() {
@@ -77,10 +85,16 @@ fn every_seeded_bug_class_is_detected_by_its_trigger_program() {
 fn translation_validation_pinpoints_the_seeded_pass() {
     let gauntlet = Gauntlet::default();
     let cases = [
-        (FrontEndBugClass::DefUseDropsParameterWrites, "SimplifyDefUse"),
+        (
+            FrontEndBugClass::DefUseDropsParameterWrites,
+            "SimplifyDefUse",
+        ),
         (FrontEndBugClass::ExitSkipsCopyOut, "RemoveActionParameters"),
         (FrontEndBugClass::PredicationSwapsBranches, "Predication"),
-        (FrontEndBugClass::ConstantFoldingNoWraparound, "ConstantFolding"),
+        (
+            FrontEndBugClass::ConstantFoldingNoWraparound,
+            "ConstantFolding",
+        ),
     ];
     for (class, expected_pass) in cases {
         let bug = SeededBug::FrontEnd(class);
@@ -91,7 +105,10 @@ fn translation_validation_pinpoints_the_seeded_pass() {
             .find(|r| r.kind == BugKind::Semantic)
             .and_then(|r| r.pass.clone())
             .unwrap_or_else(|| panic!("{class:?}: no semantic report"));
-        assert_eq!(pass, expected_pass, "{class:?} attributed to the wrong pass");
+        assert_eq!(
+            pass, expected_pass,
+            "{class:?} attributed to the wrong pass"
+        );
     }
 }
 
@@ -103,10 +120,15 @@ fn every_emitted_intermediate_program_reparses() {
     for seed in 20..26 {
         let mut generator = RandomProgramGenerator::new(GeneratorConfig::tiny(), seed);
         let program = generator.generate();
-        let result = compiler.compile(&program).expect("reference compiler accepts the program");
+        let result = compiler
+            .compile(&program)
+            .expect("reference compiler accepts the program");
         for snapshot in &result.snapshots {
             let reparsed = p4_parser::parse_program(&snapshot.printed).unwrap_or_else(|e| {
-                panic!("seed {seed}, pass {}: emitted program no longer parses: {e}", snapshot.pass_name)
+                panic!(
+                    "seed {seed}, pass {}: emitted program no longer parses: {e}",
+                    snapshot.pass_name
+                )
             });
             assert_eq!(
                 p4_ir::print_program(&reparsed),

@@ -1,0 +1,150 @@
+//! Integration tests for the reduction subsystem wired through the
+//! campaign engine — the acceptance contract of the `p4-reduce` PR:
+//! on a seeded-bug hunt every committed finding carries a minimized
+//! reproducer that (a) reproduces the same dedup key through its oracle,
+//! (b) is at most 40% of the original program's statement count on median,
+//! and (c) is byte-identical across `--jobs` settings.
+
+use gauntlet_core::{Gauntlet, HuntConfig, ParallelCampaign, Platform, SeededBug};
+use p4_gen::RandomProgramGenerator;
+use p4_reduce::statement_count;
+
+fn seeded_semantic_bug() -> SeededBug {
+    SeededBug::catalogue()
+        .into_iter()
+        .find(|b| b.platform() == Platform::P4c && !b.is_crash_class())
+        .expect("catalogue has a P4C semantic bug")
+}
+
+#[test]
+fn fifty_seed_hunt_reduces_every_report() {
+    let bug = seeded_semantic_bug();
+    let base = HuntConfig {
+        seed_count: 50,
+        reduce_reports: true,
+        ..HuntConfig::default()
+    };
+
+    let sequential = ParallelCampaign::new(HuntConfig {
+        jobs: 1,
+        ..base.clone()
+    })
+    .run(|| bug.build_compiler());
+    assert!(
+        sequential.total_bugs > 0,
+        "the seeded bug must fire somewhere in 50 programs"
+    );
+    assert_eq!(
+        sequential.reduction_failures, 0,
+        "every finding's oracle must reproduce its dedup key"
+    );
+
+    // (c) Byte-identical reports (including minimized sources and stats)
+    // across thread counts.
+    let parallel = ParallelCampaign::new(HuntConfig {
+        jobs: 8,
+        ..base.clone()
+    })
+    .run(|| bug.build_compiler());
+    assert_eq!(sequential.render(), parallel.render());
+    for (a, b) in sequential.outcomes.iter().zip(parallel.outcomes.iter()) {
+        assert_eq!(a.seed, b.seed);
+        for (ra, rb) in a.reports.iter().zip(b.reports.iter()) {
+            assert_eq!(ra.minimized, rb.minimized, "seed {}", a.seed);
+            assert_eq!(ra.reduction, rb.reduction, "seed {}", a.seed);
+        }
+    }
+
+    let mut ratios: Vec<f64> = Vec::new();
+    for outcome in &sequential.outcomes {
+        let original = RandomProgramGenerator::new(base.generator.clone(), outcome.seed).generate();
+        let original_statements = statement_count(&original);
+        for report in &outcome.reports {
+            // Every committed finding carries a minimized reproducer.
+            let minimized_src = report
+                .minimized
+                .as_deref()
+                .unwrap_or_else(|| panic!("seed {}: report not reduced", outcome.seed));
+            let stats = report
+                .reduction
+                .expect("stats accompany the minimized source");
+            assert_eq!(
+                stats.initial_statements, original_statements,
+                "seed {}",
+                outcome.seed
+            );
+
+            // (a) The minimized source re-parses, typechecks, and
+            // reproduces the identical dedup key through its oracle.
+            let minimized = p4_parser::parse_program(minimized_src)
+                .unwrap_or_else(|e| panic!("seed {}: minimized does not parse: {e}", outcome.seed));
+            assert!(
+                p4_check::check_program(&minimized).is_empty(),
+                "seed {}: minimized reproducer is ill-typed",
+                outcome.seed
+            );
+            assert_eq!(statement_count(&minimized), stats.final_statements);
+            let mut oracle = Gauntlet::open_compiler_oracle(report, bug.build_compiler());
+            assert!(
+                oracle.reproduces(&minimized, &report.dedup_key()),
+                "seed {}: minimized reproducer lost the bug `{}`",
+                outcome.seed,
+                report.dedup_key()
+            );
+
+            ratios.push(stats.final_statements as f64 / stats.initial_statements.max(1) as f64);
+        }
+    }
+
+    // (b) Median size at most 40% of the original statement count.
+    ratios.sort_by(|a, b| a.partial_cmp(b).expect("finite ratios"));
+    let median = ratios[ratios.len() / 2];
+    assert!(
+        median <= 0.40,
+        "median reduced size {:.0}% exceeds the 40% bound (ratios: {ratios:?})",
+        median * 100.0
+    );
+}
+
+/// Reduction with the symbolic-execution (black-box) oracle: a padded BMv2
+/// trigger shrinks while the STF replay keeps failing identically.
+#[test]
+fn testgen_oracle_reduces_a_backend_trigger() {
+    use p4_ir::{builder, Block, Expr, Statement};
+    let bug = SeededBug::catalogue()
+        .into_iter()
+        .find(|b| b.platform() == Platform::Bmv2)
+        .expect("catalogue has a BMv2 bug");
+
+    // The exit-ignored trigger padded with irrelevant metadata writes.
+    let mut statements = vec![
+        Statement::assign(Expr::dotted(&["meta", "flag"]), Expr::uint(3, 8)),
+        Statement::assign(Expr::dotted(&["meta", "tmp"]), Expr::uint(9, 16)),
+    ];
+    statements.extend(
+        bug.trigger_program()
+            .control("ingress_impl")
+            .expect("skeleton ingress")
+            .apply
+            .statements
+            .clone(),
+    );
+    let program = builder::v1model_program(vec![], Block::new(statements));
+
+    let gauntlet = Gauntlet::default();
+    let outcome = gauntlet.check_bmv2(&bug.build_compiler(), &program, bug.backend_bug());
+    assert!(!outcome.clean, "padded trigger must still expose the bug");
+    let mut report = outcome.reports[0].clone();
+    let target = report.dedup_key();
+
+    let mut oracle = bug.oracle(gauntlet.options.max_tests);
+    assert!(gauntlet.reduce_report(&mut *oracle, &program, &mut report));
+    let stats = report.reduction.expect("stats attached");
+    assert!(
+        stats.final_statements < stats.initial_statements,
+        "the padding should reduce away: {stats:?}"
+    );
+    let minimized = p4_parser::parse_program(report.minimized.as_deref().expect("minimized"))
+        .expect("minimized parses");
+    assert!(oracle.reproduces(&minimized, &target));
+}
