@@ -7,7 +7,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use gauntlet_core::SeededBug;
 use p4_gen::GeneratorConfig;
 use p4_symbolic::{generate_tests, TestGenOptions};
-use targets::{run_ptf, BackEndBugClass, TofinoBackend};
+use targets::{BackEndBugClass, Target, TofinoBackend};
 
 fn bench_test_generation(c: &mut Criterion) {
     let programs = sample_programs(4, GeneratorConfig::tofino(), 7);
@@ -42,10 +42,9 @@ fn bench_test_generation(c: &mut Criterion) {
         let seeded = SeededBug::BackEnd(bug);
         let program = seeded.trigger_program();
         let tests = generate_tests(&program, &options).expect("test generation");
-        let binary = TofinoBackend::with_bug(bug)
-            .compile(&program)
-            .expect("compiles");
-        let report = run_ptf(&binary, &tests);
+        let backend = TofinoBackend::with_bug(bug);
+        let binary = backend.compile(&program).expect("compiles");
+        let report = backend.run(&binary, &tests);
         println!(
             "  {:<28} tests = {:>2}, failing = {:>2} ({:.0}%)",
             format!("{bug:?}"),

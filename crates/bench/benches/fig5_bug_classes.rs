@@ -2,7 +2,7 @@
 //! other documented classes): per-class detection status and the technique
 //! that finds each, printed as a table.
 
-use gauntlet_core::{Gauntlet, Platform, SeededBug};
+use gauntlet_core::{Gauntlet, SeededBug};
 
 fn main() {
     let gauntlet = Gauntlet::default();
@@ -13,25 +13,7 @@ fn main() {
     let mut all_detected = true;
     for bug in SeededBug::catalogue() {
         let program = bug.trigger_program();
-        let reports = match bug.platform() {
-            Platform::P4c => {
-                gauntlet
-                    .check_open_compiler(&bug.build_compiler(), &program)
-                    .reports
-            }
-            Platform::Bmv2 => {
-                gauntlet
-                    .check_bmv2(&bug.build_compiler(), &program, bug.backend_bug())
-                    .reports
-            }
-            Platform::Tofino => {
-                let backend = match bug.backend_bug() {
-                    Some(b) => targets::TofinoBackend::with_bug(b),
-                    None => targets::TofinoBackend::new(),
-                };
-                gauntlet.check_tofino(&backend, &program).reports
-            }
-        };
+        let reports = bug.detect(&gauntlet, &program);
         let technique = reports
             .first()
             .map(|r| format!("{:?}", r.technique))

@@ -37,6 +37,34 @@ pub enum Platform {
     P4c,
     Bmv2,
     Tofino,
+    /// The reference-interpreter back end (`targets::RefInterpTarget`).
+    RefInterp,
+    /// The test-generation model itself: in N-way differential testing,
+    /// when every target agrees and the model is the odd one out, the
+    /// defect lives in the shared front/mid end or in our own oracle.
+    Model,
+}
+
+impl Platform {
+    /// All platforms, in Table 2 column order.
+    pub fn all() -> [Platform; 5] {
+        [
+            Platform::P4c,
+            Platform::Bmv2,
+            Platform::Tofino,
+            Platform::RefInterp,
+            Platform::Model,
+        ]
+    }
+
+    /// Resolves a target's platform label (see
+    /// `targets::Target::platform_label`, which must return the `Debug`
+    /// form of the matching variant).
+    pub fn for_label(label: &str) -> Option<Platform> {
+        Platform::all()
+            .into_iter()
+            .find(|platform| format!("{platform:?}") == label)
+    }
 }
 
 impl std::fmt::Display for Platform {
@@ -45,6 +73,8 @@ impl std::fmt::Display for Platform {
             Platform::P4c => write!(f, "P4C"),
             Platform::Bmv2 => write!(f, "BMv2"),
             Platform::Tofino => write!(f, "Tofino"),
+            Platform::RefInterp => write!(f, "RefIntp"),
+            Platform::Model => write!(f, "Model"),
         }
     }
 }
@@ -86,6 +116,12 @@ pub struct BugReport {
     pub pass: Option<String>,
     /// Human-readable description / crash message / counterexample summary.
     pub message: String,
+    /// Which participant of an N-way differential run this finding is
+    /// attributed to by majority vote: a registry target name
+    /// (`"bmv2"`, ...) or `"model"` when every target out-votes the
+    /// test-generation oracle.  Single-target checks record the target that
+    /// observed the finding.  `None` for open-compiler findings.
+    pub attributed_to: Option<String>,
     /// The delta-debugged minimal reproducer (printed P4 source), when the
     /// campaign ran with reduction enabled.  The minimized program
     /// typechecks and reproduces the same [`BugReport::dedup_key`] through
@@ -114,9 +150,16 @@ impl BugReport {
             technique,
             pass,
             message,
+            attributed_to: None,
             minimized: None,
             reduction: None,
         }
+    }
+
+    /// Sets the differential-attribution tag (builder style).
+    pub fn attributed_to(mut self, participant: impl Into<String>) -> BugReport {
+        self.attributed_to = Some(participant.into());
+        self
     }
 
     /// The key used to consider two findings "the same bug": same kind, same
@@ -176,6 +219,18 @@ impl BugDatabase {
             *counts
                 .entry((report.platform, report.kind.is_crash_like()))
                 .or_insert(0) += 1;
+        }
+        counts
+    }
+
+    /// Count of distinct bugs by differential attribution (target name or
+    /// `"model"`); findings without an attribution are not counted.
+    pub fn count_by_attribution(&self) -> BTreeMap<String, usize> {
+        let mut counts = BTreeMap::new();
+        for report in self.bugs.values() {
+            if let Some(participant) = &report.attributed_to {
+                *counts.entry(participant.clone()).or_insert(0) += 1;
+            }
         }
         counts
     }

@@ -26,6 +26,7 @@ use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{mpsc, Mutex};
 use std::time::Duration;
+use targets::{Target, TargetRegistry};
 
 /// Campaign configuration.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -78,6 +79,9 @@ pub struct CampaignReport {
     pub by_platform: BTreeMap<String, usize>,
     /// Distinct findings per compiler area — the Table 3 analogue.
     pub by_area: BTreeMap<String, usize>,
+    /// Distinct findings per differential attribution (target name or
+    /// `"model"`); empty when no target/differential findings occurred.
+    pub by_attribution: BTreeMap<String, usize>,
     /// Findings flagged while running the *correct* compiler (must be 0).
     pub false_alarms: usize,
     /// Total distinct bugs detected.
@@ -210,7 +214,16 @@ pub fn run_campaign(config: &CampaignConfig) -> CampaignReport {
         false_alarms += class.false_alarms;
         outcomes.push(class.outcome);
     }
+    let mut report = summarise(&database);
+    report.outcomes = outcomes;
+    report.false_alarms = false_alarms;
+    report
+}
 
+/// Aggregates a de-duplicated bug database into the count maps of a
+/// [`CampaignReport`] (`outcomes` and `false_alarms` are left for the
+/// caller to fill in, when applicable).
+fn summarise(database: &BugDatabase) -> CampaignReport {
     let mut by_platform = BTreeMap::new();
     for ((platform, crash_like), count) in database.count_by_platform() {
         let key = format!(
@@ -224,55 +237,36 @@ pub fn run_campaign(config: &CampaignConfig) -> CampaignReport {
         by_area.insert(area.to_string(), count);
     }
     CampaignReport {
-        outcomes,
+        outcomes: Vec::new(),
         by_platform,
         by_area,
-        false_alarms,
+        by_attribution: database.count_by_attribution(),
+        false_alarms: 0,
         total_detected: database.len(),
     }
 }
 
-/// Runs the detection technique appropriate to the seeded bug's platform.
+/// Runs the detection technique appropriate to the seeded bug's platform:
+/// the open-compiler pipeline for front/mid-end bugs, the registry-built
+/// target for back-end bugs.
 fn run_one(gauntlet: &Gauntlet, bug: SeededBug, program: &Program) -> Vec<BugReport> {
-    match bug.platform() {
-        Platform::P4c => {
-            let compiler = bug.build_compiler();
-            gauntlet.check_open_compiler(&compiler, program).reports
-        }
-        Platform::Bmv2 => {
-            let compiler = bug.build_compiler();
-            gauntlet
-                .check_bmv2(&compiler, program, bug.backend_bug())
-                .reports
-        }
-        Platform::Tofino => {
-            let backend = match bug.backend_bug() {
-                Some(backend_bug) => targets::TofinoBackend::with_bug(backend_bug),
-                None => targets::TofinoBackend::new(),
-            };
-            gauntlet.check_tofino(&backend, program).reports
-        }
-    }
+    bug.detect(gauntlet, program)
 }
 
 /// Runs the same program through the *correct* pipeline; any finding is a
 /// false alarm (an interpreter/validator bug in our tooling, paper §5.2).
 fn count_false_alarms(gauntlet: &Gauntlet, bug: SeededBug, program: &Program) -> usize {
-    let reports = match bug.platform() {
-        Platform::P4c => {
+    let reports = match bug.target_name() {
+        None => {
             gauntlet
                 .check_open_compiler(&p4c::Compiler::reference(), program)
                 .reports
         }
-        Platform::Bmv2 => {
-            gauntlet
-                .check_bmv2(&p4c::Compiler::reference(), program, None)
-                .reports
-        }
-        Platform::Tofino => {
-            gauntlet
-                .check_tofino(&targets::TofinoBackend::new(), program)
-                .reports
+        Some(name) => {
+            let target = TargetRegistry::builtin()
+                .build(name)
+                .expect("builtin targets are registered");
+            gauntlet.check_target(&*target, program).reports
         }
     };
     reports
@@ -309,8 +303,18 @@ pub struct HuntConfig {
     /// (paper §7: all 96 upstream reports were filed as reduced programs).
     /// Reduction runs on the worker that found the bug — sharded across the
     /// pool like the hunt itself — and is deterministic per seed, so
-    /// reports stay byte-identical across `jobs` settings.
+    /// reports stay byte-identical across `jobs` settings.  Only
+    /// open-compiler findings are reduced; target-attributed differential
+    /// findings are committed as-is.
     pub reduce_reports: bool,
+    /// Back ends to run N-way differential testgen on, as
+    /// `targets::TargetRegistry` spec strings (e.g. `"bmv2"`,
+    /// `"ref-interp"`, or `"bmv2+Bmv2ExitIgnored"` to seed a defect).
+    /// Empty (the default) hunts the open compiler only; with `n` specs
+    /// every generated program additionally runs through
+    /// [`Gauntlet::check_differential`] across all `n` targets, with
+    /// majority-vote attribution.
+    pub targets: Vec<String>,
 }
 
 impl Default for HuntConfig {
@@ -323,6 +327,7 @@ impl Default for HuntConfig {
             bug_quota: None,
             incremental: true,
             reduce_reports: false,
+            targets: Vec::new(),
         }
     }
 }
@@ -396,12 +401,16 @@ impl HuntReport {
             for report in &outcome.reports {
                 let _ = writeln!(
                     out,
-                    "  [{:?}/{}/{}] pass {}: {}",
+                    "  [{:?}/{}/{}] pass {}: {}{}",
                     report.kind,
                     report.platform,
                     report.area,
                     report.pass.as_deref().unwrap_or("-"),
-                    report.message.lines().next().unwrap_or("")
+                    report.message.lines().next().unwrap_or(""),
+                    match report.attributed_to.as_deref() {
+                        Some(participant) => format!(" [attributed: {participant}]"),
+                        None => String::new(),
+                    }
                 );
                 if let Some(stats) = &report.reduction {
                     let _ = writeln!(
@@ -416,6 +425,21 @@ impl HuntReport {
             }
         }
         out
+    }
+
+    /// Aggregates the hunt's committed findings into the count maps of a
+    /// [`CampaignReport`] (platform × kind, compiler area, differential
+    /// attribution), de-duplicated the same way the table campaign
+    /// de-duplicates — so `render_table2`/`render_table3` work on hunt
+    /// results too.
+    pub fn campaign_summary(&self) -> CampaignReport {
+        let mut database = BugDatabase::new();
+        for outcome in &self.outcomes {
+            for report in &outcome.reports {
+                database.record(report.clone());
+            }
+        }
+        summarise(&database)
     }
 }
 
@@ -462,6 +486,17 @@ impl ParallelCampaign {
         F: Fn() -> p4c::Compiler + Send + Sync,
     {
         let config = &self.config;
+        // Validate target specs before spawning workers, so a typo fails
+        // fast with the list of known targets instead of poisoning a
+        // worker thread.
+        {
+            let registry = TargetRegistry::builtin();
+            for spec in &config.targets {
+                if let Err(error) = registry.build_spec(spec) {
+                    panic!("invalid HuntConfig target spec: {error}");
+                }
+            }
+        }
         let jobs = config.jobs.max(1);
         let start = std::time::Instant::now();
         let next_task = AtomicUsize::new(0);
@@ -488,6 +523,14 @@ impl ParallelCampaign {
                         ..GauntletOptions::default()
                     });
                     let compiler = factory();
+                    // Each worker builds its own target instances (targets
+                    // are stateless between programs, but not `Sync`).
+                    let registry = TargetRegistry::builtin();
+                    let diff_targets: Vec<Box<dyn Target>> = config
+                        .targets
+                        .iter()
+                        .map(|spec| registry.build_spec(spec).expect("specs validated above"))
+                        .collect();
                     let mut processed = 0usize;
                     loop {
                         if commit.lock().expect("hunt lock").stopped {
@@ -502,6 +545,11 @@ impl ParallelCampaign {
                             RandomProgramGenerator::new(config.generator.clone(), seed);
                         let program = generator.generate();
                         let mut reports = gauntlet.check_open_compiler(&compiler, &program).reports;
+                        if !diff_targets.is_empty() {
+                            reports.extend(
+                                gauntlet.check_differential(&diff_targets, &program).reports,
+                            );
+                        }
                         if config.reduce_reports
                             && !reports.is_empty()
                             // Once the quota stop is set nothing further can
@@ -512,8 +560,14 @@ impl ParallelCampaign {
                             // Reduce right here on the finding worker: the
                             // result is a pure function of (program, report,
                             // budget), so sharding does not disturb the
-                            // byte-identical-across-jobs contract.
+                            // byte-identical-across-jobs contract.  Only
+                            // open-compiler findings reduce through the
+                            // compiler oracles; differential findings are
+                            // committed as-is.
                             for report in &mut reports {
+                                if report.platform != Platform::P4c {
+                                    continue;
+                                }
                                 let mut oracle = Gauntlet::open_compiler_oracle(report, factory());
                                 gauntlet.reduce_report(&mut *oracle, &program, report);
                             }
@@ -535,8 +589,14 @@ impl ParallelCampaign {
                                 if config.reduce_reports {
                                     // Counted over *committed* reports only,
                                     // so the tally is schedule-independent.
-                                    state.reduction_failures +=
-                                        reports.iter().filter(|r| r.minimized.is_none()).count();
+                                    // Differential findings are exempt (they
+                                    // are never reduced).
+                                    state.reduction_failures += reports
+                                        .iter()
+                                        .filter(|r| {
+                                            r.platform == Platform::P4c && r.minimized.is_none()
+                                        })
+                                        .count();
                                 }
                                 state.committed.push(SeedOutcome {
                                     seed: committed_seed,

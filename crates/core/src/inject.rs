@@ -9,7 +9,8 @@
 //! program that is guaranteed to exercise the defective code path (random
 //! programs may or may not hit it, exactly as in the original campaign).
 
-use crate::bugs::{CompilerArea, Platform};
+use crate::bugs::{BugReport, CompilerArea, Platform};
+use crate::pipeline::Gauntlet;
 use p4_ir::builder;
 use p4_ir::{
     ActionDecl, ActionRef, BinOp, Block, Declaration, Direction, Expr, FunctionDecl, KeyElement,
@@ -17,7 +18,7 @@ use p4_ir::{
 };
 use p4c::{Compiler, FrontEndBugClass, PassArea};
 use serde::{Deserialize, Serialize};
-use targets::BackEndBugClass;
+use targets::{BackEndBugClass, TargetRegistry};
 
 /// A seeded defect in either the shared front/mid end or one of the back
 /// ends.
@@ -96,6 +97,35 @@ impl SeededBug {
         }
     }
 
+    /// The registry name of the back end this bug is observed on (`None`
+    /// for front/mid-end bugs, which are checked on the open compiler).
+    pub fn target_name(self) -> Option<&'static str> {
+        match self {
+            SeededBug::BackEnd(bug) => Some(bug.backend().target_name()),
+            SeededBug::FrontEnd(_) => None,
+        }
+    }
+
+    /// Runs the detection technique appropriate to this bug's platform:
+    /// crash detection + translation validation on the open compiler for
+    /// front/mid-end bugs, generic target-trait testgen (through the
+    /// builtin [`TargetRegistry`]) for back-end bugs.
+    pub fn detect(self, gauntlet: &Gauntlet, program: &p4_ir::Program) -> Vec<BugReport> {
+        match self.target_name() {
+            None => {
+                gauntlet
+                    .check_open_compiler(&self.build_compiler(), program)
+                    .reports
+            }
+            Some(name) => {
+                let target = TargetRegistry::builtin()
+                    .build_seeded(name, self.backend_bug())
+                    .expect("builtin targets are registered");
+                gauntlet.check_target(&*target, program).reports
+            }
+        }
+    }
+
     /// A program known to exercise the defective code path (Figure-5 style).
     pub fn trigger_program(self) -> Program {
         match self {
@@ -116,26 +146,18 @@ impl SeededBug {
     /// detects the bug is the technique that must keep reproducing it while
     /// `p4-reduce` shrinks the trigger program.
     pub fn oracle(self, max_tests: usize) -> Box<dyn p4_reduce::Oracle> {
-        use p4_reduce::{BlackBoxTarget, CrashOracle, SemanticOracle, TestgenOracle};
+        use p4_reduce::{CrashOracle, SemanticOracle, TestgenOracle};
         match self {
             SeededBug::FrontEnd(bug) if bug.is_crash_class() => {
                 Box::new(CrashOracle::new(self.build_compiler()))
             }
             SeededBug::FrontEnd(_) => Box::new(SemanticOracle::new(self.build_compiler())),
-            SeededBug::BackEnd(bug) => match bug.backend() {
-                targets::Backend::Bmv2 => Box::new(TestgenOracle::new(
-                    self.build_compiler(),
-                    BlackBoxTarget::Bmv2 { bug: Some(bug) },
-                    max_tests,
-                )),
-                targets::Backend::Tofino => Box::new(TestgenOracle::new(
-                    self.build_compiler(),
-                    BlackBoxTarget::Tofino {
-                        backend: targets::TofinoBackend::with_bug(bug),
-                    },
-                    max_tests,
-                )),
-            },
+            SeededBug::BackEnd(bug) => {
+                let target = TargetRegistry::builtin()
+                    .build_seeded(bug.backend().target_name(), Some(bug))
+                    .expect("builtin targets are registered");
+                Box::new(TestgenOracle::new(target, max_tests))
+            }
         }
     }
 }
@@ -434,29 +456,10 @@ mod tests {
     /// together (they cannot share code without a dependency cycle).
     #[test]
     fn oracle_signatures_match_pipeline_dedup_keys() {
-        use crate::pipeline::Gauntlet;
         let gauntlet = Gauntlet::default();
         for bug in SeededBug::catalogue() {
             let program = bug.trigger_program();
-            let reports = match bug.platform() {
-                Platform::P4c => {
-                    gauntlet
-                        .check_open_compiler(&bug.build_compiler(), &program)
-                        .reports
-                }
-                Platform::Bmv2 => {
-                    gauntlet
-                        .check_bmv2(&bug.build_compiler(), &program, bug.backend_bug())
-                        .reports
-                }
-                Platform::Tofino => {
-                    let backend = match bug.backend_bug() {
-                        Some(backend_bug) => targets::TofinoBackend::with_bug(backend_bug),
-                        None => targets::TofinoBackend::new(),
-                    };
-                    gauntlet.check_tofino(&backend, &program).reports
-                }
-            };
+            let reports = bug.detect(&gauntlet, &program);
             assert!(!reports.is_empty(), "{}: trigger not detected", bug.name());
             let mut oracle = bug.oracle(gauntlet.options.max_tests);
             let signatures = oracle.signatures(&program);

@@ -6,18 +6,22 @@
 //!   emitted after every modifying pass, pinpointing the faulty pass
 //!   (paper §5, Figure 2);
 //! * symbolic-execution testing — generate input/output tests from the
-//!   input program's semantics and replay them on a black-box back end
-//!   (paper §6, Figure 4).
+//!   input program's semantics and replay them on black-box back ends
+//!   (paper §6, Figure 4), either one target at a time
+//!   ([`Gauntlet::check_target`]) or N-way differential across every
+//!   registered target with majority-vote attribution
+//!   ([`Gauntlet::check_differential`]).
 
 use crate::bugs::{BugKind, BugReport, CompilerArea, Platform, Technique};
 use p4_ir::Program;
 use p4_reduce::{CrashOracle, Oracle, Reducer, ReducerConfig, SemanticOracle};
 use p4_symbolic::{
-    check_equivalence, generate_tests, Equivalence, EquivalenceError, TestGenOptions,
-    ValidationSession,
+    check_equivalence, generate_tests, Equivalence, EquivalenceError, ValidationSession,
 };
 use p4c::{CompileError, CompileResult, Compiler, PassArea};
-use targets::{run_ptf, run_stf, Bmv2Target, TofinoBackend, TofinoError};
+use smt::Value;
+use std::collections::{BTreeMap, BTreeSet};
+use targets::{drive_target, testgen_options, Target, TargetError, TargetFinding};
 
 /// The result of putting one program through one platform's pipeline.
 #[derive(Debug, Clone, Default)]
@@ -239,103 +243,296 @@ impl Gauntlet {
         reports
     }
 
-    /// Technique 3 against the BMv2 back end: compile with the shared
-    /// front/mid end, then replay generated tests on the (possibly seeded)
-    /// target.
-    pub fn check_bmv2(
-        &self,
-        compiler: &Compiler,
-        program: &Program,
-        target_bug: Option<targets::BackEndBugClass>,
-    ) -> ProgramOutcome {
-        let compiled = match compiler.compile(program) {
-            Ok(result) => result.program,
-            Err(_) => return ProgramOutcome::with_reports(Vec::new()),
-        };
-        let options = TestGenOptions {
-            max_tests: self.options.max_tests,
-            ..TestGenOptions::default()
-        };
-        let tests = match generate_tests(program, &options) {
-            Ok(tests) => tests,
-            Err(_) => return ProgramOutcome::with_reports(Vec::new()),
-        };
-        let target = match target_bug {
-            Some(bug) => Bmv2Target::with_bug(compiled, bug),
-            None => Bmv2Target::new(compiled),
-        };
-        let report = run_stf(&target, &tests);
-        let mut reports = Vec::new();
-        if report.found_semantic_bug() {
-            let first = &report.mismatches[0];
-            reports.push(BugReport::new(
-                BugKind::Semantic,
-                Platform::Bmv2,
-                CompilerArea::BackEnd,
-                Technique::SymbolicExecution,
-                None,
-                format!(
-                    "STF mismatch on `{}`: expected {:?}, observed {:?} ({} of {} tests failed)",
-                    first.field,
-                    first.expected,
-                    first.actual,
-                    report.mismatches.len(),
-                    report.total
-                ),
-            ));
-        }
+    /// Technique 3 against one black-box back end: compile for the target,
+    /// generate tests from the input program's symbolic semantics, replay
+    /// them, and package divergences as bug reports.  Works uniformly for
+    /// every [`Target`] implementation — back ends are selected through the
+    /// `targets::TargetRegistry`, not compile-time branching.
+    pub fn check_target(&self, target: &dyn Target, program: &Program) -> ProgramOutcome {
+        let platform = target_platform(target);
+        let reports = drive_target(target, program, self.options.max_tests)
+            .into_iter()
+            .map(|finding| finding_report(finding, platform).attributed_to(target.name()))
+            .collect();
         ProgramOutcome::with_reports(reports)
     }
 
-    /// Technique 3 against the closed-source Tofino back end.
-    pub fn check_tofino(&self, backend: &TofinoBackend, program: &Program) -> ProgramOutcome {
-        let binary = match backend.compile(program) {
-            Ok(binary) => binary,
-            Err(TofinoError::Crash { pass, message }) => {
-                return ProgramOutcome::with_reports(vec![BugReport::new(
-                    BugKind::Crash,
-                    Platform::Tofino,
-                    CompilerArea::BackEnd,
-                    Technique::RandomGeneration,
-                    Some(pass),
-                    message,
-                )]);
+    /// N-way differential testgen (the multi-backend scenario of the
+    /// paper's campaign): generate tests once from the input program's
+    /// semantics, replay every test on *all* given targets, and
+    /// majority-vote per output field to attribute which participant —
+    /// one of the targets, or the test-generation model itself —
+    /// disagrees.
+    ///
+    /// Per (test, field) the voters are the model's expected value plus
+    /// every target's observed value; participants outside the strict
+    /// majority are suspects.  When no strict majority exists the model is
+    /// trusted (its semantics are the specification) and every dissenting
+    /// target is a suspect.  When a strict majority of targets out-votes
+    /// the model, the finding is attributed to `"model"` — with all targets
+    /// consuming the same front/mid end output, that points at the shared
+    /// compiler stages or at our own oracle (the false-alarm discipline of
+    /// §5.2).
+    pub fn check_differential(
+        &self,
+        targets: &[Box<dyn Target>],
+        program: &Program,
+    ) -> ProgramOutcome {
+        let mut reports = Vec::new();
+        // Compile on every target.  Crashes are findings; restriction
+        // rejections (and crash-only targets) just drop out of the vote.
+        let mut runnable = Vec::new();
+        for target in targets {
+            match target.compile(program) {
+                Ok(artifact) => {
+                    if target.capabilities().semantic_tests {
+                        runnable.push((target, artifact));
+                    }
+                }
+                Err(TargetError::Crash { pass, message }) => {
+                    reports.push(
+                        finding_report(
+                            TargetFinding::Crash { pass, message },
+                            target_platform(&**target),
+                        )
+                        .attributed_to(target.name()),
+                    );
+                }
+                Err(TargetError::Rejected { .. }) => {}
             }
-            Err(TofinoError::Rejected { .. }) => {
-                // Target restriction: the program is simply outside the
-                // back end's supported subset — not a bug.
-                return ProgramOutcome::with_reports(Vec::new());
-            }
-        };
-        let options = TestGenOptions {
-            max_tests: self.options.max_tests,
-            ..TestGenOptions::default()
-        };
+        }
+        if runnable.is_empty() {
+            return ProgramOutcome::with_reports(reports);
+        }
+        // One test suite, generated from the model, replayed everywhere —
+        // which is only sound when every voting target shares the same
+        // capabilities (test block, undefined-read policy).  A mixed pool
+        // would replay tests generated under one target's policy on targets
+        // with another, misattributing every resulting divergence, so fail
+        // fast instead.
+        let caps = runnable[0].0.capabilities();
+        for (target, _) in &runnable[1..] {
+            assert_eq!(
+                target.capabilities(),
+                caps,
+                "differential targets must share capabilities: `{}` differs from `{}`",
+                target.name(),
+                runnable[0].0.name()
+            );
+        }
+        let options = testgen_options(&caps, self.options.max_tests);
         let tests = match generate_tests(program, &options) {
             Ok(tests) => tests,
-            Err(_) => return ProgramOutcome::with_reports(Vec::new()),
+            Err(_) => return ProgramOutcome::with_reports(reports),
         };
-        let report = run_ptf(&binary, &tests);
-        let mut reports = Vec::new();
-        if report.found_semantic_bug() {
-            let first = &report.mismatches[0];
-            reports.push(BugReport::new(
-                BugKind::Semantic,
-                Platform::Tofino,
-                CompilerArea::BackEnd,
-                Technique::SymbolicExecution,
-                None,
-                format!(
-                    "PTF mismatch on `{}`: expected {:?}, observed {:?} ({} of {} tests failed)",
-                    first.field,
-                    first.expected,
-                    first.actual,
-                    report.mismatches.len(),
-                    report.total
-                ),
-            ));
+
+        let mut suspects: BTreeMap<usize, Suspect> = BTreeMap::new();
+        for test in &tests {
+            // Observed values per target: `None` entries abstain (skipped).
+            let observations: Vec<Option<BTreeMap<String, Value>>> = runnable
+                .iter()
+                .map(|(_, artifact)| match artifact.run_test(test) {
+                    targets::TestOutcome::Pass => Some(BTreeMap::new()),
+                    targets::TestOutcome::Mismatch(mismatches) => Some(
+                        mismatches
+                            .into_iter()
+                            .map(|m| (m.field, m.actual))
+                            .collect(),
+                    ),
+                    targets::TestOutcome::Skipped(_) => None,
+                })
+                .collect();
+            // Fields where at least one target diverged from the model.
+            let contested: BTreeSet<&str> = observations
+                .iter()
+                .flatten()
+                .flat_map(|fields| fields.keys().map(String::as_str))
+                .collect();
+            let mut failed_this_test: BTreeSet<usize> = BTreeSet::new();
+            for field in contested {
+                let Some(expected) = test.expected.get(field) else {
+                    continue;
+                };
+                // One vote per participant; targets that pass a field vote
+                // with the model (the harness compared them equal).
+                let mut votes: Vec<(usize, &Value)> = vec![(MODEL, expected)];
+                for (index, observation) in observations.iter().enumerate() {
+                    if let Some(fields) = observation {
+                        votes.push((index, fields.get(field).unwrap_or(expected)));
+                    }
+                }
+                for (participant, value) in losers(&votes) {
+                    failed_this_test.insert(participant);
+                    let consensus = consensus_of(&votes, participant);
+                    suspects
+                        .entry(participant)
+                        .or_default()
+                        .observe(field, &consensus, value);
+                }
+            }
+            for participant in failed_this_test {
+                suspects.entry(participant).or_default().failing_tests += 1;
+            }
+        }
+
+        // Deterministic report order: targets in input order, model last.
+        for (participant, suspect) in &suspects {
+            // `consensus` is what the other participants agreed on;
+            // `observed` is the suspect's own value (for the MODEL suspect,
+            // its "observation" is the expected output it computed).
+            let Some((field, consensus, observed)) = &suspect.first else {
+                continue;
+            };
+            let report = if *participant == MODEL {
+                BugReport::new(
+                    BugKind::Semantic,
+                    Platform::Model,
+                    // Every target consumes the shared front/mid end's
+                    // output, so a target majority against the model points
+                    // at those shared stages (or at the oracle itself).
+                    CompilerArea::MidEnd,
+                    Technique::SymbolicExecution,
+                    None,
+                    format!(
+                        "differential mismatch on `{field}`: target consensus {consensus:?}, model expected {observed:?} ({} of {} tests failed)",
+                        suspect.failing_tests,
+                        tests.len()
+                    ),
+                )
+                .attributed_to("model")
+            } else {
+                let target = runnable[*participant].0.as_ref();
+                BugReport::new(
+                    BugKind::Semantic,
+                    target_platform(target),
+                    CompilerArea::BackEnd,
+                    Technique::SymbolicExecution,
+                    None,
+                    format!(
+                        "{} differential mismatch on `{field}`: consensus {consensus:?}, observed {observed:?} ({} of {} tests failed, {}-way)",
+                        target.harness(),
+                        suspect.failing_tests,
+                        tests.len(),
+                        runnable.len()
+                    ),
+                )
+                .attributed_to(target.name())
+            };
+            reports.push(report);
         }
         ProgramOutcome::with_reports(reports)
+    }
+}
+
+/// The sentinel participant index of the test-generation model.
+const MODEL: usize = usize::MAX;
+
+/// Per-suspect accumulator for differential attribution.
+#[derive(Default)]
+struct Suspect {
+    failing_tests: usize,
+    /// First divergence seen: (field, consensus value, suspect's value).
+    first: Option<(String, Value, Value)>,
+}
+
+impl Suspect {
+    fn observe(&mut self, field: &str, consensus: &Value, value: &Value) {
+        if self.first.is_none() {
+            self.first = Some((field.to_string(), consensus.clone(), value.clone()));
+        }
+    }
+}
+
+/// Canonical form of a vote value, congruent with the comparison rule of
+/// `harness::compare_outputs`: everything (booleans included — the harness
+/// substitutes `Bool(false)` for fields missing from an observation, which
+/// must group with a genuine zero) is compared as a 128-bit vector.
+fn vote_key(value: &Value) -> String {
+    format!("{:?}", value.as_bv().resize(128))
+}
+
+/// The participants voted out by strict majority; on a tie, the model is
+/// trusted and every participant disagreeing with it loses.
+fn losers<'a>(votes: &[(usize, &'a Value)]) -> Vec<(usize, &'a Value)> {
+    let mut tally: BTreeMap<String, usize> = BTreeMap::new();
+    for (_, value) in votes {
+        *tally.entry(vote_key(value)).or_insert(0) += 1;
+    }
+    let majority = tally
+        .iter()
+        .max_by_key(|(_, count)| **count)
+        .filter(|(_, count)| **count * 2 > votes.len())
+        .map(|(key, _)| key.clone());
+    let reference = match majority {
+        Some(key) => key,
+        // No strict majority: the model's semantics are the specification.
+        None => {
+            let model_value = votes
+                .iter()
+                .find(|(participant, _)| *participant == MODEL)
+                .map(|(_, value)| vote_key(value))
+                .unwrap_or_default();
+            model_value
+        }
+    };
+    votes
+        .iter()
+        .filter(|(_, value)| vote_key(value) != reference)
+        .map(|(participant, value)| (*participant, *value))
+        .collect()
+}
+
+/// The consensus value a suspect diverged from (majority of the others).
+fn consensus_of(votes: &[(usize, &Value)], suspect: usize) -> Value {
+    let mut tally: BTreeMap<String, (usize, Value)> = BTreeMap::new();
+    for (participant, value) in votes {
+        if *participant == suspect {
+            continue;
+        }
+        let entry = tally
+            .entry(vote_key(value))
+            .or_insert_with(|| (0, (*value).clone()));
+        entry.0 += 1;
+    }
+    tally
+        .into_values()
+        .max_by_key(|(count, _)| *count)
+        .map(|(_, value)| value)
+        .unwrap_or(Value::Bool(false))
+}
+
+/// Resolves a target's platform, panicking with guidance when a custom
+/// target uses a label `gauntlet-core` has no variant for (see the
+/// "Adding a new target" section of the README).
+fn target_platform(target: &dyn Target) -> Platform {
+    Platform::for_label(target.platform_label()).unwrap_or_else(|| {
+        panic!(
+            "target `{}` reports unknown platform label `{}`; add a Platform variant or reuse an existing label",
+            target.name(),
+            target.platform_label()
+        )
+    })
+}
+
+/// Packages a [`TargetFinding`] as a [`BugReport`] on `platform`.
+fn finding_report(finding: TargetFinding, platform: Platform) -> BugReport {
+    match finding {
+        TargetFinding::Crash { pass, message } => BugReport::new(
+            BugKind::Crash,
+            platform,
+            CompilerArea::BackEnd,
+            Technique::RandomGeneration,
+            Some(pass),
+            message,
+        ),
+        TargetFinding::Semantic { message } => BugReport::new(
+            BugKind::Semantic,
+            platform,
+            CompilerArea::BackEnd,
+            Technique::SymbolicExecution,
+            None,
+            message,
+        ),
     }
 }
 
@@ -344,6 +541,7 @@ mod tests {
     use super::*;
     use p4_ir::builder;
     use p4c::FrontEndBugClass;
+    use targets::{BackEndBugClass, Bmv2Target, TargetRegistry, TofinoBackend};
 
     #[test]
     fn reference_compiler_is_clean_on_the_skeleton_programs() {
@@ -407,28 +605,31 @@ mod tests {
         assert!(oracle.reproduces(&minimized, &target));
     }
 
-    #[test]
-    fn bmv2_backend_bug_is_reported_via_stf() {
+    fn exit_program() -> Program {
         use p4_ir::{Block, Expr, Statement};
-        let program = builder::v1model_program(
+        builder::v1model_program(
             vec![],
             Block::new(vec![
                 Statement::assign(Expr::dotted(&["hdr", "h", "a"]), Expr::uint(1, 8)),
                 Statement::Exit,
                 Statement::assign(Expr::dotted(&["hdr", "h", "a"]), Expr::uint(2, 8)),
             ]),
-        );
+        )
+    }
+
+    #[test]
+    fn bmv2_backend_bug_is_reported_via_the_target_trait() {
+        let program = exit_program();
         let gauntlet = Gauntlet::default();
-        let compiler = Compiler::reference();
-        let clean = gauntlet.check_bmv2(&compiler, &program, None);
+        let clean = gauntlet.check_target(&Bmv2Target::new(), &program);
         assert!(clean.clean);
-        let buggy = gauntlet.check_bmv2(
-            &compiler,
+        let buggy = gauntlet.check_target(
+            &Bmv2Target::with_bug(BackEndBugClass::Bmv2ExitIgnored),
             &program,
-            Some(targets::BackEndBugClass::Bmv2ExitIgnored),
         );
         assert!(!buggy.clean);
         assert_eq!(buggy.reports[0].platform, Platform::Bmv2);
+        assert_eq!(buggy.reports[0].attributed_to.as_deref(), Some("bmv2"));
     }
 
     #[test]
@@ -447,10 +648,10 @@ mod tests {
                 ),
             )]),
         );
-        let clean = gauntlet.check_tofino(&TofinoBackend::new(), &program);
+        let clean = gauntlet.check_target(&TofinoBackend::new(), &program);
         assert!(clean.clean, "false alarm: {:#?}", clean.reports);
-        let buggy = gauntlet.check_tofino(
-            &TofinoBackend::with_bug(targets::BackEndBugClass::TofinoSaturationWraps),
+        let buggy = gauntlet.check_target(
+            &TofinoBackend::with_bug(BackEndBugClass::TofinoSaturationWraps),
             &program,
         );
         assert!(!buggy.clean);
@@ -464,12 +665,74 @@ mod tests {
                 rhs: Expr::uint(1, 4),
             }]),
         );
-        let crash = gauntlet.check_tofino(
-            &TofinoBackend::with_bug(targets::BackEndBugClass::TofinoSliceLoweringCrash),
+        let crash = gauntlet.check_target(
+            &TofinoBackend::with_bug(BackEndBugClass::TofinoSliceLoweringCrash),
             &slice_program,
         );
         assert!(!crash.clean);
         assert_eq!(crash.reports[0].kind, BugKind::Crash);
         assert_eq!(crash.reports[0].platform, Platform::Tofino);
+    }
+
+    fn three_way(specs: [&str; 3]) -> Vec<Box<dyn Target>> {
+        let registry = TargetRegistry::builtin();
+        specs
+            .iter()
+            .map(|spec| registry.build_spec(spec).expect("builtin spec"))
+            .collect()
+    }
+
+    #[test]
+    fn differential_attributes_the_one_seeded_target() {
+        let gauntlet = Gauntlet::default();
+        let program = exit_program();
+        let targets = three_way(["bmv2+Bmv2ExitIgnored", "tofino", "ref-interp"]);
+        let outcome = gauntlet.check_differential(&targets, &program);
+        assert!(!outcome.clean);
+        assert!(
+            outcome
+                .reports
+                .iter()
+                .all(|r| r.attributed_to.as_deref() == Some("bmv2")),
+            "{:#?}",
+            outcome.reports
+        );
+        assert_eq!(outcome.reports[0].platform, Platform::Bmv2);
+    }
+
+    #[test]
+    fn differential_is_clean_when_all_targets_agree_with_the_model() {
+        let gauntlet = Gauntlet::default();
+        let outcome = gauntlet.check_differential(
+            &three_way(["bmv2", "tofino", "ref-interp"]),
+            &exit_program(),
+        );
+        assert!(outcome.clean, "{:#?}", outcome.reports);
+    }
+
+    #[test]
+    fn differential_attributes_to_the_model_when_targets_are_unanimous() {
+        let gauntlet = Gauntlet::default();
+        // Every target ignores `exit`, so they all agree with each other
+        // and unanimously out-vote the model's expectation.
+        let targets = three_way([
+            "bmv2+Bmv2ExitIgnored",
+            "tofino+TofinoExitIgnored",
+            "ref-interp+Bmv2ExitIgnored",
+        ]);
+        let outcome = gauntlet.check_differential(&targets, &exit_program());
+        assert!(!outcome.clean);
+        assert_eq!(outcome.reports.len(), 1, "{:#?}", outcome.reports);
+        assert_eq!(outcome.reports[0].attributed_to.as_deref(), Some("model"));
+        assert_eq!(outcome.reports[0].platform, Platform::Model);
+        // Value order in the message: the exit-dropping targets keep
+        // executing and observe 2, while the model expects 1.
+        assert!(
+            outcome.reports[0]
+                .message
+                .contains("target consensus Bv(8w2), model expected Bv(8w1)"),
+            "{}",
+            outcome.reports[0].message
+        );
     }
 }

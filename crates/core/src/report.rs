@@ -6,16 +6,21 @@ use std::fmt::Write;
 
 /// Renders the Table 2 analogue: detected bugs per platform, split into
 /// crash and semantic bugs, with per-platform and per-kind totals plus the
-/// grand total (the paper's Table 2 carries both margins).
+/// grand total (the paper's Table 2 carries both margins).  The platform
+/// columns cover every registered back end (including the reference
+/// interpreter) plus the `Model` column for findings the N-way differential
+/// vote pinned on the test-generation oracle itself; when the report
+/// carries differential attributions, a per-target attribution block
+/// follows the table.
 pub fn render_table2(report: &CampaignReport) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "Table 2 (reproduction): distinct seeded bugs detected");
-    let _ = writeln!(
-        out,
-        "{:<12} {:>8} {:>8} {:>8} {:>8}",
-        "Bug Type", "P4C", "BMv2", "Tofino", "Total"
-    );
-    let platforms = [Platform::P4c, Platform::Bmv2, Platform::Tofino];
+    let platforms = Platform::all();
+    let mut header = format!("{:<12}", "Bug Type");
+    for platform in platforms {
+        let _ = write!(header, " {:>8}", platform.to_string());
+    }
+    let _ = writeln!(out, "{header} {:>8}", "Total");
     for (label, crash_like) in [("Crash", true), ("Semantic", false)] {
         let mut row = format!("{label:<12}");
         let mut row_total = 0usize;
@@ -36,6 +41,16 @@ pub fn render_table2(report: &CampaignReport) -> String {
         let _ = write!(total_row, " {platform_total:>8}");
     }
     let _ = writeln!(out, "{total_row} {grand_total:>8}");
+    if !report.by_attribution.is_empty() {
+        let _ = writeln!(out);
+        let _ = writeln!(
+            out,
+            "Per-target attribution (differential/testgen majority vote):"
+        );
+        for (participant, count) in &report.by_attribution {
+            let _ = writeln!(out, "{participant:<12} {count:>8}");
+        }
+    }
     out
 }
 
@@ -221,6 +236,7 @@ mod tests {
             }],
             by_platform,
             by_area,
+            by_attribution: BTreeMap::new(),
             false_alarms: 0,
             total_detected: 16,
         }
@@ -249,8 +265,9 @@ mod tests {
             .skip(1)
             .map(|v| v.parse().expect("numeric total"))
             .collect();
-        // P4C 3+7, BMv2 0+2, Tofino 1+3, grand 16 (matches total_detected).
-        assert_eq!(values, vec![10, 2, 4, 16]);
+        // P4C 3+7, BMv2 0+2, Tofino 1+3, RefInterp 0, Model 0, grand 16
+        // (matches total_detected).
+        assert_eq!(values, vec![10, 2, 4, 0, 0, 16]);
         // The per-kind margin column is present as well.
         let crash_line = text
             .lines()
@@ -261,7 +278,25 @@ mod tests {
             .skip(1)
             .map(|v| v.parse().expect("numeric count"))
             .collect();
-        assert_eq!(crash, vec![3, 0, 1, 4]);
+        assert_eq!(crash, vec![3, 0, 1, 0, 0, 4]);
+    }
+
+    /// Differential attributions render as a per-target block after the
+    /// platform table (and the block is absent when there are none).
+    #[test]
+    fn table2_renders_per_target_attribution() {
+        let mut report = sample_report();
+        assert!(!render_table2(&report).contains("attribution"));
+        report.by_attribution.insert("bmv2".to_string(), 2);
+        report.by_attribution.insert("model".to_string(), 1);
+        let text = render_table2(&report);
+        assert!(text.contains("Per-target attribution"), "{text}");
+        let bmv2_line = text
+            .lines()
+            .find(|line| line.starts_with("bmv2"))
+            .expect("bmv2 attribution row");
+        assert!(bmv2_line.trim().ends_with('2'), "{bmv2_line}");
+        assert!(text.lines().any(|line| line.starts_with("model")), "{text}");
     }
 
     #[test]

@@ -11,8 +11,9 @@
 //!   aborts or rejects), [`SemanticOracle`] (translation validation still
 //!   reports inequivalence at the same pass, re-using one incremental
 //!   [`p4_symbolic::ValidationSession`] across every shrink step), and
-//!   [`TestgenOracle`] (the black-box target still diverges on generated
-//!   tests);
+//!   [`TestgenOracle`] (any `targets::Target` — BMv2, Tofino, the
+//!   reference interpreter, or a custom registration — still diverges on
+//!   generated tests);
 //! * [`passes`] — the [`ReductionPass`] catalogue: ddmin over top-level
 //!   declarations, statement-list ddmin inside every block, expression
 //!   simplification, and table/parser-state pruning;
@@ -33,8 +34,8 @@ pub mod reducer;
 
 pub use ddmin::ddmin;
 pub use oracle::{
-    bug_signature, BlackBoxTarget, CrashOracle, FnOracle, Oracle, SemanticOracle, TestgenOracle,
-    PLATFORM_BMV2, PLATFORM_P4C, PLATFORM_TOFINO,
+    bug_signature, CrashOracle, FnOracle, Oracle, SemanticOracle, TestgenOracle, PLATFORM_BMV2,
+    PLATFORM_P4C, PLATFORM_REFINTERP, PLATFORM_TOFINO,
 };
 pub use passes::{
     statement_count, DeclarationDdmin, ExprSimplify, ReductionPass, StatementDdmin, StructurePrune,

@@ -11,11 +11,9 @@
 //! among them.
 
 use p4_ir::Program;
-use p4_symbolic::{
-    generate_tests, Equivalence, EquivalenceError, TestGenOptions, ValidationSession,
-};
+use p4_symbolic::{Equivalence, EquivalenceError, ValidationSession};
 use p4c::{CompileError, CompileResult, Compiler};
-use targets::{run_ptf, run_stf, BackEndBugClass, Bmv2Target, TofinoBackend, TofinoError};
+use targets::{drive_target, Target, TargetFinding};
 
 /// `Platform` label of the open P4C pipeline, as it appears in dedup keys.
 pub const PLATFORM_P4C: &str = "P4c";
@@ -23,6 +21,8 @@ pub const PLATFORM_P4C: &str = "P4c";
 pub const PLATFORM_BMV2: &str = "Bmv2";
 /// `Platform` label of the Tofino back end, as it appears in dedup keys.
 pub const PLATFORM_TOFINO: &str = "Tofino";
+/// `Platform` label of the reference-interpreter back end.
+pub const PLATFORM_REFINTERP: &str = "RefInterp";
 
 /// Builds a finding signature in the campaign layer's dedup-key format:
 /// `kind|platform|pass|first-message-line`.
@@ -181,29 +181,24 @@ impl Oracle for SemanticOracle {
     }
 }
 
-/// Which black-box back end a [`TestgenOracle`] replays tests against.
-pub enum BlackBoxTarget {
-    /// The BMv2 software switch via the STF harness, optionally seeded with
-    /// a back-end defect.
-    Bmv2 { bug: Option<BackEndBugClass> },
-    /// The closed-source Tofino back end via the PTF harness.
-    Tofino { backend: TofinoBackend },
-}
-
 /// Symbolic-execution oracle: the black-box target still diverges from the
-/// input program's semantics on generated tests (or, for Tofino, its
-/// compiler still crashes in the same back-end stage).
+/// input program's semantics on generated tests (or its compiler still
+/// crashes in the same back-end stage).  Works for any [`Target`]
+/// implementation — the oracle goes through the same `drive_target` path as
+/// the detection pipeline, so its finding messages (and therefore its
+/// signatures) stay in lock-step by construction.
 pub struct TestgenOracle {
-    compiler: Compiler,
-    target: BlackBoxTarget,
+    target: Box<dyn Target>,
+    name: String,
     max_tests: usize,
 }
 
 impl TestgenOracle {
-    pub fn new(compiler: Compiler, target: BlackBoxTarget, max_tests: usize) -> TestgenOracle {
+    pub fn new(target: Box<dyn Target>, max_tests: usize) -> TestgenOracle {
+        let name = format!("testgen-{}", target.name());
         TestgenOracle {
-            compiler,
             target,
+            name,
             max_tests,
         }
     }
@@ -211,89 +206,21 @@ impl TestgenOracle {
 
 impl Oracle for TestgenOracle {
     fn name(&self) -> &str {
-        match self.target {
-            BlackBoxTarget::Bmv2 { .. } => "testgen-bmv2",
-            BlackBoxTarget::Tofino { .. } => "testgen-tofino",
-        }
+        &self.name
     }
 
     fn signatures(&mut self, program: &Program) -> Vec<String> {
-        let options = TestGenOptions {
-            max_tests: self.max_tests,
-            ..TestGenOptions::default()
-        };
-        match &self.target {
-            BlackBoxTarget::Bmv2 { bug } => {
-                let compiled = match self.compiler.compile(program) {
-                    Ok(result) => result.program,
-                    Err(_) => return Vec::new(),
-                };
-                let tests = match generate_tests(program, &options) {
-                    Ok(tests) => tests,
-                    Err(_) => return Vec::new(),
-                };
-                let target = match bug {
-                    Some(bug) => Bmv2Target::with_bug(compiled, *bug),
-                    None => Bmv2Target::new(compiled),
-                };
-                let report = run_stf(&target, &tests);
-                if report.found_semantic_bug() {
-                    let first = &report.mismatches[0];
-                    vec![bug_signature(
-                        "Semantic",
-                        PLATFORM_BMV2,
-                        None,
-                        &format!(
-                            "STF mismatch on `{}`: expected {:?}, observed {:?} ({} of {} tests failed)",
-                            first.field,
-                            first.expected,
-                            first.actual,
-                            report.mismatches.len(),
-                            report.total
-                        ),
-                    )]
-                } else {
-                    Vec::new()
+        drive_target(&*self.target, program, self.max_tests)
+            .into_iter()
+            .map(|finding| match finding {
+                TargetFinding::Crash { pass, message } => {
+                    bug_signature("Crash", self.target.platform_label(), Some(&pass), &message)
                 }
-            }
-            BlackBoxTarget::Tofino { backend } => {
-                let binary = match backend.compile(program) {
-                    Ok(binary) => binary,
-                    Err(TofinoError::Crash { pass, message }) => {
-                        return vec![bug_signature(
-                            "Crash",
-                            PLATFORM_TOFINO,
-                            Some(&pass),
-                            &message,
-                        )];
-                    }
-                    Err(TofinoError::Rejected { .. }) => return Vec::new(),
-                };
-                let tests = match generate_tests(program, &options) {
-                    Ok(tests) => tests,
-                    Err(_) => return Vec::new(),
-                };
-                let report = run_ptf(&binary, &tests);
-                if report.found_semantic_bug() {
-                    let first = &report.mismatches[0];
-                    vec![bug_signature(
-                        "Semantic",
-                        PLATFORM_TOFINO,
-                        None,
-                        &format!(
-                            "PTF mismatch on `{}`: expected {:?}, observed {:?} ({} of {} tests failed)",
-                            first.field,
-                            first.expected,
-                            first.actual,
-                            report.mismatches.len(),
-                            report.total
-                        ),
-                    )]
-                } else {
-                    Vec::new()
+                TargetFinding::Semantic { message } => {
+                    bug_signature("Semantic", self.target.platform_label(), None, &message)
                 }
-            }
-        }
+            })
+            .collect()
     }
 }
 

@@ -107,6 +107,13 @@ pub struct Compiler {
     options: CompileOptions,
 }
 
+impl Default for Compiler {
+    /// An empty pipeline, same as [`Compiler::empty`].
+    fn default() -> Compiler {
+        Compiler::empty()
+    }
+}
+
 impl Compiler {
     /// An empty compiler with no passes (useful for tests).
     pub fn empty() -> Compiler {

@@ -1,52 +1,86 @@
 //! The BMv2 ("simple switch") reference software target and its STF-style
 //! test harness (paper §6.2).
 //!
-//! BMv2 executes the compiled program directly; undefined values are
-//! zero-initialised, which is the behaviour the paper calls out when asking
-//! Z3 for non-zero test inputs.
+//! BMv2 consumes the shared front/mid end's output and executes it directly;
+//! undefined values are zero-initialised, which is the behaviour the paper
+//! calls out when asking Z3 for non-zero test inputs.
 
 use crate::bugs::{BackEndBugClass, ExecutionQuirks};
 use crate::concrete::{execute_block, TableRuntime, UndefinedPolicy};
-use crate::harness::{compare_outputs, run_batch, TestOutcome, TestReport};
+use crate::harness::{compare_outputs, TestOutcome};
+use crate::target::{Artifact, LoadedArtifact, Target, TargetError};
 use p4_ir::Program;
 use p4_symbolic::TestCase;
+use p4c::Compiler;
 
-/// A loaded BMv2 instance running one compiled program.
-#[derive(Debug, Clone)]
+/// The BMv2 back end: the shared (reference) front/mid end plus the
+/// `simple_switch` execution engine, optionally seeded with a back-end
+/// defect.
+#[derive(Debug, Default)]
 pub struct Bmv2Target {
+    bug: Option<BackEndBugClass>,
+}
+
+impl Bmv2Target {
+    /// A correct BMv2 back end.
+    pub fn new() -> Bmv2Target {
+        Bmv2Target::default()
+    }
+
+    /// A BMv2 back end seeded with a back-end defect.
+    pub fn with_bug(bug: BackEndBugClass) -> Bmv2Target {
+        Bmv2Target { bug: Some(bug) }
+    }
+}
+
+impl Target for Bmv2Target {
+    fn name(&self) -> &'static str {
+        "bmv2"
+    }
+
+    fn platform_label(&self) -> &'static str {
+        "Bmv2"
+    }
+
+    fn harness(&self) -> &'static str {
+        "STF"
+    }
+
+    fn compile(&self, program: &Program) -> Result<Artifact, TargetError> {
+        let result = Compiler::reference().compile(program)?;
+        Ok(Artifact::new(Bmv2Image {
+            program: result.program,
+            quirks: ExecutionQuirks::for_bug(self.bug),
+        }))
+    }
+}
+
+/// A compiled program loaded into a BMv2 instance.
+#[derive(Debug, Clone)]
+pub struct Bmv2Image {
     program: Program,
     quirks: ExecutionQuirks,
 }
 
-impl Bmv2Target {
-    /// Loads the compiled program into a correct BMv2 instance.
-    pub fn new(program: Program) -> Bmv2Target {
-        Bmv2Target {
+impl Bmv2Image {
+    /// Loads an already-compiled program directly (bypassing the front/mid
+    /// end), e.g. for harness-level tests.
+    pub fn load(program: Program, bug: Option<BackEndBugClass>) -> Bmv2Image {
+        Bmv2Image {
             program,
-            quirks: ExecutionQuirks::default(),
+            quirks: ExecutionQuirks::for_bug(bug),
         }
     }
+}
 
-    /// Loads the program into a BMv2 instance seeded with a back-end defect.
-    pub fn with_bug(program: Program, bug: BackEndBugClass) -> Bmv2Target {
-        Bmv2Target {
-            program,
-            quirks: ExecutionQuirks::for_bug(Some(bug)),
-        }
-    }
-
-    /// The slot this target executes for end-to-end tests.
-    pub fn block(&self) -> &'static str {
-        "ingress"
-    }
-
+impl LoadedArtifact for Bmv2Image {
     /// Replays one STF test case: install the table entries, inject the
     /// packet, compare the observed output against the expectation.
-    pub fn run_test(&self, test: &TestCase) -> TestOutcome {
+    fn run_test(&self, test: &TestCase) -> TestOutcome {
         let tables = TableRuntime::new(test.table_config.clone());
         match execute_block(
             &self.program,
-            self.block(),
+            "ingress",
             &test.inputs,
             &tables,
             self.quirks,
@@ -58,25 +92,26 @@ impl Bmv2Target {
     }
 }
 
-/// The STF harness: replays a batch of tests and aggregates the report.
-pub fn run_stf(target: &Bmv2Target, tests: &[TestCase]) -> TestReport {
-    run_batch(tests, |test| target.run_test(test))
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::target::testgen_options;
     use p4_ir::builder;
-    use p4_symbolic::{generate_tests, TestGenOptions};
+    use p4_symbolic::generate_tests;
+
+    fn tests_for(target: &Bmv2Target, program: &Program) -> Vec<TestCase> {
+        generate_tests(program, &testgen_options(&target.capabilities(), 16)).unwrap()
+    }
 
     #[test]
     fn generated_tests_pass_on_the_faithful_target() {
         let (locals, apply) = builder::figure3_table_control();
         let program = builder::v1model_program(locals, apply);
-        let tests = generate_tests(&program, &TestGenOptions::default()).unwrap();
+        let target = Bmv2Target::new();
+        let tests = tests_for(&target, &program);
         assert!(!tests.is_empty());
-        let target = Bmv2Target::new(program);
-        let report = run_stf(&target, &tests);
+        let artifact = target.compile(&program).expect("compiles");
+        let report = target.run(&artifact, &tests);
         assert_eq!(
             report.passed, report.total,
             "mismatches: {:#?}",
@@ -95,11 +130,13 @@ mod tests {
                 Statement::assign(Expr::dotted(&["hdr", "h", "a"]), Expr::uint(2, 8)),
             ]),
         );
-        let tests = generate_tests(&program, &TestGenOptions::default()).unwrap();
-        let good = Bmv2Target::new(program.clone());
-        assert!(!run_stf(&good, &tests).found_semantic_bug());
-        let buggy = Bmv2Target::with_bug(program, BackEndBugClass::Bmv2ExitIgnored);
-        assert!(run_stf(&buggy, &tests).found_semantic_bug());
+        let good = Bmv2Target::new();
+        let tests = tests_for(&good, &program);
+        let artifact = good.compile(&program).expect("compiles");
+        assert!(!good.run(&artifact, &tests).found_semantic_bug());
+        let buggy = Bmv2Target::with_bug(BackEndBugClass::Bmv2ExitIgnored);
+        let artifact = buggy.compile(&program).expect("compiles");
+        assert!(buggy.run(&artifact, &tests).found_semantic_bug());
     }
 
     #[test]
@@ -112,16 +149,35 @@ mod tests {
                 rhs: Expr::uint(0x5, 4),
             }]),
         );
-        let tests = generate_tests(&program, &TestGenOptions::default()).unwrap();
-        let buggy = Bmv2Target::with_bug(program, BackEndBugClass::Bmv2SliceWritesWholeField);
+        let buggy = Bmv2Target::with_bug(BackEndBugClass::Bmv2SliceWritesWholeField);
+        let tests = tests_for(&buggy, &program);
+        let artifact = buggy.compile(&program).expect("compiles");
         // Writing the upper nibble: the correct target produces 0x5?, the
         // quirked target produces 0x05 — any input reveals the difference.
-        let report = run_stf(&buggy, &tests);
+        let report = buggy.run(&artifact, &tests);
         assert!(report.total > 0);
         assert!(
             report.found_semantic_bug(),
             "expected the slice quirk to be visible: {:#?}",
             tests
         );
+    }
+
+    /// The image can also be loaded directly with an already-compiled
+    /// program (harness-level access, bypassing the front/mid end).
+    #[test]
+    fn preloaded_image_replays_tests() {
+        let (locals, apply) = builder::figure3_table_control();
+        let program = builder::v1model_program(locals, apply);
+        let target = Bmv2Target::new();
+        let tests = tests_for(&target, &program);
+        let compiled = Compiler::reference()
+            .compile(&program)
+            .expect("compiles")
+            .program;
+        let image = Bmv2Image::load(compiled, None);
+        for test in &tests {
+            assert!(image.run_test(test).is_pass(), "test {}", test.path);
+        }
     }
 }

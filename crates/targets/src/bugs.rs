@@ -15,6 +15,16 @@ pub enum Backend {
     Tofino,
 }
 
+impl Backend {
+    /// The [`crate::registry::TargetRegistry`] name of this back end.
+    pub fn target_name(self) -> &'static str {
+        match self {
+            Backend::Bmv2 => "bmv2",
+            Backend::Tofino => "tofino",
+        }
+    }
+}
+
 /// The catalogue of seeded back-end defects.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum BackEndBugClass {
@@ -46,6 +56,14 @@ impl BackEndBugClass {
             TofinoExitIgnored,
             TofinoValidityAlwaysTrue,
         ]
+    }
+
+    /// Parses the `Debug` name of a bug class, e.g. `"Bmv2ExitIgnored"`
+    /// (used by registry spec strings such as `bmv2+Bmv2ExitIgnored`).
+    pub fn parse(name: &str) -> Option<BackEndBugClass> {
+        BackEndBugClass::all()
+            .into_iter()
+            .find(|bug| format!("{bug:?}") == name)
     }
 
     pub fn backend(self) -> Backend {
@@ -103,6 +121,14 @@ mod tests {
         assert!(all.iter().any(|b| b.backend() == Backend::Bmv2));
         assert!(all.iter().any(|b| b.backend() == Backend::Tofino));
         assert_eq!(all.iter().filter(|b| b.is_crash_class()).count(), 1);
+    }
+
+    #[test]
+    fn bug_classes_round_trip_through_parse() {
+        for bug in BackEndBugClass::all() {
+            assert_eq!(BackEndBugClass::parse(&format!("{bug:?}")), Some(bug));
+        }
+        assert_eq!(BackEndBugClass::parse("NoSuchBug"), None);
     }
 
     #[test]

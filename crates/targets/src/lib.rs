@@ -1,29 +1,48 @@
-//! # targets — simulated P4 back ends and their test frameworks
+//! # targets — simulated P4 back ends behind one `Target` trait
 //!
-//! The paper evaluates Gauntlet against two production back ends: the BMv2
+//! The paper evaluates Gauntlet against production back ends: the BMv2
 //! reference software switch (tested through STF) and the proprietary
 //! Barefoot Tofino compiler (tested through PTF against the Tofino software
 //! simulator).  Neither is available here, so this crate provides
-//! behaviour-compatible stand-ins:
+//! behaviour-compatible stand-ins — and, more importantly, the *uniform
+//! interface* the pipeline drives them through:
 //!
+//! * [`target`] — the [`Target`] trait (compile → [`Artifact`] → replay
+//!   tests), capability flags, and the shared [`drive_target`] driver that
+//!   both the detection pipeline and the reduction oracles call;
+//! * [`registry`] — the [`TargetRegistry`]: campaigns select back ends by
+//!   name (with seeded-bug injection hooks) instead of compile-time
+//!   branching;
 //! * [`bmv2`] — an open target that executes the compiled program directly
-//!   and zero-initialises undefined values, plus an STF-style harness;
+//!   and zero-initialises undefined values (STF-style harness);
 //! * [`tofino`] — a "closed-source" back end that reuses the shared
 //!   front/mid end, enforces pipeline restrictions, hides its intermediate
 //!   representation, and exposes only a PTF-style packet interface;
+//! * [`refinterp`] — the reference-interpreter target wrapping
+//!   `p4_symbolic`'s interpreter ("the model is the oracle");
 //! * [`bugs`] — the seeded back-end defect catalogue used to reproduce the
 //!   back-end rows of the paper's Tables 2 and 3;
 //! * [`concrete`] — the shared concrete execution engine (deliberately an
-//!   independent implementation from the symbolic interpreter).
+//!   independent implementation from the symbolic interpreter);
+//! * [`harness`] — test-report types and the shared batch runner.
 
 pub mod bmv2;
 pub mod bugs;
 pub mod concrete;
 pub mod harness;
+pub mod refinterp;
+pub mod registry;
+pub mod target;
 pub mod tofino;
 
-pub use bmv2::{run_stf, Bmv2Target};
+pub use bmv2::{Bmv2Image, Bmv2Target};
 pub use bugs::{BackEndBugClass, Backend, ExecutionQuirks};
 pub use concrete::{execute_block, ExecError, TableRuntime, UndefinedPolicy};
 pub use harness::{compare_outputs, run_batch, Mismatch, TestOutcome, TestReport};
-pub use tofino::{run_ptf, TofinoBackend, TofinoBinary, TofinoError};
+pub use refinterp::RefInterpTarget;
+pub use registry::{TargetCtor, TargetRegistry, UnknownTargetError};
+pub use target::{
+    drive_target, testgen_options, Artifact, LoadedArtifact, Target, TargetCaps, TargetError,
+    TargetFinding,
+};
+pub use tofino::{TofinoBackend, TofinoBinary};

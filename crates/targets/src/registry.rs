@@ -1,0 +1,209 @@
+//! The back-end registry: campaigns select targets by *name* (plus an
+//! optional seeded-bug hook) instead of compile-time branching, so adding a
+//! back end is one `register` call and zero changes to the pipeline.
+
+use crate::bmv2::Bmv2Target;
+use crate::bugs::BackEndBugClass;
+use crate::refinterp::RefInterpTarget;
+use crate::target::Target;
+use crate::tofino::TofinoBackend;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A target constructor: builds a fresh target instance, optionally seeded
+/// with a back-end defect (the bug-injection hook used by the evaluation
+/// campaign).  Returns `Err` with a reason when the target cannot model
+/// the requested defect.  Plain function pointer so registries can be
+/// rebuilt cheaply on every worker thread.
+pub type TargetCtor = fn(Option<BackEndBugClass>) -> Result<Box<dyn Target>, String>;
+
+/// Error for a name or spec the registry cannot resolve: either the name
+/// is not registered, or the target refused the requested seeded defect
+/// (`reason` carries the target's explanation).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownTargetError {
+    pub spec: String,
+    pub known: Vec<String>,
+    pub reason: Option<String>,
+}
+
+impl fmt::Display for UnknownTargetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.reason {
+            Some(reason) => write!(f, "invalid target spec `{}`: {reason}", self.spec),
+            None => write!(
+                f,
+                "unknown target spec `{}` (known targets: {})",
+                self.spec,
+                self.known.join(", ")
+            ),
+        }
+    }
+}
+
+impl std::error::Error for UnknownTargetError {}
+
+/// Name → constructor registry of available back ends.
+#[derive(Clone)]
+pub struct TargetRegistry {
+    ctors: BTreeMap<String, TargetCtor>,
+}
+
+impl TargetRegistry {
+    /// An empty registry.
+    pub fn new() -> TargetRegistry {
+        TargetRegistry {
+            ctors: BTreeMap::new(),
+        }
+    }
+
+    /// The registry of in-tree back ends: `bmv2`, `tofino`, `ref-interp`.
+    pub fn builtin() -> TargetRegistry {
+        let mut registry = TargetRegistry::new();
+        registry.register("bmv2", |bug| {
+            Ok(match bug {
+                Some(bug) => Box::new(Bmv2Target::with_bug(bug)),
+                None => Box::new(Bmv2Target::new()),
+            })
+        });
+        registry.register("tofino", |bug| {
+            Ok(match bug {
+                Some(bug) => Box::new(TofinoBackend::with_bug(bug)),
+                None => Box::new(TofinoBackend::new()),
+            })
+        });
+        registry.register("ref-interp", |bug| match bug {
+            Some(BackEndBugClass::Bmv2SliceWritesWholeField) => Err(
+                "Bmv2SliceWritesWholeField cannot be modelled as a lowering rewrite on ref-interp"
+                    .into(),
+            ),
+            Some(bug) => Ok(Box::new(RefInterpTarget::with_bug(bug))),
+            None => Ok(Box::new(RefInterpTarget::new())),
+        });
+        registry
+    }
+
+    /// Registers (or replaces) a constructor under `name`.
+    pub fn register(&mut self, name: &str, ctor: TargetCtor) {
+        self.ctors.insert(name.to_string(), ctor);
+    }
+
+    /// Registered names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        self.ctors.keys().cloned().collect()
+    }
+
+    /// Builds a correct (unseeded) target by name.
+    pub fn build(&self, name: &str) -> Result<Box<dyn Target>, UnknownTargetError> {
+        self.build_seeded(name, None)
+    }
+
+    /// Builds a target by name, seeded with an optional back-end defect.
+    /// `Err` carries either "name not registered" or the target's reason
+    /// for refusing the defect.
+    pub fn build_seeded(
+        &self,
+        name: &str,
+        bug: Option<BackEndBugClass>,
+    ) -> Result<Box<dyn Target>, UnknownTargetError> {
+        match self.ctors.get(name) {
+            Some(ctor) => ctor(bug).map_err(|reason| {
+                let spec = match bug {
+                    Some(bug) => format!("{name}+{bug:?}"),
+                    None => name.to_string(),
+                };
+                UnknownTargetError {
+                    spec,
+                    known: self.names(),
+                    reason: Some(reason),
+                }
+            }),
+            None => Err(self.unknown(name)),
+        }
+    }
+
+    /// Builds a target from a campaign spec string: either a bare name
+    /// (`"bmv2"`) or `name+BugClass` (`"bmv2+Bmv2ExitIgnored"`) to seed a
+    /// defect — the config-file form of the bug-injection hook.
+    pub fn build_spec(&self, spec: &str) -> Result<Box<dyn Target>, UnknownTargetError> {
+        match spec.split_once('+') {
+            None => self.build_seeded(spec, None),
+            Some((name, bug)) => {
+                let bug = BackEndBugClass::parse(bug).ok_or_else(|| self.unknown(spec))?;
+                self.build_seeded(name, Some(bug))
+            }
+        }
+    }
+
+    fn unknown(&self, spec: &str) -> UnknownTargetError {
+        UnknownTargetError {
+            spec: spec.to_string(),
+            known: self.names(),
+            reason: None,
+        }
+    }
+}
+
+impl Default for TargetRegistry {
+    fn default() -> Self {
+        TargetRegistry::builtin()
+    }
+}
+
+impl fmt::Debug for TargetRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TargetRegistry")
+            .field("names", &self.names())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_registry_knows_all_three_backends() {
+        let registry = TargetRegistry::builtin();
+        assert_eq!(registry.names(), vec!["bmv2", "ref-interp", "tofino"]);
+        for name in registry.names() {
+            let target = registry.build(&name).expect("builtin target builds");
+            assert_eq!(target.name(), name);
+        }
+    }
+
+    #[test]
+    fn specs_seed_bug_classes() {
+        let registry = TargetRegistry::builtin();
+        assert!(registry.build_spec("bmv2+Bmv2ExitIgnored").is_ok());
+        assert!(registry.build_spec("tofino+TofinoSaturationWraps").is_ok());
+        let err = registry.build_spec("bmv2+NoSuchBug").unwrap_err();
+        assert!(err.to_string().contains("NoSuchBug"));
+        let err = registry.build_spec("netronome").unwrap_err();
+        assert!(err.to_string().contains("netronome"), "{err}");
+        assert!(err.known.contains(&"bmv2".to_string()));
+    }
+
+    /// A defect the target cannot model is an `Err` with the target's
+    /// reason, not a panic — config errors must stay handleable.
+    #[test]
+    fn unsupported_seed_is_a_proper_error() {
+        let registry = TargetRegistry::builtin();
+        let err = registry
+            .build_spec("ref-interp+Bmv2SliceWritesWholeField")
+            .unwrap_err();
+        assert!(err.to_string().contains("cannot be modelled"), "{err}");
+        assert_eq!(err.spec, "ref-interp+Bmv2SliceWritesWholeField");
+    }
+
+    #[test]
+    fn custom_targets_can_be_registered() {
+        let mut registry = TargetRegistry::builtin();
+        // Re-register an existing name with a different constructor.
+        registry.register("bmv2", |_| {
+            Ok(Box::new(crate::tofino::TofinoBackend::new()))
+        });
+        let target = registry.build("bmv2").expect("builds");
+        assert_eq!(target.name(), "tofino");
+    }
+}

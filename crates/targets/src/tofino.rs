@@ -5,46 +5,18 @@
 //! it through undocumented proprietary passes; Gauntlet therefore cannot use
 //! translation validation and falls back to test-case generation against the
 //! Tofino software simulator (PTF).  This module reproduces that *access
-//! model*: `TofinoBackend::compile` runs the shared front/mid end plus
-//! back-end-specific restriction checks (and, when seeded, back-end bugs),
-//! and the resulting [`TofinoBinary`] exposes only a packet-level test
-//! interface — callers never see the transformed program.
+//! model*: compilation runs the shared front/mid end plus back-end-specific
+//! restriction checks (and, when seeded, back-end bugs), and the resulting
+//! [`TofinoBinary`] exposes only a packet-level test interface — callers
+//! never see the transformed program.
 
 use crate::bugs::{BackEndBugClass, ExecutionQuirks};
 use crate::concrete::{execute_block, TableRuntime, UndefinedPolicy};
-use crate::harness::{compare_outputs, run_batch, TestOutcome, TestReport};
+use crate::harness::{compare_outputs, TestOutcome};
+use crate::target::{Artifact, LoadedArtifact, Target, TargetError};
 use p4_ir::{Architecture, Expr, Program, Statement, Visitor};
 use p4_symbolic::TestCase;
-use p4c::{CompileError, Compiler};
-use std::fmt;
-
-/// Errors from the Tofino compiler.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum TofinoError {
-    /// The compiler crashed (assertion violation in a back-end pass).
-    Crash { pass: String, message: String },
-    /// The compiler rejected the program with a diagnostic.
-    Rejected { message: String },
-}
-
-impl TofinoError {
-    pub fn is_crash(&self) -> bool {
-        matches!(self, TofinoError::Crash { .. })
-    }
-}
-
-impl fmt::Display for TofinoError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            TofinoError::Crash { pass, message } => {
-                write!(f, "tofino compiler crash in `{pass}`: {message}")
-            }
-            TofinoError::Rejected { message } => write!(f, "tofino compiler error: {message}"),
-        }
-    }
-}
-
-impl std::error::Error for TofinoError {}
+use p4c::Compiler;
 
 /// The closed-source compiler.
 #[derive(Debug, Default)]
@@ -54,7 +26,7 @@ pub struct TofinoBackend {
 
 impl TofinoBackend {
     pub fn new() -> TofinoBackend {
-        TofinoBackend { bug: None }
+        TofinoBackend::default()
     }
 
     /// A back end seeded with one of the Tofino bug classes.
@@ -64,15 +36,9 @@ impl TofinoBackend {
 
     /// Compiles a program for the Tofino pipeline.  The intermediate
     /// representation is *not* exposed; only a loadable binary comes back.
-    pub fn compile(&self, program: &Program) -> Result<TofinoBinary, TofinoError> {
+    pub fn compile_binary(&self, program: &Program) -> Result<TofinoBinary, TargetError> {
         // Shared front/mid end (the real back end links against P4C).
-        let front_end = Compiler::reference();
-        let result = front_end.compile(program).map_err(|error| match error {
-            CompileError::Crash { pass, message, .. } => TofinoError::Crash { pass, message },
-            CompileError::Rejected { pass, diagnostics } => TofinoError::Rejected {
-                message: format!("{pass}: {}", diagnostics.join("; ")),
-            },
-        })?;
+        let result = Compiler::reference().compile(program)?;
         let lowered = result.program;
 
         // Back-end restriction checks.
@@ -82,7 +48,7 @@ impl TofinoBackend {
         let mut scan = BackendScan::default();
         scan.visit_program(&lowered);
         if scan.has_multiplication && !restrictions.allows_multiplication {
-            return Err(TofinoError::Rejected {
+            return Err(TargetError::Rejected {
                 message: "multiplication is not supported by the match-action pipeline".into(),
             });
         }
@@ -90,14 +56,14 @@ impl TofinoBackend {
             .widest_operand
             .filter(|w| *w > restrictions.max_operand_width)
         {
-            return Err(TofinoError::Rejected {
+            return Err(TargetError::Rejected {
                 message: format!("operand width {width} exceeds the pipeline's ALU width"),
             });
         }
         // Seeded back-end crash: the slice-lowering pass blows an assertion.
         if self.bug == Some(BackEndBugClass::TofinoSliceLoweringCrash) && scan.has_slice_assignment
         {
-            return Err(TofinoError::Crash {
+            return Err(TargetError::Crash {
                 pass: "TofinoSliceLowering".into(),
                 message: "assertion failed: unexpected slice l-value after lowering".into(),
             });
@@ -109,6 +75,24 @@ impl TofinoBackend {
     }
 }
 
+impl Target for TofinoBackend {
+    fn name(&self) -> &'static str {
+        "tofino"
+    }
+
+    fn platform_label(&self) -> &'static str {
+        "Tofino"
+    }
+
+    fn harness(&self) -> &'static str {
+        "PTF"
+    }
+
+    fn compile(&self, program: &Program) -> Result<Artifact, TargetError> {
+        self.compile_binary(program).map(Artifact::new)
+    }
+}
+
 /// A compiled Tofino image loaded into the software simulator.  The
 /// transformed program is private: callers interact through packets only.
 #[derive(Debug, Clone)]
@@ -117,9 +101,9 @@ pub struct TofinoBinary {
     quirks: ExecutionQuirks,
 }
 
-impl TofinoBinary {
+impl LoadedArtifact for TofinoBinary {
     /// Replays one PTF test case on the simulator.
-    pub fn run_test(&self, test: &TestCase) -> TestOutcome {
+    fn run_test(&self, test: &TestCase) -> TestOutcome {
         let tables = TableRuntime::new(test.table_config.clone());
         match execute_block(
             &self.program,
@@ -133,11 +117,6 @@ impl TofinoBinary {
             Err(error) => TestOutcome::Skipped(error.to_string()),
         }
     }
-}
-
-/// The PTF harness: replay a batch of generated tests against the simulator.
-pub fn run_ptf(binary: &TofinoBinary, tests: &[TestCase]) -> TestReport {
-    run_batch(tests, |test| binary.run_test(test))
 }
 
 /// Structural facts the back end checks before accepting a program.
@@ -182,8 +161,9 @@ impl Visitor for BackendScan {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::target::testgen_options;
     use p4_ir::builder;
-    use p4_symbolic::{generate_tests, TestGenOptions};
+    use p4_symbolic::generate_tests;
 
     fn tna_test_program() -> Program {
         use p4_ir::{BinOp, Block, Statement};
@@ -204,19 +184,17 @@ mod tests {
         )
     }
 
-    fn tna_testgen_options() -> TestGenOptions {
-        TestGenOptions {
-            block: "ingress".into(),
-            ..TestGenOptions::default()
-        }
+    fn tna_tests(backend: &TofinoBackend, program: &Program) -> Vec<TestCase> {
+        generate_tests(program, &testgen_options(&backend.capabilities(), 16)).unwrap()
     }
 
     #[test]
     fn correct_backend_passes_generated_tests() {
         let program = tna_test_program();
-        let tests = generate_tests(&program, &tna_testgen_options()).unwrap();
-        let binary = TofinoBackend::new().compile(&program).expect("compiles");
-        let report = run_ptf(&binary, &tests);
+        let backend = TofinoBackend::new();
+        let tests = tna_tests(&backend, &program);
+        let binary = backend.compile(&program).expect("compiles");
+        let report = backend.run(&binary, &tests);
         assert_eq!(
             report.passed, report.total,
             "mismatches: {:#?}",
@@ -227,22 +205,20 @@ mod tests {
     #[test]
     fn saturation_bug_is_detected_by_ptf_tests() {
         let program = tna_test_program();
-        let tests = generate_tests(&program, &tna_testgen_options()).unwrap();
-        let binary = TofinoBackend::with_bug(BackEndBugClass::TofinoSaturationWraps)
-            .compile(&program)
-            .expect("compiles");
-        let report = run_ptf(&binary, &tests);
+        let backend = TofinoBackend::with_bug(BackEndBugClass::TofinoSaturationWraps);
+        let tests = tna_tests(&backend, &program);
+        let binary = backend.compile(&program).expect("compiles");
+        let report = backend.run(&binary, &tests);
         assert!(report.found_semantic_bug());
     }
 
     #[test]
     fn exit_bug_is_detected_by_ptf_tests() {
         let program = tna_test_program();
-        let tests = generate_tests(&program, &tna_testgen_options()).unwrap();
-        let binary = TofinoBackend::with_bug(BackEndBugClass::TofinoExitIgnored)
-            .compile(&program)
-            .expect("compiles");
-        assert!(run_ptf(&binary, &tests).found_semantic_bug());
+        let backend = TofinoBackend::with_bug(BackEndBugClass::TofinoExitIgnored);
+        let tests = tna_tests(&backend, &program);
+        let binary = backend.compile(&program).expect("compiles");
+        assert!(backend.run(&binary, &tests).found_semantic_bug());
     }
 
     #[test]
@@ -278,7 +254,7 @@ mod tests {
             )]),
         );
         match TofinoBackend::new().compile(&program) {
-            Err(TofinoError::Rejected { message }) => assert!(message.contains("multiplication")),
+            Err(TargetError::Rejected { message }) => assert!(message.contains("multiplication")),
             other => panic!("expected a rejection, got {other:?}"),
         }
     }

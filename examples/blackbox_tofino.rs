@@ -10,7 +10,7 @@
 
 use p4_ir::print_program;
 use p4_symbolic::{generate_tests, TestGenOptions};
-use targets::{run_ptf, BackEndBugClass, TofinoBackend};
+use targets::{BackEndBugClass, Target, TofinoBackend};
 
 fn main() {
     let bug = gauntlet_core::SeededBug::BackEnd(BackEndBugClass::TofinoSaturationWraps);
@@ -43,7 +43,7 @@ fn main() {
         match backend.compile(&program) {
             Err(error) => println!("compilation failed: {error}"),
             Ok(binary) => {
-                let report = run_ptf(&binary, &tests);
+                let report = backend.run(&binary, &tests);
                 println!("{} / {} tests passed", report.passed, report.total);
                 for mismatch in &report.mismatches {
                     println!(

@@ -15,7 +15,7 @@
 //! | [`smt`] | the QF_BV solver (terms → bit-blasting → CDCL SAT) |
 //! | [`p4_symbolic`] | symbolic interpretation, equivalence, test generation (§5–6) |
 //! | [`p4_reduce`] | delta-debugging test-case reduction with pluggable bug oracles (§7) |
-//! | [`targets`] | simulated BMv2/Tofino back ends and the STF/PTF harness |
+//! | [`targets`] | the `Target` trait + registry: BMv2, Tofino, and reference-interpreter back ends |
 //! | [`gauntlet_core`] | the three techniques glued together, plus campaigns |
 //!
 //! Start with `cargo run --example quickstart`, then see the top-level

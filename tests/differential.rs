@@ -10,14 +10,14 @@
 use p4_gen::{GeneratorConfig, RandomProgramGenerator};
 use p4_symbolic::{generate_tests, TestGenOptions};
 use p4c::Compiler;
-use targets::{run_stf, Bmv2Target};
+use targets::{Bmv2Target, Target};
 
 /// For random programs: generate tests from the *input* program, compile
-/// with the reference pipeline, and replay the tests on the BMv2 target
-/// loaded with the *compiled* program.  Everything must pass.
+/// for the BMv2 target (which runs the same reference pipeline), and replay
+/// the tests on the compiled artifact.  Everything must pass.
 #[test]
 fn symbolic_expectations_match_concrete_execution_of_the_compiled_program() {
-    let compiler = Compiler::reference();
+    let target = Bmv2Target::new();
     let options = TestGenOptions {
         max_tests: 4,
         ..TestGenOptions::default()
@@ -32,12 +32,10 @@ fn symbolic_expectations_match_concrete_execution_of_the_compiled_program() {
         if tests.is_empty() {
             continue;
         }
-        let compiled = compiler
+        let artifact = target
             .compile(&program)
-            .expect("reference compiler accepts")
-            .program;
-        let target = Bmv2Target::new(compiled);
-        let report = run_stf(&target, &tests);
+            .expect("reference compiler accepts");
+        let report = target.run(&artifact, &tests);
         assert!(
             report.mismatches.is_empty(),
             "seed {seed}: compiled program disagrees with symbolic expectation: {:#?}\n{}",
@@ -113,6 +111,30 @@ fn tofino_backend_never_crashes_on_generated_tna_programs() {
                 !error.is_crash(),
                 "seed {seed}: correct Tofino back end crashed: {error}"
             ),
+        }
+    }
+}
+
+/// Every builtin registry target stays silent on random programs when
+/// unseeded: compile + replay through the uniform `Target` interface must
+/// produce no findings on a correct toolchain (the §5.2 false-alarm
+/// discipline, extended to all registered back ends).
+#[test]
+fn registry_targets_produce_no_false_alarms_on_random_programs() {
+    let gauntlet = gauntlet_core::Gauntlet::default();
+    let registry = targets::TargetRegistry::builtin();
+    for name in registry.names() {
+        let target = registry.build(&name).expect("builtin");
+        for seed in 400..408 {
+            let mut generator = RandomProgramGenerator::new(GeneratorConfig::tiny(), seed);
+            let program = generator.generate();
+            let outcome = gauntlet.check_target(&*target, &program);
+            assert!(
+                outcome.clean,
+                "seed {seed}: false alarm on correct `{name}`: {:#?}\n{}",
+                outcome.reports,
+                p4_ir::print_program(&program)
+            );
         }
     }
 }

@@ -31,31 +31,14 @@ fn random_programs_produce_no_false_alarms_on_the_reference_compiler() {
 }
 
 /// Every Figure-5-style seeded bug class is detected by its trigger program
-/// using the technique appropriate to its platform.
+/// using the technique appropriate to its platform (back-end bugs go
+/// through the registry-built `Target` trait objects).
 #[test]
 fn every_seeded_bug_class_is_detected_by_its_trigger_program() {
     let gauntlet = Gauntlet::default();
     for bug in SeededBug::catalogue() {
         let program = bug.trigger_program();
-        let reports = match bug.platform() {
-            gauntlet_core::Platform::P4c => {
-                gauntlet
-                    .check_open_compiler(&bug.build_compiler(), &program)
-                    .reports
-            }
-            gauntlet_core::Platform::Bmv2 => {
-                gauntlet
-                    .check_bmv2(&bug.build_compiler(), &program, bug.backend_bug())
-                    .reports
-            }
-            gauntlet_core::Platform::Tofino => {
-                let backend = match bug.backend_bug() {
-                    Some(b) => targets::TofinoBackend::with_bug(b),
-                    None => targets::TofinoBackend::new(),
-                };
-                gauntlet.check_tofino(&backend, &program).reports
-            }
-        };
+        let reports = bug.detect(&gauntlet, &program);
         assert!(
             !reports.is_empty(),
             "{} was not detected by its trigger program",

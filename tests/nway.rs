@@ -1,0 +1,170 @@
+//! N-way differential testgen: the acceptance contract of the unified
+//! `Target` redesign.  A campaign configured with three registry targets
+//! runs every generated test on all of them, majority-votes per output
+//! field, and attributes each divergence to the target that disagrees (or
+//! to the test-generation model when the targets are unanimous against it)
+//! — byte-identically across `--jobs` settings.
+
+use gauntlet_core::{render_table2, BugKind, Gauntlet, HuntConfig, ParallelCampaign, Platform};
+use p4_ir::{builder, Block, Expr, Statement};
+use targets::{Target, TargetRegistry};
+
+fn three_way(specs: [&str; 3]) -> Vec<Box<dyn Target>> {
+    let registry = TargetRegistry::builtin();
+    specs
+        .iter()
+        .map(|spec| registry.build_spec(spec).expect("builtin spec"))
+        .collect()
+}
+
+/// The exit trigger: a target that drops `exit` keeps executing and
+/// observes `hdr.h.a == 2` where the model expects `1`.
+fn exit_program() -> p4_ir::Program {
+    builder::v1model_program(
+        vec![],
+        Block::new(vec![
+            Statement::assign(Expr::dotted(&["hdr", "h", "a"]), Expr::uint(1, 8)),
+            Statement::Exit,
+            Statement::assign(Expr::dotted(&["hdr", "h", "a"]), Expr::uint(2, 8)),
+        ]),
+    )
+}
+
+/// A seeded backend bug in exactly one of three targets is attributed to
+/// that target — whichever of the three it is.
+#[test]
+fn seeded_bug_in_one_target_is_attributed_to_that_target() {
+    let gauntlet = Gauntlet::default();
+    let cases = [
+        (
+            ["bmv2+Bmv2ExitIgnored", "tofino", "ref-interp"],
+            "bmv2",
+            Platform::Bmv2,
+        ),
+        (
+            ["bmv2", "tofino+TofinoExitIgnored", "ref-interp"],
+            "tofino",
+            Platform::Tofino,
+        ),
+        (
+            ["bmv2", "tofino", "ref-interp+Bmv2ExitIgnored"],
+            "ref-interp",
+            Platform::RefInterp,
+        ),
+    ];
+    for (specs, culprit, platform) in cases {
+        let outcome = gauntlet.check_differential(&three_way(specs), &exit_program());
+        assert!(!outcome.clean, "{specs:?}: seeded bug not detected");
+        for report in &outcome.reports {
+            assert_eq!(
+                report.attributed_to.as_deref(),
+                Some(culprit),
+                "{specs:?}: misattributed: {report:#?}"
+            );
+            assert_eq!(report.platform, platform);
+            assert_eq!(report.kind, BugKind::Semantic);
+        }
+    }
+}
+
+/// All targets correct → all agree with the model → clean.
+#[test]
+fn all_agree_case_is_clean() {
+    let gauntlet = Gauntlet::default();
+    let outcome = gauntlet.check_differential(
+        &three_way(["bmv2", "tofino", "ref-interp"]),
+        &exit_program(),
+    );
+    assert!(outcome.clean, "{:#?}", outcome.reports);
+}
+
+/// Every target seeded with the same observable defect: the targets agree
+/// with each other and unanimously out-vote the model, so the finding is
+/// attributed to the model (i.e. the shared stages / our own oracle).
+#[test]
+fn model_vs_all_targets_disagreement_is_attributed_to_the_model() {
+    let gauntlet = Gauntlet::default();
+    let targets = three_way([
+        "bmv2+Bmv2ExitIgnored",
+        "tofino+TofinoExitIgnored",
+        "ref-interp+Bmv2ExitIgnored",
+    ]);
+    let outcome = gauntlet.check_differential(&targets, &exit_program());
+    assert_eq!(outcome.reports.len(), 1, "{:#?}", outcome.reports);
+    let report = &outcome.reports[0];
+    assert_eq!(report.attributed_to.as_deref(), Some("model"));
+    assert_eq!(report.platform, Platform::Model);
+    assert_eq!(report.kind, BugKind::Semantic);
+}
+
+/// The acceptance criterion end to end: a hunt configured with three
+/// targets (one seeded) runs 3-way differential testgen over random
+/// programs, the rendered report is byte-identical at every `--jobs`
+/// value, and `render_table2` of the summary carries the per-target
+/// attribution.
+#[test]
+fn three_way_hunt_is_byte_identical_across_jobs_and_attributes_per_target() {
+    let base = HuntConfig {
+        seed_start: 0,
+        seed_count: 30,
+        targets: vec![
+            "bmv2+Bmv2ExitIgnored".to_string(),
+            "tofino".to_string(),
+            "ref-interp".to_string(),
+        ],
+        ..HuntConfig::default()
+    };
+    let sequential = ParallelCampaign::new(HuntConfig {
+        jobs: 1,
+        ..base.clone()
+    })
+    .run(p4c::Compiler::reference);
+    let parallel =
+        ParallelCampaign::new(HuntConfig { jobs: 4, ..base }).run(p4c::Compiler::reference);
+    assert_eq!(sequential.render(), parallel.render());
+    assert_eq!(sequential.programs_checked, 30);
+
+    // The generator emits `exit` statements, so the seeded BMv2 defect
+    // must fire somewhere in 30 programs — and every finding must be
+    // pinned on bmv2 by the 3-way vote.
+    let attributed: Vec<_> = sequential
+        .outcomes
+        .iter()
+        .flat_map(|o| &o.reports)
+        .filter(|r| r.attributed_to.is_some())
+        .collect();
+    assert!(
+        !attributed.is_empty(),
+        "seeded bmv2 exit bug never fired over 30 random programs"
+    );
+    assert!(
+        attributed
+            .iter()
+            .all(|r| r.attributed_to.as_deref() == Some("bmv2")),
+        "misattributed findings: {attributed:#?}"
+    );
+
+    // Table 2 over the hunt summary shows the per-target attribution.
+    let summary = sequential.campaign_summary();
+    assert_eq!(
+        summary.by_attribution.keys().collect::<Vec<_>>(),
+        vec!["bmv2"]
+    );
+    let table = render_table2(&summary);
+    assert!(table.contains("Per-target attribution"), "{table}");
+    assert!(table.lines().any(|l| l.starts_with("bmv2")), "{table}");
+    // The render is itself deterministic across jobs.
+    assert_eq!(table, render_table2(&parallel.campaign_summary()));
+}
+
+/// An unknown target spec fails fast with the list of known targets.
+#[test]
+#[should_panic(expected = "unknown target spec")]
+fn invalid_target_spec_fails_fast() {
+    let config = HuntConfig {
+        seed_count: 1,
+        targets: vec!["netronome".to_string()],
+        ..HuntConfig::default()
+    };
+    ParallelCampaign::new(config).run(p4c::Compiler::reference);
+}

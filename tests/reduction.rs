@@ -132,9 +132,12 @@ fn testgen_oracle_reduces_a_backend_trigger() {
     let program = builder::v1model_program(vec![], Block::new(statements));
 
     let gauntlet = Gauntlet::default();
-    let outcome = gauntlet.check_bmv2(&bug.build_compiler(), &program, bug.backend_bug());
-    assert!(!outcome.clean, "padded trigger must still expose the bug");
-    let mut report = outcome.reports[0].clone();
+    let reports = bug.detect(&gauntlet, &program);
+    assert!(
+        !reports.is_empty(),
+        "padded trigger must still expose the bug"
+    );
+    let mut report = reports[0].clone();
     let target = report.dedup_key();
 
     let mut oracle = bug.oracle(gauntlet.options.max_tests);
