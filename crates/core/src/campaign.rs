@@ -17,10 +17,12 @@
 //! byte-identical regardless of thread count or schedule.
 
 use crate::bugs::{BugDatabase, BugKind, BugReport, CompilerArea, Platform};
+use crate::corpus::{Corpus, CorpusEntry};
 use crate::inject::SeededBug;
 use crate::pipeline::{Gauntlet, GauntletOptions};
-use p4_gen::{GeneratorConfig, RandomProgramGenerator};
-use p4_ir::Program;
+use p4_gen::{GeneratorConfig, RandomProgramGenerator, WeightAdapter};
+use p4_ir::{print_program, ConstructCensus, Program};
+use p4c::coverage::PassCoverage;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -86,6 +88,9 @@ pub struct CampaignReport {
     pub false_alarms: usize,
     /// Total distinct bugs detected.
     pub total_detected: usize,
+    /// Pass-rule coverage, when the producing hunt was coverage-guided
+    /// (rendered by `render_table2` as a coverage block).
+    pub coverage: Option<CoverageSummary>,
 }
 
 impl CampaignReport {
@@ -243,6 +248,7 @@ fn summarise(database: &BugDatabase) -> CampaignReport {
         by_attribution: database.count_by_attribution(),
         false_alarms: 0,
         total_detected: database.len(),
+        coverage: None,
     }
 }
 
@@ -315,6 +321,9 @@ pub struct HuntConfig {
     /// [`Gauntlet::check_differential`] across all `n` targets, with
     /// majority-vote attribution.
     pub targets: Vec<String>,
+    /// Coverage-guided hunting (the `--coverage` knob).  `None` hunts with
+    /// static weights, exactly as before.
+    pub coverage: Option<CoverageOptions>,
 }
 
 impl Default for HuntConfig {
@@ -328,7 +337,100 @@ impl Default for HuntConfig {
             incremental: true,
             reduce_reports: false,
             targets: Vec::new(),
+            coverage: None,
         }
+    }
+}
+
+/// Options for a coverage-guided hunt: the generate→compile→validate loop
+/// is closed by accumulating pass-rule coverage (`p4c::coverage`) plus the
+/// construct census of every generated program, re-deriving the generator
+/// weights from it once per epoch, and persisting coverage-advancing
+/// programs to a corpus.
+///
+/// Determinism: per-seed coverage is merged strictly in seed order at the
+/// ordered-commit point, epochs only start after the previous epoch has
+/// fully committed, and the [`WeightAdapter`] is a pure function — so
+/// coverage, corpus, and reports are byte-identical at any `--jobs`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CoverageOptions {
+    /// Seeds per adaptation epoch: weights are re-derived from accumulated
+    /// coverage every `adapt_every` committed seeds.
+    pub adapt_every: usize,
+    /// Steer generator weights toward unfired rules.  Disable to account
+    /// coverage without adapting — the unguided baseline the evaluation
+    /// compares against.
+    pub adapt: bool,
+    /// Corpus file path: loaded and replayed before generation starts (a
+    /// missing file is an empty corpus), appended with programs that newly
+    /// cover a rule, and saved back after the hunt.
+    pub corpus: Option<String>,
+}
+
+impl Default for CoverageOptions {
+    fn default() -> Self {
+        CoverageOptions {
+            adapt_every: 25,
+            adapt: true,
+            corpus: None,
+        }
+    }
+}
+
+/// The coverage block of a hunt report (deterministic across `--jobs`).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct CoverageSummary {
+    /// Sorted fired rule keys (`"pass/rule"`).
+    pub fired: Vec<String>,
+    /// Size of the rule universe (`p4c::coverage::total_rules`).
+    pub rules_total: usize,
+    /// Distinct `context/kind` construct pairs seen across all programs.
+    pub constructs_seen: usize,
+    /// Corpus size after the hunt (loaded + newly admitted).
+    pub corpus_size: usize,
+    /// Entries admitted by this hunt.
+    pub corpus_added: usize,
+    /// Coverage over time: `(programs committed, distinct rules fired)` at
+    /// each epoch boundary.
+    pub rules_over_time: Vec<(usize, usize)>,
+}
+
+impl CoverageSummary {
+    /// Number of distinct rules fired.
+    pub fn rules_fired(&self) -> usize {
+        self.fired.len()
+    }
+
+    /// Renders the coverage block (used by both `HuntReport::render` and
+    /// `render_table2`).
+    pub fn render(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "coverage: {}/{} pass-rewrite rules fired, {} construct pairs seen",
+            self.rules_fired(),
+            self.rules_total,
+            self.constructs_seen
+        );
+        let _ = writeln!(
+            out,
+            "corpus: {} program(s) ({} added this hunt)",
+            self.corpus_size, self.corpus_added
+        );
+        if !self.rules_over_time.is_empty() {
+            let trajectory: Vec<String> = self
+                .rules_over_time
+                .iter()
+                .map(|(programs, rules)| format!("{programs}:{rules}"))
+                .collect();
+            let _ = writeln!(
+                out,
+                "coverage over time (programs:rules): {}",
+                trajectory.join(" ")
+            );
+        }
+        out
     }
 }
 
@@ -365,6 +467,8 @@ pub struct HuntReport {
     /// signature-format drift between the detection pipeline and
     /// `p4-reduce`, worth investigating.
     pub reduction_failures: usize,
+    /// The coverage block (present iff [`HuntConfig::coverage`] was set).
+    pub coverage: Option<CoverageSummary>,
 }
 
 impl HuntReport {
@@ -424,6 +528,9 @@ impl HuntReport {
                 }
             }
         }
+        if let Some(coverage) = &self.coverage {
+            out.push_str(&coverage.render());
+        }
         out
     }
 
@@ -439,7 +546,61 @@ impl HuntReport {
                 database.record(report.clone());
             }
         }
-        summarise(&database)
+        let mut report = summarise(&database);
+        report.coverage = self.coverage.clone();
+        report
+    }
+}
+
+/// What one seed contributes to the commit queue.
+struct SeedResult {
+    reports: Vec<BugReport>,
+    /// Coverage observation (present iff the hunt is coverage-guided).
+    observed: Option<SeedObservation>,
+}
+
+/// The coverage a seed's program produced, captured on the worker and
+/// merged into the shared accumulator at the ordered-commit point.  The
+/// program rides along so corpus admission can print it — only the rare
+/// coverage-advancing seeds pay for rendering.
+struct SeedObservation {
+    coverage: PassCoverage,
+    census: ConstructCensus,
+    program: Program,
+}
+
+/// Coverage state guarded by the commit lock: merged strictly in seed
+/// order, so corpus admission ("did this program newly cover a rule?") is
+/// schedule-independent.
+struct GuidedCommit {
+    accum: PassCoverage,
+    census: ConstructCensus,
+    corpus: Corpus,
+    corpus_added: usize,
+    /// `(programs committed, distinct rules fired)` at each epoch boundary.
+    rules_over_time: Vec<(usize, usize)>,
+}
+
+impl GuidedCommit {
+    /// Merges one committed seed's observation; programs that newly cover a
+    /// rule are admitted to the corpus (with their *full* fired-rule set,
+    /// so the corpus fingerprint equals the union over its entries).
+    fn commit(&mut self, seed: u64, observation: SeedObservation) {
+        let newly_covers = observation
+            .coverage
+            .fired_keys()
+            .iter()
+            .any(|key| !self.accum.fired(key));
+        if newly_covers {
+            self.corpus.entries.push(CorpusEntry {
+                seed,
+                rules: observation.coverage.fired_keys(),
+                source: print_program(&observation.program),
+            });
+            self.corpus_added += 1;
+        }
+        self.accum.merge(&observation.coverage);
+        self.census.merge(&observation.census);
     }
 }
 
@@ -447,7 +608,7 @@ impl HuntReport {
 /// order and are committed strictly in task order, which makes early stop
 /// (and therefore the whole report) schedule-independent.
 struct HuntCommit {
-    pending: BTreeMap<usize, Vec<BugReport>>,
+    pending: BTreeMap<usize, SeedResult>,
     next: usize,
     committed: Vec<SeedOutcome>,
     programs_checked: usize,
@@ -455,6 +616,52 @@ struct HuntCommit {
     /// Committed findings lacking `minimized` although reduction was on.
     reduction_failures: usize,
     stopped: bool,
+    /// Coverage accumulation (present iff the hunt is coverage-guided).
+    guided: Option<GuidedCommit>,
+}
+
+impl HuntCommit {
+    /// Drains the contiguous prefix of `pending`, committing results in
+    /// strict seed order (reports, coverage merge, corpus admission, quota
+    /// early stop).
+    fn drain(&mut self, config: &HuntConfig) {
+        while !self.stopped {
+            let commit_index = self.next;
+            let Some(result) = self.pending.remove(&commit_index) else {
+                break;
+            };
+            let committed_seed = config.seed_start + self.next as u64;
+            self.next += 1;
+            self.programs_checked += 1;
+            if let Some(observation) = result.observed {
+                if let Some(guided) = &mut self.guided {
+                    guided.commit(committed_seed, observation);
+                }
+            }
+            let reports = result.reports;
+            if !reports.is_empty() {
+                self.bugs += reports.len();
+                if config.reduce_reports {
+                    // Counted over *committed* reports only, so the tally is
+                    // schedule-independent.  Differential findings are
+                    // exempt (they are never reduced).
+                    self.reduction_failures += reports
+                        .iter()
+                        .filter(|r| r.platform == Platform::P4c && r.minimized.is_none())
+                        .count();
+                }
+                self.committed.push(SeedOutcome {
+                    seed: committed_seed,
+                    reports,
+                });
+            }
+            if let Some(quota) = config.bug_quota {
+                if self.bugs >= quota {
+                    self.stopped = true;
+                }
+            }
+        }
+    }
 }
 
 /// A work-sharing campaign over a seed range: each seed deterministically
@@ -481,6 +688,13 @@ impl ParallelCampaign {
 
     /// Runs the hunt against compilers built by `factory` (each worker
     /// builds its own instance, so the compiler need not be `Sync`).
+    ///
+    /// With [`HuntConfig::coverage`] set the seed range is processed in
+    /// *epochs*: the corpus (if any) is replayed first, then each epoch's
+    /// generator weights are derived from the coverage committed by every
+    /// earlier epoch (plus the replay), and the epoch barrier guarantees
+    /// that derivation never races a straggling worker — which keeps
+    /// coverage, corpus, and reports byte-identical at any `--jobs`.
     pub fn run<F>(&self, factory: F) -> HuntReport
     where
         F: Fn() -> p4c::Compiler + Send + Sync,
@@ -499,7 +713,36 @@ impl ParallelCampaign {
         }
         let jobs = config.jobs.max(1);
         let start = std::time::Instant::now();
-        let next_task = AtomicUsize::new(0);
+
+        let guided = config.coverage.as_ref().map(|options| {
+            let corpus = match &options.corpus {
+                Some(path) => Corpus::load_or_empty(path)
+                    .unwrap_or_else(|error| panic!("cannot load corpus `{path}`: {error}")),
+                None => Corpus::default(),
+            };
+            let mut guided = GuidedCommit {
+                accum: PassCoverage::new(),
+                census: ConstructCensus::default(),
+                corpus,
+                corpus_added: 0,
+                rules_over_time: Vec::new(),
+            };
+            // Replay the corpus first (sequentially — it is small and the
+            // replay order is part of the determinism contract): every kept
+            // program re-fires its rules, warming the accumulator so the
+            // first epoch's weights already steer toward the genuinely
+            // uncovered rules.
+            let compiler = factory();
+            for entry in &guided.corpus.entries {
+                let program = p4_parser::parse_program(&entry.source)
+                    .expect("corpus entries are parse-checked on load");
+                let (_, coverage) = p4c::coverage::with_sink(|| compiler.compile(&program));
+                guided.accum.merge(&coverage);
+                guided.census.merge(&ConstructCensus::of(&program));
+            }
+            guided
+        });
+
         let commit = Mutex::new(HuntCommit {
             pending: BTreeMap::new(),
             next: 0,
@@ -508,15 +751,103 @@ impl ParallelCampaign {
             bugs: 0,
             reduction_failures: 0,
             stopped: false,
+            guided,
         });
         let processed_counts = Mutex::new(vec![0usize; jobs]);
 
+        let adapter = WeightAdapter::default();
+        let epoch_len = match &config.coverage {
+            Some(options) if options.adapt => options.adapt_every.max(1),
+            _ => config.seed_count.max(1),
+        };
+        let mut epoch_start = 0usize;
+        while epoch_start < config.seed_count {
+            // Derive this epoch's weights from everything committed so far.
+            let generator_config = {
+                let state = commit.lock().expect("hunt lock");
+                if state.stopped {
+                    break;
+                }
+                match (&config.coverage, &state.guided) {
+                    (Some(options), Some(guided)) if options.adapt => adapter.adapt(
+                        &config.generator,
+                        &guided.accum.unfired_keys(),
+                        &guided.census,
+                        epoch_start / epoch_len,
+                    ),
+                    _ => config.generator.clone(),
+                }
+            };
+            let epoch_end = (epoch_start + epoch_len).min(config.seed_count);
+            self.run_epoch(
+                epoch_start,
+                epoch_end,
+                &generator_config,
+                &factory,
+                &commit,
+                &processed_counts,
+                jobs,
+            );
+            let mut state = commit.lock().expect("hunt lock");
+            let programs_checked = state.programs_checked;
+            if let Some(guided) = &mut state.guided {
+                guided
+                    .rules_over_time
+                    .push((programs_checked, guided.accum.distinct_rules()));
+            }
+            epoch_start = epoch_end;
+        }
+
+        let state = commit.into_inner().expect("hunt lock");
+        let coverage = state.guided.map(|guided| {
+            if let Some(path) = config.coverage.as_ref().and_then(|o| o.corpus.as_ref()) {
+                guided
+                    .corpus
+                    .save(path)
+                    .unwrap_or_else(|error| panic!("cannot save corpus `{path}`: {error}"));
+            }
+            CoverageSummary {
+                fired: guided.accum.fired_keys(),
+                rules_total: p4c::coverage::total_rules(),
+                constructs_seen: guided.census.distinct(),
+                corpus_size: guided.corpus.len(),
+                corpus_added: guided.corpus_added,
+                rules_over_time: guided.rules_over_time,
+            }
+        });
+        HuntReport {
+            outcomes: state.committed,
+            programs_checked: state.programs_checked,
+            total_bugs: state.bugs,
+            elapsed: start.elapsed(),
+            per_worker: processed_counts.into_inner().expect("count lock"),
+            reduction_failures: state.reduction_failures,
+            coverage,
+        }
+    }
+
+    /// Runs the worker pool over seed indices `[epoch_start, epoch_end)`
+    /// with a fixed generator configuration, committing into the shared
+    /// ordered-commit state.  Returns once every claimed seed has been
+    /// processed (the epoch barrier).
+    #[allow(clippy::too_many_arguments)]
+    fn run_epoch<F>(
+        &self,
+        epoch_start: usize,
+        epoch_end: usize,
+        generator_config: &GeneratorConfig,
+        factory: &F,
+        commit: &Mutex<HuntCommit>,
+        processed_counts: &Mutex<Vec<usize>>,
+        jobs: usize,
+    ) where
+        F: Fn() -> p4c::Compiler + Send + Sync,
+    {
+        let config = &self.config;
+        let next_task = AtomicUsize::new(epoch_start);
         std::thread::scope(|scope| {
             for worker in 0..jobs {
-                let factory = &factory;
                 let next_task = &next_task;
-                let commit = &commit;
-                let processed_counts = &processed_counts;
                 scope.spawn(move || {
                     let gauntlet = Gauntlet::new(GauntletOptions {
                         incremental: config.incremental,
@@ -537,14 +868,26 @@ impl ParallelCampaign {
                             break;
                         }
                         let index = next_task.fetch_add(1, Ordering::Relaxed);
-                        if index >= config.seed_count {
+                        if index >= epoch_end {
                             break;
                         }
                         let seed = config.seed_start + index as u64;
                         let mut generator =
-                            RandomProgramGenerator::new(config.generator.clone(), seed);
+                            RandomProgramGenerator::new(generator_config.clone(), seed);
                         let program = generator.generate();
-                        let mut reports = gauntlet.check_open_compiler(&compiler, &program).reports;
+                        // The coverage sink wraps the open-compiler check
+                        // only: pass-rule coverage means the front/mid-end
+                        // pipeline, and a replayed corpus entry re-fires
+                        // exactly the same set through `Compiler::compile`.
+                        let (open_outcome, seed_coverage) = if config.coverage.is_some() {
+                            let (outcome, coverage) = p4c::coverage::with_sink(|| {
+                                gauntlet.check_open_compiler(&compiler, &program)
+                            });
+                            (outcome, Some(coverage))
+                        } else {
+                            (gauntlet.check_open_compiler(&compiler, &program), None)
+                        };
+                        let mut reports = open_outcome.reports;
                         if !diff_targets.is_empty() {
                             reports.extend(
                                 gauntlet.check_differential(&diff_targets, &program).reports,
@@ -574,56 +917,21 @@ impl ParallelCampaign {
                         }
                         processed += 1;
 
+                        let observed = seed_coverage.map(|coverage| SeedObservation {
+                            coverage,
+                            census: ConstructCensus::of(&program),
+                            program,
+                        });
                         let mut state = commit.lock().expect("hunt lock");
-                        state.pending.insert(index, reports);
-                        while !state.stopped {
-                            let commit_index = state.next;
-                            let Some(reports) = state.pending.remove(&commit_index) else {
-                                break;
-                            };
-                            let committed_seed = config.seed_start + state.next as u64;
-                            state.next += 1;
-                            state.programs_checked += 1;
-                            if !reports.is_empty() {
-                                state.bugs += reports.len();
-                                if config.reduce_reports {
-                                    // Counted over *committed* reports only,
-                                    // so the tally is schedule-independent.
-                                    // Differential findings are exempt (they
-                                    // are never reduced).
-                                    state.reduction_failures += reports
-                                        .iter()
-                                        .filter(|r| {
-                                            r.platform == Platform::P4c && r.minimized.is_none()
-                                        })
-                                        .count();
-                                }
-                                state.committed.push(SeedOutcome {
-                                    seed: committed_seed,
-                                    reports,
-                                });
-                            }
-                            if let Some(quota) = config.bug_quota {
-                                if state.bugs >= quota {
-                                    state.stopped = true;
-                                }
-                            }
-                        }
+                        state
+                            .pending
+                            .insert(index, SeedResult { reports, observed });
+                        state.drain(config);
                     }
-                    processed_counts.lock().expect("count lock")[worker] = processed;
+                    processed_counts.lock().expect("count lock")[worker] += processed;
                 });
             }
         });
-
-        let state = commit.into_inner().expect("hunt lock");
-        HuntReport {
-            outcomes: state.committed,
-            programs_checked: state.programs_checked,
-            total_bugs: state.bugs,
-            elapsed: start.elapsed(),
-            per_worker: processed_counts.into_inner().expect("count lock"),
-            reduction_failures: state.reduction_failures,
-        }
     }
 }
 

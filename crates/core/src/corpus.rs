@@ -1,0 +1,229 @@
+//! The persistent hunt corpus: programs that advanced pass-rule coverage.
+//!
+//! A coverage-guided hunt keeps every generated program that newly covered
+//! a rewrite rule (see `p4c::coverage`).  The corpus is replayed first on
+//! the next campaign start, so accumulated coverage — and therefore the
+//! adapted generator weights — survive across runs, the same way a fuzzing
+//! corpus seeds later sessions.
+//!
+//! Programs are persisted through the in-tree printer/parser pair (the
+//! serde shims are no-op derives in this offline environment, so the
+//! canonical `print_program` text *is* the serialized form; every entry is
+//! round-trip checked on load).  The on-disk format is line-based:
+//!
+//! ```text
+//! # gauntlet-corpus v1
+//! %% entry seed=42
+//! % rules=ConstantFolding/fold_arith,Predication/predicate_then
+//! <program text>
+//! %% end
+//! ```
+//!
+//! `rules=` records the full fired-rule set of the entry's compile, so the
+//! union over all entries is the corpus's coverage fingerprint — replaying
+//! the corpus alone must reproduce exactly that set (guarded by the plateau
+//! regression test in `tests/coverage.rs`).
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::io;
+use std::path::Path;
+
+/// One kept program.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct CorpusEntry {
+    /// The generator seed that produced the program.
+    pub seed: u64,
+    /// Every rule key (`"pass/rule"`) the program's compile fired.
+    pub rules: Vec<String>,
+    /// The printed program (parseable by `p4_parser`).
+    pub source: String,
+}
+
+/// An ordered collection of kept programs (admission order is preserved:
+/// loaded entries first, then new entries in commit order — which makes the
+/// serialized corpus byte-identical across `--jobs` settings).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Corpus {
+    pub entries: Vec<CorpusEntry>,
+}
+
+const HEADER: &str = "# gauntlet-corpus v1";
+
+impl Corpus {
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The union of every entry's fired rules, sorted and de-duplicated —
+    /// the coverage fingerprint replaying the corpus must reproduce.
+    pub fn fingerprint(&self) -> Vec<String> {
+        let set: BTreeSet<&str> = self
+            .entries
+            .iter()
+            .flat_map(|entry| entry.rules.iter().map(String::as_str))
+            .collect();
+        set.into_iter().map(String::from).collect()
+    }
+
+    /// Serializes the corpus to its text format.
+    pub fn to_text(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(out, "{HEADER}");
+        for entry in &self.entries {
+            let _ = writeln!(out, "%% entry seed={}", entry.seed);
+            let _ = writeln!(out, "% rules={}", entry.rules.join(","));
+            out.push_str(&entry.source);
+            if !entry.source.ends_with('\n') {
+                out.push('\n');
+            }
+            let _ = writeln!(out, "%% end");
+        }
+        out
+    }
+
+    /// Parses the text format, round-trip checking every program through
+    /// the parser (a corrupt entry is an error, not a silent skip — a
+    /// truncated corpus would silently lose coverage).
+    pub fn from_text(text: &str) -> Result<Corpus, String> {
+        let mut lines = text.lines();
+        match lines.next() {
+            Some(line) if line == HEADER => {}
+            other => return Err(format!("missing corpus header, found {other:?}")),
+        }
+        let mut entries = Vec::new();
+        while let Some(line) = lines.next() {
+            if line.is_empty() {
+                continue;
+            }
+            let Some(seed_text) = line.strip_prefix("%% entry seed=") else {
+                return Err(format!("expected `%% entry seed=`, found `{line}`"));
+            };
+            let seed: u64 = seed_text
+                .parse()
+                .map_err(|e| format!("bad seed `{seed_text}`: {e}"))?;
+            let rules = match lines.next() {
+                Some(rules_line) => match rules_line.strip_prefix("% rules=") {
+                    Some("") => Vec::new(),
+                    Some(list) => list.split(',').map(String::from).collect(),
+                    None => return Err(format!("expected `% rules=`, found `{rules_line}`")),
+                },
+                None => return Err("truncated corpus entry (missing rules)".into()),
+            };
+            let mut source = String::new();
+            let mut terminated = false;
+            for body_line in lines.by_ref() {
+                if body_line == "%% end" {
+                    terminated = true;
+                    break;
+                }
+                source.push_str(body_line);
+                source.push('\n');
+            }
+            if !terminated {
+                return Err(format!("truncated corpus entry for seed {seed}"));
+            }
+            if let Err(error) = p4_parser::parse_program(&source) {
+                return Err(format!(
+                    "corpus entry for seed {seed} does not parse: {error}"
+                ));
+            }
+            entries.push(CorpusEntry {
+                seed,
+                rules,
+                source,
+            });
+        }
+        Ok(Corpus { entries })
+    }
+
+    /// Loads a corpus file.  Parse failures surface as
+    /// [`io::ErrorKind::InvalidData`].
+    pub fn load(path: impl AsRef<Path>) -> io::Result<Corpus> {
+        let text = std::fs::read_to_string(path)?;
+        Corpus::from_text(&text).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+
+    /// Loads a corpus, treating a missing file as an empty corpus (a fresh
+    /// campaign) and failing fast on a corrupt one.
+    pub fn load_or_empty(path: impl AsRef<Path>) -> io::Result<Corpus> {
+        match Corpus::load(&path) {
+            Ok(corpus) => Ok(corpus),
+            Err(error) if error.kind() == io::ErrorKind::NotFound => Ok(Corpus::default()),
+            Err(error) => Err(error),
+        }
+    }
+
+    /// Writes the corpus to `path`.
+    pub fn save(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        std::fs::write(path, self.to_text())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p4_ir::{builder, print_program};
+
+    fn sample() -> Corpus {
+        Corpus {
+            entries: vec![
+                CorpusEntry {
+                    seed: 7,
+                    rules: vec![
+                        "ConstantFolding/fold_arith".into(),
+                        "FlattenBlocks/splice_block".into(),
+                    ],
+                    source: print_program(&builder::trivial_program()),
+                },
+                CorpusEntry {
+                    seed: 9,
+                    rules: vec!["ConstantFolding/fold_arith".into()],
+                    source: print_program(&builder::trivial_program()),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn corpus_round_trips_through_the_text_format() {
+        let corpus = sample();
+        let text = corpus.to_text();
+        let back = Corpus::from_text(&text).expect("round trip");
+        assert_eq!(back, corpus);
+        // Serialization is deterministic (byte-identical re-render).
+        assert_eq!(back.to_text(), text);
+    }
+
+    #[test]
+    fn fingerprint_is_the_sorted_union_of_entry_rules() {
+        assert_eq!(
+            sample().fingerprint(),
+            vec![
+                "ConstantFolding/fold_arith".to_string(),
+                "FlattenBlocks/splice_block".to_string()
+            ]
+        );
+    }
+
+    #[test]
+    fn corrupt_corpora_are_rejected() {
+        assert!(Corpus::from_text("not a corpus").is_err());
+        let mut truncated = sample().to_text();
+        truncated.truncate(truncated.len() - 8);
+        assert!(Corpus::from_text(&truncated).is_err());
+        let bad_program = format!("{HEADER}\n%% entry seed=1\n% rules=\nnot p4 at all\n%% end\n");
+        assert!(Corpus::from_text(&bad_program).is_err());
+    }
+
+    #[test]
+    fn missing_files_load_as_empty() {
+        let corpus = Corpus::load_or_empty("/nonexistent/corpus.txt").expect("missing is empty");
+        assert!(corpus.is_empty());
+    }
+}

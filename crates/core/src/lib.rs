@@ -23,15 +23,17 @@
 
 pub mod bugs;
 pub mod campaign;
+pub mod corpus;
 pub mod inject;
 pub mod pipeline;
 pub mod report;
 
 pub use bugs::{BugDatabase, BugKind, BugReport, CompilerArea, Platform, Technique};
 pub use campaign::{
-    run_campaign, CampaignConfig, CampaignReport, HuntConfig, HuntReport, ParallelCampaign,
-    SeedOutcome, SeededBugOutcome,
+    run_campaign, CampaignConfig, CampaignReport, CoverageOptions, CoverageSummary, HuntConfig,
+    HuntReport, ParallelCampaign, SeedOutcome, SeededBugOutcome,
 };
+pub use corpus::{Corpus, CorpusEntry};
 pub use inject::SeededBug;
 pub use pipeline::{Gauntlet, GauntletOptions, ProgramOutcome};
 pub use report::{render_detection_matrix, render_reduction_summary, render_table2, render_table3};

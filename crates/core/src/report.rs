@@ -51,6 +51,10 @@ pub fn render_table2(report: &CampaignReport) -> String {
             let _ = writeln!(out, "{participant:<12} {count:>8}");
         }
     }
+    if let Some(coverage) = &report.coverage {
+        let _ = writeln!(out);
+        out.push_str(&coverage.render());
+    }
     out
 }
 
@@ -239,6 +243,7 @@ mod tests {
             by_attribution: BTreeMap::new(),
             false_alarms: 0,
             total_detected: 16,
+            coverage: None,
         }
     }
 
@@ -342,6 +347,7 @@ mod tests {
             reduction_failures: 0,
             elapsed: Duration::from_secs(1),
             per_worker: vec![2],
+            coverage: None,
         };
         let text = render_reduction_summary(&hunt);
         assert!(text.contains("Semantic/SimplifyDefUse"), "{text}");

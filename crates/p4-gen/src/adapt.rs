@@ -1,0 +1,365 @@
+//! Coverage-guided weight adaptation: closes the generate→compile→validate
+//! loop.
+//!
+//! The paper steers generation by adjusting per-node-kind probabilities
+//! (§4.1) but leaves those probabilities static for the whole campaign.
+//! [`WeightAdapter`] makes them a function of accumulated feedback: given
+//! the set of compiler rewrite rules that have *never* fired (keys in
+//! `"pass/rule"` form, produced by `p4c::coverage`) and the construct
+//! census of the programs generated so far (`p4_ir::ConstructCensus`), it
+//! re-normalises [`StatementWeights`]/[`ExpressionWeights`] toward the
+//! statement and expression kinds most likely to trigger the missing rules
+//! and the construct pairs that have not been produced yet.
+//!
+//! Adaptation is a pure function of its inputs — no randomness, no clock —
+//! so a campaign that merges per-worker coverage in seed order obtains
+//! byte-identical weights (and therefore byte-identical programs) at any
+//! `--jobs` setting.  On full coverage the adapter is a fixpoint: when
+//! every rule has fired it returns the base configuration unchanged.
+
+use crate::config::{ExpressionWeights, GeneratorConfig, StatementWeights};
+use p4_ir::ConstructCensus;
+
+/// Index of each [`StatementWeights`] field, in declaration order.
+const STMT_ASSIGNMENT: usize = 0;
+const STMT_SLICE_ASSIGNMENT: usize = 1;
+const STMT_IF: usize = 2;
+const STMT_DECLARATION: usize = 3;
+const STMT_TABLE_APPLY: usize = 4;
+const STMT_ACTION_CALL: usize = 5;
+const STMT_FUNCTION_CALL: usize = 6;
+const STMT_SET_VALIDITY: usize = 7;
+const STMT_EXIT: usize = 8;
+const STMT_FIELDS: usize = StatementWeights::FIELDS;
+
+/// Index of each [`ExpressionWeights`] field, in declaration order.
+const EXPR_LITERAL: usize = 0;
+const EXPR_VARIABLE: usize = 1;
+const EXPR_ARITHMETIC: usize = 2;
+const EXPR_BITWISE: usize = 3;
+const EXPR_SHIFT: usize = 4;
+const EXPR_COMPARISON_TERNARY: usize = 5;
+const EXPR_SLICE: usize = 6;
+const EXPR_CAST: usize = 7;
+const EXPR_SATURATING: usize = 8;
+const EXPR_FIELDS: usize = ExpressionWeights::FIELDS;
+
+/// Which generator knobs make a given unfired rewrite rule more likely to
+/// fire.  Constant-folding rules need constant operands, so they all pull
+/// the `literal` expression weight up alongside their operator kind; the
+/// inlining/def-use/predication families pull the statement mix instead.
+fn rule_knobs(rule_key: &str) -> (&'static [usize], &'static [usize]) {
+    let (pass, rule) = rule_key.split_once('/').unwrap_or((rule_key, ""));
+    match pass {
+        "ConstantFolding" => match rule {
+            "fold_arith" => (&[], &[EXPR_ARITHMETIC, EXPR_LITERAL]),
+            "fold_bitwise" => (&[], &[EXPR_BITWISE, EXPR_LITERAL]),
+            "fold_shift" => (&[], &[EXPR_SHIFT, EXPR_LITERAL]),
+            "fold_compare" | "fold_ternary" => (&[], &[EXPR_COMPARISON_TERNARY, EXPR_LITERAL]),
+            "fold_cast" => (&[], &[EXPR_CAST, EXPR_LITERAL]),
+            "fold_slice" => (&[], &[EXPR_SLICE, EXPR_CAST, EXPR_LITERAL]),
+            "fold_bool" | "fold_unary" | "prune_if" => (&[STMT_IF], &[EXPR_LITERAL]),
+            _ => (&[], &[EXPR_LITERAL]),
+        },
+        "StrengthReduction" => match rule {
+            "add_zero_identity" | "mul_by_zero" | "mul_by_one" | "mul_pow2_to_shift" => {
+                (&[], &[EXPR_ARITHMETIC, EXPR_LITERAL])
+            }
+            "mask_all_ones" => (&[], &[EXPR_BITWISE, EXPR_LITERAL]),
+            "shift_by_zero" | "oversized_shift_to_zero" => (&[], &[EXPR_SHIFT, EXPR_LITERAL]),
+            _ => (&[STMT_IF], &[]),
+        },
+        "SideEffectOrdering" | "InlineFunctions" => (&[STMT_FUNCTION_CALL], &[]),
+        "RemoveActionParameters" => (&[STMT_ACTION_CALL, STMT_EXIT], &[]),
+        "SimplifyDefUse" => (&[STMT_DECLARATION], &[]),
+        "LocalCopyPropagation" => (&[STMT_DECLARATION], &[EXPR_VARIABLE]),
+        "Predication" => (&[STMT_ACTION_CALL], &[]),
+        "FlattenBlocks" => (&[STMT_IF], &[]),
+        _ => (&[], &[]),
+    }
+}
+
+/// Census `apply/<kind>` statement keys and the knob each one maps to.
+const CENSUS_STMT_KNOBS: &[(&str, usize)] = &[
+    ("apply/assign", STMT_ASSIGNMENT),
+    ("apply/slice_assign", STMT_SLICE_ASSIGNMENT),
+    ("apply/if", STMT_IF),
+    ("apply/if_else", STMT_IF),
+    ("apply/declare", STMT_DECLARATION),
+    ("apply/table_apply", STMT_TABLE_APPLY),
+    ("apply/call", STMT_ACTION_CALL),
+    ("apply/validity_call", STMT_SET_VALIDITY),
+    ("apply/exit", STMT_EXIT),
+];
+
+/// Census `apply/expr/<kind>` expression keys and their knobs.
+const CENSUS_EXPR_KNOBS: &[(&str, usize)] = &[
+    ("apply/expr/lit", EXPR_LITERAL),
+    ("apply/expr/lvalue", EXPR_VARIABLE),
+    ("apply/expr/arith", EXPR_ARITHMETIC),
+    ("apply/expr/sat_arith", EXPR_SATURATING),
+    ("apply/expr/bitwise", EXPR_BITWISE),
+    ("apply/expr/shift", EXPR_SHIFT),
+    ("apply/expr/compare", EXPR_COMPARISON_TERNARY),
+    ("apply/expr/ternary", EXPR_COMPARISON_TERNARY),
+    ("apply/expr/slice", EXPR_SLICE),
+    ("apply/expr/cast", EXPR_CAST),
+    ("apply/expr/call", EXPR_FIELDS), // handled as a statement knob below
+];
+
+/// The coverage-guided weight adapter.
+#[derive(Debug, Clone)]
+pub struct WeightAdapter {
+    /// How aggressively unfired rules pull weight toward their knobs, as a
+    /// multiple of the mean base weight per boost point.
+    pub boost: u32,
+}
+
+impl Default for WeightAdapter {
+    fn default() -> WeightAdapter {
+        WeightAdapter { boost: 3 }
+    }
+}
+
+impl WeightAdapter {
+    /// Re-normalises `base`'s weights toward the knobs mapped from
+    /// `unfired_rules` (rule keys in `"pass/rule"` form) and from census
+    /// construct pairs that have count zero.  `round` rotates the focus: a
+    /// campaign passes its epoch index, and each epoch concentrates its
+    /// boost on a different slice of the unfired rules — chasing a handful
+    /// of rules hard beats diluting the pull across all of them, and the
+    /// rotation is a pure function of `round`, preserving determinism.
+    ///
+    /// Guarantees, checked by the property tests in this crate:
+    ///
+    /// * every output weight is ≥ 1 (the chooser can never face an all-zero
+    ///   row);
+    /// * each weight group's total equals `max(base total, field count)` —
+    ///   adaptation redistributes probability mass, it never inflates it;
+    /// * with `unfired_rules` empty the output is byte-identical to `base`
+    ///   (full coverage is a fixpoint, for every `round`).
+    pub fn adapt(
+        &self,
+        base: &GeneratorConfig,
+        unfired_rules: &[String],
+        census: &ConstructCensus,
+        round: usize,
+    ) -> GeneratorConfig {
+        if unfired_rules.is_empty() {
+            return base.clone();
+        }
+        // Focus slice for this round: ~FOCUS_SIZE rules, rotating through
+        // the unfired list so every rule gets a concentrated epoch.
+        const FOCUS_SIZE: usize = 6;
+        let groups = unfired_rules.len().div_ceil(FOCUS_SIZE);
+        let group = round % groups.max(1);
+        let focus: Vec<&String> = unfired_rules
+            .iter()
+            .skip(group * FOCUS_SIZE)
+            .take(FOCUS_SIZE)
+            .collect();
+        let mut stmt_boost = [0u32; STMT_FIELDS];
+        let mut expr_boost = [0u32; EXPR_FIELDS];
+        for rule in &focus {
+            let (stmts, exprs) = rule_knobs(rule);
+            for &knob in stmts {
+                stmt_boost[knob] += 1;
+            }
+            for &knob in exprs {
+                expr_boost[knob] += 1;
+            }
+        }
+        // Construct pairs never produced so far get a secondary pull (only
+        // while rules remain unfired, preserving the fixpoint property).
+        for &(key, knob) in CENSUS_STMT_KNOBS {
+            if census.count(key) == 0 {
+                stmt_boost[knob] += 1;
+            }
+        }
+        for &(key, knob) in CENSUS_EXPR_KNOBS {
+            if census.count(key) == 0 {
+                if knob == EXPR_FIELDS {
+                    // Function-call expressions are steered by the
+                    // statement mix, not the expression mix.
+                    stmt_boost[STMT_FUNCTION_CALL] += 1;
+                } else {
+                    expr_boost[knob] += 1;
+                }
+            }
+        }
+
+        let mut adapted = base.clone();
+        adapted.statements = StatementWeights::from_array(boosted(
+            base.statements.as_array(),
+            stmt_boost,
+            self.boost,
+        ));
+        adapted.expressions = ExpressionWeights::from_array(boosted(
+            base.expressions.as_array(),
+            expr_boost,
+            self.boost,
+        ));
+        // Constant-folding and strength-reduction rules only fire on
+        // special constants (0, 1, all-ones, powers of two); the more of
+        // them sit in this round's focus, the stronger the literal bias.
+        let const_hungry = focus
+            .iter()
+            .filter(|rule| {
+                rule.starts_with("ConstantFolding/") || rule.starts_with("StrengthReduction/")
+            })
+            .count() as u32;
+        if const_hungry > 0 {
+            // Raise, never lower: a user-configured bias above the cap
+            // stays where the user put it.
+            adapted.special_literal_bias = (base.special_literal_bias + 6 * const_hungry)
+                .clamp(20, 50)
+                .max(base.special_literal_bias);
+        }
+        adapted
+    }
+}
+
+/// Applies boost points to the base weights and re-normalises so the total
+/// is preserved (and every weight stays ≥ 1).
+fn boosted<const N: usize>(base: [u32; N], boost: [u32; N], strength: u32) -> [u32; N] {
+    let base_total: u64 = base.iter().map(|&w| u64::from(w)).sum();
+    let target = base_total.max(N as u64);
+    let bump = (base_total / N as u64).max(1) * u64::from(strength.max(1));
+    let mut raw = [0u64; N];
+    for i in 0..N {
+        raw[i] = u64::from(base[i]) + u64::from(boost[i]) * bump;
+    }
+    rebalance(&mut raw, target);
+    let mut out = [0u32; N];
+    for i in 0..N {
+        out[i] = u32::try_from(raw[i]).expect("rebalanced weight fits in u32");
+    }
+    out
+}
+
+/// Scales `values` so they sum to exactly `target` with every entry ≥ 1.
+/// Deterministic: rounding residue is settled by repeatedly adjusting the
+/// largest entry (ties broken by lowest index).  Requires `target ≥ len`.
+fn rebalance(values: &mut [u64], target: u64) {
+    assert!(
+        target >= values.len() as u64,
+        "target below the per-field floor"
+    );
+    let sum: u64 = values.iter().sum();
+    for value in values.iter_mut() {
+        // `sum == 0` (all-zero input) floors every entry at 1.
+        *value = match (*value * target).checked_div(sum) {
+            Some(scaled) => scaled.max(1),
+            None => 1,
+        };
+    }
+    loop {
+        let current: u64 = values.iter().sum();
+        match current.cmp(&target) {
+            std::cmp::Ordering::Equal => return,
+            std::cmp::Ordering::Less => {
+                // Hand the whole deficit to the largest entry.
+                let index = max_index(values);
+                values[index] += target - current;
+            }
+            std::cmp::Ordering::Greater => {
+                // Shave the largest entry down to its floor if needed; with
+                // target ≥ len the loop always terminates before every
+                // entry reaches the floor.
+                let index = max_index(values);
+                let room = values[index] - 1;
+                assert!(room > 0, "rebalance floor invariant violated");
+                values[index] -= (current - target).min(room);
+            }
+        }
+    }
+}
+
+/// Index of the largest value (lowest index wins ties).
+fn max_index(values: &[u64]) -> usize {
+    let mut best = 0;
+    for (index, value) in values.iter().enumerate() {
+        if *value > values[best] {
+            best = index;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn no_census() -> ConstructCensus {
+        // An empty census reports zero for every key, which maximises the
+        // census-driven pull; fine for unit tests.
+        ConstructCensus::default()
+    }
+
+    #[test]
+    fn full_coverage_is_a_fixpoint() {
+        let base = GeneratorConfig::default();
+        let adapted = WeightAdapter::default().adapt(&base, &[], &no_census(), 0);
+        assert_eq!(adapted.statements.as_array(), base.statements.as_array());
+        assert_eq!(adapted.expressions.as_array(), base.expressions.as_array());
+    }
+
+    #[test]
+    fn unfired_shift_rules_pull_shift_weight_up() {
+        let base = GeneratorConfig::default();
+        let unfired = vec![
+            "ConstantFolding/fold_shift".to_string(),
+            "StrengthReduction/shift_by_zero".to_string(),
+        ];
+        let adapted = WeightAdapter::default().adapt(&base, &unfired, &no_census(), 0);
+        assert!(
+            adapted.expressions.shift > base.expressions.shift,
+            "shift weight should rise: {} vs {}",
+            adapted.expressions.shift,
+            base.expressions.shift
+        );
+    }
+
+    #[test]
+    fn adaptation_preserves_the_total_and_the_floor() {
+        let base = GeneratorConfig::default();
+        let unfired: Vec<String> = p4c_rule_universe();
+        let adapted = WeightAdapter::default().adapt(&base, &unfired, &no_census(), 0);
+        let base_stmt: u32 = base.statements.total();
+        let new_stmt: u32 = adapted.statements.total();
+        assert_eq!(base_stmt, new_stmt);
+        assert!(adapted.statements.as_array().iter().all(|&w| w >= 1));
+        assert!(adapted.expressions.as_array().iter().all(|&w| w >= 1));
+    }
+
+    /// A stand-in for `p4c::coverage::all_rule_keys()` (p4-gen does not
+    /// depend on p4c; the mapping only needs the key shape).
+    fn p4c_rule_universe() -> Vec<String> {
+        [
+            "ConstantFolding/fold_arith",
+            "ConstantFolding/fold_slice",
+            "StrengthReduction/mul_pow2_to_shift",
+            "SideEffectOrdering/hoist_call",
+            "InlineFunctions/inline_call",
+            "RemoveActionParameters/exit_copy_out",
+            "SimplifyDefUse/dead_store",
+            "LocalCopyPropagation/propagate",
+            "Predication/predicate_then",
+            "FlattenBlocks/splice_block",
+        ]
+        .into_iter()
+        .map(String::from)
+        .collect()
+    }
+
+    #[test]
+    fn rebalance_hits_the_target_exactly() {
+        let mut values = [100u64, 1, 1, 1];
+        rebalance(&mut values, 10);
+        assert_eq!(values.iter().sum::<u64>(), 10);
+        assert!(values.iter().all(|&v| v >= 1));
+        let mut tiny = [0u64, 0, 0];
+        rebalance(&mut tiny, 9);
+        assert_eq!(tiny.iter().sum::<u64>(), 9);
+    }
+}

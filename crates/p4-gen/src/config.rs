@@ -37,6 +37,68 @@ impl Default for StatementWeights {
     }
 }
 
+impl StatementWeights {
+    /// Number of weight fields (the length of [`StatementWeights::as_array`]).
+    pub const FIELDS: usize = 9;
+
+    /// The weights as an array in declaration order — the single source of
+    /// truth for `total`/`validate` and for the index constants the weight
+    /// adapter uses.  Keep [`StatementWeights::from_array`] its exact
+    /// inverse when adding a field.
+    pub fn as_array(&self) -> [u32; Self::FIELDS] {
+        [
+            self.assignment,
+            self.slice_assignment,
+            self.if_statement,
+            self.declaration,
+            self.table_apply,
+            self.action_call,
+            self.function_call,
+            self.set_validity,
+            self.exit,
+        ]
+    }
+
+    /// Inverse of [`StatementWeights::as_array`].
+    pub fn from_array(values: [u32; Self::FIELDS]) -> StatementWeights {
+        StatementWeights {
+            assignment: values[0],
+            slice_assignment: values[1],
+            if_statement: values[2],
+            declaration: values[3],
+            table_apply: values[4],
+            action_call: values[5],
+            function_call: values[6],
+            set_validity: values[7],
+            exit: values[8],
+        }
+    }
+
+    /// Sum of every weight.
+    pub fn total(&self) -> u32 {
+        self.as_array().iter().sum()
+    }
+
+    /// Rejects weight rows the weighted chooser cannot sample from.  The
+    /// table/action/function/if/exit kinds are offered only when the scope
+    /// provides them, so the *context-independent* kinds (assignment, slice
+    /// assignment, declaration, validity ops) must carry nonzero weight —
+    /// otherwise a statement position can face an all-zero choice list.
+    pub fn validate(&self) -> Result<(), String> {
+        let always_available =
+            self.assignment + self.slice_assignment + self.declaration + self.set_validity;
+        if always_available == 0 {
+            return Err(
+                "statement weights sum to zero over the always-available kinds \
+                 (assignment/slice_assignment/declaration/set_validity); the weighted \
+                 chooser cannot sample a statement"
+                    .into(),
+            );
+        }
+        Ok(())
+    }
+}
+
 /// Relative weights for expression kinds.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ExpressionWeights {
@@ -67,6 +129,61 @@ impl Default for ExpressionWeights {
     }
 }
 
+impl ExpressionWeights {
+    /// Number of weight fields (the length of [`ExpressionWeights::as_array`]).
+    pub const FIELDS: usize = 9;
+
+    /// The weights as an array in declaration order; see
+    /// [`StatementWeights::as_array`] for the contract.
+    pub fn as_array(&self) -> [u32; Self::FIELDS] {
+        [
+            self.literal,
+            self.variable,
+            self.arithmetic,
+            self.bitwise,
+            self.shift,
+            self.comparison_ternary,
+            self.slice,
+            self.cast,
+            self.saturating,
+        ]
+    }
+
+    /// Inverse of [`ExpressionWeights::as_array`].
+    pub fn from_array(values: [u32; Self::FIELDS]) -> ExpressionWeights {
+        ExpressionWeights {
+            literal: values[0],
+            variable: values[1],
+            arithmetic: values[2],
+            bitwise: values[3],
+            shift: values[4],
+            comparison_ternary: values[5],
+            slice: values[6],
+            cast: values[7],
+            saturating: values[8],
+        }
+    }
+
+    /// Sum of every weight.
+    pub fn total(&self) -> u32 {
+        self.as_array().iter().sum()
+    }
+
+    /// Rejects weight rows the weighted chooser cannot sample from: `slice`
+    /// is only offered for widths ≥ 2, so every other kind summing to zero
+    /// leaves narrow expression positions with an all-zero choice list.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.total() - self.slice == 0 {
+            return Err(
+                "expression weights sum to zero outside `slice`; the weighted chooser \
+                 cannot sample an expression of width 1"
+                    .into(),
+            );
+        }
+        Ok(())
+    }
+}
+
 /// Top-level generator configuration.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct GeneratorConfig {
@@ -86,6 +203,11 @@ pub struct GeneratorConfig {
     pub max_functions: usize,
     /// Maximum nesting depth of `if` statements.
     pub max_if_depth: usize,
+    /// Percent chance a generated literal is a "special" value (0, 1, the
+    /// all-ones mask, or a power of two) instead of uniform.  Identity and
+    /// strength-reduction rewrites only fire on such constants, so the
+    /// coverage-guided adapter raises this when those rules stay unfired.
+    pub special_literal_bias: u32,
     pub statements: StatementWeights,
     pub expressions: ExpressionWeights,
     /// Generate `exit` statements (needed to exercise the Figure-5f family).
@@ -113,6 +235,7 @@ impl Default for GeneratorConfig {
             max_tables: 2,
             max_functions: 2,
             max_if_depth: 2,
+            special_literal_bias: 5,
             statements: StatementWeights::default(),
             expressions: ExpressionWeights::default(),
             allow_exit: true,
@@ -125,6 +248,23 @@ impl Default for GeneratorConfig {
 }
 
 impl GeneratorConfig {
+    /// Validates the configuration; see [`StatementWeights::validate`] and
+    /// [`ExpressionWeights::validate`].  `RandomProgramGenerator::new`
+    /// enforces this at construction, so an unsatisfiable weight row fails
+    /// fast with a clear message instead of panicking (or silently
+    /// mis-sampling) deep inside the weighted chooser.
+    pub fn validate(&self) -> Result<(), String> {
+        self.statements.validate()?;
+        self.expressions.validate()?;
+        if self.max_apply_statements == 0 {
+            return Err("max_apply_statements must be at least 1".into());
+        }
+        if self.special_literal_bias > 100 {
+            return Err("special_literal_bias is a percentage (0-100)".into());
+        }
+        Ok(())
+    }
+
     /// A configuration restricted to what the (simulated) Tofino back end
     /// supports: narrower operands, no multiplications, no variable shifts.
     pub fn tofino() -> GeneratorConfig {
@@ -167,6 +307,50 @@ mod tests {
         let config = GeneratorConfig::tofino();
         assert_eq!(config.architecture, "tna");
         assert!(!config.allow_unsized_shift);
+    }
+
+    #[test]
+    fn default_configs_validate() {
+        assert!(GeneratorConfig::default().validate().is_ok());
+        assert!(GeneratorConfig::tiny().validate().is_ok());
+        assert!(GeneratorConfig::tofino().validate().is_ok());
+    }
+
+    /// The regression the chooser used to hit: a weight row where every
+    /// context-independent kind is zero is rejected up front.
+    #[test]
+    fn all_zero_weight_rows_are_rejected() {
+        let config = GeneratorConfig {
+            statements: StatementWeights {
+                assignment: 0,
+                slice_assignment: 0,
+                declaration: 0,
+                set_validity: 0,
+                // Context-dependent kinds may stay positive; they are not
+                // always on offer, so they do not rescue the row.
+                if_statement: 10,
+                table_apply: 10,
+                action_call: 10,
+                function_call: 10,
+                exit: 10,
+            },
+            ..GeneratorConfig::default()
+        };
+        assert!(config.statements.validate().is_err());
+        assert!(config.validate().is_err());
+
+        let expressions = ExpressionWeights {
+            literal: 0,
+            variable: 0,
+            arithmetic: 0,
+            bitwise: 0,
+            shift: 0,
+            comparison_ternary: 0,
+            slice: 7,
+            cast: 0,
+            saturating: 0,
+        };
+        assert!(expressions.validate().is_err());
     }
 
     #[test]

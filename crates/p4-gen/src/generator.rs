@@ -43,7 +43,17 @@ pub struct RandomProgramGenerator {
 }
 
 impl RandomProgramGenerator {
+    /// Creates a generator.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `config` fails [`GeneratorConfig::validate`] — e.g. a
+    /// weight row whose always-available kinds all carry weight 0, which
+    /// would otherwise break the weighted chooser mid-generation.
     pub fn new(config: GeneratorConfig, seed: u64) -> RandomProgramGenerator {
+        if let Err(error) = config.validate() {
+            panic!("invalid GeneratorConfig: {error}");
+        }
         let restrictions = Architecture::by_name(&config.architecture)
             .map(|a| a.restrictions)
             .unwrap_or_default();
@@ -270,17 +280,34 @@ impl RandomProgramGenerator {
         (actions, table_action_names)
     }
 
-    /// Action bodies stick to assignments and simple conditionals so they
-    /// remain valid predication targets.
+    /// Action bodies stick to assignments and simple conditionals (plain
+    /// and if/else) so they remain valid predication targets.  The
+    /// conditional probability tracks the `if_statement` weight, so the
+    /// coverage-guided adapter can push action bodies toward predication
+    /// fodder too.
     fn generate_action_statement(&mut self, scope: &[LValue]) -> Statement {
-        if self.chance(30) {
+        let weights = &self.config.statements;
+        let if_chance = (100 * weights.if_statement / weights.total().max(1)).clamp(10, 60);
+        if self.chance(if_chance) {
             let cond = self.generate_condition(scope, 1);
             let target = self.pick_writable(scope);
             let value = self.generate_expression(target.width, scope, 1);
-            Statement::if_then(
-                cond,
-                Statement::Block(Block::new(vec![Statement::assign(target.expr(), value)])),
-            )
+            let then_block =
+                Statement::Block(Block::new(vec![Statement::assign(target.expr(), value)]));
+            if self.chance(40) {
+                let else_target = self.pick_writable(scope);
+                let else_value = self.generate_expression(else_target.width, scope, 1);
+                Statement::if_else(
+                    cond,
+                    then_block,
+                    Statement::Block(Block::new(vec![Statement::assign(
+                        else_target.expr(),
+                        else_value,
+                    )])),
+                )
+            } else {
+                Statement::if_then(cond, then_block)
+            }
         } else {
             let target = self.pick_writable(scope);
             let value =
@@ -730,6 +757,19 @@ impl RandomProgramGenerator {
     }
 
     fn literal(&mut self, width: u32) -> Expr {
+        // Identity/strength-reduction fodder: rewrites like `x + 0`,
+        // `x * 2^k`, or `x & ~0` only fire on these shapes, which a uniform
+        // draw essentially never produces at wider widths.
+        if self.config.special_literal_bias > 0 && self.chance(self.config.special_literal_bias) {
+            let all_ones = p4_ir::max_unsigned(width);
+            let value = match self.pick(4) {
+                0 => 0,
+                1 => 1,
+                2 => all_ones,
+                _ => 1u128 << self.rng.gen_range(0..width.min(16)),
+            };
+            return Expr::uint(value & all_ones, width);
+        }
         let max = p4_ir::max_unsigned(width.min(64));
         let value = u128::from(self.rng.gen_range(0..=max.min(u128::from(u64::MAX)) as u64));
         Expr::uint(value & p4_ir::max_unsigned(width), width)
@@ -818,6 +858,26 @@ mod tests {
         assert!(saw_if, "no generated program branched");
         assert!(saw_call, "no generated program called a function or action");
         assert!(saw_slice, "no generated program used slices");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid GeneratorConfig")]
+    fn zero_weight_configs_are_rejected_at_construction() {
+        let config = GeneratorConfig {
+            statements: crate::config::StatementWeights {
+                assignment: 0,
+                slice_assignment: 0,
+                if_statement: 0,
+                declaration: 0,
+                table_apply: 0,
+                action_call: 0,
+                function_call: 0,
+                set_validity: 0,
+                exit: 0,
+            },
+            ..GeneratorConfig::default()
+        };
+        let _ = RandomProgramGenerator::new(config, 0);
     }
 
     #[test]

@@ -7,8 +7,10 @@
 //! and it can be specialised per back end (v1model vs the restricted TNA
 //! model), mirroring §4.2.
 
+pub mod adapt;
 pub mod config;
 pub mod generator;
 
+pub use adapt::WeightAdapter;
 pub use config::{ExpressionWeights, GeneratorConfig, StatementWeights};
 pub use generator::RandomProgramGenerator;

@@ -1,0 +1,254 @@
+//! Construct census: fingerprints a program by which statement and
+//! expression kinds appear in which context.
+//!
+//! The coverage-guided campaign needs to know not only which compiler
+//! rewrite rules fired but also which program shapes the generator actually
+//! produced — a `slice_assign` inside an action body exercises predication
+//! very differently from the same statement in the apply block.  The census
+//! counts `kind × context` pairs (context being `apply`, `action`,
+//! `function`, `control` locals, or `parser`), giving the weight adapter a
+//! cheap, deterministic fingerprint of construct diversity.
+
+use crate::ast::{
+    ActionDecl, BinOp, ControlDecl, Expr, FunctionDecl, ParserDecl, Program, Statement, TableDecl,
+};
+use crate::visit::{walk_block, walk_expr, walk_parser, walk_statement, Visitor};
+use std::collections::BTreeMap;
+
+/// Counts of `context/kind` construct pairs (statements) and
+/// `context/expr/kind` pairs (expressions).
+#[derive(Debug, Clone, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct ConstructCensus {
+    counts: BTreeMap<String, u64>,
+}
+
+impl ConstructCensus {
+    /// Takes the census of a whole program.
+    pub fn of(program: &Program) -> ConstructCensus {
+        let mut visitor = CensusVisitor {
+            census: ConstructCensus::default(),
+            context: "top",
+        };
+        visitor.visit_program(program);
+        visitor.census
+    }
+
+    fn bump(&mut self, context: &str, kind: &str) {
+        *self.counts.entry(format!("{context}/{kind}")).or_insert(0) += 1;
+    }
+
+    /// Adds every counter of `other` into `self` (commutative).
+    pub fn merge(&mut self, other: &ConstructCensus) {
+        for (key, count) in &other.counts {
+            *self.counts.entry(key.clone()).or_insert(0) += count;
+        }
+    }
+
+    /// Number of distinct `context/kind` pairs seen.
+    pub fn distinct(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Count for one `context/kind` key.
+    pub fn count(&self, key: &str) -> u64 {
+        self.counts.get(key).copied().unwrap_or(0)
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// Iterates `(key, count)` in sorted key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counts.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+}
+
+struct CensusVisitor {
+    census: ConstructCensus,
+    context: &'static str,
+}
+
+fn statement_kind(stmt: &Statement) -> Option<&'static str> {
+    Some(match stmt {
+        Statement::Assign { lhs, .. } => {
+            if matches!(lhs, Expr::Slice { .. }) {
+                "slice_assign"
+            } else {
+                "assign"
+            }
+        }
+        Statement::Call(call) => match call.target.last().map(String::as_str) {
+            Some("apply") => "table_apply",
+            Some("setValid") | Some("setInvalid") => "validity_call",
+            _ => "call",
+        },
+        Statement::If {
+            else_branch: Some(_),
+            ..
+        } => "if_else",
+        Statement::If { .. } => "if",
+        Statement::Block(_) => "block",
+        Statement::Declare { .. } => "declare",
+        Statement::Constant { .. } => "const",
+        Statement::Return(_) => "return",
+        Statement::Exit => "exit",
+        Statement::Empty => return None,
+    })
+}
+
+fn expression_kind(expr: &Expr) -> Option<&'static str> {
+    Some(match expr {
+        Expr::Int { .. } => "expr/lit",
+        Expr::Bool(_) => "expr/bool",
+        Expr::Path(_) | Expr::Member { .. } => "expr/lvalue",
+        Expr::Slice { .. } => "expr/slice",
+        Expr::Cast { .. } => "expr/cast",
+        Expr::Unary { .. } => "expr/unary",
+        Expr::Ternary { .. } => "expr/ternary",
+        Expr::Call(_) => "expr/call",
+        Expr::Binary { op, .. } => match op {
+            BinOp::Add | BinOp::Sub | BinOp::Mul => "expr/arith",
+            BinOp::SatAdd | BinOp::SatSub => "expr/sat_arith",
+            BinOp::BitAnd | BinOp::BitOr | BinOp::BitXor => "expr/bitwise",
+            BinOp::Shl | BinOp::Shr => "expr/shift",
+            BinOp::Concat => "expr/concat",
+            BinOp::And | BinOp::Or => "expr/logic",
+            BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => "expr/compare",
+        },
+    })
+}
+
+impl Visitor for CensusVisitor {
+    fn visit_control(&mut self, control: &ControlDecl) {
+        for local in &control.locals {
+            self.context = "control";
+            self.visit_declaration(local);
+        }
+        self.context = "apply";
+        self.visit_block(&control.apply);
+        self.context = "top";
+    }
+
+    fn visit_action(&mut self, action: &ActionDecl) {
+        let previous = self.context;
+        self.context = "action";
+        walk_block(self, &action.body);
+        self.context = previous;
+    }
+
+    fn visit_function(&mut self, function: &FunctionDecl) {
+        let previous = self.context;
+        self.context = "function";
+        walk_block(self, &function.body);
+        self.context = previous;
+    }
+
+    fn visit_parser(&mut self, parser: &ParserDecl) {
+        let previous = self.context;
+        self.context = "parser";
+        walk_parser(self, parser);
+        self.context = previous;
+    }
+
+    fn visit_table(&mut self, table: &TableDecl) {
+        self.census.bump(self.context, "table");
+        for key in &table.keys {
+            self.visit_expr(&key.expr);
+        }
+    }
+
+    fn visit_statement(&mut self, stmt: &Statement) {
+        if let Some(kind) = statement_kind(stmt) {
+            self.census.bump(self.context, kind);
+        }
+        walk_statement(self, stmt);
+    }
+
+    fn visit_expr(&mut self, expr: &Expr) {
+        if let Some(kind) = expression_kind(expr) {
+            self.census.bump(self.context, kind);
+        }
+        walk_expr(self, expr);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{Block, Declaration};
+    use crate::builder;
+    use crate::types::Type;
+
+    #[test]
+    fn census_distinguishes_contexts() {
+        let action = ActionDecl {
+            name: "a".into(),
+            params: vec![],
+            body: Block::new(vec![Statement::assign(
+                Expr::dotted(&["hdr", "h", "a"]),
+                Expr::uint(1, 8),
+            )]),
+        };
+        let program = builder::v1model_program(
+            vec![Declaration::Action(action)],
+            Block::new(vec![Statement::if_then(
+                Expr::binary(
+                    BinOp::Eq,
+                    Expr::dotted(&["hdr", "h", "a"]),
+                    Expr::uint(0, 8),
+                ),
+                Statement::Block(Block::new(vec![Statement::assign(
+                    Expr::dotted(&["hdr", "h", "b"]),
+                    Expr::uint(2, 8),
+                )])),
+            )]),
+        );
+        let census = ConstructCensus::of(&program);
+        assert_eq!(census.count("action/assign"), 1);
+        assert_eq!(census.count("apply/if"), 1);
+        assert_eq!(census.count("apply/assign"), 1);
+        assert!(census.count("apply/expr/compare") >= 1);
+        assert_eq!(census.count("action/if"), 0);
+    }
+
+    #[test]
+    fn census_counts_slice_assignments_and_exits() {
+        let program = builder::v1model_program(
+            vec![],
+            Block::new(vec![
+                Statement::Assign {
+                    lhs: Expr::slice(Expr::dotted(&["hdr", "h", "a"]), 3, 0),
+                    rhs: Expr::uint(1, 4),
+                },
+                Statement::Exit,
+            ]),
+        );
+        let census = ConstructCensus::of(&program);
+        assert_eq!(census.count("apply/slice_assign"), 1);
+        assert_eq!(census.count("apply/exit"), 1);
+    }
+
+    #[test]
+    fn merge_is_commutative() {
+        let a = ConstructCensus::of(&builder::trivial_program());
+        let mut program = builder::trivial_program();
+        program
+            .control_mut("ingress_impl")
+            .unwrap()
+            .apply
+            .statements
+            .push(Statement::Declare {
+                name: "v".into(),
+                ty: Type::bits(8),
+                init: Some(Expr::uint(1, 8)),
+            });
+        let b = ConstructCensus::of(&program);
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert!(ab.count("apply/declare") >= 1);
+    }
+}

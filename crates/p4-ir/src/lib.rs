@@ -14,6 +14,7 @@
 pub mod arch;
 pub mod ast;
 pub mod builder;
+pub mod census;
 pub mod env;
 pub mod printer;
 pub mod types;
@@ -25,6 +26,7 @@ pub use ast::{
     Field, FunctionDecl, HeaderDecl, KeyElement, PackageInstance, ParserDecl, ParserState, Program,
     SelectCase, Statement, StructDecl, TableDecl, Transition, TypedefDecl, UnOp,
 };
+pub use census::ConstructCensus;
 pub use env::{type_of, Aggregate, AggregateKind, Scope, TypeEnv};
 pub use printer::{print_expr, print_program, print_statement};
 pub use types::{max_unsigned, truncate, Direction, MatchKind, Param, Type};

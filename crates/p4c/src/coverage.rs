@@ -1,0 +1,313 @@
+//! Pass-rewrite coverage: which optimisation rules actually fired.
+//!
+//! The paper steers its random generator with per-node-kind probabilities so
+//! programs stay "small and targeted" (§4.1), but offers no feedback signal
+//! telling the campaign *which* compiler behaviour a batch of programs
+//! exercised.  This module provides that signal: every rewrite rule in the
+//! reference passes reports each firing through [`record`], and the compiler
+//! driver threads a lightweight sink through the pipeline so each compile
+//! yields a [`PassCoverage`] counter map (attached to
+//! [`crate::CompileResult::coverage`]).
+//!
+//! The sink is a thread-local installed by [`Scope`] (the driver) or
+//! [`with_sink`] (campaign engines that also want coverage from *crashing*
+//! compiles — a pass fires rules before it panics, and those firings are
+//! already in the sink when `catch_unwind` returns).  Recording is a no-op
+//! when no sink is installed, so the passes pay one thread-local read per
+//! fired rewrite and nothing else.
+//!
+//! The full rule universe is enumerated statically in [`ALL_RULES`]; the
+//! campaign layer uses it to report "rules fired / total" and to steer
+//! generator weights toward rules that have never fired.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+
+/// Every instrumented rewrite rule, grouped by pass.  The campaign layer
+/// treats this as the coverage universe; [`record`] debug-asserts that each
+/// firing names a registered rule so the two cannot drift apart.
+pub const ALL_RULES: &[(&str, &[&str])] = &[
+    (
+        "ConstantFolding",
+        &[
+            "fold_arith",
+            "fold_bitwise",
+            "fold_shift",
+            "fold_concat",
+            "fold_compare",
+            "fold_bool",
+            "fold_unary",
+            "fold_cast",
+            "fold_slice",
+            "fold_ternary",
+            "prune_if",
+        ],
+    ),
+    (
+        "StrengthReduction",
+        &[
+            "add_zero_identity",
+            "mul_by_zero",
+            "mul_by_one",
+            "mul_pow2_to_shift",
+            "mask_all_ones",
+            "shift_by_zero",
+            "oversized_shift_to_zero",
+            "bool_identity",
+            "double_negation",
+        ],
+    ),
+    ("SideEffectOrdering", &["hoist_call"]),
+    (
+        "InlineFunctions",
+        &["inline_call", "guarded_return", "copy_out", "exit_copy_out"],
+    ),
+    (
+        "RemoveActionParameters",
+        &[
+            "inline_call",
+            "guarded_return",
+            "copy_out",
+            "exit_copy_out",
+            "prune_action",
+        ],
+    ),
+    (
+        "SimplifyDefUse",
+        &["dead_store", "dead_declare", "drop_control_var"],
+    ),
+    ("LocalCopyPropagation", &["propagate"]),
+    ("Predication", &["predicate_then", "predicate_if_else"]),
+    (
+        "FlattenBlocks",
+        &["splice_block", "drop_empty_statement", "drop_empty_else"],
+    ),
+];
+
+/// Number of rules in the static registry (the denominator of
+/// "rules fired / total").
+pub fn total_rules() -> usize {
+    ALL_RULES.iter().map(|(_, rules)| rules.len()).sum()
+}
+
+/// The canonical flat key of a rule: `"pass/rule"`.
+pub fn rule_key(pass: &str, rule: &str) -> String {
+    format!("{pass}/{rule}")
+}
+
+/// All registered rule keys, sorted (BTreeMap order of [`ALL_RULES`] is
+/// already deterministic, but callers get a plain sorted list).
+pub fn all_rule_keys() -> Vec<String> {
+    let mut keys: Vec<String> = ALL_RULES
+        .iter()
+        .flat_map(|(pass, rules)| rules.iter().map(|rule| rule_key(pass, rule)))
+        .collect();
+    keys.sort();
+    keys
+}
+
+/// Fired-rewrite counters: `"pass/rule"` → number of firings.
+#[derive(Debug, Clone, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct PassCoverage {
+    counts: BTreeMap<String, u64>,
+}
+
+impl PassCoverage {
+    pub fn new() -> PassCoverage {
+        PassCoverage::default()
+    }
+
+    /// Increments the counter for one rule firing.
+    pub fn record(&mut self, pass: &str, rule: &str) {
+        *self.counts.entry(rule_key(pass, rule)).or_insert(0) += 1;
+    }
+
+    /// Adds every counter of `other` into `self` (commutative, so the
+    /// campaign may merge per-seed maps in any order and still commit a
+    /// deterministic accumulated map).
+    pub fn merge(&mut self, other: &PassCoverage) {
+        for (key, count) in &other.counts {
+            *self.counts.entry(key.clone()).or_insert(0) += count;
+        }
+    }
+
+    /// Number of distinct rules that fired at least once.
+    pub fn distinct_rules(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Firing count of one rule key (`"pass/rule"`).
+    pub fn count(&self, key: &str) -> u64 {
+        self.counts.get(key).copied().unwrap_or(0)
+    }
+
+    /// Whether the given rule key has fired.
+    pub fn fired(&self, key: &str) -> bool {
+        self.counts.contains_key(key)
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// Iterates `(rule key, firings)` in sorted key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counts.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// The sorted fired-rule keys.
+    pub fn fired_keys(&self) -> Vec<String> {
+        self.counts.keys().cloned().collect()
+    }
+
+    /// Registered rules that have *not* fired, in sorted key order.
+    pub fn unfired_keys(&self) -> Vec<String> {
+        all_rule_keys()
+            .into_iter()
+            .filter(|key| !self.fired(key))
+            .collect()
+    }
+}
+
+thread_local! {
+    /// The active sink stack.  A stack (rather than a single slot) lets the
+    /// driver's per-compile scope nest inside a campaign's [`with_sink`]
+    /// without either clobbering the other: on pop, the inner scope merges
+    /// its counters into the enclosing sink.
+    static SINKS: RefCell<Vec<PassCoverage>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Records one rule firing into the innermost active sink, if any.  Called
+/// by the passes at every rewrite point.
+pub fn record(pass: &str, rule: &str) {
+    debug_assert!(
+        ALL_RULES
+            .iter()
+            .any(|(p, rules)| *p == pass && rules.contains(&rule)),
+        "unregistered coverage rule {pass}/{rule}; add it to coverage::ALL_RULES"
+    );
+    SINKS.with(|sinks| {
+        if let Some(sink) = sinks.borrow_mut().last_mut() {
+            sink.record(pass, rule);
+        }
+    });
+}
+
+/// A per-compile coverage scope, installed by the compiler driver around the
+/// pass pipeline.  Dropping the scope without [`Scope::finish`] (e.g. when a
+/// pass panic unwinds through the driver) still pops the sink and merges it
+/// outward, so enclosing [`with_sink`] callers observe the rules a crashing
+/// pass fired before dying.
+#[derive(Debug)]
+pub struct Scope {
+    finished: bool,
+}
+
+impl Scope {
+    /// Pushes a fresh sink.
+    pub fn begin() -> Scope {
+        SINKS.with(|sinks| sinks.borrow_mut().push(PassCoverage::new()));
+        Scope { finished: false }
+    }
+
+    /// Pops the sink, merging its counters into the enclosing sink (if any),
+    /// and returns them.
+    pub fn finish(mut self) -> PassCoverage {
+        self.finished = true;
+        Scope::pop()
+    }
+
+    fn pop() -> PassCoverage {
+        SINKS.with(|sinks| {
+            let mut sinks = sinks.borrow_mut();
+            let coverage = sinks.pop().expect("coverage scope underflow");
+            if let Some(parent) = sinks.last_mut() {
+                parent.merge(&coverage);
+            }
+            coverage
+        })
+    }
+}
+
+impl Drop for Scope {
+    fn drop(&mut self) {
+        if !self.finished {
+            let _ = Scope::pop();
+        }
+    }
+}
+
+/// Runs `f` with a fresh sink installed and returns its result together with
+/// every rule fired while it ran — including firings from compiles that
+/// ended in a crash (the driver's inner scope merges outward on unwind).
+pub fn with_sink<R>(f: impl FnOnce() -> R) -> (R, PassCoverage) {
+    let scope = Scope::begin();
+    let result = f();
+    (result, scope.finish())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recording_without_a_sink_is_a_no_op() {
+        record("ConstantFolding", "fold_arith");
+        let (_, coverage) = with_sink(|| ());
+        assert!(coverage.is_empty());
+    }
+
+    #[test]
+    fn with_sink_collects_and_nested_scopes_merge_outward() {
+        let ((), outer) = with_sink(|| {
+            record("ConstantFolding", "fold_arith");
+            let scope = Scope::begin();
+            record("Predication", "predicate_then");
+            let inner = scope.finish();
+            assert_eq!(inner.distinct_rules(), 1);
+            assert_eq!(inner.count("Predication/predicate_then"), 1);
+        });
+        assert_eq!(outer.distinct_rules(), 2);
+        assert_eq!(outer.count("ConstantFolding/fold_arith"), 1);
+        assert_eq!(outer.count("Predication/predicate_then"), 1);
+    }
+
+    #[test]
+    fn scope_drop_on_unwind_still_merges_outward() {
+        let (result, coverage) = with_sink(|| {
+            std::panic::catch_unwind(|| {
+                let _scope = Scope::begin();
+                record("FlattenBlocks", "splice_block");
+                panic!("pass bug");
+            })
+        });
+        assert!(result.is_err());
+        assert_eq!(coverage.count("FlattenBlocks/splice_block"), 1);
+    }
+
+    #[test]
+    fn merge_sums_counters_commutatively() {
+        let mut a = PassCoverage::new();
+        a.record("ConstantFolding", "fold_arith");
+        a.record("ConstantFolding", "fold_arith");
+        let mut b = PassCoverage::new();
+        b.record("ConstantFolding", "fold_arith");
+        b.record("FlattenBlocks", "drop_empty_else");
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.count("ConstantFolding/fold_arith"), 3);
+        assert_eq!(ab.distinct_rules(), 2);
+    }
+
+    #[test]
+    fn unfired_keys_complement_fired_keys() {
+        let mut coverage = PassCoverage::new();
+        coverage.record("Predication", "predicate_then");
+        let unfired = coverage.unfired_keys();
+        assert_eq!(unfired.len(), total_rules() - 1);
+        assert!(!unfired.contains(&"Predication/predicate_then".to_string()));
+    }
+}

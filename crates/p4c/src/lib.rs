@@ -13,14 +13,20 @@
 //!   predication, block flattening);
 //! * a seeded-bug catalogue in [`buggy`] with one faulty pass variant per
 //!   miscompilation class described in the paper's §7.2 / Figure 5, used by
-//!   the evaluation harness to measure Gauntlet's detection ability.
+//!   the evaluation harness to measure Gauntlet's detection ability;
+//! * a rewrite-rule [`coverage`] subsystem: every optimisation rule reports
+//!   its firings through a lightweight sink threaded through the driver, so
+//!   campaigns can close the generate→compile→validate loop and steer the
+//!   program generator toward rules that have never fired.
 
 pub mod buggy;
+pub mod coverage;
 pub mod error;
 pub mod pass;
 pub mod passes;
 
 pub use buggy::FrontEndBugClass;
+pub use coverage::PassCoverage;
 pub use error::{CompileError, Diagnostic};
 pub use pass::{
     program_hash, CompileOptions, CompileResult, Compiler, Pass, PassArea, PassSnapshot,

@@ -72,6 +72,9 @@ pub struct CompileResult {
     pub program: Program,
     /// Names of passes that ran but did not modify the program.
     pub unchanged_passes: Vec<String>,
+    /// Which rewrite rules fired during this compile (see
+    /// [`crate::coverage`]).
+    pub coverage: crate::coverage::PassCoverage,
 }
 
 impl CompileResult {
@@ -177,7 +180,21 @@ impl Compiler {
     }
 
     /// Runs the pipeline on `program`.
+    ///
+    /// A fresh [`crate::coverage`] sink is threaded through the pass
+    /// pipeline: rules fired by the passes land in
+    /// [`CompileResult::coverage`], and — because the scope merges outward
+    /// on unwind — in any enclosing [`crate::coverage::with_sink`] even
+    /// when a pass crashes.
     pub fn compile(&self, program: &Program) -> Result<CompileResult, CompileError> {
+        let scope = crate::coverage::Scope::begin();
+        self.compile_inner(program).map(|mut result| {
+            result.coverage = scope.finish();
+            result
+        })
+    }
+
+    fn compile_inner(&self, program: &Program) -> Result<CompileResult, CompileError> {
         if self.options.type_check_input {
             let errors = p4_check::check_program(program);
             if !errors.is_empty() {
@@ -244,6 +261,7 @@ impl Compiler {
             snapshots,
             program: current,
             unchanged_passes: unchanged,
+            coverage: crate::coverage::PassCoverage::new(),
         })
     }
 }
@@ -362,6 +380,43 @@ mod tests {
         assert!(compiler.remove_pass("Nop"));
         assert!(!compiler.remove_pass("Nop"));
         assert!(!compiler.replace_pass(Box::new(NopPass)));
+    }
+
+    /// The driver threads a coverage sink through the pipeline: a compile
+    /// of a program with foldable constants reports the fired rule in
+    /// `CompileResult::coverage`.
+    #[test]
+    fn compile_attaches_pass_rule_coverage() {
+        use p4_ir::{BinOp, Expr};
+        let mut program = builder::trivial_program();
+        if let Some(control) = program.control_mut("ingress_impl") {
+            control.apply.statements.push(p4_ir::Statement::assign(
+                Expr::dotted(&["hdr", "h", "a"]),
+                Expr::binary(BinOp::Add, Expr::uint(1, 8), Expr::uint(2, 8)),
+            ));
+        }
+        let result = Compiler::reference().compile(&program).unwrap();
+        assert!(result.coverage.count("ConstantFolding/fold_arith") >= 1);
+    }
+
+    /// Rules fired before a pass crashes are still observable through an
+    /// enclosing `coverage::with_sink` (the driver's scope merges outward on
+    /// unwind).
+    #[test]
+    fn crash_coverage_merges_into_the_enclosing_sink() {
+        use p4_ir::{BinOp, Expr};
+        let mut program = builder::trivial_program();
+        if let Some(control) = program.control_mut("ingress_impl") {
+            control.apply.statements.push(p4_ir::Statement::assign(
+                Expr::dotted(&["hdr", "h", "a"]),
+                Expr::binary(BinOp::Add, Expr::uint(1, 8), Expr::uint(2, 8)),
+            ));
+        }
+        let mut compiler = Compiler::reference();
+        compiler.add_pass(Box::new(PanickingPass));
+        let (result, coverage) = crate::coverage::with_sink(|| compiler.compile(&program));
+        assert!(matches!(result, Err(CompileError::Crash { .. })));
+        assert!(coverage.count("ConstantFolding/fold_arith") >= 1);
     }
 
     #[test]

@@ -5,10 +5,13 @@
 //! shifts by amounts ≥ N produce 0, and unsized integer literals adopt the
 //! width of the sized operand they are combined with.
 
+use crate::coverage;
 use crate::error::Diagnostic;
 use crate::pass::{Pass, PassArea};
 use p4_ir::visit::{mutate_walk_expr, mutate_walk_statement};
 use p4_ir::{truncate, BinOp, Expr, Mutator, Program, Statement, Type, UnOp};
+
+const PASS: &str = "ConstantFolding";
 
 /// The constant-folding pass.
 #[derive(Debug, Default)]
@@ -49,6 +52,13 @@ fn as_const(expr: &Expr) -> Option<Const> {
     }
 }
 
+/// Records the fired rule and returns the replacement (every rewrite in
+/// this pass funnels through here).
+fn fired(rule: &'static str, replacement: Expr) -> Option<Expr> {
+    coverage::record(PASS, rule);
+    Some(replacement)
+}
+
 fn make_int(value: u128, width: Option<u32>) -> Expr {
     match width {
         Some(w) => Expr::uint(value, w),
@@ -67,10 +77,10 @@ impl Folder {
     fn fold_binary(&self, op: BinOp, left: &Expr, right: &Expr) -> Option<Expr> {
         let (lc, rc) = (as_const(left)?, as_const(right)?);
         match (op, lc, rc) {
-            (BinOp::And, Const::Bool(a), Const::Bool(b)) => Some(Expr::Bool(a && b)),
-            (BinOp::Or, Const::Bool(a), Const::Bool(b)) => Some(Expr::Bool(a || b)),
-            (BinOp::Eq, Const::Bool(a), Const::Bool(b)) => Some(Expr::Bool(a == b)),
-            (BinOp::Ne, Const::Bool(a), Const::Bool(b)) => Some(Expr::Bool(a != b)),
+            (BinOp::And, Const::Bool(a), Const::Bool(b)) => fired("fold_bool", Expr::Bool(a && b)),
+            (BinOp::Or, Const::Bool(a), Const::Bool(b)) => fired("fold_bool", Expr::Bool(a || b)),
+            (BinOp::Eq, Const::Bool(a), Const::Bool(b)) => fired("fold_bool", Expr::Bool(a == b)),
+            (BinOp::Ne, Const::Bool(a), Const::Bool(b)) => fired("fold_bool", Expr::Bool(a != b)),
             (
                 op,
                 Const::Int {
@@ -89,21 +99,23 @@ impl Folder {
                 };
                 let max = width.map(p4_ir::max_unsigned).unwrap_or(u128::MAX);
                 match op {
-                    BinOp::Add => Some(make_int(wrap(a.wrapping_add(b)), width)),
-                    BinOp::Sub => Some(make_int(wrap(a.wrapping_sub(b)), width)),
-                    BinOp::Mul => Some(make_int(wrap(a.wrapping_mul(b)), width)),
-                    BinOp::SatAdd => Some(make_int(a.saturating_add(b).min(max), width)),
-                    BinOp::SatSub => Some(make_int(a.saturating_sub(b), width)),
-                    BinOp::BitAnd => Some(make_int(a & b, width)),
-                    BinOp::BitOr => Some(make_int(wrap(a | b), width)),
-                    BinOp::BitXor => Some(make_int(wrap(a ^ b), width)),
+                    BinOp::Add => fired("fold_arith", make_int(wrap(a.wrapping_add(b)), width)),
+                    BinOp::Sub => fired("fold_arith", make_int(wrap(a.wrapping_sub(b)), width)),
+                    BinOp::Mul => fired("fold_arith", make_int(wrap(a.wrapping_mul(b)), width)),
+                    BinOp::SatAdd => {
+                        fired("fold_arith", make_int(a.saturating_add(b).min(max), width))
+                    }
+                    BinOp::SatSub => fired("fold_arith", make_int(a.saturating_sub(b), width)),
+                    BinOp::BitAnd => fired("fold_bitwise", make_int(a & b, width)),
+                    BinOp::BitOr => fired("fold_bitwise", make_int(wrap(a | b), width)),
+                    BinOp::BitXor => fired("fold_bitwise", make_int(wrap(a ^ b), width)),
                     BinOp::Shl => {
                         let shifted = if b >= 128 {
                             0
                         } else {
                             a.wrapping_shl(b as u32)
                         };
-                        Some(make_int(wrap(shifted), width.or(wa)))
+                        fired("fold_shift", make_int(wrap(shifted), width.or(wa)))
                     }
                     BinOp::Shr => {
                         let shifted = if b >= 128 {
@@ -111,20 +123,21 @@ impl Folder {
                         } else {
                             a.wrapping_shr(b as u32)
                         };
-                        Some(make_int(shifted, width.or(wa)))
+                        fired("fold_shift", make_int(shifted, width.or(wa)))
                     }
                     BinOp::Concat => match (wa, wb) {
-                        (Some(w1), Some(w2)) => {
-                            Some(Expr::uint((a << w2) | truncate(b, w2), w1 + w2))
-                        }
+                        (Some(w1), Some(w2)) => fired(
+                            "fold_concat",
+                            Expr::uint((a << w2) | truncate(b, w2), w1 + w2),
+                        ),
                         _ => None,
                     },
-                    BinOp::Eq => Some(Expr::Bool(a == b)),
-                    BinOp::Ne => Some(Expr::Bool(a != b)),
-                    BinOp::Lt => Some(Expr::Bool(a < b)),
-                    BinOp::Le => Some(Expr::Bool(a <= b)),
-                    BinOp::Gt => Some(Expr::Bool(a > b)),
-                    BinOp::Ge => Some(Expr::Bool(a >= b)),
+                    BinOp::Eq => fired("fold_compare", Expr::Bool(a == b)),
+                    BinOp::Ne => fired("fold_compare", Expr::Bool(a != b)),
+                    BinOp::Lt => fired("fold_compare", Expr::Bool(a < b)),
+                    BinOp::Le => fired("fold_compare", Expr::Bool(a <= b)),
+                    BinOp::Gt => fired("fold_compare", Expr::Bool(a > b)),
+                    BinOp::Ge => fired("fold_compare", Expr::Bool(a >= b)),
                     BinOp::And | BinOp::Or => None,
                 }
             }
@@ -134,21 +147,24 @@ impl Folder {
 
     fn fold_unary(&self, op: UnOp, operand: &Expr) -> Option<Expr> {
         match (op, as_const(operand)?) {
-            (UnOp::Not, Const::Bool(b)) => Some(Expr::Bool(!b)),
+            (UnOp::Not, Const::Bool(b)) => fired("fold_unary", Expr::Bool(!b)),
             (
                 UnOp::BitNot,
                 Const::Int {
                     value,
                     width: Some(w),
                 },
-            ) => Some(Expr::uint(truncate(!value, w), w)),
+            ) => fired("fold_unary", Expr::uint(truncate(!value, w), w)),
             (
                 UnOp::Neg,
                 Const::Int {
                     value,
                     width: Some(w),
                 },
-            ) => Some(Expr::uint(truncate(value.wrapping_neg(), w), w)),
+            ) => fired(
+                "fold_unary",
+                Expr::uint(truncate(value.wrapping_neg(), w), w),
+            ),
             _ => None,
         }
     }
@@ -156,11 +172,13 @@ impl Folder {
     fn fold_cast(&self, ty: &Type, operand: &Expr) -> Option<Expr> {
         match (ty, as_const(operand)?) {
             (Type::Bits { width, .. }, Const::Int { value, .. }) => {
-                Some(Expr::uint(truncate(value, *width), *width))
+                fired("fold_cast", Expr::uint(truncate(value, *width), *width))
             }
-            (Type::Bits { width, .. }, Const::Bool(b)) => Some(Expr::uint(u128::from(b), *width)),
-            (Type::Bool, Const::Int { value, .. }) => Some(Expr::Bool(value != 0)),
-            (Type::Bool, Const::Bool(b)) => Some(Expr::Bool(b)),
+            (Type::Bits { width, .. }, Const::Bool(b)) => {
+                fired("fold_cast", Expr::uint(u128::from(b), *width))
+            }
+            (Type::Bool, Const::Int { value, .. }) => fired("fold_cast", Expr::Bool(value != 0)),
+            (Type::Bool, Const::Bool(b)) => fired("fold_cast", Expr::Bool(b)),
             _ => None,
         }
     }
@@ -169,7 +187,10 @@ impl Folder {
         match as_const(base)? {
             Const::Int { value, .. } if hi >= lo && hi < 128 => {
                 let width = hi - lo + 1;
-                Some(Expr::uint(truncate(value >> lo, width), width))
+                fired(
+                    "fold_slice",
+                    Expr::uint(truncate(value >> lo, width), width),
+                )
             }
             _ => None,
         }
@@ -190,8 +211,8 @@ impl Mutator for Folder {
                 then_expr,
                 else_expr,
             } => match as_const(cond) {
-                Some(Const::Bool(true)) => Some((**then_expr).clone()),
-                Some(Const::Bool(false)) => Some((**else_expr).clone()),
+                Some(Const::Bool(true)) => fired("fold_ternary", (**then_expr).clone()),
+                Some(Const::Bool(false)) => fired("fold_ternary", (**else_expr).clone()),
                 _ => None,
             },
             _ => None,
@@ -211,8 +232,12 @@ impl Mutator for Folder {
         } = stmt
         {
             match as_const(cond) {
-                Some(Const::Bool(true)) => *stmt = (**then_branch).clone(),
+                Some(Const::Bool(true)) => {
+                    coverage::record(PASS, "prune_if");
+                    *stmt = (**then_branch).clone();
+                }
                 Some(Const::Bool(false)) => {
+                    coverage::record(PASS, "prune_if");
                     *stmt = match else_branch {
                         Some(else_stmt) => (**else_stmt).clone(),
                         None => Statement::Empty,

@@ -136,6 +136,9 @@ fn substitute(expr: &mut Expr, copies: &HashMap<String, Expr>) {
     }
     let mut substitution = Substitution::new(copies.clone());
     substitution.apply_expr(expr);
+    if substitution.replaced() > 0 {
+        crate::coverage::record("LocalCopyPropagation", "propagate");
+    }
 }
 
 /// Removes every copy that mentions `name` on either side.

@@ -67,10 +67,13 @@ fn flatten_block(block: &mut Block) {
 
 fn flatten_statement(stmt: Statement, out: &mut Vec<Statement>) {
     match stmt {
-        Statement::Empty => {}
+        Statement::Empty => {
+            crate::coverage::record("FlattenBlocks", "drop_empty_statement");
+        }
         Statement::Block(mut inner) => {
             flatten_block(&mut inner);
             if safe_to_splice(&inner) {
+                crate::coverage::record("FlattenBlocks", "splice_block");
                 out.extend(inner.statements);
             } else {
                 out.push(Statement::Block(inner));
@@ -89,6 +92,7 @@ fn flatten_statement(stmt: Statement, out: &mut Vec<Statement>) {
                     flatten_block(inner);
                     // `else {}` is dropped entirely.
                     if inner.statements.is_empty() {
+                        crate::coverage::record("FlattenBlocks", "drop_empty_else");
                         else_branch = None;
                     }
                 }

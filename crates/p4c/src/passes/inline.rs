@@ -76,7 +76,7 @@ impl Pass for InlineFunctions {
                 _ => None,
             })
             .collect();
-        let mut inliner = Inliner::new(self.behaviour, "inl");
+        let mut inliner = Inliner::new(self.behaviour, "inl", "InlineFunctions");
         for decl in &mut program.declarations {
             match decl {
                 Declaration::Control(control) => {
@@ -129,7 +129,7 @@ impl Pass for RemoveActionParameters {
                 _ => None,
             })
             .collect();
-        let mut inliner = Inliner::new(self.behaviour, "rap");
+        let mut inliner = Inliner::new(self.behaviour, "rap", "RemoveActionParameters");
         for decl in &mut program.declarations {
             if let Declaration::Control(control) = decl {
                 let mut actions = top_level_actions.clone();
@@ -163,9 +163,13 @@ fn prune_uncalled_parameterised_actions(control: &mut ControlDecl) {
     control.locals.retain(|local| match local {
         Declaration::Action(a) => {
             let has_directed_params = a.params.iter().any(|p| p.direction != Direction::None);
-            !has_directed_params
+            let keep = !has_directed_params
                 || referenced.contains(&a.name)
-                || called.iter().any(|c| *c == a.name)
+                || called.iter().any(|c| *c == a.name);
+            if !keep {
+                crate::coverage::record("RemoveActionParameters", "prune_action");
+            }
+            keep
         }
         _ => true,
     });
@@ -199,13 +203,16 @@ fn collect_called_in_statement<'a>(stmt: &'a Statement, out: &mut Vec<&'a str>) 
 struct Inliner {
     behaviour: InlineBehaviour,
     names: NameGen,
+    /// Which pass drives this engine, for coverage attribution.
+    pass: &'static str,
 }
 
 impl Inliner {
-    fn new(behaviour: InlineBehaviour, prefix: &'static str) -> Inliner {
+    fn new(behaviour: InlineBehaviour, prefix: &'static str, pass: &'static str) -> Inliner {
         Inliner {
             behaviour,
             names: NameGen::new(prefix),
+            pass,
         }
     }
 
@@ -371,6 +378,7 @@ impl Inliner {
             args.len(),
             "inliner invoked on a call with mismatched arity (type checking should have rejected it)"
         );
+        crate::coverage::record(self.pass, "inline_call");
 
         // 1. Copy-in: fresh temporaries for every parameter.
         let mut substitution_map: HashMap<String, Expr> = HashMap::new();
@@ -432,6 +440,7 @@ impl Inliner {
         };
         let needs_flag = body_needs_return_flag(&body);
         let flag_var = if needs_flag {
+            crate::coverage::record(self.pass, "guarded_return");
             let flag = self.names.fresh("has_returned");
             out.push(Statement::Declare {
                 name: flag.clone(),
@@ -460,6 +469,9 @@ impl Inliner {
 
         // 6. Copy-out on normal completion.
         if self.behaviour.copy_out_on_return {
+            if !copy_out.is_empty() {
+                crate::coverage::record(self.pass, "copy_out");
+            }
             out.extend(copy_out);
         }
         result_var
@@ -563,6 +575,9 @@ impl Inliner {
                 Statement::Block(Block::new(replacement))
             }
             Statement::Exit => {
+                if !exit_copy_out.is_empty() {
+                    crate::coverage::record(self.pass, "exit_copy_out");
+                }
                 let mut replacement = exit_copy_out.to_vec();
                 replacement.push(Statement::Exit);
                 Statement::Block(Block::new(replacement))

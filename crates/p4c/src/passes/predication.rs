@@ -65,11 +65,13 @@ fn predicate_statement(stmt: Statement, out: &mut Vec<Statement>) {
             let else_assigns = else_branch.as_deref().map(extract_assignments);
             match (then_assigns, else_assigns) {
                 (Some(thens), None) if else_branch.is_none() => {
+                    crate::coverage::record("Predication", "predicate_then");
                     for (lhs, rhs) in thens {
                         out.push(predicated(cond.clone(), lhs, rhs, true));
                     }
                 }
                 (Some(thens), Some(Some(elses))) => {
+                    crate::coverage::record("Predication", "predicate_if_else");
                     for (lhs, rhs) in thens {
                         out.push(predicated(cond.clone(), lhs, rhs, true));
                     }

@@ -153,6 +153,7 @@ impl Hoister {
                 if return_type == Type::Void {
                     return;
                 }
+                crate::coverage::record("SideEffectOrdering", "hoist_call");
                 let tmp = self.names.fresh("tmp");
                 let call_expr = expr.clone();
                 out.push(Statement::Declare {

@@ -86,7 +86,13 @@ fn simplify_control(control: &mut ControlDecl) {
         }
     }
     control.locals.retain(|local| match local {
-        Declaration::Variable { name, .. } => referenced.contains(name),
+        Declaration::Variable { name, .. } => {
+            let keep = referenced.contains(name);
+            if !keep {
+                crate::coverage::record("SimplifyDefUse", "drop_control_var");
+            }
+            keep
+        }
         _ => true,
     });
 }
@@ -172,9 +178,19 @@ fn collect_local_declarations_in_statement(stmt: &Statement, out: &mut HashSet<S
 }
 
 fn remove_dead_stores(block: &mut Block, locals: &HashSet<String>, reads: &HashSet<String>) {
-    block
-        .statements
-        .retain(|stmt| !is_dead(stmt, locals, reads));
+    block.statements.retain(|stmt| {
+        if !is_dead(stmt, locals, reads) {
+            return true;
+        }
+        match stmt {
+            Statement::Assign { .. } => crate::coverage::record("SimplifyDefUse", "dead_store"),
+            Statement::Declare { .. } | Statement::Constant { .. } => {
+                crate::coverage::record("SimplifyDefUse", "dead_declare")
+            }
+            _ => {}
+        }
+        false
+    });
     for stmt in &mut block.statements {
         match stmt {
             Statement::Block(inner) => remove_dead_stores(inner, locals, reads),

@@ -6,10 +6,20 @@
 //! slice index.  The faulty variant in `crate::buggy` reproduces that shape;
 //! this is the correct implementation.
 
+use crate::coverage;
 use crate::error::Diagnostic;
 use crate::pass::{Pass, PassArea};
 use p4_ir::visit::mutate_walk_expr;
 use p4_ir::{BinOp, Expr, Mutator, Program, UnOp};
+
+const PASS: &str = "StrengthReduction";
+
+/// Records the fired rule and returns the replacement (every rewrite in
+/// this pass funnels through here).
+fn fired(rule: &'static str, replacement: Expr) -> Option<Expr> {
+    coverage::record(PASS, rule);
+    Some(replacement)
+}
 
 /// The strength-reduction pass.
 #[derive(Debug, Default)]
@@ -80,7 +90,7 @@ impl Reducer {
                         },
                         _,
                     ) if inner == outer && matches!(outer, UnOp::Not | UnOp::BitNot) => {
-                        Some((**inner_operand).clone())
+                        fired("double_negation", (**inner_operand).clone())
                     }
                     _ => None,
                 },
@@ -91,7 +101,7 @@ impl Reducer {
         match op {
             // x + 0 = x, 0 + x = x, x - 0 = x, x ^ 0 = x, x | 0 = x
             BinOp::Add | BinOp::BitXor | BinOp::BitOr | BinOp::SatAdd if is_zero(left) => {
-                Some((**right).clone())
+                fired("add_zero_identity", (**right).clone())
             }
             BinOp::Add
             | BinOp::Sub
@@ -101,41 +111,44 @@ impl Reducer {
             | BinOp::SatSub
                 if is_zero(right) =>
             {
-                Some((**left).clone())
+                fired("add_zero_identity", (**left).clone())
             }
             // x & 0 = 0, 0 & x = 0, x * 0 = 0, 0 * x = 0 — only when the
             // result width is statically evident, so the replacement literal
             // keeps the expression's type.
             BinOp::BitAnd | BinOp::Mul if is_zero(right) && width.is_some() => {
-                Some(Expr::uint(0, width.expect("checked above")))
+                fired("mul_by_zero", Expr::uint(0, width.expect("checked above")))
             }
             BinOp::BitAnd | BinOp::Mul if is_zero(left) && width.is_some() => {
-                Some(Expr::uint(0, width.expect("checked above")))
+                fired("mul_by_zero", Expr::uint(0, width.expect("checked above")))
             }
             // x * 1 = x, 1 * x = x
-            BinOp::Mul if is_one(right) => Some((**left).clone()),
-            BinOp::Mul if is_one(left) => Some((**right).clone()),
+            BinOp::Mul if is_one(right) => fired("mul_by_one", (**left).clone()),
+            BinOp::Mul if is_one(left) => fired("mul_by_one", (**right).clone()),
             // x * 2^k = x << k (the classic strength reduction)
             BinOp::Mul => {
                 if let Some((value, _)) = int_const(right) {
                     if value.is_power_of_two() {
                         let shift = value.trailing_zeros();
-                        return Some(Expr::binary(
-                            BinOp::Shl,
-                            (**left).clone(),
-                            Expr::int(u128::from(shift)),
-                        ));
+                        return fired(
+                            "mul_pow2_to_shift",
+                            Expr::binary(
+                                BinOp::Shl,
+                                (**left).clone(),
+                                Expr::int(u128::from(shift)),
+                            ),
+                        );
                     }
                 }
                 None
             }
             // x & ~0 = x, x | ~0 = ~0
-            BinOp::BitAnd if is_all_ones(right) => Some((**left).clone()),
-            BinOp::BitAnd if is_all_ones(left) => Some((**right).clone()),
-            BinOp::BitOr if is_all_ones(right) => Some((**right).clone()),
-            BinOp::BitOr if is_all_ones(left) => Some((**left).clone()),
+            BinOp::BitAnd if is_all_ones(right) => fired("mask_all_ones", (**left).clone()),
+            BinOp::BitAnd if is_all_ones(left) => fired("mask_all_ones", (**right).clone()),
+            BinOp::BitOr if is_all_ones(right) => fired("mask_all_ones", (**right).clone()),
+            BinOp::BitOr if is_all_ones(left) => fired("mask_all_ones", (**left).clone()),
             // x << 0 = x, x >> 0 = x
-            BinOp::Shl | BinOp::Shr if is_zero(right) => Some((**left).clone()),
+            BinOp::Shl | BinOp::Shr if is_zero(right) => fired("shift_by_zero", (**left).clone()),
             // Shifts by a constant amount ≥ width produce zero.  This is the
             // place where the missing safety check in P4C produced Figure 5c;
             // the width must be known before rewriting.
@@ -143,20 +156,28 @@ impl Reducer {
                 let (amount, _) = int_const(right)?;
                 let w = width?;
                 if amount >= u128::from(w) {
-                    Some(Expr::uint(0, w))
+                    fired("oversized_shift_to_zero", Expr::uint(0, w))
                 } else {
                     None
                 }
             }
             // Boolean identities.
             BinOp::And => match (&**left, &**right) {
-                (Expr::Bool(true), other) | (other, Expr::Bool(true)) => Some(other.clone()),
-                (Expr::Bool(false), _) | (_, Expr::Bool(false)) => Some(Expr::Bool(false)),
+                (Expr::Bool(true), other) | (other, Expr::Bool(true)) => {
+                    fired("bool_identity", other.clone())
+                }
+                (Expr::Bool(false), _) | (_, Expr::Bool(false)) => {
+                    fired("bool_identity", Expr::Bool(false))
+                }
                 _ => None,
             },
             BinOp::Or => match (&**left, &**right) {
-                (Expr::Bool(false), other) | (other, Expr::Bool(false)) => Some(other.clone()),
-                (Expr::Bool(true), _) | (_, Expr::Bool(true)) => Some(Expr::Bool(true)),
+                (Expr::Bool(false), other) | (other, Expr::Bool(false)) => {
+                    fired("bool_identity", other.clone())
+                }
+                (Expr::Bool(true), _) | (_, Expr::Bool(true)) => {
+                    fired("bool_identity", Expr::Bool(true))
+                }
                 _ => None,
             },
             _ => None,

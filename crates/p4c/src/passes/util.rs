@@ -29,17 +29,24 @@ impl NameGen {
 /// propagation.
 pub struct Substitution {
     map: HashMap<String, Expr>,
+    replaced: usize,
 }
 
 impl Substitution {
     pub fn new(map: HashMap<String, Expr>) -> Substitution {
-        Substitution { map }
+        Substitution { map, replaced: 0 }
     }
 
     pub fn single(name: impl Into<String>, replacement: Expr) -> Substitution {
         let mut map = HashMap::new();
         map.insert(name.into(), replacement);
-        Substitution { map }
+        Substitution { map, replaced: 0 }
+    }
+
+    /// Number of replacements performed so far (lets callers detect whether
+    /// a substitution actually rewrote anything without cloning the tree).
+    pub fn replaced(&self) -> usize {
+        self.replaced
     }
 
     pub fn apply_expr(&mut self, expr: &mut Expr) {
@@ -62,6 +69,7 @@ impl Mutator for Substitution {
         if let Expr::Path(name) = expr {
             if let Some(replacement) = self.map.get(name) {
                 *expr = replacement.clone();
+                self.replaced += 1;
                 return;
             }
         }
@@ -82,19 +90,21 @@ impl Mutator for Substitution {
 }
 
 impl Substitution {
-    fn rewrite_call_target(&self, call: &mut p4_ir::CallExpr) {
+    fn rewrite_call_target(&mut self, call: &mut p4_ir::CallExpr) {
         if call.target.len() < 2 {
             return;
         }
         let root = &call.target[0];
         if let Some(Expr::Path(new_root)) = self.map.get(root) {
             call.target[0] = new_root.clone();
+            self.replaced += 1;
         } else if let Some(replacement) = self.map.get(root) {
             // Replacing a call receiver with a member chain, e.g.
             // `val.setValid()` where `val` ↦ `hdr.h`.
             if let Some(mut parts) = lvalue_parts(replacement) {
                 parts.extend(call.target[1..].iter().cloned());
                 call.target = parts;
+                self.replaced += 1;
             }
         }
     }

@@ -399,6 +399,23 @@ impl TermManager {
             TermKind::BoolConst(true) => then_t,
             TermKind::BoolConst(false) => else_t,
             _ => {
+                // Same-condition absorption: inside the then-branch `cond`
+                // is known true (dually for else), so a nested ite on the
+                // same condition collapses onto the matching arm.  The
+                // symbolic interpreter's per-statement state merge nests
+                // guards exactly this way for block-wrapped statements
+                // (`ite(c, ite(c, a, b), b)`); without the fold the two
+                // sides of a translation-validation miter stay structurally
+                // different and the query goes to the SAT solver instead of
+                // short-circuiting on hash-consed equality.
+                let then_t = match &then_t.kind {
+                    TermKind::Ite(c2, inner_then, _) if c2.id == cond.id => inner_then.clone(),
+                    _ => then_t,
+                };
+                let else_t = match &else_t.kind {
+                    TermKind::Ite(c2, _, inner_else) if c2.id == cond.id => inner_else.clone(),
+                    _ => else_t,
+                };
                 if then_t.id == else_t.id {
                     then_t
                 } else {
@@ -561,6 +578,15 @@ impl TermManager {
         if Self::as_const(&b).is_some_and(BvValue::is_zero) {
             return a;
         }
+        // x << k = 0 for constant k ≥ width (zero-fill semantics).  Folding
+        // here keeps a symbolic `x << 41` and a rewritten literal `0`
+        // hash-consed to the same term, so translation-validation miters
+        // over oversized shifts stay structural instead of burning SAT time.
+        if let (Sort::BitVec(width), Some(amount)) = (a.sort, Self::as_const(&b)) {
+            if amount.to_u128() >= u128::from(width) {
+                return self.bv_const(0, width);
+            }
+        }
         self.bv_binop(
             a,
             b,
@@ -573,6 +599,12 @@ impl TermManager {
         // x >> 0 = x.
         if Self::as_const(&b).is_some_and(BvValue::is_zero) {
             return a;
+        }
+        // x >> k = 0 for constant k ≥ width, mirroring `bv_shl`.
+        if let (Sort::BitVec(width), Some(amount)) = (a.sort, Self::as_const(&b)) {
+            if amount.to_u128() >= u128::from(width) {
+                return self.bv_const(0, width);
+            }
         }
         self.bv_binop(
             a,
@@ -707,6 +739,52 @@ mod tests {
         assert!(matches!(&sum.kind, TermKind::BvConst(v) if v.to_u128() == 4));
         let cmp = tm.bv_ult(a, b);
         assert!(matches!(&cmp.kind, TermKind::BoolConst(false)));
+    }
+
+    /// Same-condition nested ites absorb into the outer ite: the symbolic
+    /// interpreter's per-statement merge produces `ite(c, ite(c, a, b), b)`
+    /// for block-wrapped statements, which must stay hash-consed identical
+    /// to the unwrapped `ite(c, a, b)` (a block-wrapping pass used to send
+    /// the resulting 48-bit miter to the SAT solver and hang the campaign).
+    #[test]
+    fn same_condition_nested_ites_absorb() {
+        let tm = TermManager::new();
+        let c = tm.var("c", Sort::Bool);
+        let a = tm.var("a", Sort::BitVec(48));
+        let b = tm.var("b", Sort::BitVec(48));
+        let plain = tm.ite(c.clone(), a.clone(), b.clone());
+        let wrapped_then = tm.ite(c.clone(), plain.clone(), b.clone());
+        assert_eq!(wrapped_then.id, plain.id);
+        let wrapped_else = tm.ite(c.clone(), a.clone(), plain.clone());
+        assert_eq!(wrapped_else.id, plain.id);
+        // Different conditions must not absorb.
+        let d = tm.var("d", Sort::Bool);
+        let other = tm.ite(d, plain.clone(), b.clone());
+        assert_ne!(other.id, plain.id);
+    }
+
+    /// Oversized constant shift amounts fold to the zero constant at the
+    /// term level (zero-fill semantics), keeping `x << 41` hash-consed
+    /// identical to a literal `0` — translation-validation miters over
+    /// strength-reduced oversized shifts must stay structural (a 8w41 shift
+    /// of a symbolic operand used to cost the SAT solver over a minute).
+    #[test]
+    fn oversized_constant_shifts_fold_to_zero() {
+        let tm = TermManager::new();
+        let x = tm.var("x", Sort::BitVec(8));
+        for shifted in [
+            tm.bv_shl(x.clone(), tm.bv_const(41, 8)),
+            tm.bv_shl(x.clone(), tm.bv_const(8, 8)),
+            tm.bv_lshr(x.clone(), tm.bv_const(9, 8)),
+        ] {
+            assert!(
+                matches!(&shifted.kind, TermKind::BvConst(v) if v.is_zero()),
+                "expected zero constant, got {shifted:?}"
+            );
+        }
+        // In-range constant amounts stay symbolic.
+        let in_range = tm.bv_shl(x.clone(), tm.bv_const(7, 8));
+        assert!(matches!(&in_range.kind, TermKind::BvShl(..)));
     }
 
     #[test]

@@ -7,12 +7,18 @@
 //! Run with:
 //!
 //! ```text
-//! cargo run --release --example bug_campaign -- [--jobs N] [--programs-per-bug P] [--hunt-seeds S]
+//! cargo run --release --example bug_campaign -- [--jobs N] [--programs-per-bug P] \
+//!     [--hunt-seeds S] [--coverage 1] [--corpus PATH]
 //! ```
+//!
+//! `--coverage 1` turns the hunts coverage-guided: pass-rule coverage is
+//! accumulated, generator weights adapt each epoch, and the report gains a
+//! coverage block; `--corpus PATH` additionally persists the
+//! coverage-advancing programs across runs.
 
 use gauntlet_core::{
     render_detection_matrix, render_table2, render_table3, run_campaign, CampaignConfig,
-    HuntConfig, ParallelCampaign, SeededBug,
+    CoverageOptions, HuntConfig, ParallelCampaign, SeededBug,
 };
 
 fn parse_flag(name: &str, default: usize) -> usize {
@@ -24,10 +30,26 @@ fn parse_flag(name: &str, default: usize) -> usize {
         .unwrap_or(default)
 }
 
+fn parse_string_flag(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
 fn main() {
     let jobs = parse_flag("--jobs", 1);
     let random_programs_per_bug = parse_flag("--programs-per-bug", 2);
     let hunt_seeds = parse_flag("--hunt-seeds", 100);
+    let coverage = if parse_flag("--coverage", 0) != 0 {
+        Some(CoverageOptions {
+            corpus: parse_string_flag("--corpus"),
+            ..CoverageOptions::default()
+        })
+    } else {
+        None
+    };
 
     // Part 1: the seeded-bug table campaign (paper Tables 2 and 3).
     let config = CampaignConfig {
@@ -64,7 +86,8 @@ fn main() {
     let hunt = ParallelCampaign::new(HuntConfig {
         jobs,
         seed_count: hunt_seeds,
-        bug_quota: Some(5),
+        bug_quota: if coverage.is_some() { None } else { Some(5) },
+        coverage: coverage.clone(),
         ..HuntConfig::default()
     })
     .run(|| buggy.build_compiler());
@@ -92,6 +115,7 @@ fn main() {
         jobs,
         seed_count: hunt_seeds,
         targets: diff_targets,
+        coverage,
         ..HuntConfig::default()
     })
     .run(p4c::Compiler::reference);

@@ -1,0 +1,131 @@
+//! End-to-end tests of the coverage-guided campaign: guided hunts must beat
+//! the unguided baseline at equal seed budget, the whole feedback loop must
+//! stay byte-identical across `--jobs`, and corpus replay alone must
+//! reproduce the saved coverage fingerprint (serialization round-trip).
+
+use gauntlet_core::{Corpus, CoverageOptions, HuntConfig, HuntReport, ParallelCampaign};
+use p4_gen::GeneratorConfig;
+use std::path::PathBuf;
+
+/// Seed budget shared by the guided and unguided hunts.
+const BUDGET: usize = 50;
+
+fn hunt(adapt: bool, jobs: usize, seeds: usize, corpus: Option<String>) -> HuntReport {
+    ParallelCampaign::new(HuntConfig {
+        jobs,
+        seed_start: 0,
+        seed_count: seeds,
+        generator: GeneratorConfig::tiny(),
+        coverage: Some(CoverageOptions {
+            adapt,
+            adapt_every: 25,
+            corpus,
+        }),
+        ..HuntConfig::default()
+    })
+    .run(p4c::Compiler::reference)
+}
+
+/// A scratch path unique to this test process.
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("gauntlet-coverage-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir.join(name)
+}
+
+/// The headline claim: with an identical seed budget, closing the
+/// generate→compile→validate loop fires at least 20% more distinct
+/// pass-rewrite rules than hunting with static weights.
+#[test]
+fn guided_hunt_beats_unguided_baseline_at_equal_budget() {
+    let unguided = hunt(false, 2, BUDGET, None);
+    let guided = hunt(true, 2, BUDGET, None);
+    let baseline = unguided.coverage.expect("coverage accounting on");
+    let steered = guided.coverage.expect("coverage accounting on");
+    assert_eq!(unguided.programs_checked, BUDGET);
+    assert_eq!(guided.programs_checked, BUDGET);
+    assert!(
+        steered.rules_fired() > baseline.rules_fired(),
+        "guided coverage must be strictly higher: {} vs {}",
+        steered.rules_fired(),
+        baseline.rules_fired()
+    );
+    assert!(
+        steered.rules_fired() as f64 >= baseline.rules_fired() as f64 * 1.2,
+        "guided coverage must be >= 20% higher: guided {} vs unguided {} (of {})",
+        steered.rules_fired(),
+        baseline.rules_fired(),
+        steered.rules_total
+    );
+    // The trajectory is monotone and ends at the reported total.
+    let mut last = 0;
+    for &(_, rules) in &steered.rules_over_time {
+        assert!(
+            rules >= last,
+            "coverage can only grow: {:?}",
+            steered.rules_over_time
+        );
+        last = rules;
+    }
+    assert_eq!(last, steered.rules_fired());
+}
+
+/// Determinism: coverage accumulation, weight adaptation, corpus admission,
+/// and the rendered report are all byte-identical at `--jobs 1` vs
+/// `--jobs 4`.
+#[test]
+fn guided_hunt_is_byte_identical_across_jobs() {
+    let corpus_1 = scratch("corpus-jobs1.txt");
+    let corpus_4 = scratch("corpus-jobs4.txt");
+    let _ = std::fs::remove_file(&corpus_1);
+    let _ = std::fs::remove_file(&corpus_4);
+    let sequential = hunt(true, 1, BUDGET, Some(corpus_1.display().to_string()));
+    let parallel = hunt(true, 4, BUDGET, Some(corpus_4.display().to_string()));
+    assert_eq!(sequential.render(), parallel.render());
+    assert_eq!(sequential.coverage, parallel.coverage);
+    let bytes_1 = std::fs::read(&corpus_1).expect("corpus saved at jobs 1");
+    let bytes_4 = std::fs::read(&corpus_4).expect("corpus saved at jobs 4");
+    assert_eq!(bytes_1, bytes_4, "corpus files must be byte-identical");
+    assert!(!bytes_1.is_empty());
+    let _ = std::fs::remove_file(&corpus_1);
+    let _ = std::fs::remove_file(&corpus_4);
+}
+
+/// Plateau regression: replaying the saved corpus alone (no fresh
+/// generation) reproduces the corpus's coverage fingerprint exactly —
+/// guarding the corpus serialization round-trip and the invariant that
+/// every rule ever fired is covered by some kept program.
+#[test]
+fn corpus_replay_alone_reproduces_the_saved_fingerprint() {
+    let corpus_path = scratch("corpus-plateau.txt");
+    let _ = std::fs::remove_file(&corpus_path);
+    let first = hunt(true, 2, BUDGET, Some(corpus_path.display().to_string()));
+    let first_coverage = first.coverage.expect("coverage accounting on");
+    let corpus = Corpus::load(&corpus_path).expect("corpus saved");
+    assert!(!corpus.is_empty());
+    // Every rule the hunt fired is covered by a kept program.
+    assert_eq!(corpus.fingerprint(), first_coverage.fired);
+
+    // Replay-only campaign: zero fresh seeds, corpus loaded.
+    let replay = hunt(true, 2, 0, Some(corpus_path.display().to_string()));
+    let replay_coverage = replay.coverage.expect("coverage accounting on");
+    assert_eq!(replay.programs_checked, 0);
+    assert_eq!(
+        replay_coverage.fired, first_coverage.fired,
+        "corpus replay must reproduce the fingerprint exactly"
+    );
+    assert_eq!(replay_coverage.corpus_added, 0, "replay admits nothing new");
+    assert_eq!(replay_coverage.corpus_size, corpus.len());
+    let _ = std::fs::remove_file(&corpus_path);
+}
+
+/// The coverage block renders into both report forms.
+#[test]
+fn coverage_block_renders_in_reports() {
+    let report = hunt(true, 2, 25, None);
+    let rendered = report.render();
+    assert!(rendered.contains("pass-rewrite rules fired"), "{rendered}");
+    assert!(rendered.contains("corpus:"), "{rendered}");
+    let table2 = gauntlet_core::render_table2(&report.campaign_summary());
+    assert!(table2.contains("pass-rewrite rules fired"), "{table2}");
+}
