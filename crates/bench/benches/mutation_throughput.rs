@@ -1,0 +1,80 @@
+//! Experiment §8 — metamorphic mutation throughput.
+//!
+//! Mutation hunting multiplies every seed program into a family of
+//! semantics-preserving variants; its cost has three parts measured here:
+//! raw mutant derivation (pure AST work), the full metamorphic check on a
+//! correct compiler (compile seed + mutants, prove all equivalent — the
+//! steady-state cost of a clean hunt, where the incremental validation
+//! session discharges most mutants without the solver), and end-to-end
+//! detection of the seeded pre-snapshot corruption that plain translation
+//! validation provably cannot see.
+//!
+//! Run with `cargo bench --bench mutation_throughput`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use p4_gen::{GeneratorConfig, RandomProgramGenerator};
+use p4_mutate::{MetamorphicChecker, MetamorphicOptions, MutationEngine, CAMPAIGN_MUTATION_SEED};
+use p4c::{Compiler, DriverBugClass};
+
+fn seed_programs(count: usize) -> Vec<p4_ir::Program> {
+    (0u64..count as u64)
+        .map(|seed| RandomProgramGenerator::new(GeneratorConfig::tiny(), seed).generate())
+        .collect()
+}
+
+fn corrupted_compiler() -> Compiler {
+    let mut compiler = Compiler::reference();
+    compiler.seed_input_corruption(DriverBugClass::SnapshotDropsFinalWrite);
+    compiler
+}
+
+fn bench_mutation(c: &mut Criterion) {
+    let programs = seed_programs(8);
+    let options = MetamorphicOptions::default();
+    let mut group = c.benchmark_group("mutation_throughput");
+    group.sample_size(20);
+
+    group.bench_function("derive_mutant_chain4", |b| {
+        let engine = MutationEngine::standard();
+        let mut index = 0usize;
+        b.iter(|| {
+            let program = &programs[index % programs.len()];
+            index += 1;
+            std::hint::black_box(engine.mutate(program, index as u64, 4).chain.len())
+        })
+    });
+
+    group.bench_function("metamorphic_check_clean", |b| {
+        let mut checker = MetamorphicChecker::new(Compiler::reference());
+        let mut index = 0usize;
+        b.iter(|| {
+            let program = &programs[index % programs.len()];
+            index += 1;
+            let outcome = checker.check(program, &options, CAMPAIGN_MUTATION_SEED);
+            assert!(outcome.findings.is_empty(), "clean compiler flagged");
+            std::hint::black_box(outcome.mutants_checked)
+        })
+    });
+
+    group.bench_function("metamorphic_detect_driver_bug", |b| {
+        let mut checker = MetamorphicChecker::new(corrupted_compiler());
+        let trigger = gauntlet_core::SeededBug::catalogue()
+            .into_iter()
+            .find(|bug| bug.name() == "SnapshotDropsFinalWrite")
+            .expect("driver bug registered")
+            .trigger_program();
+        b.iter(|| {
+            let outcome = checker.check(&trigger, &options, CAMPAIGN_MUTATION_SEED);
+            assert!(
+                !outcome.findings.is_empty(),
+                "the corruption must be detected"
+            );
+            std::hint::black_box(outcome.findings.len())
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_mutation);
+criterion_main!(benches);

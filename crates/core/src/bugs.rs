@@ -20,6 +20,12 @@ pub enum BugKind {
     Semantic,
     /// An intermediate program emitted by the compiler no longer re-parses.
     InvalidTransformation,
+    /// The compiled forms of a program and one of its semantics-preserving
+    /// mutants diverge (`p4-mutate`'s EMI-style oracle, paper §8).  A
+    /// miscompilation like [`BugKind::Semantic`], but convicted without
+    /// ever comparing against the input program — which is what lets it see
+    /// defects per-pass translation validation cannot.
+    Metamorphic,
 }
 
 impl BugKind {
@@ -103,6 +109,9 @@ pub enum Technique {
     RandomGeneration,
     TranslationValidation,
     SymbolicExecution,
+    /// Semantics-preserving mutation with end-to-end equivalence of the
+    /// compiled seed/mutant pair (`p4-mutate`).
+    MetamorphicMutation,
 }
 
 /// One finding.

@@ -16,12 +16,13 @@
 //! stream) and results are committed in task order, so the output is
 //! byte-identical regardless of thread count or schedule.
 
-use crate::bugs::{BugDatabase, BugKind, BugReport, CompilerArea, Platform};
+use crate::bugs::{BugDatabase, BugKind, BugReport, CompilerArea, Platform, Technique};
 use crate::corpus::{Corpus, CorpusEntry};
 use crate::inject::SeededBug;
 use crate::pipeline::{Gauntlet, GauntletOptions};
 use p4_gen::{GeneratorConfig, RandomProgramGenerator, WeightAdapter};
 use p4_ir::{print_program, ConstructCensus, Program};
+use p4_mutate::{hunt_mutation_seed, MetamorphicChecker, MetamorphicOptions, MutationCoverage};
 use p4c::coverage::PassCoverage;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -91,6 +92,9 @@ pub struct CampaignReport {
     /// Pass-rule coverage, when the producing hunt was coverage-guided
     /// (rendered by `render_table2` as a coverage block).
     pub coverage: Option<CoverageSummary>,
+    /// Mutation statistics, when the producing hunt ran the metamorphic
+    /// oracle (rendered by `render_table2` as a mutation block).
+    pub mutation: Option<MutationSummary>,
 }
 
 impl CampaignReport {
@@ -249,6 +253,7 @@ fn summarise(database: &BugDatabase) -> CampaignReport {
         false_alarms: 0,
         total_detected: database.len(),
         coverage: None,
+        mutation: None,
     }
 }
 
@@ -262,7 +267,7 @@ fn run_one(gauntlet: &Gauntlet, bug: SeededBug, program: &Program) -> Vec<BugRep
 /// Runs the same program through the *correct* pipeline; any finding is a
 /// false alarm (an interpreter/validator bug in our tooling, paper §5.2).
 fn count_false_alarms(gauntlet: &Gauntlet, bug: SeededBug, program: &Program) -> usize {
-    let reports = match bug.target_name() {
+    let mut reports = match bug.target_name() {
         None => {
             gauntlet
                 .check_open_compiler(&p4c::Compiler::reference(), program)
@@ -275,6 +280,23 @@ fn count_false_alarms(gauntlet: &Gauntlet, bug: SeededBug, program: &Program) ->
             gauntlet.check_target(&*target, program).reports
         }
     };
+    // Driver bugs are hunted metamorphically, so the false-alarm discipline
+    // extends to the new oracle: the reference compiler must prove every
+    // mutant equivalent (a finding here is a mutator or validator bug in
+    // our own tooling).
+    if matches!(bug, SeededBug::Driver(_)) {
+        let mut checker = MetamorphicChecker::new(p4c::Compiler::reference());
+        reports.extend(
+            gauntlet
+                .check_mutants(
+                    &mut checker,
+                    program,
+                    &MetamorphicOptions::default(),
+                    p4_mutate::CAMPAIGN_MUTATION_SEED,
+                )
+                .reports,
+        );
+    }
     reports
         .iter()
         .filter(|r| !matches!(r.kind, BugKind::InvalidTransformation))
@@ -324,6 +346,15 @@ pub struct HuntConfig {
     /// Coverage-guided hunting (the `--coverage` knob).  `None` hunts with
     /// static weights, exactly as before.
     pub coverage: Option<CoverageOptions>,
+    /// Metamorphic mutation hunting (the `--mutate` knob).  With options
+    /// set, every generated program additionally spawns a family of
+    /// semantics-preserving mutants whose compiled forms are proved
+    /// equivalent to the compiled seed ([`Gauntlet::check_mutants`]); with
+    /// [`CoverageOptions::corpus`] also set, replayed corpus entries are
+    /// mutated too.  Mutant derivation is a pure function of the seed and
+    /// findings commit at the ordered-commit point, so reports stay
+    /// byte-identical at any `--jobs`.
+    pub mutation: Option<MetamorphicOptions>,
 }
 
 impl Default for HuntConfig {
@@ -338,6 +369,7 @@ impl Default for HuntConfig {
             reduce_reports: false,
             targets: Vec::new(),
             coverage: None,
+            mutation: None,
         }
     }
 }
@@ -434,6 +466,41 @@ impl CoverageSummary {
     }
 }
 
+/// The mutation block of a hunt report (deterministic across `--jobs`),
+/// mirroring [`CoverageSummary`] for the metamorphic dimension: how many
+/// mutants were checked, how many convicted the compiler, and which mutator
+/// rules of `p4_mutate::ALL_MUTATORS` were exercised.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct MutationSummary {
+    /// Mutants generated, mutated, and proved (or disproved) equivalent.
+    pub mutants_checked: usize,
+    /// Committed metamorphic divergence reports.
+    pub divergent: usize,
+    /// Sorted applied mutator-rule keys (`"mutator/rule"`).
+    pub fired: Vec<String>,
+    /// Size of the mutator-rule universe (`p4_mutate::total_rules`).
+    pub rules_total: usize,
+}
+
+impl MutationSummary {
+    /// Number of distinct mutator rules applied.
+    pub fn rules_fired(&self) -> usize {
+        self.fired.len()
+    }
+
+    /// Renders the mutation block (used by both `HuntReport::render` and
+    /// `render_table2`).
+    pub fn render(&self) -> String {
+        format!(
+            "mutation: {} mutant(s) checked, {} divergent, {}/{} mutator rules applied\n",
+            self.mutants_checked,
+            self.divergent,
+            self.rules_fired(),
+            self.rules_total
+        )
+    }
+}
+
 /// The findings one seed contributed (clean seeds are not recorded).
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SeedOutcome {
@@ -469,6 +536,8 @@ pub struct HuntReport {
     pub reduction_failures: usize,
     /// The coverage block (present iff [`HuntConfig::coverage`] was set).
     pub coverage: Option<CoverageSummary>,
+    /// The mutation block (present iff [`HuntConfig::mutation`] was set).
+    pub mutation: Option<MutationSummary>,
 }
 
 impl HuntReport {
@@ -531,6 +600,9 @@ impl HuntReport {
         if let Some(coverage) = &self.coverage {
             out.push_str(&coverage.render());
         }
+        if let Some(mutation) = &self.mutation {
+            out.push_str(&mutation.render());
+        }
         out
     }
 
@@ -548,6 +620,7 @@ impl HuntReport {
         }
         let mut report = summarise(&database);
         report.coverage = self.coverage.clone();
+        report.mutation = self.mutation.clone();
         report
     }
 }
@@ -557,6 +630,9 @@ struct SeedResult {
     reports: Vec<BugReport>,
     /// Coverage observation (present iff the hunt is coverage-guided).
     observed: Option<SeedObservation>,
+    /// Mutation observation (present iff the hunt mutates):
+    /// `(rules applied, mutants checked)`.
+    mutated: Option<(MutationCoverage, usize)>,
 }
 
 /// The coverage a seed's program produced, captured on the worker and
@@ -604,6 +680,15 @@ impl GuidedCommit {
     }
 }
 
+/// Mutation state guarded by the commit lock, merged strictly in seed
+/// order like [`GuidedCommit`].
+#[derive(Default)]
+struct MutationAccum {
+    coverage: MutationCoverage,
+    mutants: usize,
+    divergent: usize,
+}
+
 /// Commit state shared by the hunt workers: results enter `pending` in any
 /// order and are committed strictly in task order, which makes early stop
 /// (and therefore the whole report) schedule-independent.
@@ -618,6 +703,8 @@ struct HuntCommit {
     stopped: bool,
     /// Coverage accumulation (present iff the hunt is coverage-guided).
     guided: Option<GuidedCommit>,
+    /// Mutation accumulation (present iff the hunt mutates).
+    mutation: Option<MutationAccum>,
 }
 
 impl HuntCommit {
@@ -638,8 +725,20 @@ impl HuntCommit {
                     guided.commit(committed_seed, observation);
                 }
             }
+            if let Some((coverage, mutants)) = result.mutated {
+                if let Some(mutation) = &mut self.mutation {
+                    mutation.coverage.merge(&coverage);
+                    mutation.mutants += mutants;
+                }
+            }
             let reports = result.reports;
             if !reports.is_empty() {
+                if let Some(mutation) = &mut self.mutation {
+                    mutation.divergent += reports
+                        .iter()
+                        .filter(|r| matches!(r.kind, BugKind::Metamorphic))
+                        .count();
+                }
                 self.bugs += reports.len();
                 if config.reduce_reports {
                     // Counted over *committed* reports only, so the tally is
@@ -714,6 +813,13 @@ impl ParallelCampaign {
         let jobs = config.jobs.max(1);
         let start = std::time::Instant::now();
 
+        // Pre-worker mutation state: the accumulator, plus the outcomes of
+        // mutating replayed corpus entries (sequential, in corpus order —
+        // part of the determinism contract like the replay itself).
+        let mut mutation_accum = config.mutation.as_ref().map(|_| MutationAccum::default());
+        let mut replay_outcomes: Vec<SeedOutcome> = Vec::new();
+        let mut replay_reduction_failures = 0usize;
+
         let guided = config.coverage.as_ref().map(|options| {
             let corpus = match &options.corpus {
                 Some(path) => Corpus::load_or_empty(path)
@@ -733,25 +839,101 @@ impl ParallelCampaign {
             // first epoch's weights already steer toward the genuinely
             // uncovered rules.
             let compiler = factory();
+            let gauntlet = Gauntlet::new(GauntletOptions {
+                incremental: config.incremental,
+                ..GauntletOptions::default()
+            });
+            let mut replay_checker = config
+                .mutation
+                .as_ref()
+                .map(|_| MetamorphicChecker::new(factory()));
             for entry in &guided.corpus.entries {
                 let program = p4_parser::parse_program(&entry.source)
                     .expect("corpus entries are parse-checked on load");
-                let (_, coverage) = p4c::coverage::with_sink(|| compiler.compile(&program));
+                let (compile_result, coverage) =
+                    p4c::coverage::with_sink(|| compiler.compile(&program));
                 guided.accum.merge(&coverage);
                 guided.census.merge(&ConstructCensus::of(&program));
+                // Replayed entries are mutated too: the corpus multiplies
+                // into mutant families for free on every campaign start.
+                // Entries whose seed the hunt itself will process are
+                // skipped — the worker mutation-checks that seed's program
+                // with the same stream seed, and committing both would
+                // duplicate reports (and drain any bug quota twice).
+                let hunted_by_worker = entry.seed >= config.seed_start
+                    && entry.seed < config.seed_start + config.seed_count as u64;
+                if hunted_by_worker {
+                    continue;
+                }
+                if let (Some(options), Some(checker)) = (&config.mutation, &mut replay_checker) {
+                    let seed_final = compile_result.ok().map(|r| r.program);
+                    let result = match &seed_final {
+                        Some(seed_final) => gauntlet.check_mutants_against(
+                            checker,
+                            seed_final,
+                            &program,
+                            options,
+                            hunt_mutation_seed(entry.seed),
+                        ),
+                        None => gauntlet.check_mutants(
+                            checker,
+                            &program,
+                            options,
+                            hunt_mutation_seed(entry.seed),
+                        ),
+                    };
+                    let accum = mutation_accum.as_mut().expect("mutation accum exists");
+                    accum.coverage.merge(&result.coverage);
+                    accum.mutants += result.mutants_checked;
+                    accum.divergent += result
+                        .reports
+                        .iter()
+                        .filter(|r| matches!(r.kind, BugKind::Metamorphic))
+                        .count();
+                    let mut reports = result.reports;
+                    if config.reduce_reports {
+                        // Replayed findings honour the same
+                        // every-committed-report-is-reduced contract as
+                        // worker findings (all of them are mutation-origin,
+                        // so they reduce through the metamorphic oracle).
+                        for report in &mut reports {
+                            if report.platform != Platform::P4c {
+                                continue;
+                            }
+                            let mut oracle = p4_reduce::MetamorphicOracle::new(
+                                factory(),
+                                options.clone(),
+                                hunt_mutation_seed(entry.seed),
+                            );
+                            gauntlet.reduce_report(&mut oracle, &program, report);
+                        }
+                        replay_reduction_failures += reports
+                            .iter()
+                            .filter(|r| r.platform == Platform::P4c && r.minimized.is_none())
+                            .count();
+                    }
+                    if !reports.is_empty() {
+                        replay_outcomes.push(SeedOutcome {
+                            seed: entry.seed,
+                            reports,
+                        });
+                    }
+                }
             }
             guided
         });
 
+        let replay_bugs: usize = replay_outcomes.iter().map(|o| o.reports.len()).sum();
         let commit = Mutex::new(HuntCommit {
             pending: BTreeMap::new(),
             next: 0,
-            committed: Vec::new(),
+            committed: replay_outcomes,
             programs_checked: 0,
-            bugs: 0,
-            reduction_failures: 0,
-            stopped: false,
+            bugs: replay_bugs,
+            reduction_failures: replay_reduction_failures,
+            stopped: matches!(config.bug_quota, Some(quota) if replay_bugs >= quota),
             guided,
+            mutation: mutation_accum,
         });
         let processed_counts = Mutex::new(vec![0usize; jobs]);
 
@@ -799,6 +981,12 @@ impl ParallelCampaign {
         }
 
         let state = commit.into_inner().expect("hunt lock");
+        let mutation = state.mutation.as_ref().map(|accum| MutationSummary {
+            mutants_checked: accum.mutants,
+            divergent: accum.divergent,
+            fired: accum.coverage.fired_keys(),
+            rules_total: p4_mutate::total_rules(),
+        });
         let coverage = state.guided.map(|guided| {
             if let Some(path) = config.coverage.as_ref().and_then(|o| o.corpus.as_ref()) {
                 guided
@@ -823,6 +1011,7 @@ impl ParallelCampaign {
             per_worker: processed_counts.into_inner().expect("count lock"),
             reduction_failures: state.reduction_failures,
             coverage,
+            mutation,
         }
     }
 
@@ -862,6 +1051,15 @@ impl ParallelCampaign {
                         .iter()
                         .map(|spec| registry.build_spec(spec).expect("specs validated above"))
                         .collect();
+                    // One metamorphic checker per worker: its validation
+                    // session (semantics cache + incremental solver) is
+                    // reused across every seed the worker claims; verdicts
+                    // are cache-independent, so sharing preserves the
+                    // byte-identical-across-jobs contract.
+                    let mut mutation_checker = config
+                        .mutation
+                        .as_ref()
+                        .map(|_| MetamorphicChecker::new(factory()));
                     let mut processed = 0usize;
                     loop {
                         if commit.lock().expect("hunt lock").stopped {
@@ -893,6 +1091,33 @@ impl ParallelCampaign {
                                 gauntlet.check_differential(&diff_targets, &program).reports,
                             );
                         }
+                        let mutated = match (&config.mutation, &mut mutation_checker) {
+                            (Some(options), Some(checker)) => {
+                                // Reuse the open-compiler check's compile of
+                                // the seed (identically configured compiler,
+                                // deterministic pipeline ⇒ identical form);
+                                // a rejected/crashed seed falls back to the
+                                // checker's own compile, which then skips.
+                                let result = match &open_outcome.compiled {
+                                    Some(seed_final) => gauntlet.check_mutants_against(
+                                        checker,
+                                        seed_final,
+                                        &program,
+                                        options,
+                                        hunt_mutation_seed(seed),
+                                    ),
+                                    None => gauntlet.check_mutants(
+                                        checker,
+                                        &program,
+                                        options,
+                                        hunt_mutation_seed(seed),
+                                    ),
+                                };
+                                reports.extend(result.reports);
+                                Some((result.coverage, result.mutants_checked))
+                            }
+                            _ => None,
+                        };
                         if config.reduce_reports
                             && !reports.is_empty()
                             // Once the quota stop is set nothing further can
@@ -911,7 +1136,29 @@ impl ParallelCampaign {
                                 if report.platform != Platform::P4c {
                                     continue;
                                 }
-                                let mut oracle = Gauntlet::open_compiler_oracle(report, factory());
+                                // Mutation-origin findings (divergences,
+                                // and crashes/rejections that fire only on
+                                // a mutant — the seed program compiles
+                                // clean, so the open-compiler oracles can
+                                // never reproduce them) reduce through
+                                // their own oracle: same mutation stream as
+                                // the detection above, so a candidate is
+                                // accepted only when the identical finding
+                                // reproduces.
+                                let mut oracle: Box<dyn p4_reduce::Oracle> =
+                                    if matches!(report.technique, Technique::MetamorphicMutation) {
+                                        let options = config
+                                            .mutation
+                                            .clone()
+                                            .expect("metamorphic reports imply mutation config");
+                                        Box::new(p4_reduce::MetamorphicOracle::new(
+                                            factory(),
+                                            options,
+                                            hunt_mutation_seed(seed),
+                                        ))
+                                    } else {
+                                        Gauntlet::open_compiler_oracle(report, factory())
+                                    };
                                 gauntlet.reduce_report(&mut *oracle, &program, report);
                             }
                         }
@@ -923,9 +1170,14 @@ impl ParallelCampaign {
                             program,
                         });
                         let mut state = commit.lock().expect("hunt lock");
-                        state
-                            .pending
-                            .insert(index, SeedResult { reports, observed });
+                        state.pending.insert(
+                            index,
+                            SeedResult {
+                                reports,
+                                observed,
+                                mutated,
+                            },
+                        );
                         state.drain(config);
                     }
                     processed_counts.lock().expect("count lock")[worker] += processed;

@@ -16,7 +16,8 @@ use p4_ir::{
     ActionDecl, ActionRef, BinOp, Block, Declaration, Direction, Expr, FunctionDecl, KeyElement,
     MatchKind, Param, Program, Statement, TableDecl, Type,
 };
-use p4c::{Compiler, FrontEndBugClass, PassArea};
+use p4_mutate::{MetamorphicChecker, MetamorphicOptions, CAMPAIGN_MUTATION_SEED};
+use p4c::{Compiler, DriverBugClass, FrontEndBugClass, PassArea};
 use serde::{Deserialize, Serialize};
 use targets::{BackEndBugClass, TargetRegistry};
 
@@ -25,6 +26,10 @@ use targets::{BackEndBugClass, TargetRegistry};
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum SeededBug {
     FrontEnd(FrontEndBugClass),
+    /// A driver-level defect applied before the first snapshot — invisible
+    /// to per-pass translation validation, detectable only by the
+    /// metamorphic mutation oracle (`p4-mutate`).
+    Driver(DriverBugClass),
     BackEnd(BackEndBugClass),
 }
 
@@ -35,6 +40,7 @@ impl SeededBug {
             .into_iter()
             .map(SeededBug::FrontEnd)
             .collect();
+        bugs.extend(DriverBugClass::all().into_iter().map(SeededBug::Driver));
         bugs.extend(BackEndBugClass::all().into_iter().map(SeededBug::BackEnd));
         bugs
     }
@@ -42,7 +48,7 @@ impl SeededBug {
     /// The platform the bug is observed on (Table 2 column).
     pub fn platform(self) -> Platform {
         match self {
-            SeededBug::FrontEnd(_) => Platform::P4c,
+            SeededBug::FrontEnd(_) | SeededBug::Driver(_) => Platform::P4c,
             SeededBug::BackEnd(bug) => match bug.backend() {
                 targets::Backend::Bmv2 => Platform::Bmv2,
                 targets::Backend::Tofino => Platform::Tofino,
@@ -58,6 +64,9 @@ impl SeededBug {
                 PassArea::MidEnd => CompilerArea::MidEnd,
                 PassArea::BackEnd => CompilerArea::BackEnd,
             },
+            // Pre-snapshot corruption happens while the front end builds
+            // the IR the pipeline consumes.
+            SeededBug::Driver(_) => CompilerArea::FrontEnd,
             SeededBug::BackEnd(_) => CompilerArea::BackEnd,
         }
     }
@@ -66,6 +75,7 @@ impl SeededBug {
     pub fn is_crash_class(self) -> bool {
         match self {
             SeededBug::FrontEnd(bug) => bug.is_crash_class(),
+            SeededBug::Driver(_) => false,
             SeededBug::BackEnd(bug) => bug.is_crash_class(),
         }
     }
@@ -74,6 +84,7 @@ impl SeededBug {
     pub fn name(self) -> String {
         match self {
             SeededBug::FrontEnd(bug) => format!("{bug:?}"),
+            SeededBug::Driver(bug) => format!("{bug:?}"),
             SeededBug::BackEnd(bug) => format!("{bug:?}"),
         }
     }
@@ -82,9 +93,15 @@ impl SeededBug {
     /// the reference (correct) front/mid end.
     pub fn build_compiler(self) -> Compiler {
         let mut compiler = Compiler::reference();
-        if let SeededBug::FrontEnd(bug) = self {
-            let replaced = compiler.replace_pass(bug.faulty_pass());
-            debug_assert!(replaced, "bug class must map onto an existing pass");
+        match self {
+            SeededBug::FrontEnd(bug) => {
+                let replaced = compiler.replace_pass(bug.faulty_pass());
+                debug_assert!(replaced, "bug class must map onto an existing pass");
+            }
+            SeededBug::Driver(bug) => {
+                compiler.seed_input_corruption(bug);
+            }
+            SeededBug::BackEnd(_) => {}
         }
         compiler
     }
@@ -93,7 +110,7 @@ impl SeededBug {
     pub fn backend_bug(self) -> Option<BackEndBugClass> {
         match self {
             SeededBug::BackEnd(bug) => Some(bug),
-            SeededBug::FrontEnd(_) => None,
+            SeededBug::FrontEnd(_) | SeededBug::Driver(_) => None,
         }
     }
 
@@ -102,7 +119,7 @@ impl SeededBug {
     pub fn target_name(self) -> Option<&'static str> {
         match self {
             SeededBug::BackEnd(bug) => Some(bug.backend().target_name()),
-            SeededBug::FrontEnd(_) => None,
+            SeededBug::FrontEnd(_) | SeededBug::Driver(_) => None,
         }
     }
 
@@ -111,6 +128,20 @@ impl SeededBug {
     /// front/mid-end bugs, generic target-trait testgen (through the
     /// builtin [`TargetRegistry`]) for back-end bugs.
     pub fn detect(self, gauntlet: &Gauntlet, program: &p4_ir::Program) -> Vec<BugReport> {
+        if matches!(self, SeededBug::Driver(_)) {
+            // The technique that can see pre-snapshot corruption: the
+            // metamorphic mutation oracle, with the fixed campaign seed so
+            // detection and the reduction oracle derive the same mutants.
+            let mut checker = MetamorphicChecker::new(self.build_compiler());
+            return gauntlet
+                .check_mutants(
+                    &mut checker,
+                    program,
+                    &MetamorphicOptions::default(),
+                    CAMPAIGN_MUTATION_SEED,
+                )
+                .reports;
+        }
         match self.target_name() {
             None => {
                 gauntlet
@@ -130,6 +161,7 @@ impl SeededBug {
     pub fn trigger_program(self) -> Program {
         match self {
             SeededBug::FrontEnd(bug) => front_end_trigger(bug),
+            SeededBug::Driver(bug) => driver_trigger(bug),
             SeededBug::BackEnd(bug) => back_end_trigger(bug),
         }
     }
@@ -146,12 +178,17 @@ impl SeededBug {
     /// detects the bug is the technique that must keep reproducing it while
     /// `p4-reduce` shrinks the trigger program.
     pub fn oracle(self, max_tests: usize) -> Box<dyn p4_reduce::Oracle> {
-        use p4_reduce::{CrashOracle, SemanticOracle, TestgenOracle};
+        use p4_reduce::{CrashOracle, MetamorphicOracle, SemanticOracle, TestgenOracle};
         match self {
             SeededBug::FrontEnd(bug) if bug.is_crash_class() => {
                 Box::new(CrashOracle::new(self.build_compiler()))
             }
             SeededBug::FrontEnd(_) => Box::new(SemanticOracle::new(self.build_compiler())),
+            SeededBug::Driver(_) => Box::new(MetamorphicOracle::new(
+                self.build_compiler(),
+                MetamorphicOptions::default(),
+                CAMPAIGN_MUTATION_SEED,
+            )),
             SeededBug::BackEnd(bug) => {
                 let target = TargetRegistry::builtin()
                     .build_seeded(bug.backend().target_name(), Some(bug))
@@ -351,6 +388,27 @@ fn front_end_trigger(bug: FrontEndBugClass) -> Program {
                 Block::new(vec![Statement::call(vec!["t", "apply"], vec![])]),
             )
         }
+    }
+}
+
+/// A trigger for the driver corruption: the ingress block *ends* with a
+/// meaningful write, which the corruption silently drops from every
+/// snapshot.  Detection needs a mutant whose tail differs (an opaque guard
+/// appended at the end, the final write block-wrapped or reordered away) so
+/// the corruption damages seed and mutant differently.
+fn driver_trigger(bug: DriverBugClass) -> Program {
+    match bug {
+        DriverBugClass::SnapshotDropsFinalWrite => builder::v1model_program(
+            vec![],
+            Block::new(vec![
+                Statement::assign(hdr(&["meta", "flag"]), Expr::uint(1, 8)),
+                Statement::assign(
+                    hdr(&["hdr", "h", "b"]),
+                    Expr::binary(BinOp::Add, hdr(&["hdr", "h", "a"]), Expr::uint(1, 8)),
+                ),
+                Statement::assign(hdr(&["hdr", "h", "a"]), Expr::uint(7, 8)),
+            ]),
+        ),
     }
 }
 

@@ -31,9 +31,12 @@ pub mod report;
 pub use bugs::{BugDatabase, BugKind, BugReport, CompilerArea, Platform, Technique};
 pub use campaign::{
     run_campaign, CampaignConfig, CampaignReport, CoverageOptions, CoverageSummary, HuntConfig,
-    HuntReport, ParallelCampaign, SeedOutcome, SeededBugOutcome,
+    HuntReport, MutationSummary, ParallelCampaign, SeedOutcome, SeededBugOutcome,
 };
 pub use corpus::{Corpus, CorpusEntry};
 pub use inject::SeededBug;
-pub use pipeline::{Gauntlet, GauntletOptions, ProgramOutcome};
+pub use p4_mutate::{
+    hunt_mutation_seed, MetamorphicChecker, MetamorphicOptions, CAMPAIGN_MUTATION_SEED,
+};
+pub use pipeline::{Gauntlet, GauntletOptions, MutationOutcome, ProgramOutcome};
 pub use report::{render_detection_matrix, render_reduction_summary, render_table2, render_table3};

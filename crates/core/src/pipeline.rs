@@ -14,6 +14,10 @@
 
 use crate::bugs::{BugKind, BugReport, CompilerArea, Platform, Technique};
 use p4_ir::Program;
+use p4_mutate::{
+    MetamorphicChecker, MetamorphicFinding, MetamorphicFindingKind, MetamorphicOptions,
+    MutationCoverage,
+};
 use p4_reduce::{CrashOracle, Oracle, Reducer, ReducerConfig, SemanticOracle};
 use p4_symbolic::{
     check_equivalence, generate_tests, Equivalence, EquivalenceError, ValidationSession,
@@ -29,6 +33,11 @@ pub struct ProgramOutcome {
     pub reports: Vec<BugReport>,
     /// True when the program compiled and every check passed.
     pub clean: bool,
+    /// The fully lowered program, when compilation succeeded (open-compiler
+    /// checks only).  Campaign workers hand it to
+    /// [`Gauntlet::check_mutants_against`] so the metamorphic dimension
+    /// does not recompile the seed.
+    pub compiled: Option<Program>,
 }
 
 impl ProgramOutcome {
@@ -36,6 +45,7 @@ impl ProgramOutcome {
         ProgramOutcome {
             clean: reports.is_empty(),
             reports,
+            compiled: None,
         }
     }
 }
@@ -164,7 +174,11 @@ impl Gauntlet {
                     diagnostics.join("; "),
                 )])
             }
-            Ok(result) => ProgramOutcome::with_reports(self.validate_translation(&result)),
+            Ok(result) => {
+                let mut outcome = ProgramOutcome::with_reports(self.validate_translation(&result));
+                outcome.compiled = Some(result.program);
+                outcome
+            }
         }
     }
 
@@ -241,6 +255,56 @@ impl Gauntlet {
             }
         }
         reports
+    }
+
+    /// The second bug-finding dimension — metamorphic mutation testing
+    /// (`p4-mutate`, the EMI-style oracle of paper §8): derive
+    /// semantics-preserving mutants of `program`, compile seed and every
+    /// mutant with the checker's compiler, and prove `compile(mutant) ≡
+    /// compile(seed)` end-to-end through the checker's hash-consed
+    /// incremental `ValidationSession`.  A divergence is reported as
+    /// [`BugKind::Metamorphic`], de-duplicated by the (ddmin-minimised)
+    /// mutator chain plus the diverging output field; compiler crashes and
+    /// rejections on a mutant are reported under their own kinds so they
+    /// collapse with the same defect found by plain crash detection.
+    ///
+    /// `seed` seeds the mutation streams: the same `(program, options,
+    /// seed)` triple yields byte-identical reports on any worker, which is
+    /// how `HuntConfig::mutation` folds this into the ordered-commit
+    /// determinism contract.
+    pub fn check_mutants(
+        &self,
+        checker: &mut MetamorphicChecker,
+        program: &Program,
+        options: &MetamorphicOptions,
+        seed: u64,
+    ) -> MutationOutcome {
+        let outcome = p4_reduce::metamorphic_findings(checker, program, options, seed);
+        MutationOutcome {
+            reports: outcome.findings.iter().map(metamorphic_report).collect(),
+            coverage: outcome.coverage,
+            mutants_checked: outcome.mutants_checked,
+        }
+    }
+
+    /// [`Gauntlet::check_mutants`] with the seed's compiled form supplied by
+    /// the caller (see [`ProgramOutcome::compiled`]) — saves one full
+    /// pipeline run per hunted program.
+    pub fn check_mutants_against(
+        &self,
+        checker: &mut MetamorphicChecker,
+        seed_final: &Program,
+        program: &Program,
+        options: &MetamorphicOptions,
+        seed: u64,
+    ) -> MutationOutcome {
+        let outcome =
+            p4_reduce::metamorphic_findings_against(checker, seed_final, program, options, seed);
+        MutationOutcome {
+            reports: outcome.findings.iter().map(metamorphic_report).collect(),
+            coverage: outcome.coverage,
+            mutants_checked: outcome.mutants_checked,
+        }
     }
 
     /// Technique 3 against one black-box back end: compile for the target,
@@ -424,6 +488,69 @@ impl Gauntlet {
     }
 }
 
+/// The result of checking one seed program's mutant family
+/// ([`Gauntlet::check_mutants`]).
+#[derive(Debug, Clone, Default)]
+pub struct MutationOutcome {
+    pub reports: Vec<BugReport>,
+    /// Which mutation rules were applied while building the family
+    /// (reported by campaigns next to pass-rewrite coverage).
+    pub coverage: MutationCoverage,
+    /// Mutants that actually mutated and were checked.
+    pub mutants_checked: usize,
+}
+
+/// Packages a metamorphic finding as a [`BugReport`].  First message lines
+/// stay in lock-step with `p4_reduce::metamorphic_signature`, which the
+/// seeded-bug signature test pins.
+fn metamorphic_report(finding: &MetamorphicFinding) -> BugReport {
+    match finding.kind {
+        MetamorphicFindingKind::Divergence => BugReport::new(
+            BugKind::Metamorphic,
+            Platform::P4c,
+            // The end-to-end oracle cannot localise a pass; like the paper's
+            // EMI discussion, findings point at the shared front end until a
+            // human (or reduction) narrows them down.
+            CompilerArea::FrontEnd,
+            Technique::MetamorphicMutation,
+            None,
+            format!("{}\n{}", finding.headline(), finding.detail),
+        ),
+        MetamorphicFindingKind::Crash => BugReport::new(
+            BugKind::Crash,
+            Platform::P4c,
+            finding
+                .pass
+                .as_deref()
+                .map(area_of_pass)
+                .unwrap_or(CompilerArea::FrontEnd),
+            Technique::MetamorphicMutation,
+            finding.pass.clone(),
+            format!(
+                "{}\n  via mutation chain `{}`",
+                finding.detail,
+                finding.chain_key()
+            ),
+        ),
+        MetamorphicFindingKind::Rejection => BugReport::new(
+            BugKind::Rejection,
+            Platform::P4c,
+            finding
+                .pass
+                .as_deref()
+                .map(area_of_pass)
+                .unwrap_or(CompilerArea::FrontEnd),
+            Technique::MetamorphicMutation,
+            finding.pass.clone(),
+            format!(
+                "{}\n  via mutation chain `{}`",
+                finding.detail,
+                finding.chain_key()
+            ),
+        ),
+    }
+}
+
 /// The sentinel participant index of the test-generation model.
 const MODEL: usize = usize::MAX;
 
@@ -603,6 +730,62 @@ mod tests {
             p4_parser::parse_program(report.minimized.as_deref().expect("minimized attached"))
                 .expect("minimized reproducer parses");
         assert!(oracle.reproduces(&minimized, &target));
+    }
+
+    /// The metamorphic dimension pays for itself exactly where translation
+    /// validation is provably blind: corruption applied before the first
+    /// snapshot makes every pass pair self-consistent, yet the mutant
+    /// family convicts the compiler end-to-end.
+    #[test]
+    fn metamorphic_check_convicts_pre_snapshot_corruption_tv_misses() {
+        use p4_ir::{Block, Expr, Statement};
+        let trigger = builder::v1model_program(
+            vec![],
+            Block::new(vec![
+                Statement::assign(Expr::dotted(&["meta", "flag"]), Expr::uint(1, 8)),
+                Statement::assign(Expr::dotted(&["hdr", "h", "b"]), Expr::uint(2, 8)),
+                Statement::assign(Expr::dotted(&["hdr", "h", "a"]), Expr::uint(7, 8)),
+            ]),
+        );
+        let build = || {
+            let mut compiler = Compiler::reference();
+            compiler.seed_input_corruption(p4c::DriverBugClass::SnapshotDropsFinalWrite);
+            compiler
+        };
+        let gauntlet = Gauntlet::default();
+        // Crash detection + per-pass translation validation: silent.
+        let open = gauntlet.check_open_compiler(&build(), &trigger);
+        assert!(open.clean, "TV must be blind here: {:#?}", open.reports);
+        // Metamorphic mutation: convicted.
+        let mut checker = MetamorphicChecker::new(build());
+        let outcome = gauntlet.check_mutants(
+            &mut checker,
+            &trigger,
+            &MetamorphicOptions::default(),
+            p4_mutate::CAMPAIGN_MUTATION_SEED,
+        );
+        assert!(outcome.mutants_checked > 0);
+        let divergence = outcome
+            .reports
+            .iter()
+            .find(|r| r.kind == BugKind::Metamorphic)
+            .unwrap_or_else(|| panic!("no metamorphic finding: {:#?}", outcome.reports));
+        assert_eq!(divergence.platform, Platform::P4c);
+        assert!(
+            divergence.message.starts_with("mutation chain `"),
+            "{}",
+            divergence.message
+        );
+        // And the reference compiler stays metamorphically clean (the
+        // false-alarm discipline of §5.2 applies to the new oracle too).
+        let mut reference = MetamorphicChecker::new(Compiler::reference());
+        let clean = gauntlet.check_mutants(
+            &mut reference,
+            &trigger,
+            &MetamorphicOptions::default(),
+            p4_mutate::CAMPAIGN_MUTATION_SEED,
+        );
+        assert!(clean.reports.is_empty(), "{:#?}", clean.reports);
     }
 
     fn exit_program() -> Program {

@@ -55,6 +55,10 @@ pub fn render_table2(report: &CampaignReport) -> String {
         let _ = writeln!(out);
         out.push_str(&coverage.render());
     }
+    if let Some(mutation) = &report.mutation {
+        let _ = writeln!(out);
+        out.push_str(&mutation.render());
+    }
     out
 }
 
@@ -244,6 +248,7 @@ mod tests {
             false_alarms: 0,
             total_detected: 16,
             coverage: None,
+            mutation: None,
         }
     }
 
@@ -348,6 +353,7 @@ mod tests {
             elapsed: Duration::from_secs(1),
             per_worker: vec![2],
             coverage: None,
+            mutation: None,
         };
         let text = render_reduction_summary(&hunt);
         assert!(text.contains("Semantic/SimplifyDefUse"), "{text}");

@@ -30,4 +30,6 @@ pub use census::ConstructCensus;
 pub use env::{type_of, Aggregate, AggregateKind, Scope, TypeEnv};
 pub use printer::{print_expr, print_program, print_statement};
 pub use types::{max_unsigned, truncate, Direction, MatchKind, Param, Type};
-pub use visit::{Mutator, NodeCounter, Visitor};
+pub use visit::{
+    for_each_statement_list, for_each_statement_list_mut, Mutator, NodeCounter, Visitor,
+};

@@ -300,6 +300,66 @@ pub fn mutate_walk_expr<M: Mutator + ?Sized>(m: &mut M, expr: &mut Expr) {
     }
 }
 
+/// Applies `f` to every statement *list* reachable from `block`, outermost
+/// first: the block's own list, then — in statement order — the lists nested
+/// inside child blocks and `if` branches.  Statement lists (rather than
+/// individual statements) are the unit of interest for transformations that
+/// insert, splice, or reorder statements: `p4-mutate`'s program mutators and
+/// `p4-reduce`'s statement-level ddmin both address sites this way.
+pub fn for_each_statement_list<F: FnMut(&[Statement])>(block: &Block, f: &mut F) {
+    f(&block.statements);
+    for stmt in &block.statements {
+        nested_statement_lists(stmt, f);
+    }
+}
+
+fn nested_statement_lists<F: FnMut(&[Statement])>(stmt: &Statement, f: &mut F) {
+    match stmt {
+        Statement::Block(block) => for_each_statement_list(block, f),
+        Statement::If {
+            then_branch,
+            else_branch,
+            ..
+        } => {
+            nested_statement_lists(then_branch, f);
+            if let Some(else_stmt) = else_branch {
+                nested_statement_lists(else_stmt, f);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Mutable counterpart of [`for_each_statement_list`]: `f` receives each
+/// statement list as `&mut Vec<Statement>` and may grow, shrink, or reorder
+/// it in place.  The traversal descends into whatever the list contains
+/// *after* `f` ran on it, so statements inserted by `f` are themselves
+/// visited — callers that must mutate only one site should latch on the
+/// first hit.
+pub fn for_each_statement_list_mut<F: FnMut(&mut Vec<Statement>)>(block: &mut Block, f: &mut F) {
+    f(&mut block.statements);
+    for stmt in &mut block.statements {
+        nested_statement_lists_mut(stmt, f);
+    }
+}
+
+fn nested_statement_lists_mut<F: FnMut(&mut Vec<Statement>)>(stmt: &mut Statement, f: &mut F) {
+    match stmt {
+        Statement::Block(block) => for_each_statement_list_mut(block, f),
+        Statement::If {
+            then_branch,
+            else_branch,
+            ..
+        } => {
+            nested_statement_lists_mut(then_branch, f);
+            if let Some(else_stmt) = else_branch {
+                nested_statement_lists_mut(else_stmt, f);
+            }
+        }
+        _ => {}
+    }
+}
+
 /// Counts occurrences of various node kinds; useful for tests and for the
 /// generator's size accounting.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
@@ -390,6 +450,41 @@ mod tests {
             }
             mutate_walk_expr(self, expr);
         }
+    }
+
+    #[test]
+    fn statement_list_walkers_cover_nested_lists() {
+        let nested = Block::new(vec![
+            Statement::assign(Expr::dotted(&["hdr", "a"]), Expr::uint(1, 8)),
+            Statement::if_else(
+                Expr::Bool(true),
+                Statement::Block(Block::new(vec![Statement::Exit])),
+                Statement::assign(Expr::dotted(&["hdr", "a"]), Expr::uint(2, 8)),
+            ),
+            Statement::Block(Block::new(vec![Statement::Empty])),
+        ]);
+        let mut lists = 0;
+        let mut statements = 0;
+        for_each_statement_list(&nested, &mut |list| {
+            lists += 1;
+            statements += list.len();
+        });
+        // Outer list, the `then` block, and the trailing block (the bare
+        // `else` statement is not a list).
+        assert_eq!(lists, 3);
+        assert_eq!(statements, 5);
+
+        // The mutable walker can splice; inserted statements are visited.
+        let mut block = nested;
+        let mut first = true;
+        for_each_statement_list_mut(&mut block, &mut |list| {
+            if first {
+                first = false;
+                list.insert(0, Statement::Empty);
+            }
+        });
+        assert_eq!(block.statements.len(), 4);
+        assert!(matches!(block.statements[0], Statement::Empty));
     }
 
     #[test]

@@ -1,0 +1,143 @@
+//! The static mutator/rule registry and mutation-coverage counters.
+//!
+//! Mirrors `p4c::coverage`: every semantics-preserving rewrite a mutator can
+//! perform is registered here as a `"mutator/rule"` key, [`MutationCoverage`]
+//! counts firings, and campaigns report "mutator rules fired / total" next
+//! to the pass-rewrite coverage block.  [`crate::standard_mutators`] is
+//! pinned against this table by a unit test so the two cannot drift apart.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Every registered mutation rule, grouped by mutator.  The campaign layer
+/// treats this as the mutation-coverage universe.
+pub const ALL_MUTATORS: &[(&str, &[&str])] = &[
+    (
+        "AlgebraicRewrite",
+        &["xor_zero", "and_all_ones", "double_negation", "shift_zero"],
+    ),
+    (
+        "ControlFlowWrap",
+        &[
+            "block_wrap",
+            "if_true_wrap",
+            "block_unwrap",
+            "if_true_hoist",
+        ],
+    ),
+    ("OpaqueGuard", &["opaque_false_branch"]),
+    ("ReorderIndependent", &["swap_independent"]),
+];
+
+/// Number of rules in the static registry (the denominator of
+/// "mutator rules fired / total").
+pub fn total_rules() -> usize {
+    ALL_MUTATORS.iter().map(|(_, rules)| rules.len()).sum()
+}
+
+/// The canonical flat key of a rule: `"mutator/rule"`.
+pub fn rule_key(mutator: &str, rule: &str) -> String {
+    format!("{mutator}/{rule}")
+}
+
+/// All registered rule keys, sorted.
+pub fn all_rule_keys() -> Vec<String> {
+    let mut keys: Vec<String> = ALL_MUTATORS
+        .iter()
+        .flat_map(|(mutator, rules)| rules.iter().map(|rule| rule_key(mutator, rule)))
+        .collect();
+    keys.sort();
+    keys
+}
+
+/// Applied-mutation counters: `"mutator/rule"` → number of applications.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MutationCoverage {
+    counts: BTreeMap<String, u64>,
+}
+
+impl MutationCoverage {
+    pub fn new() -> MutationCoverage {
+        MutationCoverage::default()
+    }
+
+    /// Increments the counter for one rule application.
+    pub fn record(&mut self, mutator: &str, rule: &str) {
+        debug_assert!(
+            ALL_MUTATORS
+                .iter()
+                .any(|(m, rules)| *m == mutator && rules.contains(&rule)),
+            "unregistered mutation rule {mutator}/{rule}; add it to registry::ALL_MUTATORS"
+        );
+        *self.counts.entry(rule_key(mutator, rule)).or_insert(0) += 1;
+    }
+
+    /// Adds every counter of `other` into `self` (commutative, so campaigns
+    /// may merge per-seed maps in any order).
+    pub fn merge(&mut self, other: &MutationCoverage) {
+        for (key, count) in &other.counts {
+            *self.counts.entry(key.clone()).or_insert(0) += count;
+        }
+    }
+
+    /// Number of distinct rules applied at least once.
+    pub fn distinct_rules(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Application count of one rule key (`"mutator/rule"`).
+    pub fn count(&self, key: &str) -> u64 {
+        self.counts.get(key).copied().unwrap_or(0)
+    }
+
+    /// Whether the given rule key has been applied.
+    pub fn fired(&self, key: &str) -> bool {
+        self.counts.contains_key(key)
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// The sorted applied-rule keys.
+    pub fn fired_keys(&self) -> Vec<String> {
+        self.counts.keys().cloned().collect()
+    }
+
+    /// Registered rules never applied, in sorted key order.
+    pub fn unfired_keys(&self) -> Vec<String> {
+        all_rule_keys()
+            .into_iter()
+            .filter(|key| !self.fired(key))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_is_consistent_and_keyed() {
+        assert_eq!(total_rules(), all_rule_keys().len());
+        assert!(total_rules() >= 10);
+        assert!(all_rule_keys().contains(&"OpaqueGuard/opaque_false_branch".to_string()));
+    }
+
+    #[test]
+    fn coverage_counts_and_merges_commutatively() {
+        let mut a = MutationCoverage::new();
+        a.record("AlgebraicRewrite", "xor_zero");
+        a.record("AlgebraicRewrite", "xor_zero");
+        let mut b = MutationCoverage::new();
+        b.record("OpaqueGuard", "opaque_false_branch");
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.count("AlgebraicRewrite/xor_zero"), 2);
+        assert_eq!(ab.distinct_rules(), 2);
+        assert_eq!(ab.unfired_keys().len(), total_rules() - 2);
+    }
+}

@@ -14,6 +14,11 @@
 //!   [`TestgenOracle`] (any `targets::Target` — BMv2, Tofino, the
 //!   reference interpreter, or a custom registration — still diverges on
 //!   generated tests);
+//! * [`metamorphic`] — the [`MetamorphicOracle`] for `p4-mutate` findings:
+//!   the applied-mutation *chain* is ddmin-minimised first
+//!   ([`minimize_chain`]), then the seed program shrinks through the
+//!   standard reducer while the minimised chain keeps reproducing the same
+//!   divergence;
 //! * [`passes`] — the [`ReductionPass`] catalogue: ddmin over top-level
 //!   declarations, statement-list ddmin inside every block, expression
 //!   simplification, and table/parser-state pruning;
@@ -28,11 +33,16 @@
 //! pure function of (program, signature, budget).
 
 pub mod ddmin;
+pub mod metamorphic;
 pub mod oracle;
 pub mod passes;
 pub mod reducer;
 
 pub use ddmin::ddmin;
+pub use metamorphic::{
+    metamorphic_findings, metamorphic_findings_against, metamorphic_signature, minimize_chain,
+    minimize_chain_against, MetamorphicOracle,
+};
 pub use oracle::{
     bug_signature, CrashOracle, FnOracle, Oracle, SemanticOracle, TestgenOracle, PLATFORM_BMV2,
     PLATFORM_P4C, PLATFORM_REFINTERP, PLATFORM_TOFINO,

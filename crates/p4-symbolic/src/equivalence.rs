@@ -43,6 +43,17 @@ pub struct Counterexample {
     pub differing_outputs: Vec<(String, Value, Value)>,
 }
 
+impl Counterexample {
+    /// The first differing output's name — the anchor the campaign layer
+    /// uses when de-duplicating findings by diverging field (translation
+    /// validation keys on the full counterexample line instead).
+    pub fn primary_field(&self) -> Option<&str> {
+        self.differing_outputs
+            .first()
+            .map(|(name, _, _)| name.as_str())
+    }
+}
+
 impl std::fmt::Display for Counterexample {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(f, "semantic difference in block `{}`:", self.block)?;

@@ -643,6 +643,52 @@ fn rhs_of(stmt: &Statement) -> Expr {
     }
 }
 
+/// Driver-level defects: corruption applied to the program **before the
+/// first snapshot is taken** (see `Compiler::seed_input_corruption`).
+///
+/// These model the class of bugs per-pass translation validation provably
+/// cannot see: the corrupted program becomes snapshot 0, every subsequent
+/// pass transforms it faithfully, and the whole chain p₀ ≡ p₁ ≡ … validates
+/// clean — the validator never compares against what the user actually
+/// wrote.  The paper's §8 names semantics-preserving-transformation
+/// (EMI-style) testing as the oracle for exactly this shape; `p4-mutate`'s
+/// metamorphic checker detects it by comparing the compiled forms of a seed
+/// and a source-equivalent mutant, which the corruption damages differently.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum DriverBugClass {
+    /// The driver's IR construction silently drops the final assignment of
+    /// the primary (`ingress`) control before snapshotting — a lost write
+    /// that is *identical in every per-pass snapshot*.
+    SnapshotDropsFinalWrite,
+}
+
+impl DriverBugClass {
+    /// All driver bug classes.
+    pub fn all() -> Vec<DriverBugClass> {
+        vec![DriverBugClass::SnapshotDropsFinalWrite]
+    }
+
+    /// Applies the corruption in place.  The result stays well-typed, so no
+    /// downstream pass can notice anything was lost.
+    pub fn corrupt(self, program: &mut Program) {
+        match self {
+            DriverBugClass::SnapshotDropsFinalWrite => {
+                let Some(ingress) = program.package.binding("ingress").map(str::to_string) else {
+                    return;
+                };
+                if let Some(control) = program.control_mut(&ingress) {
+                    if matches!(
+                        control.apply.statements.last(),
+                        Some(Statement::Assign { .. })
+                    ) {
+                        control.apply.statements.pop();
+                    }
+                }
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -25,7 +25,7 @@ pub mod error;
 pub mod pass;
 pub mod passes;
 
-pub use buggy::FrontEndBugClass;
+pub use buggy::{DriverBugClass, FrontEndBugClass};
 pub use coverage::PassCoverage;
 pub use error::{CompileError, Diagnostic};
 pub use pass::{

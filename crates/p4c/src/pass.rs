@@ -108,6 +108,10 @@ impl Default for CompileOptions {
 pub struct Compiler {
     passes: Vec<Box<dyn Pass>>,
     options: CompileOptions,
+    /// Seeded driver defect: corrupts the program after input type checking
+    /// but *before* the first snapshot, making it invisible to per-pass
+    /// translation validation (see [`crate::buggy::DriverBugClass`]).
+    input_corruption: Option<crate::buggy::DriverBugClass>,
 }
 
 impl Default for Compiler {
@@ -123,6 +127,7 @@ impl Compiler {
         Compiler {
             passes: Vec::new(),
             options: CompileOptions::default(),
+            input_corruption: None,
         }
     }
 
@@ -140,8 +145,17 @@ impl Compiler {
     pub fn with_passes(passes: Vec<Box<dyn Pass>>) -> Compiler {
         Compiler {
             passes,
-            options: CompileOptions::default(),
+            ..Compiler::empty()
         }
+    }
+
+    /// Seeds a driver-level defect: the corruption runs after input type
+    /// checking but before snapshot 0 is recorded, so every per-pass
+    /// snapshot carries it identically and translation validation stays
+    /// silent.  Only the metamorphic oracle (`p4-mutate`) can convict it.
+    pub fn seed_input_corruption(&mut self, bug: crate::buggy::DriverBugClass) -> &mut Self {
+        self.input_corruption = Some(bug);
+        self
     }
 
     pub fn options_mut(&mut self) -> &mut CompileOptions {
@@ -206,6 +220,9 @@ impl Compiler {
         }
 
         let mut current = program.clone();
+        if let Some(bug) = self.input_corruption {
+            bug.corrupt(&mut current);
+        }
         let mut snapshots = Vec::new();
         let mut unchanged = Vec::new();
         if self.options.emit_snapshots {
@@ -417,6 +434,24 @@ mod tests {
         let (result, coverage) = crate::coverage::with_sink(|| compiler.compile(&program));
         assert!(matches!(result, Err(CompileError::Crash { .. })));
         assert!(coverage.count("ConstantFolding/fold_arith") >= 1);
+    }
+
+    /// The seeded driver corruption runs before snapshot 0: the write is
+    /// gone from *every* snapshot (so pass-pair validation has nothing to
+    /// compare against), yet the compiled output genuinely lost it.
+    #[test]
+    fn input_corruption_poisons_snapshot_zero() {
+        let program = builder::trivial_program();
+        let mut compiler = Compiler::reference();
+        compiler.seed_input_corruption(crate::buggy::DriverBugClass::SnapshotDropsFinalWrite);
+        let corrupted = compiler.compile(&program).unwrap();
+        let reference = Compiler::reference().compile(&program).unwrap();
+        assert_ne!(
+            corrupted.snapshots[0].printed, reference.snapshots[0].printed,
+            "corruption must land before the first snapshot"
+        );
+        assert!(!corrupted.snapshots[0].printed.contains("hdr.h.a = 8w1;"));
+        assert!(reference.program != corrupted.program);
     }
 
     #[test]

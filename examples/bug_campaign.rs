@@ -8,17 +8,24 @@
 //!
 //! ```text
 //! cargo run --release --example bug_campaign -- [--jobs N] [--programs-per-bug P] \
-//!     [--hunt-seeds S] [--coverage 1] [--corpus PATH]
+//!     [--hunt-seeds S] [--coverage 1] [--corpus PATH] [--mutate 1] \
+//!     [--mutations-per-seed M]
 //! ```
 //!
 //! `--coverage 1` turns the hunts coverage-guided: pass-rule coverage is
 //! accumulated, generator weights adapt each epoch, and the report gains a
 //! coverage block; `--corpus PATH` additionally persists the
-//! coverage-advancing programs across runs.
+//! coverage-advancing programs across runs.  `--mutate 1` adds the second
+//! bug-finding dimension: every hunted program (and every replayed corpus
+//! entry) spawns `--mutations-per-seed` semantics-preserving mutants whose
+//! compiled forms are proved equivalent to the compiled seed, the report
+//! gains a mutation block, and a hunt against a compiler with seeded
+//! pre-snapshot corruption demonstrates a detection translation validation
+//! provably cannot make.
 
 use gauntlet_core::{
     render_detection_matrix, render_table2, render_table3, run_campaign, CampaignConfig,
-    CoverageOptions, HuntConfig, ParallelCampaign, SeededBug,
+    CoverageOptions, HuntConfig, MetamorphicOptions, ParallelCampaign, SeededBug,
 };
 
 fn parse_flag(name: &str, default: usize) -> usize {
@@ -46,6 +53,17 @@ fn main() {
         Some(CoverageOptions {
             corpus: parse_string_flag("--corpus"),
             ..CoverageOptions::default()
+        })
+    } else {
+        None
+    };
+    let mutation = if parse_flag("--mutate", 0) != 0 {
+        Some(MetamorphicOptions {
+            mutants_per_seed: parse_flag(
+                "--mutations-per-seed",
+                MetamorphicOptions::default().mutants_per_seed,
+            ),
+            ..MetamorphicOptions::default()
         })
     } else {
         None
@@ -86,8 +104,13 @@ fn main() {
     let hunt = ParallelCampaign::new(HuntConfig {
         jobs,
         seed_count: hunt_seeds,
-        bug_quota: if coverage.is_some() { None } else { Some(5) },
+        bug_quota: if coverage.is_some() || mutation.is_some() {
+            None
+        } else {
+            Some(5)
+        },
         coverage: coverage.clone(),
+        mutation: mutation.clone(),
         ..HuntConfig::default()
     })
     .run(|| buggy.build_compiler());
@@ -133,4 +156,43 @@ fn main() {
             .all(|r| r.attributed_to.as_deref() == Some("bmv2")),
         "the 3-way vote must attribute every finding to the seeded bmv2 target"
     );
+
+    // Part 4 (with --mutate): the metamorphic showcase — hunt a compiler
+    // whose driver corrupts the program *before the first snapshot*.
+    // Translation validation is blind to it by construction; the mutant
+    // families convict it.
+    if let Some(mutation) = mutation {
+        let driver_bug = SeededBug::catalogue()
+            .into_iter()
+            .find(|b| matches!(b, SeededBug::Driver(_)))
+            .expect("catalogue has a driver bug");
+        println!(
+            "metamorphic hunt: {} programs x {} mutants against `{}` ({} job(s)) ...",
+            hunt_seeds,
+            mutation.mutants_per_seed,
+            driver_bug.name(),
+            jobs
+        );
+        let metamorphic = ParallelCampaign::new(HuntConfig {
+            jobs,
+            seed_count: hunt_seeds,
+            mutation: Some(mutation),
+            ..HuntConfig::default()
+        })
+        .run(|| driver_bug.build_compiler());
+        println!(
+            "metamorphic hunt finished in {:?} ({:.1} programs/s)",
+            metamorphic.elapsed,
+            metamorphic.throughput()
+        );
+        println!("{}", metamorphic.render());
+        let summary = metamorphic
+            .mutation
+            .as_ref()
+            .expect("mutation block present");
+        assert!(
+            summary.divergent > 0,
+            "the metamorphic oracle must convict the pre-snapshot corruption"
+        );
+    }
 }

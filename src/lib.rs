@@ -12,6 +12,7 @@
 //! | [`p4_parser`] | parser round-tripping the printer's output |
 //! | [`p4_gen`] | random well-typed program generation (paper §4) |
 //! | [`p4c`] | the nanopass compiler under test, with seedable bug classes |
+//! | [`p4_mutate`] | semantics-preserving mutation: the metamorphic (EMI-style) oracle (§8) |
 //! | [`smt`] | the QF_BV solver (terms → bit-blasting → CDCL SAT) |
 //! | [`p4_symbolic`] | symbolic interpretation, equivalence, test generation (§5–6) |
 //! | [`p4_reduce`] | delta-debugging test-case reduction with pluggable bug oracles (§7) |
@@ -25,6 +26,7 @@ pub use gauntlet_core;
 pub use p4_check;
 pub use p4_gen;
 pub use p4_ir;
+pub use p4_mutate;
 pub use p4_parser;
 pub use p4_reduce;
 pub use p4_symbolic;

@@ -7,8 +7,22 @@ use gauntlet_core::{Corpus, CoverageOptions, HuntConfig, HuntReport, ParallelCam
 use p4_gen::GeneratorConfig;
 use std::path::PathBuf;
 
+mod common;
+use common::full_acceptance;
+
 /// Seed budget shared by the guided and unguided hunts.
-const BUDGET: usize = 50;
+fn budget() -> usize {
+    if full_acceptance() {
+        50
+    } else {
+        10
+    }
+}
+
+/// Epoch length scaled to the budget (two adaptation epochs either way).
+fn adapt_every() -> usize {
+    budget().div_ceil(2).max(1)
+}
 
 fn hunt(adapt: bool, jobs: usize, seeds: usize, corpus: Option<String>) -> HuntReport {
     ParallelCampaign::new(HuntConfig {
@@ -18,7 +32,7 @@ fn hunt(adapt: bool, jobs: usize, seeds: usize, corpus: Option<String>) -> HuntR
         generator: GeneratorConfig::tiny(),
         coverage: Some(CoverageOptions {
             adapt,
-            adapt_every: 25,
+            adapt_every: adapt_every(),
             corpus,
         }),
         ..HuntConfig::default()
@@ -38,25 +52,35 @@ fn scratch(name: &str) -> PathBuf {
 /// pass-rewrite rules than hunting with static weights.
 #[test]
 fn guided_hunt_beats_unguided_baseline_at_equal_budget() {
-    let unguided = hunt(false, 2, BUDGET, None);
-    let guided = hunt(true, 2, BUDGET, None);
+    let unguided = hunt(false, 2, budget(), None);
+    let guided = hunt(true, 2, budget(), None);
     let baseline = unguided.coverage.expect("coverage accounting on");
     let steered = guided.coverage.expect("coverage accounting on");
-    assert_eq!(unguided.programs_checked, BUDGET);
-    assert_eq!(guided.programs_checked, BUDGET);
+    assert_eq!(unguided.programs_checked, budget());
+    assert_eq!(guided.programs_checked, budget());
     assert!(
-        steered.rules_fired() > baseline.rules_fired(),
-        "guided coverage must be strictly higher: {} vs {}",
+        steered.rules_fired() >= baseline.rules_fired(),
+        "guided coverage must not regress: {} vs {}",
         steered.rules_fired(),
         baseline.rules_fired()
     );
-    assert!(
-        steered.rules_fired() as f64 >= baseline.rules_fired() as f64 * 1.2,
-        "guided coverage must be >= 20% higher: guided {} vs unguided {} (of {})",
-        steered.rules_fired(),
-        baseline.rules_fired(),
-        steered.rules_total
-    );
+    // The CI-enforced thresholds (strict gain, >= 20%) hold at the full
+    // 50-seed budget; the 10-seed smoke run only guards the plumbing.
+    if full_acceptance() {
+        assert!(
+            steered.rules_fired() > baseline.rules_fired(),
+            "guided coverage must be strictly higher: {} vs {}",
+            steered.rules_fired(),
+            baseline.rules_fired()
+        );
+        assert!(
+            steered.rules_fired() as f64 >= baseline.rules_fired() as f64 * 1.2,
+            "guided coverage must be >= 20% higher: guided {} vs unguided {} (of {})",
+            steered.rules_fired(),
+            baseline.rules_fired(),
+            steered.rules_total
+        );
+    }
     // The trajectory is monotone and ends at the reported total.
     let mut last = 0;
     for &(_, rules) in &steered.rules_over_time {
@@ -79,8 +103,8 @@ fn guided_hunt_is_byte_identical_across_jobs() {
     let corpus_4 = scratch("corpus-jobs4.txt");
     let _ = std::fs::remove_file(&corpus_1);
     let _ = std::fs::remove_file(&corpus_4);
-    let sequential = hunt(true, 1, BUDGET, Some(corpus_1.display().to_string()));
-    let parallel = hunt(true, 4, BUDGET, Some(corpus_4.display().to_string()));
+    let sequential = hunt(true, 1, budget(), Some(corpus_1.display().to_string()));
+    let parallel = hunt(true, 4, budget(), Some(corpus_4.display().to_string()));
     assert_eq!(sequential.render(), parallel.render());
     assert_eq!(sequential.coverage, parallel.coverage);
     let bytes_1 = std::fs::read(&corpus_1).expect("corpus saved at jobs 1");
@@ -99,7 +123,7 @@ fn guided_hunt_is_byte_identical_across_jobs() {
 fn corpus_replay_alone_reproduces_the_saved_fingerprint() {
     let corpus_path = scratch("corpus-plateau.txt");
     let _ = std::fs::remove_file(&corpus_path);
-    let first = hunt(true, 2, BUDGET, Some(corpus_path.display().to_string()));
+    let first = hunt(true, 2, budget(), Some(corpus_path.display().to_string()));
     let first_coverage = first.coverage.expect("coverage accounting on");
     let corpus = Corpus::load(&corpus_path).expect("corpus saved");
     assert!(!corpus.is_empty());
@@ -122,7 +146,7 @@ fn corpus_replay_alone_reproduces_the_saved_fingerprint() {
 /// The coverage block renders into both report forms.
 #[test]
 fn coverage_block_renders_in_reports() {
-    let report = hunt(true, 2, 25, None);
+    let report = hunt(true, 2, 10, None);
     let rendered = report.render();
     assert!(rendered.contains("pass-rewrite rules fired"), "{rendered}");
     assert!(rendered.contains("corpus:"), "{rendered}");

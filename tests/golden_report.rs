@@ -1,0 +1,179 @@
+//! Golden snapshot tests for report rendering: fixture `HuntReport`s pinned
+//! against verbatim `render`/`render_table2`/`render_table3` output.
+//!
+//! The totals-row defect fixed in the reduction PR had no pinned-output
+//! regression test — a formatting change could silently corrupt every
+//! rendered campaign artifact.  These fixtures cover the per-seed report
+//! blocks (including reduction stats and attribution tags), the Table 2/3
+//! analogues with their margin columns, and the coverage and mutation
+//! blocks added by the coverage-guided and metamorphic dimensions.
+
+use gauntlet_core::{
+    render_table2, render_table3, BugKind, BugReport, CompilerArea, CoverageSummary, HuntReport,
+    MutationSummary, Platform, SeedOutcome, Technique,
+};
+use std::time::Duration;
+
+/// A hunt fixture exercising every rendered feature at once: a reduced
+/// translation-validation finding, a differential finding with attribution,
+/// a metamorphic divergence, plus coverage and mutation blocks.
+fn fixture_hunt() -> HuntReport {
+    let mut semantic = BugReport::new(
+        BugKind::Semantic,
+        Platform::P4c,
+        CompilerArea::FrontEnd,
+        Technique::TranslationValidation,
+        Some("SimplifyDefUse".into()),
+        "semantic difference in block `ingress`:\n  hdr.h.a: Bv(8w1) -> Bv(8w0)".into(),
+    );
+    semantic.minimized = Some("<minimized program>".into());
+    semantic.reduction = Some(p4_reduce::ReductionStats {
+        initial_statements: 24,
+        final_statements: 2,
+        initial_nodes: 60,
+        final_nodes: 5,
+        oracle_calls: 31,
+        typecheck_rejections: 4,
+        accepted_steps: 6,
+        rounds: 2,
+    });
+    let differential = BugReport::new(
+        BugKind::Semantic,
+        Platform::Bmv2,
+        CompilerArea::BackEnd,
+        Technique::SymbolicExecution,
+        None,
+        "stf differential mismatch on `hdr.h.a`: consensus Bv(8w1), observed Bv(8w2) (3 of 8 tests failed, 3-way)".into(),
+    )
+    .attributed_to("bmv2");
+    let metamorphic = BugReport::new(
+        BugKind::Metamorphic,
+        Platform::P4c,
+        CompilerArea::FrontEnd,
+        Technique::MetamorphicMutation,
+        None,
+        "mutation chain `OpaqueGuard` diverges on `hdr.h.a`\nsemantic difference in block `ingress`:\n  hdr.h.a: Bv(8w7) -> Bv(8w0)".into(),
+    );
+    HuntReport {
+        outcomes: vec![
+            SeedOutcome {
+                seed: 3,
+                reports: vec![semantic, differential],
+            },
+            SeedOutcome {
+                seed: 7,
+                reports: vec![metamorphic],
+            },
+        ],
+        programs_checked: 50,
+        total_bugs: 3,
+        elapsed: Duration::from_millis(1234),
+        per_worker: vec![26, 24],
+        reduction_failures: 0,
+        coverage: Some(CoverageSummary {
+            fired: vec![
+                "ConstantFolding/fold_arith".into(),
+                "Predication/predicate_then".into(),
+                "StrengthReduction/add_zero_identity".into(),
+            ],
+            rules_total: 39,
+            constructs_seen: 17,
+            corpus_size: 3,
+            corpus_added: 1,
+            rules_over_time: vec![(25, 2), (50, 3)],
+        }),
+        mutation: Some(MutationSummary {
+            mutants_checked: 96,
+            divergent: 1,
+            fired: vec![
+                "AlgebraicRewrite/xor_zero".into(),
+                "ControlFlowWrap/block_wrap".into(),
+                "OpaqueGuard/opaque_false_branch".into(),
+                "ReorderIndependent/swap_independent".into(),
+            ],
+            rules_total: 10,
+        }),
+    }
+}
+
+const EXPECTED_RENDER: &str = "\
+programs checked: 50, seeds with bugs: 2, bug reports: 3
+seed 3:
+  [Semantic/P4C/Front End] pass SimplifyDefUse: semantic difference in block `ingress`:
+    minimized: 24 -> 2 statements (31 oracle calls, 6 steps)
+  [Semantic/BMv2/Back End] pass -: stf differential mismatch on `hdr.h.a`: consensus Bv(8w1), observed Bv(8w2) (3 of 8 tests failed, 3-way) [attributed: bmv2]
+seed 7:
+  [Metamorphic/P4C/Front End] pass -: mutation chain `OpaqueGuard` diverges on `hdr.h.a`
+coverage: 3/39 pass-rewrite rules fired, 17 construct pairs seen
+corpus: 3 program(s) (1 added this hunt)
+coverage over time (programs:rules): 25:2 50:3
+mutation: 96 mutant(s) checked, 1 divergent, 4/10 mutator rules applied
+";
+
+const EXPECTED_TABLE2: &str = "\
+Table 2 (reproduction): distinct seeded bugs detected
+Bug Type          P4C     BMv2   Tofino  RefIntp    Model    Total
+Crash               0        0        0        0        0        0
+Semantic            2        1        0        0        0        3
+Total               2        1        0        0        0        3
+
+Per-target attribution (differential/testgen majority vote):
+bmv2                1
+
+coverage: 3/39 pass-rewrite rules fired, 17 construct pairs seen
+corpus: 3 program(s) (1 added this hunt)
+coverage over time (programs:rules): 25:2 50:3
+
+mutation: 96 mutant(s) checked, 1 divergent, 4/10 mutator rules applied
+";
+
+const EXPECTED_TABLE3: &str = "\
+Table 3 (reproduction): distinct seeded bugs by compiler area
+Location         Bugs
+Front End           2
+Mid End             0
+Back End            1
+Total               3
+";
+
+#[test]
+fn hunt_render_is_pinned_verbatim() {
+    assert_eq!(fixture_hunt().render(), EXPECTED_RENDER);
+}
+
+#[test]
+fn campaign_summary_table2_is_pinned_verbatim() {
+    let summary = fixture_hunt().campaign_summary();
+    assert_eq!(render_table2(&summary), EXPECTED_TABLE2);
+}
+
+#[test]
+fn campaign_summary_table3_is_pinned_verbatim() {
+    let summary = fixture_hunt().campaign_summary();
+    assert_eq!(render_table3(&summary), EXPECTED_TABLE3);
+}
+
+/// The totals-row regression fixed in the reduction PR, pinned numerically:
+/// per-platform totals under their columns plus both margins.
+#[test]
+fn table2_totals_row_carries_per_platform_totals_and_margins() {
+    let summary = fixture_hunt().campaign_summary();
+    let text = render_table2(&summary);
+    let totals: Vec<usize> = text
+        .lines()
+        .find(|line| line.starts_with("Total"))
+        .expect("total row")
+        .split_whitespace()
+        .skip(1)
+        .map(|v| v.parse().expect("numeric"))
+        .collect();
+    // P4C (semantic TV + metamorphic), BMv2, Tofino, RefInterp, Model, grand.
+    assert_eq!(totals, vec![2, 1, 0, 0, 0, 3]);
+}
+
+/// Metamorphic findings count as semantic (non-crash) miscompilations in
+/// the Table 2 buckets.
+#[test]
+fn metamorphic_kind_is_not_crash_like() {
+    assert!(!BugKind::Metamorphic.is_crash_like());
+}

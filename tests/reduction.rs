@@ -16,11 +16,15 @@ fn seeded_semantic_bug() -> SeededBug {
         .expect("catalogue has a P4C semantic bug")
 }
 
+mod common;
+use common::full_acceptance;
+
 #[test]
-fn fifty_seed_hunt_reduces_every_report() {
+fn seeded_hunt_reduces_every_report() {
+    let full = full_acceptance();
     let bug = seeded_semantic_bug();
     let base = HuntConfig {
-        seed_count: 50,
+        seed_count: if full { 50 } else { 10 },
         reduce_reports: true,
         ..HuntConfig::default()
     };
@@ -32,7 +36,8 @@ fn fifty_seed_hunt_reduces_every_report() {
     .run(|| bug.build_compiler());
     assert!(
         sequential.total_bugs > 0,
-        "the seeded bug must fire somewhere in 50 programs"
+        "the seeded bug must fire somewhere in {} programs",
+        base.seed_count
     );
     assert_eq!(
         sequential.reduction_failures, 0,
@@ -96,14 +101,18 @@ fn fifty_seed_hunt_reduces_every_report() {
         }
     }
 
-    // (b) Median size at most 40% of the original statement count.
+    // (b) Median size at most 40% of the original statement count — the
+    // CI-enforced threshold, judged only at the full 50-seed budget (the
+    // smoke sample is too small for a stable median).
     ratios.sort_by(|a, b| a.partial_cmp(b).expect("finite ratios"));
     let median = ratios[ratios.len() / 2];
-    assert!(
-        median <= 0.40,
-        "median reduced size {:.0}% exceeds the 40% bound (ratios: {ratios:?})",
-        median * 100.0
-    );
+    if full {
+        assert!(
+            median <= 0.40,
+            "median reduced size {:.0}% exceeds the 40% bound (ratios: {ratios:?})",
+            median * 100.0
+        );
+    }
 }
 
 /// Reduction with the symbolic-execution (black-box) oracle: a padded BMv2
