@@ -8,7 +8,7 @@ use p4_ir::{
 };
 use p4_symbolic::interpret_program;
 use smt::TermManager;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Builds a program whose ingress applies one table with `actions` actions
 /// and `keys` exact keys.
@@ -56,7 +56,7 @@ fn bench_table_encoding(c: &mut Criterion) {
             &program,
             |b, p| {
                 b.iter(|| {
-                    let tm = Rc::new(TermManager::new());
+                    let tm = Arc::new(TermManager::new());
                     let semantics = interpret_program(&tm, p).expect("interprets");
                     std::hint::black_box(tm.term_count());
                     std::hint::black_box(semantics.blocks.len());
@@ -68,7 +68,7 @@ fn bench_table_encoding(c: &mut Criterion) {
     println!("formula size (term count) vs number of table actions:");
     for actions in [1usize, 2, 4, 8, 16] {
         let program = table_program(actions, 2);
-        let tm = Rc::new(TermManager::new());
+        let tm = Arc::new(TermManager::new());
         let _ = interpret_program(&tm, &program).expect("interprets");
         println!("  actions = {actions:>2}  terms = {}", tm.term_count());
     }

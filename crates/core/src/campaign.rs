@@ -23,11 +23,13 @@ use crate::pipeline::{Gauntlet, GauntletOptions};
 use p4_gen::{GeneratorConfig, RandomProgramGenerator, WeightAdapter};
 use p4_ir::{print_program, ConstructCensus, Program};
 use p4_mutate::{hunt_mutation_seed, MetamorphicChecker, MetamorphicOptions, MutationCoverage};
+use p4_symbolic::{CacheStats, EpochCache, SessionStats, ValidationSession};
 use p4c::coverage::PassCoverage;
 use serde::{Deserialize, Serialize};
+use smt::PortfolioOptions;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{mpsc, Mutex};
+use std::sync::{mpsc, Arc, Mutex};
 use std::time::Duration;
 use targets::{Target, TargetRegistry};
 
@@ -355,6 +357,20 @@ pub struct HuntConfig {
     /// findings commit at the ordered-commit point, so reports stay
     /// byte-identical at any `--jobs`.
     pub mutation: Option<MetamorphicOptions>,
+    /// Share one [`EpochCache`] across the worker pool (the `--cache`
+    /// knob), renewed at every epoch boundary: semantics are interpreted
+    /// and per-block equivalence queries decided once per epoch no matter
+    /// which worker gets there first.  Cached SAT verdicts carry canonical
+    /// models, so the rendered report is byte-identical with the cache on
+    /// or off, at any `--jobs`.  On by default — this is where the campaign
+    /// validate-throughput comes from (see `BENCH_pr6.json`).
+    pub epoch_cache: bool,
+    /// Race each hard equivalence query across K diverse SAT configurations
+    /// once its incremental solve exceeds a conflict budget (the
+    /// `--portfolio` knob, see [`smt::PortfolioOptions`]).  Off by default:
+    /// generated programs rarely produce miters hard enough to trigger the
+    /// race.  Verdict-preserving, so reports are identical either way.
+    pub portfolio: bool,
 }
 
 impl Default for HuntConfig {
@@ -370,6 +386,8 @@ impl Default for HuntConfig {
             targets: Vec::new(),
             coverage: None,
             mutation: None,
+            epoch_cache: true,
+            portfolio: false,
         }
     }
 }
@@ -501,6 +519,30 @@ impl MutationSummary {
     }
 }
 
+/// The epoch-cache block of a hunt report: pool-wide memo counters summed
+/// over every epoch, plus the per-worker session tallies summed over every
+/// worker (the two reconcile at the lookup level — see
+/// `tests/perf_cache.rs`).
+///
+/// Like [`HuntReport::elapsed`] and [`HuntReport::per_worker`] this
+/// describes the particular run, not the deterministic result: hit counts
+/// depend on how many seeds workers *processed* (which may overshoot a
+/// quota stop by a schedule-dependent amount), so the summary is
+/// deliberately excluded from [`HuntReport::render`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheSummary {
+    /// Epochs that ran with a shared cache (0 when `epoch_cache` is off).
+    pub epochs: usize,
+    /// Exact pool-wide cache counters, summed across epochs.
+    pub stats: CacheStats,
+    /// Per-session counters summed over every worker session (translation
+    /// validation and metamorphic checkers alike).
+    pub sessions: SessionStats,
+    /// Queries that escalated to a portfolio race (0 unless
+    /// [`HuntConfig::portfolio`] is set and a hard miter appeared).
+    pub portfolio_races: u64,
+}
+
 /// The findings one seed contributed (clean seeds are not recorded).
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SeedOutcome {
@@ -511,8 +553,8 @@ pub struct SeedOutcome {
 /// The result of a [`ParallelCampaign`] run.
 ///
 /// `outcomes`, `programs_checked`, and `total_bugs` are deterministic
-/// functions of the configuration; `elapsed` and `per_worker` describe the
-/// particular run.
+/// functions of the configuration; `elapsed`, `per_worker`, and `cache`
+/// describe the particular run.
 #[derive(Debug, Clone)]
 pub struct HuntReport {
     /// Seeds whose program exposed at least one bug, in ascending seed
@@ -538,6 +580,10 @@ pub struct HuntReport {
     pub coverage: Option<CoverageSummary>,
     /// The mutation block (present iff [`HuntConfig::mutation`] was set).
     pub mutation: Option<MutationSummary>,
+    /// Epoch-cache and portfolio counters (present iff
+    /// [`HuntConfig::epoch_cache`] or [`HuntConfig::portfolio`] was set).
+    /// Run-descriptive like `elapsed`: not part of [`HuntReport::render`].
+    pub cache: Option<CacheSummary>,
 }
 
 impl HuntReport {
@@ -623,6 +669,31 @@ impl HuntReport {
         report.mutation = self.mutation.clone();
         report
     }
+}
+
+/// Per-worker session counters merged into one pool-wide tally (each worker
+/// adds its totals once, when it finishes an epoch).
+#[derive(Default, Clone, Copy)]
+struct SessionTally {
+    sessions: SessionStats,
+    portfolio_races: u64,
+}
+
+fn add_session_stats(into: &mut SessionStats, stats: SessionStats) {
+    into.semantics_hits += stats.semantics_hits;
+    into.semantics_misses += stats.semantics_misses;
+    into.trivial_checks += stats.trivial_checks;
+    into.solver_checks += stats.solver_checks;
+    into.cached_checks += stats.cached_checks;
+    into.verdict_hits += stats.verdict_hits;
+    into.verdict_misses += stats.verdict_misses;
+}
+
+fn add_cache_stats(into: &mut CacheStats, stats: CacheStats) {
+    into.semantics_hits += stats.semantics_hits;
+    into.semantics_misses += stats.semantics_misses;
+    into.verdict_hits += stats.verdict_hits;
+    into.verdict_misses += stats.verdict_misses;
 }
 
 /// What one seed contributes to the commit queue.
@@ -936,6 +1007,9 @@ impl ParallelCampaign {
             mutation: mutation_accum,
         });
         let processed_counts = Mutex::new(vec![0usize; jobs]);
+        let tallies = Mutex::new(SessionTally::default());
+        let mut cache_epochs = 0usize;
+        let mut cache_stats = CacheStats::default();
 
         let adapter = WeightAdapter::default();
         let epoch_len = match &config.coverage {
@@ -961,6 +1035,10 @@ impl ParallelCampaign {
                 }
             };
             let epoch_end = (epoch_start + epoch_len).min(config.seed_count);
+            // One fresh shared cache per epoch: scoping it to the
+            // adaptation unit bounds term-table growth while still letting
+            // every worker of the epoch share interpretations and verdicts.
+            let epoch_cache = config.epoch_cache.then(|| Arc::new(EpochCache::new()));
             self.run_epoch(
                 epoch_start,
                 epoch_end,
@@ -969,7 +1047,13 @@ impl ParallelCampaign {
                 &commit,
                 &processed_counts,
                 jobs,
+                epoch_cache.as_ref(),
+                &tallies,
             );
+            if let Some(cache) = &epoch_cache {
+                add_cache_stats(&mut cache_stats, cache.stats());
+                cache_epochs += 1;
+            }
             let mut state = commit.lock().expect("hunt lock");
             let programs_checked = state.programs_checked;
             if let Some(guided) = &mut state.guided {
@@ -1003,6 +1087,15 @@ impl ParallelCampaign {
                 rules_over_time: guided.rules_over_time,
             }
         });
+        let cache = (config.epoch_cache || config.portfolio).then(|| {
+            let tally = tallies.into_inner().expect("tally lock");
+            CacheSummary {
+                epochs: cache_epochs,
+                stats: cache_stats,
+                sessions: tally.sessions,
+                portfolio_races: tally.portfolio_races,
+            }
+        });
         HuntReport {
             outcomes: state.committed,
             programs_checked: state.programs_checked,
@@ -1012,6 +1105,7 @@ impl ParallelCampaign {
             reduction_failures: state.reduction_failures,
             coverage,
             mutation,
+            cache,
         }
     }
 
@@ -1029,6 +1123,8 @@ impl ParallelCampaign {
         commit: &Mutex<HuntCommit>,
         processed_counts: &Mutex<Vec<usize>>,
         jobs: usize,
+        epoch_cache: Option<&Arc<EpochCache>>,
+        tallies: &Mutex<SessionTally>,
     ) where
         F: Fn() -> p4c::Compiler + Send + Sync,
     {
@@ -1051,15 +1147,35 @@ impl ParallelCampaign {
                         .iter()
                         .map(|spec| registry.build_spec(spec).expect("specs validated above"))
                         .collect();
+                    // Translation-validation sessions are created fresh per
+                    // program but attached to the pool's shared epoch cache
+                    // when caching is on: the memoisation layers (semantics,
+                    // verdicts, terms) live in the cache and survive the
+                    // session, while the solver stays small — a long-lived
+                    // solver accumulates variables and learned clauses
+                    // across unrelated programs and measurably *slows down*
+                    // (see the cold run of the `trajectory` bench).
+                    let mut worker_stats = SessionStats::default();
+                    let mut worker_races = 0u64;
                     // One metamorphic checker per worker: its validation
                     // session (semantics cache + incremental solver) is
-                    // reused across every seed the worker claims; verdicts
-                    // are cache-independent, so sharing preserves the
-                    // byte-identical-across-jobs contract.
-                    let mut mutation_checker = config
-                        .mutation
-                        .as_ref()
-                        .map(|_| MetamorphicChecker::new(factory()));
+                    // reused across every seed the worker claims — and
+                    // attached to the same epoch cache as the session
+                    // above, so the two dimensions share interpretations.
+                    // Verdicts are cache-independent, so sharing preserves
+                    // the byte-identical-across-jobs contract.
+                    let mut mutation_checker =
+                        config.mutation.as_ref().map(|_| match epoch_cache {
+                            Some(cache) => {
+                                MetamorphicChecker::with_cache(factory(), Arc::clone(cache))
+                            }
+                            None => MetamorphicChecker::new(factory()),
+                        });
+                    if config.portfolio {
+                        if let Some(checker) = &mut mutation_checker {
+                            checker.set_portfolio(PortfolioOptions::default());
+                        }
+                    }
                     let mut processed = 0usize;
                     loop {
                         if commit.lock().expect("hunt lock").stopped {
@@ -1073,18 +1189,39 @@ impl ParallelCampaign {
                         let mut generator =
                             RandomProgramGenerator::new(generator_config.clone(), seed);
                         let program = generator.generate();
+                        // Fresh session per program (see the policy note
+                        // above); `None` preserves the historical
+                        // session-per-program path inside the pipeline when
+                        // neither knob is set.
+                        let mut session: Option<ValidationSession> = match epoch_cache {
+                            Some(cache) => Some(ValidationSession::with_cache(Arc::clone(cache))),
+                            None if config.portfolio => Some(ValidationSession::new()),
+                            None => None,
+                        };
+                        if config.portfolio {
+                            if let Some(session) = &mut session {
+                                session.set_portfolio(PortfolioOptions::default());
+                            }
+                        }
                         // The coverage sink wraps the open-compiler check
                         // only: pass-rule coverage means the front/mid-end
                         // pipeline, and a replayed corpus entry re-fires
                         // exactly the same set through `Compiler::compile`.
                         let (open_outcome, seed_coverage) = if config.coverage.is_some() {
                             let (outcome, coverage) = p4c::coverage::with_sink(|| {
-                                gauntlet.check_open_compiler(&compiler, &program)
+                                gauntlet.check_open_compiler_in(&mut session, &compiler, &program)
                             });
                             (outcome, Some(coverage))
                         } else {
-                            (gauntlet.check_open_compiler(&compiler, &program), None)
+                            (
+                                gauntlet.check_open_compiler_in(&mut session, &compiler, &program),
+                                None,
+                            )
                         };
+                        if let Some(session) = &session {
+                            add_session_stats(&mut worker_stats, session.stats());
+                            worker_races += session.portfolio_races();
+                        }
                         let mut reports = open_outcome.reports;
                         if !diff_targets.is_empty() {
                             reports.extend(
@@ -1181,6 +1318,13 @@ impl ParallelCampaign {
                         state.drain(config);
                     }
                     processed_counts.lock().expect("count lock")[worker] += processed;
+                    let mut tally = tallies.lock().expect("tally lock");
+                    add_session_stats(&mut tally.sessions, worker_stats);
+                    tally.portfolio_races += worker_races;
+                    if let Some(checker) = &mutation_checker {
+                        add_session_stats(&mut tally.sessions, checker.session_stats());
+                        tally.portfolio_races += checker.portfolio_races();
+                    }
                 });
             }
         });

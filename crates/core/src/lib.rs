@@ -30,8 +30,8 @@ pub mod report;
 
 pub use bugs::{BugDatabase, BugKind, BugReport, CompilerArea, Platform, Technique};
 pub use campaign::{
-    run_campaign, CampaignConfig, CampaignReport, CoverageOptions, CoverageSummary, HuntConfig,
-    HuntReport, MutationSummary, ParallelCampaign, SeedOutcome, SeededBugOutcome,
+    run_campaign, CacheSummary, CampaignConfig, CampaignReport, CoverageOptions, CoverageSummary,
+    HuntConfig, HuntReport, MutationSummary, ParallelCampaign, SeedOutcome, SeededBugOutcome,
 };
 pub use corpus::{Corpus, CorpusEntry};
 pub use inject::SeededBug;

@@ -148,6 +148,21 @@ impl Gauntlet {
     /// Technique 1 + 2 against an open compiler (P4C): compile, report
     /// crashes, then translation-validate every pass.
     pub fn check_open_compiler(&self, compiler: &Compiler, program: &Program) -> ProgramOutcome {
+        self.check_open_compiler_in(&mut None, compiler, program)
+    }
+
+    /// [`Gauntlet::check_open_compiler`] with an explicit (optional)
+    /// validation session: campaign workers hold one session per epoch —
+    /// attached to the pool's shared `p4_symbolic::EpochCache` — so
+    /// semantics and verdicts memoise across every program the pool checks.
+    /// With `None` the per-program session policy of
+    /// [`Gauntlet::validate_translation`] applies unchanged.
+    pub fn check_open_compiler_in(
+        &self,
+        session: &mut Option<ValidationSession>,
+        compiler: &Compiler,
+        program: &Program,
+    ) -> ProgramOutcome {
         match compiler.compile(program) {
             Err(CompileError::Crash {
                 pass,
@@ -175,7 +190,11 @@ impl Gauntlet {
                 )])
             }
             Ok(result) => {
-                let mut outcome = ProgramOutcome::with_reports(self.validate_translation(&result));
+                let reports = match session {
+                    Some(_) => self.validate_translation_in(session, &result),
+                    None => self.validate_translation(&result),
+                };
+                let mut outcome = ProgramOutcome::with_reports(reports);
                 outcome.compiled = Some(result.program);
                 outcome
             }

@@ -354,6 +354,7 @@ mod tests {
             per_worker: vec![2],
             coverage: None,
             mutation: None,
+            cache: None,
         };
         let text = render_reduction_summary(&hunt);
         assert!(text.contains("Semantic/SimplifyDefUse"), "{text}");

@@ -148,6 +148,33 @@ impl MetamorphicChecker {
         }
     }
 
+    /// A checker whose validation session attaches to a shared epoch cache:
+    /// campaign workers hand every checker (and every translation-validation
+    /// session) of one epoch the same [`p4_symbolic::EpochCache`], so a
+    /// mutant family whose compiled forms another worker already interpreted
+    /// or decided is discharged from the memo.
+    pub fn with_cache(
+        compiler: Compiler,
+        cache: std::sync::Arc<p4_symbolic::EpochCache>,
+    ) -> MetamorphicChecker {
+        MetamorphicChecker {
+            compiler,
+            session: ValidationSession::with_cache(cache),
+            engine: MutationEngine::standard(),
+        }
+    }
+
+    /// Enables portfolio solving on the checker's session (see
+    /// [`ValidationSession::set_portfolio`]).
+    pub fn set_portfolio(&mut self, options: smt::PortfolioOptions) {
+        self.session.set_portfolio(options);
+    }
+
+    /// How many of the checker's queries escalated to a portfolio race.
+    pub fn portfolio_races(&self) -> u64 {
+        self.session.portfolio_races()
+    }
+
     pub fn engine(&self) -> &MutationEngine {
         &self.engine
     }

@@ -1,0 +1,243 @@
+//! Epoch-scoped validation cache, shared across a campaign's worker pool.
+//!
+//! A [`crate::ValidationSession`] memoises semantics and reuses its solver
+//! only *within* one session.  Campaign hunts, however, validate hundreds of
+//! generated programs whose structurally-shared prefixes (the generator
+//! draws from a fixed header/metadata namespace) re-derive the same terms
+//! and re-decide the same per-block queries seed after seed.  An
+//! [`EpochCache`] lifts the two memoisation layers out of the session so
+//! every worker in the pool shares them for the duration of one epoch:
+//!
+//! * **term manager** — one hash-consing [`TermManager`], so structurally
+//!   identical subterms built by any worker collapse to a single node and
+//!   per-block equivalence queries of duplicate shape collapse to a single
+//!   term id;
+//! * **semantics memo** — each distinct program (by structural hash, with
+//!   collision detection by equality) is symbolically interpreted once per
+//!   epoch, no matter which worker gets there first;
+//! * **verdict memo** — each distinct per-block equivalence query (by
+//!   hash-consed term id) is decided once per epoch.  `Unsat` verdicts are
+//!   stored as-is; `Sat` verdicts store the *canonical* model (re-derived
+//!   from the query term alone by a fresh solver, see
+//!   [`crate::equivalence`]), so the cached counterexample is a pure
+//!   function of the query structure and reports stay byte-identical no
+//!   matter which worker populated the cache or in which order.
+//!
+//! Counters are exact under contention: a *miss* is counted only by the
+//! thread that actually inserts the entry, so `misses` equals the number of
+//! distinct programs/queries (schedule-independent) and `hits` equals
+//! `lookups - misses`.  Racing losers — workers that interpreted or solved
+//! concurrently but lost the insert — count their lookup as a hit, because
+//! the cache did serve the canonical entry they return.
+//!
+//! The cache is scoped to an *epoch* (the campaign's adaptation unit), not
+//! the whole hunt, which bounds term-table growth: a fresh `EpochCache`
+//! starts every epoch with an empty manager.
+
+use crate::interpreter::{interpret_program, InterpError, ProgramSemantics};
+use p4_ir::Program;
+use smt::{Model, TermManager};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Exact usage counters for an [`EpochCache`], aggregated across every
+/// worker that shares it.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Semantics lookups served from the memo.
+    pub semantics_hits: u64,
+    /// Distinct programs interpreted (miss counted at insert).
+    pub semantics_misses: u64,
+    /// Per-block equivalence queries served from the verdict memo.
+    pub verdict_hits: u64,
+    /// Distinct queries decided by a solver (miss counted at insert).
+    pub verdict_misses: u64,
+}
+
+impl CacheStats {
+    /// Total semantics lookups (hits + misses always reconcile by
+    /// construction; exposed for the reconciliation tests).
+    pub fn semantics_lookups(&self) -> u64 {
+        self.semantics_hits + self.semantics_misses
+    }
+
+    /// Total verdict-memo lookups.
+    pub fn verdict_lookups(&self) -> u64 {
+        self.verdict_hits + self.verdict_misses
+    }
+}
+
+/// A cached per-block query verdict: `None` is UNSAT (the outputs cannot
+/// differ), `Some(model)` is the canonical distinguishing model.
+type Verdict = Option<Model>;
+
+/// Shared, epoch-scoped validation state (see the module docs).
+#[derive(Debug, Default)]
+pub struct EpochCache {
+    tm: Arc<TermManager>,
+    /// Structural hash → (the hashed program, its semantics).  The program
+    /// is kept so a hash collision is detected by equality instead of
+    /// silently returning the wrong semantics.
+    semantics: Mutex<HashMap<u64, (Program, Arc<ProgramSemantics>)>>,
+    /// Query term id → canonical verdict.
+    verdicts: Mutex<HashMap<u64, Verdict>>,
+    semantics_hits: AtomicU64,
+    semantics_misses: AtomicU64,
+    verdict_hits: AtomicU64,
+    verdict_misses: AtomicU64,
+}
+
+impl EpochCache {
+    pub fn new() -> EpochCache {
+        EpochCache::default()
+    }
+
+    /// The shared hash-consing term manager.  Every session attached to
+    /// this cache interprets programs through it, so equal subterms share
+    /// ids across the whole pool.
+    pub fn term_manager(&self) -> &Arc<TermManager> {
+        &self.tm
+    }
+
+    /// An exact snapshot of the usage counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            semantics_hits: self.semantics_hits.load(Ordering::Relaxed),
+            semantics_misses: self.semantics_misses.load(Ordering::Relaxed),
+            verdict_hits: self.verdict_hits.load(Ordering::Relaxed),
+            verdict_misses: self.verdict_misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The symbolic semantics of `program`, interpreting it at most once
+    /// per epoch.  Returns whether this lookup was a hit alongside the
+    /// semantics so callers can keep their own per-session tallies.
+    pub fn semantics(
+        &self,
+        program: &Program,
+    ) -> Result<(Arc<ProgramSemantics>, bool), InterpError> {
+        let mut hasher = DefaultHasher::new();
+        program.hash(&mut hasher);
+        let key = hasher.finish();
+        if let Some((cached_program, cached)) = self
+            .semantics
+            .lock()
+            .expect("semantics memo lock poisoned")
+            .get(&key)
+        {
+            if cached_program == program {
+                self.semantics_hits.fetch_add(1, Ordering::Relaxed);
+                return Ok((cached.clone(), true));
+            }
+            // Hash collision: fall through and interpret uncached (the
+            // first occupant keeps the slot).
+        }
+        // Interpret outside the lock so a slow program does not serialise
+        // the pool; a racing loser finds the entry occupied below and
+        // counts a hit instead (the memo did serve the canonical entry).
+        let semantics = Arc::new(interpret_program(&self.tm, program)?);
+        let mut memo = self.semantics.lock().expect("semantics memo lock poisoned");
+        if let Some((cached_program, cached)) = memo.get(&key) {
+            if cached_program == program {
+                self.semantics_hits.fetch_add(1, Ordering::Relaxed);
+                return Ok((cached.clone(), true));
+            }
+            // Collision slot stays with its first occupant; our interpretation
+            // is correct for `program`, it just is not memoisable.
+            self.semantics_misses.fetch_add(1, Ordering::Relaxed);
+            return Ok((semantics, false));
+        }
+        memo.insert(key, (program.clone(), semantics.clone()));
+        self.semantics_misses.fetch_add(1, Ordering::Relaxed);
+        Ok((semantics, false))
+    }
+
+    /// Looks up the canonical verdict for a query term id.
+    pub fn lookup_verdict(&self, query_id: u64) -> Option<Verdict> {
+        let found = self
+            .verdicts
+            .lock()
+            .expect("verdict memo lock poisoned")
+            .get(&query_id)
+            .cloned();
+        if found.is_some() {
+            self.verdict_hits.fetch_add(1, Ordering::Relaxed);
+        }
+        found
+    }
+
+    /// Records the canonical verdict for a query term id.  The miss is
+    /// counted here — by the inserting thread only — so
+    /// `verdict_misses` is exactly the number of distinct queries decided.
+    pub fn store_verdict(&self, query_id: u64, verdict: Verdict) {
+        let mut memo = self.verdicts.lock().expect("verdict memo lock poisoned");
+        if memo.contains_key(&query_id) {
+            // A racing worker solved the same query first; our lookup
+            // becomes a (late) hit so totals still reconcile.
+            self.verdict_hits.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        memo.insert(query_id, verdict);
+        self.verdict_misses.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p4_ir::builder;
+
+    #[test]
+    fn semantics_memo_interprets_each_program_once() {
+        let cache = EpochCache::new();
+        let program = builder::trivial_program();
+        let (first, hit1) = cache.semantics(&program).unwrap();
+        let (second, hit2) = cache.semantics(&program).unwrap();
+        assert!(!hit1);
+        assert!(hit2);
+        assert!(Arc::ptr_eq(&first, &second));
+        let stats = cache.stats();
+        assert_eq!(stats.semantics_misses, 1);
+        assert_eq!(stats.semantics_hits, 1);
+        assert_eq!(stats.semantics_lookups(), 2);
+    }
+
+    #[test]
+    fn verdict_memo_counters_reconcile() {
+        let cache = EpochCache::new();
+        assert_eq!(cache.lookup_verdict(7), None);
+        cache.store_verdict(7, None);
+        assert_eq!(cache.lookup_verdict(7), Some(None));
+        // A racing double-store counts as a hit, not a second miss.
+        cache.store_verdict(7, None);
+        let stats = cache.stats();
+        assert_eq!(stats.verdict_misses, 1);
+        assert_eq!(stats.verdict_hits, 2);
+    }
+
+    #[test]
+    fn shared_across_threads_counts_exactly() {
+        let cache = Arc::new(EpochCache::new());
+        let program = builder::trivial_program();
+        let workers: Vec<_> = (0..4)
+            .map(|_| {
+                let cache = cache.clone();
+                let program = program.clone();
+                std::thread::spawn(move || {
+                    cache.semantics(&program).unwrap();
+                })
+            })
+            .collect();
+        for worker in workers {
+            worker.join().unwrap();
+        }
+        let stats = cache.stats();
+        // Exactly one interpretation no matter the interleaving; every
+        // other lookup is a hit.
+        assert_eq!(stats.semantics_misses, 1);
+        assert_eq!(stats.semantics_hits, 3);
+    }
+}

@@ -8,13 +8,12 @@
 //! the two output tuples differ; a satisfying assignment is a counterexample
 //! packet / table configuration and the pair of differing outputs.
 
+use crate::cache::EpochCache;
 use crate::interpreter::{interpret_program, InterpError, ProgramSemantics};
 use p4_ir::Program;
 use smt::{CheckResult, Model, Solver, TermKind, TermManager, TermRef, Value};
-use std::collections::hash_map::DefaultHasher;
-use std::collections::{BTreeMap, HashMap};
-use std::hash::{Hash, Hasher};
-use std::rc::Rc;
+use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// The verdict of an equivalence check.
 #[derive(Debug, Clone)]
@@ -113,7 +112,7 @@ pub fn check_equivalence(
     before: &Program,
     after: &Program,
 ) -> Result<Equivalence, EquivalenceError> {
-    let tm = Rc::new(TermManager::new());
+    let tm = Arc::new(TermManager::new());
     let semantics_before = interpret_program(&tm, before)?;
     let semantics_after = interpret_program(&tm, after)?;
     check_semantics_equivalence(&tm, &semantics_before, &semantics_after)
@@ -121,7 +120,7 @@ pub fn check_equivalence(
 
 /// Equivalence over already-computed semantics (both must come from `tm`).
 pub fn check_semantics_equivalence(
-    tm: &Rc<TermManager>,
+    tm: &Arc<TermManager>,
     before: &ProgramSemantics,
     after: &ProgramSemantics,
 ) -> Result<Equivalence, EquivalenceError> {
@@ -136,11 +135,50 @@ pub fn check_semantics_equivalence(
 /// which is where the incremental speedup of a [`ValidationSession`] comes
 /// from.
 pub fn check_semantics_equivalence_with(
-    tm: &Rc<TermManager>,
+    tm: &Arc<TermManager>,
     solver: &mut Solver,
     before: &ProgramSemantics,
     after: &ProgramSemantics,
 ) -> Result<Equivalence, EquivalenceError> {
+    check_semantics_equivalence_via(tm, solver, None, before, after).map(|(verdict, _)| verdict)
+}
+
+/// Re-derives the distinguishing model for a satisfiable query from the
+/// query term alone, with a fresh solver.
+///
+/// SAT models depend on solver history (learned clauses, phase saving,
+/// variable numbering), so the model a long-lived incremental solver returns
+/// for a query depends on every query it decided before — which varies with
+/// session reuse, epoch caching, and worker scheduling.  The *verdict*
+/// (SAT/UNSAT) is semantic and schedule-independent, so we let the warm
+/// solver decide it, then pay one extra cold solve on the rare SAT path to
+/// make the reported counterexample a pure function of the query structure.
+/// This is what keeps rendered reports byte-identical across `--jobs`,
+/// cache on/off, and portfolio on/off.
+fn solve_canonical_model(query: &TermRef, fallback: Model) -> Model {
+    let mut fresh = Solver::new();
+    match fresh.check_with(std::slice::from_ref(query)) {
+        CheckResult::Sat(model) => model,
+        // A warm-SAT / cold-UNSAT disagreement would be a solver bug; the
+        // warm model is still a genuine witness, so keep it.
+        CheckResult::Unsat => {
+            debug_assert!(false, "canonical re-solve disagreed with warm solver");
+            fallback
+        }
+    }
+}
+
+/// The worker behind [`check_semantics_equivalence_with`]: optionally
+/// consults/updates an [`EpochCache`] verdict memo, and returns how many
+/// per-block queries the memo served (for session accounting).
+pub(crate) fn check_semantics_equivalence_via(
+    tm: &Arc<TermManager>,
+    solver: &mut Solver,
+    cache: Option<&EpochCache>,
+    before: &ProgramSemantics,
+    after: &ProgramSemantics,
+) -> Result<(Equivalence, u64), EquivalenceError> {
+    let mut memo_served = 0u64;
     for block_before in &before.blocks {
         let Some(block_after) = after.block(&block_before.slot) else {
             return Err(EquivalenceError::StructureMismatch {
@@ -184,22 +222,64 @@ pub fn check_semantics_equivalence_with(
             // Every output is syntactically identical: equal without solving.
             continue;
         }
-        match solver.check_with(&[query]) {
-            CheckResult::Unsat => continue,
+        // Epoch verdict memo: a structurally identical query (same
+        // hash-consed id) decided by any worker this epoch is not decided
+        // again.  Cached SAT verdicts carry the canonical model, so the
+        // counterexample built from them is identical to the uncached one.
+        if let Some(cache) = cache {
+            match cache.lookup_verdict(query.id) {
+                Some(None) => {
+                    memo_served += 1;
+                    continue;
+                }
+                Some(Some(model)) => {
+                    memo_served += 1;
+                    return Ok((
+                        Equivalence::NotEqual(build_counterexample(
+                            &block_before.slot,
+                            &model,
+                            &pairs,
+                            &block_before.inputs,
+                        )),
+                        memo_served,
+                    ));
+                }
+                None => {}
+            }
+        }
+        match solver.check_with(std::slice::from_ref(&query)) {
+            CheckResult::Unsat => {
+                if let Some(cache) = cache {
+                    cache.store_verdict(query.id, None);
+                }
+                continue;
+            }
             CheckResult::Sat(model) => {
-                return Ok(Equivalence::NotEqual(build_counterexample(
-                    &block_before.slot,
-                    &model,
-                    &pairs,
-                    &block_before.inputs,
-                )));
+                let canonical = solve_canonical_model(&query, model);
+                if let Some(cache) = cache {
+                    cache.store_verdict(query.id, Some(canonical.clone()));
+                }
+                return Ok((
+                    Equivalence::NotEqual(build_counterexample(
+                        &block_before.slot,
+                        &canonical,
+                        &pairs,
+                        &block_before.inputs,
+                    )),
+                    memo_served,
+                ));
             }
         }
     }
-    Ok(Equivalence::Equal)
+    Ok((Equivalence::Equal, memo_served))
 }
 
 /// Counters describing how much work a [`ValidationSession`] saved.
+///
+/// These are *per-session* tallies; when several sessions share one
+/// [`EpochCache`] the cache's own [`crate::cache::CacheStats`] is the exact
+/// pool-wide aggregate, and the two reconcile: summing the session counters
+/// over every attached session yields the cache totals.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SessionStats {
     /// Programs whose semantics were served from the cache.
@@ -211,6 +291,13 @@ pub struct SessionStats {
     pub trivial_checks: u64,
     /// Equivalence checks that went to the solver.
     pub solver_checks: u64,
+    /// Equivalence checks decided entirely by the epoch verdict memo (at
+    /// least one memoised query, no solver call).
+    pub cached_checks: u64,
+    /// Per-block queries this session served from the epoch verdict memo.
+    pub verdict_hits: u64,
+    /// Per-block queries this session had to decide with its solver.
+    pub verdict_misses: u64,
 }
 
 /// A long-lived equivalence-checking session with incremental reuse.
@@ -228,12 +315,11 @@ pub struct SessionStats {
 ///   assumptions, so subterms shared across the chain are bit-blasted once
 ///   and learned clauses carry over.
 pub struct ValidationSession {
-    tm: Rc<TermManager>,
+    /// Epoch-scoped shared state: term manager, semantics memo, verdict
+    /// memo.  A standalone session owns a private cache; campaign workers
+    /// attach to one shared instance per epoch via [`Self::with_cache`].
+    cache: Arc<EpochCache>,
     solver: Solver,
-    /// Structural hash → (the hashed program, its semantics).  The program
-    /// is kept so a hash collision is detected by equality instead of
-    /// silently returning the wrong semantics.
-    cache: HashMap<u64, (Program, Rc<ProgramSemantics>)>,
     stats: SessionStats,
 }
 
@@ -244,18 +330,30 @@ impl Default for ValidationSession {
 }
 
 impl ValidationSession {
+    /// A standalone session with its own private epoch cache.
     pub fn new() -> ValidationSession {
+        ValidationSession::with_cache(Arc::new(EpochCache::new()))
+    }
+
+    /// A session that shares `cache` (term manager, semantics memo, verdict
+    /// memo) with every other session attached to it.  The session's solver
+    /// and counters stay private — only the memoisation layers are shared.
+    pub fn with_cache(cache: Arc<EpochCache>) -> ValidationSession {
         ValidationSession {
-            tm: Rc::new(TermManager::new()),
+            cache,
             solver: Solver::new(),
-            cache: HashMap::new(),
             stats: SessionStats::default(),
         }
     }
 
     /// The shared term manager (all cached semantics use it).
-    pub fn term_manager(&self) -> &Rc<TermManager> {
-        &self.tm
+    pub fn term_manager(&self) -> &Arc<TermManager> {
+        self.cache.term_manager()
+    }
+
+    /// The epoch cache this session is attached to.
+    pub fn cache(&self) -> &Arc<EpochCache> {
+        &self.cache
     }
 
     /// Usage counters for this session.
@@ -263,26 +361,38 @@ impl ValidationSession {
         self.stats
     }
 
+    /// Statistics of this session's most recent solver call.
+    pub fn solver_stats(&self) -> smt::SolverStats {
+        self.solver.stats()
+    }
+
+    /// Enables portfolio solving on this session's solver: a query whose
+    /// incremental solve exceeds the configured conflict budget is re-raced
+    /// across K diverse solver configurations (see
+    /// [`smt::PortfolioOptions`]).  Verdicts are SAT/UNSAT-semantic and
+    /// counterexample models are canonicalised, so enabling this never
+    /// changes a session's reported results — only how long the rare hard
+    /// miter takes.
+    pub fn set_portfolio(&mut self, options: smt::PortfolioOptions) {
+        self.solver.set_portfolio(Some(options));
+    }
+
+    /// How many queries escalated to a portfolio race so far.
+    pub fn portfolio_races(&self) -> u64 {
+        self.solver.portfolio_races()
+    }
+
     /// The symbolic semantics of `program`, interpreting it only on the
-    /// first request (keyed by the program's structural hash, with the
-    /// program itself compared on a hit to rule out hash collisions).
-    pub fn semantics(&mut self, program: &Program) -> Result<Rc<ProgramSemantics>, InterpError> {
-        let mut hasher = DefaultHasher::new();
-        program.hash(&mut hasher);
-        let key = hasher.finish();
-        if let Some((cached_program, cached)) = self.cache.get(&key) {
-            if cached_program == program {
-                self.stats.semantics_hits += 1;
-                return Ok(cached.clone());
-            }
-            // Hash collision: fall through and interpret uncached (the
-            // first occupant keeps the slot).
+    /// first request across *all* sessions attached to the cache (keyed by
+    /// the program's structural hash, with the program itself compared on a
+    /// hit to rule out hash collisions).
+    pub fn semantics(&mut self, program: &Program) -> Result<Arc<ProgramSemantics>, InterpError> {
+        let (semantics, hit) = self.cache.semantics(program)?;
+        if hit {
+            self.stats.semantics_hits += 1;
+        } else {
+            self.stats.semantics_misses += 1;
         }
-        self.stats.semantics_misses += 1;
-        let semantics = Rc::new(interpret_program(&self.tm, program)?);
-        self.cache
-            .entry(key)
-            .or_insert_with(|| (program.clone(), semantics.clone()));
         Ok(semantics)
     }
 
@@ -295,18 +405,32 @@ impl ValidationSession {
         let semantics_before = self.semantics(before)?;
         let semantics_after = self.semantics(after)?;
         let solver_checks_before = self.solver.total_checks();
-        let verdict = check_semantics_equivalence_with(
-            &self.tm,
+        let result = check_semantics_equivalence_via(
+            self.cache.term_manager(),
             &mut self.solver,
+            Some(&self.cache),
             &semantics_before,
             &semantics_after,
         );
-        if self.solver.total_checks() == solver_checks_before {
+        let solver_queries = self.solver.total_checks() - solver_checks_before;
+        self.stats.verdict_misses += solver_queries;
+        if let Ok((_, memo_served)) = &result {
+            self.stats.verdict_hits += memo_served;
+            if solver_queries == 0 {
+                if *memo_served > 0 {
+                    self.stats.cached_checks += 1;
+                } else {
+                    self.stats.trivial_checks += 1;
+                }
+            } else {
+                self.stats.solver_checks += 1;
+            }
+        } else if solver_queries == 0 {
             self.stats.trivial_checks += 1;
         } else {
             self.stats.solver_checks += 1;
         }
-        verdict
+        result.map(|(verdict, _)| verdict)
     }
 }
 

@@ -19,7 +19,7 @@ use p4_ir::{
 use smt::{Sort, TermManager, TermRef};
 use std::collections::BTreeMap;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Maximum number of parser state transitions followed before giving up
 /// (guards against parser loops, which the paper reports as a crash-bug
@@ -106,7 +106,7 @@ impl ProgramSemantics {
 /// Translation validation interprets two programs with the *same* manager so
 /// that input variables with equal names unify.
 pub fn interpret_program(
-    tm: &Rc<TermManager>,
+    tm: &Arc<TermManager>,
     program: &Program,
 ) -> Result<ProgramSemantics, InterpError> {
     let architecture = Architecture::by_name(&program.architecture).ok_or_else(|| {
@@ -139,7 +139,7 @@ pub fn interpret_program(
 }
 
 struct Interpreter<'a> {
-    tm: Rc<TermManager>,
+    tm: Arc<TermManager>,
     env: &'a TypeEnv,
     program: &'a Program,
     state: SymState,
@@ -158,7 +158,7 @@ struct Interpreter<'a> {
 type IResult<T> = Result<T, InterpError>;
 
 impl<'a> Interpreter<'a> {
-    fn new(tm: Rc<TermManager>, env: &'a TypeEnv, program: &'a Program) -> Interpreter<'a> {
+    fn new(tm: Arc<TermManager>, env: &'a TypeEnv, program: &'a Program) -> Interpreter<'a> {
         let state = SymState::new(&tm);
         Interpreter {
             tm,
@@ -1101,8 +1101,8 @@ mod tests {
     use p4_ir::builder;
     use smt::{eval_with_default, Assignment, Value};
 
-    fn ingress_semantics(program: &Program) -> (Rc<TermManager>, BlockSemantics) {
-        let tm = Rc::new(TermManager::new());
+    fn ingress_semantics(program: &Program) -> (Arc<TermManager>, BlockSemantics) {
+        let tm = Arc::new(TermManager::new());
         let semantics = interpret_program(&tm, program).expect("interpretation succeeds");
         let block = semantics.block("ingress").expect("ingress block").clone();
         (tm, block)
@@ -1357,7 +1357,7 @@ mod tests {
     #[test]
     fn parser_block_extracts_headers_symbolically() {
         let program = builder::trivial_program();
-        let tm = Rc::new(TermManager::new());
+        let tm = Arc::new(TermManager::new());
         let semantics = interpret_program(&tm, &program).unwrap();
         let parser = semantics.block("parser").unwrap();
         // The ethernet header is always extracted and marked valid.

@@ -7,11 +7,13 @@
 //! packets from the same formulas ([`testgen`], used for black-box testing
 //! of closed compilers such as Tofino).
 
+pub mod cache;
 pub mod equivalence;
 pub mod interpreter;
 pub mod state;
 pub mod testgen;
 
+pub use cache::{CacheStats, EpochCache};
 pub use equivalence::{
     check_equivalence, check_semantics_equivalence, check_semantics_equivalence_with,
     Counterexample, Equivalence, EquivalenceError, SessionStats, ValidationSession,

@@ -9,7 +9,7 @@
 use p4_ir::{Type, TypeEnv};
 use smt::{Sort, TermManager, TermRef};
 use std::collections::BTreeMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// A symbolic value: a scalar term or a nested aggregate.
 #[derive(Debug, Clone)]
@@ -324,7 +324,7 @@ impl SymState {
 }
 
 /// Shared handle on the term manager used by one interpretation run.
-pub type SharedTm = Rc<TermManager>;
+pub type SharedTm = Arc<TermManager>;
 
 #[cfg(test)]
 mod tests {

@@ -11,7 +11,7 @@ use crate::interpreter::{interpret_program, BlockSemantics, InterpError};
 use p4_ir::Program;
 use smt::{CheckResult, Solver, Sort, TermKind, TermManager, TermRef, Value};
 use std::collections::{BTreeMap, HashSet};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// One generated end-to-end test case for the primary match-action block.
 #[derive(Debug, Clone)]
@@ -89,7 +89,7 @@ pub fn generate_tests(
     program: &Program,
     options: &TestGenOptions,
 ) -> Result<Vec<TestCase>, TestGenError> {
-    let tm = Rc::new(TermManager::new());
+    let tm = Arc::new(TermManager::new());
     let semantics = interpret_program(&tm, program)?;
     let block = semantics
         .block(&options.block)
@@ -101,7 +101,7 @@ pub fn generate_tests(
 /// branch decisions is tried (bounded by `max_tests`), each satisfiable
 /// combination becomes a test.
 pub fn generate_for_block(
-    tm: &Rc<TermManager>,
+    tm: &Arc<TermManager>,
     block: &BlockSemantics,
     options: &TestGenOptions,
 ) -> Vec<TestCase> {

@@ -71,6 +71,76 @@ struct Clause {
 
 const UNASSIGNED: i8 = 0;
 
+/// Restart and decision-heuristic knobs for one CDCL instance.
+///
+/// A *portfolio* of differently-configured instances racing on one hard
+/// instance is the classic way to collapse CDCL's heavy-tailed runtime
+/// distribution: runtimes under different restart schedules and phase/
+/// decision heuristics are near-independent, so the minimum over K
+/// configurations has a far lighter tail than any single one.  The verdict
+/// (SAT/UNSAT) is of course identical whichever configuration answers
+/// first.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SolverConfig {
+    /// Conflicts before the first restart.
+    pub restart_base: u64,
+    /// Geometric restart growth as a `(numerator, denominator)` ratio.
+    pub restart_growth: (u64, u64),
+    /// Initial saved phase for fresh variables (phase saving overwrites it
+    /// as soon as a variable is first assigned).
+    pub initial_phase: bool,
+    /// VSIDS activity decay factor (activities are divided by this after
+    /// every conflict; smaller means faster forgetting).
+    pub activity_decay: f64,
+    /// Tie-break among equally-active unassigned variables: `false` picks
+    /// the lowest-numbered variable, `true` the highest-numbered.
+    pub prefer_high_vars: bool,
+}
+
+impl Default for SolverConfig {
+    fn default() -> SolverConfig {
+        SolverConfig {
+            restart_base: 100,
+            restart_growth: (3, 2),
+            initial_phase: false,
+            activity_decay: 0.95,
+            prefer_high_vars: false,
+        }
+    }
+}
+
+impl SolverConfig {
+    /// The `i`-th portfolio member.  Variant 0 is the default configuration
+    /// (so a 1-member portfolio behaves exactly like a plain solver); the
+    /// others diversify restarts, phases, decay, and tie-breaking.
+    pub fn portfolio_variant(i: usize) -> SolverConfig {
+        match i % 4 {
+            0 => SolverConfig::default(),
+            1 => SolverConfig {
+                restart_base: 50,
+                restart_growth: (2, 1),
+                initial_phase: true,
+                activity_decay: 0.90,
+                prefer_high_vars: true,
+            },
+            2 => SolverConfig {
+                restart_base: 400,
+                restart_growth: (3, 2),
+                initial_phase: false,
+                activity_decay: 0.99,
+                prefer_high_vars: true,
+            },
+            _ => SolverConfig {
+                restart_base: 32,
+                restart_growth: (4, 3),
+                initial_phase: true,
+                activity_decay: 0.85,
+                prefer_high_vars: false,
+            },
+        }
+    }
+}
+
 /// The CDCL solver.
 #[derive(Debug, Default)]
 pub struct SatSolver {
@@ -87,6 +157,7 @@ pub struct SatSolver {
     activity: Vec<f64>,
     var_inc: f64,
     phase: Vec<bool>,
+    config: SolverConfig,
     /// Set when an empty clause is added; the instance is trivially UNSAT.
     trivially_unsat: bool,
     /// Statistics: number of conflicts encountered.
@@ -99,8 +170,14 @@ pub struct SatSolver {
 
 impl SatSolver {
     pub fn new() -> SatSolver {
+        SatSolver::with_config(SolverConfig::default())
+    }
+
+    /// A solver using the given restart/decision configuration.
+    pub fn with_config(config: SolverConfig) -> SatSolver {
         SatSolver {
             var_inc: 1.0,
+            config,
             ..SatSolver::default()
         }
     }
@@ -112,7 +189,7 @@ impl SatSolver {
         self.level.push(0);
         self.reason.push(None);
         self.activity.push(0.0);
-        self.phase.push(false);
+        self.phase.push(self.config.initial_phase);
         self.watches.push(Vec::new());
         self.watches.push(Vec::new());
         var
@@ -269,7 +346,7 @@ impl SatSolver {
     }
 
     fn decay_activities(&mut self) {
-        self.var_inc /= 0.95;
+        self.var_inc /= self.config.activity_decay;
     }
 
     /// First-UIP conflict analysis.  Returns the learned clause (asserting
@@ -379,7 +456,12 @@ impl SatSolver {
         let mut best: Option<Var> = None;
         let mut best_activity = -1.0f64;
         for var in 0..self.num_vars() {
-            if self.assign[var] == UNASSIGNED && self.activity[var] > best_activity {
+            let better = if self.config.prefer_high_vars {
+                self.activity[var] >= best_activity
+            } else {
+                self.activity[var] > best_activity
+            };
+            if self.assign[var] == UNASSIGNED && better {
                 best_activity = self.activity[var];
                 best = Some(var as Var);
             }
@@ -404,12 +486,32 @@ impl SatSolver {
 
     /// Decides satisfiability under the given assumption literals.
     pub fn solve_with_assumptions(&mut self, assumptions: &[Lit]) -> SatResult {
+        self.solve_limited(assumptions, None, None)
+            .expect("unlimited solve always completes")
+    }
+
+    /// Decides satisfiability under assumptions, giving up after
+    /// `max_conflicts` conflicts (if given) or when `stop` becomes true.
+    ///
+    /// Returns `None` when the budget ran out or the stop flag fired; the
+    /// solver backtracks to level 0 and keeps its learned clauses, so it
+    /// stays usable (a later unlimited call resumes with everything
+    /// learned so far).  This is the primitive behind portfolio racing: the
+    /// incremental solver gets a conflict budget before the hard-miter
+    /// escalation, and racing instances carry each other's stop flag.
+    pub fn solve_limited(
+        &mut self,
+        assumptions: &[Lit],
+        max_conflicts: Option<u64>,
+        stop: Option<&std::sync::atomic::AtomicBool>,
+    ) -> Option<SatResult> {
+        use std::sync::atomic::Ordering;
         if self.trivially_unsat {
-            return SatResult::Unsat;
+            return Some(SatResult::Unsat);
         }
         // Top-level propagation of any pending units.
         if self.propagate().is_some() {
-            return SatResult::Unsat;
+            return Some(SatResult::Unsat);
         }
         // Enqueue assumptions as decisions; a conflict among them is UNSAT
         // (for Gauntlet's use, assumption conflicts never need a core).
@@ -418,7 +520,7 @@ impl SatSolver {
                 1 => continue,
                 -1 => {
                     self.backjump(0);
-                    return SatResult::Unsat;
+                    return Some(SatResult::Unsat);
                 }
                 _ => {
                     self.trail_lim.push(self.trail.len());
@@ -426,22 +528,25 @@ impl SatSolver {
                     debug_assert!(ok);
                     if self.propagate().is_some() {
                         self.backjump(0);
-                        return SatResult::Unsat;
+                        return Some(SatResult::Unsat);
                     }
                 }
             }
         }
         let assumption_level = self.decision_level();
 
-        let mut conflicts_until_restart = 100u64;
+        let mut conflicts_until_restart = self.config.restart_base;
         let mut conflicts_since_restart = 0u64;
+        let (growth_num, growth_den) = self.config.restart_growth;
+        let mut budget_spent = 0u64;
         loop {
             if let Some(conflict) = self.propagate() {
                 self.conflicts += 1;
                 conflicts_since_restart += 1;
+                budget_spent += 1;
                 if self.decision_level() <= assumption_level {
                     self.backjump(0);
-                    return SatResult::Unsat;
+                    return Some(SatResult::Unsat);
                 }
                 let (learned, backjump_level) = self.analyze(conflict);
                 let target = backjump_level.max(assumption_level);
@@ -451,19 +556,27 @@ impl SatSolver {
                 // under the assumptions.
                 if self.value(learned[0]) != UNASSIGNED {
                     self.backjump(0);
-                    return SatResult::Unsat;
+                    return Some(SatResult::Unsat);
                 }
                 self.learn(learned);
                 self.decay_activities();
+                if max_conflicts.is_some_and(|max| budget_spent >= max)
+                    || stop.is_some_and(|flag| flag.load(Ordering::Relaxed))
+                {
+                    // Give up, keeping everything learned so far.
+                    self.backjump(0);
+                    return None;
+                }
                 if conflicts_since_restart >= conflicts_until_restart {
                     conflicts_since_restart = 0;
-                    conflicts_until_restart = (conflicts_until_restart * 3) / 2;
+                    conflicts_until_restart =
+                        (conflicts_until_restart * growth_num) / growth_den.max(1);
                     self.backjump(assumption_level);
                 }
             } else if !self.decide() {
                 let model: Vec<bool> = self.assign.iter().map(|&v| v == 1).collect();
                 self.backjump(0);
-                return SatResult::Sat(model);
+                return Some(SatResult::Sat(model));
             }
         }
     }

@@ -9,10 +9,12 @@
 
 use crate::bitblast::{BitBlaster, BlastContext, Repr};
 use crate::eval::{eval_with_default, Assignment, Value};
-use crate::sat::{Lit, SatResult, SatSolver};
+use crate::sat::{Lit, SatResult, SatSolver, SolverConfig};
 use crate::term::TermRef;
 use crate::value::BvValue;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
 
 /// A satisfying assignment for the variables of a query.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -93,6 +95,33 @@ pub struct SolverStats {
     pub decisions: u64,
     pub propagations: u64,
     pub memo_hits: usize,
+    /// When the last check escalated to a portfolio race, the index of the
+    /// configuration (`SolverConfig::portfolio_variant`) that answered
+    /// first.  Informational only: the verdict is identical whichever
+    /// member wins, and counterexamples are canonicalised upstream, so
+    /// nothing rendered depends on this value.
+    pub portfolio_winner: Option<usize>,
+}
+
+/// Configuration of [`Solver`]'s portfolio escalation for hard instances.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PortfolioOptions {
+    /// Number of configurations to race (clamped to at least 1).
+    pub members: usize,
+    /// Conflicts the incremental solver may spend before escalating to the
+    /// race.  `0` races immediately (useful for tests).
+    pub trigger_conflicts: u64,
+}
+
+impl Default for PortfolioOptions {
+    fn default() -> PortfolioOptions {
+        PortfolioOptions {
+            members: 4,
+            // Generated miters almost always decide within a few hundred
+            // conflicts; only genuinely hard instances get this far.
+            trigger_conflicts: 20_000,
+        }
+    }
 }
 
 /// An accumulating, incremental solver over terms.
@@ -115,11 +144,26 @@ pub struct Solver {
     ctx: BlastContext,
     last_stats: SolverStats,
     total_checks: u64,
+    /// When set, hard checks escalate to a portfolio race (see
+    /// [`PortfolioOptions`]).
+    portfolio: Option<PortfolioOptions>,
+    /// Lifetime count of checks that escalated to a race.
+    portfolio_races: u64,
 }
 
 impl Solver {
     pub fn new() -> Solver {
         Solver::default()
+    }
+
+    /// Enables (or disables, with `None`) portfolio escalation.
+    pub fn set_portfolio(&mut self, options: Option<PortfolioOptions>) {
+        self.portfolio = options;
+    }
+
+    /// Number of checks that escalated to a portfolio race so far.
+    pub fn portfolio_races(&self) -> u64 {
+        self.portfolio_races
     }
 
     /// Adds a boolean assertion.
@@ -187,7 +231,28 @@ impl Solver {
         self.lowered = self.assertions.len();
         let memo_hits = self.ctx.cross_generation_hits();
 
-        let result = self.sat.solve_with_assumptions(&assumptions);
+        // Decide: incrementally when possible, escalating to a portfolio
+        // race once a configured conflict budget is exhausted.  The race
+        // re-blasts the full assertion set into fresh instances with
+        // diverse configurations; the first to answer stops the rest.
+        let mut portfolio_winner = None;
+        let local_result = match self.portfolio {
+            None => Some(self.sat.solve_with_assumptions(&assumptions)),
+            Some(options) if options.trigger_conflicts > 0 => {
+                self.sat
+                    .solve_limited(&assumptions, Some(options.trigger_conflicts), None)
+            }
+            Some(_) => None,
+        };
+        let raced_values = match (&local_result, self.portfolio) {
+            (None, Some(options)) => {
+                self.portfolio_races += 1;
+                let (winner, values) = self.race_portfolio(extra, options.members.max(1));
+                portfolio_winner = Some(winner);
+                Some(values)
+            }
+            _ => None,
+        };
         self.last_stats = SolverStats {
             sat_variables: self.sat.num_vars(),
             sat_clauses: self.sat.num_clauses(),
@@ -195,27 +260,68 @@ impl Solver {
             decisions: self.sat.decisions - decisions0,
             propagations: self.sat.propagations - propagations0,
             memo_hits,
+            portfolio_winner,
         };
-        match result {
-            SatResult::Unsat => CheckResult::Unsat,
-            SatResult::Sat(assignment) => {
-                let mut values = HashMap::new();
-                for (name, repr) in self.ctx.variables() {
-                    let value = match repr {
-                        Repr::Bool(lit) => {
-                            Value::Bool(assignment[lit.var() as usize] ^ lit.is_negated())
-                        }
-                        Repr::Bits(bits) => Value::Bv(BvValue::from_bits(
-                            bits.iter()
-                                .map(|l| assignment[l.var() as usize] ^ l.is_negated())
-                                .collect(),
-                        )),
-                    };
-                    values.insert(name.clone(), value);
-                }
-                CheckResult::Sat(Model::new(values))
+        match (local_result, raced_values) {
+            (Some(SatResult::Unsat), _) => CheckResult::Unsat,
+            (Some(SatResult::Sat(assignment)), _) => {
+                CheckResult::Sat(Model::new(extract_values(&self.ctx, &assignment)))
             }
+            (None, Some(None)) => CheckResult::Unsat,
+            (None, Some(Some(values))) => CheckResult::Sat(Model::new(values)),
+            (None, None) => unreachable!("an escalated check always races"),
         }
+    }
+
+    /// Races `members` freshly-blasted SAT instances with diverse
+    /// configurations over the current assertions plus `extra`.  Returns
+    /// the winning member's index and its verdict (`None` = UNSAT,
+    /// `Some(values)` = a satisfying assignment).
+    fn race_portfolio(
+        &self,
+        extra: &[TermRef],
+        members: usize,
+    ) -> (usize, Option<HashMap<String, Value>>) {
+        let stop = AtomicBool::new(false);
+        type RaceWin = Option<(usize, Option<HashMap<String, Value>>)>;
+        let winner: Mutex<RaceWin> = Mutex::new(None);
+        std::thread::scope(|scope| {
+            for member in 0..members {
+                let stop = &stop;
+                let winner = &winner;
+                let assertions = &self.assertions;
+                scope.spawn(move || {
+                    let mut sat = SatSolver::with_config(SolverConfig::portfolio_variant(member));
+                    let mut ctx = BlastContext::new();
+                    let mut assumptions = Vec::with_capacity(extra.len());
+                    {
+                        let mut blaster = BitBlaster::new(&mut sat, &mut ctx);
+                        for assertion in assertions {
+                            blaster.assert(assertion);
+                        }
+                        for term in extra {
+                            assumptions.push(blaster.blast(term).as_bool());
+                        }
+                    }
+                    let Some(result) = sat.solve_limited(&assumptions, None, Some(stop)) else {
+                        return; // another member answered first
+                    };
+                    let mut slot = winner.lock().expect("portfolio winner lock poisoned");
+                    if slot.is_none() {
+                        stop.store(true, Ordering::Relaxed);
+                        let values = match result {
+                            SatResult::Unsat => None,
+                            SatResult::Sat(assignment) => Some(extract_values(&ctx, &assignment)),
+                        };
+                        *slot = Some((member, values));
+                    }
+                });
+            }
+        });
+        winner
+            .into_inner()
+            .expect("portfolio winner lock poisoned")
+            .expect("at least one portfolio member completes")
     }
 
     /// Convenience: checks whether two terms of equal sort can differ.  This
@@ -230,6 +336,24 @@ impl Solver {
         let distinct = tm.neq(a, b);
         self.check_with(&[distinct])
     }
+}
+
+/// Named-variable values under a satisfying assignment, read through the
+/// blast context that produced the CNF.
+fn extract_values(ctx: &BlastContext, assignment: &[bool]) -> HashMap<String, Value> {
+    let mut values = HashMap::new();
+    for (name, repr) in ctx.variables() {
+        let value = match repr {
+            Repr::Bool(lit) => Value::Bool(assignment[lit.var() as usize] ^ lit.is_negated()),
+            Repr::Bits(bits) => Value::Bv(BvValue::from_bits(
+                bits.iter()
+                    .map(|l| assignment[l.var() as usize] ^ l.is_negated())
+                    .collect(),
+            )),
+        };
+        values.insert(name.clone(), value);
+    }
+    values
 }
 
 #[cfg(test)]
@@ -352,6 +476,95 @@ mod tests {
         solver.assert(tm.bv_ult(tm.bv_const(8, 8), x.clone()));
         solver.assert(tm.neq(x.clone(), tm.bv_const(9, 8)));
         assert_eq!(solver.check(), CheckResult::Unsat);
+    }
+
+    /// A query hard enough to need conflicts, solved three ways: plain
+    /// incremental, portfolio with a generous trigger (no race), and
+    /// portfolio forced to race immediately.  All verdicts must agree.
+    #[test]
+    fn portfolio_race_agrees_with_incremental() {
+        let tm = TermManager::new();
+        // An UNSAT mutation miter: commuted multiplication (kept narrow —
+        // UNSAT proofs over multipliers grow steeply with width).
+        let x = tm.var("x", Sort::BitVec(5));
+        let y = tm.var("y", Sort::BitVec(5));
+        let lhs = tm.bv_mul(x.clone(), y.clone());
+        let rhs = tm.bv_mul(y.clone(), x.clone());
+        // Defeat hash-consing's syntactic collapse with an extra xor layer
+        // so the query actually reaches the SAT core.
+        let lhs = tm.bv_xor(lhs, tm.bv_add(x.clone(), y.clone()));
+        let rhs = tm.bv_xor(rhs, tm.bv_add(x.clone(), y.clone()));
+        let query = tm.neq(lhs, rhs);
+
+        let mut plain = Solver::new();
+        let expected = plain.check_with(std::slice::from_ref(&query));
+        assert_eq!(expected, CheckResult::Unsat);
+        assert_eq!(plain.stats().portfolio_winner, None);
+        assert_eq!(plain.portfolio_races(), 0);
+
+        let mut lazy = Solver::new();
+        lazy.set_portfolio(Some(PortfolioOptions::default()));
+        assert_eq!(lazy.check_with(std::slice::from_ref(&query)), expected);
+        assert_eq!(lazy.portfolio_races(), 0, "generous trigger must not race");
+
+        let mut eager = Solver::new();
+        eager.set_portfolio(Some(PortfolioOptions {
+            members: 4,
+            trigger_conflicts: 0,
+        }));
+        assert_eq!(eager.check_with(std::slice::from_ref(&query)), expected);
+        assert_eq!(eager.portfolio_races(), 1, "zero trigger races immediately");
+        assert!(eager.stats().portfolio_winner.is_some());
+    }
+
+    /// SAT verdicts from a forced race are genuine witnesses.
+    #[test]
+    fn portfolio_race_sat_models_satisfy_the_query() {
+        let tm = TermManager::new();
+        let x = tm.var("x", Sort::BitVec(10));
+        let y = tm.var("y", Sort::BitVec(10));
+        let query = tm.eq(tm.bv_mul(x.clone(), y.clone()), tm.bv_const(391, 10));
+        let mut solver = Solver::new();
+        solver.set_portfolio(Some(PortfolioOptions {
+            members: 3,
+            trigger_conflicts: 0,
+        }));
+        match solver.check_with(std::slice::from_ref(&query)) {
+            CheckResult::Sat(model) => assert!(model.eval(&query).as_bool()),
+            CheckResult::Unsat => panic!("391 = 17 * 23 is expressible in 10 bits"),
+        }
+    }
+
+    /// A budget-limited solve gives up cleanly and the solver stays usable.
+    #[test]
+    fn budgeted_solve_is_resumable() {
+        use crate::sat::{SatResult, SatSolver};
+        // Pigeonhole PHP(5,4): UNSAT and needs real search.
+        let pigeons = 5;
+        let holes = 4;
+        let var = |p: usize, h: usize| (p * holes + h) as u32;
+        let mut sat = SatSolver::new();
+        for _ in 0..pigeons * holes {
+            sat.new_var();
+        }
+        for p in 0..pigeons {
+            let clause: Vec<Lit> = (0..holes).map(|h| Lit::positive(var(p, h))).collect();
+            sat.add_clause(&clause);
+        }
+        for h in 0..holes {
+            for p1 in 0..pigeons {
+                for p2 in (p1 + 1)..pigeons {
+                    sat.add_clause(&[Lit::negative(var(p1, h)), Lit::negative(var(p2, h))]);
+                }
+            }
+        }
+        assert_eq!(
+            sat.solve_limited(&[], Some(1), None),
+            None,
+            "budget of one conflict cannot finish PHP(5,4)"
+        );
+        // The interrupted instance resumes and still answers correctly.
+        assert_eq!(sat.solve_limited(&[], None, None), Some(SatResult::Unsat));
     }
 
     #[test]

@@ -8,7 +8,7 @@
 
 use crate::value::BvValue;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// The sort (type) of a term.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -30,8 +30,11 @@ impl Sort {
     }
 }
 
-/// Reference-counted term handle.
-pub type TermRef = Rc<Term>;
+/// Reference-counted term handle.  `Arc` rather than `Rc` so one hash-consed
+/// term DAG can be shared across the campaign worker pool (epoch-scoped
+/// caching): structurally identical subterms built by different workers
+/// collapse to one node no matter which thread built them first.
+pub type TermRef = Arc<Term>;
 
 /// A term node.
 #[derive(Debug)]
@@ -244,11 +247,24 @@ impl Shape {
 /// "before" and "after" programs mostly coincide — their shared parts
 /// collapse to the same term, so the distinguishing query only pays for the
 /// parts a compiler pass actually changed.
+/// Interior state of a [`TermManager`], guarded by one mutex so the manager
+/// is `Send + Sync` and can back an epoch-scoped cache shared by the
+/// campaign's worker pool.  Term *ids* assigned under contention are
+/// schedule-dependent, but everything downstream treats ids as opaque
+/// memoisation keys: hash-consing, the folds, and SAT verdicts are all
+/// structural, and reported counterexamples are re-derived canonically from
+/// the query term alone (see `p4-symbolic`), so rendered output stays
+/// byte-identical at any `--jobs`.
+#[derive(Debug, Default)]
+struct ManagerState {
+    next_id: u64,
+    fresh_counter: u64,
+    table: std::collections::HashMap<(Sort, Shape), TermRef>,
+}
+
 #[derive(Debug, Default)]
 pub struct TermManager {
-    next_id: std::cell::Cell<u64>,
-    fresh_counter: std::cell::Cell<u64>,
-    table: std::cell::RefCell<std::collections::HashMap<(Sort, Shape), TermRef>>,
+    state: std::sync::Mutex<ManagerState>,
 }
 
 impl TermManager {
@@ -258,19 +274,23 @@ impl TermManager {
 
     fn mk(&self, sort: Sort, kind: TermKind) -> TermRef {
         let key = (sort, Shape::of(&kind));
-        if let Some(existing) = self.table.borrow().get(&key) {
+        let mut state = self.state.lock().expect("term manager lock poisoned");
+        if let Some(existing) = state.table.get(&key) {
             return existing.clone();
         }
-        let id = self.next_id.get();
-        self.next_id.set(id + 1);
-        let term = Rc::new(Term { id, sort, kind });
-        self.table.borrow_mut().insert(key, term.clone());
+        let id = state.next_id;
+        state.next_id += 1;
+        let term = Arc::new(Term { id, sort, kind });
+        state.table.insert(key, term.clone());
         term
     }
 
     /// Number of terms created so far (a proxy for formula size).
     pub fn term_count(&self) -> u64 {
-        self.next_id.get()
+        self.state
+            .lock()
+            .expect("term manager lock poisoned")
+            .next_id
     }
 
     // ---- constants and variables -------------------------------------
@@ -302,8 +322,12 @@ impl TermManager {
 
     /// A fresh variable with a unique name built from `prefix`.
     pub fn fresh_var(&self, prefix: &str, sort: Sort) -> TermRef {
-        let n = self.fresh_counter.get();
-        self.fresh_counter.set(n + 1);
+        let n = {
+            let mut state = self.state.lock().expect("term manager lock poisoned");
+            let n = state.fresh_counter;
+            state.fresh_counter += 1;
+            n
+        };
         self.var(format!("{prefix}!{n}"), sort)
     }
 

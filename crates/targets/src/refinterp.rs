@@ -28,7 +28,7 @@ use p4_symbolic::{interpret_program, TestCase};
 use p4c::Compiler;
 use smt::{eval_with_default, Assignment, TermManager, TermRef};
 use std::collections::BTreeMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// The reference-interpreter back end.
 #[derive(Debug, Default)]
@@ -77,7 +77,7 @@ impl Target for RefInterpTarget {
             Some(bug) => apply_lowering_bug(&result.program, bug),
             None => result.program,
         };
-        let tm = Rc::new(TermManager::new());
+        let tm = Arc::new(TermManager::new());
         let semantics = interpret_program(&tm, &lowered).map_err(|error| {
             // An interpreter limitation, not a compiler bug: the program is
             // outside this target's supported subset (paper §8).
@@ -102,7 +102,7 @@ impl Target for RefInterpTarget {
 pub struct RefInterpImage {
     outputs: Vec<(String, TermRef)>,
     /// Keeps the term manager (and thus the hash-consed term graph) alive.
-    _tm: Rc<TermManager>,
+    _tm: Arc<TermManager>,
 }
 
 impl LoadedArtifact for RefInterpImage {

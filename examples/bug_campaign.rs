@@ -9,7 +9,7 @@
 //! ```text
 //! cargo run --release --example bug_campaign -- [--jobs N] [--programs-per-bug P] \
 //!     [--hunt-seeds S] [--coverage 1] [--corpus PATH] [--mutate 1] \
-//!     [--mutations-per-seed M]
+//!     [--mutations-per-seed M] [--cache 0] [--portfolio 1]
 //! ```
 //!
 //! `--coverage 1` turns the hunts coverage-guided: pass-rule coverage is
@@ -21,7 +21,10 @@
 //! compiled forms are proved equivalent to the compiled seed, the report
 //! gains a mutation block, and a hunt against a compiler with seeded
 //! pre-snapshot corruption demonstrates a detection translation validation
-//! provably cannot make.
+//! provably cannot make.  `--cache 0` disables the pool-shared epoch
+//! validation cache (on by default; reports are identical either way) and
+//! `--portfolio 1` races hard equivalence queries across diverse SAT
+//! configurations.
 
 use gauntlet_core::{
     render_detection_matrix, render_table2, render_table3, run_campaign, CampaignConfig,
@@ -57,6 +60,8 @@ fn main() {
     } else {
         None
     };
+    let epoch_cache = parse_flag("--cache", 1) != 0;
+    let portfolio = parse_flag("--portfolio", 0) != 0;
     let mutation = if parse_flag("--mutate", 0) != 0 {
         Some(MetamorphicOptions {
             mutants_per_seed: parse_flag(
@@ -111,6 +116,8 @@ fn main() {
         },
         coverage: coverage.clone(),
         mutation: mutation.clone(),
+        epoch_cache,
+        portfolio,
         ..HuntConfig::default()
     })
     .run(|| buggy.build_compiler());
@@ -120,6 +127,20 @@ fn main() {
         hunt.throughput(),
         hunt.per_worker
     );
+    if let Some(cache) = &hunt.cache {
+        // Run-descriptive like `elapsed` (quota overshoot makes lookup
+        // counts schedule-dependent), so stderr: stdout stays
+        // byte-identical across `--jobs`.
+        eprintln!(
+            "epoch cache: {} epoch(s), semantics {}/{} hit, verdicts {}/{} hit, {} portfolio race(s)",
+            cache.epochs,
+            cache.stats.semantics_hits,
+            cache.stats.semantics_lookups(),
+            cache.stats.verdict_hits,
+            cache.stats.verdict_lookups(),
+            cache.portfolio_races
+        );
+    }
     println!("{}", hunt.render());
 
     // Part 3: N-way differential testgen — every generated test replayed on
@@ -139,6 +160,8 @@ fn main() {
         seed_count: hunt_seeds,
         targets: diff_targets,
         coverage,
+        epoch_cache,
+        portfolio,
         ..HuntConfig::default()
     })
     .run(p4c::Compiler::reference);
@@ -177,6 +200,8 @@ fn main() {
             jobs,
             seed_count: hunt_seeds,
             mutation: Some(mutation),
+            epoch_cache,
+            portfolio,
             ..HuntConfig::default()
         })
         .run(|| driver_bug.build_compiler());

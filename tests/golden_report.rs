@@ -93,6 +93,8 @@ fn fixture_hunt() -> HuntReport {
             ],
             rules_total: 10,
         }),
+        // Run-descriptive like `elapsed`: must not influence the render.
+        cache: Some(gauntlet_core::CacheSummary::default()),
     }
 }
 
