@@ -1,6 +1,6 @@
 //! The committed benchmark trajectory: every stage of the campaign loop
 //! (generate → compile → validate → mutate) timed over a fixed-seed
-//! workload, emitted as machine-readable JSON (`BENCH_pr6.json` at the repo
+//! workload, emitted as machine-readable JSON (`BENCH_pr7.json` at the repo
 //! root) so performance claims are *committed* next to the code they
 //! describe and regressions show up in review diffs.
 //!
@@ -11,7 +11,7 @@
 //!
 //! * default — run the workload (50 seeds) and print the JSON to stdout;
 //! * `--out PATH` — also write the JSON to `PATH` (use
-//!   `--seeds 50 --out BENCH_pr6.json` to regenerate the committed file,
+//!   `--seeds 50 --out BENCH_pr7.json` to regenerate the committed file,
 //!   see docs/REPRODUCING.md);
 //! * `--compare BASELINE` — gate mode: after measuring, compare against a
 //!   previously committed trajectory and exit nonzero on regression.
@@ -28,11 +28,20 @@
 //! committed ≥2× claim is measured, not asserted.
 //!
 //! The comparator deliberately gates on *scale-free* metrics only — the
-//! speedup ratio and the deterministic work counters (pass pairs, solver
-//! checks, mutants).  Absolute throughput depends on the machine that ran
-//! the bench, so comparing a CI runner's numbers against a committed file
-//! from another machine would gate on noise; throughputs are recorded for
-//! trend reading, not enforced.
+//! speedup ratio, the deterministic work counters (pass pairs, solver
+//! checks, mutants), and the **telemetry overhead**: the cold-validation
+//! workload is re-run with a telemetry `Recorder` installed and the
+//! relative slowdown is emitted as `telemetry_overhead_pct` and bounded at
+//! <3% (the flight-recorder invariant).  Absolute throughput depends on
+//! the machine that ran the bench, so comparing a CI runner's numbers
+//! against a committed file from another machine would gate on noise;
+//! throughputs are recorded for trend reading, not enforced.
+//!
+//! The per-query solver tail (`solver_tail` blocks) is now also captured by
+//! the telemetry histograms inside every campaign run (`run.telemetry.solver`
+//! in the `gauntlet-report-v1` document); the bench keeps its own exact
+//! sorted-sample percentiles as the ground truth the bucketed histogram
+//! approximates.
 
 use gauntlet_core::{hunt_mutation_seed, MetamorphicChecker, MetamorphicOptions};
 use p4_gen::{GeneratorConfig, RandomProgramGenerator};
@@ -45,6 +54,10 @@ use std::time::{Duration, Instant};
 /// How much the gated ratio metrics may degrade relative to the committed
 /// baseline before the comparator fails (the "10% regression" CI gate).
 const REGRESSION_TOLERANCE: f64 = 0.10;
+
+/// Ceiling on the telemetry flight recorder's measured slowdown of the
+/// validation workload (the hard invariant from the telemetry PR).
+const TELEMETRY_OVERHEAD_CEILING_PCT: f64 = 3.0;
 
 fn parse_flag(args: &[String], name: &str) -> Option<String> {
     args.iter()
@@ -165,6 +178,9 @@ struct Trajectory {
     mutate: Stage,
     mutants: u64,
     portfolio_races: u64,
+    /// Relative slowdown (in percent, may be negative under noise) of the
+    /// cold-validation workload with a telemetry `Recorder` installed.
+    telemetry_overhead_pct: f64,
 }
 
 impl Trajectory {
@@ -324,6 +340,34 @@ fn measure(seeds: usize, portfolio: bool) -> Trajectory {
     };
     let portfolio_races = checker.portfolio_races();
 
+    // Stage 5: telemetry overhead.  The cold-validation workload (the
+    // hottest instrumented path: a Validate span per pair plus a latency
+    // sample per solver query) is re-run with and without a `Recorder`
+    // installed, interleaved and best-of-5 per side so the ratio compares
+    // the two fast paths rather than scheduler noise.
+    let telemetry_overhead_pct = {
+        let mut uninstrumented = Duration::MAX;
+        let mut instrumented = Duration::MAX;
+        for _ in 0..5 {
+            let cache = Arc::new(EpochCache::new());
+            let mut sink = Vec::new();
+            let run = validate_all(&results, &cache, portfolio, &mut sink);
+            uninstrumented = uninstrumented.min(run.stage.elapsed);
+
+            let cache = Arc::new(EpochCache::new());
+            let enclosing = gauntlet_telemetry::install(gauntlet_telemetry::Recorder::new());
+            let mut sink = Vec::new();
+            let run = validate_all(&results, &cache, portfolio, &mut sink);
+            let recorder = gauntlet_telemetry::take().expect("recorder still installed");
+            assert!(!recorder.is_empty(), "instrumented run recorded nothing");
+            if let Some(previous) = enclosing {
+                gauntlet_telemetry::install(previous);
+            }
+            instrumented = instrumented.min(run.stage.elapsed);
+        }
+        (instrumented.as_secs_f64() / uninstrumented.as_secs_f64() - 1.0) * 100.0
+    };
+
     Trajectory {
         seeds,
         portfolio,
@@ -334,6 +378,7 @@ fn measure(seeds: usize, portfolio: bool) -> Trajectory {
         mutate,
         mutants,
         portfolio_races,
+        telemetry_overhead_pct,
     }
 }
 
@@ -371,7 +416,7 @@ fn render_json(t: &Trajectory) -> String {
         )
     };
     format!(
-        "{{\n  \"schema\": \"gauntlet-trajectory-v1\",\n  \"seeds\": {},\n  \"portfolio\": {},\n  \"gen\": {},\n  \"compile\": {},\n  \"validate_cold\": {},\n  \"validate_warm\": {},\n  \"validate_speedup_warm_over_cold\": {:.3},\n  \"mutate\": {},\n  \"mutants_checked\": {},\n  \"portfolio_races\": {}\n}}",
+        "{{\n  \"schema\": \"gauntlet-trajectory-v1\",\n  \"seeds\": {},\n  \"portfolio\": {},\n  \"gen\": {},\n  \"compile\": {},\n  \"validate_cold\": {},\n  \"validate_warm\": {},\n  \"validate_speedup_warm_over_cold\": {:.3},\n  \"mutate\": {},\n  \"mutants_checked\": {},\n  \"portfolio_races\": {},\n  \"telemetry_overhead_pct\": {:.2}\n}}",
         t.seeds,
         t.portfolio,
         stage(&t.gen),
@@ -381,7 +426,8 @@ fn render_json(t: &Trajectory) -> String {
         t.speedup(),
         stage(&t.mutate),
         t.mutants,
-        t.portfolio_races
+        t.portfolio_races,
+        t.telemetry_overhead_pct
     )
 }
 
@@ -405,6 +451,14 @@ fn compare_against(current: &Trajectory, baseline: &str) -> Vec<String> {
     let mut failures = Vec::new();
     if !baseline.contains("\"schema\": \"gauntlet-trajectory-v1\"") {
         return vec!["baseline schema mismatch (expected gauntlet-trajectory-v1)".into()];
+    }
+    // The telemetry invariant is a property of the current build, not a
+    // baseline ratio: gate it at every workload scale.
+    if current.telemetry_overhead_pct >= TELEMETRY_OVERHEAD_CEILING_PCT {
+        failures.push(format!(
+            "telemetry overhead too high: {:.2}% >= {TELEMETRY_OVERHEAD_CEILING_PCT:.0}% ceiling",
+            current.telemetry_overhead_pct
+        ));
     }
     let baseline_seeds = json_number(baseline, "seeds").unwrap_or(0.0) as usize;
     let baseline_speedup = json_number(baseline, "validate_speedup_warm_over_cold").unwrap_or(0.0);
@@ -433,7 +487,7 @@ fn compare_against(current: &Trajectory, baseline: &str) -> Vec<String> {
             let expected = json_number(baseline, key);
             if expected != Some(value) {
                 failures.push(format!(
-                    "deterministic counter `{key}` drifted: measured {value}, baseline {expected:?} — regenerate BENCH_pr6.json if intentional"
+                    "deterministic counter `{key}` drifted: measured {value}, baseline {expected:?} — regenerate BENCH_pr7.json if intentional"
                 ));
             }
         }

@@ -20,6 +20,7 @@ use crate::bugs::{BugDatabase, BugKind, BugReport, CompilerArea, Platform, Techn
 use crate::corpus::{Corpus, CorpusEntry};
 use crate::inject::SeededBug;
 use crate::pipeline::{Gauntlet, GauntletOptions};
+use gauntlet_telemetry::{json, EventLog, Heartbeat, ProgressSink, Recorder, Stage};
 use p4_gen::{GeneratorConfig, RandomProgramGenerator, WeightAdapter};
 use p4_ir::{print_program, ConstructCensus, Program};
 use p4_mutate::{hunt_mutation_seed, MetamorphicChecker, MetamorphicOptions, MutationCoverage};
@@ -30,7 +31,7 @@ use smt::PortfolioOptions;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 use targets::{Target, TargetRegistry};
 
 /// Campaign configuration.
@@ -371,6 +372,16 @@ pub struct HuntConfig {
     /// generated programs rarely produce miters hard enough to trigger the
     /// race.  Verdict-preserving, so reports are identical either way.
     pub portfolio: bool,
+    /// Flight-recorder telemetry (the `--events`/heartbeat knobs).  `None`
+    /// (the default) records nothing and pays nothing: every instrumentation
+    /// hook in the stack is a single thread-local read.  With options set,
+    /// each worker carries a [`gauntlet_telemetry::Recorder`] that is merged
+    /// at the epoch barrier into [`HuntReport::telemetry`], wall-clock
+    /// events stream to the JSONL log, and a progress heartbeat prints to
+    /// stderr.  Strictly observation-only: reports and corpus bytes are
+    /// byte-identical with telemetry on or off, at any `--jobs` (pinned by
+    /// `tests/telemetry.rs`).
+    pub telemetry: Option<TelemetryOptions>,
 }
 
 impl Default for HuntConfig {
@@ -388,6 +399,32 @@ impl Default for HuntConfig {
             mutation: None,
             epoch_cache: true,
             portfolio: false,
+            telemetry: None,
+        }
+    }
+}
+
+/// Options for the flight recorder (see [`HuntConfig::telemetry`]).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TelemetryOptions {
+    /// Path of the out-of-band JSONL event log (`--events PATH`).  Every
+    /// line is one `gauntlet-events-v1` object with a wall-clock `ts_ms`;
+    /// the file is explicitly excluded from the deterministic artifacts.
+    /// `None` records spans and counters but streams no events.
+    pub events: Option<String>,
+    /// Print the live progress heartbeat (seeds/sec, bugs found, cache hit
+    /// rate, ETA) to stderr.
+    pub progress: bool,
+    /// Committed seeds between heartbeat lines.
+    pub heartbeat_every: usize,
+}
+
+impl Default for TelemetryOptions {
+    fn default() -> Self {
+        TelemetryOptions {
+            events: None,
+            progress: true,
+            heartbeat_every: 25,
         }
     }
 }
@@ -584,6 +621,14 @@ pub struct HuntReport {
     /// [`HuntConfig::epoch_cache`] or [`HuntConfig::portfolio`] was set).
     /// Run-descriptive like `elapsed`: not part of [`HuntReport::render`].
     pub cache: Option<CacheSummary>,
+    /// The aggregated flight recorder (present iff
+    /// [`HuntConfig::telemetry`] was set): stage spans, per-pass and
+    /// per-rule counters, and the solver-query latency histogram, merged
+    /// across every worker at the epoch barriers.  Its *counters* are
+    /// schedule-independent; its *timings* are wall-clock, so like
+    /// `elapsed` the whole block is excluded from [`HuntReport::render`]
+    /// and from the deterministic half of the JSON report.
+    pub telemetry: Option<Recorder>,
 }
 
 impl HuntReport {
@@ -760,6 +805,58 @@ struct MutationAccum {
     divergent: usize,
 }
 
+/// The flight-recorder runtime of one hunt: the event log, the progress
+/// sink, and the pool-wide recorder aggregate.  Everything here is strictly
+/// out-of-band — it observes the hunt but never feeds back into it, which
+/// is what keeps reports and corpus bytes identical with telemetry on/off.
+struct HuntTelemetry {
+    events: Option<EventLog>,
+    progress: ProgressSink,
+    heartbeat_every: usize,
+    started: Instant,
+    aggregate: Mutex<Recorder>,
+}
+
+impl HuntTelemetry {
+    fn new(options: &TelemetryOptions) -> HuntTelemetry {
+        let progress = ProgressSink::new(options.progress);
+        let events = options.events.as_ref().and_then(|path| {
+            EventLog::create(path)
+                .map_err(|error| {
+                    // Telemetry must never fail a campaign: report the
+                    // unusable path and run without an event log.
+                    progress.note(&format!(
+                        "[gauntlet] cannot open event log `{path}`: {error}"
+                    ));
+                })
+                .ok()
+        });
+        HuntTelemetry {
+            events,
+            progress,
+            heartbeat_every: options.heartbeat_every.max(1),
+            started: Instant::now(),
+            aggregate: Mutex::new(Recorder::new()),
+        }
+    }
+
+    fn emit(&self, event: &str, fields: &[(&str, String)]) {
+        if let Some(log) = &self.events {
+            log.emit(event, fields);
+        }
+    }
+
+    /// Fold one worker's recorder into the pool-wide aggregate (called at
+    /// the epoch barrier; merge is commutative so the aggregate counters
+    /// are schedule-independent).
+    fn absorb(&self, recorder: &Recorder) {
+        self.aggregate
+            .lock()
+            .expect("telemetry lock")
+            .merge(recorder);
+    }
+}
+
 /// Commit state shared by the hunt workers: results enter `pending` in any
 /// order and are committed strictly in task order, which makes early stop
 /// (and therefore the whole report) schedule-independent.
@@ -776,13 +873,23 @@ struct HuntCommit {
     guided: Option<GuidedCommit>,
     /// Mutation accumulation (present iff the hunt mutates).
     mutation: Option<MutationAccum>,
+    /// Committed-seed count at which the next heartbeat prints (telemetry
+    /// bookkeeping only — never read by the commit logic itself).
+    next_heartbeat: usize,
 }
 
 impl HuntCommit {
     /// Drains the contiguous prefix of `pending`, committing results in
     /// strict seed order (reports, coverage merge, corpus admission, quota
-    /// early stop).
-    fn drain(&mut self, config: &HuntConfig) {
+    /// early stop).  `telemetry` and `epoch_cache` are observation-only:
+    /// they emit seed/bug events and the heartbeat but never influence what
+    /// commits.
+    fn drain(
+        &mut self,
+        config: &HuntConfig,
+        telemetry: Option<&HuntTelemetry>,
+        epoch_cache: Option<&Arc<EpochCache>>,
+    ) {
         while !self.stopped {
             let commit_index = self.next;
             let Some(result) = self.pending.remove(&commit_index) else {
@@ -803,6 +910,39 @@ impl HuntCommit {
                 }
             }
             let reports = result.reports;
+            if let Some(telemetry) = telemetry {
+                telemetry.emit(
+                    "seed",
+                    &[
+                        ("seed", committed_seed.to_string()),
+                        ("bugs", reports.len().to_string()),
+                    ],
+                );
+                for report in &reports {
+                    telemetry.emit(
+                        "bug",
+                        &[
+                            ("seed", committed_seed.to_string()),
+                            ("kind", json::string(&format!("{:?}", report.kind))),
+                            ("platform", json::string(&report.platform.to_string())),
+                            (
+                                "pass",
+                                match &report.pass {
+                                    Some(pass) => json::string(pass),
+                                    None => "null".to_string(),
+                                },
+                            ),
+                            (
+                                "attributed_to",
+                                match &report.attributed_to {
+                                    Some(target) => json::string(target),
+                                    None => "null".to_string(),
+                                },
+                            ),
+                        ],
+                    );
+                }
+            }
             if !reports.is_empty() {
                 if let Some(mutation) = &mut self.mutation {
                     mutation.divergent += reports
@@ -828,6 +968,33 @@ impl HuntCommit {
             if let Some(quota) = config.bug_quota {
                 if self.bugs >= quota {
                     self.stopped = true;
+                }
+            }
+            if let Some(telemetry) = telemetry {
+                if self.programs_checked >= self.next_heartbeat {
+                    self.next_heartbeat = self.programs_checked + telemetry.heartbeat_every;
+                    let elapsed = telemetry.started.elapsed().as_secs_f64();
+                    let rate = if elapsed > 0.0 {
+                        self.programs_checked as f64 / elapsed
+                    } else {
+                        0.0
+                    };
+                    let remaining = config.seed_count.saturating_sub(self.programs_checked);
+                    let cache_hit_rate = epoch_cache.and_then(|cache| {
+                        let stats = cache.stats();
+                        let lookups = stats.semantics_lookups() + stats.verdict_lookups();
+                        (lookups > 0).then(|| {
+                            (stats.semantics_hits + stats.verdict_hits) as f64 / lookups as f64
+                        })
+                    });
+                    telemetry.progress.heartbeat(&Heartbeat {
+                        done: self.programs_checked,
+                        total: config.seed_count,
+                        bugs: self.bugs,
+                        seeds_per_sec: rate,
+                        cache_hit_rate,
+                        eta_secs: (rate > 0.0).then(|| remaining as f64 / rate),
+                    });
                 }
             }
         }
@@ -883,6 +1050,32 @@ impl ParallelCampaign {
         }
         let jobs = config.jobs.max(1);
         let start = std::time::Instant::now();
+
+        // The flight recorder, if requested.  Strictly observation-only
+        // from here on: nothing below reads telemetry state back.
+        let telemetry = config.telemetry.as_ref().map(HuntTelemetry::new);
+        if let Some(telemetry) = &telemetry {
+            telemetry.emit(
+                "campaign_start",
+                &[
+                    ("jobs", jobs.to_string()),
+                    ("seed_start", config.seed_start.to_string()),
+                    ("seed_count", config.seed_count.to_string()),
+                    ("targets", config.targets.len().to_string()),
+                    ("coverage", config.coverage.is_some().to_string()),
+                    ("mutation", config.mutation.is_some().to_string()),
+                    ("epoch_cache", config.epoch_cache.to_string()),
+                    ("portfolio", config.portfolio.to_string()),
+                ],
+            );
+        }
+        // A recorder for the main thread captures the sequential corpus
+        // replay (compiles, validations, and mutant checks all run here
+        // before workers spawn).  Any enclosing recorder is restored at the
+        // end of the hunt.
+        let enclosing_recorder = telemetry
+            .as_ref()
+            .and_then(|_| gauntlet_telemetry::install(Recorder::new()));
 
         // Pre-worker mutation state: the accumulator, plus the outcomes of
         // mutating replayed corpus entries (sequential, in corpus order —
@@ -1005,6 +1198,10 @@ impl ParallelCampaign {
             stopped: matches!(config.bug_quota, Some(quota) if replay_bugs >= quota),
             guided,
             mutation: mutation_accum,
+            next_heartbeat: telemetry
+                .as_ref()
+                .map(|t| t.heartbeat_every)
+                .unwrap_or(usize::MAX),
         });
         let processed_counts = Mutex::new(vec![0usize; jobs]);
         let tallies = Mutex::new(SessionTally::default());
@@ -1049,6 +1246,7 @@ impl ParallelCampaign {
                 jobs,
                 epoch_cache.as_ref(),
                 &tallies,
+                telemetry.as_ref(),
             );
             if let Some(cache) = &epoch_cache {
                 add_cache_stats(&mut cache_stats, cache.stats());
@@ -1056,10 +1254,36 @@ impl ParallelCampaign {
             }
             let mut state = commit.lock().expect("hunt lock");
             let programs_checked = state.programs_checked;
+            let bugs_so_far = state.bugs;
             if let Some(guided) = &mut state.guided {
                 guided
                     .rules_over_time
                     .push((programs_checked, guided.accum.distinct_rules()));
+            }
+            drop(state);
+            if let Some(telemetry) = &telemetry {
+                let epoch_index = epoch_start / epoch_len;
+                telemetry.emit(
+                    "epoch",
+                    &[
+                        ("epoch", epoch_index.to_string()),
+                        ("programs_checked", programs_checked.to_string()),
+                        ("bugs", bugs_so_far.to_string()),
+                    ],
+                );
+                if let Some(cache) = &epoch_cache {
+                    let stats = cache.stats();
+                    telemetry.emit(
+                        "cache",
+                        &[
+                            ("epoch", epoch_index.to_string()),
+                            ("semantics_hits", stats.semantics_hits.to_string()),
+                            ("semantics_misses", stats.semantics_misses.to_string()),
+                            ("verdict_hits", stats.verdict_hits.to_string()),
+                            ("verdict_misses", stats.verdict_misses.to_string()),
+                        ],
+                    );
+                }
             }
             epoch_start = epoch_end;
         }
@@ -1096,6 +1320,25 @@ impl ParallelCampaign {
                 portfolio_races: tally.portfolio_races,
             }
         });
+        let telemetry_summary = telemetry.map(|telemetry| {
+            // Fold in the main thread's recorder (the corpus replay), then
+            // restore whatever recorder enclosed this hunt.
+            if let Some(recorder) = gauntlet_telemetry::take() {
+                telemetry.absorb(&recorder);
+            }
+            if let Some(previous) = enclosing_recorder {
+                gauntlet_telemetry::install(previous);
+            }
+            telemetry.emit(
+                "campaign_end",
+                &[
+                    ("programs_checked", state.programs_checked.to_string()),
+                    ("bugs", state.bugs.to_string()),
+                    ("elapsed_ms", start.elapsed().as_millis().to_string()),
+                ],
+            );
+            telemetry.aggregate.into_inner().expect("telemetry lock")
+        });
         HuntReport {
             outcomes: state.committed,
             programs_checked: state.programs_checked,
@@ -1106,6 +1349,7 @@ impl ParallelCampaign {
             coverage,
             mutation,
             cache,
+            telemetry: telemetry_summary,
         }
     }
 
@@ -1125,6 +1369,7 @@ impl ParallelCampaign {
         jobs: usize,
         epoch_cache: Option<&Arc<EpochCache>>,
         tallies: &Mutex<SessionTally>,
+        telemetry: Option<&HuntTelemetry>,
     ) where
         F: Fn() -> p4c::Compiler + Send + Sync,
     {
@@ -1134,6 +1379,12 @@ impl ParallelCampaign {
             for worker in 0..jobs {
                 let next_task = &next_task;
                 scope.spawn(move || {
+                    // Per-worker flight recorder, merged into the pool-wide
+                    // aggregate when the worker finishes — i.e. at the epoch
+                    // barrier, since the scope join *is* the barrier.
+                    if telemetry.is_some() {
+                        gauntlet_telemetry::install(Recorder::new());
+                    }
                     let gauntlet = Gauntlet::new(GauntletOptions {
                         incremental: config.incremental,
                         ..GauntletOptions::default()
@@ -1188,7 +1439,7 @@ impl ParallelCampaign {
                         let seed = config.seed_start + index as u64;
                         let mut generator =
                             RandomProgramGenerator::new(generator_config.clone(), seed);
-                        let program = generator.generate();
+                        let program = gauntlet_telemetry::time(Stage::Gen, || generator.generate());
                         // Fresh session per program (see the policy note
                         // above); `None` preserves the historical
                         // session-per-program path inside the pipeline when
@@ -1315,7 +1566,7 @@ impl ParallelCampaign {
                                 mutated,
                             },
                         );
-                        state.drain(config);
+                        state.drain(config, telemetry, epoch_cache);
                     }
                     processed_counts.lock().expect("count lock")[worker] += processed;
                     let mut tally = tallies.lock().expect("tally lock");
@@ -1324,6 +1575,12 @@ impl ParallelCampaign {
                     if let Some(checker) = &mutation_checker {
                         add_session_stats(&mut tally.sessions, checker.session_stats());
                         tally.portfolio_races += checker.portfolio_races();
+                    }
+                    drop(tally);
+                    if let Some(telemetry) = telemetry {
+                        if let Some(recorder) = gauntlet_telemetry::take() {
+                            telemetry.absorb(&recorder);
+                        }
                     }
                 });
             }

@@ -1,0 +1,290 @@
+//! The machine-readable campaign report: `gauntlet-report-v1`.
+//!
+//! [`HuntReport::to_json`] renders the whole report as one versioned JSON
+//! document with two top-level halves:
+//!
+//! * `"result"` — the deterministic outcome: bugs (with attribution and
+//!   reduction statistics), the aggregated table-2/3 summary, and the
+//!   coverage/mutation blocks.  A pure function of the
+//!   [`HuntConfig`](crate::campaign::HuntConfig):
+//!   byte-identical at any `--jobs`, with or without telemetry, cache, or
+//!   portfolio (also available alone via
+//!   [`HuntReport::deterministic_json`], which the determinism tests pin).
+//! * `"run"` — everything that describes the particular execution and is
+//!   therefore excluded from [`HuntReport::render`]: `elapsed`, the
+//!   per-worker loads, the [`CacheSummary`], and the telemetry flight
+//!   recorder.
+//!
+//! Every `render_*` table is derivable from the document: `render` needs
+//! only `result.outcomes` + the coverage/mutation blocks, and
+//! `render_table2`/`render_table3` need only `result.summary` — a property
+//! `tests/golden_report.rs` proves by re-rendering the tables from the
+//! parsed JSON alone.
+//!
+//! The workspace's `serde` shim is a no-op, so the document is hand-written
+//! with a fixed key order (the same discipline as the committed
+//! `BENCH_*.json` trajectory files) using `gauntlet_telemetry::json` for
+//! escaping.
+
+use crate::bugs::BugReport;
+use crate::campaign::{CacheSummary, CoverageSummary, HuntReport, MutationSummary};
+use gauntlet_telemetry::json;
+use std::collections::BTreeMap;
+
+/// Schema tag of the JSON report document.
+pub const REPORT_SCHEMA: &str = "gauntlet-report-v1";
+
+fn json_opt_string(value: &Option<String>) -> String {
+    match value {
+        Some(text) => json::string(text),
+        None => "null".to_string(),
+    }
+}
+
+fn json_counter_map(map: &BTreeMap<String, usize>) -> String {
+    let mut out = String::from("{");
+    for (index, (key, value)) in map.iter().enumerate() {
+        if index > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("{}:{}", json::string(key), value));
+    }
+    out.push('}');
+    out
+}
+
+fn json_string_array(items: &[String]) -> String {
+    let mut out = String::from("[");
+    for (index, item) in items.iter().enumerate() {
+        if index > 0 {
+            out.push(',');
+        }
+        out.push_str(&json::string(item));
+    }
+    out.push(']');
+    out
+}
+
+fn bug_report_json(report: &BugReport) -> String {
+    let mut out = String::from("{");
+    out.push_str(&format!(
+        "\"kind\":{}",
+        json::string(&format!("{:?}", report.kind))
+    ));
+    out.push_str(&format!(
+        ",\"platform\":{}",
+        json::string(&report.platform.to_string())
+    ));
+    out.push_str(&format!(
+        ",\"area\":{}",
+        json::string(&report.area.to_string())
+    ));
+    out.push_str(&format!(
+        ",\"technique\":{}",
+        json::string(&format!("{:?}", report.technique))
+    ));
+    out.push_str(&format!(",\"pass\":{}", json_opt_string(&report.pass)));
+    out.push_str(&format!(",\"message\":{}", json::string(&report.message)));
+    out.push_str(&format!(
+        ",\"attributed_to\":{}",
+        json_opt_string(&report.attributed_to)
+    ));
+    out.push_str(&format!(
+        ",\"minimized\":{}",
+        json_opt_string(&report.minimized)
+    ));
+    match &report.reduction {
+        Some(stats) => out.push_str(&format!(
+            ",\"reduction\":{{\"initial_statements\":{},\"final_statements\":{},\"initial_nodes\":{},\"final_nodes\":{},\"oracle_calls\":{},\"typecheck_rejections\":{},\"accepted_steps\":{},\"rounds\":{}}}",
+            stats.initial_statements,
+            stats.final_statements,
+            stats.initial_nodes,
+            stats.final_nodes,
+            stats.oracle_calls,
+            stats.typecheck_rejections,
+            stats.accepted_steps,
+            stats.rounds
+        )),
+        None => out.push_str(",\"reduction\":null"),
+    }
+    out.push('}');
+    out
+}
+
+fn coverage_json(coverage: &CoverageSummary) -> String {
+    let mut trajectory = String::from("[");
+    for (index, (programs, rules)) in coverage.rules_over_time.iter().enumerate() {
+        if index > 0 {
+            trajectory.push(',');
+        }
+        trajectory.push_str(&format!("[{programs},{rules}]"));
+    }
+    trajectory.push(']');
+    format!(
+        "{{\"fired\":{},\"rules_total\":{},\"constructs_seen\":{},\"corpus_size\":{},\"corpus_added\":{},\"rules_over_time\":{}}}",
+        json_string_array(&coverage.fired),
+        coverage.rules_total,
+        coverage.constructs_seen,
+        coverage.corpus_size,
+        coverage.corpus_added,
+        trajectory
+    )
+}
+
+fn mutation_json(mutation: &MutationSummary) -> String {
+    format!(
+        "{{\"mutants_checked\":{},\"divergent\":{},\"fired\":{},\"rules_total\":{}}}",
+        mutation.mutants_checked,
+        mutation.divergent,
+        json_string_array(&mutation.fired),
+        mutation.rules_total
+    )
+}
+
+fn cache_json(cache: &CacheSummary) -> String {
+    format!(
+        "{{\"epochs\":{},\"stats\":{{\"semantics_hits\":{},\"semantics_misses\":{},\"verdict_hits\":{},\"verdict_misses\":{}}},\"sessions\":{{\"semantics_hits\":{},\"semantics_misses\":{},\"trivial_checks\":{},\"solver_checks\":{},\"cached_checks\":{},\"verdict_hits\":{},\"verdict_misses\":{}}},\"portfolio_races\":{}}}",
+        cache.epochs,
+        cache.stats.semantics_hits,
+        cache.stats.semantics_misses,
+        cache.stats.verdict_hits,
+        cache.stats.verdict_misses,
+        cache.sessions.semantics_hits,
+        cache.sessions.semantics_misses,
+        cache.sessions.trivial_checks,
+        cache.sessions.solver_checks,
+        cache.sessions.cached_checks,
+        cache.sessions.verdict_hits,
+        cache.sessions.verdict_misses,
+        cache.portfolio_races
+    )
+}
+
+impl HuntReport {
+    /// The deterministic half of the report as one JSON object: outcomes
+    /// (with full bug reports and reduction statistics), the aggregated
+    /// table summary, and the coverage/mutation blocks.  Byte-identical at
+    /// any `--jobs` and with telemetry/cache/portfolio on or off — the
+    /// machine-readable counterpart of [`HuntReport::render`].
+    pub fn deterministic_json(&self) -> String {
+        let mut out = String::from("{");
+        out.push_str(&format!("\"programs_checked\":{}", self.programs_checked));
+        out.push_str(&format!(",\"seeds_with_bugs\":{}", self.outcomes.len()));
+        out.push_str(&format!(",\"total_bugs\":{}", self.total_bugs));
+        out.push_str(&format!(
+            ",\"reduction_failures\":{}",
+            self.reduction_failures
+        ));
+        out.push_str(",\"outcomes\":[");
+        for (index, outcome) in self.outcomes.iter().enumerate() {
+            if index > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("{{\"seed\":{},\"reports\":[", outcome.seed));
+            for (report_index, report) in outcome.reports.iter().enumerate() {
+                if report_index > 0 {
+                    out.push(',');
+                }
+                out.push_str(&bug_report_json(report));
+            }
+            out.push_str("]}");
+        }
+        out.push(']');
+        let summary = self.campaign_summary();
+        out.push_str(&format!(
+            ",\"summary\":{{\"by_platform\":{},\"by_area\":{},\"by_attribution\":{},\"total_detected\":{}}}",
+            json_counter_map(&summary.by_platform),
+            json_counter_map(&summary.by_area),
+            json_counter_map(&summary.by_attribution),
+            summary.total_detected
+        ));
+        match &self.coverage {
+            Some(coverage) => out.push_str(&format!(",\"coverage\":{}", coverage_json(coverage))),
+            None => out.push_str(",\"coverage\":null"),
+        }
+        match &self.mutation {
+            Some(mutation) => out.push_str(&format!(",\"mutation\":{}", mutation_json(mutation))),
+            None => out.push_str(",\"mutation\":null"),
+        }
+        out.push('}');
+        out
+    }
+
+    /// The full `gauntlet-report-v1` document: the deterministic `result`
+    /// half plus the run-descriptive `run` half (elapsed, per-worker loads,
+    /// cache counters, telemetry flight recorder).
+    pub fn to_json(&self) -> String {
+        let mut out = format!(
+            "{{\"schema\":{},\"result\":{}",
+            json::string(REPORT_SCHEMA),
+            self.deterministic_json()
+        );
+        out.push_str(&format!(
+            ",\"run\":{{\"elapsed_us\":{}",
+            self.elapsed.as_micros()
+        ));
+        out.push_str(",\"per_worker\":[");
+        for (index, processed) in self.per_worker.iter().enumerate() {
+            if index > 0 {
+                out.push(',');
+            }
+            out.push_str(&processed.to_string());
+        }
+        out.push(']');
+        match &self.cache {
+            Some(cache) => out.push_str(&format!(",\"cache\":{}", cache_json(cache))),
+            None => out.push_str(",\"cache\":null"),
+        }
+        match &self.telemetry {
+            Some(recorder) => out.push_str(&format!(",\"telemetry\":{}", recorder.to_json())),
+            None => out.push_str(",\"telemetry\":null"),
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::HuntConfig;
+    use crate::campaign::ParallelCampaign;
+
+    /// The JSON document must parse, carry the schema tag, and agree with
+    /// the struct fields on the headline counts — on a real (small) hunt.
+    #[test]
+    fn report_json_round_trips_through_the_parser() {
+        let hunt = ParallelCampaign::new(HuntConfig {
+            seed_count: 4,
+            epoch_cache: false,
+            ..HuntConfig::default()
+        })
+        .run(p4c::Compiler::reference);
+        let parsed = json::parse(&hunt.to_json()).expect("report JSON parses");
+        assert_eq!(
+            parsed.get("schema").and_then(|s| s.as_str()),
+            Some(REPORT_SCHEMA)
+        );
+        let result = parsed.get("result").expect("result half");
+        assert_eq!(
+            result.get("programs_checked").and_then(|n| n.as_u64()),
+            Some(hunt.programs_checked as u64)
+        );
+        assert_eq!(
+            result.get("total_bugs").and_then(|n| n.as_u64()),
+            Some(hunt.total_bugs as u64)
+        );
+        let run = parsed.get("run").expect("run half");
+        assert_eq!(
+            run.get("elapsed_us").and_then(|n| n.as_u64()),
+            Some(hunt.elapsed.as_micros() as u64)
+        );
+        assert_eq!(run.get("cache"), Some(&json::Json::Null));
+        assert_eq!(run.get("telemetry"), Some(&json::Json::Null));
+        // And the result half is exactly the deterministic document.
+        assert_eq!(
+            json::parse(&hunt.deterministic_json()).expect("deterministic half parses"),
+            *result
+        );
+    }
+}

@@ -15,7 +15,9 @@
 //!   programs, replacing the real 2020-era compiler bugs the paper found;
 //! * [`campaign`] — the evaluation campaign that regenerates the shape of
 //!   the paper's Tables 2 and 3;
-//! * [`report`] — text rendering of the campaign results.
+//! * [`report`] — text rendering of the campaign results;
+//! * [`json_report`] — the versioned machine-readable `gauntlet-report-v1`
+//!   JSON document from which every rendered table is derivable.
 //!
 //! Test-case reduction (`p4-reduce`) plugs in underneath: campaigns run
 //! with reduction enabled attach a delta-debugged minimal reproducer to
@@ -25,6 +27,7 @@ pub mod bugs;
 pub mod campaign;
 pub mod corpus;
 pub mod inject;
+pub mod json_report;
 pub mod pipeline;
 pub mod report;
 
@@ -32,9 +35,11 @@ pub use bugs::{BugDatabase, BugKind, BugReport, CompilerArea, Platform, Techniqu
 pub use campaign::{
     run_campaign, CacheSummary, CampaignConfig, CampaignReport, CoverageOptions, CoverageSummary,
     HuntConfig, HuntReport, MutationSummary, ParallelCampaign, SeedOutcome, SeededBugOutcome,
+    TelemetryOptions,
 };
 pub use corpus::{Corpus, CorpusEntry};
 pub use inject::SeededBug;
+pub use json_report::REPORT_SCHEMA;
 pub use p4_mutate::{
     hunt_mutation_seed, MetamorphicChecker, MetamorphicOptions, CAMPAIGN_MUTATION_SEED,
 };

@@ -332,6 +332,7 @@ impl Gauntlet {
     /// every [`Target`] implementation — back ends are selected through the
     /// `targets::TargetRegistry`, not compile-time branching.
     pub fn check_target(&self, target: &dyn Target, program: &Program) -> ProgramOutcome {
+        let _telemetry = gauntlet_telemetry::Span::begin(gauntlet_telemetry::Stage::Testgen);
         let platform = target_platform(target);
         let reports = drive_target(target, program, self.options.max_tests)
             .into_iter()
@@ -361,6 +362,7 @@ impl Gauntlet {
         targets: &[Box<dyn Target>],
         program: &Program,
     ) -> ProgramOutcome {
+        let _telemetry = gauntlet_telemetry::Span::begin(gauntlet_telemetry::Stage::Testgen);
         let mut reports = Vec::new();
         // Compile on every target.  Crashes are findings; restriction
         // rejections (and crash-only targets) just drop out of the vote.

@@ -355,6 +355,7 @@ mod tests {
             coverage: None,
             mutation: None,
             cache: None,
+            telemetry: None,
         };
         let text = render_reduction_summary(&hunt);
         assert!(text.contains("Semantic/SimplifyDefUse"), "{text}");

@@ -210,6 +210,7 @@ impl MetamorphicChecker {
         options: &MetamorphicOptions,
         seed: u64,
     ) -> MetamorphicOutcome {
+        let _telemetry = gauntlet_telemetry::Span::begin(gauntlet_telemetry::Stage::Mutate);
         let mut outcome = MetamorphicOutcome::default();
         for index in 0..options.mutants_per_seed {
             let mutant = self.engine.mutate(

@@ -125,6 +125,7 @@ impl Reducer {
         program: &Program,
         target: &str,
     ) -> Option<Reduction> {
+        let _telemetry = gauntlet_telemetry::Span::begin(gauntlet_telemetry::Stage::Reduce);
         let started = std::time::Instant::now();
         let mut stats = ReductionStats {
             initial_statements: statement_count(program),

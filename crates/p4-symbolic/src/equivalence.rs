@@ -402,6 +402,7 @@ impl ValidationSession {
         before: &Program,
         after: &Program,
     ) -> Result<Equivalence, EquivalenceError> {
+        let _telemetry = gauntlet_telemetry::Span::begin(gauntlet_telemetry::Stage::Validate);
         let semantics_before = self.semantics(before)?;
         let semantics_after = self.semantics(after)?;
         let solver_checks_before = self.solver.total_checks();

@@ -191,6 +191,12 @@ pub fn record(pass: &str, rule: &str) {
             sink.record(pass, rule);
         }
     });
+    // Mirror every firing into the flight recorder's per-rule counters.
+    // The key is only formatted once a recorder is actually installed, so
+    // the telemetry-off path stays a single thread-local read.
+    if gauntlet_telemetry::enabled() {
+        gauntlet_telemetry::count_rule(&rule_key(pass, rule));
+    }
 }
 
 /// A per-compile coverage scope, installed by the compiler driver around the

@@ -201,6 +201,9 @@ impl Compiler {
     /// on unwind — in any enclosing [`crate::coverage::with_sink`] even
     /// when a pass crashes.
     pub fn compile(&self, program: &Program) -> Result<CompileResult, CompileError> {
+        // The span guard records through an unwinding pass crash, mirroring
+        // the coverage scope's drop behaviour.
+        let _telemetry = gauntlet_telemetry::Span::begin(gauntlet_telemetry::Stage::Compile);
         let scope = crate::coverage::Scope::begin();
         self.compile_inner(program).map(|mut result| {
             result.coverage = scope.finish();
@@ -237,6 +240,7 @@ impl Compiler {
         let mut last_hash = program_hash(&current);
 
         for (index, pass) in self.passes.iter().enumerate() {
+            gauntlet_telemetry::count_pass(pass.name());
             let mut working = current.clone();
             let outcome =
                 catch_unwind(AssertUnwindSafe(|| pass.run(&mut working).map(|_| working)));

@@ -207,6 +207,9 @@ impl Solver {
     /// Decides the conjunction of all assertions plus `extra` (which are not
     /// retained), mirroring Z3's push/assert/check/pop idiom.
     pub fn check_with(&mut self, extra: &[TermRef]) -> CheckResult {
+        // Observation only: times the whole decision (blast + solve) into
+        // the flight recorder's latency histogram when one is installed.
+        let telemetry_query = gauntlet_telemetry::query_start();
         self.total_checks += 1;
         let (conflicts0, decisions0, propagations0) = (
             self.sat.conflicts,
@@ -262,7 +265,7 @@ impl Solver {
             memo_hits,
             portfolio_winner,
         };
-        match (local_result, raced_values) {
+        let result = match (local_result, raced_values) {
             (Some(SatResult::Unsat), _) => CheckResult::Unsat,
             (Some(SatResult::Sat(assignment)), _) => {
                 CheckResult::Sat(Model::new(extract_values(&self.ctx, &assignment)))
@@ -270,7 +273,9 @@ impl Solver {
             (None, Some(None)) => CheckResult::Unsat,
             (None, Some(Some(values))) => CheckResult::Sat(Model::new(values)),
             (None, None) => unreachable!("an escalated check always races"),
-        }
+        };
+        gauntlet_telemetry::query_finish(telemetry_query);
+        result
     }
 
     /// Races `members` freshly-blasted SAT instances with diverse

@@ -1,0 +1,108 @@
+//! Out-of-band JSONL event log.
+//!
+//! Every line is one JSON object tagged `"schema":"gauntlet-events-v1"` with
+//! a wall-clock `ts_ms` timestamp.  The log is *explicitly excluded* from the
+//! deterministic artifacts: reports and corpus bytes are identical whether or
+//! not an event log is attached, and nothing in the engine ever reads one
+//! back.  Timestamps and event interleaving are schedule-dependent by nature
+//! — that is the point of an out-of-band channel.
+
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::Mutex;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+use crate::json;
+
+/// Schema tag carried by every event line.
+pub const EVENTS_SCHEMA: &str = "gauntlet-events-v1";
+
+/// Milliseconds since the Unix epoch, for event timestamps.
+pub fn now_ms() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0)
+}
+
+/// An append-only JSONL event sink shared across workers.
+pub struct EventLog {
+    out: Mutex<BufWriter<File>>,
+}
+
+impl EventLog {
+    /// Create (truncate) the event file.
+    pub fn create(path: impl AsRef<Path>) -> std::io::Result<EventLog> {
+        let file = File::create(path)?;
+        Ok(EventLog {
+            out: Mutex::new(BufWriter::new(file)),
+        })
+    }
+
+    /// Append one event.  `fields` are `(key, value)` pairs where the value
+    /// is already rendered as JSON (use [`json::string`] / [`json::number`]
+    /// or plain integer formatting).  Errors are swallowed: telemetry must
+    /// never fail a campaign.
+    pub fn emit(&self, event: &str, fields: &[(&str, String)]) {
+        let mut line = format!(
+            "{{\"schema\":{},\"ts_ms\":{},\"event\":{}",
+            json::string(EVENTS_SCHEMA),
+            now_ms(),
+            json::string(event)
+        );
+        for (key, value) in fields {
+            line.push(',');
+            line.push_str(&json::string(key));
+            line.push(':');
+            line.push_str(value);
+        }
+        line.push_str("}\n");
+        if let Ok(mut out) = self.out.lock() {
+            let _ = out.write_all(line.as_bytes());
+            let _ = out.flush();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_are_schema_tagged_jsonl() {
+        let path =
+            std::env::temp_dir().join(format!("gauntlet-events-test-{}.jsonl", std::process::id()));
+        let log = EventLog::create(&path).expect("create event log");
+        log.emit("campaign_start", &[("seeds", "10".to_string())]);
+        log.emit(
+            "bug",
+            &[
+                ("seed", "3".to_string()),
+                ("kind", json::string("Semantic")),
+            ],
+        );
+        drop(log);
+
+        let text = std::fs::read_to_string(&path).expect("read back");
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in &lines {
+            let parsed = json::parse(line).expect("line parses");
+            assert_eq!(
+                parsed.get("schema").and_then(|s| s.as_str()),
+                Some(EVENTS_SCHEMA)
+            );
+            assert!(parsed.get("ts_ms").and_then(|t| t.as_u64()).is_some());
+            assert!(parsed.get("event").and_then(|e| e.as_str()).is_some());
+        }
+        assert_eq!(
+            json::parse(lines[1])
+                .unwrap()
+                .get("kind")
+                .and_then(|k| k.as_str()),
+            Some("Semantic")
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,332 @@
+//! Minimal hand-rolled JSON: escape/serialize helpers for the writers and a
+//! small recursive-descent parser for the readers.
+//!
+//! The workspace's `serde` shim is deliberately a no-op (the derive macros
+//! generate nothing), so every JSON producer in the repo hand-formats its
+//! output with a fixed key order — `trajectory.rs` set the precedent.  This
+//! module centralises the escaping rules and adds the inverse direction: a
+//! parser good enough to validate JSONL event streams and to prove the
+//! rendered tables derivable from `gauntlet-report-v1` documents.
+
+use std::collections::BTreeMap;
+
+/// Escape and quote a string as a JSON string literal.
+pub fn string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Format an `f64` the way the benches do: finite, plain decimal notation.
+pub fn number(value: f64) -> String {
+    if value.is_finite() {
+        format!("{value}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// A parsed JSON value.  Objects preserve their key order (the writers all
+/// use fixed orders, and the golden tests check them).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    Number(f64),
+    String(String),
+    Array(Vec<Json>),
+    Object(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Object field lookup; `None` on non-objects or missing keys.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Integral numbers only — fails on fractional values.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Number(n) if *n >= 0.0 && n.fract() == 0.0 => Some(*n as u64),
+            _ => None,
+        }
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    pub fn as_object(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Object(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
+    /// Object fields as a sorted map of integral counters; `None` if any
+    /// value is not an integral number.
+    pub fn as_counter_map(&self) -> Option<BTreeMap<String, u64>> {
+        let fields = self.as_object()?;
+        let mut map = BTreeMap::new();
+        for (key, value) in fields {
+            map.insert(key.clone(), value.as_u64()?);
+        }
+        Some(map)
+    }
+}
+
+/// Parse one JSON document.  Trailing non-whitespace is an error, so a JSONL
+/// line with garbage appended fails loudly.
+pub fn parse(text: &str) -> Result<Json, String> {
+    let bytes = text.as_bytes();
+    let mut pos = 0;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing characters at byte {pos}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, byte: u8) -> Result<(), String> {
+    if *pos < bytes.len() && bytes[*pos] == byte {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected `{}` at byte {}", byte as char, *pos))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err("unexpected end of input".to_string()),
+        Some(b'{') => parse_object(bytes, pos),
+        Some(b'[') => parse_array(bytes, pos),
+        Some(b'"') => Ok(Json::String(parse_string(bytes, pos)?)),
+        Some(b't') => parse_keyword(bytes, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_keyword(bytes, pos, "false", Json::Bool(false)),
+        Some(b'n') => parse_keyword(bytes, pos, "null", Json::Null),
+        Some(_) => parse_number(bytes, pos),
+    }
+}
+
+fn parse_keyword(
+    bytes: &[u8],
+    pos: &mut usize,
+    keyword: &str,
+    value: Json,
+) -> Result<Json, String> {
+    if bytes[*pos..].starts_with(keyword.as_bytes()) {
+        *pos += keyword.len();
+        Ok(value)
+    } else {
+        Err(format!("invalid literal at byte {}", *pos))
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    while *pos < bytes.len()
+        && matches!(bytes[*pos], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+    {
+        *pos += 1;
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos]).map_err(|e| e.to_string())?;
+    text.parse::<f64>()
+        .map(Json::Number)
+        .map_err(|_| format!("invalid number `{text}` at byte {start}"))
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(bytes, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err("unterminated string".to_string()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or("truncated \\u escape")?;
+                        let code = u32::from_str_radix(
+                            std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                            16,
+                        )
+                        .map_err(|e| e.to_string())?;
+                        out.push(char::from_u32(code).ok_or("invalid \\u escape")?);
+                        *pos += 4;
+                    }
+                    _ => return Err(format!("invalid escape at byte {}", *pos)),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar (the input came from a &str, so
+                // boundaries are valid).
+                let rest = std::str::from_utf8(&bytes[*pos..]).map_err(|e| e.to_string())?;
+                let c = rest.chars().next().unwrap();
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    expect(bytes, pos, b'[')?;
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Json::Array(items));
+    }
+    loop {
+        items.push(parse_value(bytes, pos)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Json::Array(items));
+            }
+            _ => return Err(format!("expected `,` or `]` at byte {}", *pos)),
+        }
+    }
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    expect(bytes, pos, b'{')?;
+    let mut fields = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Json::Object(fields));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        let key = parse_string(bytes, pos)?;
+        skip_ws(bytes, pos);
+        expect(bytes, pos, b':')?;
+        let value = parse_value(bytes, pos)?;
+        fields.push((key, value));
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Json::Object(fields));
+            }
+            _ => return Err(format!("expected `,` or `}}` at byte {}", *pos)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_round_trip() {
+        let original = "line\none \"quoted\" \\ tab\t√";
+        let quoted = string(original);
+        let parsed = parse(&quoted).expect("parses");
+        assert_eq!(parsed.as_str(), Some(original));
+    }
+
+    #[test]
+    fn parses_nested_document() {
+        let doc = r#"{"a": [1, 2.5, -3], "b": {"c": true, "d": null}, "e": "x"}"#;
+        let parsed = parse(doc).expect("parses");
+        assert_eq!(
+            parsed.get("a").and_then(|a| a.as_array()).map(|a| a.len()),
+            Some(3)
+        );
+        assert_eq!(
+            parsed
+                .get("b")
+                .and_then(|b| b.get("c"))
+                .and_then(|c| c.as_bool()),
+            Some(true)
+        );
+        assert_eq!(parsed.get("b").and_then(|b| b.get("d")), Some(&Json::Null));
+        assert_eq!(parsed.get("e").and_then(|e| e.as_str()), Some("x"));
+    }
+
+    #[test]
+    fn rejects_trailing_garbage_and_bad_numbers() {
+        assert!(parse("{} extra").is_err());
+        assert!(parse("{\"a\": 1.2.3}").is_err());
+        assert!(parse("[1,]").is_err());
+        assert!(parse("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn u64_rejects_fractions() {
+        assert_eq!(parse("3").unwrap().as_u64(), Some(3));
+        assert_eq!(parse("3.5").unwrap().as_u64(), None);
+        assert_eq!(parse("-1").unwrap().as_u64(), None);
+    }
+}

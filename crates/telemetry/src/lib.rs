@@ -1,0 +1,173 @@
+//! `gauntlet-telemetry` — the flight recorder.
+//!
+//! Observation-only instrumentation for the campaign engine, in four parts:
+//!
+//! 1. **Span-based stage tracing** ([`Recorder`], [`Stage`], [`Span`]): a
+//!    per-worker recorder installed thread-locally by the campaign.  The
+//!    instrumented crates (`p4c`, `smt`, `p4-symbolic`, `p4-mutate`,
+//!    `p4-reduce`, `core`) call the free functions in this module at their
+//!    stage boundaries; with no recorder installed every call is one
+//!    thread-local read and nothing else — in particular no `Instant::now()`
+//!    — so a telemetry-off campaign pays effectively zero overhead.
+//! 2. **Latency histograms** ([`LatencyHistogram`]): log-bucketed
+//!    microsecond histograms whose merge is element-wise addition, keeping
+//!    the aggregate independent of the work-stealing schedule.
+//! 3. **JSONL event log** ([`EventLog`]): out-of-band wall-clock events,
+//!    schema-tagged `gauntlet-events-v1`, excluded from deterministic
+//!    artifacts by construction.
+//! 4. **Progress heartbeat** ([`ProgressSink`], [`Heartbeat`]): live stderr
+//!    status (seeds/sec, bugs, cache hit rate, ETA).
+//!
+//! The mirror-image discipline of `p4c::coverage` applies: recording is a
+//! no-op without an installed sink, the sink is installed and drained by
+//! exactly one layer (the campaign), and merges are commutative so the
+//! aggregated counters are schedule-independent.  Telemetry must never
+//! change what a campaign computes: the determinism matrix test pins
+//! reports and corpus bytes byte-identical with telemetry on and off.
+
+pub mod events;
+pub mod histogram;
+pub mod json;
+pub mod progress;
+pub mod recorder;
+
+pub use events::{now_ms, EventLog, EVENTS_SCHEMA};
+pub use histogram::LatencyHistogram;
+pub use progress::{Heartbeat, ProgressSink};
+pub use recorder::{Recorder, Stage, StageStats};
+
+use std::cell::RefCell;
+use std::time::Instant;
+
+thread_local! {
+    /// The worker's recorder, if telemetry is on.  A single slot (not a
+    /// stack): exactly one layer — the campaign worker loop — installs and
+    /// drains it, and the instrumented crates only ever *add* to it.
+    static RECORDER: RefCell<Option<Recorder>> = const { RefCell::new(None) };
+}
+
+/// Install a recorder on this thread, returning any previously installed
+/// one (campaign workers install a fresh recorder; nesting would indicate a
+/// layering bug but is tolerated for tests).
+pub fn install(recorder: Recorder) -> Option<Recorder> {
+    RECORDER.with(|slot| slot.borrow_mut().replace(recorder))
+}
+
+/// Remove and return this thread's recorder.
+pub fn take() -> Option<Recorder> {
+    RECORDER.with(|slot| slot.borrow_mut().take())
+}
+
+/// Whether a recorder is installed on this thread.
+pub fn enabled() -> bool {
+    RECORDER.with(|slot| slot.borrow().is_some())
+}
+
+fn with_recorder(f: impl FnOnce(&mut Recorder)) {
+    RECORDER.with(|slot| {
+        if let Some(recorder) = slot.borrow_mut().as_mut() {
+            f(recorder);
+        }
+    });
+}
+
+/// An in-flight stage span.  Begin one at a stage boundary; the elapsed
+/// time is recorded when the guard drops, so spans survive panics unwinding
+/// through a crashing pass the same way coverage scopes do.  When no
+/// recorder is installed the span is inert and never reads the clock.
+#[derive(Debug)]
+pub struct Span {
+    stage: Stage,
+    started: Option<Instant>,
+}
+
+impl Span {
+    pub fn begin(stage: Stage) -> Span {
+        Span {
+            stage,
+            started: enabled().then(Instant::now),
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(started) = self.started {
+            let us = started.elapsed().as_micros() as u64;
+            with_recorder(|recorder| recorder.record_stage(self.stage, us));
+        }
+    }
+}
+
+/// Run `f` inside a span for `stage`.
+pub fn time<R>(stage: Stage, f: impl FnOnce() -> R) -> R {
+    let _span = Span::begin(stage);
+    f()
+}
+
+/// Start timing one solver query.  Returns `None` (and skips the clock
+/// read) when telemetry is off; pass the result to [`query_finish`].
+pub fn query_start() -> Option<Instant> {
+    enabled().then(Instant::now)
+}
+
+/// Record one solver-query latency into the histogram.
+pub fn query_finish(started: Option<Instant>) {
+    if let Some(started) = started {
+        let us = started.elapsed().as_micros() as u64;
+        with_recorder(|recorder| recorder.record_solver_query(us));
+    }
+}
+
+/// Count one execution of a compiler pass.
+pub fn count_pass(pass: &str) {
+    with_recorder(|recorder| recorder.count_pass(pass));
+}
+
+/// Count one fired rewrite rule, keyed `"pass/rule"`.
+pub fn count_rule(key: &str) {
+    with_recorder(|recorder| recorder.count_rule(key));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hooks_are_no_ops_without_a_recorder() {
+        assert!(!enabled());
+        count_pass("ConstantFolding");
+        count_rule("ConstantFolding/fold_arith");
+        query_finish(query_start());
+        time(Stage::Gen, || ());
+        assert!(take().is_none());
+    }
+
+    #[test]
+    fn installed_recorder_collects_spans_and_counters() {
+        install(Recorder::new());
+        time(Stage::Compile, || {
+            count_pass("ConstantFolding");
+            count_rule("ConstantFolding/fold_arith");
+        });
+        query_finish(query_start());
+        let recorder = take().expect("recorder installed");
+        assert_eq!(recorder.stage(Stage::Compile).spans, 1);
+        assert_eq!(recorder.passes()["ConstantFolding"], 1);
+        assert_eq!(recorder.rules()["ConstantFolding/fold_arith"], 1);
+        assert_eq!(recorder.solver().count(), 1);
+        assert!(!enabled());
+    }
+
+    #[test]
+    fn span_records_through_unwind() {
+        install(Recorder::new());
+        let result = std::panic::catch_unwind(|| {
+            let _span = Span::begin(Stage::Compile);
+            panic!("pass bug");
+        });
+        assert!(result.is_err());
+        let recorder = take().expect("recorder installed");
+        assert_eq!(recorder.stage(Stage::Compile).spans, 1);
+    }
+}

@@ -1,0 +1,125 @@
+//! Property tests for the merge laws the epoch barrier relies on: folding
+//! per-worker recorders together must be associative, commutative, and
+//! identity-respecting, so the aggregate telemetry is independent of the
+//! work-stealing schedule (which worker saw which seed, and in what order
+//! the workers finished).
+
+use gauntlet_telemetry::{LatencyHistogram, Recorder, Stage};
+use proptest::prelude::*;
+
+/// Deterministically expand a compact seed into a sequence of recorder
+/// operations, so each proptest case exercises a different mixed workload.
+fn recorder_from(seed: u64) -> Recorder {
+    let mut recorder = Recorder::new();
+    let mut state = seed | 1;
+    let mut next = || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        state
+    };
+    for _ in 0..(seed % 17) + 1 {
+        let roll = next();
+        match roll % 4 {
+            0 => {
+                let stage = Stage::ALL[(roll >> 8) as usize % Stage::ALL.len()];
+                recorder.record_stage(stage, (roll >> 16) % 100_000);
+            }
+            1 => recorder.count_pass(
+                ["ConstantFolding", "Predication", "FlattenBlocks"][(roll >> 8) as usize % 3],
+            ),
+            2 => recorder.count_rule(
+                ["ConstantFolding/fold_arith", "Predication/predicate_then"]
+                    [(roll >> 8) as usize % 2],
+            ),
+            _ => recorder.record_solver_query((roll >> 8) % 10_000_000),
+        }
+    }
+    recorder
+}
+
+fn histogram_from(seed: u64) -> LatencyHistogram {
+    let mut histogram = LatencyHistogram::new();
+    let mut state = seed | 1;
+    for _ in 0..(seed % 13) + 1 {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        histogram.record(state % 50_000_000);
+    }
+    histogram
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// Histogram merge is associative and commutative, and merging the empty
+    /// histogram is the identity.
+    #[test]
+    fn histogram_merge_laws(a in any::<u64>(), b in any::<u64>(), c in any::<u64>()) {
+        let (ha, hb, hc) = (histogram_from(a), histogram_from(b), histogram_from(c));
+
+        // Associativity: (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c).
+        let mut left = ha.clone();
+        left.merge(&hb);
+        left.merge(&hc);
+        let mut bc = hb.clone();
+        bc.merge(&hc);
+        let mut right = ha.clone();
+        right.merge(&bc);
+        prop_assert_eq!(&left, &right);
+
+        // Commutativity: a ⊕ b == b ⊕ a.
+        let mut ab = ha.clone();
+        ab.merge(&hb);
+        let mut ba = hb.clone();
+        ba.merge(&ha);
+        prop_assert_eq!(&ab, &ba);
+
+        // Identity.
+        let mut with_empty = ha.clone();
+        with_empty.merge(&LatencyHistogram::new());
+        prop_assert_eq!(&with_empty, &ha);
+
+        // Derived percentiles agree however the merge was grouped.
+        prop_assert_eq!(left.p50_us(), right.p50_us());
+        prop_assert_eq!(left.p99_us(), right.p99_us());
+        prop_assert_eq!(left.max_us(), right.max_us());
+    }
+
+    /// Recorder merge is schedule-independent: any permutation and grouping
+    /// of per-worker recorders folds to the same aggregate.
+    #[test]
+    fn recorder_merge_is_schedule_independent(a in any::<u64>(), b in any::<u64>(), c in any::<u64>()) {
+        let (ra, rb, rc) = (recorder_from(a), recorder_from(b), recorder_from(c));
+
+        // Fold in every order of the 3-element symmetric group.
+        let orders: [[&Recorder; 3]; 6] = [
+            [&ra, &rb, &rc], [&ra, &rc, &rb], [&rb, &ra, &rc],
+            [&rb, &rc, &ra], [&rc, &ra, &rb], [&rc, &rb, &ra],
+        ];
+        let folded: Vec<Recorder> = orders
+            .iter()
+            .map(|order| {
+                let mut aggregate = Recorder::new();
+                for recorder in order {
+                    aggregate.merge(recorder);
+                }
+                aggregate
+            })
+            .collect();
+        for other in &folded[1..] {
+            prop_assert_eq!(&folded[0], other);
+        }
+
+        // And the grouped fold (a ⊕ (b ⊕ c)) matches too.
+        let mut grouped_inner = rb.clone();
+        grouped_inner.merge(&rc);
+        let mut grouped = ra.clone();
+        grouped.merge(&grouped_inner);
+        prop_assert_eq!(&folded[0], &grouped);
+
+        // The JSON rendering is a pure function of the aggregate.
+        prop_assert_eq!(folded[0].to_json(), grouped.to_json());
+    }
+}

@@ -9,7 +9,8 @@
 //! ```text
 //! cargo run --release --example bug_campaign -- [--jobs N] [--programs-per-bug P] \
 //!     [--hunt-seeds S] [--coverage 1] [--corpus PATH] [--mutate 1] \
-//!     [--mutations-per-seed M] [--cache 0] [--portfolio 1]
+//!     [--mutations-per-seed M] [--cache 0] [--portfolio 1] \
+//!     [--events PATH] [--report PATH] [--quiet]
 //! ```
 //!
 //! `--coverage 1` turns the hunts coverage-guided: pass-rule coverage is
@@ -25,11 +26,18 @@
 //! validation cache (on by default; reports are identical either way) and
 //! `--portfolio 1` races hard equivalence queries across diverse SAT
 //! configurations.
+//!
+//! Observability (all strictly observation-only — stdout stays
+//! byte-identical): `--events PATH` writes a `gauntlet-events-v1` JSONL
+//! event log for the main hunt, `--report PATH` writes its
+//! `gauntlet-report-v1` JSON document, and `--quiet` silences the stderr
+//! progress heartbeat and notes.
 
 use gauntlet_core::{
     render_detection_matrix, render_table2, render_table3, run_campaign, CampaignConfig,
-    CoverageOptions, HuntConfig, MetamorphicOptions, ParallelCampaign, SeededBug,
+    CoverageOptions, HuntConfig, MetamorphicOptions, ParallelCampaign, SeededBug, TelemetryOptions,
 };
+use gauntlet_telemetry::ProgressSink;
 
 fn parse_flag(name: &str, default: usize) -> usize {
     let args: Vec<String> = std::env::args().collect();
@@ -48,6 +56,10 @@ fn parse_string_flag(name: &str) -> Option<String> {
         .cloned()
 }
 
+fn has_flag(name: &str) -> bool {
+    std::env::args().any(|a| a == name)
+}
+
 fn main() {
     let jobs = parse_flag("--jobs", 1);
     let random_programs_per_bug = parse_flag("--programs-per-bug", 2);
@@ -62,6 +74,24 @@ fn main() {
     };
     let epoch_cache = parse_flag("--cache", 1) != 0;
     let portfolio = parse_flag("--portfolio", 0) != 0;
+    let quiet = has_flag("--quiet");
+    let events = parse_string_flag("--events");
+    let report_path = parse_string_flag("--report");
+    // All stderr narration goes through one sink so `--quiet` silences
+    // everything at once; stdout (the deterministic artifact) is untouched.
+    let progress = ProgressSink::new(!quiet);
+    // The main hunt gets the event log; the later hunts reuse progress-only
+    // telemetry so the JSONL file is not truncated by a second campaign.
+    let hunt_telemetry = Some(TelemetryOptions {
+        events: events.clone(),
+        progress: !quiet,
+        ..TelemetryOptions::default()
+    });
+    let progress_telemetry = Some(TelemetryOptions {
+        events: None,
+        progress: !quiet,
+        ..TelemetryOptions::default()
+    });
     let mutation = if parse_flag("--mutate", 0) != 0 {
         Some(MetamorphicOptions {
             mutants_per_seed: parse_flag(
@@ -118,6 +148,7 @@ fn main() {
         mutation: mutation.clone(),
         epoch_cache,
         portfolio,
+        telemetry: hunt_telemetry,
         ..HuntConfig::default()
     })
     .run(|| buggy.build_compiler());
@@ -129,9 +160,9 @@ fn main() {
     );
     if let Some(cache) = &hunt.cache {
         // Run-descriptive like `elapsed` (quota overshoot makes lookup
-        // counts schedule-dependent), so stderr: stdout stays
-        // byte-identical across `--jobs`.
-        eprintln!(
+        // counts schedule-dependent), so the stderr sink: stdout stays
+        // byte-identical across `--jobs`, and `--quiet` silences it.
+        progress.note(&format!(
             "epoch cache: {} epoch(s), semantics {}/{} hit, verdicts {}/{} hit, {} portfolio race(s)",
             cache.epochs,
             cache.stats.semantics_hits,
@@ -139,7 +170,13 @@ fn main() {
             cache.stats.verdict_hits,
             cache.stats.verdict_lookups(),
             cache.portfolio_races
-        );
+        ));
+    }
+    if let Some(path) = &report_path {
+        match std::fs::write(path, hunt.to_json()) {
+            Ok(()) => progress.note(&format!("wrote gauntlet-report-v1 to {path}")),
+            Err(error) => progress.note(&format!("could not write report {path}: {error}")),
+        }
     }
     println!("{}", hunt.render());
 
@@ -162,6 +199,7 @@ fn main() {
         coverage,
         epoch_cache,
         portfolio,
+        telemetry: progress_telemetry.clone(),
         ..HuntConfig::default()
     })
     .run(p4c::Compiler::reference);
@@ -202,6 +240,7 @@ fn main() {
             mutation: Some(mutation),
             epoch_cache,
             portfolio,
+            telemetry: progress_telemetry,
             ..HuntConfig::default()
         })
         .run(|| driver_bug.build_compiler());

@@ -1,0 +1,81 @@
+//! Validate a `gauntlet-events-v1` JSONL event log: every line must parse
+//! as a standalone JSON object, carry the schema tag, a `ts_ms` timestamp,
+//! and an `event` name.  CI runs this over the event log of a real campaign
+//! so a malformed emitter fails the build, not a downstream consumer.
+//!
+//! ```text
+//! cargo run --release --example validate_events -- PATH
+//! ```
+//!
+//! Exits non-zero (with the offending line number) on the first violation;
+//! on success prints a one-line summary of the event counts.
+
+use gauntlet_telemetry::{json, EVENTS_SCHEMA};
+use std::collections::BTreeMap;
+
+fn main() {
+    let path = std::env::args()
+        .nth(1)
+        .expect("usage: validate_events PATH");
+    let text = match std::fs::read_to_string(&path) {
+        Ok(text) => text,
+        Err(error) => {
+            eprintln!("validate_events: cannot read {path}: {error}");
+            std::process::exit(1);
+        }
+    };
+
+    let mut counts: BTreeMap<String, usize> = BTreeMap::new();
+    let mut last_ts = 0u64;
+    for (index, line) in text.lines().enumerate() {
+        let lineno = index + 1;
+        let event = match json::parse(line) {
+            Ok(event) => event,
+            Err(error) => {
+                eprintln!("{path}:{lineno}: not valid JSON: {error}");
+                std::process::exit(1);
+            }
+        };
+        match event.get("schema").and_then(|s| s.as_str()) {
+            Some(schema) if schema == EVENTS_SCHEMA => {}
+            other => {
+                eprintln!("{path}:{lineno}: schema tag is {other:?}, want {EVENTS_SCHEMA:?}");
+                std::process::exit(1);
+            }
+        }
+        let Some(ts) = event.get("ts_ms").and_then(|t| t.as_u64()) else {
+            eprintln!("{path}:{lineno}: missing integer `ts_ms`");
+            std::process::exit(1);
+        };
+        if ts < last_ts {
+            eprintln!("{path}:{lineno}: ts_ms went backwards ({ts} < {last_ts})");
+            std::process::exit(1);
+        }
+        last_ts = ts;
+        let Some(name) = event.get("event").and_then(|e| e.as_str()) else {
+            eprintln!("{path}:{lineno}: missing string `event`");
+            std::process::exit(1);
+        };
+        *counts.entry(name.to_string()).or_default() += 1;
+    }
+
+    if counts.is_empty() {
+        eprintln!("{path}: no events");
+        std::process::exit(1);
+    }
+    if counts.get("campaign_start").copied().unwrap_or(0) == 0
+        || counts.get("campaign_end").copied().unwrap_or(0) == 0
+    {
+        eprintln!("{path}: missing campaign_start/campaign_end framing");
+        std::process::exit(1);
+    }
+    let summary: Vec<String> = counts
+        .iter()
+        .map(|(name, count)| format!("{name}={count}"))
+        .collect();
+    println!(
+        "{path}: {} event(s) OK ({})",
+        counts.values().sum::<usize>(),
+        summary.join(", ")
+    );
+}

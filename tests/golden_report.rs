@@ -12,6 +12,7 @@ use gauntlet_core::{
     render_table2, render_table3, BugKind, BugReport, CompilerArea, CoverageSummary, HuntReport,
     MutationSummary, Platform, SeedOutcome, Technique,
 };
+use gauntlet_telemetry::json;
 use std::time::Duration;
 
 /// A hunt fixture exercising every rendered feature at once: a reduced
@@ -95,6 +96,7 @@ fn fixture_hunt() -> HuntReport {
         }),
         // Run-descriptive like `elapsed`: must not influence the render.
         cache: Some(gauntlet_core::CacheSummary::default()),
+        telemetry: None,
     }
 }
 
@@ -178,4 +180,123 @@ fn table2_totals_row_carries_per_platform_totals_and_margins() {
 #[test]
 fn metamorphic_kind_is_not_crash_like() {
     assert!(!BugKind::Metamorphic.is_crash_like());
+}
+
+// ---------------------------------------------------------------------------
+// gauntlet-report-v1: the machine-readable report
+// ---------------------------------------------------------------------------
+
+/// The fixture hunt's full `gauntlet-report-v1` document, pinned verbatim.
+/// Key order is part of the schema contract (the serde shim is a no-op, so
+/// the emitter writes keys in a fixed order); any change here is a schema
+/// change and must bump the version tag.
+const EXPECTED_JSON: &str = concat!(
+    r#"{"schema":"gauntlet-report-v1","result":{"programs_checked":50,"seeds_with_bugs":2,"total_bugs":3,"reduction_failures":0,"#,
+    r#""outcomes":[{"seed":3,"reports":[{"kind":"Semantic","platform":"P4C","area":"Front End","technique":"TranslationValidation","pass":"SimplifyDefUse","message":"semantic difference in block `ingress`:\n  hdr.h.a: Bv(8w1) -> Bv(8w0)","attributed_to":null,"minimized":"<minimized program>","reduction":{"initial_statements":24,"final_statements":2,"initial_nodes":60,"final_nodes":5,"oracle_calls":31,"typecheck_rejections":4,"accepted_steps":6,"rounds":2}},"#,
+    r#"{"kind":"Semantic","platform":"BMv2","area":"Back End","technique":"SymbolicExecution","pass":null,"message":"stf differential mismatch on `hdr.h.a`: consensus Bv(8w1), observed Bv(8w2) (3 of 8 tests failed, 3-way)","attributed_to":"bmv2","minimized":null,"reduction":null}]},"#,
+    r#"{"seed":7,"reports":[{"kind":"Metamorphic","platform":"P4C","area":"Front End","technique":"MetamorphicMutation","pass":null,"message":"mutation chain `OpaqueGuard` diverges on `hdr.h.a`\nsemantic difference in block `ingress`:\n  hdr.h.a: Bv(8w7) -> Bv(8w0)","attributed_to":null,"minimized":null,"reduction":null}]}],"#,
+    r#""summary":{"by_platform":{"BMv2/semantic":1,"P4C/semantic":2},"by_area":{"Back End":1,"Front End":2},"by_attribution":{"bmv2":1},"total_detected":3},"#,
+    r#""coverage":{"fired":["ConstantFolding/fold_arith","Predication/predicate_then","StrengthReduction/add_zero_identity"],"rules_total":39,"constructs_seen":17,"corpus_size":3,"corpus_added":1,"rules_over_time":[[25,2],[50,3]]},"#,
+    r#""mutation":{"mutants_checked":96,"divergent":1,"fired":["AlgebraicRewrite/xor_zero","ControlFlowWrap/block_wrap","OpaqueGuard/opaque_false_branch","ReorderIndependent/swap_independent"],"rules_total":10}},"#,
+    r#""run":{"elapsed_us":1234000,"per_worker":[26,24],"cache":{"epochs":0,"stats":{"semantics_hits":0,"semantics_misses":0,"verdict_hits":0,"verdict_misses":0},"sessions":{"semantics_hits":0,"semantics_misses":0,"trivial_checks":0,"solver_checks":0,"cached_checks":0,"verdict_hits":0,"verdict_misses":0},"portfolio_races":0},"telemetry":null}}"#,
+);
+
+#[test]
+fn report_json_is_pinned_verbatim() {
+    assert_eq!(fixture_hunt().to_json(), EXPECTED_JSON);
+}
+
+/// The deterministic half is exactly the `result` object of the full
+/// document — what the determinism matrix test compares across runs.
+#[test]
+fn deterministic_json_is_the_result_half() {
+    let hunt = fixture_hunt();
+    assert!(hunt.to_json().contains(&hunt.deterministic_json()));
+}
+
+fn counter_map(value: &json::Json) -> std::collections::BTreeMap<String, usize> {
+    value
+        .as_counter_map()
+        .expect("counter map")
+        .into_iter()
+        .map(|(key, count)| (key, count as usize))
+        .collect()
+}
+
+fn u64_field(value: &json::Json, key: &str) -> u64 {
+    value
+        .get(key)
+        .and_then(|field| field.as_u64())
+        .unwrap_or_else(|| panic!("u64 field {key}"))
+}
+
+fn string_array(value: &json::Json) -> Vec<String> {
+    value
+        .as_array()
+        .expect("array")
+        .iter()
+        .map(|item| item.as_str().expect("string").to_string())
+        .collect()
+}
+
+/// The derivability guarantee: `render_table2` and `render_table3` can be
+/// reproduced from the parsed JSON document alone, without the original
+/// `HuntReport`.  The reconstruction goes through `CampaignReport`, proving
+/// the summary/coverage/mutation blocks carry everything the tables need.
+#[test]
+fn tables_are_derivable_from_the_json_report() {
+    let hunt = fixture_hunt();
+    let parsed = json::parse(&hunt.to_json()).expect("report JSON parses");
+    let result = parsed.get("result").expect("result half");
+    let summary = result.get("summary").expect("summary block");
+
+    let coverage = result.get("coverage").and_then(|block| match block {
+        json::Json::Null => None,
+        block => Some(CoverageSummary {
+            fired: string_array(block.get("fired").expect("fired")),
+            rules_total: u64_field(block, "rules_total") as usize,
+            constructs_seen: u64_field(block, "constructs_seen") as usize,
+            corpus_size: u64_field(block, "corpus_size") as usize,
+            corpus_added: u64_field(block, "corpus_added") as usize,
+            rules_over_time: block
+                .get("rules_over_time")
+                .and_then(|t| t.as_array())
+                .expect("trajectory")
+                .iter()
+                .map(|pair| {
+                    let pair = pair.as_array().expect("pair");
+                    (
+                        pair[0].as_u64().expect("programs") as usize,
+                        pair[1].as_u64().expect("rules") as usize,
+                    )
+                })
+                .collect(),
+        }),
+    });
+    let mutation = result.get("mutation").and_then(|block| match block {
+        json::Json::Null => None,
+        block => Some(MutationSummary {
+            mutants_checked: u64_field(block, "mutants_checked") as usize,
+            divergent: u64_field(block, "divergent") as usize,
+            fired: string_array(block.get("fired").expect("fired")),
+            rules_total: u64_field(block, "rules_total") as usize,
+        }),
+    });
+
+    let reconstructed = gauntlet_core::CampaignReport {
+        outcomes: Vec::new(),
+        by_platform: counter_map(summary.get("by_platform").expect("by_platform")),
+        by_area: counter_map(summary.get("by_area").expect("by_area")),
+        by_attribution: counter_map(summary.get("by_attribution").expect("by_attribution")),
+        false_alarms: 0,
+        total_detected: u64_field(summary, "total_detected") as usize,
+        coverage,
+        mutation,
+    };
+
+    let direct = hunt.campaign_summary();
+    assert_eq!(render_table2(&reconstructed), render_table2(&direct));
+    assert_eq!(render_table3(&reconstructed), render_table3(&direct));
+    assert_eq!(render_table2(&reconstructed), EXPECTED_TABLE2);
+    assert_eq!(render_table3(&reconstructed), EXPECTED_TABLE3);
 }
