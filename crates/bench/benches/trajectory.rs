@@ -44,6 +44,7 @@
 //! approximates.
 
 use gauntlet_core::{hunt_mutation_seed, MetamorphicChecker, MetamorphicOptions};
+use gauntlet_telemetry::ProgressSink;
 use p4_gen::{GeneratorConfig, RandomProgramGenerator};
 use p4_symbolic::{EpochCache, SessionStats, ValidationSession};
 use p4c::{CompileResult, Compiler};
@@ -91,6 +92,9 @@ fn main() {
         != 0;
     let out = parse_flag(&args, "--out");
     let compare = parse_flag(&args, "--compare");
+    // Stderr narration routes through one sink (`--quiet` silences it);
+    // stdout stays machine-readable JSON only.
+    let progress = ProgressSink::new(!args.iter().any(|a| a == "--quiet"));
 
     let trajectory = measure(seeds, portfolio);
     let json = render_json(&trajectory);
@@ -99,7 +103,7 @@ fn main() {
         let path = resolve(&path);
         std::fs::write(&path, format!("{json}\n"))
             .unwrap_or_else(|error| panic!("cannot write `{}`: {error}", path.display()));
-        eprintln!("trajectory written to {}", path.display());
+        progress.note(&format!("trajectory written to {}", path.display()));
     }
     if let Some(path) = compare {
         let path = resolve(&path);
@@ -107,10 +111,13 @@ fn main() {
             .unwrap_or_else(|error| panic!("cannot read baseline `{}`: {error}", path.display()));
         let failures = compare_against(&trajectory, &baseline);
         if failures.is_empty() {
-            eprintln!("comparator: no regression against {}", path.display());
+            progress.note(&format!(
+                "comparator: no regression against {}",
+                path.display()
+            ));
         } else {
             for failure in &failures {
-                eprintln!("comparator FAIL: {failure}");
+                progress.note(&format!("comparator FAIL: {failure}"));
             }
             std::process::exit(1);
         }

@@ -35,6 +35,19 @@ impl BugKind {
     pub fn is_crash_like(self) -> bool {
         matches!(self, BugKind::Crash | BugKind::Rejection)
     }
+
+    /// Inverse of the `Debug` form `gauntlet-report-v1` serializes.
+    pub fn from_name(name: &str) -> Option<BugKind> {
+        [
+            BugKind::Crash,
+            BugKind::Rejection,
+            BugKind::Semantic,
+            BugKind::InvalidTransformation,
+            BugKind::Metamorphic,
+        ]
+        .into_iter()
+        .find(|kind| format!("{kind:?}") == name)
+    }
 }
 
 /// Which compiler/back end platform a bug was found in (Table 2's columns).
@@ -71,6 +84,14 @@ impl Platform {
             .into_iter()
             .find(|platform| format!("{platform:?}") == label)
     }
+
+    /// Inverse of the `Display` form `gauntlet-report-v1` serializes
+    /// (`"P4C"`, `"BMv2"`, ...).
+    pub fn from_display(name: &str) -> Option<Platform> {
+        Platform::all()
+            .into_iter()
+            .find(|platform| platform.to_string() == name)
+    }
 }
 
 impl std::fmt::Display for Platform {
@@ -93,6 +114,20 @@ pub enum CompilerArea {
     BackEnd,
 }
 
+impl CompilerArea {
+    /// Inverse of the `Display` form `gauntlet-report-v1` serializes
+    /// (`"Front End"`, ...).
+    pub fn from_display(name: &str) -> Option<CompilerArea> {
+        [
+            CompilerArea::FrontEnd,
+            CompilerArea::MidEnd,
+            CompilerArea::BackEnd,
+        ]
+        .into_iter()
+        .find(|area| area.to_string() == name)
+    }
+}
+
 impl std::fmt::Display for CompilerArea {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
@@ -112,6 +147,20 @@ pub enum Technique {
     /// Semantics-preserving mutation with end-to-end equivalence of the
     /// compiled seed/mutant pair (`p4-mutate`).
     MetamorphicMutation,
+}
+
+impl Technique {
+    /// Inverse of the `Debug` form `gauntlet-report-v1` serializes.
+    pub fn from_name(name: &str) -> Option<Technique> {
+        [
+            Technique::RandomGeneration,
+            Technique::TranslationValidation,
+            Technique::SymbolicExecution,
+            Technique::MetamorphicMutation,
+        ]
+        .into_iter()
+        .find(|technique| format!("{technique:?}") == name)
+    }
 }
 
 /// One finding.
@@ -306,5 +355,44 @@ mod tests {
     fn rejections_count_as_crash_like() {
         assert!(BugKind::Rejection.is_crash_like());
         assert!(!BugKind::Semantic.is_crash_like());
+    }
+
+    #[test]
+    fn enum_parsers_invert_their_serialized_forms() {
+        for kind in [
+            BugKind::Crash,
+            BugKind::Rejection,
+            BugKind::Semantic,
+            BugKind::InvalidTransformation,
+            BugKind::Metamorphic,
+        ] {
+            assert_eq!(BugKind::from_name(&format!("{kind:?}")), Some(kind));
+        }
+        for platform in Platform::all() {
+            assert_eq!(
+                Platform::from_display(&platform.to_string()),
+                Some(platform)
+            );
+        }
+        for area in [
+            CompilerArea::FrontEnd,
+            CompilerArea::MidEnd,
+            CompilerArea::BackEnd,
+        ] {
+            assert_eq!(CompilerArea::from_display(&area.to_string()), Some(area));
+        }
+        for technique in [
+            Technique::RandomGeneration,
+            Technique::TranslationValidation,
+            Technique::SymbolicExecution,
+            Technique::MetamorphicMutation,
+        ] {
+            assert_eq!(
+                Technique::from_name(&format!("{technique:?}")),
+                Some(technique)
+            );
+        }
+        assert_eq!(BugKind::from_name("NotAKind"), None);
+        assert_eq!(Platform::from_display("p4c"), None);
     }
 }

@@ -404,14 +404,37 @@ impl Default for HuntConfig {
     }
 }
 
+impl HuntConfig {
+    /// The configuration for one contiguous shard of this hunt's seed
+    /// range: seeds `[seed_start + offset, seed_start + offset + count)`,
+    /// everything else unchanged.  Because every seed derives its
+    /// randomness from itself alone, a shard processes exactly the seeds
+    /// the full-range hunt would — this is the fleet's work-splitting
+    /// entry point.
+    pub fn shard(&self, offset: u64, count: usize) -> HuntConfig {
+        HuntConfig {
+            seed_start: self.seed_start + offset,
+            seed_count: count,
+            ..self.clone()
+        }
+    }
+}
+
 /// Options for the flight recorder (see [`HuntConfig::telemetry`]).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Clone, Serialize, Deserialize)]
 pub struct TelemetryOptions {
     /// Path of the out-of-band JSONL event log (`--events PATH`).  Every
     /// line is one `gauntlet-events-v1` object with a wall-clock `ts_ms`;
     /// the file is explicitly excluded from the deterministic artifacts.
     /// `None` records spans and counters but streams no events.
     pub events: Option<String>,
+    /// An already-open event sink, taking precedence over [`events`] when
+    /// set.  Fleet workers hand the campaign an [`EventLog`] framed over
+    /// their stdout protocol channel this way — the engine streams the same
+    /// events whether they land in a file or a pipe.
+    ///
+    /// [`events`]: TelemetryOptions::events
+    pub sink: Option<Arc<EventLog>>,
     /// Print the live progress heartbeat (seeds/sec, bugs found, cache hit
     /// rate, ETA) to stderr.
     pub progress: bool,
@@ -419,10 +442,24 @@ pub struct TelemetryOptions {
     pub heartbeat_every: usize,
 }
 
+impl std::fmt::Debug for TelemetryOptions {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Manual because `EventLog` (a mutex over an arbitrary writer) has
+        // no useful `Debug` form.
+        f.debug_struct("TelemetryOptions")
+            .field("events", &self.events)
+            .field("sink", &self.sink.as_ref().map(|_| "EventLog"))
+            .field("progress", &self.progress)
+            .field("heartbeat_every", &self.heartbeat_every)
+            .finish()
+    }
+}
+
 impl Default for TelemetryOptions {
     fn default() -> Self {
         TelemetryOptions {
             events: None,
+            sink: None,
             progress: true,
             heartbeat_every: 25,
         }
@@ -810,7 +847,7 @@ struct MutationAccum {
 /// out-of-band — it observes the hunt but never feeds back into it, which
 /// is what keeps reports and corpus bytes identical with telemetry on/off.
 struct HuntTelemetry {
-    events: Option<EventLog>,
+    events: Option<Arc<EventLog>>,
     progress: ProgressSink,
     heartbeat_every: usize,
     started: Instant,
@@ -820,16 +857,21 @@ struct HuntTelemetry {
 impl HuntTelemetry {
     fn new(options: &TelemetryOptions) -> HuntTelemetry {
         let progress = ProgressSink::new(options.progress);
-        let events = options.events.as_ref().and_then(|path| {
-            EventLog::create(path)
-                .map_err(|error| {
-                    // Telemetry must never fail a campaign: report the
-                    // unusable path and run without an event log.
-                    progress.note(&format!(
-                        "[gauntlet] cannot open event log `{path}`: {error}"
-                    ));
-                })
-                .ok()
+        // A pre-opened sink (fleet workers framing events over their stdout
+        // protocol channel) takes precedence over a file path.
+        let events = options.sink.clone().or_else(|| {
+            options.events.as_ref().and_then(|path| {
+                EventLog::create(path)
+                    .map(Arc::new)
+                    .map_err(|error| {
+                        // Telemetry must never fail a campaign: report the
+                        // unusable path and run without an event log.
+                        progress.note(&format!(
+                            "[gauntlet] cannot open event log `{path}`: {error}"
+                        ));
+                    })
+                    .ok()
+            })
         });
         HuntTelemetry {
             events,

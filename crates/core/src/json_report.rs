@@ -26,10 +26,12 @@
 //! `BENCH_*.json` trajectory files) using `gauntlet_telemetry::json` for
 //! escaping.
 
-use crate::bugs::BugReport;
-use crate::campaign::{CacheSummary, CoverageSummary, HuntReport, MutationSummary};
+use crate::bugs::{BugKind, BugReport, CompilerArea, Platform, Technique};
+use crate::campaign::{CacheSummary, CoverageSummary, HuntReport, MutationSummary, SeedOutcome};
 use gauntlet_telemetry::json;
+use gauntlet_telemetry::json::Json;
 use std::collections::BTreeMap;
+use std::time::Duration;
 
 /// Schema tag of the JSON report document.
 pub const REPORT_SCHEMA: &str = "gauntlet-report-v1";
@@ -65,7 +67,10 @@ fn json_string_array(items: &[String]) -> String {
     out
 }
 
-fn bug_report_json(report: &BugReport) -> String {
+/// Serialize one [`BugReport`] in the `gauntlet-report-v1` layout.  Public
+/// because the fleet's `TriageStore` persists first-seen reports in exactly
+/// this form (so triage bytes match report bytes).
+pub fn bug_report_json(report: &BugReport) -> String {
     let mut out = String::from("{");
     out.push_str(&format!(
         "\"kind\":{}",
@@ -158,6 +163,188 @@ fn cache_json(cache: &CacheSummary) -> String {
         cache.sessions.verdict_misses,
         cache.portfolio_races
     )
+}
+
+fn req<'a>(value: &'a Json, key: &str) -> Result<&'a Json, String> {
+    value.get(key).ok_or_else(|| format!("missing `{key}`"))
+}
+
+fn usize_field(value: &Json, key: &str) -> Result<usize, String> {
+    req(value, key)?
+        .as_u64()
+        .map(|n| n as usize)
+        .ok_or_else(|| format!("`{key}` is not an integer"))
+}
+
+fn string_field(value: &Json, key: &str) -> Result<String, String> {
+    req(value, key)?
+        .as_str()
+        .map(str::to_string)
+        .ok_or_else(|| format!("`{key}` is not a string"))
+}
+
+fn opt_string_field(value: &Json, key: &str) -> Result<Option<String>, String> {
+    match req(value, key)? {
+        Json::Null => Ok(None),
+        other => other
+            .as_str()
+            .map(|s| Some(s.to_string()))
+            .ok_or_else(|| format!("`{key}` is not a string or null")),
+    }
+}
+
+fn string_array_field(value: &Json, key: &str) -> Result<Vec<String>, String> {
+    let items = req(value, key)?
+        .as_array()
+        .ok_or_else(|| format!("`{key}` is not an array"))?;
+    items
+        .iter()
+        .map(|item| {
+            item.as_str()
+                .map(str::to_string)
+                .ok_or_else(|| format!("`{key}` holds a non-string"))
+        })
+        .collect()
+}
+
+/// Parse one bug report from its `gauntlet-report-v1` object form — the
+/// exact inverse of [`bug_report_json`] (round-trip pinned by test).
+pub fn bug_report_from_json(value: &Json) -> Result<BugReport, String> {
+    let kind_name = string_field(value, "kind")?;
+    let kind = BugKind::from_name(&kind_name).ok_or_else(|| format!("bad kind `{kind_name}`"))?;
+    let platform_name = string_field(value, "platform")?;
+    let platform = Platform::from_display(&platform_name)
+        .ok_or_else(|| format!("bad platform `{platform_name}`"))?;
+    let area_name = string_field(value, "area")?;
+    let area =
+        CompilerArea::from_display(&area_name).ok_or_else(|| format!("bad area `{area_name}`"))?;
+    let technique_name = string_field(value, "technique")?;
+    let technique = Technique::from_name(&technique_name)
+        .ok_or_else(|| format!("bad technique `{technique_name}`"))?;
+    let reduction = match req(value, "reduction")? {
+        Json::Null => None,
+        stats => Some(p4_reduce::ReductionStats {
+            initial_statements: usize_field(stats, "initial_statements")?,
+            final_statements: usize_field(stats, "final_statements")?,
+            initial_nodes: usize_field(stats, "initial_nodes")?,
+            final_nodes: usize_field(stats, "final_nodes")?,
+            oracle_calls: usize_field(stats, "oracle_calls")?,
+            typecheck_rejections: usize_field(stats, "typecheck_rejections")?,
+            accepted_steps: usize_field(stats, "accepted_steps")?,
+            rounds: usize_field(stats, "rounds")?,
+        }),
+    };
+    Ok(BugReport {
+        kind,
+        platform,
+        area,
+        technique,
+        pass: opt_string_field(value, "pass")?,
+        message: string_field(value, "message")?,
+        attributed_to: opt_string_field(value, "attributed_to")?,
+        minimized: opt_string_field(value, "minimized")?,
+        reduction,
+    })
+}
+
+/// Parse the `outcomes` array of a `result` document.
+pub fn outcomes_from_json(value: &Json) -> Result<Vec<SeedOutcome>, String> {
+    let items = value.as_array().ok_or("`outcomes` is not an array")?;
+    items
+        .iter()
+        .map(|outcome| {
+            let seed = req(outcome, "seed")?
+                .as_u64()
+                .ok_or("`seed` is not an integer")?;
+            let reports = req(outcome, "reports")?
+                .as_array()
+                .ok_or("`reports` is not an array")?
+                .iter()
+                .map(bug_report_from_json)
+                .collect::<Result<Vec<_>, _>>()?;
+            Ok(SeedOutcome { seed, reports })
+        })
+        .collect()
+}
+
+/// Parse a `coverage` block.
+pub fn coverage_from_json(value: &Json) -> Result<CoverageSummary, String> {
+    let trajectory = req(value, "rules_over_time")?
+        .as_array()
+        .ok_or("`rules_over_time` is not an array")?
+        .iter()
+        .map(|pair| {
+            let pair = pair.as_array().ok_or("trajectory entry is not a pair")?;
+            match pair {
+                [programs, rules] => Ok((
+                    programs.as_u64().ok_or("bad trajectory count")? as usize,
+                    rules.as_u64().ok_or("bad trajectory count")? as usize,
+                )),
+                _ => Err("trajectory entry is not a pair".to_string()),
+            }
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    Ok(CoverageSummary {
+        fired: string_array_field(value, "fired")?,
+        rules_total: usize_field(value, "rules_total")?,
+        constructs_seen: usize_field(value, "constructs_seen")?,
+        corpus_size: usize_field(value, "corpus_size")?,
+        corpus_added: usize_field(value, "corpus_added")?,
+        rules_over_time: trajectory,
+    })
+}
+
+/// Parse a `mutation` block.
+pub fn mutation_from_json(value: &Json) -> Result<MutationSummary, String> {
+    Ok(MutationSummary {
+        mutants_checked: usize_field(value, "mutants_checked")?,
+        divergent: usize_field(value, "divergent")?,
+        fired: string_array_field(value, "fired")?,
+        rules_total: usize_field(value, "rules_total")?,
+    })
+}
+
+/// Reconstruct a [`HuntReport`] from the deterministic `result` half of a
+/// `gauntlet-report-v1` document (either the bare [`deterministic_json`]
+/// object or the `result` field of a full [`to_json`] document).
+///
+/// Only the deterministic fields are recovered: `elapsed` is zero,
+/// `per_worker` is empty, and the run-descriptive `cache`/`telemetry`
+/// blocks are `None` — which is exactly what `render`, `render_table2`, and
+/// `render_table3` need.  The round trip
+/// `report.deterministic_json()` → parse → `hunt_result_from_json` →
+/// `.deterministic_json()` is byte-identical (pinned by test), which is the
+/// property the fleet merge relies on.
+///
+/// [`deterministic_json`]: HuntReport::deterministic_json
+/// [`to_json`]: HuntReport::to_json
+pub fn hunt_result_from_json(value: &Json) -> Result<HuntReport, String> {
+    let result = match value.get("result") {
+        Some(result) => result,
+        None => value,
+    };
+    let coverage = match req(result, "coverage")? {
+        Json::Null => None,
+        block => Some(coverage_from_json(block)?),
+    };
+    let mutation = match req(result, "mutation")? {
+        Json::Null => None,
+        block => Some(mutation_from_json(block)?),
+    };
+    let outcomes = outcomes_from_json(req(result, "outcomes")?)?;
+    let total_bugs = usize_field(result, "total_bugs")?;
+    Ok(HuntReport {
+        outcomes,
+        programs_checked: usize_field(result, "programs_checked")?,
+        total_bugs,
+        elapsed: Duration::ZERO,
+        per_worker: Vec::new(),
+        reduction_failures: usize_field(result, "reduction_failures")?,
+        coverage,
+        mutation,
+        cache: None,
+        telemetry: None,
+    })
 }
 
 impl HuntReport {
@@ -286,5 +473,44 @@ mod tests {
             json::parse(&hunt.deterministic_json()).expect("deterministic half parses"),
             *result
         );
+    }
+
+    /// `deterministic_json` → parse → `hunt_result_from_json` →
+    /// `deterministic_json` must be byte-identical: the fleet merge ships
+    /// report fragments as JSON and reconstructs `HuntReport`s on the far
+    /// side, so the parse direction must lose nothing deterministic.
+    #[test]
+    fn deterministic_half_round_trips_through_the_struct() {
+        let hunt = ParallelCampaign::new(HuntConfig {
+            seed_count: 8,
+            epoch_cache: false,
+            coverage: Some(crate::campaign::CoverageOptions {
+                adapt: false,
+                ..Default::default()
+            }),
+            mutation: Some(p4_mutate::MetamorphicOptions {
+                mutants_per_seed: 1,
+                ..Default::default()
+            }),
+            ..HuntConfig::default()
+        })
+        .run(|| {
+            crate::inject::SeededBug::catalogue()
+                .into_iter()
+                .find(|b| b.platform() == Platform::P4c && !b.is_crash_class())
+                .expect("catalogue has a P4C semantic bug")
+                .build_compiler()
+        });
+        assert!(hunt.total_bugs > 0, "seeded hunt must find something");
+        let bytes = hunt.deterministic_json();
+        let parsed = json::parse(&bytes).expect("parses");
+        let rebuilt = hunt_result_from_json(&parsed).expect("reconstructs");
+        assert_eq!(rebuilt.deterministic_json(), bytes);
+        // The full document's `result` field reconstructs identically.
+        let full = json::parse(&hunt.to_json()).expect("full document parses");
+        let from_full = hunt_result_from_json(&full).expect("reconstructs from full");
+        assert_eq!(from_full.deterministic_json(), bytes);
+        // And the rebuilt report renders the same tables.
+        assert_eq!(rebuilt.render(), hunt.render());
     }
 }

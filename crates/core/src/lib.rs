@@ -39,7 +39,10 @@ pub use campaign::{
 };
 pub use corpus::{Corpus, CorpusEntry};
 pub use inject::SeededBug;
-pub use json_report::REPORT_SCHEMA;
+pub use json_report::{
+    bug_report_from_json, bug_report_json, coverage_from_json, hunt_result_from_json,
+    mutation_from_json, outcomes_from_json, REPORT_SCHEMA,
+};
 pub use p4_mutate::{
     hunt_mutation_seed, MetamorphicChecker, MetamorphicOptions, CAMPAIGN_MUTATION_SEED,
 };

@@ -1,0 +1,271 @@
+//! The on-disk checkpoint: everything a restarted coordinator needs to
+//! continue a campaign (`gauntlet fleet resume`) — and nothing a worker
+//! restart needs, because workers are stateless by design (their whole
+//! state is the shard lease, which the coordinator re-issues).
+//!
+//! A checkpoint carries the spec, every completed fragment verbatim, the
+//! triage store, and — derived but stored explicitly so `fleet status` and
+//! external tools need no merge logic — the corpus-so-far, its coverage
+//! fingerprint, and the done/remaining shard map.  Saves are atomic
+//! (write-to-temp, rename), so a coordinator killed mid-checkpoint leaves
+//! the previous checkpoint intact rather than a torn file.
+//!
+//! Resume correctness: the final report is a pure function of the fragment
+//! set (see `merge`), and the triage store's merge is order-independent, so
+//! a resumed run converges on byte-identical artifacts no matter where the
+//! original died (pinned by `tests/fleet.rs`).
+
+use crate::merge::refilter_corpus;
+use crate::spec::FleetSpec;
+use crate::triage::TriageStore;
+use gauntlet_telemetry::json::{self, Json};
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// Schema tag of the checkpoint document.
+pub const CHECKPOINT_SCHEMA: &str = "gauntlet-checkpoint-v1";
+
+/// A saved (or loaded) campaign state.
+#[derive(Debug, Clone)]
+pub struct Checkpoint {
+    pub spec: FleetSpec,
+    /// Completed shards: fragment bodies exactly as the workers sent them.
+    pub fragments: BTreeMap<usize, Json>,
+    pub triage: TriageStore,
+    /// True once every shard has completed (the final checkpoint of a
+    /// finished run).
+    pub complete: bool,
+}
+
+impl Checkpoint {
+    /// Shards not yet covered by a fragment, in ascending order.
+    pub fn remaining_shards(&self) -> Vec<usize> {
+        (0..self.spec.shard_count())
+            .filter(|shard| !self.fragments.contains_key(shard))
+            .collect()
+    }
+
+    pub fn to_json(&self) -> Result<String, String> {
+        let corpus = refilter_corpus(&self.fragments)?;
+        let fingerprint = corpus.fingerprint();
+        let mut out = format!(
+            "{{\"schema\":{},\"complete\":{},\"spec\":{}",
+            json::string(CHECKPOINT_SCHEMA),
+            self.complete,
+            self.spec.to_json()
+        );
+        out.push_str(",\"shards\":{\"total\":");
+        out.push_str(&self.spec.shard_count().to_string());
+        out.push_str(",\"done\":[");
+        for (index, shard) in self.fragments.keys().enumerate() {
+            if index > 0 {
+                out.push(',');
+            }
+            out.push_str(&shard.to_string());
+        }
+        out.push_str("],\"remaining\":[");
+        for (index, shard) in self.remaining_shards().iter().enumerate() {
+            if index > 0 {
+                out.push(',');
+            }
+            out.push_str(&shard.to_string());
+        }
+        out.push_str("]}");
+        out.push_str(",\"corpus\":");
+        out.push_str(&json::string(&corpus.to_text()));
+        out.push_str(",\"fingerprint\":[");
+        for (index, rule) in fingerprint.iter().enumerate() {
+            if index > 0 {
+                out.push(',');
+            }
+            out.push_str(&json::string(rule));
+        }
+        out.push(']');
+        out.push_str(",\"triage\":");
+        out.push_str(&self.triage.to_json());
+        out.push_str(",\"fragments\":{");
+        for (index, (shard, body)) in self.fragments.iter().enumerate() {
+            if index > 0 {
+                out.push(',');
+            }
+            out.push_str(&json::string(&shard.to_string()));
+            out.push(':');
+            out.push_str(&json::render(body));
+        }
+        out.push_str("}}");
+        Ok(out)
+    }
+
+    pub fn from_json(value: &Json) -> Result<Checkpoint, String> {
+        match value.get("schema").and_then(|s| s.as_str()) {
+            Some(CHECKPOINT_SCHEMA) => {}
+            other => return Err(format!("not a checkpoint: schema {other:?}")),
+        }
+        let spec = FleetSpec::from_json(value.get("spec").ok_or("checkpoint without `spec`")?)?;
+        let mut fragments = BTreeMap::new();
+        for (shard, body) in value
+            .get("fragments")
+            .and_then(|f| f.as_object())
+            .ok_or("checkpoint without `fragments`")?
+        {
+            let shard: usize = shard
+                .parse()
+                .map_err(|_| format!("bad fragment shard key `{shard}`"))?;
+            fragments.insert(shard, body.clone());
+        }
+        Ok(Checkpoint {
+            spec,
+            fragments,
+            triage: TriageStore::from_json(
+                value.get("triage").ok_or("checkpoint without `triage`")?,
+            )?,
+            complete: value
+                .get("complete")
+                .and_then(|c| c.as_bool())
+                .ok_or("checkpoint without `complete`")?,
+        })
+    }
+
+    /// Atomic save: write a sibling temp file, then rename over the target.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), String> {
+        let path = path.as_ref();
+        let bytes = self.to_json()?;
+        let tmp = path.with_extension("tmp");
+        std::fs::write(&tmp, bytes).map_err(|error| format!("write {}: {error}", tmp.display()))?;
+        std::fs::rename(&tmp, path)
+            .map_err(|error| format!("rename to {}: {error}", path.display()))
+    }
+
+    pub fn load(path: impl AsRef<Path>) -> Result<Checkpoint, String> {
+        let path = path.as_ref();
+        let text = std::fs::read_to_string(path)
+            .map_err(|error| format!("read {}: {error}", path.display()))?;
+        Checkpoint::from_json(&json::parse(&text)?)
+    }
+
+    /// The `fleet status` view.
+    pub fn render_status(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "fleet campaign: {} seed(s) from {}, {} shard(s) of {}, mode {}",
+            self.spec.seed_count,
+            self.spec.seed_start,
+            self.spec.shard_count(),
+            self.spec.shard_size,
+            self.spec.mode.as_str()
+        );
+        let _ = writeln!(
+            out,
+            "compiler: {} · generator: {} · coverage: {} · mutants/seed: {}",
+            self.spec.compiler.as_str(),
+            self.spec.generator,
+            self.spec.coverage,
+            self.spec.mutants_per_seed
+        );
+        let remaining = self.remaining_shards();
+        let _ = writeln!(
+            out,
+            "progress: {}/{} shard(s) done{} · remaining {:?}",
+            self.fragments.len(),
+            self.spec.shard_count(),
+            if self.complete { " · COMPLETE" } else { "" },
+            remaining
+        );
+        if self.spec.coverage {
+            if let Ok(corpus) = refilter_corpus(&self.fragments) {
+                let _ = writeln!(
+                    out,
+                    "corpus so far: {} entry(ies), {} distinct rule(s)",
+                    corpus.len(),
+                    corpus.fingerprint().len()
+                );
+            }
+        }
+        out.push_str(&self.triage.render());
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gauntlet_core::{BugKind, BugReport, CompilerArea, Platform, Technique};
+
+    fn sample() -> Checkpoint {
+        let mut triage = TriageStore::new();
+        triage.record(
+            "worker-0",
+            12,
+            0,
+            &BugReport::new(
+                BugKind::Crash,
+                Platform::P4c,
+                CompilerArea::FrontEnd,
+                Technique::RandomGeneration,
+                Some("Predication".into()),
+                "assertion failed".into(),
+            ),
+        );
+        let mut fragments = BTreeMap::new();
+        fragments.insert(
+            0,
+            json::parse("{\"result\":{\"programs_checked\":25,\"total_bugs\":1},\"corpus\":[],\"census\":[]}")
+                .unwrap(),
+        );
+        fragments.insert(
+            2,
+            json::parse("{\"result\":{\"programs_checked\":25,\"total_bugs\":0},\"corpus\":[],\"census\":[]}")
+                .unwrap(),
+        );
+        Checkpoint {
+            spec: FleetSpec {
+                seed_count: 100,
+                shard_size: 25,
+                checkpoint: Some("fleet.ckpt".into()),
+                ..FleetSpec::default()
+            },
+            fragments,
+            triage,
+            complete: false,
+        }
+    }
+
+    #[test]
+    fn checkpoint_round_trips_through_json() {
+        let checkpoint = sample();
+        let bytes = checkpoint.to_json().expect("serializes");
+        let back = Checkpoint::from_json(&json::parse(&bytes).expect("parses")).expect("loads");
+        assert_eq!(back.spec, checkpoint.spec);
+        assert_eq!(back.fragments, checkpoint.fragments);
+        assert_eq!(back.triage.to_json(), checkpoint.triage.to_json());
+        assert!(!back.complete);
+        assert_eq!(back.to_json().expect("re-serializes"), bytes);
+    }
+
+    #[test]
+    fn remaining_shards_are_the_gaps() {
+        assert_eq!(sample().remaining_shards(), vec![1, 3]);
+    }
+
+    #[test]
+    fn save_is_atomic_and_loadable() {
+        let dir = std::env::temp_dir().join(format!("gauntlet-ckpt-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("fleet.ckpt");
+        let checkpoint = sample();
+        checkpoint.save(&path).expect("saves");
+        assert!(
+            !path.with_extension("tmp").exists(),
+            "temp file renamed away"
+        );
+        let back = Checkpoint::load(&path).expect("loads");
+        assert_eq!(back.spec, checkpoint.spec);
+        let status = back.render_status();
+        assert!(status.contains("2/4 shard(s) done"));
+        assert!(status.contains("remaining [1, 3]"));
+        assert!(status.contains("triage: 1 distinct bug(s)"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,41 @@
+//! Fleet mode: a crash-tolerant multi-process campaign service.
+//!
+//! `gauntlet-core`'s [`ParallelCampaign`](gauntlet_core::ParallelCampaign)
+//! scales a hunt across threads; this crate scales it across *processes* —
+//! the deployment shape of a long-running bug-hunting service, where a
+//! compiler crash, an OOM kill, or an operator restart must cost one shard,
+//! not the campaign.
+//!
+//! The pieces, bottom-up:
+//!
+//! - [`protocol`] — length-framed JSON frames over worker stdin/stdout;
+//!   truncation (a worker killed mid-frame) is detectable by construction.
+//! - [`spec`] — the serializable campaign description ([`FleetSpec`])
+//!   workers rebuild their [`HuntConfig`](gauntlet_core::HuntConfig) from.
+//! - [`worker`] — the stateless shard executor behind `gauntlet
+//!   fleet-worker`.
+//! - [`merge`] — folds shard fragments into one report and corpus; in
+//!   deterministic mode the result is byte-identical to a single-process
+//!   campaign over the same seed range, at any worker count.
+//! - [`triage`] — the deduplicating cross-shard bug store
+//!   ([`TriageStore`]): occurrence counts, per-worker provenance, and an
+//!   arrival-order-independent first-seen representative per dedup key.
+//! - [`checkpoint`] — the atomic on-disk state behind `fleet resume` and
+//!   `fleet status`.
+//! - [`coordinator`] — shard leases, crash detection and reassignment,
+//!   respawns, lease timeouts, and the chaos hooks that prove all of the
+//!   above works ([`hunt`], [`resume`]).
+
+pub mod checkpoint;
+pub mod coordinator;
+pub mod merge;
+pub mod protocol;
+pub mod spec;
+pub mod triage;
+pub mod worker;
+
+pub use checkpoint::{Checkpoint, CHECKPOINT_SCHEMA};
+pub use coordinator::{hunt, resume, FleetOptions, FleetOutcome, FleetStats};
+pub use merge::{fragment_body, refilter_corpus};
+pub use spec::{CompilerSpec, FleetMode, FleetSpec};
+pub use triage::{TriageEntry, TriageStore, TRIAGE_SCHEMA};

@@ -1,0 +1,321 @@
+//! Folding shard fragments back into one campaign result.
+//!
+//! Every completed shard arrives as a *fragment*: the shard campaign's
+//! deterministic `gauntlet-report-v1` `result` document, plus a fleet
+//! envelope carrying what the cross-shard merge needs but the report schema
+//! deliberately excludes — the shard's candidate corpus entries and its
+//! construct-census keys.
+//!
+//! # Why the merge is exact
+//!
+//! Every seed derives its randomness from itself alone and (in fleet runs)
+//! coverage adaptation is off, so a shard processes exactly the seeds the
+//! single-process run would.  Report fields then merge by concatenation and
+//! summation.  The one subtle piece is the corpus: single-process admission
+//! is stateful ("does this program fire a rule the accumulator hasn't
+//! seen?").  The key invariant is that a shard's accumulator always equals
+//! the union of its *admitted* entries' full rule sets — a seed either adds
+//! nothing to the accumulator or is admitted with its full fired set.
+//! Consequently (a) a seed not admitted by its shard can never be
+//! admissible globally (the global accumulator at that point is a superset
+//! of the shard-local one), and (b) re-filtering the shard-admitted
+//! candidates in seed order against an accumulator built from
+//! previously-admitted candidates reproduces single-process admission
+//! decision-for-decision.  `tests/fleet.rs` pins the result byte-identical
+//! to `ParallelCampaign`.
+
+use crate::spec::{FleetMode, FleetSpec};
+use gauntlet_core::{
+    hunt_result_from_json, Corpus, CorpusEntry, CoverageSummary, HuntReport, MutationSummary,
+};
+use gauntlet_telemetry::json::{self, Json};
+use std::collections::{BTreeMap, BTreeSet};
+use std::time::Duration;
+
+/// Build one fragment body: the shard's deterministic result document plus
+/// the fleet envelope (candidate corpus entries, census keys) when the
+/// campaign is coverage-guided.
+pub fn fragment_body(result_json: &str, coverage: Option<(&Corpus, &[String])>) -> String {
+    let mut body = format!("{{\"result\":{result_json}");
+    if let Some((corpus, census)) = coverage {
+        body.push_str(",\"corpus\":[");
+        for (index, entry) in corpus.entries.iter().enumerate() {
+            if index > 0 {
+                body.push(',');
+            }
+            let mut rules = String::from("[");
+            for (rule_index, rule) in entry.rules.iter().enumerate() {
+                if rule_index > 0 {
+                    rules.push(',');
+                }
+                rules.push_str(&json::string(rule));
+            }
+            rules.push(']');
+            body.push_str(&format!(
+                "{{\"seed\":{},\"rules\":{},\"source\":{}}}",
+                entry.seed,
+                rules,
+                json::string(&entry.source)
+            ));
+        }
+        body.push_str("],\"census\":[");
+        for (index, key) in census.iter().enumerate() {
+            if index > 0 {
+                body.push(',');
+            }
+            body.push_str(&json::string(key));
+        }
+        body.push(']');
+    }
+    body.push('}');
+    body
+}
+
+fn fragment_corpus(body: &Json) -> Result<Vec<CorpusEntry>, String> {
+    let Some(entries) = body.get("corpus") else {
+        return Ok(Vec::new());
+    };
+    entries
+        .as_array()
+        .ok_or("fragment `corpus` is not an array")?
+        .iter()
+        .map(|entry| {
+            Ok(CorpusEntry {
+                seed: entry
+                    .get("seed")
+                    .and_then(|s| s.as_u64())
+                    .ok_or("corpus entry without `seed`")?,
+                rules: entry
+                    .get("rules")
+                    .and_then(|r| r.as_array())
+                    .ok_or("corpus entry without `rules`")?
+                    .iter()
+                    .map(|rule| {
+                        rule.as_str()
+                            .map(str::to_string)
+                            .ok_or_else(|| "corpus rule is not a string".to_string())
+                    })
+                    .collect::<Result<Vec<_>, _>>()?,
+                source: entry
+                    .get("source")
+                    .and_then(|s| s.as_str())
+                    .ok_or("corpus entry without `source`")?
+                    .to_string(),
+            })
+        })
+        .collect()
+}
+
+fn fragment_census(body: &Json) -> Result<Vec<String>, String> {
+    let Some(keys) = body.get("census") else {
+        return Ok(Vec::new());
+    };
+    keys.as_array()
+        .ok_or("fragment `census` is not an array")?
+        .iter()
+        .map(|key| {
+            key.as_str()
+                .map(str::to_string)
+                .ok_or_else(|| "census key is not a string".to_string())
+        })
+        .collect()
+}
+
+/// Re-filter the shard-admitted candidates into the global corpus, in
+/// `(shard, admission)` order — exactly reproducing single-process
+/// admission (see the module docs for why).
+pub fn refilter_corpus(fragments: &BTreeMap<usize, Json>) -> Result<Corpus, String> {
+    let mut accum: BTreeSet<String> = BTreeSet::new();
+    let mut corpus = Corpus::default();
+    for body in fragments.values() {
+        for entry in fragment_corpus(body)? {
+            if entry.rules.iter().any(|rule| !accum.contains(rule)) {
+                accum.extend(entry.rules.iter().cloned());
+                corpus.entries.push(entry);
+            }
+        }
+    }
+    Ok(corpus)
+}
+
+/// Fold all fragments into the final report and corpus.
+///
+/// In deterministic mode outcomes concatenate in shard order (= ascending
+/// seed order, matching `ParallelCampaign`'s ordered commit); in throughput
+/// mode they concatenate in `arrival` order.  The corpus re-filter always
+/// runs in shard order — its exactness argument needs it, and corpus bytes
+/// are a persistent artifact worth keeping stable even in throughput runs.
+pub fn merge(
+    spec: &FleetSpec,
+    fragments: &BTreeMap<usize, Json>,
+    arrival: &[usize],
+) -> Result<(HuntReport, Corpus), String> {
+    let order: Vec<usize> = match spec.mode {
+        FleetMode::Deterministic => fragments.keys().copied().collect(),
+        FleetMode::Throughput => arrival.to_vec(),
+    };
+    let mut outcomes = Vec::new();
+    let mut programs_checked = 0usize;
+    let mut total_bugs = 0usize;
+    let mut reduction_failures = 0usize;
+    let mut fired: BTreeSet<String> = BTreeSet::new();
+    let mut census: BTreeSet<String> = BTreeSet::new();
+    let mut mutants_checked = 0usize;
+    let mut divergent = 0usize;
+    let mut mutation_fired: BTreeSet<String> = BTreeSet::new();
+    for shard in &order {
+        let body = fragments
+            .get(shard)
+            .ok_or_else(|| format!("fragment for shard {shard} missing"))?;
+        let result = body
+            .get("result")
+            .ok_or_else(|| format!("fragment for shard {shard} has no `result`"))?;
+        let partial = hunt_result_from_json(result)
+            .map_err(|error| format!("fragment for shard {shard}: {error}"))?;
+        programs_checked += partial.programs_checked;
+        total_bugs += partial.total_bugs;
+        reduction_failures += partial.reduction_failures;
+        outcomes.extend(partial.outcomes);
+        if let Some(coverage) = partial.coverage {
+            fired.extend(coverage.fired);
+        }
+        if let Some(mutation) = partial.mutation {
+            mutants_checked += mutation.mutants_checked;
+            divergent += mutation.divergent;
+            mutation_fired.extend(mutation.fired);
+        }
+        census.extend(fragment_census(body)?);
+    }
+    let corpus = if spec.coverage {
+        refilter_corpus(fragments)?
+    } else {
+        Corpus::default()
+    };
+    let coverage = spec.coverage.then(|| {
+        let fired: Vec<String> = fired.iter().cloned().collect();
+        CoverageSummary {
+            rules_total: p4c::coverage::total_rules(),
+            constructs_seen: census.len(),
+            corpus_size: corpus.len(),
+            corpus_added: corpus.len(),
+            // One entry, like a single-process non-adaptive hunt (one
+            // epoch spanning the whole range).
+            rules_over_time: vec![(programs_checked, fired.len())],
+            fired,
+        }
+    });
+    let mutation = (spec.mutants_per_seed > 0).then(|| MutationSummary {
+        mutants_checked,
+        divergent,
+        fired: mutation_fired.into_iter().collect(),
+        rules_total: p4_mutate::total_rules(),
+    });
+    let report = HuntReport {
+        outcomes,
+        programs_checked,
+        total_bugs,
+        elapsed: Duration::ZERO,
+        per_worker: Vec::new(),
+        reduction_failures,
+        coverage,
+        mutation,
+        cache: None,
+        telemetry: None,
+    };
+    Ok((report, corpus))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn body(text: &str) -> Json {
+        json::parse(text).expect("test fragment parses")
+    }
+
+    const EMPTY_RESULT: &str = "\"result\":{\"programs_checked\":0,\"seeds_with_bugs\":0,\"total_bugs\":0,\"reduction_failures\":0,\"outcomes\":[],\"summary\":{\"by_platform\":{},\"by_area\":{},\"by_attribution\":{},\"total_detected\":0},\"coverage\":null,\"mutation\":null}";
+
+    fn corpus_fragment(entries: &[(u64, &[&str])]) -> Json {
+        let mut text = format!("{{{EMPTY_RESULT},\"corpus\":[");
+        for (index, (seed, rules)) in entries.iter().enumerate() {
+            if index > 0 {
+                text.push(',');
+            }
+            let rules: Vec<String> = rules.iter().map(|r| format!("\"{r}\"")).collect();
+            text.push_str(&format!(
+                "{{\"seed\":{seed},\"rules\":[{}],\"source\":\"control c() {{ apply {{ }} }}\"}}",
+                rules.join(",")
+            ));
+        }
+        text.push_str("],\"census\":[]}");
+        body(&text)
+    }
+
+    #[test]
+    fn refilter_drops_candidates_covered_by_earlier_shards() {
+        let mut fragments = BTreeMap::new();
+        // Shard 0 admits rules {a, b}; shard 1's first candidate only
+        // re-fires {a} (locally novel, globally redundant) and must be
+        // dropped, while its second brings {c} and survives.
+        fragments.insert(0, corpus_fragment(&[(1, &["p/a"]), (3, &["p/a", "p/b"])]));
+        fragments.insert(1, corpus_fragment(&[(25, &["p/a"]), (27, &["p/c", "p/a"])]));
+        let corpus = refilter_corpus(&fragments).expect("refilter");
+        let seeds: Vec<u64> = corpus.entries.iter().map(|e| e.seed).collect();
+        assert_eq!(seeds, vec![1, 3, 27]);
+        assert_eq!(
+            corpus.fingerprint(),
+            vec!["p/a".to_string(), "p/b".to_string(), "p/c".to_string()]
+        );
+    }
+
+    #[test]
+    fn merge_orders_outcomes_by_mode() {
+        let with_bug = |seed: u64| {
+            body(&format!(
+                "{{\"result\":{{\"programs_checked\":5,\"seeds_with_bugs\":1,\"total_bugs\":1,\"reduction_failures\":0,\"outcomes\":[{{\"seed\":{seed},\"reports\":[{{\"kind\":\"Semantic\",\"platform\":\"P4C\",\"area\":\"Mid End\",\"technique\":\"TranslationValidation\",\"pass\":null,\"message\":\"m{seed}\",\"attributed_to\":null,\"minimized\":null,\"reduction\":null}}]}}],\"summary\":{{\"by_platform\":{{}},\"by_area\":{{}},\"by_attribution\":{{}},\"total_detected\":0}},\"coverage\":null,\"mutation\":null}}}}"
+            ))
+        };
+        let mut fragments = BTreeMap::new();
+        fragments.insert(0, with_bug(2));
+        fragments.insert(1, with_bug(7));
+        let spec = FleetSpec {
+            seed_count: 10,
+            shard_size: 5,
+            ..FleetSpec::default()
+        };
+        // Deterministic: shard order, whatever the arrival order was.
+        let (report, _) = merge(&spec, &fragments, &[1, 0]).expect("merge");
+        let seeds: Vec<u64> = report.outcomes.iter().map(|o| o.seed).collect();
+        assert_eq!(seeds, vec![2, 7]);
+        assert_eq!(report.programs_checked, 10);
+        assert_eq!(report.total_bugs, 2);
+        // Throughput: arrival order.
+        let throughput = FleetSpec {
+            mode: FleetMode::Throughput,
+            ..spec
+        };
+        let (report, _) = merge(&throughput, &fragments, &[1, 0]).expect("merge");
+        let seeds: Vec<u64> = report.outcomes.iter().map(|o| o.seed).collect();
+        assert_eq!(seeds, vec![7, 2]);
+    }
+
+    #[test]
+    fn fragment_body_round_trips_the_envelope() {
+        let corpus = Corpus {
+            entries: vec![CorpusEntry {
+                seed: 4,
+                rules: vec!["p/a".into()],
+                source: "control c() { apply { } }\n".into(),
+            }],
+        };
+        let census = vec!["control/decl".to_string()];
+        let text = fragment_body("{\"total_bugs\":0}", Some((&corpus, &census)));
+        let parsed = body(&text);
+        assert_eq!(fragment_corpus(&parsed).unwrap(), corpus.entries);
+        assert_eq!(fragment_census(&parsed).unwrap(), census);
+        // Coverage off: no envelope at all.
+        let bare = body(&fragment_body("{\"total_bugs\":0}", None));
+        assert!(fragment_corpus(&bare).unwrap().is_empty());
+        assert!(fragment_census(&bare).unwrap().is_empty());
+    }
+}

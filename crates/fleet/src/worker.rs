@@ -1,0 +1,246 @@
+//! The worker process: a stateless shard executor behind the frame
+//! protocol.
+//!
+//! `gauntlet fleet-worker` calls [`serve`], which speaks frames on
+//! stdin/stdout: `init` delivers the [`FleetSpec`], each `assign` runs one
+//! shard through the ordinary in-process [`ParallelCampaign`] and answers
+//! with a `fragment` frame, and `shutdown` exits.  Campaign events stream
+//! out as `event` frames *while the shard runs* (the coordinator's live
+//! status and crash forensics depend on that), via an [`EventLog`] sink
+//! that reframes each JSONL line onto stdout.
+//!
+//! Statelessness is the crash-tolerance story: a worker owns nothing but
+//! its current lease, so the coordinator recovers from a dead worker by
+//! re-assigning the shard — no worker-side journal, no partial-shard
+//! resume.  Shards are small (the lease granularity) precisely so that
+//! re-running one is cheap.
+
+use crate::merge::fragment_body;
+use crate::protocol::{read_frame, write_frame, FromWorker, ToWorker};
+use crate::spec::FleetSpec;
+use gauntlet_core::{Corpus, ParallelCampaign, TelemetryOptions};
+use gauntlet_telemetry::EventLog;
+use p4_gen::RandomProgramGenerator;
+use p4_ir::ConstructCensus;
+use std::collections::BTreeSet;
+use std::io::Write;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// An [`EventLog`] sink that turns each complete JSONL line into one
+/// `event` frame on stdout.  Every frame is a single `write_all` and
+/// `Stdout` serializes writers internally, so event frames never interleave
+/// with the fragment frame the main thread writes at shard end.
+#[derive(Default)]
+struct EventFrameWriter {
+    buffer: Vec<u8>,
+}
+
+impl Write for EventFrameWriter {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.buffer.extend_from_slice(buf);
+        while let Some(newline) = self.buffer.iter().position(|&byte| byte == b'\n') {
+            let line: Vec<u8> = self.buffer.drain(..=newline).collect();
+            let line = String::from_utf8(line).map_err(|error| {
+                std::io::Error::new(std::io::ErrorKind::InvalidData, error.to_string())
+            })?;
+            let line = line.trim_end();
+            if line.is_empty() {
+                continue;
+            }
+            // The line is already one rendered JSON object — embed verbatim.
+            let body = format!("{{\"type\":\"event\",\"payload\":{line}}}");
+            write_frame(&mut std::io::stdout(), &body)?;
+        }
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        std::io::stdout().flush()
+    }
+}
+
+/// The worker's scratch corpus path for one shard.  Campaigns persist their
+/// corpus through a file path, so the worker lends each shard a throwaway
+/// file in the temp dir and reads the admitted candidates back out of it.
+fn shard_corpus_path(shard: usize) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "gauntlet-fleet-worker-{}-{shard}.corpus",
+        std::process::id()
+    ))
+}
+
+/// Run one shard and build its fragment body.
+fn run_shard(spec: &FleetSpec, shard: usize, offset: u64, count: usize) -> Result<String, String> {
+    let mut config = spec
+        .hunt_config()
+        .map_err(|error| format!("shard {shard}: {error}"))?
+        .shard(offset, count);
+    let corpus_path = spec.coverage.then(|| shard_corpus_path(shard));
+    if let (Some(path), Some(coverage)) = (&corpus_path, config.coverage.as_mut()) {
+        // Start cold: a stale file from a previous lease of this shard
+        // would be replayed into the campaign.
+        let _ = std::fs::remove_file(path);
+        coverage.corpus = Some(path.display().to_string());
+    }
+    config.telemetry = Some(TelemetryOptions {
+        events: None,
+        sink: Some(Arc::new(EventLog::with_sink(Box::new(
+            EventFrameWriter::default(),
+        )))),
+        progress: false,
+        heartbeat_every: usize::MAX,
+    });
+    let generator = config.generator.clone();
+    let compiler = spec.compiler.clone();
+    let report = ParallelCampaign::new(config).run(move || compiler.build());
+    let result_json = report.deterministic_json();
+    let body = match &corpus_path {
+        None => fragment_body(&result_json, None),
+        Some(path) => {
+            let corpus = Corpus::load_or_empty(path)
+                .map_err(|error| format!("shard {shard} corpus: {error}"))?;
+            let _ = std::fs::remove_file(path);
+            // The shard's construct-census keys.  The census is a pure
+            // function of the generated programs, which are a pure function
+            // of (generator config, seed) — so regenerating here observes
+            // exactly what the campaign observed, without widening the
+            // deterministic report schema.
+            let mut census: BTreeSet<String> = BTreeSet::new();
+            for index in 0..count {
+                let seed = spec.seed_start + offset + index as u64;
+                let program = RandomProgramGenerator::new(generator.clone(), seed).generate();
+                census.extend(
+                    ConstructCensus::of(&program)
+                        .iter()
+                        .map(|(key, _)| key.to_string()),
+                );
+            }
+            let census: Vec<String> = census.into_iter().collect();
+            fragment_body(&result_json, Some((&corpus, &census)))
+        }
+    };
+    Ok(body)
+}
+
+/// The worker main loop.  Returns an error string for protocol violations
+/// (which the binary surfaces on stderr and exits nonzero); a closed stdin
+/// is an orderly exit, mirroring coordinator death.
+pub fn serve() -> Result<(), String> {
+    let stdout = std::io::stdout();
+    write_frame(
+        &mut stdout.lock(),
+        &FromWorker::Hello {
+            pid: std::process::id() as u64,
+        }
+        .to_body(),
+    )
+    .map_err(|error| format!("hello: {error}"))?;
+
+    let stdin = std::io::stdin();
+    let mut input = stdin.lock();
+    let mut spec: Option<FleetSpec> = None;
+    loop {
+        let frame = match read_frame(&mut input) {
+            Ok(Some(frame)) => frame,
+            // Coordinator gone (cleanly or not): exit quietly.
+            Ok(None) => return Ok(()),
+            Err(error) if error.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(()),
+            Err(error) => return Err(format!("reading frame: {error}")),
+        };
+        match ToWorker::from_body(&frame)? {
+            ToWorker::Init { spec: value } => {
+                let parsed = FleetSpec::from_json(&value)?;
+                parsed.validate()?;
+                spec = Some(parsed);
+            }
+            ToWorker::Assign {
+                shard,
+                offset,
+                count,
+            } => {
+                let spec = spec.as_ref().ok_or("assign before init")?;
+                let body = run_shard(spec, shard, offset, count)?;
+                write_frame(
+                    &mut stdout.lock(),
+                    &format!("{{\"type\":\"fragment\",\"shard\":{shard},\"body\":{body}}}"),
+                )
+                .map_err(|error| format!("fragment: {error}"))?;
+            }
+            ToWorker::Stall => loop {
+                // Chaos hook: emulate a wedged worker until killed.
+                std::thread::sleep(std::time::Duration::from_secs(3600));
+            },
+            ToWorker::Shutdown => return Ok(()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::merge;
+    use crate::spec::FleetMode;
+    use gauntlet_core::SeededBug;
+    use gauntlet_telemetry::json;
+    use std::collections::BTreeMap;
+
+    fn seeded_spec() -> FleetSpec {
+        // A compiler guaranteed to produce detections on the open-compiler
+        // oracles (no crash-killed pipeline, P4C platform).
+        let bug = SeededBug::catalogue()
+            .into_iter()
+            .find(|bug| bug.platform() == gauntlet_core::Platform::P4c && !bug.is_crash_class())
+            .expect("catalogue has an open-compiler semantic bug");
+        FleetSpec {
+            seed_count: 12,
+            shard_size: 4,
+            compiler: crate::spec::CompilerSpec::Seeded(bug.name()),
+            coverage: true,
+            mode: FleetMode::Deterministic,
+            ..FleetSpec::default()
+        }
+    }
+
+    #[test]
+    fn shard_fragments_merge_to_the_single_process_report() {
+        let spec = seeded_spec();
+        let mut fragments = BTreeMap::new();
+        for shard in 0..spec.shard_count() {
+            let (offset, count) = spec.shard_range(shard);
+            let body = run_shard(&spec, shard, offset, count).expect("shard runs");
+            fragments.insert(shard, json::parse(&body).expect("fragment parses"));
+        }
+        let (merged, corpus) = merge::merge(&spec, &fragments, &[]).expect("merges");
+
+        // The single-process baseline over the whole range, with its own
+        // scratch corpus file.
+        let baseline_path = std::env::temp_dir().join(format!(
+            "gauntlet-fleet-baseline-{}.corpus",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&baseline_path);
+        let mut config = spec.hunt_config().expect("config");
+        config.coverage.as_mut().expect("coverage on").corpus =
+            Some(baseline_path.display().to_string());
+        let compiler = spec.compiler.clone();
+        let baseline = ParallelCampaign::new(config).run(move || compiler.build());
+        let baseline_corpus = Corpus::load_or_empty(&baseline_path).expect("baseline corpus");
+        let _ = std::fs::remove_file(&baseline_path);
+
+        assert!(baseline.total_bugs > 0, "seeded bug must be detected");
+        assert_eq!(merged.deterministic_json(), baseline.deterministic_json());
+        assert_eq!(merged.render(), baseline.render());
+        assert_eq!(corpus.to_text(), baseline_corpus.to_text());
+    }
+
+    #[test]
+    fn event_frame_writer_reframes_lines_even_split_across_writes() {
+        let mut writer = EventFrameWriter::default();
+        // Split one JSONL line across writes; no frame until the newline.
+        writer.write_all(b"{\"event\":\"seed\",").unwrap();
+        assert!(!writer.buffer.is_empty());
+        writer.write_all(b"\"seed\":7}\n").unwrap();
+        assert!(writer.buffer.is_empty(), "complete line was drained");
+    }
+}

@@ -18,6 +18,30 @@ use crate::json;
 /// Schema tag carried by every event line.
 pub const EVENTS_SCHEMA: &str = "gauntlet-events-v1";
 
+/// Every event kind the in-tree emitters produce: the campaign engine's
+/// per-run events plus the fleet coordinator's lifecycle events.  Consumers
+/// (`examples/validate_events.rs`) treat kinds outside this list as a
+/// *warning*, not an error — the schema is forward-compatible by
+/// construction, so a newer emitter never breaks an older validator.
+pub const KNOWN_EVENTS: &[&str] = &[
+    // Campaign engine (`ParallelCampaign`).
+    "campaign_start",
+    "campaign_end",
+    "seed",
+    "bug",
+    "epoch",
+    "cache",
+    // Fleet coordinator (`gauntlet-fleet`).
+    "fleet_start",
+    "fleet_end",
+    "worker_spawn",
+    "worker_exit",
+    "shard_assign",
+    "shard_done",
+    "shard_reassign",
+    "checkpoint",
+];
+
 /// Milliseconds since the Unix epoch, for event timestamps.
 pub fn now_ms() -> u64 {
     SystemTime::now()
@@ -26,18 +50,25 @@ pub fn now_ms() -> u64 {
         .unwrap_or(0)
 }
 
-/// An append-only JSONL event sink shared across workers.
+/// An append-only JSONL event sink shared across workers.  Usually a file
+/// ([`EventLog::create`]); fleet workers instead hand it a framing adapter
+/// over their stdout protocol channel ([`EventLog::with_sink`]).
 pub struct EventLog {
-    out: Mutex<BufWriter<File>>,
+    out: Mutex<BufWriter<Box<dyn Write + Send>>>,
 }
 
 impl EventLog {
     /// Create (truncate) the event file.
     pub fn create(path: impl AsRef<Path>) -> std::io::Result<EventLog> {
         let file = File::create(path)?;
-        Ok(EventLog {
-            out: Mutex::new(BufWriter::new(file)),
-        })
+        Ok(EventLog::with_sink(Box::new(file)))
+    }
+
+    /// Wrap an arbitrary writer (a pipe, a protocol framer, a test buffer).
+    pub fn with_sink(sink: Box<dyn Write + Send>) -> EventLog {
+        EventLog {
+            out: Mutex::new(BufWriter::new(sink)),
+        }
     }
 
     /// Append one event.  `fields` are `(key, value)` pairs where the value
@@ -45,21 +76,38 @@ impl EventLog {
     /// or plain integer formatting).  Errors are swallowed: telemetry must
     /// never fail a campaign.
     pub fn emit(&self, event: &str, fields: &[(&str, String)]) {
-        let mut line = format!(
-            "{{\"schema\":{},\"ts_ms\":{},\"event\":{}",
-            json::string(EVENTS_SCHEMA),
-            now_ms(),
-            json::string(event)
-        );
+        let mut tail = format!(",\"event\":{}", json::string(event));
         for (key, value) in fields {
-            line.push(',');
-            line.push_str(&json::string(key));
-            line.push(':');
-            line.push_str(value);
+            tail.push(',');
+            tail.push_str(&json::string(key));
+            tail.push(':');
+            tail.push_str(value);
         }
-        line.push_str("}\n");
+        tail.push('}');
+        if let Ok(mut out) = self.out.lock() {
+            // The timestamp is taken *under* the writer lock so that write
+            // order and `ts_ms` order agree: concurrent campaign threads
+            // share one log, and the event validator checks per-process
+            // monotonicity.
+            let head = format!(
+                "{{\"schema\":{},\"ts_ms\":{}",
+                json::string(EVENTS_SCHEMA),
+                now_ms()
+            );
+            let _ = out.write_all(head.as_bytes());
+            let _ = out.write_all(tail.as_bytes());
+            let _ = out.write_all(b"\n");
+            let _ = out.flush();
+        }
+    }
+
+    /// Append one already-rendered JSON object as its own line.  Used by the
+    /// fleet coordinator to relay worker events (which already carry their
+    /// own `ts_ms`) into the merged log verbatim, plus provenance.
+    pub fn emit_raw(&self, line: &str) {
         if let Ok(mut out) = self.out.lock() {
             let _ = out.write_all(line.as_bytes());
+            let _ = out.write_all(b"\n");
             let _ = out.flush();
         }
     }
@@ -104,5 +152,41 @@ mod tests {
             Some("Semantic")
         );
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn custom_sinks_receive_framed_and_raw_lines() {
+        use std::sync::Arc;
+
+        #[derive(Clone, Default)]
+        struct Shared(Arc<Mutex<Vec<u8>>>);
+        impl Write for Shared {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let shared = Shared::default();
+        let log = EventLog::with_sink(Box::new(shared.clone()));
+        log.emit("fleet_start", &[("workers", "2".to_string())]);
+        log.emit_raw("{\"schema\":\"gauntlet-events-v1\",\"ts_ms\":1,\"event\":\"seed\"}");
+        drop(log);
+
+        let bytes = shared.0.lock().unwrap().clone();
+        let text = String::from_utf8(bytes).expect("utf8");
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        let first = json::parse(lines[0]).expect("emit line parses");
+        assert_eq!(
+            first.get("event").and_then(|e| e.as_str()),
+            Some("fleet_start")
+        );
+        assert!(KNOWN_EVENTS.contains(&"fleet_start"));
+        let second = json::parse(lines[1]).expect("raw line parses");
+        assert_eq!(second.get("ts_ms").and_then(|t| t.as_u64()), Some(1));
     }
 }

@@ -114,6 +114,43 @@ impl Json {
     }
 }
 
+/// Render a parsed [`Json`] value back to compact JSON, preserving object
+/// key order.  `parse` → `render` round-trips every document the in-tree
+/// writers produce (integral numbers below 2^53 print without a fraction,
+/// which covers `ts_ms` and every counter).
+pub fn render(value: &Json) -> String {
+    match value {
+        Json::Null => "null".to_string(),
+        Json::Bool(b) => b.to_string(),
+        Json::Number(n) => number(*n),
+        Json::String(s) => string(s),
+        Json::Array(items) => {
+            let mut out = String::from("[");
+            for (index, item) in items.iter().enumerate() {
+                if index > 0 {
+                    out.push(',');
+                }
+                out.push_str(&render(item));
+            }
+            out.push(']');
+            out
+        }
+        Json::Object(fields) => {
+            let mut out = String::from("{");
+            for (index, (key, item)) in fields.iter().enumerate() {
+                if index > 0 {
+                    out.push(',');
+                }
+                out.push_str(&string(key));
+                out.push(':');
+                out.push_str(&render(item));
+            }
+            out.push('}');
+            out
+        }
+    }
+}
+
 /// Parse one JSON document.  Trailing non-whitespace is an error, so a JSONL
 /// line with garbage appended fails loudly.
 pub fn parse(text: &str) -> Result<Json, String> {
@@ -321,6 +358,14 @@ mod tests {
         assert!(parse("{\"a\": 1.2.3}").is_err());
         assert!(parse("[1,]").is_err());
         assert!(parse("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn render_round_trips_preserving_key_order() {
+        let doc = r#"{"b":[1,2,-3],"a":{"c":true,"d":null},"e":"x\ny","n":4294967296}"#;
+        let parsed = parse(doc).expect("parses");
+        assert_eq!(render(&parsed), doc);
+        assert_eq!(parse(&render(&parsed)), Ok(parsed));
     }
 
     #[test]

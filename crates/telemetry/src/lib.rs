@@ -31,7 +31,7 @@ pub mod json;
 pub mod progress;
 pub mod recorder;
 
-pub use events::{now_ms, EventLog, EVENTS_SCHEMA};
+pub use events::{now_ms, EventLog, EVENTS_SCHEMA, KNOWN_EVENTS};
 pub use histogram::LatencyHistogram;
 pub use progress::{Heartbeat, ProgressSink};
 pub use recorder::{Recorder, Stage, StageStats};

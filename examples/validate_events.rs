@@ -1,81 +1,117 @@
 //! Validate a `gauntlet-events-v1` JSONL event log: every line must parse
-//! as a standalone JSON object, carry the schema tag, a `ts_ms` timestamp,
-//! and an `event` name.  CI runs this over the event log of a real campaign
-//! so a malformed emitter fails the build, not a downstream consumer.
+//! as a standalone JSON object and carry the schema tag, a `ts_ms`
+//! timestamp, and an `event` name.  CI runs this over the event logs of
+//! real campaigns — including the fleet coordinator's *merged* log — so a
+//! malformed emitter fails the build, not a downstream consumer.
 //!
 //! ```text
-//! cargo run --release --example validate_events -- PATH
+//! cargo run --release --example validate_events -- PATH [--fleet] [--quiet]
 //! ```
 //!
-//! Exits non-zero (with the offending line number) on the first violation;
-//! on success prints a one-line summary of the event counts.
+//! Forward compatibility is part of the contract being checked:
+//!
+//! * An event kind outside [`KNOWN_EVENTS`] is a **warning**, not an error —
+//!   a newer emitter must never break an older validator.
+//! * `ts_ms` must be non-decreasing **per process stream**, not globally: a
+//!   merged fleet log interleaves the coordinator's events with per-worker
+//!   relays (tagged `"worker": N`), and only same-process order is
+//!   meaningful.
+//!
+//! By default the log must be framed by `campaign_start`/`campaign_end`;
+//! `--fleet` expects `fleet_start`/`fleet_end` instead (workers run with
+//! heartbeats off, so per-campaign framing is not relayed).  Exits non-zero
+//! (with the offending line number) on the first violation; on success
+//! prints a one-line summary of the event counts.
 
-use gauntlet_telemetry::{json, EVENTS_SCHEMA};
+use gauntlet_telemetry::{json, ProgressSink, EVENTS_SCHEMA, KNOWN_EVENTS};
 use std::collections::BTreeMap;
 
 fn main() {
-    let path = std::env::args()
-        .nth(1)
-        .expect("usage: validate_events PATH");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let fleet = args.iter().any(|a| a == "--fleet");
+    let progress = ProgressSink::new(!args.iter().any(|a| a == "--quiet"));
+    let path = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .expect("usage: validate_events PATH [--fleet] [--quiet]")
+        .clone();
+    let fail = |message: String| -> ! {
+        // Failures print even under --quiet: a silent validator that exits
+        // nonzero helps nobody in CI logs.
+        eprintln!("{message}");
+        std::process::exit(1);
+    };
     let text = match std::fs::read_to_string(&path) {
         Ok(text) => text,
-        Err(error) => {
-            eprintln!("validate_events: cannot read {path}: {error}");
-            std::process::exit(1);
-        }
+        Err(error) => fail(format!("validate_events: cannot read {path}: {error}")),
     };
 
     let mut counts: BTreeMap<String, usize> = BTreeMap::new();
-    let mut last_ts = 0u64;
+    let mut unknown: BTreeMap<String, usize> = BTreeMap::new();
+    // Monotonicity is tracked per process stream: the coordinator's own
+    // events have no `worker` field, relayed worker events carry their slot.
+    let mut last_ts: BTreeMap<Option<u64>, u64> = BTreeMap::new();
     for (index, line) in text.lines().enumerate() {
         let lineno = index + 1;
         let event = match json::parse(line) {
             Ok(event) => event,
-            Err(error) => {
-                eprintln!("{path}:{lineno}: not valid JSON: {error}");
-                std::process::exit(1);
-            }
+            Err(error) => fail(format!("{path}:{lineno}: not valid JSON: {error}")),
         };
         match event.get("schema").and_then(|s| s.as_str()) {
             Some(schema) if schema == EVENTS_SCHEMA => {}
-            other => {
-                eprintln!("{path}:{lineno}: schema tag is {other:?}, want {EVENTS_SCHEMA:?}");
-                std::process::exit(1);
-            }
+            other => fail(format!(
+                "{path}:{lineno}: schema tag is {other:?}, want {EVENTS_SCHEMA:?}"
+            )),
         }
         let Some(ts) = event.get("ts_ms").and_then(|t| t.as_u64()) else {
-            eprintln!("{path}:{lineno}: missing integer `ts_ms`");
-            std::process::exit(1);
+            fail(format!("{path}:{lineno}: missing integer `ts_ms`"));
         };
-        if ts < last_ts {
-            eprintln!("{path}:{lineno}: ts_ms went backwards ({ts} < {last_ts})");
-            std::process::exit(1);
+        let stream = event.get("worker").and_then(|w| w.as_u64());
+        let last = last_ts.entry(stream).or_insert(0);
+        if ts < *last {
+            let who = match stream {
+                Some(worker) => format!("worker {worker}"),
+                None => "the coordinator stream".to_string(),
+            };
+            fail(format!(
+                "{path}:{lineno}: ts_ms went backwards within {who} ({ts} < {last})"
+            ));
         }
-        last_ts = ts;
+        *last = ts;
         let Some(name) = event.get("event").and_then(|e| e.as_str()) else {
-            eprintln!("{path}:{lineno}: missing string `event`");
-            std::process::exit(1);
+            fail(format!("{path}:{lineno}: missing string `event`"));
         };
+        if !KNOWN_EVENTS.contains(&name) {
+            *unknown.entry(name.to_string()).or_default() += 1;
+        }
         *counts.entry(name.to_string()).or_default() += 1;
     }
 
     if counts.is_empty() {
-        eprintln!("{path}: no events");
-        std::process::exit(1);
+        fail(format!("{path}: no events"));
     }
-    if counts.get("campaign_start").copied().unwrap_or(0) == 0
-        || counts.get("campaign_end").copied().unwrap_or(0) == 0
-    {
-        eprintln!("{path}: missing campaign_start/campaign_end framing");
-        std::process::exit(1);
+    let (start, end) = if fleet {
+        ("fleet_start", "fleet_end")
+    } else {
+        ("campaign_start", "campaign_end")
+    };
+    if counts.get(start).copied().unwrap_or(0) == 0 || counts.get(end).copied().unwrap_or(0) == 0 {
+        fail(format!("{path}: missing {start}/{end} framing"));
+    }
+    for (name, count) in &unknown {
+        progress.note(&format!(
+            "{path}: warning: unknown event kind `{name}` ({count} occurrence(s)) — \
+             tolerated for forward compatibility"
+        ));
     }
     let summary: Vec<String> = counts
         .iter()
         .map(|(name, count)| format!("{name}={count}"))
         .collect();
     println!(
-        "{path}: {} event(s) OK ({})",
+        "{path}: {} event(s) OK across {} stream(s) ({})",
         counts.values().sum::<usize>(),
+        last_ts.len(),
         summary.join(", ")
     );
 }

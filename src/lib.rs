@@ -18,11 +18,14 @@
 //! | [`p4_reduce`] | delta-debugging test-case reduction with pluggable bug oracles (§7) |
 //! | [`targets`] | the `Target` trait + registry: BMv2, Tofino, and reference-interpreter back ends |
 //! | [`gauntlet_core`] | the three techniques glued together, plus campaigns |
+//! | [`gauntlet_fleet`] | crash-tolerant multi-process campaigns: coordinator, workers, triage, checkpoint/resume |
 //!
 //! Start with `cargo run --example quickstart`, then see the top-level
-//! `README.md` and `docs/REPRODUCING.md`.
+//! `README.md` and `docs/REPRODUCING.md`.  The `gauntlet` binary
+//! (`src/main.rs`) drives fleet campaigns: `gauntlet fleet hunt ...`.
 
 pub use gauntlet_core;
+pub use gauntlet_fleet;
 pub use p4_check;
 pub use p4_gen;
 pub use p4_ir;

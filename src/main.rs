@@ -1,0 +1,317 @@
+//! The `gauntlet` binary: fleet campaigns from the command line.
+//!
+//! ```text
+//! gauntlet fleet hunt --seeds 100 --workers 2 --coverage --checkpoint fleet.ckpt
+//! gauntlet fleet status --checkpoint fleet.ckpt
+//! gauntlet fleet resume --checkpoint fleet.ckpt
+//! gauntlet report report.json
+//! gauntlet fleet-worker        # spawned by the coordinator, not by hand
+//! ```
+//!
+//! Flag parsing is hand-rolled (the workspace is fully offline; no clap).
+
+use gauntlet_fleet::{
+    checkpoint::Checkpoint, coordinator, worker, CompilerSpec, FleetMode, FleetOptions,
+    FleetOutcome, FleetSpec,
+};
+use std::time::Duration;
+
+const USAGE: &str = "\
+gauntlet — Gauntlet campaign driver
+
+USAGE:
+  gauntlet fleet hunt [FLAGS]       run a multi-process campaign
+  gauntlet fleet resume [FLAGS]     continue from --checkpoint
+  gauntlet fleet status --checkpoint PATH
+  gauntlet report FILE              render a gauntlet-report-v1 JSON file
+  gauntlet fleet-worker             (internal) shard executor
+
+FLEET HUNT FLAGS:
+  --workers N             worker processes (default 2)
+  --jobs N                threads per worker (default 1)
+  --seed-start N          first seed (default 0)
+  --seeds N               seed count (default 100)
+  --shard-size N          seeds per lease (default 25)
+  --compiler NAME         `reference` or a SeededBug name (default reference)
+  --generator NAME        tiny | default | tofino (default tiny)
+  --mode MODE             deterministic | throughput (default deterministic)
+  --coverage              account pass-rule coverage and build a corpus
+  --corpus PATH           write the merged corpus here (implies --coverage)
+  --mutants N             metamorphic mutants per seed (default 0)
+  --reduce                delta-debug committed findings
+  --target SPEC           differential target (repeatable)
+  --checkpoint PATH       checkpoint file (enables resume/status)
+  --checkpoint-every N    shards between checkpoints (default 1)
+  --report PATH           write the merged gauntlet-report-v1 JSON here
+  --triage PATH           write the gauntlet-triage-v1 JSON here
+  --events PATH           merged JSONL event log
+  --quiet                 no status line, no worker stderr
+
+FAULT-INJECTION / RUNTIME FLAGS (hunt and resume):
+  --chaos-kill W:F        kill worker W after its F-th delivered fragment
+  --chaos-stall W:F       park worker W instead of its next assignment
+  --stop-after-checkpoints N   stop (resumably) after N checkpoints
+  --lease-timeout-ms N    kill workers whose lease exceeds N ms
+  --max-respawns N        replacement processes allowed (default 8)
+";
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Err(error) = run(&args) {
+        eprintln!("gauntlet: {error}");
+        std::process::exit(2);
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    match args.first().map(String::as_str) {
+        Some("fleet-worker") => worker::serve(),
+        Some("fleet") => fleet(&args[1..]),
+        Some("report") => report(&args[1..]),
+        None | Some("--help") | Some("-h") | Some("help") => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command `{other}` (see `gauntlet --help`)")),
+    }
+}
+
+/// `W:F` pairs for the chaos flags.
+fn parse_pair(text: &str) -> Result<(usize, usize), String> {
+    let (worker, fragments) = text
+        .split_once(':')
+        .ok_or_else(|| format!("expected `WORKER:FRAGMENTS`, got `{text}`"))?;
+    Ok((
+        worker
+            .parse()
+            .map_err(|_| format!("bad worker index `{worker}`"))?,
+        fragments
+            .parse()
+            .map_err(|_| format!("bad fragment count `{fragments}`"))?,
+    ))
+}
+
+fn parse_number<T: std::str::FromStr>(flag: &str, value: &str) -> Result<T, String> {
+    value
+        .parse()
+        .map_err(|_| format!("bad value `{value}` for {flag}"))
+}
+
+/// Pull the value of `--flag VALUE`.
+fn value<'a>(args: &'a [String], index: &mut usize, flag: &str) -> Result<&'a str, String> {
+    *index += 1;
+    args.get(*index)
+        .map(String::as_str)
+        .ok_or_else(|| format!("{flag} needs a value"))
+}
+
+fn worker_command() -> Result<Vec<String>, String> {
+    let exe = std::env::current_exe()
+        .map_err(|error| format!("cannot locate the gauntlet binary: {error}"))?;
+    Ok(vec![exe.display().to_string(), "fleet-worker".to_string()])
+}
+
+#[derive(Default)]
+struct OutputPaths {
+    report: Option<String>,
+    triage: Option<String>,
+}
+
+/// Parse the runtime (non-spec) flags shared by hunt and resume.  Returns
+/// `true` when the flag was consumed.
+fn runtime_flag(
+    options: &mut FleetOptions,
+    outputs: &mut OutputPaths,
+    args: &[String],
+    index: &mut usize,
+) -> Result<bool, String> {
+    match args[*index].as_str() {
+        "--quiet" => options.quiet = true,
+        "--events" => options.events = Some(value(args, index, "--events")?.to_string()),
+        "--report" => outputs.report = Some(value(args, index, "--report")?.to_string()),
+        "--triage" => outputs.triage = Some(value(args, index, "--triage")?.to_string()),
+        "--chaos-kill" => {
+            options.chaos_kill = Some(parse_pair(value(args, index, "--chaos-kill")?)?)
+        }
+        "--chaos-stall" => {
+            options.chaos_stall = Some(parse_pair(value(args, index, "--chaos-stall")?)?)
+        }
+        "--stop-after-checkpoints" => {
+            options.stop_after_checkpoints = Some(parse_number(
+                "--stop-after-checkpoints",
+                value(args, index, "--stop-after-checkpoints")?,
+            )?)
+        }
+        "--lease-timeout-ms" => {
+            options.lease_timeout = Some(Duration::from_millis(parse_number(
+                "--lease-timeout-ms",
+                value(args, index, "--lease-timeout-ms")?,
+            )?))
+        }
+        "--max-respawns" => {
+            options.max_respawns =
+                parse_number("--max-respawns", value(args, index, "--max-respawns")?)?
+        }
+        _ => return Ok(false),
+    }
+    Ok(true)
+}
+
+fn finish(outcome: FleetOutcome, outputs: &OutputPaths) -> Result<(), String> {
+    if let Some(path) = &outputs.triage {
+        std::fs::write(path, outcome.triage.to_json())
+            .map_err(|error| format!("cannot write triage `{path}`: {error}"))?;
+    }
+    match &outcome.report {
+        Some(report) => {
+            if let Some(path) = &outputs.report {
+                std::fs::write(path, report.to_json())
+                    .map_err(|error| format!("cannot write report `{path}`: {error}"))?;
+            }
+            print!("{}", report.render());
+            print!("{}", outcome.triage.render());
+            Ok(())
+        }
+        None => {
+            // Interrupted (stop_after_checkpoints): resumable, so not an
+            // error — but say so and skip the report outputs.
+            println!(
+                "fleet: interrupted after {} checkpoint(s); resume with `gauntlet fleet resume`",
+                outcome.stats.checkpoints_written
+            );
+            print!("{}", outcome.triage.render());
+            Ok(())
+        }
+    }
+}
+
+fn fleet(args: &[String]) -> Result<(), String> {
+    match args.first().map(String::as_str) {
+        Some("hunt") => fleet_hunt(&args[1..]),
+        Some("resume") => fleet_resume(&args[1..]),
+        Some("status") => fleet_status(&args[1..]),
+        _ => Err("usage: gauntlet fleet <hunt|resume|status> [flags]".into()),
+    }
+}
+
+fn fleet_hunt(args: &[String]) -> Result<(), String> {
+    let mut spec = FleetSpec::default();
+    let mut options = FleetOptions::new(FleetSpec::default(), worker_command()?);
+    let mut outputs = OutputPaths::default();
+    let mut index = 0;
+    while index < args.len() {
+        if runtime_flag(&mut options, &mut outputs, args, &mut index)? {
+            index += 1;
+            continue;
+        }
+        match args[index].as_str() {
+            "--workers" => {
+                spec.workers = parse_number("--workers", value(args, &mut index, "--workers")?)?
+            }
+            "--jobs" => {
+                spec.jobs_per_worker = parse_number("--jobs", value(args, &mut index, "--jobs")?)?
+            }
+            "--seed-start" => {
+                spec.seed_start =
+                    parse_number("--seed-start", value(args, &mut index, "--seed-start")?)?
+            }
+            "--seeds" => {
+                spec.seed_count = parse_number("--seeds", value(args, &mut index, "--seeds")?)?
+            }
+            "--shard-size" => {
+                spec.shard_size =
+                    parse_number("--shard-size", value(args, &mut index, "--shard-size")?)?
+            }
+            "--compiler" => {
+                spec.compiler = CompilerSpec::from_name(value(args, &mut index, "--compiler")?)
+            }
+            "--generator" => spec.generator = value(args, &mut index, "--generator")?.to_string(),
+            "--mode" => {
+                let name = value(args, &mut index, "--mode")?;
+                spec.mode =
+                    FleetMode::from_name(name).ok_or_else(|| format!("unknown mode `{name}`"))?;
+            }
+            "--coverage" => spec.coverage = true,
+            "--corpus" => {
+                spec.corpus = Some(value(args, &mut index, "--corpus")?.to_string());
+                spec.coverage = true;
+            }
+            "--mutants" => {
+                spec.mutants_per_seed =
+                    parse_number("--mutants", value(args, &mut index, "--mutants")?)?
+            }
+            "--reduce" => spec.reduce_reports = true,
+            "--target" => spec
+                .targets
+                .push(value(args, &mut index, "--target")?.to_string()),
+            "--checkpoint" => {
+                spec.checkpoint = Some(value(args, &mut index, "--checkpoint")?.to_string())
+            }
+            "--checkpoint-every" => {
+                spec.checkpoint_every = parse_number(
+                    "--checkpoint-every",
+                    value(args, &mut index, "--checkpoint-every")?,
+                )?
+            }
+            other => return Err(format!("unknown fleet hunt flag `{other}`")),
+        }
+        index += 1;
+    }
+    options.spec = spec;
+    finish(coordinator::hunt(options)?, &outputs)
+}
+
+fn fleet_resume(args: &[String]) -> Result<(), String> {
+    let mut options = FleetOptions::new(FleetSpec::default(), worker_command()?);
+    let mut outputs = OutputPaths::default();
+    let mut checkpoint_path: Option<String> = None;
+    let mut index = 0;
+    while index < args.len() {
+        if runtime_flag(&mut options, &mut outputs, args, &mut index)? {
+            index += 1;
+            continue;
+        }
+        match args[index].as_str() {
+            "--checkpoint" => {
+                checkpoint_path = Some(value(args, &mut index, "--checkpoint")?.to_string())
+            }
+            other => return Err(format!("unknown fleet resume flag `{other}`")),
+        }
+        index += 1;
+    }
+    let path = checkpoint_path.ok_or("fleet resume needs --checkpoint PATH")?;
+    let checkpoint = Checkpoint::load(&path)?;
+    if checkpoint.complete {
+        println!("fleet: checkpoint `{path}` is already complete");
+    }
+    finish(coordinator::resume(options, checkpoint)?, &outputs)
+}
+
+fn fleet_status(args: &[String]) -> Result<(), String> {
+    let mut checkpoint_path: Option<String> = None;
+    let mut index = 0;
+    while index < args.len() {
+        match args[index].as_str() {
+            "--checkpoint" => {
+                checkpoint_path = Some(value(args, &mut index, "--checkpoint")?.to_string())
+            }
+            other => return Err(format!("unknown fleet status flag `{other}`")),
+        }
+        index += 1;
+    }
+    let path = checkpoint_path.ok_or("fleet status needs --checkpoint PATH")?;
+    print!("{}", Checkpoint::load(&path)?.render_status());
+    Ok(())
+}
+
+fn report(args: &[String]) -> Result<(), String> {
+    let [path] = args else {
+        return Err("usage: gauntlet report FILE".into());
+    };
+    let text =
+        std::fs::read_to_string(path).map_err(|error| format!("cannot read `{path}`: {error}"))?;
+    let value = gauntlet_telemetry::json::parse(&text)?;
+    let report = gauntlet_core::hunt_result_from_json(&value)?;
+    print!("{}", report.render());
+    Ok(())
+}

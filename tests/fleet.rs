@@ -1,0 +1,220 @@
+//! Fleet-mode acceptance: the multi-process campaign service must be
+//! *exactly* as trustworthy as the in-process engine it wraps.
+//!
+//! The contracts pinned here:
+//!
+//! 1. **Determinism** — a two-worker fleet's merged report renders
+//!    byte-identical to a single-process `ParallelCampaign` over the same
+//!    seed range, and the merged corpus matches byte-for-byte.
+//! 2. **Crash tolerance** — killing a worker mid-epoch (after it has taken
+//!    a fresh lease) reassigns the lease and still converges on the
+//!    byte-identical report.
+//! 3. **Checkpoint/resume** — a run stopped after its first checkpoint
+//!    resumes from disk and reaches the same final report and corpus.
+//! 4. **Hang tolerance** — a stalled worker is killed by the lease timeout
+//!    and its shard completes elsewhere.
+//!
+//! All of these drive the *real* `gauntlet` binary as worker processes
+//! (`CARGO_BIN_EXE_gauntlet`), not an in-process simulation.
+
+use gauntlet_core::{Corpus, ParallelCampaign, Platform, SeededBug};
+use gauntlet_fleet::{coordinator, Checkpoint, CompilerSpec, FleetMode, FleetOptions, FleetSpec};
+use std::path::PathBuf;
+use std::time::Duration;
+
+fn worker_command() -> Vec<String> {
+    vec![
+        env!("CARGO_BIN_EXE_gauntlet").to_string(),
+        "fleet-worker".to_string(),
+    ]
+}
+
+fn scratch(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("gauntlet-fleet-test-{}-{name}", std::process::id()))
+}
+
+/// A spec whose seeded bug is guaranteed to produce findings through the
+/// open-compiler oracles (P4C platform, not crash-killed), with coverage on
+/// so the corpus contract is exercised too.
+fn spec(seeds: usize, shard_size: usize) -> FleetSpec {
+    let bug = SeededBug::catalogue()
+        .into_iter()
+        .find(|bug| bug.platform() == Platform::P4c && !bug.is_crash_class())
+        .expect("catalogue has an open-compiler semantic bug");
+    FleetSpec {
+        workers: 2,
+        seed_count: seeds,
+        shard_size,
+        compiler: CompilerSpec::Seeded(bug.name()),
+        coverage: true,
+        mode: FleetMode::Deterministic,
+        ..FleetSpec::default()
+    }
+}
+
+/// The single-process ground truth for a spec: report plus corpus bytes.
+fn baseline(spec: &FleetSpec, tag: &str) -> (String, String) {
+    let corpus_path = scratch(&format!("baseline-{tag}.corpus"));
+    let _ = std::fs::remove_file(&corpus_path);
+    let mut config = spec.hunt_config().expect("hunt config");
+    config.coverage.as_mut().expect("coverage on").corpus = Some(corpus_path.display().to_string());
+    let compiler = spec.compiler.clone();
+    let report = ParallelCampaign::new(config).run(move || compiler.build());
+    assert!(report.total_bugs > 0, "the seeded bug must be detectable");
+    let corpus = Corpus::load_or_empty(&corpus_path).expect("baseline corpus");
+    let _ = std::fs::remove_file(&corpus_path);
+    (report.render(), corpus.to_text())
+}
+
+#[test]
+fn two_worker_fleet_matches_the_single_process_campaign_byte_for_byte() {
+    let spec = spec(12, 3);
+    let (expect_render, expect_corpus) = baseline(&spec, "determinism");
+
+    let mut options = FleetOptions::new(spec, worker_command());
+    options.quiet = true;
+    let outcome = coordinator::hunt(options).expect("fleet hunt");
+    let report = outcome.report.expect("completed run has a report");
+
+    assert_eq!(report.render(), expect_render);
+    assert_eq!(outcome.corpus.to_text(), expect_corpus);
+    assert!(!outcome.interrupted);
+    assert_eq!(outcome.stats.shards_total, 4);
+    assert_eq!(outcome.stats.worker_deaths, 0);
+    // Triage agrees with the report: every distinct dedup key, summed.
+    assert_eq!(
+        outcome.triage.occurrences() as usize,
+        report.total_bugs,
+        "triage folds every report occurrence exactly once"
+    );
+}
+
+#[test]
+fn killing_a_worker_mid_epoch_reassigns_the_lease_and_stays_deterministic() {
+    let spec = spec(12, 2);
+    let (expect_render, expect_corpus) = baseline(&spec, "chaos");
+
+    let mut options = FleetOptions::new(spec, worker_command());
+    options.quiet = true;
+    // Kill worker 0 right after its first delivered fragment — at that
+    // point it has just been handed a fresh lease, which must be recovered.
+    options.chaos_kill = Some((0, 1));
+    let outcome = coordinator::hunt(options).expect("fleet hunt survives the kill");
+    let report = outcome.report.expect("completed run has a report");
+
+    assert!(outcome.stats.worker_deaths >= 1, "the chaos kill happened");
+    assert!(
+        outcome.stats.leases_reassigned >= 1,
+        "the stranded shard was reassigned"
+    );
+    assert_eq!(report.render(), expect_render);
+    assert_eq!(outcome.corpus.to_text(), expect_corpus);
+}
+
+#[test]
+fn checkpointed_runs_resume_to_the_identical_final_report() {
+    let mut spec = spec(12, 3);
+    let checkpoint_path = scratch("resume.ckpt");
+    let _ = std::fs::remove_file(&checkpoint_path);
+    spec.checkpoint = Some(checkpoint_path.display().to_string());
+    let (expect_render, expect_corpus) = baseline(&spec, "resume");
+
+    // Phase 1: stop (orderly but incomplete) after the first checkpoint.
+    let mut options = FleetOptions::new(spec.clone(), worker_command());
+    options.quiet = true;
+    options.stop_after_checkpoints = Some(1);
+    let interrupted = coordinator::hunt(options).expect("interrupted hunt");
+    assert!(interrupted.interrupted);
+    assert!(interrupted.report.is_none());
+    assert!(interrupted.stats.checkpoints_written >= 1);
+
+    // Phase 2: resume from disk and finish.
+    let checkpoint = Checkpoint::load(&checkpoint_path).expect("checkpoint loads");
+    assert!(!checkpoint.complete);
+    let done = checkpoint.fragments.len();
+    assert!(
+        (1..4).contains(&done),
+        "stopped part-way ({done} of 4 shards)"
+    );
+    let mut options = FleetOptions::new(spec, worker_command());
+    options.quiet = true;
+    let outcome = coordinator::resume(options, checkpoint).expect("fleet resume");
+    let report = outcome.report.expect("resumed run completes");
+
+    assert_eq!(report.render(), expect_render);
+    assert_eq!(outcome.corpus.to_text(), expect_corpus);
+    assert_eq!(
+        report.total_bugs,
+        outcome.triage.occurrences() as usize,
+        "resume does not double-fold checkpointed fragments into triage"
+    );
+
+    // The final checkpoint on disk is complete and status-renderable.
+    let last = Checkpoint::load(&checkpoint_path).expect("final checkpoint");
+    assert!(last.complete);
+    assert!(last.remaining_shards().is_empty());
+    assert!(last.render_status().contains("COMPLETE"));
+    let _ = std::fs::remove_file(&checkpoint_path);
+}
+
+#[test]
+fn a_stalled_worker_is_killed_by_the_lease_timeout_and_the_hunt_completes() {
+    let spec = spec(8, 2);
+    let (expect_render, _) = baseline(&spec, "stall");
+
+    let mut options = FleetOptions::new(spec, worker_command());
+    options.quiet = true;
+    // Worker 1's first assignment is withheld (the worker parks); only the
+    // lease timeout can recover the shard.
+    options.chaos_stall = Some((1, 0));
+    options.lease_timeout = Some(Duration::from_millis(300));
+    let outcome = coordinator::hunt(options).expect("fleet hunt survives the stall");
+    let report = outcome.report.expect("completed run has a report");
+
+    assert!(
+        outcome.stats.worker_deaths >= 1,
+        "the stalled worker was killed"
+    );
+    assert!(outcome.stats.leases_reassigned >= 1);
+    assert_eq!(report.render(), expect_render);
+}
+
+#[test]
+fn merged_event_log_validates_per_process_streams() {
+    let mut spec = spec(6, 3);
+    spec.coverage = false;
+    let events_path = scratch("events.jsonl");
+    let _ = std::fs::remove_file(&events_path);
+
+    let mut options = FleetOptions::new(spec, worker_command());
+    options.quiet = true;
+    options.events = Some(events_path.display().to_string());
+    let outcome = coordinator::hunt(options).expect("fleet hunt");
+    assert!(outcome.report.is_some());
+
+    let text = std::fs::read_to_string(&events_path).expect("event log exists");
+    let mut saw_fleet_start = false;
+    let mut saw_fleet_end = false;
+    let mut worker_streams = std::collections::BTreeSet::new();
+    for line in text.lines() {
+        let event = gauntlet_telemetry::json::parse(line).expect("every line parses");
+        assert_eq!(
+            event.get("schema").and_then(|s| s.as_str()),
+            Some("gauntlet-events-v1")
+        );
+        match event.get("event").and_then(|e| e.as_str()) {
+            Some("fleet_start") => saw_fleet_start = true,
+            Some("fleet_end") => saw_fleet_end = true,
+            _ => {}
+        }
+        if let Some(worker) = event.get("worker").and_then(|w| w.as_u64()) {
+            worker_streams.insert(worker);
+        }
+    }
+    assert!(saw_fleet_start && saw_fleet_end, "fleet framing present");
+    assert!(
+        !worker_streams.is_empty(),
+        "worker events were relayed with provenance"
+    );
+    let _ = std::fs::remove_file(&events_path);
+}
