@@ -1,20 +1,25 @@
 //! The committed benchmark trajectory: every stage of the campaign loop
 //! (generate → compile → validate → mutate) timed over a fixed-seed
-//! workload, emitted as machine-readable JSON (`BENCH_pr7.json` at the repo
-//! root) so performance claims are *committed* next to the code they
-//! describe and regressions show up in review diffs.
+//! workload, emitted as machine-readable JSON (the `BENCH_pr*.json` files
+//! at the repo root, currently `BENCH_pr9.json`) so performance claims are
+//! *committed* next to the code they describe and regressions show up in
+//! review diffs.
 //!
 //! ```text
 //! cargo bench -p bench --bench trajectory -- \
-//!     [--seeds N] [--out PATH] [--compare BASELINE] [--portfolio 1]
+//!     [--seeds N] [--out PATH] [--compare BASELINE|auto] [--portfolio 1]
 //! ```
 //!
 //! * default — run the workload (50 seeds) and print the JSON to stdout;
 //! * `--out PATH` — also write the JSON to `PATH` (use
-//!   `--seeds 50 --out BENCH_pr7.json` to regenerate the committed file,
+//!   `--seeds 50 --out BENCH_pr9.json` to regenerate the committed file,
 //!   see docs/REPRODUCING.md);
 //! * `--compare BASELINE` — gate mode: after measuring, compare against a
 //!   previously committed trajectory and exit nonzero on regression.
+//!   `--compare auto` resolves to the highest-numbered committed
+//!   `BENCH_pr*.json` at the workspace root and fails loudly if none
+//!   exists — CI uses this form so the gate follows the newest committed
+//!   baseline instead of a hard-coded file name going silently stale.
 //!
 //! The headline metric is the **warm-over-cold validate speedup**: the same
 //! 50 compiled pass chains are translation-validated twice through the
@@ -26,6 +31,14 @@
 //! whose compiled form collapses onto the seed's, replayed corpus entries,
 //! or a racing worker arriving second).  Both runs are in this file, so the
 //! committed ≥2× claim is measured, not asserted.
+//!
+//! The campaign-lifetime cache adds a third validation run: the same chains
+//! are re-validated *after an epoch barrier* (`validate_cross_epoch`).
+//! Under the old per-epoch cache this path was a full cold re-run; with
+//! the campaign-lifetime cache the memos and the interner survive the
+//! barrier's generation sweep, so cross-epoch revalidation must stay at
+//! least [`CROSS_EPOCH_SPEEDUP_FLOOR`]× faster than cold — the committed
+//! `validate_speedup_cross_epoch` metric, gated in CI.
 //!
 //! The comparator deliberately gates on *scale-free* metrics only — the
 //! speedup ratio, the deterministic work counters (pass pairs, solver
@@ -60,6 +73,12 @@ const REGRESSION_TOLERANCE: f64 = 0.10;
 /// validation workload (the hard invariant from the telemetry PR).
 const TELEMETRY_OVERHEAD_CEILING_PCT: f64 = 3.0;
 
+/// Floor on the cross-epoch warm-validate speedup at the full committed
+/// workload: revalidating the same chains after an epoch barrier must stay
+/// at least this much faster than a cold run, proving the memos survive
+/// the barrier.
+const CROSS_EPOCH_SPEEDUP_FLOOR: f64 = 1.5;
+
 fn parse_flag(args: &[String], name: &str) -> Option<String> {
     args.iter()
         .position(|a| a == name)
@@ -78,6 +97,37 @@ fn resolve(path: &str) -> std::path::PathBuf {
         std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
             .join("../..")
             .join(path)
+    }
+}
+
+/// `--compare auto`: the highest-numbered `BENCH_pr<N>.json` committed at
+/// the workspace root.  Panics (nonzero exit) when none exists — a silent
+/// fallback here would let CI "pass" a gate that compared against nothing.
+fn latest_committed_baseline() -> std::path::PathBuf {
+    let root = resolve(".");
+    let mut best: Option<(u64, std::path::PathBuf)> = None;
+    let entries = std::fs::read_dir(&root)
+        .unwrap_or_else(|error| panic!("cannot list workspace root `{}`: {error}", root.display()));
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let Some(number) = name
+            .to_str()
+            .and_then(|name| name.strip_prefix("BENCH_pr"))
+            .and_then(|rest| rest.strip_suffix(".json"))
+            .and_then(|number| number.parse::<u64>().ok())
+        else {
+            continue;
+        };
+        if best.as_ref().is_none_or(|(highest, _)| number > *highest) {
+            best = Some((number, entry.path()));
+        }
+    }
+    match best {
+        Some((_, path)) => path,
+        None => panic!(
+            "--compare auto: no committed BENCH_pr*.json found at the workspace root `{}`",
+            root.display()
+        ),
     }
 }
 
@@ -106,7 +156,11 @@ fn main() {
         progress.note(&format!("trajectory written to {}", path.display()));
     }
     if let Some(path) = compare {
-        let path = resolve(&path);
+        let path = if path == "auto" {
+            latest_committed_baseline()
+        } else {
+            resolve(&path)
+        };
         let baseline = std::fs::read_to_string(&path)
             .unwrap_or_else(|error| panic!("cannot read baseline `{}`: {error}", path.display()));
         let failures = compare_against(&trajectory, &baseline);
@@ -182,6 +236,9 @@ struct Trajectory {
     compile: Stage,
     cold: ValidateRun,
     warm: ValidateRun,
+    /// Revalidation of the same chains after an epoch barrier: the
+    /// campaign-lifetime cache's cross-epoch hit path.
+    cross_epoch: ValidateRun,
     mutate: Stage,
     mutants: u64,
     portfolio_races: u64,
@@ -198,6 +255,16 @@ impl Trajectory {
             0.0
         } else {
             self.warm.stage.per_sec() / cold
+        }
+    }
+
+    /// Cross-epoch speedup: revalidation after an epoch barrier over cold.
+    fn cross_epoch_speedup(&self) -> f64 {
+        let cold = self.cold.stage.per_sec();
+        if cold <= 0.0 {
+            0.0
+        } else {
+            self.cross_epoch.stage.per_sec() / cold
         }
     }
 }
@@ -329,6 +396,29 @@ fn measure(seeds: usize, portfolio: bool) -> Trajectory {
     let cold = cold.expect("at least one repetition");
     let warm = warm.expect("at least one repetition");
 
+    // Stage 3c: cross-epoch revalidation.  Populate a fresh cache (epoch
+    // 1), run the campaign's epoch barrier — generation bump plus the
+    // budget-driven eviction sweep — then revalidate the same chains as
+    // epoch 2 would.  Under the retired per-epoch cache this was a cold
+    // re-run; the campaign-lifetime cache keeps it on the hit path.
+    let mut cross_epoch: Option<ValidateRun> = None;
+    for _ in 0..5 {
+        let barrier_cache = Arc::new(EpochCache::new());
+        let mut sink = Vec::new();
+        let _ = validate_all(&results, &barrier_cache, portfolio, &mut sink);
+        barrier_cache.epoch_barrier();
+        let mut samples = Vec::new();
+        let mut run = validate_all(&results, &barrier_cache, portfolio, &mut samples);
+        run.tail = Tail::of(samples);
+        if cross_epoch
+            .as_ref()
+            .is_none_or(|best| run.stage.elapsed < best.stage.elapsed)
+        {
+            cross_epoch = Some(run);
+        }
+    }
+    let cross_epoch = cross_epoch.expect("at least one repetition");
+
     // Stage 4: metamorphic mutation over the same seeds, warm checker.
     let mut checker = MetamorphicChecker::with_cache(hunted_compiler(), Arc::clone(&cache));
     if portfolio {
@@ -382,6 +472,7 @@ fn measure(seeds: usize, portfolio: bool) -> Trajectory {
         compile,
         cold,
         warm,
+        cross_epoch,
         mutate,
         mutants,
         portfolio_races,
@@ -423,7 +514,7 @@ fn render_json(t: &Trajectory) -> String {
         )
     };
     format!(
-        "{{\n  \"schema\": \"gauntlet-trajectory-v1\",\n  \"seeds\": {},\n  \"portfolio\": {},\n  \"gen\": {},\n  \"compile\": {},\n  \"validate_cold\": {},\n  \"validate_warm\": {},\n  \"validate_speedup_warm_over_cold\": {:.3},\n  \"mutate\": {},\n  \"mutants_checked\": {},\n  \"portfolio_races\": {},\n  \"telemetry_overhead_pct\": {:.2}\n}}",
+        "{{\n  \"schema\": \"gauntlet-trajectory-v1\",\n  \"seeds\": {},\n  \"portfolio\": {},\n  \"gen\": {},\n  \"compile\": {},\n  \"validate_cold\": {},\n  \"validate_warm\": {},\n  \"validate_speedup_warm_over_cold\": {:.3},\n  \"validate_cross_epoch\": {},\n  \"validate_speedup_cross_epoch\": {:.3},\n  \"mutate\": {},\n  \"mutants_checked\": {},\n  \"portfolio_races\": {},\n  \"telemetry_overhead_pct\": {:.2}\n}}",
         t.seeds,
         t.portfolio,
         stage(&t.gen),
@@ -431,6 +522,8 @@ fn render_json(t: &Trajectory) -> String {
         validate(&t.cold),
         validate(&t.warm),
         t.speedup(),
+        validate(&t.cross_epoch),
+        t.cross_epoch_speedup(),
         stage(&t.mutate),
         t.mutants,
         t.portfolio_races,
@@ -470,6 +563,28 @@ fn compare_against(current: &Trajectory, baseline: &str) -> Vec<String> {
     let baseline_seeds = json_number(baseline, "seeds").unwrap_or(0.0) as usize;
     let baseline_speedup = json_number(baseline, "validate_speedup_warm_over_cold").unwrap_or(0.0);
     if current.seeds == baseline_seeds {
+        // The cross-epoch claim: revalidation after an epoch barrier must
+        // stay well above cold — an absolute floor at the committed
+        // workload, plus (when the baseline is new enough to carry the
+        // key) the usual relative-regression gate.
+        if current.cross_epoch_speedup() < CROSS_EPOCH_SPEEDUP_FLOOR {
+            failures.push(format!(
+                "cross-epoch validate speedup below floor: {:.3} < {CROSS_EPOCH_SPEEDUP_FLOOR:.1}",
+                current.cross_epoch_speedup()
+            ));
+        }
+        if let Some(baseline_cross) = json_number(baseline, "validate_speedup_cross_epoch") {
+            let floor = baseline_cross * (1.0 - REGRESSION_TOLERANCE);
+            if current.cross_epoch_speedup() < floor {
+                failures.push(format!(
+                    "cross-epoch validate speedup regressed: {:.3} < {:.3} (baseline {:.3} - {:.0}%)",
+                    current.cross_epoch_speedup(),
+                    floor,
+                    baseline_cross,
+                    REGRESSION_TOLERANCE * 100.0
+                ));
+            }
+        }
         // Same workload: the speedup must not regress by more than the
         // tolerance, and the deterministic work counters must match
         // exactly (a counter drift means the pipeline changed shape and
@@ -494,7 +609,7 @@ fn compare_against(current: &Trajectory, baseline: &str) -> Vec<String> {
             let expected = json_number(baseline, key);
             if expected != Some(value) {
                 failures.push(format!(
-                    "deterministic counter `{key}` drifted: measured {value}, baseline {expected:?} — regenerate BENCH_pr7.json if intentional"
+                    "deterministic counter `{key}` drifted: measured {value}, baseline {expected:?} — regenerate the committed BENCH_pr*.json if intentional"
                 ));
             }
         }

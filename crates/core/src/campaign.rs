@@ -24,7 +24,7 @@ use gauntlet_telemetry::{json, EventLog, Heartbeat, ProgressSink, Recorder, Stag
 use p4_gen::{GeneratorConfig, RandomProgramGenerator, WeightAdapter};
 use p4_ir::{print_program, ConstructCensus, Program};
 use p4_mutate::{hunt_mutation_seed, MetamorphicChecker, MetamorphicOptions, MutationCoverage};
-use p4_symbolic::{CacheStats, EpochCache, SessionStats, ValidationSession};
+use p4_symbolic::{CacheStats, CampaignCache, EpochCache, SessionStats, ValidationSession};
 use p4c::coverage::PassCoverage;
 use serde::{Deserialize, Serialize};
 use smt::PortfolioOptions;
@@ -358,13 +358,15 @@ pub struct HuntConfig {
     /// findings commit at the ordered-commit point, so reports stay
     /// byte-identical at any `--jobs`.
     pub mutation: Option<MetamorphicOptions>,
-    /// Share one [`EpochCache`] across the worker pool (the `--cache`
-    /// knob), renewed at every epoch boundary: semantics are interpreted
-    /// and per-block equivalence queries decided once per epoch no matter
-    /// which worker gets there first.  Cached SAT verdicts carry canonical
-    /// models, so the rendered report is byte-identical with the cache on
-    /// or off, at any `--jobs`.  On by default — this is where the campaign
-    /// validate-throughput comes from (see `BENCH_pr6.json`).
+    /// Share one [`CampaignCache`] across the worker pool (the `--cache`
+    /// knob), living for the whole campaign: semantics are interpreted and
+    /// per-block equivalence queries decided once per campaign no matter
+    /// which worker — or which epoch — gets there first.  Growth is bounded
+    /// by a deterministic eviction sweep at each epoch barrier
+    /// ([`CampaignCache::epoch_barrier`]).  Cached SAT verdicts carry
+    /// canonical models, so the rendered report is byte-identical with the
+    /// cache on or off, at any `--jobs`.  On by default — this is where the
+    /// campaign validate-throughput comes from (see `BENCH_pr9.json`).
     pub epoch_cache: bool,
     /// Race each hard equivalence query across K diverse SAT configurations
     /// once its incremental solve exceeds a conflict budget (the
@@ -771,13 +773,6 @@ fn add_session_stats(into: &mut SessionStats, stats: SessionStats) {
     into.verdict_misses += stats.verdict_misses;
 }
 
-fn add_cache_stats(into: &mut CacheStats, stats: CacheStats) {
-    into.semantics_hits += stats.semantics_hits;
-    into.semantics_misses += stats.semantics_misses;
-    into.verdict_hits += stats.verdict_hits;
-    into.verdict_misses += stats.verdict_misses;
-}
-
 /// What one seed contributes to the commit queue.
 struct SeedResult {
     reports: Vec<BugReport>,
@@ -1078,6 +1073,21 @@ impl ParallelCampaign {
     where
         F: Fn() -> p4c::Compiler + Send + Sync,
     {
+        self.run_with_cache(factory, None)
+    }
+
+    /// Like [`Self::run`], but validating through `external` — a
+    /// caller-owned [`CampaignCache`] that outlives this run.  Fleet workers
+    /// use this to keep one warm cache across every shard they are leased
+    /// (workers are long-lived; rebuilding the memos per shard threw the
+    /// warm state away).  The cache is consulted only when
+    /// [`HuntConfig::epoch_cache`] is on, and the report's [`CacheSummary`]
+    /// accounts this run's activity as a snapshot delta, so stats stay
+    /// per-run even though the cache is not.
+    pub fn run_with_cache<F>(&self, factory: F, external: Option<Arc<CampaignCache>>) -> HuntReport
+    where
+        F: Fn() -> p4c::Compiler + Send + Sync,
+    {
         let config = &self.config;
         // Validate target specs before spawning workers, so a typo fails
         // fast with the list of known targets instead of poisoning a
@@ -1248,7 +1258,20 @@ impl ParallelCampaign {
         let processed_counts = Mutex::new(vec![0usize; jobs]);
         let tallies = Mutex::new(SessionTally::default());
         let mut cache_epochs = 0usize;
-        let mut cache_stats = CacheStats::default();
+
+        // One campaign-lifetime cache (PR 9; previously rebuilt per epoch):
+        // the semantics/verdict memos and the hash-consing term manager
+        // survive epoch boundaries, bounded by the barrier sweep below.  A
+        // caller-provided cache outlives even this run (fleet workers reuse
+        // it across shards), so all per-run stats are snapshot deltas.
+        let campaign_cache = config
+            .epoch_cache
+            .then(|| external.unwrap_or_else(|| Arc::new(CampaignCache::new())));
+        let cache_base = campaign_cache
+            .as_ref()
+            .map(|cache| cache.stats())
+            .unwrap_or_default();
+        let mut cache_epoch_base = cache_base;
 
         let adapter = WeightAdapter::default();
         let epoch_len = match &config.coverage {
@@ -1274,10 +1297,6 @@ impl ParallelCampaign {
                 }
             };
             let epoch_end = (epoch_start + epoch_len).min(config.seed_count);
-            // One fresh shared cache per epoch: scoping it to the
-            // adaptation unit bounds term-table growth while still letting
-            // every worker of the epoch share interpretations and verdicts.
-            let epoch_cache = config.epoch_cache.then(|| Arc::new(EpochCache::new()));
             self.run_epoch(
                 epoch_start,
                 epoch_end,
@@ -1286,12 +1305,11 @@ impl ParallelCampaign {
                 &commit,
                 &processed_counts,
                 jobs,
-                epoch_cache.as_ref(),
+                campaign_cache.as_ref(),
                 &tallies,
                 telemetry.as_ref(),
             );
-            if let Some(cache) = &epoch_cache {
-                add_cache_stats(&mut cache_stats, cache.stats());
+            if campaign_cache.is_some() {
                 cache_epochs += 1;
             }
             let mut state = commit.lock().expect("hunt lock");
@@ -1313,8 +1331,10 @@ impl ParallelCampaign {
                         ("bugs", bugs_so_far.to_string()),
                     ],
                 );
-                if let Some(cache) = &epoch_cache {
-                    let stats = cache.stats();
+                if let Some(cache) = &campaign_cache {
+                    // This epoch's activity: the cache is campaign-lived,
+                    // so the per-epoch view is a snapshot delta.
+                    let stats = cache.stats().since(&cache_epoch_base);
                     telemetry.emit(
                         "cache",
                         &[
@@ -1323,9 +1343,19 @@ impl ParallelCampaign {
                             ("semantics_misses", stats.semantics_misses.to_string()),
                             ("verdict_hits", stats.verdict_hits.to_string()),
                             ("verdict_misses", stats.verdict_misses.to_string()),
+                            ("evicted_entries", cache.evicted_entries().to_string()),
+                            ("manager_resets", cache.manager_resets().to_string()),
                         ],
                     );
                 }
+            }
+            if let Some(cache) = &campaign_cache {
+                cache_epoch_base = cache.stats();
+                // The epoch barrier: evict least-recently-hit generations
+                // (and reset the term manager when over the interpretation
+                // budget) while no session is live — the worker scope above
+                // joined, and next epoch's sessions are created fresh.
+                cache.epoch_barrier();
             }
             epoch_start = epoch_end;
         }
@@ -1357,7 +1387,13 @@ impl ParallelCampaign {
             let tally = tallies.into_inner().expect("tally lock");
             CacheSummary {
                 epochs: cache_epochs,
-                stats: cache_stats,
+                // This run's activity only: a worker-lifetime cache carries
+                // counters from earlier shard runs, which belong to those
+                // runs' reports.
+                stats: campaign_cache
+                    .as_ref()
+                    .map(|cache| cache.stats().since(&cache_base))
+                    .unwrap_or_default(),
                 sessions: tally.sessions,
                 portfolio_races: tally.portfolio_races,
             }

@@ -30,6 +30,7 @@ use crate::bugs::{BugKind, BugReport, CompilerArea, Platform, Technique};
 use crate::campaign::{CacheSummary, CoverageSummary, HuntReport, MutationSummary, SeedOutcome};
 use gauntlet_telemetry::json;
 use gauntlet_telemetry::json::Json;
+use p4_symbolic::{CacheStats, SessionStats};
 use std::collections::BTreeMap;
 use std::time::Duration;
 
@@ -146,7 +147,11 @@ fn mutation_json(mutation: &MutationSummary) -> String {
     )
 }
 
-fn cache_json(cache: &CacheSummary) -> String {
+/// Render a [`CacheSummary`] as its `gauntlet-report-v1` `run.cache`
+/// object.  Public because fleet fragments embed the same shape (a worker
+/// reports its shard's cache counters through the frame protocol and the
+/// coordinator sums them into the merged summary).
+pub fn cache_json(cache: &CacheSummary) -> String {
     format!(
         "{{\"epochs\":{},\"stats\":{{\"semantics_hits\":{},\"semantics_misses\":{},\"verdict_hits\":{},\"verdict_misses\":{}}},\"sessions\":{{\"semantics_hits\":{},\"semantics_misses\":{},\"trivial_checks\":{},\"solver_checks\":{},\"cached_checks\":{},\"verdict_hits\":{},\"verdict_misses\":{}}},\"portfolio_races\":{}}}",
         cache.epochs,
@@ -163,6 +168,38 @@ fn cache_json(cache: &CacheSummary) -> String {
         cache.sessions.verdict_misses,
         cache.portfolio_races
     )
+}
+
+/// Parse a `run.cache`-shaped object back into a [`CacheSummary`] — the
+/// inverse of [`cache_json`].  Fleet workers embed this shape in fragment
+/// bodies; the coordinator parses and sums the blocks at merge time.
+pub fn cache_summary_from_json(value: &Json) -> Result<CacheSummary, String> {
+    fn counter(value: &Json, key: &str) -> Result<u64, String> {
+        req(value, key)?
+            .as_u64()
+            .ok_or_else(|| format!("`{key}` is not an integer"))
+    }
+    let stats = req(value, "stats")?;
+    let sessions = req(value, "sessions")?;
+    Ok(CacheSummary {
+        epochs: usize_field(value, "epochs")?,
+        stats: CacheStats {
+            semantics_hits: counter(stats, "semantics_hits")?,
+            semantics_misses: counter(stats, "semantics_misses")?,
+            verdict_hits: counter(stats, "verdict_hits")?,
+            verdict_misses: counter(stats, "verdict_misses")?,
+        },
+        sessions: SessionStats {
+            semantics_hits: counter(sessions, "semantics_hits")?,
+            semantics_misses: counter(sessions, "semantics_misses")?,
+            trivial_checks: counter(sessions, "trivial_checks")?,
+            solver_checks: counter(sessions, "solver_checks")?,
+            cached_checks: counter(sessions, "cached_checks")?,
+            verdict_hits: counter(sessions, "verdict_hits")?,
+            verdict_misses: counter(sessions, "verdict_misses")?,
+        },
+        portfolio_races: counter(value, "portfolio_races")?,
+    })
 }
 
 fn req<'a>(value: &'a Json, key: &str) -> Result<&'a Json, String> {

@@ -40,9 +40,11 @@ pub use campaign::{
 pub use corpus::{Corpus, CorpusEntry};
 pub use inject::SeededBug;
 pub use json_report::{
-    bug_report_from_json, bug_report_json, coverage_from_json, hunt_result_from_json,
-    mutation_from_json, outcomes_from_json, REPORT_SCHEMA,
+    bug_report_from_json, bug_report_json, cache_json, cache_summary_from_json, coverage_from_json,
+    hunt_result_from_json, mutation_from_json, outcomes_from_json, REPORT_SCHEMA,
 };
+pub use p4_symbolic::{CacheBudget, CacheStats, CampaignCache, SessionStats};
+
 pub use p4_mutate::{
     hunt_mutation_seed, MetamorphicChecker, MetamorphicOptions, CAMPAIGN_MUTATION_SEED,
 };

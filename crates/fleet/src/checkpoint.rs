@@ -25,6 +25,55 @@ use std::path::Path;
 /// Schema tag of the checkpoint document.
 pub const CHECKPOINT_SCHEMA: &str = "gauntlet-checkpoint-v1";
 
+/// Why [`Checkpoint::load`] failed.  Typed so callers can distinguish "no
+/// such file" from "the file is damaged" — and so `fleet status`/`fleet
+/// resume` report a corrupt checkpoint as a diagnostic with a nonzero exit
+/// instead of a panic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckpointError {
+    /// The file could not be read (missing, permissions, I/O failure).
+    Io { path: String, error: String },
+    /// The bytes are not one well-formed JSON document — the signature of a
+    /// checkpoint truncated by a crash or a full disk.  Atomic saves make
+    /// this unreachable for checkpoints this binary wrote, but older or
+    /// foreign files still arrive here.
+    Truncated { path: String, error: String },
+    /// Well-formed JSON that is not a valid `gauntlet-checkpoint-v1`
+    /// document (wrong schema tag, missing fields, bad spec).
+    Invalid { path: String, error: String },
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Io { path, error } => {
+                write!(f, "cannot read checkpoint {path}: {error}")
+            }
+            CheckpointError::Truncated { path, error } => write!(
+                f,
+                "checkpoint {path} is not well-formed JSON (truncated or corrupt): {error}"
+            ),
+            CheckpointError::Invalid { path, error } => {
+                write!(
+                    f,
+                    "checkpoint {path} is not a valid {CHECKPOINT_SCHEMA} document: {error}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+/// `gauntlet`'s CLI plumbing threads `Result<_, String>`; the conversion
+/// keeps `Checkpoint::load(...)?` working there while the typed error stays
+/// available to programmatic callers.
+impl From<CheckpointError> for String {
+    fn from(error: CheckpointError) -> String {
+        error.to_string()
+    }
+}
+
 /// A saved (or loaded) campaign state.
 #[derive(Debug, Clone)]
 pub struct Checkpoint {
@@ -136,11 +185,22 @@ impl Checkpoint {
             .map_err(|error| format!("rename to {}: {error}", path.display()))
     }
 
-    pub fn load(path: impl AsRef<Path>) -> Result<Checkpoint, String> {
+    /// Load and validate a checkpoint file.  Never panics on damaged input:
+    /// every failure mode maps to a [`CheckpointError`] variant.
+    pub fn load(path: impl AsRef<Path>) -> Result<Checkpoint, CheckpointError> {
         let path = path.as_ref();
-        let text = std::fs::read_to_string(path)
-            .map_err(|error| format!("read {}: {error}", path.display()))?;
-        Checkpoint::from_json(&json::parse(&text)?)
+        let text = std::fs::read_to_string(path).map_err(|error| CheckpointError::Io {
+            path: path.display().to_string(),
+            error: error.to_string(),
+        })?;
+        let value = json::parse(&text).map_err(|error| CheckpointError::Truncated {
+            path: path.display().to_string(),
+            error,
+        })?;
+        Checkpoint::from_json(&value).map_err(|error| CheckpointError::Invalid {
+            path: path.display().to_string(),
+            error,
+        })
     }
 
     /// The `fleet status` view.
@@ -266,6 +326,44 @@ mod tests {
         assert!(status.contains("2/4 shard(s) done"));
         assert!(status.contains("remaining [1, 3]"));
         assert!(status.contains("triage: 1 distinct bug(s)"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn load_reports_truncated_and_corrupt_files_as_typed_errors() {
+        let dir =
+            std::env::temp_dir().join(format!("gauntlet-ckpt-truncated-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("fleet.ckpt");
+
+        // A real checkpoint, truncated mid-file — the shape a crash during
+        // a non-atomic write (or a torn copy) leaves behind.
+        let checkpoint = sample();
+        checkpoint.save(&path).expect("saves");
+        let bytes = std::fs::read(&path).expect("read back");
+        std::fs::write(&path, &bytes[..bytes.len() / 2]).expect("truncate");
+        match Checkpoint::load(&path) {
+            Err(CheckpointError::Truncated { path: reported, .. }) => {
+                assert_eq!(reported, path.display().to_string());
+            }
+            other => panic!("expected Truncated error, got {other:?}"),
+        }
+
+        // Well-formed JSON that is not a checkpoint document.
+        std::fs::write(&path, "{\"schema\":\"not-a-checkpoint\"}").unwrap();
+        assert!(matches!(
+            Checkpoint::load(&path),
+            Err(CheckpointError::Invalid { .. })
+        ));
+
+        // Missing file.
+        let missing = dir.join("nope.ckpt");
+        let error = Checkpoint::load(&missing).expect_err("missing file errors");
+        assert!(matches!(error, CheckpointError::Io { .. }));
+        // The String conversion used by the CLI keeps the diagnostic.
+        let rendered: String = error.into();
+        assert!(rendered.contains("nope.ckpt"));
+
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -34,7 +34,7 @@ pub mod spec;
 pub mod triage;
 pub mod worker;
 
-pub use checkpoint::{Checkpoint, CHECKPOINT_SCHEMA};
+pub use checkpoint::{Checkpoint, CheckpointError, CHECKPOINT_SCHEMA};
 pub use coordinator::{hunt, resume, FleetOptions, FleetOutcome, FleetStats};
 pub use merge::{fragment_body, refilter_corpus};
 pub use spec::{CompilerSpec, FleetMode, FleetSpec};

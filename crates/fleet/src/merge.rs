@@ -26,17 +26,29 @@
 
 use crate::spec::{FleetMode, FleetSpec};
 use gauntlet_core::{
-    hunt_result_from_json, Corpus, CorpusEntry, CoverageSummary, HuntReport, MutationSummary,
+    cache_json, cache_summary_from_json, hunt_result_from_json, CacheSummary, Corpus, CorpusEntry,
+    CoverageSummary, HuntReport, MutationSummary,
 };
 use gauntlet_telemetry::json::{self, Json};
 use std::collections::{BTreeMap, BTreeSet};
 use std::time::Duration;
 
 /// Build one fragment body: the shard's deterministic result document plus
-/// the fleet envelope (candidate corpus entries, census keys) when the
-/// campaign is coverage-guided.
-pub fn fragment_body(result_json: &str, coverage: Option<(&Corpus, &[String])>) -> String {
+/// the fleet envelope — candidate corpus entries and census keys when the
+/// campaign is coverage-guided, and the shard's cache counters (shaped like
+/// the report's `run.cache` object) when the shard ran with a cache.  The
+/// cache block is run-descriptive, like `elapsed`: the merged report and
+/// corpus stay byte-identical whether or not any fragment carries one.
+pub fn fragment_body(
+    result_json: &str,
+    coverage: Option<(&Corpus, &[String])>,
+    cache: Option<&CacheSummary>,
+) -> String {
     let mut body = format!("{{\"result\":{result_json}");
+    if let Some(cache) = cache {
+        body.push_str(",\"cache\":");
+        body.push_str(&cache_json(cache));
+    }
     if let Some((corpus, census)) = coverage {
         body.push_str(",\"corpus\":[");
         for (index, entry) in corpus.entries.iter().enumerate() {
@@ -106,6 +118,31 @@ fn fragment_corpus(body: &Json) -> Result<Vec<CorpusEntry>, String> {
         .collect()
 }
 
+fn fragment_cache(body: &Json) -> Result<Option<CacheSummary>, String> {
+    match body.get("cache") {
+        None | Some(Json::Null) => Ok(None),
+        Some(value) => cache_summary_from_json(value).map(Some),
+    }
+}
+
+/// Field-wise sum of two cache summaries (workers report per-shard deltas,
+/// so summing over fragments gives fleet-wide totals).
+fn add_cache(total: &mut CacheSummary, part: &CacheSummary) {
+    total.epochs += part.epochs;
+    total.stats.semantics_hits += part.stats.semantics_hits;
+    total.stats.semantics_misses += part.stats.semantics_misses;
+    total.stats.verdict_hits += part.stats.verdict_hits;
+    total.stats.verdict_misses += part.stats.verdict_misses;
+    total.sessions.semantics_hits += part.sessions.semantics_hits;
+    total.sessions.semantics_misses += part.sessions.semantics_misses;
+    total.sessions.trivial_checks += part.sessions.trivial_checks;
+    total.sessions.solver_checks += part.sessions.solver_checks;
+    total.sessions.cached_checks += part.sessions.cached_checks;
+    total.sessions.verdict_hits += part.sessions.verdict_hits;
+    total.sessions.verdict_misses += part.sessions.verdict_misses;
+    total.portfolio_races += part.portfolio_races;
+}
+
 fn fragment_census(body: &Json) -> Result<Vec<String>, String> {
     let Some(keys) = body.get("census") else {
         return Ok(Vec::new());
@@ -163,6 +200,7 @@ pub fn merge(
     let mut mutants_checked = 0usize;
     let mut divergent = 0usize;
     let mut mutation_fired: BTreeSet<String> = BTreeSet::new();
+    let mut cache: Option<CacheSummary> = None;
     for shard in &order {
         let body = fragments
             .get(shard)
@@ -185,6 +223,11 @@ pub fn merge(
             mutation_fired.extend(mutation.fired);
         }
         census.extend(fragment_census(body)?);
+        if let Some(part) = fragment_cache(body)
+            .map_err(|error| format!("fragment for shard {shard} cache: {error}"))?
+        {
+            add_cache(cache.get_or_insert_with(CacheSummary::default), &part);
+        }
     }
     let corpus = if spec.coverage {
         refilter_corpus(fragments)?
@@ -219,7 +262,7 @@ pub fn merge(
         reduction_failures,
         coverage,
         mutation,
-        cache: None,
+        cache,
         telemetry: None,
     };
     Ok((report, corpus))
@@ -309,13 +352,74 @@ mod tests {
             }],
         };
         let census = vec!["control/decl".to_string()];
-        let text = fragment_body("{\"total_bugs\":0}", Some((&corpus, &census)));
+        let text = fragment_body("{\"total_bugs\":0}", Some((&corpus, &census)), None);
         let parsed = body(&text);
         assert_eq!(fragment_corpus(&parsed).unwrap(), corpus.entries);
         assert_eq!(fragment_census(&parsed).unwrap(), census);
+        assert_eq!(fragment_cache(&parsed).unwrap(), None);
         // Coverage off: no envelope at all.
-        let bare = body(&fragment_body("{\"total_bugs\":0}", None));
+        let bare = body(&fragment_body("{\"total_bugs\":0}", None, None));
         assert!(fragment_corpus(&bare).unwrap().is_empty());
         assert!(fragment_census(&bare).unwrap().is_empty());
+    }
+
+    #[test]
+    fn merge_sums_fragment_cache_blocks() {
+        use gauntlet_core::{CacheStats, SessionStats};
+        let part = CacheSummary {
+            epochs: 2,
+            stats: CacheStats {
+                semantics_hits: 3,
+                semantics_misses: 5,
+                verdict_hits: 7,
+                verdict_misses: 11,
+            },
+            sessions: SessionStats {
+                semantics_hits: 3,
+                semantics_misses: 5,
+                trivial_checks: 2,
+                solver_checks: 9,
+                cached_checks: 1,
+                verdict_hits: 7,
+                verdict_misses: 11,
+            },
+            portfolio_races: 1,
+        };
+        // The cache block round-trips through the fragment envelope.
+        let text = fragment_body("{\"total_bugs\":0}", None, Some(&part));
+        assert_eq!(fragment_cache(&body(&text)).unwrap(), Some(part));
+
+        let mut fragments = BTreeMap::new();
+        fragments.insert(
+            0,
+            body(&format!(
+                "{{{EMPTY_RESULT},\"cache\":{}}}",
+                cache_json(&part)
+            )),
+        );
+        fragments.insert(
+            1,
+            body(&format!(
+                "{{{EMPTY_RESULT},\"cache\":{}}}",
+                cache_json(&part)
+            )),
+        );
+        // A cache-less fragment (a worker run with the cache off) still
+        // merges; it just contributes nothing.
+        fragments.insert(2, body(&format!("{{{EMPTY_RESULT}}}")));
+        let spec = FleetSpec::default();
+        let (report, _) = merge(&spec, &fragments, &[]).expect("merge");
+        let merged = report.cache.expect("cache block survives the merge");
+        assert_eq!(merged.epochs, 4);
+        assert_eq!(merged.stats.semantics_hits, 6);
+        assert_eq!(merged.stats.verdict_misses, 22);
+        assert_eq!(merged.sessions.solver_checks, 18);
+        assert_eq!(merged.portfolio_races, 2);
+
+        // No fragment carries a cache: the merged report has none either.
+        let mut bare = BTreeMap::new();
+        bare.insert(0, body(&format!("{{{EMPTY_RESULT}}}")));
+        let (report, _) = merge(&spec, &bare, &[]).expect("merge");
+        assert!(report.cache.is_none());
     }
 }

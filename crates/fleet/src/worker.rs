@@ -18,7 +18,7 @@
 use crate::merge::fragment_body;
 use crate::protocol::{read_frame, write_frame, FromWorker, ToWorker};
 use crate::spec::FleetSpec;
-use gauntlet_core::{Corpus, ParallelCampaign, TelemetryOptions};
+use gauntlet_core::{CampaignCache, Corpus, ParallelCampaign, TelemetryOptions};
 use gauntlet_telemetry::EventLog;
 use p4_gen::RandomProgramGenerator;
 use p4_ir::ConstructCensus;
@@ -60,24 +60,85 @@ impl Write for EventFrameWriter {
     }
 }
 
-/// The worker's scratch corpus path for one shard.  Campaigns persist their
-/// corpus through a file path, so the worker lends each shard a throwaway
-/// file in the temp dir and reads the admitted candidates back out of it.
-fn shard_corpus_path(shard: usize) -> PathBuf {
-    std::env::temp_dir().join(format!(
-        "gauntlet-fleet-worker-{}-{shard}.corpus",
-        std::process::id()
-    ))
+/// This worker process's scratch directory.  Everything a worker writes to
+/// disk lives under one per-pid directory so that (a) concurrent workers
+/// never collide and (b) a crashed worker's leftovers are identifiable —
+/// [`sweep_stale_worker_dirs`] removes directories whose owning pid is
+/// gone.
+fn worker_temp_dir() -> PathBuf {
+    std::env::temp_dir().join(format!("gauntlet-fleet-worker-{}", std::process::id()))
 }
 
-/// Run one shard and build its fragment body.
-fn run_shard(spec: &FleetSpec, shard: usize, offset: u64, count: usize) -> Result<String, String> {
+/// The worker's scratch corpus path for one shard.  Campaigns persist their
+/// corpus through a file path, so the worker lends each shard a throwaway
+/// file in its scratch directory and reads the admitted candidates back out
+/// of it.  The file is removed when the shard completes (success or error);
+/// anything a crash leaves behind falls to the startup sweep.
+fn shard_corpus_path(shard: usize) -> PathBuf {
+    worker_temp_dir().join(format!("shard-{shard}.corpus"))
+}
+
+#[cfg(target_os = "linux")]
+fn process_is_alive(pid: u32) -> bool {
+    std::path::Path::new("/proc").join(pid.to_string()).exists()
+}
+
+/// Without procfs there is no cheap liveness probe; keep stale directories
+/// rather than risk deleting a live worker's scratch space.
+#[cfg(not(target_os = "linux"))]
+fn process_is_alive(_pid: u32) -> bool {
+    true
+}
+
+/// Remove scratch directories abandoned by dead workers.  Runs once at
+/// worker startup: each `gauntlet-fleet-worker-<pid>` directory in the temp
+/// dir whose pid no longer exists is swept away.  Best-effort — a sweep
+/// failure never blocks the worker.
+fn sweep_stale_worker_dirs() {
+    let Ok(entries) = std::fs::read_dir(std::env::temp_dir()) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let Some(pid_text) = name
+            .to_str()
+            .and_then(|name| name.strip_prefix("gauntlet-fleet-worker-"))
+        else {
+            continue;
+        };
+        let Ok(pid) = pid_text.parse::<u32>() else {
+            continue;
+        };
+        if pid == std::process::id() || process_is_alive(pid) {
+            continue;
+        }
+        let _ = std::fs::remove_dir_all(entry.path());
+    }
+}
+
+/// Run one shard through the worker-lifetime `cache` and build its fragment
+/// body.  The cache outlives shard assignments (it is created once per
+/// worker process in [`serve`]): interned identifiers and memoised verdicts
+/// accumulated on one shard stay warm for the next, while the deterministic
+/// half of every fragment remains byte-identical to a cold run — the same
+/// guarantee `ParallelCampaign` gives across epochs.
+fn run_shard(
+    spec: &FleetSpec,
+    shard: usize,
+    offset: u64,
+    count: usize,
+    cache: &Arc<CampaignCache>,
+) -> Result<String, String> {
     let mut config = spec
         .hunt_config()
         .map_err(|error| format!("shard {shard}: {error}"))?
         .shard(offset, count);
     let corpus_path = spec.coverage.then(|| shard_corpus_path(shard));
     if let (Some(path), Some(coverage)) = (&corpus_path, config.coverage.as_mut()) {
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)
+                .map_err(|error| format!("shard {shard} scratch dir: {error}"))?;
+        }
         // Start cold: a stale file from a previous lease of this shard
         // would be replayed into the campaign.
         let _ = std::fs::remove_file(path);
@@ -93,14 +154,18 @@ fn run_shard(spec: &FleetSpec, shard: usize, offset: u64, count: usize) -> Resul
     });
     let generator = config.generator.clone();
     let compiler = spec.compiler.clone();
-    let report = ParallelCampaign::new(config).run(move || compiler.build());
+    let report =
+        ParallelCampaign::new(config).run_with_cache(move || compiler.build(), Some(cache.clone()));
     let result_json = report.deterministic_json();
     let body = match &corpus_path {
-        None => fragment_body(&result_json, None),
+        None => fragment_body(&result_json, None, report.cache.as_ref()),
         Some(path) => {
-            let corpus = Corpus::load_or_empty(path)
-                .map_err(|error| format!("shard {shard} corpus: {error}"))?;
+            // Read the admitted candidates back, dropping the scratch file
+            // whether or not the read succeeds — a completed shard leaves
+            // nothing behind.
+            let loaded = Corpus::load_or_empty(path);
             let _ = std::fs::remove_file(path);
+            let corpus = loaded.map_err(|error| format!("shard {shard} corpus: {error}"))?;
             // The shard's construct-census keys.  The census is a pure
             // function of the generated programs, which are a pure function
             // of (generator config, seed) — so regenerating here observes
@@ -117,7 +182,11 @@ fn run_shard(spec: &FleetSpec, shard: usize, offset: u64, count: usize) -> Resul
                 );
             }
             let census: Vec<String> = census.into_iter().collect();
-            fragment_body(&result_json, Some((&corpus, &census)))
+            fragment_body(
+                &result_json,
+                Some((&corpus, &census)),
+                report.cache.as_ref(),
+            )
         }
     };
     Ok(body)
@@ -127,6 +196,7 @@ fn run_shard(spec: &FleetSpec, shard: usize, offset: u64, count: usize) -> Resul
 /// (which the binary surfaces on stderr and exits nonzero); a closed stdin
 /// is an orderly exit, mirroring coordinator death.
 pub fn serve() -> Result<(), String> {
+    sweep_stale_worker_dirs();
     let stdout = std::io::stdout();
     write_frame(
         &mut stdout.lock(),
@@ -136,6 +206,12 @@ pub fn serve() -> Result<(), String> {
         .to_body(),
     )
     .map_err(|error| format!("hello: {error}"))?;
+
+    // The worker-lifetime cache: one campaign cache shared by every shard
+    // this process is ever assigned.  Interned identifiers and memoised
+    // semantics/verdicts stay warm across assignments; each shard's
+    // fragment reports the counters it contributed.
+    let cache = Arc::new(CampaignCache::new());
 
     let stdin = std::io::stdin();
     let mut input = stdin.lock();
@@ -160,7 +236,7 @@ pub fn serve() -> Result<(), String> {
                 count,
             } => {
                 let spec = spec.as_ref().ok_or("assign before init")?;
-                let body = run_shard(spec, shard, offset, count)?;
+                let body = run_shard(spec, shard, offset, count, &cache)?;
                 write_frame(
                     &mut stdout.lock(),
                     &format!("{{\"type\":\"fragment\",\"shard\":{shard},\"body\":{body}}}"),
@@ -185,6 +261,10 @@ mod tests {
     use gauntlet_telemetry::json;
     use std::collections::BTreeMap;
 
+    /// Tests below share this process's scratch dir (same pid, overlapping
+    /// shard numbers), so they must not run concurrently.
+    static SCRATCH: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
     fn seeded_spec() -> FleetSpec {
         // A compiler guaranteed to produce detections on the open-compiler
         // oracles (no crash-killed pipeline, P4C platform).
@@ -204,11 +284,16 @@ mod tests {
 
     #[test]
     fn shard_fragments_merge_to_the_single_process_report() {
+        let _scratch = SCRATCH
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
         let spec = seeded_spec();
+        // One worker-lifetime cache across every shard, as `serve` runs.
+        let cache = Arc::new(CampaignCache::new());
         let mut fragments = BTreeMap::new();
         for shard in 0..spec.shard_count() {
             let (offset, count) = spec.shard_range(shard);
-            let body = run_shard(&spec, shard, offset, count).expect("shard runs");
+            let body = run_shard(&spec, shard, offset, count, &cache).expect("shard runs");
             fragments.insert(shard, json::parse(&body).expect("fragment parses"));
         }
         let (merged, corpus) = merge::merge(&spec, &fragments, &[]).expect("merges");
@@ -232,6 +317,60 @@ mod tests {
         assert_eq!(merged.deterministic_json(), baseline.deterministic_json());
         assert_eq!(merged.render(), baseline.render());
         assert_eq!(corpus.to_text(), baseline_corpus.to_text());
+        // Every fragment carried its cache counters; the merge summed them.
+        let merged_cache = merged.cache.expect("fragments carry cache counters");
+        assert_eq!(merged_cache.epochs, spec.shard_count());
+        assert!(merged_cache.stats.semantics_misses > 0);
+    }
+
+    #[test]
+    fn worker_lifetime_cache_keeps_reruns_byte_identical() {
+        // A worker's cache survives shard assignments; re-assigning the
+        // same shards to the same (now warm) worker must reproduce the
+        // deterministic result and corpus bytes exactly, while the warm
+        // pass actually hits the memo.
+        let _scratch = SCRATCH
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        let spec = seeded_spec();
+        let cache = Arc::new(CampaignCache::new());
+        let run_all = |cache: &Arc<CampaignCache>| {
+            let mut fragments = BTreeMap::new();
+            for shard in 0..spec.shard_count() {
+                let (offset, count) = spec.shard_range(shard);
+                let body = run_shard(&spec, shard, offset, count, cache).expect("shard runs");
+                fragments.insert(shard, json::parse(&body).expect("fragment parses"));
+            }
+            merge::merge(&spec, &fragments, &[]).expect("merges")
+        };
+        let (cold, cold_corpus) = run_all(&cache);
+        let (warm, warm_corpus) = run_all(&cache);
+        assert_eq!(cold.deterministic_json(), warm.deterministic_json());
+        assert_eq!(cold_corpus.to_text(), warm_corpus.to_text());
+        let warm_cache = warm.cache.expect("warm pass reports cache counters");
+        assert!(
+            warm_cache.stats.semantics_hits > 0,
+            "re-assigned seeds must be served from the worker-lifetime cache"
+        );
+    }
+
+    #[test]
+    #[cfg(target_os = "linux")]
+    fn startup_sweep_removes_only_dead_workers_scratch_dirs() {
+        // A scratch dir owned by a pid that no longer exists is swept;
+        // this live process's own dir survives.
+        let _scratch = SCRATCH
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        let dead = std::env::temp_dir().join("gauntlet-fleet-worker-4294967294");
+        std::fs::create_dir_all(dead.join("nested")).expect("create stale dir");
+        std::fs::write(dead.join("shard-0.corpus"), b"stale").expect("stale file");
+        let live = worker_temp_dir();
+        std::fs::create_dir_all(&live).expect("create live dir");
+        sweep_stale_worker_dirs();
+        assert!(!dead.exists(), "dead worker's scratch dir is swept");
+        assert!(live.exists(), "live worker's scratch dir survives");
+        let _ = std::fs::remove_dir_all(live);
     }
 
     #[test]

@@ -1,0 +1,139 @@
+//! Campaign-scoped string interning for identifier-heavy hot paths.
+//!
+//! Validation builds millions of terms whose variable names come from a
+//! small, heavily repeated namespace (`hdr.eth.dst`, `meta.port`, …).
+//! Hashing and comparing those `String`s on every hash-cons lookup is pure
+//! waste: an [`Interner`] maps each distinct spelling to a [`Symbol`] — a
+//! dense `u32` — exactly once, so everything downstream (the SMT term
+//! table, the semantics memo, coverage sinks) keys on integer identity
+//! instead of byte comparison.
+//!
+//! The interner is shared (`Arc<Interner>`), thread-safe, and *campaign*
+//! scoped: it survives cache resets at epoch barriers, so a symbol interned
+//! in epoch 1 still resolves — and still compares equal — in epoch 40.
+//! Symbols are only meaningful relative to the interner that produced them;
+//! the workspace never mixes symbols across interners (each term manager
+//! carries its own `Arc`).
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// An interned string: a dense index into one [`Interner`].  `Copy`,
+/// 4 bytes, and hashable/comparable as a plain integer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Symbol(u32);
+
+impl Symbol {
+    /// The raw index (stable for the lifetime of the interner).
+    pub fn index(self) -> u32 {
+        self.0
+    }
+}
+
+#[derive(Debug, Default)]
+struct InternerState {
+    /// Spelling → symbol.  Keys are the same `Arc<str>` allocations stored
+    /// in `spellings`, so each distinct string is allocated once.
+    map: HashMap<Arc<str>, Symbol>,
+    /// Symbol index → spelling.
+    spellings: Vec<Arc<str>>,
+}
+
+/// A thread-safe string interner (see the module docs).
+#[derive(Debug, Default)]
+pub struct Interner {
+    state: Mutex<InternerState>,
+}
+
+impl Interner {
+    pub fn new() -> Interner {
+        Interner::default()
+    }
+
+    /// Interns `text`, returning its symbol and shared spelling.  The
+    /// spelling is handed back so callers that need to *display* the name
+    /// (model extraction, `Display`) can keep the `Arc` instead of
+    /// re-resolving through the lock.
+    pub fn intern(&self, text: &str) -> (Symbol, Arc<str>) {
+        let mut state = self.state.lock().expect("interner lock poisoned");
+        if let Some((spelling, &sym)) = state.map.get_key_value(text) {
+            return (sym, spelling.clone());
+        }
+        let sym =
+            Symbol(u32::try_from(state.spellings.len()).expect("interner overflowed u32 symbols"));
+        let spelling: Arc<str> = Arc::from(text);
+        state.spellings.push(spelling.clone());
+        state.map.insert(spelling.clone(), sym);
+        (sym, spelling)
+    }
+
+    /// The spelling behind `sym`.  Panics on a symbol from another interner
+    /// (out of range); symbols are never mixed across interners.
+    pub fn resolve(&self, sym: Symbol) -> Arc<str> {
+        self.state
+            .lock()
+            .expect("interner lock poisoned")
+            .spellings
+            .get(sym.0 as usize)
+            .expect("symbol from a different interner")
+            .clone()
+    }
+
+    /// Number of distinct strings interned so far.
+    pub fn len(&self) -> usize {
+        self.state
+            .lock()
+            .expect("interner lock poisoned")
+            .spellings
+            .len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent_and_dense() {
+        let interner = Interner::new();
+        let (a1, text1) = interner.intern("hdr.eth.dst");
+        let (a2, text2) = interner.intern("hdr.eth.dst");
+        let (b, _) = interner.intern("meta.port");
+        assert_eq!(a1, a2);
+        assert!(Arc::ptr_eq(&text1, &text2), "one allocation per spelling");
+        assert_ne!(a1, b);
+        assert_eq!(interner.len(), 2);
+        assert_eq!(&*interner.resolve(a1), "hdr.eth.dst");
+        assert_eq!(&*interner.resolve(b), "meta.port");
+    }
+
+    #[test]
+    fn symbols_are_stable_under_concurrent_interning() {
+        let interner = Arc::new(Interner::new());
+        let names: Vec<String> = (0..64).map(|i| format!("var{i}")).collect();
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let interner = interner.clone();
+                let names = names.clone();
+                std::thread::spawn(move || {
+                    names
+                        .iter()
+                        .map(|name| interner.intern(name).0)
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        let results: Vec<Vec<Symbol>> = handles
+            .into_iter()
+            .map(|handle| handle.join().unwrap())
+            .collect();
+        for window in results.windows(2) {
+            assert_eq!(window[0], window[1], "same name, same symbol, any thread");
+        }
+        assert_eq!(interner.len(), 64);
+    }
+}

@@ -16,6 +16,7 @@ pub mod ast;
 pub mod builder;
 pub mod census;
 pub mod env;
+pub mod intern;
 pub mod printer;
 pub mod types;
 pub mod visit;
@@ -28,6 +29,7 @@ pub use ast::{
 };
 pub use census::ConstructCensus;
 pub use env::{type_of, Aggregate, AggregateKind, Scope, TypeEnv};
+pub use intern::{Interner, Symbol};
 pub use printer::{print_expr, print_program, print_statement};
 pub use types::{max_unsigned, truncate, Direction, MatchKind, Param, Type};
 pub use visit::{

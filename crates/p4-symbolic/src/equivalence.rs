@@ -315,9 +315,9 @@ pub struct SessionStats {
 ///   assumptions, so subterms shared across the chain are bit-blasted once
 ///   and learned clauses carry over.
 pub struct ValidationSession {
-    /// Epoch-scoped shared state: term manager, semantics memo, verdict
+    /// Campaign-scoped shared state: term manager, semantics memo, verdict
     /// memo.  A standalone session owns a private cache; campaign workers
-    /// attach to one shared instance per epoch via [`Self::with_cache`].
+    /// attach to one shared instance via [`Self::with_cache`].
     cache: Arc<EpochCache>,
     solver: Solver,
     stats: SessionStats,
@@ -330,7 +330,7 @@ impl Default for ValidationSession {
 }
 
 impl ValidationSession {
-    /// A standalone session with its own private epoch cache.
+    /// A standalone session with its own private cache.
     pub fn new() -> ValidationSession {
         ValidationSession::with_cache(Arc::new(EpochCache::new()))
     }
@@ -346,8 +346,11 @@ impl ValidationSession {
         }
     }
 
-    /// The shared term manager (all cached semantics use it).
-    pub fn term_manager(&self) -> &Arc<TermManager> {
+    /// The shared term manager (all cached semantics use it).  Cloned out
+    /// of the cache because a campaign cache may swap managers at an epoch
+    /// barrier; sessions never straddle a barrier, so the clone a session
+    /// works with stays the cache's current manager for its whole life.
+    pub fn term_manager(&self) -> Arc<TermManager> {
         self.cache.term_manager()
     }
 
@@ -407,7 +410,7 @@ impl ValidationSession {
         let semantics_after = self.semantics(after)?;
         let solver_checks_before = self.solver.total_checks();
         let result = check_semantics_equivalence_via(
-            self.cache.term_manager(),
+            &self.cache.term_manager(),
             &mut self.solver,
             Some(&self.cache),
             &semantics_before,

@@ -262,7 +262,7 @@ fn undefined_variables(block: &BlockSemantics) -> Vec<(String, Sort)> {
         }
         if let TermKind::Var(name) = &term.kind {
             if name.starts_with("undef.") {
-                found.insert(name.clone(), term.sort);
+                found.insert(name.to_string(), term.sort);
             }
         }
         term.for_each_child(|child| stack.push(child.clone()));

@@ -20,8 +20,10 @@
 //! campaign layer uses it to report "rules fired / total" and to steer
 //! generator weights toward rules that have never fired.
 
+use p4_ir::{Interner, Symbol};
 use std::cell::RefCell;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::OnceLock;
 
 /// Every instrumented rewrite rule, grouped by pass.  The campaign layer
 /// treats this as the coverage universe; [`record`] debug-asserts that each
@@ -169,12 +171,59 @@ impl PassCoverage {
     }
 }
 
+/// The process-wide interner behind the sink's `(pass, rule)` keys.  The
+/// rule universe is tiny and static, so the interner saturates after the
+/// first few compiles and every later firing is two read-mostly lookups.
+fn coverage_interner() -> &'static Interner {
+    static INTERNER: OnceLock<Interner> = OnceLock::new();
+    INTERNER.get_or_init(Interner::new)
+}
+
+/// The in-flight sink: firing counters keyed by interned `(pass, rule)`
+/// symbols.  The hot path ([`record`]) therefore increments a
+/// `HashMap<(u32, u32), u64>` entry instead of formatting a `"pass/rule"`
+/// string and walking a `BTreeMap<String, _>` per firing; the string form
+/// ([`PassCoverage`]) is materialised once, when the scope pops.
+#[derive(Debug, Default)]
+struct Sink {
+    counts: HashMap<(Symbol, Symbol), u64>,
+}
+
+impl Sink {
+    fn record(&mut self, pass: &str, rule: &str) {
+        let interner = coverage_interner();
+        let (pass_sym, _) = interner.intern(pass);
+        let (rule_sym, _) = interner.intern(rule);
+        *self.counts.entry((pass_sym, rule_sym)).or_insert(0) += 1;
+    }
+
+    fn merge_from(&mut self, other: &Sink) {
+        for (key, count) in &other.counts {
+            *self.counts.entry(*key).or_insert(0) += count;
+        }
+    }
+
+    /// Resolves the interned counters into the public, sorted, serialisable
+    /// form.  Called once per scope, not per firing.
+    fn into_coverage(self) -> PassCoverage {
+        let interner = coverage_interner();
+        let mut counts = BTreeMap::new();
+        for ((pass, rule), count) in self.counts {
+            counts.insert(
+                rule_key(&interner.resolve(pass), &interner.resolve(rule)),
+                count,
+            );
+        }
+        PassCoverage { counts }
+    }
+}
+
 thread_local! {
     /// The active sink stack.  A stack (rather than a single slot) lets the
     /// driver's per-compile scope nest inside a campaign's [`with_sink`]
     /// without either clobbering the other: on pop, the inner scope merges
     /// its counters into the enclosing sink.
-    static SINKS: RefCell<Vec<PassCoverage>> = const { RefCell::new(Vec::new()) };
+    static SINKS: RefCell<Vec<Sink>> = const { RefCell::new(Vec::new()) };
 }
 
 /// Records one rule firing into the innermost active sink, if any.  Called
@@ -212,7 +261,7 @@ pub struct Scope {
 impl Scope {
     /// Pushes a fresh sink.
     pub fn begin() -> Scope {
-        SINKS.with(|sinks| sinks.borrow_mut().push(PassCoverage::new()));
+        SINKS.with(|sinks| sinks.borrow_mut().push(Sink::default()));
         Scope { finished: false }
     }
 
@@ -226,11 +275,11 @@ impl Scope {
     fn pop() -> PassCoverage {
         SINKS.with(|sinks| {
             let mut sinks = sinks.borrow_mut();
-            let coverage = sinks.pop().expect("coverage scope underflow");
+            let sink = sinks.pop().expect("coverage scope underflow");
             if let Some(parent) = sinks.last_mut() {
-                parent.merge(&coverage);
+                parent.merge_from(&sink);
             }
-            coverage
+            sink.into_coverage()
         })
     }
 }

@@ -7,7 +7,7 @@
 //! lexicographic comparators.
 
 use crate::sat::{Lit, SatSolver};
-use crate::term::{TermKind, TermRef};
+use crate::term::{TermKind, TermRef, VarName};
 use std::collections::HashMap;
 
 /// The CNF-level representation of a term.
@@ -47,7 +47,9 @@ pub struct BlastContext {
     /// Term id → (CNF representation, generation that first encoded it).
     cache: HashMap<u64, (Repr, u64)>,
     /// Variable name → CNF representation, used for model extraction.
-    vars: HashMap<String, Repr>,
+    /// Keyed by the interned [`VarName`] so lookups hash a `u32`, not the
+    /// spelling.
+    vars: HashMap<VarName, Repr>,
     /// The literal fixed to true, allocated on first use.
     true_lit: Option<Lit>,
     /// Current generation; bumped by each [`BitBlaster`] session so cache
@@ -65,7 +67,7 @@ impl BlastContext {
 
     /// The map from symbolic variable names to their CNF literals, for model
     /// extraction after a SAT result.
-    pub fn variables(&self) -> &HashMap<String, Repr> {
+    pub fn variables(&self) -> &HashMap<VarName, Repr> {
         &self.vars
     }
 
@@ -498,7 +500,7 @@ mod tests {
         let vars: Vec<(String, Repr)> = ctx
             .variables()
             .iter()
-            .map(|(k, v)| (k.clone(), v.clone()))
+            .map(|(k, v)| (k.to_string(), v.clone()))
             .collect();
         match sat.solve() {
             SatResult::Sat(model) => {

@@ -85,7 +85,7 @@ fn eval_inner(
     let value = match &term.kind {
         TermKind::BoolConst(b) => Value::Bool(*b),
         TermKind::BvConst(v) => Value::Bv(v.clone()),
-        TermKind::Var(name) => match assignment.get(name) {
+        TermKind::Var(name) => match assignment.get(name.as_str()) {
             Some(value) => {
                 // Normalise widths: a model may store a narrower value.
                 match (&value, term.sort) {
@@ -99,7 +99,7 @@ fn eval_inner(
                 crate::term::Sort::Bool => Value::Bool(false),
                 crate::term::Sort::BitVec(w) => Value::Bv(BvValue::zero(w)),
             },
-            None => return Err(EvalError::UnboundVariable(name.clone())),
+            None => return Err(EvalError::UnboundVariable(name.to_string())),
         },
         TermKind::Not(a) => Value::Bool(!rec(a, cache)?.as_bool()),
         TermKind::And(args) => {

@@ -356,7 +356,7 @@ fn extract_values(ctx: &BlastContext, assignment: &[bool]) -> HashMap<String, Va
                     .collect(),
             )),
         };
-        values.insert(name.clone(), value);
+        values.insert(name.to_string(), value);
     }
     values
 }

@@ -7,6 +7,7 @@
 //! bit-blasting and evaluation) and performs light constant folding.
 
 use crate::value::BvValue;
+use p4_ir::{Interner, Symbol};
 use std::fmt;
 use std::sync::Arc;
 
@@ -45,6 +46,57 @@ pub struct Term {
     pub kind: TermKind,
 }
 
+/// An interned variable name: identity (hashing, equality) is the
+/// campaign-scoped [`Symbol`] — a `u32` — while the spelling rides along as
+/// a shared `Arc<str>` for display and model extraction.  Hash-consing a
+/// variable therefore costs one integer hash instead of a byte scan of the
+/// name, which dominates the term-builder hot path for the long dotted
+/// names the symbolic interpreter emits (`ingress.hdr.eth.dst`, …).
+#[derive(Debug, Clone)]
+pub struct VarName {
+    sym: Symbol,
+    text: Arc<str>,
+}
+
+impl VarName {
+    /// The interned identity.
+    pub fn symbol(&self) -> Symbol {
+        self.sym
+    }
+
+    pub fn as_str(&self) -> &str {
+        &self.text
+    }
+}
+
+impl PartialEq for VarName {
+    fn eq(&self, other: &VarName) -> bool {
+        self.sym == other.sym
+    }
+}
+
+impl Eq for VarName {}
+
+impl std::hash::Hash for VarName {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.sym.hash(state);
+    }
+}
+
+impl std::ops::Deref for VarName {
+    type Target = str;
+
+    fn deref(&self) -> &str {
+        &self.text
+    }
+}
+
+impl fmt::Display for VarName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
 /// Term constructors.  Saturating arithmetic and a few other P4 operators
 /// are desugared into this kernel language by the manager.
 #[derive(Debug)]
@@ -52,7 +104,7 @@ pub enum TermKind {
     BoolConst(bool),
     BvConst(BvValue),
     /// A free variable of the term's sort.
-    Var(String),
+    Var(VarName),
 
     // Boolean connectives.
     Not(TermRef),
@@ -190,7 +242,8 @@ impl fmt::Display for Term {
 enum Shape {
     BoolConst(bool),
     BvConst(BvValue),
-    Var(String),
+    /// Interned: variable lookups in the hash-cons table compare a `u32`.
+    Var(Symbol),
     Not(u64),
     And(Vec<u64>),
     Or(Vec<u64>),
@@ -211,7 +264,7 @@ impl Shape {
         match kind {
             TermKind::BoolConst(b) => Shape::BoolConst(*b),
             TermKind::BvConst(v) => Shape::BvConst(v.clone()),
-            TermKind::Var(name) => Shape::Var(name.clone()),
+            TermKind::Var(name) => Shape::Var(name.symbol()),
             TermKind::Not(a) => Shape::Not(a.id),
             TermKind::And(args) => Shape::And(args.iter().map(|a| a.id).collect()),
             TermKind::Or(args) => Shape::Or(args.iter().map(|a| a.id).collect()),
@@ -262,14 +315,39 @@ struct ManagerState {
     table: std::collections::HashMap<(Sort, Shape), TermRef>,
 }
 
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct TermManager {
     state: std::sync::Mutex<ManagerState>,
+    /// Campaign-scoped name interner.  Shared (not owned) so a validation
+    /// cache can replace its manager at an epoch barrier — bounding the
+    /// term table — while symbols stay stable for the whole campaign.
+    interner: Arc<Interner>,
+}
+
+impl Default for TermManager {
+    fn default() -> TermManager {
+        TermManager::with_interner(Arc::new(Interner::new()))
+    }
 }
 
 impl TermManager {
     pub fn new() -> TermManager {
         TermManager::default()
+    }
+
+    /// A manager whose variable names intern through `interner`.  Managers
+    /// sharing one interner agree on [`Symbol`] identity, so a cache that
+    /// swaps managers across epochs keeps name identity stable.
+    pub fn with_interner(interner: Arc<Interner>) -> TermManager {
+        TermManager {
+            state: std::sync::Mutex::default(),
+            interner,
+        }
+    }
+
+    /// The interner behind this manager's variable names.
+    pub fn interner(&self) -> &Arc<Interner> {
+        &self.interner
     }
 
     fn mk(&self, sort: Sort, kind: TermKind) -> TermRef {
@@ -316,8 +394,9 @@ impl TermManager {
         self.mk(Sort::BitVec(width), TermKind::BvConst(value))
     }
 
-    pub fn var(&self, name: impl Into<String>, sort: Sort) -> TermRef {
-        self.mk(sort, TermKind::Var(name.into()))
+    pub fn var(&self, name: impl AsRef<str>, sort: Sort) -> TermRef {
+        let (sym, text) = self.interner.intern(name.as_ref());
+        self.mk(sort, TermKind::Var(VarName { sym, text }))
     }
 
     /// A fresh variable with a unique name built from `prefix`.

@@ -31,7 +31,9 @@ impl Heartbeat {
         if let Some(rate) = self.cache_hit_rate {
             line.push_str(&format!(" · cache {:.0}% hit", rate * 100.0));
         }
-        match self.eta_secs {
+        // A zero rate yields an infinite (or NaN) ETA — render it as
+        // unknown rather than the literal `ETA infs`.
+        match self.eta_secs.filter(|eta| eta.is_finite()) {
             Some(eta) => line.push_str(&format!(" · ETA {eta:.0}s")),
             None => line.push_str(" · ETA —"),
         }
@@ -110,5 +112,28 @@ mod tests {
             beat.render(),
             "[gauntlet] 1/10 seeds · 0.5 seeds/s · 0 bug(s) · ETA —"
         );
+    }
+
+    #[test]
+    fn heartbeat_clamps_non_finite_eta_to_unknown() {
+        // A stalled campaign has rate 0, so the naive division produces an
+        // infinite ETA; it must render as unknown, not `ETA infs`.
+        let beat = Heartbeat {
+            done: 0,
+            total: 10,
+            bugs: 0,
+            seeds_per_sec: 0.0,
+            cache_hit_rate: None,
+            eta_secs: Some(f64::INFINITY),
+        };
+        assert_eq!(
+            beat.render(),
+            "[gauntlet] 0/10 seeds · 0.0 seeds/s · 0 bug(s) · ETA —"
+        );
+        let nan = Heartbeat {
+            eta_secs: Some(f64::NAN),
+            ..beat
+        };
+        assert!(nan.render().ends_with("ETA —"));
     }
 }

@@ -140,6 +140,66 @@ fn corpus_bytes_are_identical_with_cache_on_and_off() {
     }
 }
 
+/// Cross-epoch reuse must be semantically invisible too.  A coverage-
+/// guided hunt whose adaptation interval cuts the seed range into several
+/// epochs exercises the campaign-lifetime cache across epoch barriers
+/// (semantics memo, verdict memo, and interner all survive into the next
+/// epoch); the rendered report, the coverage block, and the saved corpus
+/// must still be byte-identical with the cache on or off, at `--jobs` 1
+/// and 4.
+#[test]
+fn multi_epoch_reports_and_corpus_are_identical_across_cache_and_jobs() {
+    // Strictly less than the seed count, so the hunt crosses epoch
+    // boundaries (ceil(budget / epoch_len) >= 3 epochs).
+    let epoch_len = (budget() / 3).max(2);
+    let epoch_hunt = |cache: bool, jobs: usize, path: &PathBuf| -> HuntReport {
+        let _ = std::fs::remove_file(path);
+        ParallelCampaign::new(HuntConfig {
+            jobs,
+            seed_start: 0,
+            seed_count: budget(),
+            generator: GeneratorConfig::tiny(),
+            coverage: Some(CoverageOptions {
+                adapt: true,
+                adapt_every: epoch_len,
+                corpus: Some(path.display().to_string()),
+            }),
+            mutation: Some(MetamorphicOptions::default()),
+            epoch_cache: cache,
+            ..HuntConfig::default()
+        })
+        .run(hunted_compiler)
+    };
+    let base_path = scratch("multi-epoch-baseline.txt");
+    let baseline = epoch_hunt(false, 1, &base_path);
+    let baseline_bytes = std::fs::read(&base_path).expect("baseline corpus saved");
+    let _ = std::fs::remove_file(&base_path);
+    assert!(baseline.total_bugs > 0, "the seeded bug must be visible");
+    for (cache, jobs) in [(false, 4), (true, 1), (true, 4)] {
+        let path = scratch(&format!("multi-epoch-cache{cache}-jobs{jobs}.txt"));
+        let variant = epoch_hunt(cache, jobs, &path);
+        assert_eq!(
+            baseline.render(),
+            variant.render(),
+            "cache={cache} jobs={jobs} changed the multi-epoch report"
+        );
+        assert_eq!(baseline.coverage, variant.coverage);
+        let bytes = std::fs::read(&path).expect("variant corpus saved");
+        let _ = std::fs::remove_file(&path);
+        assert_eq!(
+            baseline_bytes, bytes,
+            "cache={cache} jobs={jobs} changed the corpus bytes"
+        );
+        if cache {
+            let summary = variant.cache.expect("cache summary present");
+            assert!(
+                summary.epochs > 1,
+                "the matrix must actually cross epoch boundaries: {summary:?}"
+            );
+        }
+    }
+}
+
 /// Exact accounting under the parallel pool: the pool-wide [`CacheStats`]
 /// (counted inside the shared cache) and the per-session tallies (summed
 /// over every worker session of both oracle dimensions) must reconcile
