@@ -26,6 +26,7 @@ fn convergence(_c: &mut Criterion) {
                 adapt,
                 adapt_every: EPOCH,
                 corpus: None,
+                pairs: true,
             }),
             ..HuntConfig::default()
         })
@@ -55,6 +56,13 @@ fn convergence(_c: &mut Criterion) {
     println!(
         "  guided/unguided rule ratio: {:.2}x",
         steered.rules_fired() as f64 / baseline.rules_fired().max(1) as f64
+    );
+    println!(
+        "  cross-pass pairs: unguided {}/{}, guided {}/{}",
+        baseline.pairs_fired(),
+        baseline.pairs_total,
+        steered.pairs_fired(),
+        steered.pairs_total
     );
     let render = |summary: &gauntlet_core::CoverageSummary| {
         summary

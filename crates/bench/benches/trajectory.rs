@@ -1,7 +1,7 @@
 //! The committed benchmark trajectory: every stage of the campaign loop
 //! (generate → compile → validate → mutate) timed over a fixed-seed
 //! workload, emitted as machine-readable JSON (the `BENCH_pr*.json` files
-//! at the repo root, currently `BENCH_pr9.json`) so performance claims are
+//! at the repo root, currently `BENCH_pr10.json`) so performance claims are
 //! *committed* next to the code they describe and regressions show up in
 //! review diffs.
 //!
@@ -12,7 +12,7 @@
 //!
 //! * default — run the workload (50 seeds) and print the JSON to stdout;
 //! * `--out PATH` — also write the JSON to `PATH` (use
-//!   `--seeds 50 --out BENCH_pr9.json` to regenerate the committed file,
+//!   `--seeds 50 --out BENCH_pr10.json` to regenerate the committed file,
 //!   see docs/REPRODUCING.md);
 //! * `--compare BASELINE` — gate mode: after measuring, compare against a
 //!   previously committed trajectory and exit nonzero on regression.
@@ -72,6 +72,13 @@ const REGRESSION_TOLERANCE: f64 = 0.10;
 /// Ceiling on the telemetry flight recorder's measured slowdown of the
 /// validation workload (the hard invariant from the telemetry PR).
 const TELEMETRY_OVERHEAD_CEILING_PCT: f64 = 3.0;
+
+/// Ceiling on the coverage sink's measured slowdown of the compile
+/// workload.  Pair-interaction recording rides the compile hot path on
+/// interned `(Symbol, Symbol)` keys — no string allocation per firing —
+/// so installing a coverage scope must stay within noise of an
+/// uninstrumented compile.
+const COVERAGE_OVERHEAD_CEILING_PCT: f64 = 5.0;
 
 /// Floor on the cross-epoch warm-validate speedup at the full committed
 /// workload: revalidating the same chains after an epoch barrier must stay
@@ -245,6 +252,14 @@ struct Trajectory {
     /// Relative slowdown (in percent, may be negative under noise) of the
     /// cold-validation workload with a telemetry `Recorder` installed.
     telemetry_overhead_pct: f64,
+    /// Relative slowdown (in percent, may be negative under noise) of the
+    /// compile workload with a coverage scope installed — the pair-sink
+    /// hot-path micro-assert.
+    coverage_overhead_pct: f64,
+    /// Distinct cross-pass rule pairs the compile workload fires — a
+    /// deterministic counter at fixed seeds (the pair-coverage-at-equal-
+    /// budget metric).
+    compile_distinct_pairs: u64,
 }
 
 impl Trajectory {
@@ -359,6 +374,35 @@ fn measure(seeds: usize, portfolio: bool) -> Trajectory {
         units: seeds as u64,
         elapsed: start.elapsed(),
     };
+
+    // Stage 2b: the coverage-sink micro-assert.  The pair-interaction sink
+    // records interned `(Symbol, Symbol)` keys per rewrite firing — the
+    // per-firing `format!` is gone — so re-running the same compile
+    // workload with a coverage scope installed must stay within noise of
+    // the uninstrumented run.  Interleaved best-of-5 per side, like the
+    // telemetry overhead stage.  The distinct-pair count from the scoped
+    // run is deterministic at fixed seeds and gated exactly.
+    let mut compile_plain = Duration::MAX;
+    let mut compile_scoped = Duration::MAX;
+    let mut compile_distinct_pairs = 0u64;
+    for _ in 0..5 {
+        let start = Instant::now();
+        for program in &programs {
+            let _ = compiler.compile(program);
+        }
+        compile_plain = compile_plain.min(start.elapsed());
+
+        let start = Instant::now();
+        let (_, coverage) = p4c::coverage::with_sink(|| {
+            for program in &programs {
+                let _ = compiler.compile(program);
+            }
+        });
+        compile_scoped = compile_scoped.min(start.elapsed());
+        compile_distinct_pairs = coverage.distinct_pairs() as u64;
+    }
+    let coverage_overhead_pct =
+        (compile_scoped.as_secs_f64() / compile_plain.as_secs_f64() - 1.0) * 100.0;
 
     // Stages 3a/3b: cold then warm validation, best-of-5 repetitions
     // (min wall clock per side) so the committed speedup ratio gates on
@@ -477,6 +521,8 @@ fn measure(seeds: usize, portfolio: bool) -> Trajectory {
         mutants,
         portfolio_races,
         telemetry_overhead_pct,
+        coverage_overhead_pct,
+        compile_distinct_pairs,
     }
 }
 
@@ -514,11 +560,13 @@ fn render_json(t: &Trajectory) -> String {
         )
     };
     format!(
-        "{{\n  \"schema\": \"gauntlet-trajectory-v1\",\n  \"seeds\": {},\n  \"portfolio\": {},\n  \"gen\": {},\n  \"compile\": {},\n  \"validate_cold\": {},\n  \"validate_warm\": {},\n  \"validate_speedup_warm_over_cold\": {:.3},\n  \"validate_cross_epoch\": {},\n  \"validate_speedup_cross_epoch\": {:.3},\n  \"mutate\": {},\n  \"mutants_checked\": {},\n  \"portfolio_races\": {},\n  \"telemetry_overhead_pct\": {:.2}\n}}",
+        "{{\n  \"schema\": \"gauntlet-trajectory-v1\",\n  \"seeds\": {},\n  \"portfolio\": {},\n  \"gen\": {},\n  \"compile\": {},\n  \"compile_distinct_pairs\": {},\n  \"coverage_overhead_pct\": {:.2},\n  \"validate_cold\": {},\n  \"validate_warm\": {},\n  \"validate_speedup_warm_over_cold\": {:.3},\n  \"validate_cross_epoch\": {},\n  \"validate_speedup_cross_epoch\": {:.3},\n  \"mutate\": {},\n  \"mutants_checked\": {},\n  \"portfolio_races\": {},\n  \"telemetry_overhead_pct\": {:.2}\n}}",
         t.seeds,
         t.portfolio,
         stage(&t.gen),
         stage(&t.compile),
+        t.compile_distinct_pairs,
+        t.coverage_overhead_pct,
         validate(&t.cold),
         validate(&t.warm),
         t.speedup(),
@@ -558,6 +606,15 @@ fn compare_against(current: &Trajectory, baseline: &str) -> Vec<String> {
         failures.push(format!(
             "telemetry overhead too high: {:.2}% >= {TELEMETRY_OVERHEAD_CEILING_PCT:.0}% ceiling",
             current.telemetry_overhead_pct
+        ));
+    }
+    // Likewise the coverage-sink invariant: recording pair interactions
+    // must not tax compile throughput (interned keys, no per-firing
+    // allocation) — gated at every workload scale.
+    if current.coverage_overhead_pct >= COVERAGE_OVERHEAD_CEILING_PCT {
+        failures.push(format!(
+            "coverage sink overhead too high: {:.2}% >= {COVERAGE_OVERHEAD_CEILING_PCT:.0}% ceiling",
+            current.coverage_overhead_pct
         ));
     }
     let baseline_seeds = json_number(baseline, "seeds").unwrap_or(0.0) as usize;
@@ -610,6 +667,19 @@ fn compare_against(current: &Trajectory, baseline: &str) -> Vec<String> {
             if expected != Some(value) {
                 failures.push(format!(
                     "deterministic counter `{key}` drifted: measured {value}, baseline {expected:?} — regenerate the committed BENCH_pr*.json if intentional"
+                ));
+            }
+        }
+        // The pair-coverage-at-equal-budget counter (only gated when the
+        // baseline is new enough to carry it): the distinct cross-pass
+        // pairs the fixed-seed compile workload fires is deterministic,
+        // so any drift means the pass pipeline or the pair registry
+        // changed shape.
+        if let Some(expected) = json_number(baseline, "compile_distinct_pairs") {
+            let measured = current.compile_distinct_pairs as f64;
+            if expected != measured {
+                failures.push(format!(
+                    "deterministic counter `compile_distinct_pairs` drifted: measured {measured}, baseline {expected} — regenerate the committed BENCH_pr*.json if intentional"
                 ));
             }
         }

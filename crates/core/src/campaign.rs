@@ -491,6 +491,12 @@ pub struct CoverageOptions {
     /// missing file is an empty corpus), appended with programs that newly
     /// cover a rule, and saved back after the hunt.
     pub corpus: Option<String>,
+    /// Feed uncovered cross-pass interaction pairs to the weight adapter
+    /// alongside unfired rules (see `p4c::coverage::pass_boundary`).  Pair
+    /// *tracking* is always on — the report's `coverage.pairs` block and
+    /// corpus pair admission do not depend on this flag — only the steering
+    /// signal is gated, so a rule-only baseline stays comparable.
+    pub pairs: bool,
 }
 
 impl Default for CoverageOptions {
@@ -499,6 +505,7 @@ impl Default for CoverageOptions {
             adapt_every: 25,
             adapt: true,
             corpus: None,
+            pairs: true,
         }
     }
 }
@@ -519,12 +526,21 @@ pub struct CoverageSummary {
     /// Coverage over time: `(programs committed, distinct rules fired)` at
     /// each epoch boundary.
     pub rules_over_time: Vec<(usize, usize)>,
+    /// Sorted observed cross-pass interaction pair keys (`"a->b"`).
+    pub pairs: Vec<String>,
+    /// Size of the pair universe (`p4c::coverage::total_pairs`).
+    pub pairs_total: usize,
 }
 
 impl CoverageSummary {
     /// Number of distinct rules fired.
     pub fn rules_fired(&self) -> usize {
         self.fired.len()
+    }
+
+    /// Number of distinct cross-pass pairs observed.
+    pub fn pairs_fired(&self) -> usize {
+        self.pairs.len()
     }
 
     /// Renders the coverage block (used by both `HuntReport::render` and
@@ -538,6 +554,12 @@ impl CoverageSummary {
             self.rules_fired(),
             self.rules_total,
             self.constructs_seen
+        );
+        let _ = writeln!(
+            out,
+            "interactions: {}/{} cross-pass rule pairs observed",
+            self.pairs_fired(),
+            self.pairs_total
         );
         let _ = writeln!(
             out,
@@ -591,6 +613,45 @@ impl MutationSummary {
             self.divergent,
             self.rules_fired(),
             self.rules_total
+        )
+    }
+}
+
+/// The diversity block of a merged fleet report: how the swarm's worker
+/// slices each contributed to the de-duplicated bug pool.  Only a fleet
+/// coordinator running with worker diversity produces one; a single-process
+/// hunt (and a uniform fleet) reports `None`.
+///
+/// Deterministic: slices are a pure function of the fleet spec (shard index
+/// modulo worker count), and the per-slice counts are derived from the
+/// merged triage store, so resumed and uninterrupted runs agree.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct DiversitySummary {
+    /// Number of diversity slices (the spec's worker count).
+    pub slices: usize,
+    /// Distinct de-duplicated bugs whose provenance includes each slice,
+    /// keyed by slice label (`"slice-N"`).  Slices that found nothing are
+    /// present with a zero count, so yield comparisons read directly.
+    pub distinct_bugs: BTreeMap<String, usize>,
+}
+
+impl DiversitySummary {
+    /// Renders the diversity block (appended to `HuntReport::render` by the
+    /// fleet coordinator's merged report).
+    pub fn render(&self) -> String {
+        let yields: Vec<String> = self
+            .distinct_bugs
+            .iter()
+            .map(|(slice, count)| format!("{slice}:{count}"))
+            .collect();
+        format!(
+            "diversity: {} slice(s); distinct bugs per slice: {}\n",
+            self.slices,
+            if yields.is_empty() {
+                "-".to_string()
+            } else {
+                yields.join(" ")
+            }
         )
     }
 }
@@ -656,6 +717,10 @@ pub struct HuntReport {
     pub coverage: Option<CoverageSummary>,
     /// The mutation block (present iff [`HuntConfig::mutation`] was set).
     pub mutation: Option<MutationSummary>,
+    /// The swarm-diversity block.  A single-process hunt never produces
+    /// one; the fleet coordinator fills it in on the merged report when the
+    /// spec enables worker diversity.
+    pub diversity: Option<DiversitySummary>,
     /// Epoch-cache and portfolio counters (present iff
     /// [`HuntConfig::epoch_cache`] or [`HuntConfig::portfolio`] was set).
     /// Run-descriptive like `elapsed`: not part of [`HuntReport::render`].
@@ -733,6 +798,9 @@ impl HuntReport {
         if let Some(mutation) = &self.mutation {
             out.push_str(&mutation.render());
         }
+        if let Some(diversity) = &self.diversity {
+            out.push_str(&diversity.render());
+        }
         out
     }
 
@@ -807,18 +875,25 @@ struct GuidedCommit {
 
 impl GuidedCommit {
     /// Merges one committed seed's observation; programs that newly cover a
-    /// rule are admitted to the corpus (with their *full* fired-rule set,
-    /// so the corpus fingerprint equals the union over its entries).
+    /// rule *or* a cross-pass rule pair are admitted to the corpus (with
+    /// their *full* fired-rule and fired-pair sets, so the corpus
+    /// fingerprints equal the unions over its entries).
     fn commit(&mut self, seed: u64, observation: SeedObservation) {
         let newly_covers = observation
             .coverage
             .fired_keys()
             .iter()
-            .any(|key| !self.accum.fired(key));
+            .any(|key| !self.accum.fired(key))
+            || observation
+                .coverage
+                .fired_pair_keys()
+                .iter()
+                .any(|key| !self.accum.pair_fired(key));
         if newly_covers {
             self.corpus.entries.push(CorpusEntry {
                 seed,
                 rules: observation.coverage.fired_keys(),
+                pairs: observation.coverage.fired_pair_keys(),
                 source: print_program(&observation.program),
             });
             self.corpus_added += 1;
@@ -1287,9 +1362,14 @@ impl ParallelCampaign {
                     break;
                 }
                 match (&config.coverage, &state.guided) {
-                    (Some(options), Some(guided)) if options.adapt => adapter.adapt(
+                    (Some(options), Some(guided)) if options.adapt => adapter.adapt_with_pairs(
                         &config.generator,
                         &guided.accum.unfired_keys(),
+                        &if options.pairs {
+                            guided.accum.unfired_pair_keys()
+                        } else {
+                            Vec::new()
+                        },
                         &guided.census,
                         epoch_start / epoch_len,
                     ),
@@ -1381,6 +1461,8 @@ impl ParallelCampaign {
                 corpus_size: guided.corpus.len(),
                 corpus_added: guided.corpus_added,
                 rules_over_time: guided.rules_over_time,
+                pairs: guided.accum.fired_pair_keys(),
+                pairs_total: p4c::coverage::total_pairs(),
             }
         });
         let cache = (config.epoch_cache || config.portfolio).then(|| {
@@ -1426,6 +1508,7 @@ impl ParallelCampaign {
             reduction_failures: state.reduction_failures,
             coverage,
             mutation,
+            diversity: None,
             cache,
             telemetry: telemetry_summary,
         }

@@ -15,6 +15,7 @@
 //! # gauntlet-corpus v1
 //! %% entry seed=42
 //! % rules=ConstantFolding/fold_arith,Predication/predicate_then
+//! % pairs=ConstantFolding/fold_arith->Predication/predicate_then
 //! <program text>
 //! %% end
 //! ```
@@ -22,7 +23,9 @@
 //! `rules=` records the full fired-rule set of the entry's compile, so the
 //! union over all entries is the corpus's coverage fingerprint — replaying
 //! the corpus alone must reproduce exactly that set (guarded by the plateau
-//! regression test in `tests/coverage.rs`).
+//! regression test in `tests/coverage.rs`).  `pairs=` records the compile's
+//! cross-pass interaction pairs the same way; corpora written before pair
+//! tracking simply lack the line and load with empty pair sets.
 
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
@@ -36,6 +39,8 @@ pub struct CorpusEntry {
     pub seed: u64,
     /// Every rule key (`"pass/rule"`) the program's compile fired.
     pub rules: Vec<String>,
+    /// Every cross-pass pair key (`"a->b"`) the program's compile observed.
+    pub pairs: Vec<String>,
     /// The printed program (parseable by `p4_parser`).
     pub source: String,
 }
@@ -70,6 +75,17 @@ impl Corpus {
         set.into_iter().map(String::from).collect()
     }
 
+    /// The union of every entry's interaction pairs, sorted and
+    /// de-duplicated — the pair half of the coverage fingerprint.
+    pub fn pair_fingerprint(&self) -> Vec<String> {
+        let set: BTreeSet<&str> = self
+            .entries
+            .iter()
+            .flat_map(|entry| entry.pairs.iter().map(String::as_str))
+            .collect();
+        set.into_iter().map(String::from).collect()
+    }
+
     /// Serializes the corpus to its text format.
     pub fn to_text(&self) -> String {
         use std::fmt::Write;
@@ -78,6 +94,7 @@ impl Corpus {
         for entry in &self.entries {
             let _ = writeln!(out, "%% entry seed={}", entry.seed);
             let _ = writeln!(out, "% rules={}", entry.rules.join(","));
+            let _ = writeln!(out, "% pairs={}", entry.pairs.join(","));
             out.push_str(&entry.source);
             if !entry.source.ends_with('\n') {
                 out.push('\n');
@@ -91,7 +108,7 @@ impl Corpus {
     /// the parser (a corrupt entry is an error, not a silent skip — a
     /// truncated corpus would silently lose coverage).
     pub fn from_text(text: &str) -> Result<Corpus, String> {
-        let mut lines = text.lines();
+        let mut lines = text.lines().peekable();
         match lines.next() {
             Some(line) if line == HEADER => {}
             other => return Err(format!("missing corpus header, found {other:?}")),
@@ -115,6 +132,19 @@ impl Corpus {
                 },
                 None => return Err("truncated corpus entry (missing rules)".into()),
             };
+            // Optional `% pairs=` line (corpora written before pair tracking
+            // do not have one; program text never starts with `% pairs=`).
+            let pairs = match lines.peek().and_then(|line| line.strip_prefix("% pairs=")) {
+                Some(list) => {
+                    lines.next();
+                    if list.is_empty() {
+                        Vec::new()
+                    } else {
+                        list.split(',').map(String::from).collect()
+                    }
+                }
+                None => Vec::new(),
+            };
             let mut source = String::new();
             let mut terminated = false;
             for body_line in lines.by_ref() {
@@ -136,6 +166,7 @@ impl Corpus {
             entries.push(CorpusEntry {
                 seed,
                 rules,
+                pairs,
                 source,
             });
         }
@@ -179,11 +210,13 @@ mod tests {
                         "ConstantFolding/fold_arith".into(),
                         "FlattenBlocks/splice_block".into(),
                     ],
+                    pairs: vec!["ConstantFolding/fold_arith->FlattenBlocks/splice_block".into()],
                     source: print_program(&builder::trivial_program()),
                 },
                 CorpusEntry {
                     seed: 9,
                     rules: vec!["ConstantFolding/fold_arith".into()],
+                    pairs: Vec::new(),
                     source: print_program(&builder::trivial_program()),
                 },
             ],
@@ -209,6 +242,28 @@ mod tests {
                 "FlattenBlocks/splice_block".to_string()
             ]
         );
+    }
+
+    #[test]
+    fn pair_fingerprint_is_the_sorted_union_of_entry_pairs() {
+        assert_eq!(
+            sample().pair_fingerprint(),
+            vec!["ConstantFolding/fold_arith->FlattenBlocks/splice_block".to_string()]
+        );
+    }
+
+    /// Corpora written before pair tracking have no `% pairs=` line; they
+    /// load with empty pair sets instead of failing.
+    #[test]
+    fn legacy_corpora_without_pair_lines_still_load() {
+        let program = print_program(&builder::trivial_program());
+        let legacy = format!(
+            "{HEADER}\n%% entry seed=3\n% rules=ConstantFolding/fold_arith\n{program}%% end\n"
+        );
+        let corpus = Corpus::from_text(&legacy).expect("legacy format loads");
+        assert_eq!(corpus.entries.len(), 1);
+        assert_eq!(corpus.entries[0].rules.len(), 1);
+        assert!(corpus.entries[0].pairs.is_empty());
     }
 
     #[test]

@@ -27,7 +27,9 @@
 //! escaping.
 
 use crate::bugs::{BugKind, BugReport, CompilerArea, Platform, Technique};
-use crate::campaign::{CacheSummary, CoverageSummary, HuntReport, MutationSummary, SeedOutcome};
+use crate::campaign::{
+    CacheSummary, CoverageSummary, DiversitySummary, HuntReport, MutationSummary, SeedOutcome,
+};
 use gauntlet_telemetry::json;
 use gauntlet_telemetry::json::Json;
 use p4_symbolic::{CacheStats, SessionStats};
@@ -127,13 +129,23 @@ fn coverage_json(coverage: &CoverageSummary) -> String {
     }
     trajectory.push(']');
     format!(
-        "{{\"fired\":{},\"rules_total\":{},\"constructs_seen\":{},\"corpus_size\":{},\"corpus_added\":{},\"rules_over_time\":{}}}",
+        "{{\"fired\":{},\"rules_total\":{},\"constructs_seen\":{},\"corpus_size\":{},\"corpus_added\":{},\"rules_over_time\":{},\"pairs\":{},\"pairs_total\":{}}}",
         json_string_array(&coverage.fired),
         coverage.rules_total,
         coverage.constructs_seen,
         coverage.corpus_size,
         coverage.corpus_added,
-        trajectory
+        trajectory,
+        json_string_array(&coverage.pairs),
+        coverage.pairs_total
+    )
+}
+
+fn diversity_json(diversity: &DiversitySummary) -> String {
+    format!(
+        "{{\"slices\":{},\"distinct_bugs\":{}}}",
+        diversity.slices,
+        json_counter_map(&diversity.distinct_bugs)
     )
 }
 
@@ -321,6 +333,16 @@ pub fn coverage_from_json(value: &Json) -> Result<CoverageSummary, String> {
             }
         })
         .collect::<Result<Vec<_>, String>>()?;
+    // `pairs`/`pairs_total` are absent from pre-pair-tracking documents;
+    // tolerate that instead of rejecting the whole report.
+    let pairs = match value.get("pairs") {
+        Some(_) => string_array_field(value, "pairs")?,
+        None => Vec::new(),
+    };
+    let pairs_total = match value.get("pairs_total") {
+        Some(_) => usize_field(value, "pairs_total")?,
+        None => 0,
+    };
     Ok(CoverageSummary {
         fired: string_array_field(value, "fired")?,
         rules_total: usize_field(value, "rules_total")?,
@@ -328,6 +350,28 @@ pub fn coverage_from_json(value: &Json) -> Result<CoverageSummary, String> {
         corpus_size: usize_field(value, "corpus_size")?,
         corpus_added: usize_field(value, "corpus_added")?,
         rules_over_time: trajectory,
+        pairs,
+        pairs_total,
+    })
+}
+
+/// Parse a `diversity` block.
+pub fn diversity_from_json(value: &Json) -> Result<DiversitySummary, String> {
+    let map = req(value, "distinct_bugs")?;
+    let entries = map
+        .as_object()
+        .ok_or("`distinct_bugs` is not an object")?
+        .iter()
+        .map(|(slice, count)| {
+            count
+                .as_u64()
+                .map(|n| (slice.clone(), n as usize))
+                .ok_or_else(|| format!("`distinct_bugs.{slice}` is not an integer"))
+        })
+        .collect::<Result<BTreeMap<_, _>, String>>()?;
+    Ok(DiversitySummary {
+        slices: usize_field(value, "slices")?,
+        distinct_bugs: entries,
     })
 }
 
@@ -368,6 +412,11 @@ pub fn hunt_result_from_json(value: &Json) -> Result<HuntReport, String> {
         Json::Null => None,
         block => Some(mutation_from_json(block)?),
     };
+    // Absent from pre-diversity documents; tolerate like `coverage.pairs`.
+    let diversity = match result.get("diversity") {
+        None | Some(Json::Null) => None,
+        Some(block) => Some(diversity_from_json(block)?),
+    };
     let outcomes = outcomes_from_json(req(result, "outcomes")?)?;
     let total_bugs = usize_field(result, "total_bugs")?;
     Ok(HuntReport {
@@ -379,6 +428,7 @@ pub fn hunt_result_from_json(value: &Json) -> Result<HuntReport, String> {
         reduction_failures: usize_field(result, "reduction_failures")?,
         coverage,
         mutation,
+        diversity,
         cache: None,
         telemetry: None,
     })
@@ -429,6 +479,12 @@ impl HuntReport {
         match &self.mutation {
             Some(mutation) => out.push_str(&format!(",\"mutation\":{}", mutation_json(mutation))),
             None => out.push_str(",\"mutation\":null"),
+        }
+        match &self.diversity {
+            Some(diversity) => {
+                out.push_str(&format!(",\"diversity\":{}", diversity_json(diversity)))
+            }
+            None => out.push_str(",\"diversity\":null"),
         }
         out.push('}');
         out

@@ -34,14 +34,15 @@ pub mod report;
 pub use bugs::{BugDatabase, BugKind, BugReport, CompilerArea, Platform, Technique};
 pub use campaign::{
     run_campaign, CacheSummary, CampaignConfig, CampaignReport, CoverageOptions, CoverageSummary,
-    HuntConfig, HuntReport, MutationSummary, ParallelCampaign, SeedOutcome, SeededBugOutcome,
-    TelemetryOptions,
+    DiversitySummary, HuntConfig, HuntReport, MutationSummary, ParallelCampaign, SeedOutcome,
+    SeededBugOutcome, TelemetryOptions,
 };
 pub use corpus::{Corpus, CorpusEntry};
 pub use inject::SeededBug;
 pub use json_report::{
     bug_report_from_json, bug_report_json, cache_json, cache_summary_from_json, coverage_from_json,
-    hunt_result_from_json, mutation_from_json, outcomes_from_json, REPORT_SCHEMA,
+    diversity_from_json, hunt_result_from_json, mutation_from_json, outcomes_from_json,
+    REPORT_SCHEMA,
 };
 pub use p4_symbolic::{CacheBudget, CacheStats, CampaignCache, SessionStats};
 

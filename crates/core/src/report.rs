@@ -354,6 +354,7 @@ mod tests {
             per_worker: vec![2],
             coverage: None,
             mutation: None,
+            diversity: None,
             cache: None,
             telemetry: None,
         };

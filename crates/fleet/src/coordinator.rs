@@ -26,7 +26,7 @@ use crate::merge;
 use crate::protocol::{read_frame, write_frame, FromWorker, ToWorker};
 use crate::spec::FleetSpec;
 use crate::triage::TriageStore;
-use gauntlet_core::{hunt_result_from_json, Corpus, HuntReport};
+use gauntlet_core::{hunt_result_from_json, Corpus, DiversitySummary, HuntReport};
 use gauntlet_telemetry::json::{self, Json};
 use gauntlet_telemetry::{EventLog, Heartbeat, ProgressSink};
 use std::collections::{BTreeMap, VecDeque};
@@ -363,7 +363,15 @@ impl Coordinator {
             .ok_or_else(|| format!("fragment for shard {shard} has no `result`"))?;
         let partial = hunt_result_from_json(result)
             .map_err(|error| format!("fragment for shard {shard}: {error}"))?;
-        let provenance = format!("worker-{slot}");
+        // Under diversity, provenance is the *configuration* that found the
+        // bug (`slice-N`, a pure function of the shard), not the worker
+        // process that happened to hold the lease — so per-configuration
+        // yield survives lease reassignment and resume byte-identically.
+        let provenance = if self.options.spec.diversity {
+            format!("slice-{}", shard % self.options.spec.workers.max(1))
+        } else {
+            format!("worker-{slot}")
+        };
         for outcome in &partial.outcomes {
             for (index, report) in outcome.reports.iter().enumerate() {
                 self.triage
@@ -639,7 +647,26 @@ impl Coordinator {
             self.write_checkpoint(true)?;
         }
         self.shutdown_all();
-        let (report, corpus) = merge::merge(&self.options.spec, &self.fragments, &self.arrival)?;
+        let (mut report, corpus) =
+            merge::merge(&self.options.spec, &self.fragments, &self.arrival)?;
+        if self.options.spec.diversity {
+            // Per-configuration distinct-bug yield, derived from the merged
+            // triage store: a slice is credited for every distinct bug whose
+            // provenance includes it.  Deterministic because the store's
+            // merge is order-independent and slices are spec-derived.
+            let slices = self.options.spec.workers.max(1);
+            let mut distinct_bugs: BTreeMap<String, usize> =
+                (0..slices).map(|s| (format!("slice-{s}"), 0)).collect();
+            for entry in self.triage.entries() {
+                for slice in entry.workers.keys().filter(|k| k.starts_with("slice-")) {
+                    *distinct_bugs.entry(slice.clone()).or_insert(0) += 1;
+                }
+            }
+            report.diversity = Some(DiversitySummary {
+                slices,
+                distinct_bugs,
+            });
+        }
         if let Some(path) = &self.options.spec.corpus {
             corpus
                 .save(path)

@@ -63,10 +63,19 @@ pub fn fragment_body(
                 rules.push_str(&json::string(rule));
             }
             rules.push(']');
+            let mut pairs = String::from("[");
+            for (pair_index, pair) in entry.pairs.iter().enumerate() {
+                if pair_index > 0 {
+                    pairs.push(',');
+                }
+                pairs.push_str(&json::string(pair));
+            }
+            pairs.push(']');
             body.push_str(&format!(
-                "{{\"seed\":{},\"rules\":{},\"source\":{}}}",
+                "{{\"seed\":{},\"rules\":{},\"pairs\":{},\"source\":{}}}",
                 entry.seed,
                 rules,
+                pairs,
                 json::string(&entry.source)
             ));
         }
@@ -108,6 +117,20 @@ fn fragment_corpus(body: &Json) -> Result<Vec<CorpusEntry>, String> {
                             .ok_or_else(|| "corpus rule is not a string".to_string())
                     })
                     .collect::<Result<Vec<_>, _>>()?,
+                // Absent from pre-pair-tracking fragments: empty.
+                pairs: match entry.get("pairs") {
+                    None | Some(Json::Null) => Vec::new(),
+                    Some(pairs) => pairs
+                        .as_array()
+                        .ok_or("corpus entry `pairs` is not an array")?
+                        .iter()
+                        .map(|pair| {
+                            pair.as_str()
+                                .map(str::to_string)
+                                .ok_or_else(|| "corpus pair is not a string".to_string())
+                        })
+                        .collect::<Result<Vec<_>, _>>()?,
+                },
                 source: entry
                     .get("source")
                     .and_then(|s| s.as_str())
@@ -161,13 +184,23 @@ fn fragment_census(body: &Json) -> Result<Vec<String>, String> {
 /// Re-filter the shard-admitted candidates into the global corpus, in
 /// `(shard, admission)` order — exactly reproducing single-process
 /// admission (see the module docs for why).
+///
+/// Admission must test the *full* coverage signal — a rule novelty OR a
+/// pair novelty — exactly as `ParallelCampaign` does.  Checking rules alone
+/// would silently drop entries whose only contribution is a new cross-pass
+/// interaction, and the merged corpus would no longer be byte-identical to
+/// the single-process one.  Rule keys (`pass/rule`) and pair keys (`a->b`)
+/// are disjoint string namespaces, so one accumulator set serves both.
 pub fn refilter_corpus(fragments: &BTreeMap<usize, Json>) -> Result<Corpus, String> {
     let mut accum: BTreeSet<String> = BTreeSet::new();
     let mut corpus = Corpus::default();
     for body in fragments.values() {
         for entry in fragment_corpus(body)? {
-            if entry.rules.iter().any(|rule| !accum.contains(rule)) {
+            if entry.rules.iter().any(|rule| !accum.contains(rule))
+                || entry.pairs.iter().any(|pair| !accum.contains(pair))
+            {
                 accum.extend(entry.rules.iter().cloned());
+                accum.extend(entry.pairs.iter().cloned());
                 corpus.entries.push(entry);
             }
         }
@@ -196,6 +229,7 @@ pub fn merge(
     let mut total_bugs = 0usize;
     let mut reduction_failures = 0usize;
     let mut fired: BTreeSet<String> = BTreeSet::new();
+    let mut pairs: BTreeSet<String> = BTreeSet::new();
     let mut census: BTreeSet<String> = BTreeSet::new();
     let mut mutants_checked = 0usize;
     let mut divergent = 0usize;
@@ -216,6 +250,7 @@ pub fn merge(
         outcomes.extend(partial.outcomes);
         if let Some(coverage) = partial.coverage {
             fired.extend(coverage.fired);
+            pairs.extend(coverage.pairs);
         }
         if let Some(mutation) = partial.mutation {
             mutants_checked += mutation.mutants_checked;
@@ -245,6 +280,8 @@ pub fn merge(
             // epoch spanning the whole range).
             rules_over_time: vec![(programs_checked, fired.len())],
             fired,
+            pairs: pairs.iter().cloned().collect(),
+            pairs_total: p4c::coverage::total_pairs(),
         }
     });
     let mutation = (spec.mutants_per_seed > 0).then(|| MutationSummary {
@@ -262,6 +299,9 @@ pub fn merge(
         reduction_failures,
         coverage,
         mutation,
+        // Filled in by the coordinator from the merged triage store when
+        // the spec runs with diversity (per-slice distinct-bug yield).
+        diversity: None,
         cache,
         telemetry: None,
     };
@@ -278,16 +318,18 @@ mod tests {
 
     const EMPTY_RESULT: &str = "\"result\":{\"programs_checked\":0,\"seeds_with_bugs\":0,\"total_bugs\":0,\"reduction_failures\":0,\"outcomes\":[],\"summary\":{\"by_platform\":{},\"by_area\":{},\"by_attribution\":{},\"total_detected\":0},\"coverage\":null,\"mutation\":null}";
 
-    fn corpus_fragment(entries: &[(u64, &[&str])]) -> Json {
+    fn corpus_fragment(entries: &[(u64, &[&str], &[&str])]) -> Json {
         let mut text = format!("{{{EMPTY_RESULT},\"corpus\":[");
-        for (index, (seed, rules)) in entries.iter().enumerate() {
+        for (index, (seed, rules, pairs)) in entries.iter().enumerate() {
             if index > 0 {
                 text.push(',');
             }
             let rules: Vec<String> = rules.iter().map(|r| format!("\"{r}\"")).collect();
+            let pairs: Vec<String> = pairs.iter().map(|p| format!("\"{p}\"")).collect();
             text.push_str(&format!(
-                "{{\"seed\":{seed},\"rules\":[{}],\"source\":\"control c() {{ apply {{ }} }}\"}}",
-                rules.join(",")
+                "{{\"seed\":{seed},\"rules\":[{}],\"pairs\":[{}],\"source\":\"control c() {{ apply {{ }} }}\"}}",
+                rules.join(","),
+                pairs.join(",")
             ));
         }
         text.push_str("],\"census\":[]}");
@@ -300,14 +342,45 @@ mod tests {
         // Shard 0 admits rules {a, b}; shard 1's first candidate only
         // re-fires {a} (locally novel, globally redundant) and must be
         // dropped, while its second brings {c} and survives.
-        fragments.insert(0, corpus_fragment(&[(1, &["p/a"]), (3, &["p/a", "p/b"])]));
-        fragments.insert(1, corpus_fragment(&[(25, &["p/a"]), (27, &["p/c", "p/a"])]));
+        fragments.insert(
+            0,
+            corpus_fragment(&[(1, &["p/a"], &[]), (3, &["p/a", "p/b"], &[])]),
+        );
+        fragments.insert(
+            1,
+            corpus_fragment(&[(25, &["p/a"], &[]), (27, &["p/c", "p/a"], &[])]),
+        );
         let corpus = refilter_corpus(&fragments).expect("refilter");
         let seeds: Vec<u64> = corpus.entries.iter().map(|e| e.seed).collect();
         assert_eq!(seeds, vec![1, 3, 27]);
         assert_eq!(
             corpus.fingerprint(),
             vec!["p/a".to_string(), "p/b".to_string(), "p/c".to_string()]
+        );
+    }
+
+    /// A candidate whose rules are all globally known but which observed a
+    /// new cross-pass pair must still be admitted — the full coverage
+    /// signal, exactly as single-process admission tests it.
+    #[test]
+    fn refilter_admits_on_pair_novelty_alone() {
+        let mut fragments = BTreeMap::new();
+        fragments.insert(0, corpus_fragment(&[(1, &["p/a", "q/b"], &["p/a->q/b"])]));
+        fragments.insert(
+            1,
+            // Seed 25: same rules, same pair — dropped.  Seed 27: same
+            // rules, new pair ordering observed — admitted.
+            corpus_fragment(&[
+                (25, &["p/a", "q/b"], &["p/a->q/b"]),
+                (27, &["p/a", "q/b"], &["p/a->q/b", "p/a->r/c"]),
+            ]),
+        );
+        let corpus = refilter_corpus(&fragments).expect("refilter");
+        let seeds: Vec<u64> = corpus.entries.iter().map(|e| e.seed).collect();
+        assert_eq!(seeds, vec![1, 27]);
+        assert_eq!(
+            corpus.pair_fingerprint(),
+            vec!["p/a->q/b".to_string(), "p/a->r/c".to_string()]
         );
     }
 
@@ -348,6 +421,7 @@ mod tests {
             entries: vec![CorpusEntry {
                 seed: 4,
                 rules: vec!["p/a".into()],
+                pairs: vec!["p/a->q/b".into()],
                 source: "control c() { apply { } }\n".into(),
             }],
         };

@@ -116,6 +116,15 @@ pub struct FleetSpec {
     /// Coordinator-side output path for the merged corpus (requires
     /// `coverage`).
     pub corpus: Option<String>,
+    /// Swarm diversity: give each worker slice a deterministic generator
+    /// perturbation and a disjoint partition of the uncovered pair frontier
+    /// (requires `coverage`).  A slice is `shard % workers` — a pure
+    /// function of the spec, so lease reassignment and crash-resume keep
+    /// every shard's generator identical.  Diversity trades the
+    /// equal-at-any-worker-count guarantee for exploration breadth: results
+    /// are still deterministic *for a fixed spec*, but differ across
+    /// `workers` settings (uniform fleets remain count-independent).
+    pub diversity: bool,
     /// Mutants per seed; 0 disables the metamorphic dimension.
     pub mutants_per_seed: usize,
     /// Delta-debug committed findings.
@@ -141,6 +150,7 @@ impl Default for FleetSpec {
             mode: FleetMode::Deterministic,
             coverage: false,
             corpus: None,
+            diversity: false,
             mutants_per_seed: 0,
             reduce_reports: false,
             targets: Vec::new(),
@@ -187,6 +197,9 @@ impl FleetSpec {
         if self.corpus.is_some() && !self.coverage {
             return Err("a corpus path requires coverage".into());
         }
+        if self.diversity && !self.coverage {
+            return Err("diversity requires coverage".into());
+        }
         self.compiler.resolve()?;
         self.generator_config()?;
         Ok(())
@@ -227,7 +240,7 @@ impl FleetSpec {
         }
         targets.push(']');
         format!(
-            "{{\"workers\":{},\"jobs_per_worker\":{},\"seed_start\":{},\"seed_count\":{},\"shard_size\":{},\"compiler\":{},\"generator\":{},\"mode\":{},\"coverage\":{},\"corpus\":{},\"mutants_per_seed\":{},\"reduce_reports\":{},\"targets\":{},\"checkpoint\":{},\"checkpoint_every\":{}}}",
+            "{{\"workers\":{},\"jobs_per_worker\":{},\"seed_start\":{},\"seed_count\":{},\"shard_size\":{},\"compiler\":{},\"generator\":{},\"mode\":{},\"coverage\":{},\"corpus\":{},\"diversity\":{},\"mutants_per_seed\":{},\"reduce_reports\":{},\"targets\":{},\"checkpoint\":{},\"checkpoint_every\":{}}}",
             self.workers,
             self.jobs_per_worker,
             self.seed_start,
@@ -241,6 +254,7 @@ impl FleetSpec {
                 Some(path) => json::string(path),
                 None => "null".to_string(),
             },
+            self.diversity,
             self.mutants_per_seed,
             self.reduce_reports,
             targets,
@@ -305,6 +319,11 @@ impl FleetSpec {
                 .ok_or_else(|| format!("spec: unknown mode `{mode_name}`"))?,
             coverage: flag(value, "coverage")?,
             corpus: opt_text(value, "corpus")?,
+            // Absent from pre-diversity specs and checkpoints: default off.
+            diversity: match value.get("diversity") {
+                Some(Json::Null) | None => false,
+                Some(_) => flag(value, "diversity")?,
+            },
             mutants_per_seed: num(value, "mutants_per_seed")? as usize,
             reduce_reports: flag(value, "reduce_reports")?,
             targets,
@@ -329,6 +348,7 @@ mod tests {
             mode: FleetMode::Throughput,
             coverage: true,
             corpus: Some("corpus.txt".into()),
+            diversity: true,
             mutants_per_seed: 2,
             targets: vec!["bmv2".into(), "ref-interp".into()],
             checkpoint: Some("fleet.ckpt".into()),
@@ -358,6 +378,19 @@ mod tests {
         assert_eq!(total, 95);
     }
 
+    /// Specs serialized before the diversity flag (old checkpoints) load
+    /// with diversity off instead of failing.
+    #[test]
+    fn legacy_specs_without_the_diversity_key_still_load() {
+        let spec = FleetSpec::default();
+        let mut text = spec.to_json();
+        let needle = "\"diversity\":false,";
+        let at = text.find(needle).expect("serialized diversity key");
+        text.replace_range(at..at + needle.len(), "");
+        let parsed = json::parse(&text).expect("stripped spec parses");
+        assert_eq!(FleetSpec::from_json(&parsed).expect("reconstructs"), spec);
+    }
+
     #[test]
     fn validation_rejects_unresolvable_names() {
         let mut spec = FleetSpec::default();
@@ -370,6 +403,12 @@ mod tests {
         spec.generator = "tiny".into();
         spec.corpus = Some("c.txt".into());
         assert!(spec.validate().is_err(), "corpus without coverage");
+        spec.coverage = true;
+        assert!(spec.validate().is_ok());
+        spec.coverage = false;
+        spec.corpus = None;
+        spec.diversity = true;
+        assert!(spec.validate().is_err(), "diversity without coverage");
         spec.coverage = true;
         assert!(spec.validate().is_ok());
     }

@@ -152,6 +152,26 @@ fn run_shard(
         progress: false,
         heartbeat_every: usize::MAX,
     });
+    if spec.diversity {
+        // Swarm diversity: perturb this shard's generator towards the
+        // slice's partition of the pair universe.  The slice is a pure
+        // function of the spec (`shard % workers`), never of which worker
+        // process happens to hold the lease — so chaos re-assignment and
+        // `fleet resume` rebuild the exact same generator per shard.
+        let slice = shard % spec.workers.max(1);
+        let focus: Vec<String> = p4c::coverage::all_pair_keys()
+            .into_iter()
+            .enumerate()
+            .filter(|(index, _)| index % spec.workers.max(1) == slice)
+            .map(|(_, key)| key)
+            .collect();
+        config.generator = p4_gen::WeightAdapter::default().diversify(
+            &config.generator,
+            slice,
+            spec.workers.max(1),
+            &focus,
+        );
+    }
     let generator = config.generator.clone();
     let compiler = spec.compiler.clone();
     let report =

@@ -145,28 +145,58 @@ impl WeightAdapter {
         census: &ConstructCensus,
         round: usize,
     ) -> GeneratorConfig {
-        if unfired_rules.is_empty() {
+        self.adapt_with_pairs(base, unfired_rules, &[], census, round)
+    }
+
+    /// [`WeightAdapter::adapt`] with a second steering signal: cross-pass
+    /// interaction pairs (`"passA/ruleA->passB/ruleB"` keys from
+    /// `p4c::coverage`) that have never been observed.  Each round's focus
+    /// budget is split between the two lists — half chases unfired rules,
+    /// half chases unfired pairs (a pair pulls the knobs of *both* member
+    /// rules, since the two rewrites must meet in one program).  Either
+    /// list being exhausted hands its share to the other; both empty is the
+    /// same fixpoint as full rule coverage.
+    pub fn adapt_with_pairs(
+        &self,
+        base: &GeneratorConfig,
+        unfired_rules: &[String],
+        unfired_pairs: &[String],
+        census: &ConstructCensus,
+        round: usize,
+    ) -> GeneratorConfig {
+        if unfired_rules.is_empty() && unfired_pairs.is_empty() {
             return base.clone();
         }
-        // Focus slice for this round: ~FOCUS_SIZE rules, rotating through
-        // the unfired list so every rule gets a concentrated epoch.
+        // Focus slices for this round: ~FOCUS_SIZE targets, rotating through
+        // each unfired list so every target gets a concentrated epoch.
         const FOCUS_SIZE: usize = 6;
-        let groups = unfired_rules.len().div_ceil(FOCUS_SIZE);
-        let group = round % groups.max(1);
-        let focus: Vec<&String> = unfired_rules
-            .iter()
-            .skip(group * FOCUS_SIZE)
-            .take(FOCUS_SIZE)
-            .collect();
+        let rule_share = if unfired_pairs.is_empty() {
+            FOCUS_SIZE
+        } else if unfired_rules.is_empty() {
+            0
+        } else {
+            FOCUS_SIZE / 2
+        };
+        let rule_focus = focus_slice(unfired_rules, rule_share, round);
+        let pair_focus = focus_slice(unfired_pairs, FOCUS_SIZE - rule_share, round);
         let mut stmt_boost = [0u32; STMT_FIELDS];
         let mut expr_boost = [0u32; EXPR_FIELDS];
-        for rule in &focus {
+        let mut boost_rule = |rule: &str| {
             let (stmts, exprs) = rule_knobs(rule);
             for &knob in stmts {
                 stmt_boost[knob] += 1;
             }
             for &knob in exprs {
                 expr_boost[knob] += 1;
+            }
+        };
+        for rule in &rule_focus {
+            boost_rule(rule);
+        }
+        for pair in &pair_focus {
+            if let Some((first, second)) = pair.split_once("->") {
+                boost_rule(first);
+                boost_rule(second);
             }
         }
         // Construct pairs never produced so far get a secondary pull (only
@@ -201,9 +231,12 @@ impl WeightAdapter {
         ));
         // Constant-folding and strength-reduction rules only fire on
         // special constants (0, 1, all-ones, powers of two); the more of
-        // them sit in this round's focus, the stronger the literal bias.
-        let const_hungry = focus
+        // them sit in this round's focus — as rules or as pair members —
+        // the stronger the literal bias.
+        let const_hungry = rule_focus
             .iter()
+            .map(|rule| rule.as_str())
+            .chain(pair_focus.iter().flat_map(|pair| pair.split("->")))
             .filter(|rule| {
                 rule.starts_with("ConstantFolding/") || rule.starts_with("StrengthReduction/")
             })
@@ -217,6 +250,96 @@ impl WeightAdapter {
         }
         adapted
     }
+
+    /// Deterministically perturbs `base` for one fleet worker's diversity
+    /// slice: `focus_pairs` is the slice's disjoint partition of uncovered
+    /// interaction pairs (each pair pulls both member rules' knobs, exactly
+    /// like [`WeightAdapter::adapt_with_pairs`]), and `slice`/`slices` add a
+    /// slice-indexed nudge so even workers with identical partitions explore
+    /// different statement/expression mixes.  A pure function of its
+    /// arguments — no randomness, no clock — so a crashed-and-respawned
+    /// worker rebuilds the identical configuration, and sum-preserving like
+    /// every other adaptation (weight totals and the ≥ 1 floor hold).
+    pub fn diversify(
+        &self,
+        base: &GeneratorConfig,
+        slice: usize,
+        slices: usize,
+        focus_pairs: &[String],
+    ) -> GeneratorConfig {
+        let mut stmt_boost = [0u32; STMT_FIELDS];
+        let mut expr_boost = [0u32; EXPR_FIELDS];
+        for pair in focus_pairs {
+            if let Some((first, second)) = pair.split_once("->") {
+                for member in [first, second] {
+                    let (stmts, exprs) = rule_knobs(member);
+                    for &knob in stmts {
+                        stmt_boost[knob] += 1;
+                    }
+                    for &knob in exprs {
+                        expr_boost[knob] += 1;
+                    }
+                }
+            }
+        }
+        if slices > 1 {
+            stmt_boost[(mix(slice as u64) % STMT_FIELDS as u64) as usize] += 2;
+            expr_boost[(mix(slice as u64 ^ 0x9e37) % EXPR_FIELDS as u64) as usize] += 2;
+        }
+        if stmt_boost.iter().all(|&b| b == 0) && expr_boost.iter().all(|&b| b == 0) {
+            return base.clone();
+        }
+        let mut adapted = base.clone();
+        adapted.statements = StatementWeights::from_array(boosted(
+            base.statements.as_array(),
+            stmt_boost,
+            self.boost,
+        ));
+        adapted.expressions = ExpressionWeights::from_array(boosted(
+            base.expressions.as_array(),
+            expr_boost,
+            self.boost,
+        ));
+        let const_hungry = focus_pairs
+            .iter()
+            .flat_map(|pair| pair.split("->"))
+            .filter(|rule| {
+                rule.starts_with("ConstantFolding/") || rule.starts_with("StrengthReduction/")
+            })
+            .count() as u32;
+        if const_hungry > 0 {
+            adapted.special_literal_bias = (base.special_literal_bias + 6 * const_hungry)
+                .clamp(20, 50)
+                .max(base.special_literal_bias);
+        }
+        adapted
+    }
+}
+
+/// This round's slice of an unfired list: `share` entries starting at
+/// `(round * share) mod len`, wrapping around the end.  Indexing modulo the
+/// *current* length keeps the focus full and cycles through every entry even
+/// as coverage shrinks the list between rounds — the old
+/// `skip(group * share)` arithmetic left a near-empty focus whenever the
+/// list shrank to just past a group boundary.
+fn focus_slice(items: &[String], share: usize, round: usize) -> Vec<&String> {
+    if items.is_empty() || share == 0 {
+        return Vec::new();
+    }
+    let len = items.len();
+    let start = (round * share) % len;
+    (0..share.min(len))
+        .map(|offset| &items[(start + offset) % len])
+        .collect()
+}
+
+/// SplitMix64 finaliser: spreads consecutive slice indices across the knob
+/// space deterministically.
+fn mix(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E3779B97F4A7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
 }
 
 /// Applies boost points to the base weights and re-normalises so the total
@@ -350,6 +473,110 @@ mod tests {
         .into_iter()
         .map(String::from)
         .collect()
+    }
+
+    /// Regression for the rotating-focus bug: the old arithmetic
+    /// (`skip(group * FOCUS) .take(FOCUS)` with `group = round % groups`)
+    /// left a near-empty focus when coverage shrank the unfired list to
+    /// just past a group boundary, and could skip or double-visit rules as
+    /// the group count changed between epochs.  Indexing modulo the current
+    /// length keeps the slice full and cycles through every entry.
+    #[test]
+    fn rotation_on_a_shrinking_unfired_set_keeps_the_focus_full() {
+        let items: Vec<String> = (0..13).map(|i| format!("Pass/rule{i}")).collect();
+        // Round 2 with 13 left: the old code focused on a single rule
+        // (index 12); the wraparound slice stays full.
+        let focus = focus_slice(&items, 6, 2);
+        assert_eq!(focus.len(), 6);
+        assert_eq!(focus[0], &items[12]);
+        assert_eq!(focus[5], &items[4]);
+
+        // Simulate an epoch loop where each round's focus fires and leaves
+        // the list: every rule is visited, none twice, and the focus is
+        // full (or the whole remainder) at every round.
+        let mut remaining: Vec<String> = items.clone();
+        let mut visited = std::collections::BTreeSet::new();
+        for round in 0.. {
+            if remaining.is_empty() {
+                break;
+            }
+            let focus: Vec<String> = focus_slice(&remaining, 6, round)
+                .into_iter()
+                .cloned()
+                .collect();
+            assert_eq!(focus.len(), 6.min(remaining.len()));
+            for rule in &focus {
+                assert!(visited.insert(rule.clone()), "{rule} visited twice");
+            }
+            remaining.retain(|rule| !focus.contains(rule));
+        }
+        assert_eq!(visited.len(), items.len(), "every rule gets a focus epoch");
+    }
+
+    #[test]
+    fn unfired_pairs_pull_both_member_knobs() {
+        let base = GeneratorConfig::default();
+        let pairs = vec!["ConstantFolding/fold_shift->LocalCopyPropagation/propagate".to_string()];
+        let adapted =
+            WeightAdapter::default().adapt_with_pairs(&base, &[], &pairs, &no_census(), 0);
+        assert!(
+            adapted.expressions.shift > base.expressions.shift,
+            "first member's shift knob should rise"
+        );
+        assert!(
+            adapted.statements.declaration > base.statements.declaration,
+            "second member's declaration knob should rise"
+        );
+        assert_eq!(adapted.statements.total(), base.statements.total());
+    }
+
+    #[test]
+    fn pairs_and_rules_exhausted_is_the_same_fixpoint() {
+        let base = GeneratorConfig::default();
+        let adapted = WeightAdapter::default().adapt_with_pairs(&base, &[], &[], &no_census(), 7);
+        assert_eq!(adapted.statements.as_array(), base.statements.as_array());
+        assert_eq!(adapted.expressions.as_array(), base.expressions.as_array());
+    }
+
+    #[test]
+    fn adapt_is_adapt_with_pairs_without_pairs() {
+        let base = GeneratorConfig::default();
+        let unfired = p4c_rule_universe();
+        let adapter = WeightAdapter::default();
+        for round in 0..4 {
+            let plain = adapter.adapt(&base, &unfired, &no_census(), round);
+            let with = adapter.adapt_with_pairs(&base, &unfired, &[], &no_census(), round);
+            assert_eq!(plain.statements.as_array(), with.statements.as_array());
+            assert_eq!(plain.expressions.as_array(), with.expressions.as_array());
+        }
+    }
+
+    #[test]
+    fn diversify_is_deterministic_sum_preserving_and_slice_distinct() {
+        let base = GeneratorConfig::default();
+        let adapter = WeightAdapter::default();
+        let pairs = vec![
+            "ConstantFolding/fold_arith->Predication/predicate_then".to_string(),
+            "StrengthReduction/mask_all_ones->FlattenBlocks/splice_block".to_string(),
+        ];
+        let a = adapter.diversify(&base, 1, 3, &pairs);
+        let again = adapter.diversify(&base, 1, 3, &pairs);
+        assert_eq!(a.statements.as_array(), again.statements.as_array());
+        assert_eq!(a.expressions.as_array(), again.expressions.as_array());
+        assert_eq!(a.statements.total(), base.statements.total());
+        assert_eq!(a.expressions.total(), base.expressions.total());
+        assert!(a.statements.as_array().iter().all(|&w| w >= 1));
+
+        let b = adapter.diversify(&base, 2, 3, &pairs);
+        assert!(
+            a.statements.as_array() != b.statements.as_array()
+                || a.expressions.as_array() != b.expressions.as_array(),
+            "distinct slices should explore distinct weight mixes"
+        );
+        // No pairs and a single slice leaves the base untouched.
+        let identity = adapter.diversify(&base, 0, 1, &[]);
+        assert_eq!(identity.statements.as_array(), base.statements.as_array());
+        assert_eq!(identity.expressions.as_array(), base.expressions.as_array());
     }
 
     #[test]

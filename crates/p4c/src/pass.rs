@@ -259,6 +259,11 @@ impl Compiler {
                     });
                 }
                 Ok(Ok(transformed)) => {
+                    // Close the coverage segment for this pass run: rules it
+                    // fired become "earlier" rules for pair tracking.  A
+                    // crashing pass never reaches this; the scope flushes
+                    // its dangling segment on unwind instead.
+                    crate::coverage::pass_boundary();
                     current = transformed;
                     let hash = program_hash(&current);
                     if hash != last_hash {
@@ -418,6 +423,56 @@ mod tests {
         }
         let result = Compiler::reference().compile(&program).unwrap();
         assert!(result.coverage.count("ConstantFolding/fold_arith") >= 1);
+    }
+
+    /// The driver marks a pass boundary after every pass run, so rules that
+    /// fire in different passes of one compile surface as ordered
+    /// interaction pairs in `CompileResult::coverage`.
+    #[test]
+    fn compile_attaches_cross_pass_pair_coverage() {
+        use p4_ir::{BinOp, Expr};
+        let mut program = builder::trivial_program();
+        if let Some(control) = program.control_mut("ingress_impl") {
+            control.apply.statements.push(p4_ir::Statement::assign(
+                Expr::dotted(&["hdr", "h", "a"]),
+                Expr::binary(BinOp::Add, Expr::uint(1, 8), Expr::uint(2, 8)),
+            ));
+            // `x + 0` with a non-constant operand is out of ConstantFolding's
+            // reach but StrengthReduction rewrites it, so the compile records
+            // rules in two distinct passes.
+            control.apply.statements.push(p4_ir::Statement::assign(
+                Expr::dotted(&["hdr", "h", "a"]),
+                Expr::binary(
+                    BinOp::Add,
+                    Expr::dotted(&["hdr", "h", "a"]),
+                    Expr::uint(0, 8),
+                ),
+            ));
+        }
+        let result = Compiler::reference().compile(&program).unwrap();
+        let passes_hit: std::collections::BTreeSet<String> = result
+            .coverage
+            .fired_keys()
+            .iter()
+            .filter_map(|key| key.split_once('/').map(|(pass, _)| pass.to_string()))
+            .collect();
+        assert!(
+            passes_hit.len() >= 2,
+            "fixture must exercise at least two passes, hit {passes_hit:?}"
+        );
+        assert!(
+            result.coverage.distinct_pairs() >= 1,
+            "rules firing in distinct passes must produce interaction pairs"
+        );
+        // Every recorded pair is between two individually fired rules.
+        for pair in result.coverage.fired_pair_keys() {
+            let (first, second) = pair.split_once("->").unwrap();
+            assert!(result.coverage.fired(first), "{pair} first member unfired");
+            assert!(
+                result.coverage.fired(second),
+                "{pair} second member unfired"
+            );
+        }
     }
 
     /// Rules fired before a pass crashes are still observable through an

@@ -603,6 +603,15 @@ impl TermManager {
                 if value.bit(0) && value.lshr(1).is_zero() {
                     return other.clone();
                 }
+                // x * 2^k = x << k (mod 2^width on both sides), canonicalised
+                // so a strength-reduced shift and the original multiply
+                // hash-cons to one term.
+                if Self::as_const(other).is_none() {
+                    if let Some(k) = value.single_bit_position() {
+                        let amount = self.bv_const(u128::from(k), width);
+                        return self.bv_shl(other.clone(), amount);
+                    }
+                }
             }
         }
         self.bv_binop(a, b, BvValue::mul, TermKind::BvMul)
@@ -662,10 +671,12 @@ impl TermManager {
 
     pub fn bv_not(&self, a: TermRef) -> TermRef {
         let sort = a.sort;
-        if let TermKind::BvConst(v) = &a.kind {
-            return self.bv_value(v.bitnot());
+        match &a.kind {
+            TermKind::BvConst(v) => self.bv_value(v.bitnot()),
+            // ~~x = x, mirroring the compiler's double-negation rewrite.
+            TermKind::BvNot(inner) => inner.clone(),
+            _ => self.mk(sort, TermKind::BvNot(a)),
         }
-        self.mk(sort, TermKind::BvNot(a))
     }
 
     pub fn bv_neg(&self, a: TermRef) -> TermRef {
@@ -718,10 +729,22 @@ impl TermManager {
     }
 
     pub fn bv_ult(&self, a: TermRef, b: TermRef) -> TermRef {
+        // x < x = false; x < 0 = false (unsigned).  The zero fold is what
+        // keeps `x |-| 0` (desugared `ite(ult(x, 0), 0, x - 0)`) hash-consed
+        // back to `x`: a strength-reduced program and its original then meet
+        // structurally instead of handing the SAT core an equivalence over
+        // two 48-bit datapaths that costs unbounded conflicts to prove.
+        if a.id == b.id || Self::as_const(&b).is_some_and(BvValue::is_zero) {
+            return self.fls();
+        }
         self.bv_cmp(a, b, BvValue::ult, TermKind::BvUlt)
     }
 
     pub fn bv_ule(&self, a: TermRef, b: TermRef) -> TermRef {
+        // x <= x = true; 0 <= x = true (unsigned).
+        if a.id == b.id || Self::as_const(&a).is_some_and(BvValue::is_zero) {
+            return self.tru();
+        }
         self.bv_cmp(a, b, |x, y| !y.ult(x), TermKind::BvUle)
     }
 
@@ -734,6 +757,10 @@ impl TermManager {
     }
 
     pub fn bv_slt(&self, a: TermRef, b: TermRef) -> TermRef {
+        // x < x = false (signed).
+        if a.id == b.id {
+            return self.fls();
+        }
         self.bv_cmp(a, b, BvValue::slt, TermKind::BvSlt)
     }
 
@@ -965,6 +992,98 @@ mod tests {
         assert!(matches!(&sat.kind, TermKind::BvConst(v) if v.to_u128() == 255));
         let sat2 = tm.bv_sat_sub(tm.bv_const(3, 8), tm.bv_const(10, 8));
         assert!(matches!(&sat2.kind, TermKind::BvConst(v) if v.to_u128() == 0));
+    }
+
+    /// The comparison identities every strength-reduction rewrite leans on:
+    /// without them `x |-| 0` (desugared through `ult(x, 0)`) and plain `x`
+    /// only meet at the SAT solver, and a 48-bit instance of that miter is
+    /// hard enough to stall a campaign for minutes.
+    #[test]
+    fn comparison_identities_fold() {
+        let tm = TermManager::new();
+        let x = tm.var("x", Sort::BitVec(48));
+        let zero = tm.bv_const(0, 48);
+        assert!(matches!(
+            tm.bv_ult(x.clone(), zero.clone()).kind,
+            TermKind::BoolConst(false)
+        ));
+        assert!(matches!(
+            tm.bv_ult(x.clone(), x.clone()).kind,
+            TermKind::BoolConst(false)
+        ));
+        assert!(matches!(
+            tm.bv_ule(zero.clone(), x.clone()).kind,
+            TermKind::BoolConst(true)
+        ));
+        assert!(matches!(
+            tm.bv_ule(x.clone(), x.clone()).kind,
+            TermKind::BoolConst(true)
+        ));
+        assert!(matches!(
+            tm.bv_slt(x.clone(), x.clone()).kind,
+            TermKind::BoolConst(false)
+        ));
+        // Still symbolic when nothing is known.
+        let y = tm.var("y", Sort::BitVec(48));
+        assert!(matches!(
+            tm.bv_ult(x.clone(), y.clone()).kind,
+            TermKind::BvUlt(..)
+        ));
+        assert!(matches!(tm.bv_ule(x, y).kind, TermKind::BvUle(..)));
+    }
+
+    /// Saturating arithmetic with a zero operand folds all the way back to
+    /// the other operand — the exact shape of the `add_zero_identity`
+    /// strength-reduction rule, which must stay structural in miters.
+    #[test]
+    fn saturating_zero_identities_fold_to_operand() {
+        let tm = TermManager::new();
+        let x = tm.var("x", Sort::BitVec(48));
+        let zero = tm.bv_const(0, 48);
+        assert_eq!(tm.bv_sat_sub(x.clone(), zero.clone()).id, x.id);
+        assert_eq!(tm.bv_sat_add(x.clone(), zero.clone()).id, x.id);
+        // The seed-17 regression shape: (x |-| 0) << 13 vs x << 13 must be
+        // one hash-consed term, so the equivalence query never reaches SAT.
+        let thirteen = tm.bv_const(13, 48);
+        let reduced = tm.bv_shl(x.clone(), thirteen.clone());
+        let original = tm.bv_shl(tm.bv_sat_sub(x.clone(), zero), thirteen);
+        assert_eq!(original.id, reduced.id);
+        assert!(matches!(
+            tm.neq(original, reduced).kind,
+            TermKind::BoolConst(false)
+        ));
+    }
+
+    /// `x * 2^k` canonicalises to `x << k`, mirroring the compiler's
+    /// `mul_pow2_to_shift` rewrite so those miters stay structural too.
+    #[test]
+    fn mul_by_power_of_two_canonicalises_to_shift() {
+        let tm = TermManager::new();
+        let x = tm.var("x", Sort::BitVec(8));
+        let mul = tm.bv_mul(x.clone(), tm.bv_const(4, 8));
+        let shift = tm.bv_shl(x.clone(), tm.bv_const(2, 8));
+        assert_eq!(mul.id, shift.id);
+        let mirrored = tm.bv_mul(tm.bv_const(16, 8), x.clone());
+        assert!(matches!(&mirrored.kind, TermKind::BvShl(..)));
+        // A power that would overflow the width truncates to zero before
+        // the constructor sees it, landing in the mul-by-zero fold.
+        let overflowed = tm.bv_mul(x.clone(), tm.bv_value(BvValue::from_u128(256, 8)));
+        assert!(matches!(&overflowed.kind, TermKind::BvConst(v) if v.is_zero()));
+        // Non-power constants still multiply.
+        assert!(matches!(
+            tm.bv_mul(x.clone(), tm.bv_const(6, 8)).kind,
+            TermKind::BvMul(..)
+        ));
+        // Constant * constant folds to a constant, not a shift.
+        let both = tm.bv_mul(tm.bv_const(3, 8), tm.bv_const(4, 8));
+        assert!(matches!(&both.kind, TermKind::BvConst(v) if v.to_u128() == 12));
+    }
+
+    #[test]
+    fn double_bitwise_negation_folds() {
+        let tm = TermManager::new();
+        let x = tm.var("x", Sort::BitVec(8));
+        assert_eq!(tm.bv_not(tm.bv_not(x.clone())).id, x.id);
     }
 
     #[test]

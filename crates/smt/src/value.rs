@@ -51,6 +51,20 @@ impl BvValue {
         &self.bits
     }
 
+    /// `Some(k)` when the value is exactly `2^k` (a single set bit).
+    pub fn single_bit_position(&self) -> Option<u32> {
+        let mut position = None;
+        for (i, &bit) in self.bits.iter().enumerate() {
+            if bit {
+                if position.is_some() {
+                    return None;
+                }
+                position = Some(i as u32);
+            }
+        }
+        position
+    }
+
     /// Interprets the value as an unsigned integer; panics if wider than
     /// 128 bits and any high bit is set.
     pub fn to_u128(&self) -> u128 {

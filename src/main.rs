@@ -37,6 +37,8 @@ FLEET HUNT FLAGS:
   --mode MODE             deterministic | throughput (default deterministic)
   --coverage              account pass-rule coverage and build a corpus
   --corpus PATH           write the merged corpus here (implies --coverage)
+  --diversity             swarm mode: per-slice generator perturbation and
+                          disjoint pair-frontier partitions (implies --coverage)
   --mutants N             metamorphic mutants per seed (default 0)
   --reduce                delta-debug committed findings
   --target SPEC           differential target (repeatable)
@@ -234,6 +236,10 @@ fn fleet_hunt(args: &[String]) -> Result<(), String> {
             "--coverage" => spec.coverage = true,
             "--corpus" => {
                 spec.corpus = Some(value(args, &mut index, "--corpus")?.to_string());
+                spec.coverage = true;
+            }
+            "--diversity" => {
+                spec.diversity = true;
                 spec.coverage = true;
             }
             "--mutants" => {

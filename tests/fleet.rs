@@ -71,13 +71,19 @@ fn two_worker_fleet_matches_the_single_process_campaign_byte_for_byte() {
     let spec = spec(12, 3);
     let (expect_render, expect_corpus) = baseline(&spec, "determinism");
 
-    let mut options = FleetOptions::new(spec, worker_command());
+    let mut options = FleetOptions::new(spec.clone(), worker_command());
     options.quiet = true;
     let outcome = coordinator::hunt(options).expect("fleet hunt");
     let report = outcome.report.expect("completed run has a report");
 
     assert_eq!(report.render(), expect_render);
     assert_eq!(outcome.corpus.to_text(), expect_corpus);
+    // The merged pair coverage is part of both artifacts: the render's
+    // `interactions:` line and the corpus's `% pairs=` lines just compared
+    // byte-for-byte, and the merged block must actually carry pairs.
+    let coverage = report.coverage.as_ref().expect("coverage on");
+    assert!(!coverage.pairs.is_empty(), "cross-pass pairs observed");
+    assert!(report.diversity.is_none(), "uniform fleet has no diversity");
     assert!(!outcome.interrupted);
     assert_eq!(outcome.stats.shards_total, 4);
     assert_eq!(outcome.stats.worker_deaths, 0);
@@ -87,6 +93,17 @@ fn two_worker_fleet_matches_the_single_process_campaign_byte_for_byte() {
         report.total_bugs,
         "triage folds every report occurrence exactly once"
     );
+
+    // Worker-count independence is not just 1-vs-2: a three-worker fleet
+    // over the same seed range produces the same bytes again.
+    let mut three = spec;
+    three.workers = 3;
+    let mut options = FleetOptions::new(three, worker_command());
+    options.quiet = true;
+    let outcome = coordinator::hunt(options).expect("three-worker fleet hunt");
+    let report = outcome.report.expect("completed run has a report");
+    assert_eq!(report.render(), expect_render);
+    assert_eq!(outcome.corpus.to_text(), expect_corpus);
 }
 
 #[test]
@@ -154,6 +171,70 @@ fn checkpointed_runs_resume_to_the_identical_final_report() {
     assert!(last.complete);
     assert!(last.remaining_shards().is_empty());
     assert!(last.render_status().contains("COMPLETE"));
+    let _ = std::fs::remove_file(&checkpoint_path);
+}
+
+/// Swarm diversity under chaos (ISSUE 10 satellite): a diverse fleet that
+/// is chaos-killed, checkpointed, and resumed must converge on the same
+/// merged `coverage.pairs`, diversity block, and corpus bytes as an
+/// uninterrupted run of the same spec — slices are a pure function of the
+/// spec, never of which worker process held a lease.
+#[test]
+fn diversity_pair_state_survives_chaos_kill_and_resume() {
+    let mut base = spec(12, 3);
+    base.workers = 3;
+    base.diversity = true;
+
+    // The uninterrupted reference run.
+    let mut options = FleetOptions::new(base.clone(), worker_command());
+    options.quiet = true;
+    let reference = coordinator::hunt(options).expect("diverse fleet hunt");
+    let reference_report = reference.report.expect("completed run has a report");
+    let reference_coverage = reference_report.coverage.clone().expect("coverage on");
+    let reference_diversity = reference_report
+        .diversity
+        .clone()
+        .expect("diverse fleet reports a diversity block");
+    assert_eq!(reference_diversity.slices, 3);
+    assert_eq!(reference_diversity.distinct_bugs.len(), 3);
+    assert!(!reference_coverage.pairs.is_empty());
+    // Triage provenance is per-configuration, not per-process.
+    for entry in reference.triage.entries() {
+        for provenance in entry.workers.keys() {
+            assert!(provenance.starts_with("slice-"), "{provenance}");
+        }
+    }
+
+    // Chaos run of the same spec: kill a worker mid-epoch, stop after the
+    // first checkpoint, resume from disk.
+    let checkpoint_path = scratch("diversity.ckpt");
+    let _ = std::fs::remove_file(&checkpoint_path);
+    let mut chaos_spec = base.clone();
+    chaos_spec.checkpoint = Some(checkpoint_path.display().to_string());
+    let mut options = FleetOptions::new(chaos_spec.clone(), worker_command());
+    options.quiet = true;
+    options.chaos_kill = Some((0, 1));
+    options.stop_after_checkpoints = Some(1);
+    let interrupted = coordinator::hunt(options).expect("interrupted hunt");
+    assert!(interrupted.interrupted);
+
+    let checkpoint = Checkpoint::load(&checkpoint_path).expect("checkpoint loads");
+    let mut options = FleetOptions::new(chaos_spec, worker_command());
+    options.quiet = true;
+    let resumed = coordinator::resume(options, checkpoint).expect("fleet resume");
+    let resumed_report = resumed.report.expect("resumed run completes");
+
+    assert_eq!(resumed_report.render(), reference_report.render());
+    assert_eq!(
+        resumed_report.coverage.as_ref().expect("coverage on").pairs,
+        reference_coverage.pairs,
+        "merged pair coverage must survive kill + resume byte-identically"
+    );
+    assert_eq!(
+        resumed_report.diversity.as_ref().expect("diversity block"),
+        &reference_diversity
+    );
+    assert_eq!(resumed.corpus.to_text(), reference.corpus.to_text());
     let _ = std::fs::remove_file(&checkpoint_path);
 }
 

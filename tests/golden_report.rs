@@ -9,8 +9,8 @@
 //! blocks added by the coverage-guided and metamorphic dimensions.
 
 use gauntlet_core::{
-    render_table2, render_table3, BugKind, BugReport, CompilerArea, CoverageSummary, HuntReport,
-    MutationSummary, Platform, SeedOutcome, Technique,
+    render_table2, render_table3, BugKind, BugReport, CompilerArea, CoverageSummary,
+    DiversitySummary, HuntReport, MutationSummary, Platform, SeedOutcome, Technique,
 };
 use gauntlet_telemetry::json;
 use std::time::Duration;
@@ -82,6 +82,11 @@ fn fixture_hunt() -> HuntReport {
             corpus_size: 3,
             corpus_added: 1,
             rules_over_time: vec![(25, 2), (50, 3)],
+            pairs: vec![
+                "ConstantFolding/fold_arith->Predication/predicate_then".into(),
+                "ConstantFolding/fold_arith->StrengthReduction/add_zero_identity".into(),
+            ],
+            pairs_total: 627,
         }),
         mutation: Some(MutationSummary {
             mutants_checked: 96,
@@ -93,6 +98,12 @@ fn fixture_hunt() -> HuntReport {
                 "ReorderIndependent/swap_independent".into(),
             ],
             rules_total: 10,
+        }),
+        diversity: Some(DiversitySummary {
+            slices: 2,
+            distinct_bugs: [("slice-0".to_string(), 2), ("slice-1".to_string(), 1)]
+                .into_iter()
+                .collect(),
         }),
         // Run-descriptive like `elapsed`: must not influence the render.
         cache: Some(gauntlet_core::CacheSummary::default()),
@@ -109,9 +120,11 @@ seed 3:
 seed 7:
   [Metamorphic/P4C/Front End] pass -: mutation chain `OpaqueGuard` diverges on `hdr.h.a`
 coverage: 3/39 pass-rewrite rules fired, 17 construct pairs seen
+interactions: 2/627 cross-pass rule pairs observed
 corpus: 3 program(s) (1 added this hunt)
 coverage over time (programs:rules): 25:2 50:3
 mutation: 96 mutant(s) checked, 1 divergent, 4/10 mutator rules applied
+diversity: 2 slice(s); distinct bugs per slice: slice-0:2 slice-1:1
 ";
 
 const EXPECTED_TABLE2: &str = "\
@@ -125,6 +138,7 @@ Per-target attribution (differential/testgen majority vote):
 bmv2                1
 
 coverage: 3/39 pass-rewrite rules fired, 17 construct pairs seen
+interactions: 2/627 cross-pass rule pairs observed
 corpus: 3 program(s) (1 added this hunt)
 coverage over time (programs:rules): 25:2 50:3
 
@@ -196,8 +210,9 @@ const EXPECTED_JSON: &str = concat!(
     r#"{"kind":"Semantic","platform":"BMv2","area":"Back End","technique":"SymbolicExecution","pass":null,"message":"stf differential mismatch on `hdr.h.a`: consensus Bv(8w1), observed Bv(8w2) (3 of 8 tests failed, 3-way)","attributed_to":"bmv2","minimized":null,"reduction":null}]},"#,
     r#"{"seed":7,"reports":[{"kind":"Metamorphic","platform":"P4C","area":"Front End","technique":"MetamorphicMutation","pass":null,"message":"mutation chain `OpaqueGuard` diverges on `hdr.h.a`\nsemantic difference in block `ingress`:\n  hdr.h.a: Bv(8w7) -> Bv(8w0)","attributed_to":null,"minimized":null,"reduction":null}]}],"#,
     r#""summary":{"by_platform":{"BMv2/semantic":1,"P4C/semantic":2},"by_area":{"Back End":1,"Front End":2},"by_attribution":{"bmv2":1},"total_detected":3},"#,
-    r#""coverage":{"fired":["ConstantFolding/fold_arith","Predication/predicate_then","StrengthReduction/add_zero_identity"],"rules_total":39,"constructs_seen":17,"corpus_size":3,"corpus_added":1,"rules_over_time":[[25,2],[50,3]]},"#,
-    r#""mutation":{"mutants_checked":96,"divergent":1,"fired":["AlgebraicRewrite/xor_zero","ControlFlowWrap/block_wrap","OpaqueGuard/opaque_false_branch","ReorderIndependent/swap_independent"],"rules_total":10}},"#,
+    r#""coverage":{"fired":["ConstantFolding/fold_arith","Predication/predicate_then","StrengthReduction/add_zero_identity"],"rules_total":39,"constructs_seen":17,"corpus_size":3,"corpus_added":1,"rules_over_time":[[25,2],[50,3]],"pairs":["ConstantFolding/fold_arith->Predication/predicate_then","ConstantFolding/fold_arith->StrengthReduction/add_zero_identity"],"pairs_total":627},"#,
+    r#""mutation":{"mutants_checked":96,"divergent":1,"fired":["AlgebraicRewrite/xor_zero","ControlFlowWrap/block_wrap","OpaqueGuard/opaque_false_branch","ReorderIndependent/swap_independent"],"rules_total":10},"#,
+    r#""diversity":{"slices":2,"distinct_bugs":{"slice-0":2,"slice-1":1}}},"#,
     r#""run":{"elapsed_us":1234000,"per_worker":[26,24],"cache":{"epochs":0,"stats":{"semantics_hits":0,"semantics_misses":0,"verdict_hits":0,"verdict_misses":0},"sessions":{"semantics_hits":0,"semantics_misses":0,"trivial_checks":0,"solver_checks":0,"cached_checks":0,"verdict_hits":0,"verdict_misses":0},"portfolio_races":0},"telemetry":null}}"#,
 );
 
@@ -271,6 +286,8 @@ fn tables_are_derivable_from_the_json_report() {
                     )
                 })
                 .collect(),
+            pairs: string_array(block.get("pairs").expect("pairs")),
+            pairs_total: u64_field(block, "pairs_total") as usize,
         }),
     });
     let mutation = result.get("mutation").and_then(|block| match block {

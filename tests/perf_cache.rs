@@ -113,6 +113,7 @@ fn corpus_bytes_are_identical_with_cache_on_and_off() {
                 adapt: true,
                 adapt_every: budget().div_ceil(2).max(1),
                 corpus: Some(path.display().to_string()),
+                ..CoverageOptions::default()
             }),
             epoch_cache: cache,
             ..HuntConfig::default()
@@ -163,6 +164,7 @@ fn multi_epoch_reports_and_corpus_are_identical_across_cache_and_jobs() {
                 adapt: true,
                 adapt_every: epoch_len,
                 corpus: Some(path.display().to_string()),
+                ..CoverageOptions::default()
             }),
             mutation: Some(MetamorphicOptions::default()),
             epoch_cache: cache,
